@@ -1,0 +1,64 @@
+"""Shared fixtures for the benchmark suite.
+
+Datasets are generated once per session and cached as strings so that
+pytest-benchmark timing loops measure query evaluation, not data generation.
+Sizes are chosen so the whole suite finishes in a few minutes on a laptop
+while still being large enough for the shapes (flat memory, parse-dominated
+time, exponential naive blow-up) to be visible.  The EXPERIMENTS.md tables
+were produced with these defaults; scale them up via the VITEX_BENCH_SCALE
+environment variable to stress the engine harder.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.datasets.newsfeed import NewsFeedConfig, NewsFeedGenerator  # noqa: E402
+from repro.datasets.protein import ProteinConfig, ProteinDatabaseGenerator  # noqa: E402
+from repro.datasets.recursive import RecursiveBookGenerator, RecursiveConfig  # noqa: E402
+
+#: Multiplier applied to every dataset size (default 1.0 ≈ quick laptop run).
+SCALE = float(os.environ.get("VITEX_BENCH_SCALE", "1.0"))
+
+
+def pytest_report_header(config):
+    return f"vitex benchmarks: dataset scale factor {SCALE}"
+
+
+@pytest.fixture(scope="session")
+def protein_document() -> str:
+    """A ~2 MB (at scale 1.0) synthetic protein database document."""
+    target = int(2 * 1024 * 1024 * SCALE)
+    return ProteinDatabaseGenerator(ProteinConfig(target_bytes=target), seed=11).text()
+
+
+@pytest.fixture(scope="session")
+def recursive_document() -> str:
+    """A deeply recursive document where section/table nest 10 levels deep."""
+    depth = max(6, int(10 * SCALE))
+    return RecursiveBookGenerator(
+        RecursiveConfig(
+            section_depth=depth,
+            table_depth=4,
+            section_groups=2,
+            cells_per_table=2,
+            author_probability=1.0,
+            position_probability=1.0,
+            noise_per_section=0,
+        ),
+        seed=21,
+    ).text()
+
+
+@pytest.fixture(scope="session")
+def newsfeed_document() -> str:
+    """A stock/news stream with a few thousand updates."""
+    updates = int(3000 * SCALE)
+    return NewsFeedGenerator(NewsFeedConfig(updates=max(200, updates)), seed=14).text()

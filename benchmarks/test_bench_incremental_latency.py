@@ -1,0 +1,82 @@
+"""E7 — incremental result production on long streams.
+
+Paper requirement (Section 1): "it is desirable to incrementally produce and
+distribute query results to end users before the data is completely
+received."
+
+Reproduced shape: on a stock-ticker stream whose first matching update
+appears near the beginning, the time to the first emitted solution is a tiny
+fraction of the time needed to consume the entire stream, and solutions keep
+arriving throughout rather than all at the end.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.reporting import print_report, render_table
+from repro.bench.runner import run_incremental_latency
+from repro.core.engine import TwigMEvaluator
+from repro.datasets.newsfeed import NewsFeedConfig, NewsFeedGenerator
+
+from conftest import SCALE
+
+
+@pytest.mark.benchmark(group="E7-incremental")
+class TestIncrementalBenchmarks:
+    def test_time_to_first_solution(self, benchmark, newsfeed_document):
+        query = NewsFeedGenerator.CANONICAL_QUERY
+
+        def first_solution():
+            evaluator = TwigMEvaluator(query)
+            for solution in evaluator.stream(newsfeed_document):
+                return solution
+            return None
+
+        solution = benchmark(first_solution)
+        assert solution is not None
+
+    def test_full_stream_consumption(self, benchmark, newsfeed_document):
+        query = NewsFeedGenerator.CANONICAL_QUERY
+
+        def consume_all():
+            return sum(1 for _ in TwigMEvaluator(query).stream(newsfeed_document))
+
+        count = benchmark(consume_all)
+        assert count > 0
+
+
+def test_e7_latency_table(benchmark):
+    """Print first-solution vs full-stream latency and emission spread."""
+    updates = max(500, int(3000 * SCALE))
+    row = benchmark.pedantic(
+        lambda: run_incremental_latency(updates=updates, seed=14), rounds=1, iterations=1
+    )
+    generator = NewsFeedGenerator(NewsFeedConfig(updates=updates), seed=14)
+
+    # Also measure how emissions spread over the stream: record the fraction
+    # of the stream consumed when each quartile of the solutions had arrived.
+    document = generator.text()
+    evaluator = TwigMEvaluator(generator.CANONICAL_QUERY)
+    emission_times = []
+    start = time.perf_counter()
+    for _ in evaluator.stream(document):
+        emission_times.append(time.perf_counter() - start)
+    total = time.perf_counter() - start
+    quartiles = {}
+    if emission_times:
+        for name, fraction in (("q1", 0.25), ("median", 0.5), ("q3", 0.75)):
+            index = min(len(emission_times) - 1, int(fraction * len(emission_times)))
+            quartiles[f"emit_{name}_fraction"] = round(emission_times[index] / total, 3)
+
+    row.update(quartiles)
+    print_report(render_table([row], title="E7: incremental output latency (stock ticker stream)"))
+
+    assert row["solutions"] == generator.expected_symbol_updates("ACME")
+    # First solution arrives within a small fraction of total stream time.
+    assert row["latency_fraction"] < 0.25
+    # Solutions are spread across the stream, not bunched at the end.
+    if "emit_median_fraction" in row:
+        assert row["emit_median_fraction"] < 0.85

@@ -1,0 +1,64 @@
+"""E5 — "works efficiently in practice on a variety of queries and datasets".
+
+Paper claim (Feature 5): ViteX is efficient across a variety of queries and
+datasets, not just the headline protein query.
+
+Reproduced shape: the canned query suite (5 protein + 5 recursive + 5 auction
++ 3 news queries) runs over all four synthetic datasets; every query finishes
+with sane throughput, answers are produced for (almost) every query, and the
+TwigM overhead over a bare parse remains bounded across the board.  The table
+printed at the end is the per-query row set the paper summarises verbally.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import print_report, render_table
+from repro.bench.runner import run_query_variety
+from repro.bench.workloads import WORKLOADS, get_workload
+from repro.core.engine import TwigMEvaluator
+
+from conftest import SCALE
+
+VARIETY_SCALE = 0.4 * SCALE
+
+
+@pytest.mark.benchmark(group="E5-variety")
+class TestRepresentativeQueryBenchmarks:
+    """One pytest-benchmark target per dataset (its first canned query)."""
+
+    @pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+    def test_first_query_of_each_workload(self, benchmark, workload_name):
+        workload = get_workload(workload_name)
+        document = workload.dataset(VARIETY_SCALE).text()
+        query = workload.queries[0]
+
+        def run():
+            return TwigMEvaluator(query).evaluate(document)
+
+        result = benchmark(run)
+        assert result is not None
+
+
+def test_e5_query_variety_table(benchmark):
+    """Print the full (dataset × query) matrix and check aggregate shape."""
+    rows = benchmark.pedantic(
+        lambda: run_query_variety(scale=VARIETY_SCALE, parser="native"), rounds=1, iterations=1
+    )
+    print_report(render_table(rows, title="E5: query variety across datasets"))
+
+    assert {row["dataset"] for row in rows} == set(WORKLOADS)
+    # Every run terminated and was measured.
+    assert all(row["total_s"] >= 0 for row in rows)
+    # Most queries find answers (a query suite that returns nothing would not
+    # exercise candidate bookkeeping at all).
+    with_answers = sum(1 for row in rows if row["solutions"] > 0)
+    assert with_answers >= len(rows) - 2
+    # Throughput stays within one order of magnitude across queries on the
+    # same dataset — no query hits a pathological slow path.
+    by_dataset = {}
+    for row in rows:
+        by_dataset.setdefault(row["dataset"], []).append(row["throughput_mb_s"])
+    for dataset, throughputs in by_dataset.items():
+        assert max(throughputs) / max(min(throughputs), 1e-9) < 30, dataset

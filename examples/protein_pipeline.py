@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Protein database pipeline: the paper's headline experiment, end to end.
+
+The paper's Feature 5 reports that ``//ProteinEntry[reference]/@id`` over the
+75 MB Georgetown Protein Sequence Database takes 6.02 seconds, 4.43 of which
+is SAX parsing, with memory stable at about 1 MB (Feature 3).  This example
+rebuilds that experiment on the synthetic protein dataset:
+
+* generate a protein database of a chosen size (default 4 MB, scale with
+  ``--size-mb``),
+* run the paper's query plus a few variants over it while streaming,
+* report the parse-time/total-time breakdown and the engine's peak state.
+
+Run it with ``python examples/protein_pipeline.py [--size-mb 4]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro import TwigMEvaluator
+from repro.bench.metrics import measure_peak_memory, time_parse_only
+from repro.bench.reporting import render_table
+from repro.datasets import ProteinConfig, ProteinDatabaseGenerator
+
+QUERIES = [
+    "//ProteinEntry[reference]/@id",                      # the paper's query
+    "//ProteinEntry[organism/source='Homo sapiens']/@id",  # value predicate
+    "//reference//year/text()",                            # nested descendants
+    "//ProteinEntry[feature and keyword]/protein",         # boolean predicate
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size-mb", type=float, default=4.0, help="document size in MB")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--parser", choices=("native", "expat"), default="expat",
+        help="SAX back-end (expat mirrors the paper's use of a C SAX parser)",
+    )
+    args = parser.parse_args()
+
+    generator = ProteinDatabaseGenerator(
+        ProteinConfig(target_bytes=int(args.size_mb * 1024 * 1024)), seed=args.seed
+    )
+    document_bytes = generator.size_bytes()
+    print(f"Synthetic protein database: {document_bytes / (1024 * 1024):.2f} MB "
+          f"(substitute for the paper's 75 MB PIR dataset)\n")
+
+    # Parse-only pass: the baseline cost every streaming system pays.
+    parse_seconds, event_count = time_parse_only(generator.chunks(), parser=args.parser)
+    print(f"SAX parse only ({args.parser}): {parse_seconds:.2f} s "
+          f"({event_count} events)\n")
+
+    rows = []
+    for query in QUERIES:
+        def run(query=query):
+            evaluator = TwigMEvaluator(query)
+            started = time.perf_counter()
+            results = evaluator.evaluate(generator.chunks(), parser=args.parser)
+            return evaluator, results, time.perf_counter() - started
+
+        (evaluator, results, elapsed), memory = measure_peak_memory(run)
+        stats = evaluator.statistics
+        rows.append(
+            {
+                "query": query,
+                "solutions": len(results),
+                "total_s": round(elapsed, 2),
+                "parse_s": round(parse_seconds, 2),
+                "twigm_s": round(max(0.0, elapsed - parse_seconds), 2),
+                "peak_state_entries": stats.peak_stack_entries,
+                "peak_alloc_mb": round(memory.peak_megabytes, 2),
+            }
+        )
+
+    print(render_table(rows, title="Protein workload (paper: 6.02 s total / 4.43 s parse on 75 MB)"))
+    print()
+    print("Shape to observe: parsing dominates the end-to-end time for every query,")
+    print("and the engine's peak state stays flat regardless of the document size —")
+    print("re-run with a larger --size-mb to see the memory claim hold.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Quickstart: evaluate the paper's walk-through query over Figure 1.
+
+This example covers the three ways to drive the engine:
+
+1. one-shot evaluation (``repro.evaluate``),
+2. incremental streaming (``repro.stream_evaluate``),
+3. the explicit pipeline (compile the query, build the TwigM machine, feed
+   SAX events yourself) — the same wiring the paper's architecture figure
+   shows.
+
+Run it with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from repro import TwigMEvaluator, compile_query, evaluate, stream_evaluate
+from repro.core.builder import build_machine
+from repro.datasets import FIGURE_1_QUERY, FIGURE_1_XML
+from repro.xmlstream import tokenize
+from repro.xpath import analyze, query_to_string
+
+
+def one_shot_evaluation() -> None:
+    """Evaluate a query over a complete document and inspect the results."""
+    print("=" * 70)
+    print("1. One-shot evaluation")
+    print("=" * 70)
+    print("Document: the paper's Figure 1 (recursive book/section/table data)")
+    print(f"Query:    {FIGURE_1_QUERY}")
+    print()
+
+    results = evaluate(FIGURE_1_QUERY, FIGURE_1_XML)
+    print(results.describe())
+    print()
+    print("The only solution is the <cell> whose start tag is on line 8 —")
+    print("exactly the walk-through result from Section 1 of the paper.")
+    print()
+
+
+def incremental_streaming() -> None:
+    """Stream solutions as they become known, without buffering the document."""
+    print("=" * 70)
+    print("2. Incremental streaming")
+    print("=" * 70)
+    query = "//table[position]"
+    print(f"Query: {query}")
+    for solution in stream_evaluate(query, FIGURE_1_XML):
+        print(f"  solution as soon as it is known: {solution.describe()}")
+    print()
+
+
+def explicit_pipeline() -> None:
+    """Wire the pieces by hand: parser → TwigM builder → TwigM machine."""
+    print("=" * 70)
+    print("3. Explicit pipeline (XPath parser -> TwigM builder -> TwigM machine)")
+    print("=" * 70)
+
+    # XPath parser + normalizer: expression -> query twig.
+    query_tree = compile_query(FIGURE_1_QUERY)
+    print("Normalized query twig:")
+    print(query_to_string(query_tree))
+    print()
+    print(f"Query statistics: {analyze(query_tree).as_dict()}")
+    print()
+
+    # TwigM builder: query twig -> machine (one node per query node).
+    machine = build_machine(query_tree)
+    print(machine.describe())
+    print()
+
+    # SAX parser + TwigM machine: feed events one at a time.
+    evaluator = TwigMEvaluator(query_tree)
+    for event in tokenize(FIGURE_1_XML):
+        for solution in evaluator.feed(event):
+            print(f"  emitted while streaming: {solution.describe()}")
+    result = evaluator.finish()
+    print()
+    print(f"Total solutions: {len(result)}")
+    print("Engine statistics:")
+    for key, value in evaluator.statistics.as_dict().items():
+        print(f"  {key:>22}: {value}")
+
+
+def main() -> None:
+    one_shot_evaluation()
+    incremental_streaming()
+    explicit_pipeline()
+
+
+if __name__ == "__main__":
+    main()

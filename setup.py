@@ -1,0 +1,11 @@
+"""Legacy setuptools entry point.
+
+The project is configured through ``pyproject.toml``; this shim exists so
+that ``python setup.py develop`` keeps working in environments where pip
+cannot perform PEP 660 editable installs (e.g. no ``wheel`` package and no
+network access).
+"""
+
+from setuptools import setup
+
+setup()

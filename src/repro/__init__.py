@@ -1,0 +1,58 @@
+"""ViteX reproduction: a streaming XPath processing system (ICDE 2005).
+
+This package re-implements the ViteX system of Chen, Davidson and Zheng:
+single-pass XPath evaluation over XML streams with polynomial time and space,
+built on the TwigM machine.  The most common entry points are re-exported
+here::
+
+    from repro import evaluate, stream_evaluate, compile_query, TwigMEvaluator
+
+    results = evaluate("//ProteinEntry[reference]/@id", "protein.xml")
+    for solution in results:
+        print(solution.describe())
+
+Sub-packages:
+
+* :mod:`repro.xmlstream` — streaming XML substrate (tokenizer, SAX bridge, DOM)
+* :mod:`repro.xpath`     — XPath lexer/parser/normalizer for XP{/,//,*,[]}
+* :mod:`repro.core`      — the TwigM machine, builder and evaluation engine
+* :mod:`repro.baselines` — DOM oracle and naive enumerating streamer
+* :mod:`repro.datasets`  — synthetic datasets (protein, recursive, auction, news)
+* :mod:`repro.bench`     — benchmark harness reproducing the paper's experiments
+"""
+
+from .core.engine import TwigMEvaluator, evaluate, stream_evaluate
+from .core.results import NodeRef, ResultSet, Solution, SolutionKind
+from .errors import (
+    DatasetError,
+    EngineError,
+    UnsupportedFeatureError,
+    ViteXError,
+    XMLSyntaxError,
+    XPathError,
+    XPathSyntaxError,
+)
+from .xpath.normalize import compile_query
+from .xpath.parser import parse_xpath
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DatasetError",
+    "EngineError",
+    "NodeRef",
+    "ResultSet",
+    "Solution",
+    "SolutionKind",
+    "TwigMEvaluator",
+    "UnsupportedFeatureError",
+    "ViteXError",
+    "XMLSyntaxError",
+    "XPathError",
+    "XPathSyntaxError",
+    "__version__",
+    "compile_query",
+    "evaluate",
+    "parse_xpath",
+    "stream_evaluate",
+]

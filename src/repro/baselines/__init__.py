@@ -1,0 +1,20 @@
+"""Baseline evaluators: the DOM oracle and the naive enumerating streamer.
+
+* :class:`DomEvaluator` / :func:`evaluate_with_dom` — random-access,
+  non-streaming evaluation over the in-memory tree; defines correctness.
+* :class:`NaiveStreamingEvaluator` / :func:`evaluate_naive` — single-pass
+  evaluation that stores pattern matches explicitly; correct but exponential,
+  used as the comparison point for the complexity-separation experiments.
+"""
+
+from .dom_eval import DomEvaluator, evaluate_with_dom
+from .naive import MatchRecord, NaiveStatistics, NaiveStreamingEvaluator, evaluate_naive
+
+__all__ = [
+    "DomEvaluator",
+    "MatchRecord",
+    "NaiveStatistics",
+    "NaiveStreamingEvaluator",
+    "evaluate_naive",
+    "evaluate_with_dom",
+]

@@ -1,0 +1,208 @@
+"""Non-streaming navigational evaluator (the correctness oracle).
+
+This is the "non-streaming XML query evaluation algorithm" the paper contrasts
+against: with the whole document in memory, predicates can be checked
+immediately by randomly accessing XML nodes, so the implementation is a
+direct, recursive reading of the query semantics.  Its answers define what
+the streaming evaluators must produce, which is exactly how the differential
+and property-based tests use it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+from ..xmlstream.dom import Document, Element, parse_document
+from ..xmlstream.events import Event
+from ..xmlstream.dom import build_tree
+from ..xmlstream.reader import TextSource, read_document
+from ..xpath.ast import (
+    Axis,
+    NodeKind,
+    QueryNode,
+    QueryTree,
+    SelfTextAtom,
+    ChildAtom,
+    Formula,
+    FormulaAnd,
+    FormulaNot,
+    FormulaOr,
+    FormulaTrue,
+)
+from ..xpath.normalize import compile_query
+from ..core.results import NodeRef, ResultSet, Solution, SolutionKind
+
+
+class DomEvaluator:
+    """Random-access evaluator over the in-memory tree."""
+
+    def __init__(self, query: Union[str, QueryTree]) -> None:
+        self.query: QueryTree = compile_query(query) if isinstance(query, str) else query
+
+    # ------------------------------------------------------------------ API
+
+    def evaluate_document(self, document: Document) -> ResultSet:
+        """Evaluate the query against an already-built document tree."""
+        solutions: List[Solution] = []
+        seen = set()
+        root_node = self.query.root
+        for element in self._initial_candidates(document, root_node):
+            self._collect_main_path(element, root_node, solutions, seen)
+        solutions.sort(key=Solution.order_key)
+        return ResultSet(query=self.query.source, solutions=solutions)
+
+    def evaluate(self, source: Union[TextSource, Document]) -> ResultSet:
+        """Evaluate the query against a document source (text, path, file, tree)."""
+        if isinstance(source, Document):
+            return self.evaluate_document(source)
+        text = read_document(source)
+        return self.evaluate_document(parse_document(text))
+
+    # ------------------------------------------------------------ matching
+
+    def _initial_candidates(self, document: Document, root_node: QueryNode) -> Iterable[Element]:
+        if root_node.axis is Axis.DESCENDANT:
+            return [el for el in document.iter() if root_node.matches_name(el.tag)]
+        # Child axis from the document root: only the document element.
+        root_el = document.root
+        return [root_el] if root_node.matches_name(root_el.tag) else []
+
+    def _collect_main_path(
+        self,
+        element: Element,
+        query_node: QueryNode,
+        solutions: List[Solution],
+        seen: set,
+    ) -> None:
+        """Walk the main path downwards, collecting output matches."""
+        if not self._node_matches(element, query_node):
+            return
+        if query_node.is_output and query_node.kind is NodeKind.ELEMENT:
+            self._add_solution(
+                solutions,
+                seen,
+                Solution(kind=SolutionKind.ELEMENT, node=_node_ref(element)),
+            )
+        main_child = query_node.main_child
+        if main_child is None:
+            return
+        if main_child.kind is NodeKind.ATTRIBUTE:
+            for name, value in element.attributes.items():
+                if main_child.label != "*" and main_child.label != name:
+                    continue
+                if main_child.value_test is not None and not main_child.value_test.evaluate(value):
+                    continue
+                self._add_solution(
+                    solutions,
+                    seen,
+                    Solution(
+                        kind=SolutionKind.ATTRIBUTE,
+                        node=_node_ref(element),
+                        attribute=name,
+                        value=value,
+                    ),
+                )
+            return
+        if main_child.kind is NodeKind.TEXT:
+            text = _direct_text(element)
+            if text:
+                self._add_solution(
+                    solutions,
+                    seen,
+                    Solution(kind=SolutionKind.TEXT, node=_node_ref(element), value=text),
+                )
+            return
+        for target in _axis_targets(element, main_child.axis):
+            if main_child.matches_name(target.tag):
+                self._collect_main_path(target, main_child, solutions, seen)
+
+    @staticmethod
+    def _add_solution(solutions: List[Solution], seen: set, solution: Solution) -> None:
+        key = solution.key()
+        if key not in seen:
+            seen.add(key)
+            solutions.append(solution)
+
+    def _node_matches(self, element: Element, query_node: QueryNode) -> bool:
+        """Does ``element`` satisfy ``query_node``'s own constraints (name aside)?"""
+        if not query_node.matches_name(element.tag):
+            return False
+        if query_node.value_test is not None and not query_node.value_test.evaluate(
+            element.string_value()
+        ):
+            return False
+        return self._formula_holds(element, query_node, query_node.formula)
+
+    def _formula_holds(self, element: Element, query_node: QueryNode, formula: Formula) -> bool:
+        if isinstance(formula, FormulaTrue):
+            return True
+        if isinstance(formula, FormulaAnd):
+            return all(self._formula_holds(element, query_node, op) for op in formula.operands)
+        if isinstance(formula, FormulaOr):
+            return any(self._formula_holds(element, query_node, op) for op in formula.operands)
+        if isinstance(formula, FormulaNot):
+            return not self._formula_holds(element, query_node, formula.operand)
+        if isinstance(formula, SelfTextAtom):
+            return formula.test.evaluate(element.string_value())
+        if isinstance(formula, ChildAtom):
+            child = _child_by_id(query_node, formula.node_id)
+            return self._predicate_child_matches(element, child)
+        raise TypeError(f"unknown formula node {formula!r}")
+
+    def _predicate_child_matches(self, element: Element, child: QueryNode) -> bool:
+        """Does some document node under ``element`` satisfy predicate node ``child``?"""
+        if child.kind is NodeKind.ATTRIBUTE:
+            for name, value in element.attributes.items():
+                if child.label != "*" and child.label != name:
+                    continue
+                if child.value_test is None or child.value_test.evaluate(value):
+                    return True
+            return False
+        # Element predicate child: search the axis targets recursively.
+        for target in _axis_targets(element, child.axis):
+            if self._node_matches(target, child):
+                return True
+        return False
+
+
+def _child_by_id(query_node: QueryNode, node_id: int) -> QueryNode:
+    for child in query_node.predicate_children:
+        if child.node_id == node_id:
+            return child
+    raise KeyError(f"query node {query_node.node_id} has no predicate child {node_id}")
+
+
+def _axis_targets(element: Element, axis: Axis) -> Iterable[Element]:
+    if axis is Axis.CHILD:
+        return element.children
+    if axis is Axis.DESCENDANT:
+        return element.descendants()
+    raise ValueError(f"unsupported axis {axis} for element navigation")
+
+
+def _direct_text(element: Element) -> str:
+    parts = [element.text_before_children()]
+    for index in range(1, len(element.children) + 1):
+        parts.append(element.text_segment(index))
+    return "".join(parts)
+
+
+def _node_ref(element: Element) -> NodeRef:
+    return NodeRef(order=element.order, tag=element.tag, level=element.level, line=element.line)
+
+
+def evaluate_with_dom(
+    query: Union[str, QueryTree],
+    source: Union[TextSource, Document, Iterable[Event]],
+) -> ResultSet:
+    """Convenience one-shot evaluation with the DOM oracle.
+
+    ``source`` may be document text, a path, an open file, an in-memory
+    :class:`~repro.xmlstream.dom.Document` or an iterable of streaming events.
+    """
+    evaluator = DomEvaluator(query)
+    if isinstance(source, Document):
+        return evaluator.evaluate_document(source)
+    if isinstance(source, (list, tuple)) and source and isinstance(source[0], Event):
+        return evaluator.evaluate_document(build_tree(source))
+    return evaluator.evaluate(source)

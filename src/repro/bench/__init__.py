@@ -1,0 +1,74 @@
+"""Benchmark harness: metering, workloads, experiment drivers and reporting.
+
+The experiment drivers in :mod:`repro.bench.runner` implement the E1–E7
+experiment index of DESIGN.md; the ``benchmarks/`` directory wraps them in
+pytest-benchmark targets, and ``vitex bench`` exposes them on the command
+line.
+"""
+
+from .metrics import (
+    MemoryReport,
+    RunMeasurement,
+    Timer,
+    document_byte_size,
+    measure_peak_memory,
+    measure_run,
+    time_evaluation,
+    time_parse_only,
+)
+from .reporting import print_report, render_csv, render_series, render_table
+from .runner import (
+    SweepResult,
+    run_builder_scaling,
+    run_incremental_latency,
+    run_memory_stability,
+    run_protein_breakdown,
+    run_query_size_scaling,
+    run_query_variety,
+    sweep,
+)
+from .workloads import (
+    AUCTION_QUERIES,
+    NEWSFEED_QUERIES,
+    PROTEIN_PAPER_QUERY,
+    PROTEIN_QUERIES,
+    RECURSIVE_QUERIES,
+    TREEBANK_QUERIES,
+    WORKLOADS,
+    Workload,
+    get_workload,
+    iter_workloads,
+)
+
+__all__ = [
+    "AUCTION_QUERIES",
+    "MemoryReport",
+    "NEWSFEED_QUERIES",
+    "PROTEIN_PAPER_QUERY",
+    "PROTEIN_QUERIES",
+    "RECURSIVE_QUERIES",
+    "RunMeasurement",
+    "SweepResult",
+    "TREEBANK_QUERIES",
+    "Timer",
+    "WORKLOADS",
+    "Workload",
+    "document_byte_size",
+    "get_workload",
+    "iter_workloads",
+    "measure_peak_memory",
+    "measure_run",
+    "print_report",
+    "render_csv",
+    "render_series",
+    "render_table",
+    "run_builder_scaling",
+    "run_incremental_latency",
+    "run_memory_stability",
+    "run_protein_breakdown",
+    "run_query_size_scaling",
+    "run_query_variety",
+    "sweep",
+    "time_evaluation",
+    "time_parse_only",
+]

@@ -1,0 +1,101 @@
+"""Report rendering: fixed-width tables and CSV series.
+
+Benchmark files print the same rows/series the paper reports, so the output
+format matters: :func:`render_table` produces aligned plain-text tables that
+read well under ``pytest -s``, and :func:`render_csv` produces
+machine-readable series for plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return f"{value:.5f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    rendered_rows = [[_format_value(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(rendered[index]) for rendered in rendered_rows))
+        for index, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(widths[index]) for index, column in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for rendered in rendered_rows:
+        lines.append("  ".join(rendered[index].ljust(widths[index]) for index in range(len(columns))))
+    return "\n".join(lines)
+
+
+def render_csv(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render rows as CSV text (for plotting the figure-shaped experiments)."""
+    if not rows:
+        return ""
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    buffer = io.StringIO()
+    buffer.write(",".join(str(column) for column in columns) + "\n")
+    for row in rows:
+        buffer.write(",".join(_format_value(row.get(column, "")) for column in columns) + "\n")
+    return buffer.getvalue()
+
+
+def render_series(
+    series: Mapping[str, Iterable[float]],
+    x_label: str,
+    x_values: Sequence[object],
+    title: Optional[str] = None,
+) -> str:
+    """Render several named series over a shared x-axis as a table.
+
+    This is the textual stand-in for the paper's figures: one row per x value,
+    one column per series.
+    """
+    rows: List[Dict[str, object]] = []
+    materialized = {name: list(values) for name, values in series.items()}
+    for index, x_value in enumerate(x_values):
+        row: Dict[str, object] = {x_label: x_value}
+        for name, values in materialized.items():
+            row[name] = values[index] if index < len(values) else ""
+        rows.append(row)
+    return render_table(rows, columns=[x_label] + list(materialized), title=title)
+
+
+def print_report(text: str) -> None:
+    """Print a report block framed so it stands out in pytest output."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{text}\n{bar}")

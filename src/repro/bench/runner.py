@@ -1,0 +1,294 @@
+"""Parameter sweeps and experiment drivers.
+
+Each function here drives one of the experiments catalogued in DESIGN.md /
+EXPERIMENTS.md and returns plain data (lists of dict rows) that the benchmark
+files print and assert on.  Keeping the logic out of the ``benchmarks/``
+directory means the CLI (``vitex bench``) and the example scripts can run the
+same experiments.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..baselines.naive import NaiveStreamingEvaluator
+from ..core.engine import TwigMEvaluator
+from ..datasets.protein import ProteinConfig, ProteinDatabaseGenerator
+from ..datasets.recursive import RecursiveBookGenerator, RecursiveConfig
+from ..datasets.newsfeed import NewsFeedConfig, NewsFeedGenerator
+from ..xpath.generator import linear_descendant_query
+from ..xpath.normalize import compile_query
+from ..core.builder import build_machine
+from .metrics import RunMeasurement, measure_run, measure_peak_memory
+from .workloads import PROTEIN_PAPER_QUERY, Workload, iter_workloads
+
+
+# ---------------------------------------------------------------------------
+# E1: protein query, parse time vs total time
+# ---------------------------------------------------------------------------
+
+
+def run_protein_breakdown(
+    entries: Sequence[int] = (200, 400, 800),
+    parser: str = "expat",
+    query: str = PROTEIN_PAPER_QUERY,
+    seed: int = 11,
+) -> List[Dict[str, object]]:
+    """E1: the paper's protein query with a parse/total time breakdown.
+
+    The paper reports 6.02 s total of which 4.43 s is SAX parsing on 75 MB;
+    the reproduced shape is "parsing dominates, TwigM adds a modest constant
+    factor", reported here for several document sizes.
+    """
+    rows: List[Dict[str, object]] = []
+    for entry_count in entries:
+        generator = ProteinDatabaseGenerator(ProteinConfig(entries=entry_count), seed=seed)
+        measurement = measure_run(
+            query=query,
+            dataset_name=f"protein[{entry_count}]",
+            make_source=lambda g=generator: g.chunks(),
+            parser=parser,
+        )
+        row = measurement.as_row()
+        row["parse_fraction"] = (
+            round(measurement.parse_seconds / measurement.total_seconds, 3)
+            if measurement.total_seconds
+            else 0.0
+        )
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E2: memory stability across document sizes
+# ---------------------------------------------------------------------------
+
+
+def run_memory_stability(
+    sizes_mb: Sequence[float] = (1, 2, 4, 8),
+    query: str = PROTEIN_PAPER_QUERY,
+    seed: int = 11,
+    measure_allocations: bool = True,
+) -> List[Dict[str, object]]:
+    """E2: engine state and peak allocations as the document grows.
+
+    The paper's claim is a flat ~1 MB footprint while streaming 75 MB; the
+    reproduced shape is that peak engine state (stack entries, candidates)
+    and peak allocation stay flat as document size grows.
+    """
+    rows: List[Dict[str, object]] = []
+    for size_mb in sizes_mb:
+        target_bytes = int(size_mb * 1024 * 1024)
+        generator = ProteinDatabaseGenerator(
+            ProteinConfig(target_bytes=target_bytes), seed=seed
+        )
+
+        def evaluate_streaming() -> TwigMEvaluator:
+            evaluator = TwigMEvaluator(query)
+            evaluator.evaluate(generator.chunks(), parser="native")
+            return evaluator
+
+        if measure_allocations:
+            evaluator, memory = measure_peak_memory(evaluate_streaming)
+            peak_mb: Optional[float] = round(memory.peak_bytes / (1024 * 1024), 3)
+        else:
+            evaluator = evaluate_streaming()
+            peak_mb = None
+        stats = evaluator.statistics
+        row: Dict[str, object] = {
+            "doc_mb": round(size_mb, 3),
+            "elements": stats.elements,
+            "max_depth": stats.max_depth,
+            "peak_stack_entries": stats.peak_stack_entries,
+            "peak_candidates": stats.peak_candidate_count,
+            "solutions": stats.solutions_distinct,
+        }
+        if peak_mb is not None:
+            row["peak_alloc_mb"] = peak_mb
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E3: query-size scaling, TwigM vs naive enumeration
+# ---------------------------------------------------------------------------
+
+
+def run_query_size_scaling(
+    max_steps: int = 5,
+    nesting_depth: int = 10,
+    with_predicates: bool = True,
+    naive_step_limit: int = 5,
+    naive_record_limit: int = 2_000_000,
+) -> List[Dict[str, object]]:
+    """E3: ``//section[author]//section[author]…`` over deeply recursive data.
+
+    On data where ``section`` nests ``nesting_depth`` levels deep, the number
+    of explicit pattern matches of a k-step descendant query grows like
+    C(depth, k); TwigM's work stays polynomial.  The returned rows contain
+    the work counters and wall-clock times of both evaluators per query size.
+    """
+    document = RecursiveBookGenerator(
+        RecursiveConfig(
+            section_depth=nesting_depth,
+            table_depth=2,
+            section_groups=1,
+            cells_per_table=1,
+            author_probability=1.0,
+            position_probability=1.0,
+            noise_per_section=0,
+        ),
+        seed=21,
+    ).text()
+    predicate = "author" if with_predicates else None
+    rows: List[Dict[str, object]] = []
+    for steps in range(1, max_steps + 1):
+        query = linear_descendant_query("section", steps, predicate_tag=predicate)
+        twigm = TwigMEvaluator(query)
+        start = time.perf_counter()
+        twigm_results = twigm.evaluate(document)
+        twigm_seconds = time.perf_counter() - start
+
+        row: Dict[str, object] = {
+            "steps": steps,
+            "query_nodes": compile_query(query).size,
+            "twigm_s": round(twigm_seconds, 4),
+            "twigm_work": twigm.statistics.work_units(),
+            "twigm_peak_entries": twigm.statistics.peak_stack_entries,
+            "solutions": len(twigm_results),
+        }
+
+        if steps <= naive_step_limit:
+            naive = NaiveStreamingEvaluator(query)
+            start = time.perf_counter()
+            naive_results = naive.evaluate(document)
+            naive_seconds = time.perf_counter() - start
+            row.update(
+                {
+                    "naive_s": round(naive_seconds, 4),
+                    "naive_records": naive.statistics.records_created,
+                    "naive_peak_records": naive.statistics.peak_live_records,
+                    "agrees": naive_results.keys() == twigm_results.keys(),
+                }
+            )
+            if naive.statistics.records_created > naive_record_limit:
+                naive_step_limit = steps  # stop growing the naive side
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E4: TwigM builder is linear in query size
+# ---------------------------------------------------------------------------
+
+
+def run_builder_scaling(
+    step_counts: Sequence[int] = (1, 5, 10, 25, 50, 100, 200),
+    repeats: int = 20,
+) -> List[Dict[str, object]]:
+    """E4: machine-construction time as a function of query size."""
+    rows: List[Dict[str, object]] = []
+    for steps in step_counts:
+        query = linear_descendant_query("a", steps, predicate_tag="b")
+        tree = compile_query(query)
+        start = time.perf_counter()
+        for _ in range(repeats):
+            build_machine(tree)
+        elapsed = (time.perf_counter() - start) / repeats
+        rows.append(
+            {
+                "steps": steps,
+                "query_nodes": tree.size,
+                "build_s": round(elapsed, 6),
+                "build_us_per_node": round(1e6 * elapsed / tree.size, 3),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E5: query variety across datasets
+# ---------------------------------------------------------------------------
+
+
+def run_query_variety(
+    workload_names: Optional[Sequence[str]] = None,
+    scale: float = 0.5,
+    parser: str = "native",
+) -> List[Dict[str, object]]:
+    """E5: throughput of the canned query suite over every dataset."""
+    rows: List[Dict[str, object]] = []
+    for workload in iter_workloads(workload_names):
+        generator = workload.dataset(scale)
+        for query in workload.queries:
+            measurement = measure_run(
+                query=query,
+                dataset_name=workload.name,
+                make_source=lambda g=generator: g.chunks(),
+                parser=parser,
+            )
+            rows.append(measurement.as_row())
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E7: incremental output latency
+# ---------------------------------------------------------------------------
+
+
+def run_incremental_latency(
+    updates: int = 3000,
+    seed: int = 14,
+    query: Optional[str] = None,
+) -> Dict[str, object]:
+    """E7: time to first solution vs. time to consume the whole stream."""
+    generator = NewsFeedGenerator(NewsFeedConfig(updates=updates), seed=seed)
+    query = query or generator.CANONICAL_QUERY
+    evaluator = TwigMEvaluator(query)
+
+    first_solution_seconds: Optional[float] = None
+    solutions = 0
+    start = time.perf_counter()
+    for _ in evaluator.stream(generator.chunks(), parser="native"):
+        solutions += 1
+        if first_solution_seconds is None:
+            first_solution_seconds = time.perf_counter() - start
+    total_seconds = time.perf_counter() - start
+    return {
+        "updates": updates,
+        "solutions": solutions,
+        "first_solution_s": round(first_solution_seconds or 0.0, 5),
+        "total_s": round(total_seconds, 5),
+        "latency_fraction": round(
+            (first_solution_seconds or 0.0) / total_seconds, 5
+        ) if total_seconds else 0.0,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Generic sweep helper
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SweepResult:
+    """Result of a generic parameter sweep."""
+
+    parameter: str
+    rows: List[Dict[str, object]]
+
+
+def sweep(
+    parameter: str,
+    values: Sequence[object],
+    run_one: Callable[[object], Dict[str, object]],
+) -> SweepResult:
+    """Run ``run_one`` for every value of ``parameter`` and collect rows."""
+    rows = []
+    for value in values:
+        row = {parameter: value}
+        row.update(run_one(value))
+        rows.append(row)
+    return SweepResult(parameter=parameter, rows=rows)

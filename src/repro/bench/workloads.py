@@ -1,0 +1,186 @@
+"""Named workloads: (dataset, query) pairs used by benchmarks and examples.
+
+A workload bundles a dataset factory with one or more queries and a size
+knob, so every experiment in EXPERIMENTS.md can name exactly what it ran.
+The registry keys are stable strings (``protein``, ``recursive``, ``auction``,
+``newsfeed``) used by the CLI's ``vitex bench`` subcommand and the benchmark
+files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..datasets.auction import AuctionConfig, AuctionGenerator
+from ..datasets.base import DatasetGenerator
+from ..datasets.newsfeed import NewsFeedConfig, NewsFeedGenerator
+from ..datasets.protein import ProteinConfig, ProteinDatabaseGenerator
+from ..datasets.recursive import RecursiveBookGenerator, RecursiveConfig
+from ..datasets.treebank import TreebankConfig, TreebankGenerator
+from ..errors import BenchmarkError
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One named benchmark workload."""
+
+    #: Registry key.
+    name: str
+    #: Human description shown in reports.
+    description: str
+    #: Factory producing a dataset generator scaled by ``scale`` (1.0 = default).
+    dataset_factory: Callable[[float], DatasetGenerator]
+    #: Queries the workload runs (at least one).
+    queries: Sequence[str] = field(default_factory=tuple)
+
+    def dataset(self, scale: float = 1.0) -> DatasetGenerator:
+        """Instantiate the dataset generator at the given scale."""
+        if scale <= 0:
+            raise BenchmarkError("scale must be positive")
+        return self.dataset_factory(scale)
+
+
+# ---------------------------------------------------------------------------
+# Dataset factories
+# ---------------------------------------------------------------------------
+
+
+def _protein_factory(scale: float) -> DatasetGenerator:
+    return ProteinDatabaseGenerator(ProteinConfig(entries=max(1, int(400 * scale))), seed=11)
+
+
+def _recursive_factory(scale: float) -> DatasetGenerator:
+    depth = max(2, int(4 * scale))
+    return RecursiveBookGenerator(
+        RecursiveConfig(
+            section_depth=depth,
+            table_depth=depth,
+            section_groups=max(1, int(4 * scale)),
+            cells_per_table=2,
+            author_probability=0.6,
+            position_probability=0.6,
+        ),
+        seed=12,
+    )
+
+
+def _auction_factory(scale: float) -> DatasetGenerator:
+    return AuctionGenerator(
+        AuctionConfig(
+            items=max(1, int(150 * scale)),
+            people=max(1, int(80 * scale)),
+            open_auctions=max(1, int(100 * scale)),
+        ),
+        seed=13,
+    )
+
+
+def _newsfeed_factory(scale: float) -> DatasetGenerator:
+    return NewsFeedGenerator(NewsFeedConfig(updates=max(10, int(1500 * scale))), seed=14)
+
+
+def _treebank_factory(scale: float) -> DatasetGenerator:
+    return TreebankGenerator(
+        TreebankConfig(sentences=max(5, int(150 * scale)), max_depth=14), seed=15
+    )
+
+
+# ---------------------------------------------------------------------------
+# Query suites
+# ---------------------------------------------------------------------------
+
+#: The paper's example query on the protein dataset (Feature 5).
+PROTEIN_PAPER_QUERY = "//ProteinEntry[reference]/@id"
+
+PROTEIN_QUERIES: List[str] = [
+    PROTEIN_PAPER_QUERY,
+    "//ProteinEntry/header/accession",
+    "//ProteinEntry[organism/source='Homo sapiens']/@id",
+    "//reference//year",
+    "//ProteinEntry[feature and keyword]/protein",
+]
+
+RECURSIVE_QUERIES: List[str] = [
+    "//section[author]//table[position]//cell",
+    "//section//table//cell",
+    "//section//section//cell",
+    "//table[position]//cell",
+    "/book//section[author]//cell",
+]
+
+AUCTION_QUERIES: List[str] = [
+    "//item[price>250]/name",
+    "//open_auction[bidder]/current",
+    "//person[address/country='Germany']/name",
+    "//listitem//listitem/text",
+    "//item[mailbox/mail]/@id",
+]
+
+NEWSFEED_QUERIES: List[str] = [
+    "//update[quote/@symbol='ACME']",
+    "//update/quote[price>400]/@symbol",
+    "//headline[@section='markets']/title",
+]
+
+TREEBANK_QUERIES: List[str] = [
+    "//S//NP//NN",
+    "//NP[PP]//NN/text()",
+    "//VP//VP//VB",
+    "//S[VP/VB]//NP[not(PP)]/NN",
+    "//sentence//PP//NNP",
+]
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+WORKLOADS: Dict[str, Workload] = {
+    "protein": Workload(
+        name="protein",
+        description="Synthetic PIR protein sequence database (paper's 75 MB dataset substitute)",
+        dataset_factory=_protein_factory,
+        queries=tuple(PROTEIN_QUERIES),
+    ),
+    "recursive": Workload(
+        name="recursive",
+        description="Recursive book/section/table documents (Figure 1 shape)",
+        dataset_factory=_recursive_factory,
+        queries=tuple(RECURSIVE_QUERIES),
+    ),
+    "auction": Workload(
+        name="auction",
+        description="XMark-style auction site documents",
+        dataset_factory=_auction_factory,
+        queries=tuple(AUCTION_QUERIES),
+    ),
+    "newsfeed": Workload(
+        name="newsfeed",
+        description="Stock quote / news headline stream",
+        dataset_factory=_newsfeed_factory,
+        queries=tuple(NEWSFEED_QUERIES),
+    ),
+    "treebank": Workload(
+        name="treebank",
+        description="Treebank-style parse trees (deep same-tag recursion)",
+        dataset_factory=_treebank_factory,
+        queries=tuple(TREEBANK_QUERIES),
+    ),
+}
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise BenchmarkError(f"unknown workload {name!r}; known workloads: {known}") from None
+
+
+def iter_workloads(names: Optional[Iterable[str]] = None) -> List[Workload]:
+    """Return the selected workloads (all of them when ``names`` is None)."""
+    if names is None:
+        return list(WORKLOADS.values())
+    return [get_workload(name) for name in names]

@@ -1,0 +1,222 @@
+"""Command-line interface: ``vitex`` (or ``python -m repro.cli``).
+
+Subcommands mirror how the original demo system was driven:
+
+* ``vitex run QUERY FILE`` — evaluate an XPath query over an XML file (or
+  stdin with ``-``), printing solutions as they are found.
+* ``vitex explain QUERY`` — show the parsed query twig and the TwigM machine
+  that the builder constructs for it (paper Figure 3).
+* ``vitex generate DATASET`` — write one of the synthetic datasets to a file.
+* ``vitex bench EXPERIMENT`` — run one of the E1–E7 experiments and print the
+  report table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .bench import (
+    print_report,
+    render_table,
+    run_builder_scaling,
+    run_incremental_latency,
+    run_memory_stability,
+    run_protein_breakdown,
+    run_query_size_scaling,
+    run_query_variety,
+)
+from .core.engine import TwigMEvaluator
+from .core.builder import build_machine
+from .datasets.auction import AuctionConfig, AuctionGenerator
+from .datasets.newsfeed import NewsFeedConfig, NewsFeedGenerator
+from .datasets.protein import ProteinConfig, ProteinDatabaseGenerator
+from .datasets.recursive import RecursiveBookGenerator, RecursiveConfig
+from .datasets.treebank import TreebankConfig, TreebankGenerator
+from .errors import ViteXError
+from .xpath.analysis import describe
+from .xpath.normalize import compile_query, query_to_string
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="vitex",
+        description="ViteX reproduction: streaming XPath processing (ICDE 2005)",
+    )
+    parser.add_argument("--version", action="version", version=f"vitex-repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command")
+
+    run_parser = subparsers.add_parser("run", help="evaluate a query over an XML document")
+    run_parser.add_argument("query", help="XPath expression (XP{/,//,*,[]} fragment)")
+    run_parser.add_argument("file", help="path to an XML file, or - for stdin")
+    run_parser.add_argument(
+        "--parser",
+        choices=("native", "expat"),
+        default="native",
+        help="SAX event producer back-end (default: native)",
+    )
+    run_parser.add_argument(
+        "--fragments",
+        action="store_true",
+        help="print serialized XML fragments for element solutions",
+    )
+    run_parser.add_argument(
+        "--eager",
+        action="store_true",
+        help="emit solutions eagerly when the remaining ancestors carry no predicates",
+    )
+    run_parser.add_argument(
+        "--stats", action="store_true", help="print engine statistics after the run"
+    )
+    run_parser.add_argument(
+        "--quiet", action="store_true", help="print only the solution count"
+    )
+
+    explain_parser = subparsers.add_parser("explain", help="show the query twig and TwigM machine")
+    explain_parser.add_argument("query", help="XPath expression")
+
+    generate_parser = subparsers.add_parser("generate", help="write a synthetic dataset to a file")
+    generate_parser.add_argument(
+        "dataset", choices=("protein", "recursive", "auction", "newsfeed", "treebank")
+    )
+    generate_parser.add_argument("output", help="output path")
+    generate_parser.add_argument("--size-mb", type=float, default=1.0, help="approximate size in MB")
+    generate_parser.add_argument("--seed", type=int, default=0)
+
+    bench_parser = subparsers.add_parser("bench", help="run one of the paper's experiments")
+    bench_parser.add_argument(
+        "experiment",
+        choices=(
+            "protein-breakdown",
+            "memory-stability",
+            "query-size-scaling",
+            "builder-linear",
+            "query-variety",
+            "incremental-latency",
+        ),
+    )
+    bench_parser.add_argument("--quick", action="store_true", help="use reduced problem sizes")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    try:
+        if args.command == "run":
+            return _command_run(args)
+        if args.command == "explain":
+            return _command_explain(args)
+        if args.command == "generate":
+            return _command_generate(args)
+        if args.command == "bench":
+            return _command_bench(args)
+    except ViteXError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 2  # pragma: no cover - unreachable
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    evaluator = TwigMEvaluator(
+        args.query, capture_fragments=args.fragments, eager_emission=args.eager
+    )
+    if args.file == "-":
+        source = sys.stdin.read()
+    else:
+        source = open(args.file, "rb")
+    count = 0
+    try:
+        for solution in evaluator.stream(source, parser=args.parser):
+            count += 1
+            if args.quiet:
+                continue
+            print(solution.describe())
+            if args.fragments and solution.fragment:
+                print(f"    {solution.fragment}")
+    finally:
+        if hasattr(source, "close"):
+            source.close()
+    print(f"{count} solution(s)")
+    if args.stats:
+        for key, value in evaluator.statistics.as_dict().items():
+            print(f"  {key}: {value}")
+    return 0
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    tree = compile_query(args.query)
+    print(f"Query: {args.query}")
+    print(f"Shape: {describe(tree)}")
+    print()
+    print("Normalized query twig:")
+    print(query_to_string(tree))
+    print()
+    machine = build_machine(tree)
+    print(machine.describe())
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    target_bytes = int(args.size_mb * 1024 * 1024)
+    if args.dataset == "protein":
+        generator = ProteinDatabaseGenerator(
+            ProteinConfig(target_bytes=max(1024, target_bytes)), seed=args.seed
+        )
+    elif args.dataset == "recursive":
+        depth = max(3, int(args.size_mb * 4))
+        generator = RecursiveBookGenerator(
+            RecursiveConfig(section_depth=depth, table_depth=depth, section_groups=depth),
+            seed=args.seed,
+        )
+    elif args.dataset == "auction":
+        scale = max(1, int(args.size_mb * 200))
+        generator = AuctionGenerator(
+            AuctionConfig(items=scale, people=scale // 2 + 1, open_auctions=scale // 2 + 1),
+            seed=args.seed,
+        )
+    elif args.dataset == "treebank":
+        generator = TreebankGenerator(
+            TreebankConfig(sentences=max(5, int(args.size_mb * 1200))), seed=args.seed
+        )
+    else:
+        generator = NewsFeedGenerator(
+            NewsFeedConfig(updates=max(10, int(args.size_mb * 6000))), seed=args.seed
+        )
+    written = generator.write_to(args.output)
+    print(f"wrote {written} bytes of {args.dataset} data to {args.output}")
+    return 0
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    quick = args.quick
+    if args.experiment == "protein-breakdown":
+        rows = run_protein_breakdown(entries=(100, 200) if quick else (200, 400, 800))
+        print_report(render_table(rows, title="E1: protein query time breakdown"))
+    elif args.experiment == "memory-stability":
+        rows = run_memory_stability(sizes_mb=(0.5, 1) if quick else (1, 2, 4, 8))
+        print_report(render_table(rows, title="E2: memory stability vs document size"))
+    elif args.experiment == "query-size-scaling":
+        rows = run_query_size_scaling(max_steps=3 if quick else 5, nesting_depth=8 if quick else 10)
+        print_report(render_table(rows, title="E3: TwigM vs naive enumeration"))
+    elif args.experiment == "builder-linear":
+        rows = run_builder_scaling(step_counts=(1, 10, 50) if quick else (1, 5, 10, 25, 50, 100, 200))
+        print_report(render_table(rows, title="E4: TwigM builder scaling"))
+    elif args.experiment == "query-variety":
+        rows = run_query_variety(scale=0.2 if quick else 0.5)
+        print_report(render_table(rows, title="E5: query variety across datasets"))
+    else:
+        row = run_incremental_latency(updates=500 if quick else 3000)
+        print_report(render_table([row], title="E7: incremental output latency"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

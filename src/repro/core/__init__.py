@@ -1,0 +1,44 @@
+"""ViteX core: the TwigM machine, builder, transitions and evaluation engine.
+
+This package implements the paper's contribution.  The typical entry point is
+:func:`evaluate` / :func:`stream_evaluate` or the :class:`TwigMEvaluator`
+class; the lower-level pieces (:func:`build_machine`, the transition
+functions, the stack structures) are exported for tests, benchmarks and for
+anyone extending the engine.
+"""
+
+from .builder import build_machine
+from .engine import TwigMEvaluator, evaluate, stream_evaluate
+from .machine import MachineNode, TwigMachine
+from .multi import MultiQueryEvaluator, Subscription, evaluate_many
+from .results import NodeRef, ResultCollector, ResultSet, Solution, SolutionKind
+from .stack import MachineStack, StackEntry
+from .statistics import EngineStatistics
+from .transitions import (
+    process_characters,
+    process_end_element,
+    process_start_element,
+)
+
+__all__ = [
+    "EngineStatistics",
+    "MachineNode",
+    "MachineStack",
+    "MultiQueryEvaluator",
+    "NodeRef",
+    "ResultCollector",
+    "ResultSet",
+    "Solution",
+    "SolutionKind",
+    "StackEntry",
+    "Subscription",
+    "TwigMEvaluator",
+    "TwigMachine",
+    "build_machine",
+    "evaluate",
+    "evaluate_many",
+    "process_characters",
+    "process_end_element",
+    "process_start_element",
+    "stream_evaluate",
+]

@@ -1,0 +1,102 @@
+"""TwigM builder: construct a :class:`~repro.core.machine.TwigMachine` from a query.
+
+Construction is a single pre-order walk of the query twig, so it runs in time
+linear in the query size — the property stated as Feature 2 in the paper and
+reproduced by the E4 benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from ..errors import UnsupportedFeatureError
+from ..xpath.ast import FormulaTrue, NodeKind, QueryNode, QueryTree
+from ..xpath.normalize import compile_query
+from .machine import MachineNode, TwigMachine, node_needs_string_value
+
+
+def build_machine(query: Union[str, QueryTree]) -> TwigMachine:
+    """Build the TwigM machine for ``query`` (an expression string or a twig).
+
+    A machine node is created for every element query node; attribute and
+    ``text()`` query nodes are attached to their owner's machine node as
+    immediate-resolution references (they never need stacks because their
+    match status is known the moment the owning element's start or end tag is
+    processed).
+    """
+    tree = compile_query(query) if isinstance(query, str) else query
+    if tree.root.kind is not NodeKind.ELEMENT:
+        raise UnsupportedFeatureError(
+            "the query root must be an element step (attribute-only queries are "
+            "normalized to //*/@name before reaching the builder)"
+        )
+    nodes: List[MachineNode] = []
+    root = _build_node(tree.root, parent=None, is_predicate_branch=False, nodes=nodes)
+    _mark_unconditional_ancestry(root, ancestors_unconditional=True)
+    return TwigMachine(query=tree, root=root, nodes=nodes)
+
+
+def _is_unconditional(query_node: QueryNode) -> bool:
+    """True when the node imposes no predicate or value constraint of its own."""
+    return isinstance(query_node.formula, FormulaTrue) and query_node.value_test is None
+
+
+def _mark_unconditional_ancestry(node: MachineNode, ancestors_unconditional: bool) -> None:
+    """Annotate each machine node with constraint information used by eager emission."""
+    node.is_unconditional = _is_unconditional(node.query_node)
+    node.ancestors_unconditional = ancestors_unconditional
+    child_flag = ancestors_unconditional and node.is_unconditional
+    for child in node.children:
+        _mark_unconditional_ancestry(child, ancestors_unconditional=child_flag)
+
+
+def _build_node(
+    query_node: QueryNode,
+    parent: Optional[MachineNode],
+    is_predicate_branch: bool,
+    nodes: List[MachineNode],
+) -> MachineNode:
+    machine_node = MachineNode(
+        query_node=query_node,
+        parent=parent,
+        is_predicate_branch=is_predicate_branch,
+        is_output=query_node.is_output and query_node.kind is NodeKind.ELEMENT,
+        needs_string_value=node_needs_string_value(query_node),
+    )
+    nodes.append(machine_node)
+
+    # Predicate children: attributes resolve at start-tags, elements become
+    # machine children with their own stacks.
+    for child in query_node.predicate_children:
+        if child.kind is NodeKind.ATTRIBUTE:
+            machine_node.attribute_predicates.append(child)
+        elif child.kind is NodeKind.ELEMENT:
+            machine_node.children.append(
+                _build_node(child, parent=machine_node, is_predicate_branch=True, nodes=nodes)
+            )
+        else:
+            raise UnsupportedFeatureError(
+                "text() cannot appear as a predicate path step"
+            )
+
+    # Main-path child: element → machine child; attribute/text → output refs.
+    main_child = query_node.main_child
+    if main_child is not None:
+        if main_child.kind is NodeKind.ELEMENT:
+            machine_node.children.append(
+                _build_node(main_child, parent=machine_node, is_predicate_branch=False, nodes=nodes)
+            )
+        elif main_child.kind is NodeKind.ATTRIBUTE:
+            if not main_child.is_output:
+                raise UnsupportedFeatureError(
+                    "an attribute step can only appear as the last step of a query"
+                )
+            machine_node.attribute_output = main_child
+        else:  # text()
+            if not main_child.is_output:
+                raise UnsupportedFeatureError(
+                    "a text() step can only appear as the last step of a query"
+                )
+            machine_node.text_output = main_child
+
+    return machine_node

@@ -1,0 +1,165 @@
+"""Multi-query evaluation: share one sequential scan across many queries.
+
+E1 shows that SAX parsing dominates end-to-end cost, so a system serving many
+standing subscriptions (the stock-ticker scenario from the paper's
+motivation) should not parse the stream once per query.
+:class:`MultiQueryEvaluator` registers any number of TwigM machines and
+drives them all from a single event stream; each query still gets its own
+stacks, statistics and incremental results.
+
+This is an extension beyond the paper's demo (which evaluates one query per
+run); the ablation benchmark ``benchmarks/test_bench_ablations.py`` measures
+the saving against running one full pass per query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..errors import EngineError
+from ..xmlstream.events import Event
+from ..xmlstream.reader import DEFAULT_CHUNK_SIZE, TextSource
+from ..xmlstream.sax import iter_events
+from ..xpath.ast import QueryTree
+from .engine import TwigMEvaluator
+from .results import ResultSet, Solution
+
+
+@dataclass
+class Subscription:
+    """One registered query inside a :class:`MultiQueryEvaluator`."""
+
+    name: str
+    evaluator: TwigMEvaluator
+    #: Number of solutions delivered so far.
+    delivered: int = 0
+    #: Optional callback invoked with every solution as it is found.
+    callback: Optional[object] = None
+
+    @property
+    def query(self) -> str:
+        """The subscription's query text."""
+        return self.evaluator.query.source
+
+
+class MultiQueryEvaluator:
+    """Evaluate many XPath queries over one single pass of an XML stream."""
+
+    def __init__(self) -> None:
+        self._subscriptions: Dict[str, Subscription] = {}
+        self._finished = False
+
+    # ------------------------------------------------------------ setup
+
+    def register(
+        self,
+        query: Union[str, QueryTree],
+        name: Optional[str] = None,
+        callback: Optional[object] = None,
+    ) -> Subscription:
+        """Register a query; returns its :class:`Subscription` handle.
+
+        ``callback``, when given, is called with each :class:`Solution` the
+        moment it is known (push-style delivery); results are also always
+        collected for pull-style access via :meth:`results`.
+        """
+        if self._finished:
+            raise EngineError("cannot register queries after the stream was processed")
+        evaluator = TwigMEvaluator(query)
+        if name is None:
+            name = f"q{len(self._subscriptions)}"
+        if name in self._subscriptions:
+            raise EngineError(f"a subscription named {name!r} already exists")
+        subscription = Subscription(name=name, evaluator=evaluator, callback=callback)
+        self._subscriptions[name] = subscription
+        return subscription
+
+    @property
+    def subscriptions(self) -> List[Subscription]:
+        """The registered subscriptions, in registration order."""
+        return list(self._subscriptions.values())
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    # ------------------------------------------------------------ running
+
+    def feed(self, event: Event) -> List[Tuple[str, Solution]]:
+        """Feed one event to every registered machine.
+
+        Returns ``(subscription name, solution)`` pairs that became known
+        with this event.
+        """
+        if not self._subscriptions:
+            raise EngineError("no queries registered")
+        emitted: List[Tuple[str, Solution]] = []
+        for subscription in self._subscriptions.values():
+            for solution in subscription.evaluator.feed(event):
+                subscription.delivered += 1
+                if subscription.callback is not None:
+                    subscription.callback(solution)
+                emitted.append((subscription.name, solution))
+        return emitted
+
+    def stream(
+        self,
+        source: Union[TextSource, Iterable[Event]],
+        parser: str = "native",
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> Iterator[Tuple[str, Solution]]:
+        """Yield ``(subscription name, solution)`` pairs incrementally."""
+        events: Iterable[Event]
+        if isinstance(source, (list, tuple)) and source and isinstance(source[0], Event):
+            events = source
+        else:
+            events = iter_events(source, parser=parser, chunk_size=chunk_size)
+        for event in events:
+            for pair in self.feed(event):
+                yield pair
+        self._finished = True
+
+    def evaluate(
+        self,
+        source: Union[TextSource, Iterable[Event]],
+        parser: str = "native",
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> Dict[str, ResultSet]:
+        """Consume the whole stream and return a result set per subscription."""
+        for _ in self.stream(source, parser=parser, chunk_size=chunk_size):
+            pass
+        return self.results()
+
+    def results(self) -> Dict[str, ResultSet]:
+        """Result sets accumulated so far, keyed by subscription name."""
+        return {
+            name: subscription.evaluator.finish()
+            for name, subscription in self._subscriptions.items()
+        }
+
+    def statistics(self) -> Dict[str, Dict[str, int]]:
+        """Engine counters per subscription."""
+        return {
+            name: subscription.evaluator.statistics.as_dict()
+            for name, subscription in self._subscriptions.items()
+        }
+
+    def reset(self) -> None:
+        """Reset every registered machine so another stream can be processed."""
+        for subscription in self._subscriptions.values():
+            subscription.evaluator.reset()
+            subscription.delivered = 0
+        self._finished = False
+
+
+def evaluate_many(
+    queries: Iterable[Union[str, QueryTree]],
+    source: Union[TextSource, Iterable[Event]],
+    parser: str = "native",
+) -> Dict[str, ResultSet]:
+    """Evaluate several queries over one pass; keys are the query strings."""
+    evaluator = MultiQueryEvaluator()
+    for query in queries:
+        tree_source = query if isinstance(query, str) else query.source
+        evaluator.register(query, name=tree_source)
+    return evaluator.evaluate(source, parser=parser)

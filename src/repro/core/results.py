@@ -1,0 +1,181 @@
+"""Result model: node references, solutions and result collection.
+
+Solutions must be comparable across the three evaluators in the library
+(TwigM streaming, naive streaming, DOM oracle), so every solution carries a
+canonical key built from the *pre-order element index* of the document node
+involved — a quantity all evaluators can compute independently of how they
+represent nodes internally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, unique
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class NodeRef:
+    """A lightweight reference to a document element.
+
+    Streaming evaluators cannot hold on to element objects (there are none),
+    so they describe elements by their pre-order index, tag, level and source
+    line.  The pre-order index (``order``) is what identifies the element.
+    """
+
+    #: 0-based pre-order index of the element among all elements.
+    order: int
+    #: Tag name.
+    tag: str
+    #: Element depth (document element = 1).
+    level: int
+    #: 1-based source line of the start tag, when known.
+    line: Optional[int] = None
+
+    def label(self) -> str:
+        """Paper-style label, e.g. ``table_5`` (tag subscripted by line)."""
+        if self.line is not None:
+            return f"{self.tag}_{self.line}"
+        return f"{self.tag}#{self.order}"
+
+
+@unique
+class SolutionKind(Enum):
+    """What kind of document node a solution refers to."""
+
+    ELEMENT = "element"
+    ATTRIBUTE = "attribute"
+    TEXT = "text"
+
+
+@dataclass(frozen=True)
+class Solution:
+    """One query solution.
+
+    For element results ``value`` is ``None``; for attribute results it is the
+    attribute value and ``attribute`` the attribute name; for text results it
+    is the text content.  ``fragment`` optionally holds the serialized XML
+    fragment of the solution element (only populated when fragment capture is
+    enabled on the engine).
+    """
+
+    kind: SolutionKind
+    node: NodeRef
+    attribute: Optional[str] = None
+    value: Optional[str] = None
+    fragment: Optional[str] = None
+
+    def key(self) -> Tuple:
+        """Canonical identity used for cross-engine comparison and dedup."""
+        if self.kind is SolutionKind.ELEMENT:
+            return ("element", self.node.order)
+        if self.kind is SolutionKind.ATTRIBUTE:
+            return ("attribute", self.node.order, self.attribute)
+        return ("text", self.node.order)
+
+    def order_key(self) -> Tuple:
+        """Sort key approximating document order."""
+        return (self.node.order, self.kind.value, self.attribute or "")
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        if self.kind is SolutionKind.ELEMENT:
+            return f"element {self.node.label()} (level {self.node.level})"
+        if self.kind is SolutionKind.ATTRIBUTE:
+            return f"attribute @{self.attribute}={self.value!r} of {self.node.label()}"
+        return f"text {self.value!r} of {self.node.label()}"
+
+
+class ResultCollector:
+    """Accumulates solutions, deduplicating by canonical key.
+
+    The same output node can reach the TwigM root through several pattern
+    matches (that is the paper's whole point), so the collector guarantees
+    each solution is reported exactly once.  Insertion order is the emission
+    order of the engine; :meth:`in_document_order` re-sorts.
+    """
+
+    def __init__(self) -> None:
+        self._solutions: Dict[Tuple, Solution] = {}
+        self.emitted = 0
+
+    def add(self, solution: Solution) -> bool:
+        """Add a solution; return True when it was not seen before."""
+        self.emitted += 1
+        key = solution.key()
+        if key in self._solutions:
+            return False
+        self._solutions[key] = solution
+        return True
+
+    def extend(self, solutions: Iterable[Solution]) -> List[Solution]:
+        """Add many solutions; return the ones that were new."""
+        return [solution for solution in solutions if self.add(solution)]
+
+    def __len__(self) -> int:
+        return len(self._solutions)
+
+    def __iter__(self) -> Iterator[Solution]:
+        return iter(self._solutions.values())
+
+    def __contains__(self, solution: Solution) -> bool:
+        return solution.key() in self._solutions
+
+    def solutions(self) -> List[Solution]:
+        """Solutions in emission order."""
+        return list(self._solutions.values())
+
+    def in_document_order(self) -> List[Solution]:
+        """Solutions sorted by document order."""
+        return sorted(self._solutions.values(), key=Solution.order_key)
+
+    def keys(self) -> List[Tuple]:
+        """Canonical keys of the collected solutions (sorted)."""
+        return sorted(solution.key() for solution in self._solutions.values())
+
+
+@dataclass
+class ResultSet:
+    """The final answer of a query evaluation run.
+
+    Wraps the collected solutions together with the evaluated query text so
+    examples and the CLI can print self-describing output.
+    """
+
+    query: str
+    solutions: List[Solution] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.solutions)
+
+    def __iter__(self) -> Iterator[Solution]:
+        return iter(self.solutions)
+
+    def __bool__(self) -> bool:
+        return bool(self.solutions)
+
+    def keys(self) -> List[Tuple]:
+        """Sorted canonical keys (used by differential tests)."""
+        return sorted(solution.key() for solution in self.solutions)
+
+    def values(self) -> List[Optional[str]]:
+        """The attribute/text values of the solutions, in document order."""
+        ordered = sorted(self.solutions, key=Solution.order_key)
+        return [solution.value for solution in ordered]
+
+    def elements(self) -> List[NodeRef]:
+        """Node references of the solutions, in document order."""
+        ordered = sorted(self.solutions, key=Solution.order_key)
+        return [solution.node for solution in ordered]
+
+    def describe(self) -> str:
+        """Multi-line human readable description of the result."""
+        lines = [f"{len(self.solutions)} solution(s) for {self.query}"]
+        for solution in sorted(self.solutions, key=Solution.order_key):
+            lines.append(f"  - {solution.describe()}")
+        return "\n".join(lines)
+
+    @classmethod
+    def from_collector(cls, query: str, collector: ResultCollector) -> "ResultSet":
+        """Build a result set from a collector, in document order."""
+        return cls(query=query, solutions=collector.in_document_order())

@@ -1,0 +1,179 @@
+"""Machine-node stacks: the paper's polynomial-space pattern-match encoding.
+
+Each machine node of the TwigM machine owns one :class:`MachineStack`.  A
+stack entry (the paper's triplet) records
+
+1. the *level* of the XML node currently matched to the machine node,
+2. *match status* of the query node's children (which predicate children have
+   already found a satisfying match), and
+3. the *candidate solutions* that depend on this match.
+
+Because every entry corresponds to one **open** element on the current
+root-to-leaf path, a stack never holds more entries than the document depth;
+this is the compact, shareable encoding that replaces the exponential set of
+explicit pattern matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..errors import StreamStateError
+from .results import NodeRef, Solution
+
+
+@dataclass
+class StackEntry:
+    """One entry of a machine-node stack (the paper's stack-node triplet)."""
+
+    #: Depth of the matched XML element (document element = 1).
+    level: int
+    #: Reference to the matched XML element.
+    element: NodeRef
+    #: Ids of predicate-child query nodes that found a satisfying match below
+    #: this element (the "match status of its children in the query tree").
+    satisfied: Set[int] = field(default_factory=set)
+    #: Candidate query solutions associated with this match, keyed by their
+    #: canonical solution key so propagation never duplicates candidates.
+    candidates: Dict[Tuple, Solution] = field(default_factory=dict)
+    #: Accumulated string value (all descendant text), only maintained when
+    #: the machine node needs it for a value test.
+    string_parts: Optional[List[str]] = None
+    #: Accumulated direct text (text children only), only maintained when the
+    #: query selects ``text()`` below this node.
+    direct_parts: Optional[List[str]] = None
+
+    def string_value(self) -> Optional[str]:
+        """The accumulated string value, or None when not collected."""
+        if self.string_parts is None:
+            return None
+        return "".join(self.string_parts)
+
+    def direct_text(self) -> Optional[str]:
+        """The accumulated direct text, or None when not collected."""
+        if self.direct_parts is None:
+            return None
+        return "".join(self.direct_parts)
+
+    def add_candidate(self, solution: Solution) -> None:
+        """Record a candidate solution on this entry (idempotent per key)."""
+        self.candidates.setdefault(solution.key(), solution)
+
+    def absorb_candidates(self, other: "StackEntry") -> int:
+        """Copy the candidates of ``other`` into this entry; return how many were new."""
+        added = 0
+        for key, solution in other.candidates.items():
+            if key not in self.candidates:
+                self.candidates[key] = solution
+                added += 1
+        return added
+
+    @property
+    def candidate_count(self) -> int:
+        """Number of distinct candidates currently attached to this entry."""
+        return len(self.candidates)
+
+
+class MachineStack:
+    """The stack owned by one machine node.
+
+    Entries are pushed in document order of their start tags, so levels are
+    strictly increasing from bottom to top; every entry corresponds to a
+    currently-open element.  Both invariants are exploited by the transition
+    functions and asserted by the property-based tests.
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[StackEntry] = []
+
+    # ------------------------------------------------------------ basics
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __iter__(self) -> Iterator[StackEntry]:
+        return iter(self._entries)
+
+    @property
+    def entries(self) -> List[StackEntry]:
+        """The entries from bottom to top (read-only use)."""
+        return self._entries
+
+    @property
+    def top(self) -> Optional[StackEntry]:
+        """The top entry, or None when empty."""
+        return self._entries[-1] if self._entries else None
+
+    @property
+    def bottom(self) -> Optional[StackEntry]:
+        """The bottom (oldest) entry, or None when empty."""
+        return self._entries[0] if self._entries else None
+
+    # ------------------------------------------------------------ mutation
+
+    def push(self, entry: StackEntry) -> None:
+        """Push an entry; levels must be strictly increasing."""
+        if self._entries and entry.level <= self._entries[-1].level:
+            raise StreamStateError(
+                f"stack push at level {entry.level} would not increase the "
+                f"current top level {self._entries[-1].level}"
+            )
+        self._entries.append(entry)
+
+    def pop(self) -> StackEntry:
+        """Pop and return the top entry."""
+        if not self._entries:
+            raise StreamStateError("pop from an empty machine stack")
+        return self._entries.pop()
+
+    def clear(self) -> None:
+        """Remove every entry (used when resetting an engine)."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------ queries
+
+    def top_level(self) -> Optional[int]:
+        """Level of the top entry, or None when empty."""
+        return self._entries[-1].level if self._entries else None
+
+    def has_open_at_level(self, level: int) -> bool:
+        """True when some entry sits at exactly ``level``.
+
+        Because levels increase towards the top and at most one entry can be
+        created per element, only the topmost two entries can be at or above
+        ``level`` during a start-element transition, so a short reverse scan
+        suffices; the full scan is kept for clarity and is bounded by depth.
+        """
+        for entry in reversed(self._entries):
+            if entry.level == level:
+                return True
+            if entry.level < level:
+                return False
+        return False
+
+    def has_open_below(self, level: int) -> bool:
+        """True when some entry sits strictly above the root but below ``level``.
+
+        This is the descendant-axis check: an open entry with a smaller level
+        is a proper ancestor of the element currently being opened.
+        """
+        return bool(self._entries) and self._entries[0].level < level
+
+    def entries_for_axis(self, level: int, descendant: bool) -> List[StackEntry]:
+        """Entries that can act as the parent-side of an axis edge.
+
+        For a child-axis edge the popped element at ``level`` can only hang
+        off an entry at ``level - 1``; for a descendant-axis edge any entry
+        strictly above it (smaller level) qualifies.
+        """
+        if descendant:
+            return [entry for entry in self._entries if entry.level < level]
+        return [entry for entry in self._entries if entry.level == level - 1]
+
+    def candidate_total(self) -> int:
+        """Total number of candidates attached to entries of this stack."""
+        return sum(entry.candidate_count for entry in self._entries)

@@ -1,0 +1,251 @@
+"""TwigM transition functions: how the machine reacts to streaming events.
+
+This module is the direct translation of Section 3.2 of the paper:
+
+* **startElement(tag, level)** — for every machine node whose name matches the
+  tag and whose incoming axis is satisfied by the current level, push a new
+  stack entry recording the XML node.
+* **endElement(tag, level)** — for every machine node whose top-of-stack entry
+  is at this level, pop the entry; if its predicate formula is satisfied,
+  *bookkeep* its match status and candidate solutions onto the entries of the
+  parent machine node (or emit the candidates when the node is the machine
+  root).  Matches whose predicates failed are simply discarded, which is how
+  ViteX prunes the exponential match space without ever enumerating it.
+* **characters(text, level)** — appended to the accumulators of entries that
+  need text (value tests and ``text()`` output), and ignored everywhere else.
+
+All functions mutate the machine's stacks in place and update the statistics
+counters the benchmarks rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..xpath.ast import Axis, NodeKind, QueryNode, evaluate_formula
+from ..xmlstream.events import Characters, EndElement, StartElement
+from .machine import MachineNode, TwigMachine
+from .results import NodeRef, ResultCollector, Solution, SolutionKind
+from .stack import StackEntry
+from .statistics import EngineStatistics
+
+
+def process_start_element(
+    machine: TwigMachine,
+    event: StartElement,
+    order: int,
+    statistics: EngineStatistics,
+) -> None:
+    """Handle a start-element event: push entries onto matching machine nodes."""
+    statistics.elements += 1
+    statistics.attributes += len(event.attributes)
+    if event.level > statistics.max_depth:
+        statistics.max_depth = event.level
+    node_ref = NodeRef(order=order, tag=event.name, level=event.level, line=event.line)
+
+    for machine_node in machine.nodes_matching(event.name):
+        if not _axis_allows_push(machine_node, event.level):
+            continue
+        entry = StackEntry(
+            level=event.level,
+            element=node_ref,
+            string_parts=[] if machine_node.needs_string_value else None,
+            direct_parts=[] if machine_node.needs_direct_text else None,
+        )
+        _resolve_attributes(machine_node, entry, event, statistics)
+        machine_node.stack.push(entry)
+        statistics.record_push(machine_node.label)
+        statistics.live_entries += 1
+        statistics.live_candidates += entry.candidate_count
+    statistics.observe_state(statistics.live_entries, statistics.live_candidates)
+
+
+def _axis_allows_push(machine_node: MachineNode, level: int) -> bool:
+    """Check the incoming-axis condition for pushing at ``level``."""
+    if machine_node.is_root:
+        if machine_node.axis is Axis.DESCENDANT:
+            return True
+        # Child axis from the document root: only the document element matches.
+        return level == 1
+    parent_stack = machine_node.parent.stack
+    if machine_node.axis is Axis.CHILD:
+        return parent_stack.has_open_at_level(level - 1)
+    # Descendant axis: a *proper* ancestor match must be open.  Entries pushed
+    # for the same element during this very event sit at the same level and
+    # are correctly excluded by the strict comparison.
+    return parent_stack.has_open_below(level)
+
+
+def _resolve_attributes(
+    machine_node: MachineNode,
+    entry: StackEntry,
+    event: StartElement,
+    statistics: EngineStatistics,
+) -> None:
+    """Resolve attribute predicates and attribute output at push time.
+
+    Attributes arrive with the start tag, so — unlike element predicates —
+    their satisfaction is known immediately and can be recorded on the fresh
+    entry without any deferred bookkeeping.
+    """
+    if not machine_node.attribute_predicates and machine_node.attribute_output is None:
+        return
+    attributes = event.attributes
+    for predicate in machine_node.attribute_predicates:
+        if _attribute_satisfies(predicate, attributes):
+            entry.satisfied.add(predicate.node_id)
+            statistics.flags_set += 1
+    output = machine_node.attribute_output
+    if output is not None:
+        for name, value in attributes:
+            if output.label != "*" and output.label != name:
+                continue
+            if output.value_test is not None and not output.value_test.evaluate(value):
+                continue
+            entry.add_candidate(
+                Solution(
+                    kind=SolutionKind.ATTRIBUTE,
+                    node=entry.element,
+                    attribute=name,
+                    value=value,
+                )
+            )
+            statistics.candidates_created += 1
+
+
+def _attribute_satisfies(predicate: QueryNode, attributes) -> bool:
+    """True when an attribute predicate node is satisfied by the attribute list."""
+    for name, value in attributes:
+        if predicate.label != "*" and predicate.label != name:
+            continue
+        if predicate.value_test is None or predicate.value_test.evaluate(value):
+            return True
+    return False
+
+
+def process_characters(
+    machine: TwigMachine,
+    event: Characters,
+    statistics: EngineStatistics,
+) -> None:
+    """Handle character data: feed the accumulators of text-collecting entries."""
+    statistics.text_chunks += 1
+    if not machine.text_nodes:
+        return
+    for machine_node in machine.text_nodes:
+        for entry in machine_node.stack.entries:
+            if entry.string_parts is not None:
+                entry.string_parts.append(event.text)
+            if entry.direct_parts is not None and event.level == entry.level:
+                entry.direct_parts.append(event.text)
+
+
+def process_end_element(
+    machine: TwigMachine,
+    event: EndElement,
+    statistics: EngineStatistics,
+    collector: ResultCollector,
+    fragments: Optional[Dict[int, str]] = None,
+    eager_emission: bool = False,
+) -> List[Solution]:
+    """Handle an end-element event: pop, check predicates, bookkeep, emit.
+
+    Returns the solutions that became *newly* known with this event (already
+    deduplicated against everything emitted earlier), which is what the
+    incremental streaming API yields to callers.
+
+    With ``eager_emission`` enabled, candidates that are satisfied at a
+    main-path node all of whose ancestors are unconditional (no predicates,
+    no value tests) are emitted immediately instead of being bookkept up to
+    the machine root — an optimisation that lowers result latency and peak
+    candidate counts without changing the answer set.
+    """
+    new_solutions: List[Solution] = []
+    for machine_node in machine.nodes_postorder:
+        if not machine_node.matches(event.name):
+            continue
+        stack = machine_node.stack
+        if stack.top_level() != event.level:
+            continue
+        entry = stack.pop()
+        statistics.pops += 1
+        statistics.live_entries -= 1
+        statistics.live_candidates -= entry.candidate_count
+
+        if not _entry_satisfied(machine_node, entry):
+            # The match fails its predicates: the entire set of pattern
+            # matches that flow through it is pruned here, without ever
+            # having been enumerated.
+            continue
+
+        _add_own_candidates(machine_node, entry, statistics, fragments)
+
+        emit_here = machine_node.is_root or (
+            eager_emission
+            and not machine_node.is_predicate_branch
+            and machine_node.ancestors_unconditional
+        )
+        if emit_here:
+            statistics.solutions_emitted += len(entry.candidates)
+            for solution in entry.candidates.values():
+                if collector.add(solution):
+                    statistics.solutions_distinct += 1
+                    new_solutions.append(solution)
+            continue
+
+        parent = machine_node.parent
+        targets = parent.stack.entries_for_axis(
+            entry.level, descendant=machine_node.axis is Axis.DESCENDANT
+        )
+        if machine_node.is_predicate_branch:
+            node_id = machine_node.query_node.node_id
+            for target in targets:
+                if node_id not in target.satisfied:
+                    target.satisfied.add(node_id)
+                    statistics.flags_set += 1
+        else:
+            for target in targets:
+                added = target.absorb_candidates(entry)
+                statistics.candidates_propagated += added
+                statistics.live_candidates += added
+    statistics.observe_state(statistics.live_entries, statistics.live_candidates)
+    return new_solutions
+
+
+def _entry_satisfied(machine_node: MachineNode, entry: StackEntry) -> bool:
+    """Evaluate the query node's predicate formula and value test for an entry."""
+    query_node = machine_node.query_node
+    string_value = entry.string_value()
+    if query_node.value_test is not None and not query_node.value_test.evaluate(string_value):
+        return False
+    return evaluate_formula(query_node.formula, entry.satisfied, string_value)
+
+
+def _add_own_candidates(
+    machine_node: MachineNode,
+    entry: StackEntry,
+    statistics: EngineStatistics,
+    fragments: Optional[Dict[int, str]],
+) -> None:
+    """Attach the candidates contributed by this entry itself (element / text output)."""
+    # Note: candidates added here live on an entry that has already been
+    # popped, so they are never counted in ``live_candidates`` (which tracks
+    # candidates held on live stack entries only).
+    if machine_node.is_output:
+        fragment = fragments.get(entry.element.order) if fragments else None
+        before = entry.candidate_count
+        entry.add_candidate(
+            Solution(kind=SolutionKind.ELEMENT, node=entry.element, fragment=fragment)
+        )
+        if entry.candidate_count > before:
+            statistics.candidates_created += 1
+    text_output = machine_node.text_output
+    if text_output is not None:
+        text = entry.direct_text() or ""
+        if text:
+            before = entry.candidate_count
+            entry.add_candidate(
+                Solution(kind=SolutionKind.TEXT, node=entry.element, value=text)
+            )
+            if entry.candidate_count > before:
+                statistics.candidates_created += 1

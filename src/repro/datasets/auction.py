@@ -1,0 +1,186 @@
+"""XMark-style auction documents.
+
+XMark is the standard XML benchmark schema used throughout the streaming
+XPath literature for "variety of queries and datasets" experiments.  This
+generator produces a compact subset of the XMark vocabulary: a ``site`` root
+with ``regions`` (items with names, descriptions and prices), ``people``
+(with addresses and profiles), and ``open_auctions`` (with bidder histories
+and annotations).  The nesting includes one recursive hot-spot —
+``parlist``/``listitem`` descriptions — so descendant queries still see some
+match sharing, but the overall shape is bushy rather than deep, which
+complements the recursive dataset in the query-variety experiment (E5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..errors import DatasetError
+from .base import DatasetGenerator, XMLWriter, chunked
+
+_COUNTRIES = ["United States", "Germany", "Japan", "France", "Brazil", "India"]
+_CATEGORIES = ["books", "electronics", "garden", "music", "sports", "toys"]
+_WORDS = [
+    "vintage", "rare", "boxed", "signed", "limited", "refurbished",
+    "original", "mint", "sealed", "collectible",
+]
+
+
+@dataclass
+class AuctionConfig:
+    """Parameters of the auction document generator."""
+
+    #: Number of items under regions.
+    items: int = 200
+    #: Number of registered people.
+    people: int = 100
+    #: Number of open auctions.
+    open_auctions: int = 120
+    #: Maximum depth of the recursive parlist/listitem description markup.
+    description_depth: int = 3
+    #: Maximum number of bidders per open auction.
+    max_bidders: int = 5
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.DatasetError` for invalid settings."""
+        if self.items < 1 or self.people < 1 or self.open_auctions < 1:
+            raise DatasetError("items, people and open_auctions must all be >= 1")
+        if self.description_depth < 0:
+            raise DatasetError("description_depth must be >= 0")
+        if self.max_bidders < 0:
+            raise DatasetError("max_bidders must be >= 0")
+
+
+class AuctionGenerator(DatasetGenerator):
+    """Generate an XMark-like auction site document."""
+
+    name = "auction"
+
+    def __init__(self, config: Optional[AuctionConfig] = None, seed: int = 0) -> None:
+        super().__init__(seed=seed)
+        self.config = config or AuctionConfig()
+        self.config.validate()
+
+    def chunks(self) -> Iterator[str]:
+        self.reset()
+        yield from chunked(self._parts())
+
+    # ------------------------------------------------------------ internals
+
+    def _parts(self) -> Iterator[str]:
+        config = self.config
+        writer = XMLWriter()
+        writer.declaration()
+        writer.start("site")
+        writer.newline()
+
+        writer.start("regions")
+        writer.newline()
+        yield writer.drain()
+        for index in range(config.items):
+            self._item(writer, index)
+            yield writer.drain()
+        writer.end("regions")
+        writer.newline()
+
+        writer.start("people")
+        writer.newline()
+        yield writer.drain()
+        for index in range(config.people):
+            self._person(writer, index)
+            yield writer.drain()
+        writer.end("people")
+        writer.newline()
+
+        writer.start("open_auctions")
+        writer.newline()
+        yield writer.drain()
+        for index in range(config.open_auctions):
+            self._auction(writer, index)
+            yield writer.drain()
+        writer.end("open_auctions")
+        writer.newline()
+
+        writer.end("site")
+        writer.newline()
+        yield writer.drain()
+
+    def _item(self, writer: XMLWriter, index: int) -> None:
+        rng = self.rng
+        region = rng.choice(_COUNTRIES)
+        writer.start("item", {"id": f"item{index}", "category": rng.choice(_CATEGORIES)})
+        writer.element("location", region)
+        writer.element("name", f"Item {index} {rng.choice(_WORDS)}")
+        writer.element("quantity", str(rng.randint(1, 10)))
+        writer.element("price", f"{rng.uniform(1, 500):.2f}")
+        writer.start("description")
+        self._parlist(writer, depth=self.config.description_depth)
+        writer.end("description")
+        writer.start("mailbox")
+        for mail_index in range(rng.randint(0, 2)):
+            writer.start("mail")
+            writer.element("from", f"person{rng.randrange(self.config.people)}")
+            writer.element("date", f"2004-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}")
+            writer.element("text", " ".join(rng.sample(_WORDS, k=3)) + f" #{mail_index}")
+            writer.end("mail")
+        writer.end("mailbox")
+        writer.end("item")
+        writer.newline()
+
+    def _parlist(self, writer: XMLWriter, depth: int) -> None:
+        rng = self.rng
+        if depth <= 0:
+            writer.element("text", " ".join(rng.sample(_WORDS, k=4)))
+            return
+        writer.start("parlist")
+        for _ in range(rng.randint(1, 2)):
+            writer.start("listitem")
+            if rng.random() < 0.5 and depth > 1:
+                self._parlist(writer, depth - 1)
+            else:
+                writer.element("text", " ".join(rng.sample(_WORDS, k=3)))
+            writer.end("listitem")
+        writer.end("parlist")
+
+    def _person(self, writer: XMLWriter, index: int) -> None:
+        rng = self.rng
+        writer.start("person", {"id": f"person{index}"})
+        writer.element("name", f"Person {index}")
+        writer.element("emailaddress", f"person{index}@example.org")
+        if rng.random() < 0.7:
+            writer.start("address")
+            writer.element("street", f"{rng.randint(1, 99)} Main Street")
+            writer.element("city", f"City {rng.randrange(50)}")
+            writer.element("country", rng.choice(_COUNTRIES))
+            writer.end("address")
+        if rng.random() < 0.6:
+            writer.start("profile", {"income": f"{rng.uniform(20_000, 120_000):.2f}"})
+            writer.element("interest", rng.choice(_CATEGORIES))
+            writer.element("education", rng.choice(["High School", "College", "Graduate"]))
+            writer.end("profile")
+        writer.end("person")
+        writer.newline()
+
+    def _auction(self, writer: XMLWriter, index: int) -> None:
+        rng = self.rng
+        config = self.config
+        writer.start("open_auction", {"id": f"open_auction{index}"})
+        writer.element("initial", f"{rng.uniform(1, 100):.2f}")
+        writer.element("reserve", f"{rng.uniform(100, 400):.2f}")
+        for _ in range(rng.randint(0, config.max_bidders)):
+            writer.start("bidder")
+            writer.element("date", f"2004-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}")
+            writer.element("personref", f"person{rng.randrange(config.people)}")
+            writer.element("increase", f"{rng.uniform(1, 50):.2f}")
+            writer.end("bidder")
+        writer.element("current", f"{rng.uniform(100, 600):.2f}")
+        writer.element("itemref", f"item{rng.randrange(config.items)}")
+        writer.start("annotation")
+        writer.element("author", f"person{rng.randrange(config.people)}")
+        writer.start("description")
+        self._parlist(writer, depth=max(0, config.description_depth - 1))
+        writer.end("description")
+        writer.end("annotation")
+        writer.end("open_auction")
+        writer.newline()

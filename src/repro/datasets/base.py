@@ -1,0 +1,174 @@
+"""Dataset generator framework.
+
+Every synthetic dataset in the reproduction is produced by a
+:class:`DatasetGenerator` subclass.  Generators are
+
+* **seeded** — the same parameters and seed always produce the same document,
+  so benchmark runs are repeatable;
+* **streaming** — :meth:`DatasetGenerator.chunks` yields the document as text
+  chunks without ever materialising it, which is what lets the memory
+  benchmarks process multi-hundred-megabyte documents with a flat footprint;
+* **size-targeted** — most generators accept a ``target_bytes`` knob and keep
+  emitting repeating units until the target is reached, mirroring how the
+  paper scales its 75 MB Protein dataset.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional
+
+from ..errors import DatasetError
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for inclusion in generated XML."""
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(text: str) -> str:
+    """Escape character data for inclusion in a generated attribute value."""
+    return escape_text(text).replace('"', "&quot;")
+
+
+class XMLWriter:
+    """A tiny helper for generators that emit markup incrementally.
+
+    It keeps the open-tag stack so generators cannot produce ill-formed
+    output, and accumulates text into a buffer that callers drain as chunks.
+    """
+
+    def __init__(self) -> None:
+        self._parts: List[str] = []
+        self._open: List[str] = []
+
+    # ------------------------------------------------------------ writing
+
+    def declaration(self) -> None:
+        """Emit the XML declaration."""
+        self._parts.append('<?xml version="1.0" encoding="UTF-8"?>\n')
+
+    def start(self, tag: str, attributes: Optional[dict] = None) -> None:
+        """Emit a start tag."""
+        if attributes:
+            attrs = " ".join(
+                f'{name}="{escape_attribute(str(value))}"' for name, value in attributes.items()
+            )
+            self._parts.append(f"<{tag} {attrs}>")
+        else:
+            self._parts.append(f"<{tag}>")
+        self._open.append(tag)
+
+    def end(self, tag: Optional[str] = None) -> None:
+        """Emit the end tag for the innermost open element."""
+        if not self._open:
+            raise DatasetError("end() called with no open element")
+        expected = self._open.pop()
+        if tag is not None and tag != expected:
+            raise DatasetError(f"end tag mismatch: expected {expected!r}, got {tag!r}")
+        self._parts.append(f"</{expected}>")
+
+    def text(self, content: str) -> None:
+        """Emit character data."""
+        self._parts.append(escape_text(content))
+
+    def element(self, tag: str, content: str = "", attributes: Optional[dict] = None) -> None:
+        """Emit a complete simple element."""
+        self.start(tag, attributes)
+        if content:
+            self.text(content)
+        self.end(tag)
+
+    def newline(self) -> None:
+        """Emit a newline (keeps generated documents human-readable)."""
+        self._parts.append("\n")
+
+    # ------------------------------------------------------------ draining
+
+    @property
+    def open_depth(self) -> int:
+        """Number of currently open elements."""
+        return len(self._open)
+
+    def pending_size(self) -> int:
+        """Number of characters currently buffered."""
+        return sum(len(part) for part in self._parts)
+
+    def drain(self) -> str:
+        """Return and clear the buffered text."""
+        text = "".join(self._parts)
+        self._parts = []
+        return text
+
+
+class DatasetGenerator:
+    """Base class for synthetic dataset generators."""
+
+    #: Short name used by the workload registry and the CLI.
+    name = "dataset"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    # -- interface ----------------------------------------------------------
+
+    def chunks(self) -> Iterator[str]:
+        """Yield the document as text chunks.  Subclasses must implement."""
+        raise NotImplementedError
+
+    # -- conveniences --------------------------------------------------------
+
+    def text(self) -> str:
+        """Materialise the whole document as a single string."""
+        return "".join(self.chunks())
+
+    def write_to(self, path) -> int:
+        """Write the document to ``path``; return the number of bytes written."""
+        total = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for chunk in self.chunks():
+                handle.write(chunk)
+                total += len(chunk.encode("utf-8"))
+        return total
+
+    def size_bytes(self) -> int:
+        """Size of the generated document in (UTF-8) bytes, without storing it."""
+        return sum(len(chunk.encode("utf-8")) for chunk in self.chunks())
+
+    def reset(self) -> None:
+        """Re-seed the internal RNG so :meth:`chunks` is repeatable."""
+        self.rng = random.Random(self.seed)
+
+
+class StringDataset(DatasetGenerator):
+    """A dataset wrapping a fixed document string (used for paper figures)."""
+
+    name = "string"
+
+    def __init__(self, text: str, chunk_size: int = 64 * 1024) -> None:
+        super().__init__(seed=0)
+        if chunk_size <= 0:
+            raise DatasetError("chunk_size must be positive")
+        self._text = text
+        self._chunk_size = chunk_size
+
+    def chunks(self) -> Iterator[str]:
+        for start in range(0, len(self._text), self._chunk_size):
+            yield self._text[start:start + self._chunk_size]
+
+
+def chunked(parts: Iterable[str], chunk_size: int = 64 * 1024) -> Iterator[str]:
+    """Regroup an iterable of small strings into chunks of roughly ``chunk_size``."""
+    buffer: List[str] = []
+    size = 0
+    for part in parts:
+        buffer.append(part)
+        size += len(part)
+        if size >= chunk_size:
+            yield "".join(buffer)
+            buffer = []
+            size = 0
+    if buffer:
+        yield "".join(buffer)

@@ -1,0 +1,70 @@
+"""The paper's worked-example documents, reproduced verbatim.
+
+``FIGURE_1_XML`` is the document from Figure 1 of the paper, laid out so that
+every start tag begins on the same line number as in the figure (line 1 is
+``<book>``, line 8 is the ``<cell>``, line 15 the ``<author>``), because the
+paper identifies nodes by those line numbers (``cell_8``, ``table_5`` …).
+The E6 tests assert the exact solution set and the pattern-match accounting
+described in Section 1 against this document.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import StringDataset
+
+#: The sample XML data of Figure 1.  The paper's figure uses the compact
+#: ``</>`` close-tag shorthand; standard XML requires named end tags, which is
+#: the only deviation here.  Line numbers of start tags match the figure.
+FIGURE_1_XML = """<book>
+ <section>
+  <section>
+   <section>
+    <table>
+     <table>
+      <table>
+       <cell> A </cell>
+      </table>
+     </table>
+     <position> B </position>
+    </table>
+   </section>
+  </section>
+ <author> C </author>
+</section>
+</book>"""
+
+#: The query used throughout the paper's Section 1 walk-through.
+FIGURE_1_QUERY = "//section[author]//table[position]//cell"
+
+#: The example query of Feature 5 (run against the Protein dataset).
+PROTEIN_EXAMPLE_QUERY = "//ProteinEntry[reference]/@id"
+
+#: Start-tag line numbers of the elements the paper names explicitly.
+FIGURE_1_LINES: Dict[str, int] = {
+    "book": 1,
+    "section_outer": 2,
+    "section_middle": 3,
+    "section_inner": 4,
+    "table_5": 5,
+    "table_6": 6,
+    "table_7": 7,
+    "cell_8": 8,
+    "position_11": 11,
+    "author_15": 15,
+}
+
+#: The number of pattern matches of the subquery ``//section//table//cell``
+#: for the node ``cell_8``: three sections × three tables (paper Section 1).
+FIGURE_1_CELL8_MATCH_COUNT = 9
+
+
+def figure_1_dataset() -> StringDataset:
+    """The Figure 1 document as a dataset object."""
+    return StringDataset(FIGURE_1_XML)
+
+
+def figure_1_expected_solution_lines() -> List[int]:
+    """Start-tag lines of the query solutions for the Figure 1 walk-through."""
+    return [FIGURE_1_LINES["cell_8"]]

@@ -1,0 +1,144 @@
+"""Streaming news / stock-ticker documents.
+
+The paper's motivation section names stock market data, sports tickers and
+personalised newspapers as the applications that force single-pass
+processing.  This generator produces exactly that shape: one long document
+whose root contains an unbounded-looking sequence of timestamped ``update``
+elements (stock quotes or headlines).  Because solutions appear throughout
+the stream, it is the workload used by the incremental-latency experiment
+(E7) and the stock-ticker example application.
+
+The generator first draws a deterministic *plan* (which updates are quotes
+and for which symbol) from the seed; the document text and the expected
+answer counts are both derived from that plan, so tests can verify the
+streaming engine against an independently computed ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import DatasetError
+from .base import DatasetGenerator, XMLWriter, chunked
+
+_SYMBOLS = ["ACME", "GLOBEX", "INITECH", "UMBRELLA", "STARK", "WAYNE", "HOOLI", "PIED"]
+_SECTIONS = ["markets", "technology", "sports", "politics", "science"]
+_HEADLINE_WORDS = [
+    "surges", "plunges", "steady", "rallies", "slips", "record", "outlook",
+    "earnings", "merger", "forecast",
+]
+
+
+@dataclass
+class NewsFeedConfig:
+    """Parameters of the news/stock stream generator."""
+
+    #: Total number of update elements in the stream.
+    updates: int = 2000
+    #: Fraction of updates that are stock quotes (the rest are headlines).
+    quote_fraction: float = 0.6
+    #: Index (0-based) of the first update guaranteed to match the canonical
+    #: ticker query (``//update[quote/@symbol='ACME']``); used by the
+    #: first-result-latency experiment.
+    first_match_at: int = 5
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.DatasetError` for invalid settings."""
+        if self.updates < 1:
+            raise DatasetError("updates must be >= 1")
+        if not 0.0 <= self.quote_fraction <= 1.0:
+            raise DatasetError("quote_fraction must be in [0, 1]")
+        if not 0 <= self.first_match_at < self.updates:
+            raise DatasetError("first_match_at must fall inside the stream")
+
+
+class NewsFeedGenerator(DatasetGenerator):
+    """Generate a long stream of stock quotes and news headlines."""
+
+    name = "newsfeed"
+
+    #: The canonical query the examples and the latency experiment run.
+    CANONICAL_QUERY = "//update[quote/@symbol='ACME']"
+
+    def __init__(self, config: Optional[NewsFeedConfig] = None, seed: int = 0) -> None:
+        super().__init__(seed=seed)
+        self.config = config or NewsFeedConfig()
+        self.config.validate()
+
+    # ------------------------------------------------------------ plan
+
+    def plan(self) -> List[Tuple[str, Optional[str]]]:
+        """The deterministic update plan: one ``(kind, symbol)`` pair per update.
+
+        ``kind`` is ``"quote"`` or ``"headline"``; ``symbol`` is the stock
+        symbol for quotes and ``None`` for headlines.
+        """
+        rng = random.Random(self.seed)
+        config = self.config
+        plan: List[Tuple[str, Optional[str]]] = []
+        for index in range(config.updates):
+            if index == config.first_match_at:
+                plan.append(("quote", "ACME"))
+            elif rng.random() < config.quote_fraction:
+                plan.append(("quote", rng.choice(_SYMBOLS)))
+            else:
+                plan.append(("headline", None))
+        return plan
+
+    def expected_symbol_updates(self, symbol: str = "ACME") -> int:
+        """Number of updates quoting ``symbol`` (from the plan, not the engine)."""
+        return sum(1 for kind, sym in self.plan() if kind == "quote" and sym == symbol)
+
+    def first_symbol_update_index(self, symbol: str = "ACME") -> Optional[int]:
+        """Index of the first update quoting ``symbol``, or None."""
+        for index, (kind, sym) in enumerate(self.plan()):
+            if kind == "quote" and sym == symbol:
+                return index
+        return None
+
+    # ------------------------------------------------------------ document
+
+    def chunks(self) -> Iterator[str]:
+        self.reset()
+        yield from chunked(self._parts(), chunk_size=8 * 1024)
+
+    def _parts(self) -> Iterator[str]:
+        writer = XMLWriter()
+        writer.declaration()
+        writer.start("feed", {"generator": "vitex-repro", "version": "1.0"})
+        writer.newline()
+        yield writer.drain()
+        for index, (kind, symbol) in enumerate(self.plan()):
+            self._update(writer, index, kind, symbol)
+            yield writer.drain()
+        writer.end("feed")
+        writer.newline()
+        yield writer.drain()
+
+    def _update(self, writer: XMLWriter, index: int, kind: str, symbol: Optional[str]) -> None:
+        rng = self.rng
+        timestamp = f"2005-04-05T{(index // 3600) % 24:02d}:{(index // 60) % 60:02d}:{index % 60:02d}"
+        writer.start("update", {"seq": index, "timestamp": timestamp})
+        if kind == "quote":
+            writer.start("quote", {"symbol": symbol or rng.choice(_SYMBOLS)})
+            writer.element("price", f"{rng.uniform(5, 500):.2f}")
+            writer.element("change", f"{rng.uniform(-5, 5):+.2f}")
+            writer.element("volume", str(rng.randint(100, 100000)))
+            writer.end("quote")
+        else:
+            writer.start("headline", {"section": rng.choice(_SECTIONS)})
+            writer.element(
+                "title",
+                f"{rng.choice(_SYMBOLS)} {rng.choice(_HEADLINE_WORDS)} {rng.choice(_HEADLINE_WORDS)}",
+            )
+            writer.element("byline", f"Reporter {rng.randrange(40)}")
+            writer.end("headline")
+        writer.end("update")
+        writer.newline()
+
+
+def ticker_stream(updates: int = 2000, seed: int = 0) -> NewsFeedGenerator:
+    """Convenience constructor for a stock/news stream of ``updates`` items."""
+    return NewsFeedGenerator(NewsFeedConfig(updates=updates), seed=seed)

@@ -1,0 +1,192 @@
+"""Synthetic Protein Sequence Database documents.
+
+The paper's quantitative claims are measured on the 75 MB Georgetown Protein
+Information Resource (PIR) Protein Sequence Database XML export.  That file
+is not redistributable and is unavailable offline, so this generator produces
+a structurally equivalent substitute: a flat ``ProteinDatabase`` root with
+thousands of ``ProteinEntry`` elements, each with an ``id`` attribute, a
+``header``, an optional list of ``reference`` elements, an ``organism``, a
+``sequence`` and a few ``feature`` records — the element vocabulary the
+paper's example query ``//ProteinEntry[reference]/@id`` touches, with a
+similar markup-to-text ratio.  The document scales to any byte size, which is
+how the memory-stability experiment (E2) sweeps document size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..errors import DatasetError
+from .base import DatasetGenerator, XMLWriter, chunked
+
+_AMINO_ACIDS = "ACDEFGHIKLMNPQRSTVWY"
+
+_ORGANISMS = [
+    "Homo sapiens",
+    "Mus musculus",
+    "Saccharomyces cerevisiae",
+    "Escherichia coli",
+    "Drosophila melanogaster",
+    "Arabidopsis thaliana",
+    "Rattus norvegicus",
+    "Caenorhabditis elegans",
+]
+
+_JOURNALS = [
+    "J. Biol. Chem.",
+    "Proc. Natl. Acad. Sci. U.S.A.",
+    "Nucleic Acids Res.",
+    "Protein Sci.",
+    "EMBO J.",
+]
+
+_KEYWORDS = [
+    "oxidoreductase",
+    "transferase",
+    "hydrolase",
+    "membrane",
+    "signal peptide",
+    "phosphoprotein",
+    "zinc finger",
+    "kinase",
+]
+
+
+@dataclass
+class ProteinConfig:
+    """Parameters of the synthetic protein database."""
+
+    #: Number of ProteinEntry elements; ignored when ``target_bytes`` is set.
+    entries: int = 1000
+    #: Approximate size of the generated document; overrides ``entries``.
+    target_bytes: Optional[int] = None
+    #: Fraction of entries that carry at least one reference element.
+    reference_probability: float = 0.8
+    #: Maximum number of reference elements per entry.
+    max_references: int = 3
+    #: Length of the amino-acid sequence payload per entry.
+    sequence_length: int = 320
+    #: Maximum number of feature records per entry.
+    max_features: int = 4
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.DatasetError` for invalid settings."""
+        if self.entries < 1:
+            raise DatasetError("entries must be >= 1")
+        if self.target_bytes is not None and self.target_bytes < 1024:
+            raise DatasetError("target_bytes must be at least 1 KiB")
+        if not 0.0 <= self.reference_probability <= 1.0:
+            raise DatasetError("reference_probability must be in [0, 1]")
+        if self.max_references < 0:
+            raise DatasetError("max_references must be >= 0")
+        if self.sequence_length < 1:
+            raise DatasetError("sequence_length must be >= 1")
+        if self.max_features < 0:
+            raise DatasetError("max_features must be >= 0")
+
+
+class ProteinDatabaseGenerator(DatasetGenerator):
+    """Generate a synthetic PIR-style protein sequence database."""
+
+    name = "protein"
+
+    def __init__(self, config: Optional[ProteinConfig] = None, seed: int = 0) -> None:
+        super().__init__(seed=seed)
+        self.config = config or ProteinConfig()
+        self.config.validate()
+
+    def chunks(self) -> Iterator[str]:
+        self.reset()
+        yield from chunked(self._parts())
+
+    # ------------------------------------------------------------ internals
+
+    def _parts(self) -> Iterator[str]:
+        config = self.config
+        writer = XMLWriter()
+        writer.declaration()
+        writer.start("ProteinDatabase")
+        writer.newline()
+        yield writer.drain()
+
+        emitted_bytes = 0
+        entry_index = 0
+        while True:
+            if config.target_bytes is not None:
+                if emitted_bytes >= config.target_bytes:
+                    break
+            elif entry_index >= config.entries:
+                break
+            self._entry(writer, entry_index)
+            chunk = writer.drain()
+            emitted_bytes += len(chunk)
+            entry_index += 1
+            yield chunk
+
+        writer.end("ProteinDatabase")
+        writer.newline()
+        yield writer.drain()
+
+    def _entry(self, writer: XMLWriter, index: int) -> None:
+        config = self.config
+        rng = self.rng
+        entry_id = f"PIR:{index:08d}"
+        writer.start("ProteinEntry", {"id": entry_id})
+        writer.newline()
+
+        writer.start("header")
+        writer.element("uid", entry_id)
+        writer.element("accession", f"A{rng.randrange(10_000_000):07d}")
+        writer.element("created_date", f"{rng.randrange(1988, 2002)}-{rng.randrange(1, 13):02d}-{rng.randrange(1, 29):02d}")
+        writer.end("header")
+        writer.newline()
+
+        writer.element("protein", f"protein {index} ({rng.choice(_KEYWORDS)})")
+        writer.newline()
+        writer.start("organism")
+        writer.element("source", rng.choice(_ORGANISMS))
+        writer.element("common", rng.choice(_ORGANISMS).split()[0])
+        writer.end("organism")
+        writer.newline()
+
+        if rng.random() < config.reference_probability and config.max_references > 0:
+            for ref_index in range(rng.randint(1, config.max_references)):
+                self._reference(writer, index, ref_index)
+
+        for keyword in rng.sample(_KEYWORDS, k=rng.randint(1, 3)):
+            writer.element("keyword", keyword)
+        writer.newline()
+
+        for feature_index in range(rng.randint(0, config.max_features)):
+            writer.start("feature", {"type": rng.choice(["site", "region", "modification"])})
+            writer.element("description", f"feature {feature_index}")
+            writer.element("position", str(rng.randrange(1, config.sequence_length)))
+            writer.end("feature")
+            writer.newline()
+
+        sequence = "".join(rng.choice(_AMINO_ACIDS) for _ in range(config.sequence_length))
+        writer.element("sequence", sequence, {"length": config.sequence_length})
+        writer.newline()
+        writer.end("ProteinEntry")
+        writer.newline()
+
+    def _reference(self, writer: XMLWriter, entry_index: int, ref_index: int) -> None:
+        rng = self.rng
+        writer.start("reference")
+        writer.start("refinfo", {"refid": f"{entry_index}.{ref_index}"})
+        writer.element("authors", f"Author {rng.randrange(100)} et al.")
+        writer.element("citation", rng.choice(_JOURNALS))
+        writer.element("year", str(rng.randrange(1975, 2002)))
+        writer.element("title", f"Study {entry_index}-{ref_index} of {rng.choice(_KEYWORDS)}")
+        writer.end("refinfo")
+        writer.start("accinfo")
+        writer.element("mol-type", rng.choice(["complete", "fragment"]))
+        writer.end("accinfo")
+        writer.end("reference")
+        writer.newline()
+
+
+def protein_dataset_of_size(target_bytes: int, seed: int = 0) -> ProteinDatabaseGenerator:
+    """A protein dataset generator sized to roughly ``target_bytes`` bytes."""
+    return ProteinDatabaseGenerator(ProteinConfig(target_bytes=target_bytes), seed=seed)

@@ -1,0 +1,97 @@
+"""Random small XML trees over a tiny vocabulary (for differential testing).
+
+Property-based tests compare the TwigM engine, the naive baseline and the DOM
+oracle on thousands of (document, query) pairs.  Those documents come from
+here: trees over a small tag vocabulary with controllable depth, fan-out,
+attribute and text probabilities, and plenty of same-tag nesting so that the
+exponential-match corner cases are hit constantly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..errors import DatasetError
+from .base import DatasetGenerator, XMLWriter, chunked
+
+
+@dataclass
+class RandomTreeConfig:
+    """Parameters of the random tree generator."""
+
+    #: Tag vocabulary (small on purpose: collisions create recursion).
+    vocabulary: tuple = ("a", "b", "c", "d")
+    #: Attribute names drawn for random attributes.
+    attributes: tuple = ("id", "key")
+    #: Values for attributes and text (drawn uniformly).
+    values: tuple = ("1", "2", "x")
+    #: Maximum tree depth (root = depth 1).
+    max_depth: int = 6
+    #: Maximum number of children per element.
+    max_children: int = 3
+    #: Probability that an element gets an attribute.
+    attribute_probability: float = 0.3
+    #: Probability that an element gets a text child.
+    text_probability: float = 0.3
+    #: Probability that an element has children at all (when depth remains).
+    branch_probability: float = 0.8
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.DatasetError` for invalid settings."""
+        if not self.vocabulary:
+            raise DatasetError("vocabulary must not be empty")
+        if self.max_depth < 1:
+            raise DatasetError("max_depth must be >= 1")
+        if self.max_children < 0:
+            raise DatasetError("max_children must be >= 0")
+        for name in ("attribute_probability", "text_probability", "branch_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise DatasetError(f"{name} must be in [0, 1]")
+
+
+class RandomTreeGenerator(DatasetGenerator):
+    """Generate random small XML documents."""
+
+    name = "randomtree"
+
+    def __init__(self, config: Optional[RandomTreeConfig] = None, seed: int = 0) -> None:
+        super().__init__(seed=seed)
+        self.config = config or RandomTreeConfig()
+        self.config.validate()
+
+    def chunks(self) -> Iterator[str]:
+        self.reset()
+        writer = XMLWriter()
+        writer.declaration()
+        self._element(writer, depth=1)
+        yield from chunked([writer.drain()])
+
+    # ------------------------------------------------------------ internals
+
+    def _element(self, writer: XMLWriter, depth: int) -> None:
+        config = self.config
+        rng = self.rng
+        tag = rng.choice(config.vocabulary)
+        attributes = None
+        if rng.random() < config.attribute_probability:
+            attributes = {rng.choice(config.attributes): rng.choice(config.values)}
+        writer.start(tag, attributes)
+        if rng.random() < config.text_probability:
+            writer.text(rng.choice(config.values))
+        if depth < config.max_depth and rng.random() < config.branch_probability:
+            for _ in range(rng.randint(0, config.max_children)):
+                self._element(writer, depth + 1)
+                if rng.random() < config.text_probability / 2:
+                    writer.text(rng.choice(config.values))
+        writer.end(tag)
+
+
+def random_documents(count: int, seed: int = 0, config: Optional[RandomTreeConfig] = None) -> List[str]:
+    """Generate ``count`` random documents with consecutive derived seeds."""
+    return [
+        RandomTreeGenerator(config=config, seed=seed * 10_000 + index).text()
+        for index in range(count)
+    ]

@@ -1,0 +1,159 @@
+"""Recursive book/section/table documents (Figure-1 style).
+
+This generator produces the data shape that motivates the paper: elements
+that nest inside themselves (``section`` inside ``section``, ``table`` inside
+``table``), so that descendant-axis queries have a number of pattern matches
+exponential in the query size.  The recursion depth, the fan-out and the
+probability that the predicate elements (``author``, ``position``) are
+present are all controllable, which lets the E3 benchmark dial the amount of
+match explosion precisely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..errors import DatasetError
+from .base import DatasetGenerator, XMLWriter, chunked
+
+
+@dataclass
+class RecursiveConfig:
+    """Parameters of the recursive document generator."""
+
+    #: Number of nested ``section`` levels under the root.
+    section_depth: int = 4
+    #: Number of nested ``table`` levels inside the innermost section.
+    table_depth: int = 4
+    #: Number of sibling section chains under the root.
+    section_groups: int = 2
+    #: Number of cells inside the innermost table of each chain.
+    cells_per_table: int = 2
+    #: Probability that a section has an ``author`` child.
+    author_probability: float = 0.5
+    #: Probability that a table has a ``position`` child.
+    position_probability: float = 0.5
+    #: Extra payload elements per section (noise that the query must skip).
+    noise_per_section: int = 1
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.DatasetError` for invalid settings."""
+        if self.section_depth < 1:
+            raise DatasetError("section_depth must be >= 1")
+        if self.table_depth < 1:
+            raise DatasetError("table_depth must be >= 1")
+        if self.section_groups < 1:
+            raise DatasetError("section_groups must be >= 1")
+        if self.cells_per_table < 0:
+            raise DatasetError("cells_per_table must be >= 0")
+        if not 0.0 <= self.author_probability <= 1.0:
+            raise DatasetError("author_probability must be in [0, 1]")
+        if not 0.0 <= self.position_probability <= 1.0:
+            raise DatasetError("position_probability must be in [0, 1]")
+        if self.noise_per_section < 0:
+            raise DatasetError("noise_per_section must be >= 0")
+
+
+class RecursiveBookGenerator(DatasetGenerator):
+    """Generate deeply recursive ``book/section/table/cell`` documents."""
+
+    name = "recursive"
+
+    def __init__(self, config: Optional[RecursiveConfig] = None, seed: int = 0) -> None:
+        super().__init__(seed=seed)
+        self.config = config or RecursiveConfig()
+        self.config.validate()
+
+    def chunks(self) -> Iterator[str]:
+        self.reset()
+        yield from chunked(self._parts())
+
+    # ------------------------------------------------------------ internals
+
+    def _parts(self) -> Iterator[str]:
+        config = self.config
+        writer = XMLWriter()
+        writer.declaration()
+        writer.start("book")
+        writer.newline()
+        yield writer.drain()
+        for group in range(config.section_groups):
+            yield from self._section_chain(writer, depth=config.section_depth, group=group)
+        writer.end("book")
+        writer.newline()
+        yield writer.drain()
+
+    def _section_chain(self, writer: XMLWriter, depth: int, group: int) -> Iterator[str]:
+        config = self.config
+        rng = self.rng
+        opened = 0
+        authors_pending = []
+        for level in range(depth):
+            writer.start("section", {"depth": level + 1, "group": group})
+            writer.newline()
+            opened += 1
+            has_author = rng.random() < config.author_probability
+            authors_pending.append(has_author)
+            for noise in range(config.noise_per_section):
+                writer.element("title", f"Section {group}.{level}.{noise}")
+                writer.newline()
+            yield writer.drain()
+        yield from self._table_chain(writer, depth=config.table_depth, group=group)
+        while opened:
+            has_author = authors_pending.pop()
+            if has_author:
+                writer.element("author", f"Author {group}-{opened}")
+                writer.newline()
+            writer.end("section")
+            writer.newline()
+            opened -= 1
+            yield writer.drain()
+
+    def _table_chain(self, writer: XMLWriter, depth: int, group: int) -> Iterator[str]:
+        config = self.config
+        rng = self.rng
+        opened = 0
+        positions_pending = []
+        for level in range(depth):
+            writer.start("table", {"depth": level + 1})
+            writer.newline()
+            opened += 1
+            positions_pending.append(rng.random() < config.position_probability)
+            yield writer.drain()
+        for index in range(config.cells_per_table):
+            writer.element("cell", f"value {group}.{index}")
+            writer.newline()
+        yield writer.drain()
+        while opened:
+            has_position = positions_pending.pop()
+            if has_position:
+                writer.element("position", f"P{group}-{opened}")
+                writer.newline()
+            writer.end("table")
+            writer.newline()
+            opened -= 1
+            yield writer.drain()
+
+
+def small_recursive_document(
+    section_depth: int = 3,
+    table_depth: int = 3,
+    seed: int = 0,
+    author_probability: float = 1.0,
+    position_probability: float = 1.0,
+) -> str:
+    """Convenience: a small recursive document as a string (used in tests)."""
+    generator = RecursiveBookGenerator(
+        RecursiveConfig(
+            section_depth=section_depth,
+            table_depth=table_depth,
+            section_groups=1,
+            cells_per_table=1,
+            author_probability=author_probability,
+            position_probability=position_probability,
+            noise_per_section=0,
+        ),
+        seed=seed,
+    )
+    return generator.text()

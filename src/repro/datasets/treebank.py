@@ -1,0 +1,131 @@
+"""Treebank-style documents: deep, highly recursive parse trees.
+
+The Penn Treebank XML export is the other dataset streaming-XPath papers use
+when they need *pathologically deep recursion* (parse trees nest the same
+grammatical categories — S, NP, VP, PP — dozens of levels deep).  The real
+Treebank is licensed, so this generator produces synthetic sentences with the
+same structural character: every non-terminal is drawn from a small grammar
+whose productions frequently reference themselves, giving documents whose
+depth and same-tag nesting dwarf the protein and auction datasets.  It is
+registered as the fifth benchmark workload and is the stress test for the
+descendant-axis code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import DatasetError
+from .base import DatasetGenerator, XMLWriter, chunked
+
+#: Simplified grammar: non-terminal → list of possible child sequences.
+#: Terminals (lower-case) emit a word; non-terminals recurse.
+_GRAMMAR: Dict[str, List[Tuple[str, ...]]] = {
+    "S": [("NP", "VP"), ("S", "CC", "S"), ("PP", "NP", "VP")],
+    "NP": [("DT", "NN"), ("NP", "PP"), ("ADJP", "NN"), ("DT", "ADJP", "NN"), ("NNP",)],
+    "VP": [("VB", "NP"), ("VB", "PP"), ("VP", "PP"), ("VB", "S")],
+    "PP": [("IN", "NP"),],
+    "ADJP": [("JJ",), ("ADJP", "JJ")],
+}
+
+_TERMINALS: Dict[str, List[str]] = {
+    "DT": ["the", "a", "some", "every"],
+    "NN": ["stream", "query", "stack", "table", "cell", "match", "engine"],
+    "NNP": ["ViteX", "TwigM", "XPath", "ICDE"],
+    "VB": ["processes", "matches", "scans", "emits", "prunes"],
+    "IN": ["over", "under", "with", "inside"],
+    "JJ": ["lazy", "recursive", "streaming", "compact", "polynomial"],
+    "CC": ["and", "but"],
+}
+
+
+@dataclass
+class TreebankConfig:
+    """Parameters of the synthetic treebank generator."""
+
+    #: Number of top-level sentences.
+    sentences: int = 200
+    #: Maximum recursion depth of a single parse tree.
+    max_depth: int = 14
+    #: Probability of choosing a recursive production when depth allows.
+    recursion_bias: float = 0.5
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.DatasetError` for invalid settings."""
+        if self.sentences < 1:
+            raise DatasetError("sentences must be >= 1")
+        if self.max_depth < 2:
+            raise DatasetError("max_depth must be >= 2")
+        if not 0.0 <= self.recursion_bias <= 1.0:
+            raise DatasetError("recursion_bias must be in [0, 1]")
+
+
+class TreebankGenerator(DatasetGenerator):
+    """Generate deep, recursive parse-tree documents."""
+
+    name = "treebank"
+
+    def __init__(self, config: Optional[TreebankConfig] = None, seed: int = 0) -> None:
+        super().__init__(seed=seed)
+        self.config = config or TreebankConfig()
+        self.config.validate()
+
+    def chunks(self) -> Iterator[str]:
+        self.reset()
+        yield from chunked(self._parts())
+
+    # ------------------------------------------------------------ internals
+
+    def _parts(self) -> Iterator[str]:
+        config = self.config
+        writer = XMLWriter()
+        writer.declaration()
+        writer.start("treebank")
+        writer.newline()
+        yield writer.drain()
+        for index in range(config.sentences):
+            writer.start("sentence", {"id": index})
+            self._expand(writer, "S", depth=1)
+            writer.end("sentence")
+            writer.newline()
+            yield writer.drain()
+        writer.end("treebank")
+        writer.newline()
+        yield writer.drain()
+
+    def _expand(self, writer: XMLWriter, symbol: str, depth: int) -> None:
+        config = self.config
+        rng = self.rng
+        if symbol in _TERMINALS:
+            writer.element(symbol, rng.choice(_TERMINALS[symbol]))
+            return
+        writer.start(symbol)
+        productions = _GRAMMAR[symbol]
+        if depth >= config.max_depth:
+            production = self._least_recursive(productions)
+        else:
+            recursive = [p for p in productions if any(child in _GRAMMAR for child in p)]
+            terminal_like = [p for p in productions if p not in recursive]
+            if recursive and rng.random() < config.recursion_bias:
+                production = rng.choice(recursive)
+            elif terminal_like:
+                production = rng.choice(terminal_like)
+            else:
+                production = rng.choice(productions)
+        for child in production:
+            self._expand(writer, child, depth + 1)
+        writer.end(symbol)
+
+    @staticmethod
+    def _least_recursive(productions: Sequence[Tuple[str, ...]]) -> Tuple[str, ...]:
+        """The production with the fewest non-terminals (used at the depth cap)."""
+        def non_terminals(production: Tuple[str, ...]) -> int:
+            return sum(1 for child in production if child in _GRAMMAR)
+
+        return min(productions, key=non_terminals)
+
+
+def treebank_of(sentences: int, max_depth: int = 14, seed: int = 0) -> TreebankGenerator:
+    """Convenience constructor."""
+    return TreebankGenerator(TreebankConfig(sentences=sentences, max_depth=max_depth), seed=seed)

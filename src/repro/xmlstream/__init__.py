@@ -1,0 +1,85 @@
+"""Streaming XML substrate for the ViteX reproduction.
+
+Public surface:
+
+* event model (:mod:`repro.xmlstream.events`),
+* the from-scratch incremental tokenizer and the ``xml.sax`` bridge exposed
+  through a single :func:`iter_events` entry point,
+* a lightweight in-memory DOM used as the correctness oracle,
+* serializers and well-formedness utilities.
+"""
+
+from .events import (
+    Characters,
+    Comment,
+    EndDocument,
+    EndElement,
+    Event,
+    EventRecorder,
+    EventStatistics,
+    ProcessingInstruction,
+    StartDocument,
+    StartElement,
+)
+from .dom import Document, Element, TreeBuilder, build_tree, parse_document
+from .reader import DEFAULT_CHUNK_SIZE, StreamReader, read_document
+from .sax import PARSER_BACKENDS, iter_events
+from .serializer import (
+    serialize_document,
+    serialize_element,
+    serialize_events,
+)
+from .tokenizer import StreamTokenizer, tokenize, tokenize_chunks
+from .wellformed import (
+    DepthTracker,
+    WellFormednessReport,
+    check_well_formed,
+    validate_event_stream,
+)
+from .paths import (
+    StructureSummary,
+    element_label,
+    element_path,
+    path_counts,
+    summarize_structure,
+    tag_histogram,
+)
+
+__all__ = [
+    "Characters",
+    "Comment",
+    "DEFAULT_CHUNK_SIZE",
+    "DepthTracker",
+    "Document",
+    "Element",
+    "EndDocument",
+    "EndElement",
+    "Event",
+    "EventRecorder",
+    "EventStatistics",
+    "PARSER_BACKENDS",
+    "ProcessingInstruction",
+    "StartDocument",
+    "StartElement",
+    "StreamReader",
+    "StreamTokenizer",
+    "StructureSummary",
+    "TreeBuilder",
+    "WellFormednessReport",
+    "build_tree",
+    "check_well_formed",
+    "element_label",
+    "element_path",
+    "iter_events",
+    "parse_document",
+    "path_counts",
+    "read_document",
+    "serialize_document",
+    "serialize_element",
+    "serialize_events",
+    "summarize_structure",
+    "tag_histogram",
+    "tokenize",
+    "tokenize_chunks",
+    "validate_event_stream",
+]

@@ -1,0 +1,239 @@
+"""A lightweight in-memory XML tree (DOM) built from streaming events.
+
+ViteX exists precisely because building an in-memory tree is not possible on
+unbounded streams; we still need one for two purposes:
+
+* as the **correctness oracle**: a navigational, random-access XPath
+  evaluator over this tree (:mod:`repro.baselines.dom_eval`) defines the
+  expected answers that the streaming TwigM engine must reproduce;
+* as a convenience for small documents in tests and examples.
+
+The node model is intentionally small: elements with a tag, attributes,
+text, children, a parent pointer, the document ``level`` (root element = 1,
+matching the streaming events) and the start-tag ``line`` when known, so that
+solutions can be identified the way the paper does ("the cell element at
+line 8").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..errors import StreamStateError
+from .events import (
+    Characters,
+    Comment,
+    EndDocument,
+    EndElement,
+    Event,
+    ProcessingInstruction,
+    StartDocument,
+    StartElement,
+)
+
+
+@dataclass
+class Element:
+    """An element node of the in-memory tree."""
+
+    tag: str
+    attributes: Dict[str, str] = field(default_factory=dict)
+    children: List["Element"] = field(default_factory=list)
+    parent: Optional["Element"] = None
+    level: int = 0
+    line: Optional[int] = None
+    #: Pre-order position of the element's start tag in the document
+    #: (0-based over elements only); used for document-order comparisons.
+    order: int = 0
+    #: Concatenated character data that is a *direct* child of this element.
+    text: str = ""
+
+    # ------------------------------------------------------------ queries
+
+    def iter(self) -> Iterator["Element"]:
+        """Yield this element and every descendant in document order."""
+        yield self
+        for child in self.children:
+            yield from child.iter()
+
+    def descendants(self) -> Iterator["Element"]:
+        """Yield every proper descendant in document order."""
+        for child in self.children:
+            yield from child.iter()
+
+    def ancestors(self) -> Iterator["Element"]:
+        """Yield ancestors from the parent up to the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def find_all(self, tag: str) -> List["Element"]:
+        """Return all descendants (and self) with the given tag."""
+        return [node for node in self.iter() if node.tag == tag]
+
+    def child_elements(self, tag: Optional[str] = None) -> List["Element"]:
+        """Return direct element children, optionally filtered by tag."""
+        if tag is None:
+            return list(self.children)
+        return [child for child in self.children if child.tag == tag]
+
+    def get(self, attribute: str, default: Optional[str] = None) -> Optional[str]:
+        """Return the value of ``attribute`` or ``default``."""
+        return self.attributes.get(attribute, default)
+
+    def string_value(self) -> str:
+        """Return the concatenation of all descendant text (XPath string value)."""
+        parts: List[str] = []
+        self._collect_text(parts)
+        return "".join(parts)
+
+    def _collect_text(self, parts: List[str]) -> None:
+        parts.append(self.text_before_children())
+        for index, child in enumerate(self.children):
+            child._collect_text(parts)
+            parts.append(self.text_segment(index + 1))
+
+    # Text handling: we store interleaved text segments so mixed content
+    # round-trips through the serializer.  ``_segments[i]`` is the text that
+    # appears before child ``i``; ``_segments[len(children)]`` is the trailing
+    # text.  ``text`` (above) keeps the simple concatenation for convenience.
+    _segments: List[str] = field(default_factory=lambda: [""])
+
+    def text_before_children(self) -> str:
+        """Text appearing before the first child element."""
+        return self._segments[0] if self._segments else ""
+
+    def text_segment(self, index: int) -> str:
+        """Text appearing after child ``index - 1`` (0 = before first child)."""
+        if 0 <= index < len(self._segments):
+            return self._segments[index]
+        return ""
+
+    def append_text(self, text: str) -> None:
+        """Append character data at the current end of this element's content."""
+        if not text:
+            return
+        while len(self._segments) < len(self.children) + 1:
+            self._segments.append("")
+        self._segments[len(self.children)] += text
+        self.text += text
+
+    def append_child(self, child: "Element") -> None:
+        """Attach ``child`` as the last child of this element."""
+        while len(self._segments) < len(self.children) + 1:
+            self._segments.append("")
+        child.parent = self
+        self.children.append(child)
+        self._segments.append("")
+
+    # ------------------------------------------------------------ dunder
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Element {self.tag!r} level={self.level} line={self.line}>"
+
+
+@dataclass
+class Document:
+    """A parsed XML document."""
+
+    root: Element
+    #: Total number of element nodes.
+    element_count: int = 0
+    #: Maximum element depth (root = 1).
+    max_depth: int = 0
+
+    def iter(self) -> Iterator[Element]:
+        """Yield every element in document order."""
+        yield from self.root.iter()
+
+    def find_all(self, tag: str) -> List[Element]:
+        """Return every element with the given tag, in document order."""
+        return self.root.find_all(tag)
+
+    def elements_at_line(self, line: int) -> List[Element]:
+        """Return elements whose start tag begins at the given source line."""
+        return [node for node in self.iter() if node.line == line]
+
+
+class TreeBuilder:
+    """Builds a :class:`Document` from a stream of events."""
+
+    def __init__(self) -> None:
+        self._stack: List[Element] = []
+        self._root: Optional[Element] = None
+        self._order = 0
+        self._max_depth = 0
+        self._finished = False
+
+    def feed(self, event: Event) -> None:
+        """Consume one event."""
+        if self._finished:
+            raise StreamStateError("tree builder already finished")
+        if isinstance(event, StartElement):
+            element = Element(
+                tag=event.name,
+                attributes=event.attribute_dict(),
+                level=event.level,
+                line=event.line,
+                order=self._order,
+            )
+            self._order += 1
+            self._max_depth = max(self._max_depth, event.level)
+            if self._stack:
+                self._stack[-1].append_child(element)
+            elif self._root is None:
+                self._root = element
+            else:
+                raise StreamStateError("multiple root elements in event stream")
+            self._stack.append(element)
+        elif isinstance(event, EndElement):
+            if not self._stack:
+                raise StreamStateError(
+                    f"end element '{event.name}' without matching start"
+                )
+            top = self._stack.pop()
+            if top.tag != event.name:
+                raise StreamStateError(
+                    f"end element '{event.name}' does not match open '{top.tag}'"
+                )
+        elif isinstance(event, Characters):
+            if self._stack:
+                self._stack[-1].append_text(event.text)
+        elif isinstance(event, (StartDocument, Comment, ProcessingInstruction)):
+            pass
+        elif isinstance(event, EndDocument):
+            self._finished = True
+        else:  # pragma: no cover - future event types
+            raise StreamStateError(f"unknown event type {type(event).__name__}")
+
+    def close(self) -> Document:
+        """Finish building and return the document."""
+        if self._stack:
+            raise StreamStateError(
+                f"document ended with unclosed element '{self._stack[-1].tag}'"
+            )
+        if self._root is None:
+            raise StreamStateError("event stream contained no elements")
+        return Document(root=self._root, element_count=self._order, max_depth=self._max_depth)
+
+
+def build_tree(events: Iterable[Event]) -> Document:
+    """Build a :class:`Document` from an iterable of events."""
+    builder = TreeBuilder()
+    for event in events:
+        builder.feed(event)
+    return builder.close()
+
+
+def parse_document(text: str) -> Document:
+    """Parse a document string into an in-memory tree using the native tokenizer."""
+    from .tokenizer import tokenize
+
+    return build_tree(tokenize(text))
+
+
+def document_order_key(element: Element) -> Tuple[int, ...]:
+    """Return a sort key placing elements in document order."""
+    return (element.order,)

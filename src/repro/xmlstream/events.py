@@ -1,0 +1,196 @@
+"""SAX-style event model for the streaming XML substrate.
+
+The entire ViteX pipeline is driven by a flat sequence of events.  Events are
+small immutable dataclasses; the engine never sees the raw text once it has
+been tokenized.  Every event carries the document ``position`` (a monotonically
+increasing integer assigned by the producer) and, where meaningful, the
+``level`` (depth) of the corresponding element: the document element sits at
+level 1, its children at level 2, and so on.  ViteX's TwigM machine keys its
+stack entries on exactly this level value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class for every streaming event."""
+
+    #: Monotonic event index within the stream (0-based).
+    position: int
+
+
+@dataclass(frozen=True)
+class StartDocument(Event):
+    """Emitted once before any other event."""
+
+
+@dataclass(frozen=True)
+class EndDocument(Event):
+    """Emitted once after every other event."""
+
+
+@dataclass(frozen=True)
+class StartElement(Event):
+    """An element start tag.
+
+    Attributes
+    ----------
+    name:
+        The element's tag name (qualified name as written in the document).
+    level:
+        Depth of the element; the document element has level 1.
+    attributes:
+        Mapping of attribute name to attribute value for this start tag.
+    line:
+        1-based source line of the ``<`` character when known.
+    """
+
+    name: str = ""
+    level: int = 0
+    attributes: Tuple[Tuple[str, str], ...] = ()
+    line: Optional[int] = None
+
+    def attribute_dict(self) -> Dict[str, str]:
+        """Return the attributes as a plain ``dict``."""
+        return dict(self.attributes)
+
+    def get(self, attribute_name: str, default: Optional[str] = None) -> Optional[str]:
+        """Return the value of ``attribute_name`` or ``default`` if absent."""
+        for key, value in self.attributes:
+            if key == attribute_name:
+                return value
+        return default
+
+
+@dataclass(frozen=True)
+class EndElement(Event):
+    """An element end tag (or the implicit end of an empty-element tag)."""
+
+    name: str = ""
+    level: int = 0
+    line: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Characters(Event):
+    """Character data between tags.
+
+    Consecutive raw text chunks are coalesced by the producers so consumers
+    may assume at most one ``Characters`` event between two structural events.
+    """
+
+    text: str = ""
+    level: int = 0
+
+
+@dataclass(frozen=True)
+class Comment(Event):
+    """An XML comment (``<!-- ... -->``)."""
+
+    text: str = ""
+    level: int = 0
+
+
+@dataclass(frozen=True)
+class ProcessingInstruction(Event):
+    """A processing instruction (``<?target data?>``)."""
+
+    target: str = ""
+    data: str = ""
+    level: int = 0
+
+
+def is_structural(event: Event) -> bool:
+    """Return True for events that change the element structure of the tree."""
+    return isinstance(event, (StartElement, EndElement))
+
+
+def element_events(events: Iterable[Event]) -> Iterator[Event]:
+    """Yield only the structural (start/end element) events from ``events``."""
+    for event in events:
+        if is_structural(event):
+            yield event
+
+
+@dataclass
+class EventStatistics:
+    """Aggregate counters describing an event stream.
+
+    Useful both in tests (to characterise synthetic datasets) and in the
+    benchmark harness (to report document sizes in terms the paper uses:
+    number of elements, maximum depth).
+    """
+
+    start_elements: int = 0
+    end_elements: int = 0
+    characters: int = 0
+    text_length: int = 0
+    attributes: int = 0
+    max_depth: int = 0
+    tag_names: Dict[str, int] = field(default_factory=dict)
+
+    def observe(self, event: Event) -> None:
+        """Update the counters with one event."""
+        if isinstance(event, StartElement):
+            self.start_elements += 1
+            self.attributes += len(event.attributes)
+            self.max_depth = max(self.max_depth, event.level)
+            self.tag_names[event.name] = self.tag_names.get(event.name, 0) + 1
+        elif isinstance(event, EndElement):
+            self.end_elements += 1
+        elif isinstance(event, Characters):
+            self.characters += 1
+            self.text_length += len(event.text)
+
+    @classmethod
+    def from_events(cls, events: Iterable[Event]) -> "EventStatistics":
+        """Consume ``events`` and return the aggregate statistics."""
+        stats = cls()
+        for event in events:
+            stats.observe(event)
+        return stats
+
+    @property
+    def element_count(self) -> int:
+        """Number of elements seen (start tags)."""
+        return self.start_elements
+
+    def summary(self) -> Dict[str, int]:
+        """Return a plain-dict summary suitable for report tables."""
+        return {
+            "elements": self.start_elements,
+            "attributes": self.attributes,
+            "text_chunks": self.characters,
+            "text_length": self.text_length,
+            "max_depth": self.max_depth,
+            "distinct_tags": len(self.tag_names),
+        }
+
+
+class EventRecorder:
+    """Collects events into a list while passing them through.
+
+    This is a small utility used by tests and by the DOM builder: it can be
+    inserted between a producer and a consumer to capture the exact event
+    sequence without disturbing it.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def __call__(self, events: Iterable[Event]) -> Iterator[Event]:
+        for event in events:
+            self.events.append(event)
+            yield event
+
+    def clear(self) -> None:
+        """Forget all recorded events."""
+        self.events.clear()
+
+    def structural(self) -> List[Event]:
+        """Return only the recorded start/end element events."""
+        return [event for event in self.events if is_structural(event)]

@@ -1,0 +1,103 @@
+"""Structural path utilities shared by tests, examples and benchmarks.
+
+These are small helpers over the event/DOM models: computing simple path
+strings, numbering elements the way the paper does (by source line of the
+start tag), and summarising document structure.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .dom import Document, Element
+from .events import Event, StartElement
+
+
+def element_path(element: Element) -> str:
+    """Return the absolute simple path of an element, e.g. ``/book/section/table``."""
+    parts: List[str] = []
+    node: Optional[Element] = element
+    while node is not None:
+        parts.append(node.tag)
+        node = node.parent
+    return "/" + "/".join(reversed(parts))
+
+
+def element_label(element: Element) -> str:
+    """Return the paper-style label of an element.
+
+    The paper distinguishes XML nodes with the same tag by subscripting the
+    line number of their start tag, e.g. ``table_5``.  When the line number
+    is unknown we fall back to the pre-order position.
+    """
+    if element.line is not None:
+        return f"{element.tag}_{element.line}"
+    return f"{element.tag}#{element.order}"
+
+
+def path_counts(document: Document) -> Dict[str, int]:
+    """Count elements per absolute simple path."""
+    counts: Counter = Counter()
+    for element in document.iter():
+        counts[element_path(element)] += 1
+    return dict(counts)
+
+
+def tag_histogram(events: Iterable[Event]) -> Dict[str, int]:
+    """Count start-element events per tag name."""
+    counts: Counter = Counter()
+    for event in events:
+        if isinstance(event, StartElement):
+            counts[event.name] += 1
+    return dict(counts)
+
+
+@dataclass(frozen=True)
+class StructureSummary:
+    """A compact structural description of a document."""
+
+    element_count: int
+    max_depth: int
+    distinct_tags: int
+    distinct_paths: int
+    recursive_tags: Tuple[str, ...]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return a plain dict for report tables."""
+        return {
+            "elements": self.element_count,
+            "max_depth": self.max_depth,
+            "distinct_tags": self.distinct_tags,
+            "distinct_paths": self.distinct_paths,
+            "recursive_tags": list(self.recursive_tags),
+        }
+
+
+def summarize_structure(document: Document) -> StructureSummary:
+    """Summarise a document's structure, including which tags nest inside themselves.
+
+    A tag is *recursive* when some element with that tag has an ancestor with
+    the same tag — exactly the situation that makes descendant-axis pattern
+    matching explode and that ViteX is designed to handle.
+    """
+    tags = set()
+    paths = set()
+    recursive = set()
+    count = 0
+    for element in document.iter():
+        count += 1
+        tags.add(element.tag)
+        paths.add(element_path(element))
+        for ancestor in element.ancestors():
+            if ancestor.tag == element.tag:
+                recursive.add(element.tag)
+                break
+    return StructureSummary(
+        element_count=count,
+        max_depth=document.max_depth,
+        distinct_tags=len(tags),
+        distinct_paths=len(paths),
+        recursive_tags=tuple(sorted(recursive)),
+    )

@@ -1,0 +1,172 @@
+"""Chunked stream readers feeding the tokenizer.
+
+The benchmark harness and the CLI read documents from files, in-memory
+strings, or generator-produced chunk iterables.  :class:`StreamReader`
+normalises all of these into an iterator of text chunks with a configurable
+chunk size, handling byte decoding (UTF-8 with or without BOM, UTF-16 via the
+byte-order mark, or an explicitly supplied encoding).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Iterable, Iterator, Optional, Union
+
+from ..errors import EncodingError
+
+#: Default chunk size (characters / bytes) used when streaming from files.
+DEFAULT_CHUNK_SIZE = 64 * 1024
+
+TextSource = Union[str, bytes, os.PathLike, io.IOBase, Iterable[str]]
+
+
+def _detect_encoding(prefix: bytes) -> str:
+    """Guess the encoding of a document from its first bytes."""
+    if prefix.startswith(b"\xef\xbb\xbf"):
+        return "utf-8-sig"
+    if prefix.startswith(b"\xff\xfe") or prefix.startswith(b"\xfe\xff"):
+        return "utf-16"
+    # Look for an explicit declaration in the XML prolog.
+    try:
+        head = prefix.decode("ascii", errors="ignore")
+    except Exception:  # pragma: no cover - decode with ignore cannot fail
+        head = ""
+    marker = 'encoding="'
+    alt_marker = "encoding='"
+    for mark in (marker, alt_marker):
+        index = head.find(mark)
+        if index != -1:
+            end = head.find(mark[-1], index + len(mark))
+            if end != -1:
+                return head[index + len(mark):end]
+    return "utf-8"
+
+
+class StreamReader:
+    """Produce text chunks from heterogeneous document sources.
+
+    Parameters
+    ----------
+    source:
+        One of: a text string containing the document, a ``bytes`` object, a
+        filesystem path, an open text or binary file object, or an iterable
+        of text chunks (e.g. a generator producing an unbounded stream).
+    chunk_size:
+        Size of the chunks yielded when the source supports re-chunking.
+    encoding:
+        Byte encoding override.  When ``None`` the encoding is detected from
+        the byte-order mark or the XML declaration and defaults to UTF-8.
+    """
+
+    def __init__(
+        self,
+        source: TextSource,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        encoding: Optional[str] = None,
+    ) -> None:
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self.source = source
+        self.chunk_size = chunk_size
+        self.encoding = encoding
+
+    def __iter__(self) -> Iterator[str]:
+        return self.chunks()
+
+    def chunks(self) -> Iterator[str]:
+        """Yield the document as a sequence of text chunks."""
+        source = self.source
+        if isinstance(source, str) and not self._looks_like_path(source):
+            yield from self._chunk_string(source)
+        elif isinstance(source, bytes):
+            yield from self._chunk_string(self._decode(source))
+        elif isinstance(source, (str, os.PathLike)):
+            yield from self._chunk_file_path(os.fspath(source))
+        elif isinstance(source, io.IOBase) or hasattr(source, "read"):
+            yield from self._chunk_file_object(source)
+        else:
+            # Assume an iterable of text chunks (e.g. a dataset generator).
+            for chunk in source:  # type: ignore[union-attr]
+                if isinstance(chunk, bytes):
+                    yield self._decode(chunk)
+                else:
+                    yield chunk
+
+    # ------------------------------------------------------------ helpers
+
+    @staticmethod
+    def _looks_like_path(text: str) -> bool:
+        """Heuristic: document text always contains '<', paths essentially never do."""
+        if not text:
+            return False
+        if "<" in text:
+            return False
+        if "\n" in text:
+            return False
+        return len(text) < 4096
+
+    def _decode(self, data: bytes) -> str:
+        encoding = self.encoding or _detect_encoding(data[:256])
+        try:
+            return data.decode(encoding)
+        except (LookupError, UnicodeDecodeError) as exc:
+            raise EncodingError(f"cannot decode document as {encoding}: {exc}") from exc
+
+    def _chunk_string(self, text: str) -> Iterator[str]:
+        for start in range(0, len(text), self.chunk_size):
+            yield text[start:start + self.chunk_size]
+
+    def _chunk_file_path(self, path: str) -> Iterator[str]:
+        with open(path, "rb") as handle:
+            yield from self._chunk_binary_handle(handle)
+
+    def _chunk_file_object(self, handle) -> Iterator[str]:
+        sample = handle.read(0)
+        if isinstance(sample, bytes):
+            yield from self._chunk_binary_handle(handle)
+        else:
+            while True:
+                chunk = handle.read(self.chunk_size)
+                if not chunk:
+                    break
+                yield chunk
+
+    def _chunk_binary_handle(self, handle) -> Iterator[str]:
+        first = handle.read(self.chunk_size)
+        if not first:
+            return
+        encoding = self.encoding or _detect_encoding(first[:256])
+        try:
+            decoder_info = io.TextIOWrapper  # noqa: F841 - documented fallback below
+            import codecs
+
+            decoder = codecs.getincrementaldecoder(encoding)()
+        except LookupError as exc:
+            raise EncodingError(f"unknown encoding {encoding!r}") from exc
+        try:
+            text = decoder.decode(first)
+        except UnicodeDecodeError as exc:
+            raise EncodingError(f"cannot decode document as {encoding}: {exc}") from exc
+        if text:
+            yield text
+        while True:
+            chunk = handle.read(self.chunk_size)
+            if not chunk:
+                break
+            try:
+                text = decoder.decode(chunk)
+            except UnicodeDecodeError as exc:
+                raise EncodingError(
+                    f"cannot decode document as {encoding}: {exc}"
+                ) from exc
+            if text:
+                yield text
+        tail = decoder.decode(b"", final=True)
+        if tail:
+            yield tail
+
+
+def read_document(source: TextSource, encoding: Optional[str] = None) -> str:
+    """Read an entire document into a single string (convenience helper)."""
+    return "".join(StreamReader(source, encoding=encoding).chunks())

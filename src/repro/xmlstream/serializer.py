@@ -1,0 +1,126 @@
+"""Serialization of events and in-memory trees back to XML text.
+
+The streaming engine reports query solutions either as node references or as
+serialized XML fragments ("a set of XML fragments as solutions to Q" in the
+paper's words).  This module provides the fragment writer used for that, an
+event-stream serializer used by round-trip tests, and a pretty-printer used
+by the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .dom import Document, Element
+from .events import (
+    Characters,
+    Comment,
+    EndDocument,
+    EndElement,
+    Event,
+    ProcessingInstruction,
+    StartDocument,
+    StartElement,
+)
+
+_ESCAPES_TEXT = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;")]
+_ESCAPES_ATTR = _ESCAPES_TEXT + [('"', "&quot;")]
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for inclusion in element content."""
+    for raw, escaped in _ESCAPES_TEXT:
+        text = text.replace(raw, escaped)
+    return text
+
+
+def escape_attribute(text: str) -> str:
+    """Escape character data for inclusion in a double-quoted attribute value."""
+    for raw, escaped in _ESCAPES_ATTR:
+        text = text.replace(raw, escaped)
+    return text
+
+
+def serialize_events(events: Iterable[Event], xml_declaration: bool = False) -> str:
+    """Serialize a stream of events back into XML text.
+
+    The output is a canonical-ish form: attributes in the order they were
+    reported, no insignificant whitespace added or removed.
+    """
+    parts: List[str] = []
+    if xml_declaration:
+        parts.append('<?xml version="1.0" encoding="UTF-8"?>')
+    for event in events:
+        if isinstance(event, StartElement):
+            parts.append(_start_tag(event.name, event.attributes))
+        elif isinstance(event, EndElement):
+            parts.append(f"</{event.name}>")
+        elif isinstance(event, Characters):
+            parts.append(escape_text(event.text))
+        elif isinstance(event, Comment):
+            parts.append(f"<!--{event.text}-->")
+        elif isinstance(event, ProcessingInstruction):
+            data = f" {event.data}" if event.data else ""
+            parts.append(f"<?{event.target}{data}?>")
+        elif isinstance(event, (StartDocument, EndDocument)):
+            continue
+    return "".join(parts)
+
+
+def _start_tag(name: str, attributes) -> str:
+    if not attributes:
+        return f"<{name}>"
+    attrs = " ".join(f'{key}="{escape_attribute(value)}"' for key, value in attributes)
+    return f"<{name} {attrs}>"
+
+
+def serialize_element(
+    element: Element,
+    indent: Optional[str] = None,
+    _depth: int = 0,
+) -> str:
+    """Serialize an in-memory element (and its subtree) to XML text.
+
+    With ``indent`` set (e.g. ``"  "``), a pretty-printed form is produced;
+    otherwise the original mixed-content text layout is preserved.
+    """
+    if indent is None:
+        return _serialize_exact(element)
+    return "\n".join(_serialize_pretty(element, indent, _depth))
+
+
+def _serialize_exact(element: Element) -> str:
+    parts: List[str] = [_start_tag(element.tag, tuple(element.attributes.items()))]
+    parts.append(escape_text(element.text_before_children()))
+    for index, child in enumerate(element.children):
+        parts.append(_serialize_exact(child))
+        parts.append(escape_text(element.text_segment(index + 1)))
+    parts.append(f"</{element.tag}>")
+    return "".join(parts)
+
+
+def _serialize_pretty(element: Element, indent: str, depth: int) -> List[str]:
+    pad = indent * depth
+    open_tag = _start_tag(element.tag, tuple(element.attributes.items()))
+    text = element.string_value().strip() if not element.children else ""
+    if not element.children and text:
+        return [f"{pad}{open_tag}{escape_text(text)}</{element.tag}>"]
+    if not element.children:
+        return [f"{pad}{open_tag}</{element.tag}>"]
+    lines = [f"{pad}{open_tag}"]
+    own_text = element.text_before_children().strip()
+    if own_text:
+        lines.append(f"{pad}{indent}{escape_text(own_text)}")
+    for index, child in enumerate(element.children):
+        lines.extend(_serialize_pretty(child, indent, depth + 1))
+        trailing = element.text_segment(index + 1).strip()
+        if trailing:
+            lines.append(f"{pad}{indent}{escape_text(trailing)}")
+    lines.append(f"{pad}</{element.tag}>")
+    return lines
+
+
+def serialize_document(document: Document, indent: Optional[str] = None) -> str:
+    """Serialize a whole document, including the XML declaration."""
+    body = serialize_element(document.root, indent=indent)
+    return f'<?xml version="1.0" encoding="UTF-8"?>\n{body}'

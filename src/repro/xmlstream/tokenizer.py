@@ -1,0 +1,558 @@
+"""A from-scratch, incremental (pull-based) XML tokenizer.
+
+ViteX only needs a single sequential scan of the document, so the tokenizer is
+written as an incremental state machine: callers feed text chunks of arbitrary
+size with :meth:`StreamTokenizer.feed` and pull completed events out of the
+internal queue.  Nothing about the document is ever materialised beyond the
+current open-element stack and the unfinished tail of the last chunk, which is
+what gives the engine its constant-memory behaviour on unbounded streams.
+
+The tokenizer supports the XML subset that streaming query processing papers
+(including ViteX) use:
+
+* start tags with attributes (single- or double-quoted),
+* end tags and empty-element tags (``<a/>``),
+* character data with the five predefined entities and decimal/hexadecimal
+  character references,
+* comments, processing instructions, CDATA sections, an optional XML
+  declaration and an optional (skipped) DOCTYPE declaration.
+
+Namespaces are treated syntactically: qualified names are reported verbatim
+(``ns:tag``), which matches what the paper's query language operates on.
+
+It deliberately does *not* implement DTD entity expansion or validation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..errors import XMLSyntaxError
+from .events import (
+    Characters,
+    Comment,
+    EndDocument,
+    EndElement,
+    Event,
+    ProcessingInstruction,
+    StartDocument,
+    StartElement,
+)
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_NAME_START_EXTRA = set("_:")
+_NAME_EXTRA = set("_:.-")
+
+
+def _is_name_start(char: str) -> bool:
+    return char.isalpha() or char in _NAME_START_EXTRA
+
+
+def _is_name_char(char: str) -> bool:
+    return char.isalnum() or char in _NAME_EXTRA
+
+
+def decode_entities(text: str, line: Optional[int] = None) -> str:
+    """Resolve predefined entities and character references in ``text``.
+
+    Raises :class:`XMLSyntaxError` for malformed or unknown references.
+    """
+    if "&" not in text:
+        return text
+    out: List[str] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char != "&":
+            out.append(char)
+            index += 1
+            continue
+        end = text.find(";", index + 1)
+        if end == -1:
+            raise XMLSyntaxError("unterminated entity reference", line=line)
+        name = text[index + 1:end]
+        if not name:
+            raise XMLSyntaxError("empty entity reference", line=line)
+        if name.startswith("#x") or name.startswith("#X"):
+            try:
+                out.append(chr(int(name[2:], 16)))
+            except ValueError:
+                raise XMLSyntaxError(
+                    f"invalid hexadecimal character reference '&{name};'", line=line
+                ) from None
+        elif name.startswith("#"):
+            try:
+                out.append(chr(int(name[1:], 10)))
+            except ValueError:
+                raise XMLSyntaxError(
+                    f"invalid character reference '&{name};'", line=line
+                ) from None
+        else:
+            try:
+                out.append(_PREDEFINED_ENTITIES[name])
+            except KeyError:
+                raise XMLSyntaxError(
+                    f"unknown entity reference '&{name};'", line=line
+                ) from None
+        index = end + 1
+    return "".join(out)
+
+
+class StreamTokenizer:
+    """Incremental XML tokenizer producing :mod:`repro.xmlstream.events` events.
+
+    Typical use::
+
+        tokenizer = StreamTokenizer()
+        for chunk in chunks:
+            for event in tokenizer.feed(chunk):
+                handle(event)
+        for event in tokenizer.close():
+            handle(event)
+
+    The tokenizer keeps only the currently open element names (for
+    well-formedness checking and depth tracking) plus any unparsed tail of the
+    most recent chunk, so its memory use is bounded by the document depth, not
+    the document size.
+    """
+
+    def __init__(self, coalesce_text: bool = True) -> None:
+        self._buffer = ""
+        self._events: List[Event] = []
+        self._open_elements: List[str] = []
+        self._position = 0
+        self._line = 1
+        self._started = False
+        self._finished = False
+        self._root_seen = False
+        self._root_closed = False
+        self._coalesce_text = coalesce_text
+        self._pending_text: List[str] = []
+        self._pending_text_level = 0
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open elements."""
+        return len(self._open_elements)
+
+    @property
+    def finished(self) -> bool:
+        """True once :meth:`close` has completed successfully."""
+        return self._finished
+
+    def feed(self, chunk: str) -> List[Event]:
+        """Feed a text chunk and return the events completed by it."""
+        if self._finished:
+            raise XMLSyntaxError("tokenizer already closed")
+        if not self._started:
+            self._started = True
+            self._emit(StartDocument(position=self._next_position()))
+        self._buffer += chunk
+        self._scan()
+        return self._drain()
+
+    def close(self) -> List[Event]:
+        """Signal end of input and return the final events.
+
+        Raises :class:`XMLSyntaxError` if the document is incomplete.
+        """
+        if self._finished:
+            return []
+        if not self._started:
+            self._started = True
+            self._emit(StartDocument(position=self._next_position()))
+        self._scan(final=True)
+        if self._buffer.strip():
+            raise XMLSyntaxError(
+                "unexpected trailing content at end of document", line=self._line
+            )
+        if self._open_elements:
+            raise XMLSyntaxError(
+                f"document ended with unclosed element '{self._open_elements[-1]}'",
+                line=self._line,
+            )
+        if not self._root_seen:
+            raise XMLSyntaxError("document contains no root element", line=self._line)
+        self._flush_text()
+        self._emit(EndDocument(position=self._next_position()))
+        self._finished = True
+        return self._drain()
+
+    def tokenize(self, text: str) -> Iterator[Event]:
+        """Tokenize a complete document given as a single string."""
+        yield from self.feed(text)
+        yield from self.close()
+
+    # ------------------------------------------------------------ internals
+
+    def _next_position(self) -> int:
+        position = self._position
+        self._position += 1
+        return position
+
+    def _emit(self, event: Event) -> None:
+        self._events.append(event)
+
+    def _drain(self) -> List[Event]:
+        events, self._events = self._events, []
+        return events
+
+    def _count_lines(self, text: str) -> None:
+        self._line += text.count("\n")
+
+    def _queue_text(self, raw: str) -> None:
+        if not raw:
+            return
+        text = decode_entities(raw, line=self._line)
+        if not self._open_elements:
+            # Text outside the root element must be whitespace only.
+            if text.strip():
+                raise XMLSyntaxError(
+                    "character data outside of the root element", line=self._line
+                )
+            return
+        if self._coalesce_text:
+            self._pending_text.append(text)
+            self._pending_text_level = len(self._open_elements)
+        else:
+            self._emit(
+                Characters(
+                    position=self._next_position(),
+                    text=text,
+                    level=len(self._open_elements),
+                )
+            )
+
+    def _queue_raw_text(self, text: str) -> None:
+        """Queue text that must not undergo entity expansion (CDATA)."""
+        if not text:
+            return
+        if not self._open_elements:
+            if text.strip():
+                raise XMLSyntaxError(
+                    "CDATA section outside of the root element", line=self._line
+                )
+            return
+        if self._coalesce_text:
+            self._pending_text.append(text)
+            self._pending_text_level = len(self._open_elements)
+        else:
+            self._emit(
+                Characters(
+                    position=self._next_position(),
+                    text=text,
+                    level=len(self._open_elements),
+                )
+            )
+
+    def _flush_text(self) -> None:
+        if not self._pending_text:
+            return
+        text = "".join(self._pending_text)
+        self._pending_text = []
+        if text:
+            self._emit(
+                Characters(
+                    position=self._next_position(),
+                    text=text,
+                    level=self._pending_text_level,
+                )
+            )
+
+    def _scan(self, final: bool = False) -> None:
+        buffer = self._buffer
+        index = 0
+        length = len(buffer)
+        while index < length:
+            lt = buffer.find("<", index)
+            if lt == -1:
+                # Everything left is character data; keep a tail in case an
+                # entity reference is split across chunks.
+                remainder = buffer[index:]
+                if final or "&" not in remainder:
+                    self._queue_text(remainder)
+                    self._count_lines(remainder)
+                    index = length
+                break
+            if lt > index:
+                text = buffer[index:lt]
+                self._queue_text(text)
+                self._count_lines(text)
+            consumed = self._scan_markup(buffer, lt, final)
+            if consumed is None:
+                index = lt
+                break
+            index = consumed
+        self._buffer = buffer[index:]
+
+    def _scan_markup(self, buffer: str, start: int, final: bool) -> Optional[int]:
+        """Parse one markup construct starting at ``buffer[start] == '<'``.
+
+        Returns the index just past the construct, or ``None`` if the
+        construct is incomplete (more input needed).
+        """
+        length = len(buffer)
+        if start + 1 >= length:
+            if final:
+                raise XMLSyntaxError("unexpected end of input after '<'", line=self._line)
+            return None
+        second = buffer[start + 1]
+
+        if second == "!":
+            if buffer.startswith("<!--", start):
+                end = buffer.find("-->", start + 4)
+                if end == -1:
+                    if final:
+                        raise XMLSyntaxError("unterminated comment", line=self._line)
+                    return None
+                self._flush_text()
+                text = buffer[start + 4:end]
+                self._count_lines(buffer[start:end + 3])
+                self._emit(
+                    Comment(
+                        position=self._next_position(),
+                        text=text,
+                        level=len(self._open_elements),
+                    )
+                )
+                return end + 3
+            if buffer.startswith("<![CDATA[", start):
+                end = buffer.find("]]>", start + 9)
+                if end == -1:
+                    if final:
+                        raise XMLSyntaxError("unterminated CDATA section", line=self._line)
+                    return None
+                text = buffer[start + 9:end]
+                self._count_lines(buffer[start:end + 3])
+                self._queue_raw_text(text)
+                return end + 3
+            if buffer.startswith("<!DOCTYPE", start):
+                end = self._find_doctype_end(buffer, start)
+                if end is None:
+                    if final:
+                        raise XMLSyntaxError("unterminated DOCTYPE declaration", line=self._line)
+                    return None
+                self._count_lines(buffer[start:end])
+                return end
+            # Could be a partially received "<!--" or "<![CDATA[".
+            if not final and length - start < 9:
+                return None
+            raise XMLSyntaxError(
+                f"unsupported markup declaration near '{buffer[start:start + 9]}'",
+                line=self._line,
+            )
+
+        if second == "?":
+            end = buffer.find("?>", start + 2)
+            if end == -1:
+                if final:
+                    raise XMLSyntaxError(
+                        "unterminated processing instruction", line=self._line
+                    )
+                return None
+            content = buffer[start + 2:end]
+            self._count_lines(buffer[start:end + 2])
+            target, _, data = content.partition(" ")
+            target = target.strip()
+            if target.lower() != "xml":
+                self._flush_text()
+                self._emit(
+                    ProcessingInstruction(
+                        position=self._next_position(),
+                        target=target,
+                        data=data.strip(),
+                        level=len(self._open_elements),
+                    )
+                )
+            return end + 2
+
+        if second == "/":
+            end = buffer.find(">", start + 2)
+            if end == -1:
+                if final:
+                    raise XMLSyntaxError("unterminated end tag", line=self._line)
+                return None
+            name = buffer[start + 2:end].strip()
+            self._count_lines(buffer[start:end + 1])
+            self._handle_end_tag(name)
+            return end + 1
+
+        # Ordinary start tag or empty-element tag.
+        end = self._find_tag_end(buffer, start)
+        if end is None:
+            if final:
+                raise XMLSyntaxError("unterminated start tag", line=self._line)
+            return None
+        raw_tag = buffer[start + 1:end]
+        self._count_lines(buffer[start:end + 1])
+        empty = raw_tag.endswith("/")
+        if empty:
+            raw_tag = raw_tag[:-1]
+        name, attributes = self._parse_tag_content(raw_tag)
+        self._handle_start_tag(name, attributes)
+        if empty:
+            self._handle_end_tag(name)
+        return end + 1
+
+    @staticmethod
+    def _find_doctype_end(buffer: str, start: int) -> Optional[int]:
+        """Find the index just past a DOCTYPE declaration (handles internal subsets)."""
+        depth = 0
+        index = start
+        length = len(buffer)
+        while index < length:
+            char = buffer[index]
+            if char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+            elif char == ">" and depth <= 0:
+                return index + 1
+            index += 1
+        return None
+
+    @staticmethod
+    def _find_tag_end(buffer: str, start: int) -> Optional[int]:
+        """Find the ``>`` closing the tag at ``start``, ignoring ``>`` in quotes."""
+        index = start + 1
+        length = len(buffer)
+        quote: Optional[str] = None
+        while index < length:
+            char = buffer[index]
+            if quote is not None:
+                if char == quote:
+                    quote = None
+            elif char in "\"'":
+                quote = char
+            elif char == ">":
+                return index
+            index += 1
+        return None
+
+    def _parse_tag_content(self, raw: str) -> Tuple[str, Tuple[Tuple[str, str], ...]]:
+        raw = raw.strip()
+        if not raw:
+            raise XMLSyntaxError("empty tag", line=self._line)
+        index = 0
+        length = len(raw)
+        if not _is_name_start(raw[0]):
+            raise XMLSyntaxError(
+                f"invalid element name starting with '{raw[0]}'", line=self._line
+            )
+        while index < length and _is_name_char(raw[index]):
+            index += 1
+        name = raw[:index]
+        attributes: List[Tuple[str, str]] = []
+        seen: set = set()
+        while index < length:
+            while index < length and raw[index].isspace():
+                index += 1
+            if index >= length:
+                break
+            attr_start = index
+            if not _is_name_start(raw[index]):
+                raise XMLSyntaxError(
+                    f"invalid attribute name in tag '{name}'", line=self._line
+                )
+            while index < length and _is_name_char(raw[index]):
+                index += 1
+            attr_name = raw[attr_start:index]
+            while index < length and raw[index].isspace():
+                index += 1
+            if index >= length or raw[index] != "=":
+                raise XMLSyntaxError(
+                    f"attribute '{attr_name}' has no value in tag '{name}'",
+                    line=self._line,
+                )
+            index += 1
+            while index < length and raw[index].isspace():
+                index += 1
+            if index >= length or raw[index] not in "\"'":
+                raise XMLSyntaxError(
+                    f"attribute '{attr_name}' value must be quoted", line=self._line
+                )
+            quote = raw[index]
+            index += 1
+            value_end = raw.find(quote, index)
+            if value_end == -1:
+                raise XMLSyntaxError(
+                    f"unterminated value for attribute '{attr_name}'", line=self._line
+                )
+            value = decode_entities(raw[index:value_end], line=self._line)
+            index = value_end + 1
+            if attr_name in seen:
+                raise XMLSyntaxError(
+                    f"duplicate attribute '{attr_name}' in tag '{name}'",
+                    line=self._line,
+                )
+            seen.add(attr_name)
+            attributes.append((attr_name, value))
+        return name, tuple(attributes)
+
+    def _handle_start_tag(self, name: str, attributes: Tuple[Tuple[str, str], ...]) -> None:
+        if self._root_closed:
+            raise XMLSyntaxError(
+                f"element '{name}' appears after the root element was closed",
+                line=self._line,
+            )
+        self._flush_text()
+        self._open_elements.append(name)
+        self._root_seen = True
+        self._emit(
+            StartElement(
+                position=self._next_position(),
+                name=name,
+                level=len(self._open_elements),
+                attributes=attributes,
+                line=self._line,
+            )
+        )
+
+    def _handle_end_tag(self, name: str) -> None:
+        if not self._open_elements:
+            raise XMLSyntaxError(
+                f"end tag '</{name}>' without matching start tag", line=self._line
+            )
+        expected = self._open_elements[-1]
+        if name != expected:
+            raise XMLSyntaxError(
+                f"end tag '</{name}>' does not match open element '{expected}'",
+                line=self._line,
+            )
+        self._flush_text()
+        level = len(self._open_elements)
+        self._open_elements.pop()
+        if not self._open_elements:
+            self._root_closed = True
+        self._emit(
+            EndElement(
+                position=self._next_position(),
+                name=name,
+                level=level,
+                line=self._line,
+            )
+        )
+
+
+def tokenize(text: str, coalesce_text: bool = True) -> Iterator[Event]:
+    """Tokenize a complete XML document held in a string."""
+    tokenizer = StreamTokenizer(coalesce_text=coalesce_text)
+    yield from tokenizer.tokenize(text)
+
+
+def tokenize_chunks(chunks: Iterable[str], coalesce_text: bool = True) -> Iterator[Event]:
+    """Tokenize a document supplied as an iterable of text chunks."""
+    tokenizer = StreamTokenizer(coalesce_text=coalesce_text)
+    for chunk in chunks:
+        yield from tokenizer.feed(chunk)
+    yield from tokenizer.close()

@@ -1,0 +1,121 @@
+"""Well-formedness checking and stream sanity utilities.
+
+These helpers sit on top of the tokenizer: they re-expose its error reporting
+in a "check only" form (no events retained), and provide
+:class:`DepthTracker`, a small utility used by the engine and the benchmark
+meters to maintain and expose the current element depth of a live stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from ..errors import XMLSyntaxError
+from .events import EndElement, Event, StartElement
+from .reader import StreamReader, TextSource
+from .tokenizer import StreamTokenizer
+
+
+@dataclass
+class WellFormednessReport:
+    """Outcome of a well-formedness check."""
+
+    well_formed: bool
+    error: Optional[str] = None
+    line: Optional[int] = None
+    elements: int = 0
+    max_depth: int = 0
+
+    def __bool__(self) -> bool:
+        return self.well_formed
+
+
+def check_well_formed(source: TextSource, chunk_size: int = 64 * 1024) -> WellFormednessReport:
+    """Check whether ``source`` is a well-formed XML document.
+
+    The check is streaming: memory use is bounded by the document depth.
+    """
+    tokenizer = StreamTokenizer()
+    elements = 0
+    max_depth = 0
+    try:
+        for chunk in StreamReader(source, chunk_size=chunk_size).chunks():
+            for event in tokenizer.feed(chunk):
+                if isinstance(event, StartElement):
+                    elements += 1
+                    max_depth = max(max_depth, event.level)
+        for event in tokenizer.close():
+            if isinstance(event, StartElement):
+                elements += 1
+                max_depth = max(max_depth, event.level)
+    except XMLSyntaxError as exc:
+        return WellFormednessReport(
+            well_formed=False,
+            error=exc.message,
+            line=exc.line,
+            elements=elements,
+            max_depth=max_depth,
+        )
+    return WellFormednessReport(
+        well_formed=True, elements=elements, max_depth=max_depth
+    )
+
+
+@dataclass
+class DepthTracker:
+    """Track the current path and depth of a streaming document.
+
+    The engine uses only the depth, but the tracker also maintains the stack
+    of open tag names which benches and examples use to print progress
+    ("currently inside /ProteinDatabase/ProteinEntry/reference").
+    """
+
+    open_tags: List[str] = field(default_factory=list)
+    max_depth: int = 0
+
+    @property
+    def depth(self) -> int:
+        """Current element depth (0 outside the root element)."""
+        return len(self.open_tags)
+
+    def observe(self, event: Event) -> None:
+        """Update the tracker with a structural event (other events are ignored)."""
+        if isinstance(event, StartElement):
+            self.open_tags.append(event.name)
+            self.max_depth = max(self.max_depth, len(self.open_tags))
+        elif isinstance(event, EndElement):
+            if not self.open_tags:
+                raise XMLSyntaxError(
+                    f"end element '{event.name}' with no open element"
+                )
+            self.open_tags.pop()
+
+    def path(self) -> str:
+        """Return the current open path as ``/a/b/c``."""
+        return "/" + "/".join(self.open_tags)
+
+    def snapshot(self) -> Tuple[str, ...]:
+        """Return the current open-tag stack as an immutable tuple."""
+        return tuple(self.open_tags)
+
+
+def validate_event_stream(events: Iterable[Event]) -> Tuple[int, int]:
+    """Validate the nesting of an event stream.
+
+    Returns ``(element_count, max_depth)``; raises :class:`XMLSyntaxError`
+    if start/end events are not properly nested.  Used by tests to assert
+    that synthetic dataset generators emit well-formed streams without
+    materialising their output.
+    """
+    tracker = DepthTracker()
+    elements = 0
+    for event in events:
+        if isinstance(event, StartElement):
+            elements += 1
+        tracker.observe(event)
+    if tracker.depth != 0:
+        raise XMLSyntaxError(
+            f"event stream ended with {tracker.depth} unclosed element(s)"
+        )
+    return elements, tracker.max_depth

@@ -1,0 +1,94 @@
+"""XPath front-end for the ViteX reproduction: lexer, parser, normalizer.
+
+The public entry points are :func:`parse_xpath` (string → surface AST) and
+:func:`compile_query` (string → normalized query twig, the structure every
+evaluator in the library consumes).
+"""
+
+from .ast import (
+    AndExpr,
+    Axis,
+    ChildAtom,
+    Comparison,
+    ComparisonOp,
+    Exists,
+    Formula,
+    FormulaAnd,
+    FormulaNot,
+    FormulaOr,
+    FormulaTrue,
+    Literal,
+    LocationPath,
+    NameTest,
+    NodeKind,
+    NotExpr,
+    OrExpr,
+    PathExpr,
+    QueryNode,
+    QueryTree,
+    SelfTextAtom,
+    Step,
+    TextTest,
+    ValueTest,
+    WildcardTest,
+    evaluate_formula,
+    formula_atoms,
+)
+from .analysis import QueryStatistics, analyze, collect_labels, describe
+from .generator import (
+    QueryGenerator,
+    QueryGeneratorConfig,
+    chain_query_with_predicates,
+    deep_child_query,
+    linear_descendant_query,
+)
+from .normalize import compile_query, normalize, query_to_string
+from .parser import XPathParser, parse_xpath
+from .tokens import Token, TokenKind, tokenize_xpath
+
+__all__ = [
+    "AndExpr",
+    "Axis",
+    "ChildAtom",
+    "Comparison",
+    "ComparisonOp",
+    "Exists",
+    "Formula",
+    "FormulaAnd",
+    "FormulaNot",
+    "FormulaOr",
+    "FormulaTrue",
+    "Literal",
+    "LocationPath",
+    "NameTest",
+    "NodeKind",
+    "NotExpr",
+    "OrExpr",
+    "PathExpr",
+    "QueryGenerator",
+    "QueryGeneratorConfig",
+    "QueryNode",
+    "QueryStatistics",
+    "QueryTree",
+    "SelfTextAtom",
+    "Step",
+    "TextTest",
+    "Token",
+    "TokenKind",
+    "ValueTest",
+    "WildcardTest",
+    "XPathParser",
+    "analyze",
+    "chain_query_with_predicates",
+    "collect_labels",
+    "compile_query",
+    "deep_child_query",
+    "describe",
+    "evaluate_formula",
+    "formula_atoms",
+    "linear_descendant_query",
+    "normalize",
+    "parse_xpath",
+    "query_to_string",
+    "tokenize_xpath",
+]

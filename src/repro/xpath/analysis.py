@@ -1,0 +1,126 @@
+"""Query analysis: structural statistics of a normalized query twig.
+
+The benchmark harness reports these statistics alongside timing results (the
+paper's complexity bounds are stated in terms of the query size |Q|), and the
+random query generator uses them to verify that generated workloads hit the
+requested shape (number of descendant steps, predicate count, and so on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .ast import Axis, NodeKind, QueryNode, QueryTree, SelfTextAtom, formula_atoms
+
+
+@dataclass(frozen=True)
+class QueryStatistics:
+    """Structural statistics of a query twig."""
+
+    #: Total number of query nodes (the paper's |Q|).
+    size: int
+    #: Number of nodes on the main path (root to output node).
+    main_path_length: int
+    #: Depth of the twig counting predicate subtrees.
+    depth: int
+    #: Number of descendant-axis edges.
+    descendant_edges: int
+    #: Number of child-axis edges.
+    child_edges: int
+    #: Number of attribute nodes.
+    attribute_nodes: int
+    #: Number of wildcard nodes.
+    wildcard_nodes: int
+    #: Number of predicate child nodes (branches hanging off the main path or
+    #: other predicates).
+    predicate_nodes: int
+    #: Number of nodes carrying a value test.
+    value_tests: int
+    #: True when the query output is an attribute.
+    attribute_output: bool
+    #: True when the query output is a text() node.
+    text_output: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return the statistics as a plain dict (for report tables)."""
+        return {
+            "size": self.size,
+            "main_path_length": self.main_path_length,
+            "depth": self.depth,
+            "descendant_edges": self.descendant_edges,
+            "child_edges": self.child_edges,
+            "attribute_nodes": self.attribute_nodes,
+            "wildcard_nodes": self.wildcard_nodes,
+            "predicate_nodes": self.predicate_nodes,
+            "value_tests": self.value_tests,
+            "attribute_output": self.attribute_output,
+            "text_output": self.text_output,
+        }
+
+
+def analyze(tree: QueryTree) -> QueryStatistics:
+    """Compute :class:`QueryStatistics` for a query twig."""
+    nodes = tree.nodes()
+    main_path = tree.main_path()
+    main_ids = {node.node_id for node in main_path}
+
+    descendant_edges = 0
+    child_edges = 0
+    attribute_nodes = 0
+    wildcard_nodes = 0
+    value_tests = 0
+    for node in nodes:
+        if node.axis is Axis.DESCENDANT:
+            descendant_edges += 1
+        elif node.axis is Axis.CHILD:
+            child_edges += 1
+        if node.kind is NodeKind.ATTRIBUTE:
+            attribute_nodes += 1
+        if node.is_wildcard:
+            wildcard_nodes += 1
+        if node.value_test is not None:
+            value_tests += 1
+        value_tests += sum(
+            1 for atom in formula_atoms(node.formula) if isinstance(atom, SelfTextAtom)
+        )
+
+    return QueryStatistics(
+        size=len(nodes),
+        main_path_length=len(main_path),
+        depth=_depth(tree.root),
+        descendant_edges=descendant_edges,
+        child_edges=child_edges,
+        attribute_nodes=attribute_nodes,
+        wildcard_nodes=wildcard_nodes,
+        predicate_nodes=len(nodes) - len(main_path),
+        value_tests=value_tests,
+        attribute_output=tree.output_node.kind is NodeKind.ATTRIBUTE,
+        text_output=tree.output_node.kind is NodeKind.TEXT,
+    )
+
+
+def _depth(node: QueryNode) -> int:
+    children = node.children
+    if not children:
+        return 1
+    return 1 + max(_depth(child) for child in children)
+
+
+def describe(tree: QueryTree) -> str:
+    """One-line human readable description of a query's shape."""
+    stats = analyze(tree)
+    return (
+        f"|Q|={stats.size}, main path {stats.main_path_length}, "
+        f"{stats.descendant_edges} '//' edges, {stats.predicate_nodes} predicate nodes, "
+        f"{stats.wildcard_nodes} wildcards, {stats.value_tests} value tests"
+    )
+
+
+def collect_labels(tree: QueryTree) -> List[str]:
+    """Return the distinct element/attribute labels used by the query."""
+    labels = []
+    for node in tree.nodes():
+        if node.label not in labels and node.label not in ("*", "text()"):
+            labels.append(node.label)
+    return labels

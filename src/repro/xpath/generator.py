@@ -1,0 +1,160 @@
+"""Random query generation for tests and benchmarks.
+
+Differential testing (TwigM vs. the DOM oracle vs. the naive baseline) needs
+many structurally diverse queries; the query-size-scaling benchmark (E3/E4)
+needs families of queries with a controlled number of steps.  Both are
+produced here.  Generation is fully deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .ast import QueryTree
+from .normalize import compile_query
+
+
+@dataclass
+class QueryGeneratorConfig:
+    """Tunable knobs for random query generation.
+
+    All probabilities are independent per decision point.
+    """
+
+    #: Tag names to draw element tests from.
+    vocabulary: Sequence[str] = ("a", "b", "c", "d")
+    #: Attribute names to draw attribute tests from.
+    attributes: Sequence[str] = ("id", "key")
+    #: Values used in value tests.
+    values: Sequence[str] = ("1", "2", "x")
+    #: Number of steps on the main path (inclusive bounds).
+    min_steps: int = 1
+    max_steps: int = 4
+    #: Probability that a step uses the descendant axis.
+    descendant_probability: float = 0.5
+    #: Probability that a step is a wildcard.
+    wildcard_probability: float = 0.15
+    #: Probability that a step carries a predicate.
+    predicate_probability: float = 0.4
+    #: Probability that a predicate is a value comparison rather than existence.
+    comparison_probability: float = 0.3
+    #: Probability that a predicate path has two steps instead of one.
+    nested_predicate_probability: float = 0.2
+    #: Probability that a predicate uses the descendant axis (``.//``).
+    predicate_descendant_probability: float = 0.3
+    #: Probability that a predicate targets an attribute.
+    attribute_predicate_probability: float = 0.25
+    #: Probability that the final step is an attribute selection (``/@id``).
+    attribute_output_probability: float = 0.1
+
+
+@dataclass
+class QueryGenerator:
+    """Deterministic random generator of XPath expressions in the fragment."""
+
+    config: QueryGeneratorConfig = field(default_factory=QueryGeneratorConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    # ------------------------------------------------------------------ API
+
+    def generate_expression(self) -> str:
+        """Generate one XPath expression string."""
+        config = self.config
+        rng = self._rng
+        step_count = rng.randint(config.min_steps, config.max_steps)
+        parts: List[str] = []
+        for index in range(step_count):
+            descendant = rng.random() < config.descendant_probability
+            separator = "//" if descendant or index == 0 and rng.random() < 0.8 else "/"
+            if index == 0:
+                separator = "//" if descendant else "/"
+            parts.append(separator)
+            parts.append(self._generate_step())
+        if rng.random() < config.attribute_output_probability:
+            parts.append("/@" + rng.choice(list(config.attributes)))
+        return "".join(parts)
+
+    def generate(self) -> QueryTree:
+        """Generate one compiled query twig."""
+        return compile_query(self.generate_expression())
+
+    def generate_many(self, count: int) -> List[QueryTree]:
+        """Generate ``count`` compiled queries."""
+        return [self.generate() for _ in range(count)]
+
+    # ------------------------------------------------------------ internals
+
+    def _generate_step(self) -> str:
+        config = self.config
+        rng = self._rng
+        if rng.random() < config.wildcard_probability:
+            name = "*"
+        else:
+            name = rng.choice(list(config.vocabulary))
+        predicates = ""
+        if rng.random() < config.predicate_probability:
+            predicates = f"[{self._generate_predicate()}]"
+            if rng.random() < 0.15:
+                predicates += f"[{self._generate_predicate()}]"
+        return f"{name}{predicates}"
+
+    def _generate_predicate(self) -> str:
+        config = self.config
+        rng = self._rng
+        if rng.random() < config.attribute_predicate_probability:
+            attribute = rng.choice(list(config.attributes))
+            if rng.random() < config.comparison_probability:
+                value = rng.choice(list(config.values))
+                return f"@{attribute}='{value}'"
+            return f"@{attribute}"
+        prefix = ".//" if rng.random() < config.predicate_descendant_probability else ""
+        first = rng.choice(list(config.vocabulary))
+        path = f"{prefix}{first}"
+        if rng.random() < config.nested_predicate_probability:
+            second = rng.choice(list(config.vocabulary))
+            separator = "//" if rng.random() < config.predicate_descendant_probability else "/"
+            path = f"{path}{separator}{second}"
+        if rng.random() < config.comparison_probability:
+            value = rng.choice(list(config.values))
+            return f"{path}='{value}'"
+        return path
+
+
+def linear_descendant_query(tag: str, steps: int, predicate_tag: Optional[str] = None) -> str:
+    """Build the query family used by the query-size scaling experiment (E3).
+
+    ``steps`` repetitions of ``//tag`` with an optional ``[predicate_tag]``
+    predicate on every step, e.g. ``//a[p]//a[p]//a[p]``.  On recursive data
+    where ``tag`` nests inside itself the number of pattern matches of this
+    query grows exponentially with ``steps`` — exactly the scenario from the
+    paper's motivation section.
+    """
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    predicate = f"[{predicate_tag}]" if predicate_tag else ""
+    return "".join(f"//{tag}{predicate}" for _ in range(steps))
+
+
+def deep_child_query(tags: Sequence[str]) -> str:
+    """Build a purely child-axis path query ``/t1/t2/.../tn``."""
+    if not tags:
+        raise ValueError("tags must be non-empty")
+    return "/" + "/".join(tags)
+
+
+def chain_query_with_predicates(
+    tags: Sequence[str], predicates: Sequence[Optional[str]]
+) -> str:
+    """Build ``//t1[p1]//t2[p2]...`` with per-step optional predicates."""
+    if len(tags) != len(predicates):
+        raise ValueError("tags and predicates must have the same length")
+    parts = []
+    for tag, predicate in zip(tags, predicates):
+        suffix = f"[{predicate}]" if predicate else ""
+        parts.append(f"//{tag}{suffix}")
+    return "".join(parts)

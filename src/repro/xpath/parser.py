@@ -1,0 +1,378 @@
+"""Recursive-descent parser for the supported XPath fragment.
+
+Grammar (abbreviated syntax only, as used by the paper):
+
+.. code-block:: text
+
+    Query        ::= ('/' | '//')? StepList
+    StepList     ::= Step (('/' | '//') Step)*
+    Step         ::= NodeTest Predicate*
+                   | '@' (Name | '*')                 (attribute step)
+    NodeTest     ::= Name | '*' | 'text' '(' ')'
+    Predicate    ::= '[' OrExpr ']'
+    OrExpr       ::= AndExpr ('or' AndExpr)*
+    AndExpr      ::= UnaryExpr ('and' UnaryExpr)*
+    UnaryExpr    ::= 'not' '(' OrExpr ')' | '(' OrExpr ')' | Relational
+    Relational   ::= RelPath (CompOp Literal)?
+                   | Literal CompOp RelPath
+    RelPath      ::= '.' ('//' StepList | '/' StepList)?
+                   | ('.//' | '')? StepList            (relative to context node)
+    CompOp       ::= '=' | '!=' | '<' | '<=' | '>' | '>='
+    Literal      ::= StringLiteral | Number
+
+Anything outside this fragment (other axes, union ``|``, arithmetic,
+functions other than ``text()`` and ``not()``, variables, positional
+predicates) raises :class:`~repro.errors.UnsupportedFeatureError` so that
+queries are never silently mis-evaluated.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import UnsupportedFeatureError, XPathSyntaxError
+from .ast import (
+    AndExpr,
+    Axis,
+    Comparison,
+    ComparisonOp,
+    Exists,
+    Literal,
+    LocationPath,
+    NameTest,
+    NotExpr,
+    OrExpr,
+    PathExpr,
+    PredicateExpr,
+    Step,
+    TextTest,
+    WildcardTest,
+)
+from .tokens import COMPARISON_KINDS, Token, TokenKind, tokenize_xpath
+
+_UNSUPPORTED_AXES = {
+    "ancestor",
+    "ancestor-or-self",
+    "descendant-or-self",
+    "following",
+    "following-sibling",
+    "namespace",
+    "parent",
+    "preceding",
+    "preceding-sibling",
+    "self",
+    "child",
+    "descendant",
+    "attribute",
+}
+
+_UNSUPPORTED_FUNCTIONS = {
+    "position",
+    "last",
+    "count",
+    "id",
+    "name",
+    "local-name",
+    "namespace-uri",
+    "string",
+    "concat",
+    "starts-with",
+    "contains",
+    "substring",
+    "normalize-space",
+    "translate",
+    "boolean",
+    "true",
+    "false",
+    "lang",
+    "number",
+    "sum",
+    "floor",
+    "ceiling",
+    "round",
+}
+
+_COMPARISON_MAP = {
+    TokenKind.EQ: ComparisonOp.EQ,
+    TokenKind.NEQ: ComparisonOp.NEQ,
+    TokenKind.LT: ComparisonOp.LT,
+    TokenKind.LTE: ComparisonOp.LTE,
+    TokenKind.GT: ComparisonOp.GT,
+    TokenKind.GTE: ComparisonOp.GTE,
+}
+
+
+class XPathParser:
+    """Parser turning an expression string into a :class:`LocationPath`."""
+
+    def __init__(self, expression: str) -> None:
+        self.expression = expression
+        self.tokens = tokenize_xpath(expression)
+        self.index = 0
+
+    # ------------------------------------------------------------ helpers
+
+    @property
+    def current(self) -> Token:
+        """The token at the current position."""
+        return self.tokens[self.index]
+
+    def peek(self, offset: int = 1) -> Token:
+        """Look ahead ``offset`` tokens without consuming."""
+        position = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[position]
+
+    def advance(self) -> Token:
+        """Consume and return the current token."""
+        token = self.tokens[self.index]
+        if token.kind is not TokenKind.END:
+            self.index += 1
+        return token
+
+    def expect(self, kind: TokenKind) -> Token:
+        """Consume a token of the given kind or raise a syntax error."""
+        token = self.current
+        if token.kind is not kind:
+            raise XPathSyntaxError(
+                f"expected {kind.value!r} but found {token.value or 'end of input'!r}",
+                position=token.position,
+                expression=self.expression,
+            )
+        return self.advance()
+
+    def error(self, message: str) -> XPathSyntaxError:
+        """Build a syntax error at the current position."""
+        return XPathSyntaxError(
+            message, position=self.current.position, expression=self.expression
+        )
+
+    def unsupported(self, message: str) -> UnsupportedFeatureError:
+        """Build an unsupported-feature error."""
+        return UnsupportedFeatureError(
+            f"{message} (query: {self.expression!r})"
+        )
+
+    # ------------------------------------------------------------ parsing
+
+    def parse(self) -> LocationPath:
+        """Parse the whole expression as a location path."""
+        if not self.expression.strip():
+            raise XPathSyntaxError("empty XPath expression", position=0, expression=self.expression)
+        absolute = False
+        initial_descendant = False
+        if self.current.kind is TokenKind.SLASH:
+            absolute = True
+            self.advance()
+        elif self.current.kind is TokenKind.DOUBLE_SLASH:
+            absolute = True
+            initial_descendant = True
+            self.advance()
+        steps = self._parse_step_list(
+            first_axis=Axis.DESCENDANT if initial_descendant else Axis.CHILD
+        )
+        if self.current.kind is not TokenKind.END:
+            if self.current.kind is TokenKind.NAME and self.current.value in ("union",):
+                raise self.unsupported("union expressions are not supported")
+            raise self.error(f"unexpected token {self.current.value!r} after location path")
+        if not steps:
+            raise self.error("location path has no steps")
+        return LocationPath(
+            steps=tuple(steps), absolute=absolute, initial_descendant=initial_descendant
+        )
+
+    def _parse_step_list(self, first_axis: Axis) -> List[Step]:
+        steps = [self._parse_step(first_axis)]
+        while self.current.kind in (TokenKind.SLASH, TokenKind.DOUBLE_SLASH):
+            axis = Axis.CHILD if self.current.kind is TokenKind.SLASH else Axis.DESCENDANT
+            self.advance()
+            steps.append(self._parse_step(axis))
+        return steps
+
+    def _parse_step(self, axis: Axis) -> Step:
+        token = self.current
+        if token.kind is TokenKind.AT:
+            self.advance()
+            return self._parse_attribute_step(axis)
+        if token.kind is TokenKind.STAR:
+            self.advance()
+            return Step(axis=axis, test=WildcardTest(), predicates=self._parse_predicates())
+        if token.kind is TokenKind.DOT:
+            raise self.unsupported("'.' steps are only supported inside predicates")
+        if token.kind is TokenKind.NAME:
+            name = token.value
+            # Reject explicit axis syntax (child::a etc.) and unsupported functions.
+            if self.peek().kind is TokenKind.NAME and self.peek().value == ":":
+                raise self.unsupported(f"explicit axis '{name}::' is not supported")
+            self.advance()
+            if self.current.kind is TokenKind.LPAREN:
+                return self._parse_node_type_step(name, axis)
+            if name in _UNSUPPORTED_AXES and self._looks_like_axis():
+                raise self.unsupported(f"axis '{name}::' is not supported")
+            return Step(axis=axis, test=NameTest(name), predicates=self._parse_predicates())
+        raise self.error(
+            f"expected a step but found {token.value or 'end of input'!r}"
+        )
+
+    def _looks_like_axis(self) -> bool:
+        # After consuming NAME, an axis would appear as '::': our lexer has no
+        # colon token (colons are folded into names), so this only triggers
+        # for malformed input and is defensive.
+        return False
+
+    def _parse_node_type_step(self, name: str, axis: Axis) -> Step:
+        if name == "text":
+            self.expect(TokenKind.LPAREN)
+            self.expect(TokenKind.RPAREN)
+            predicates = self._parse_predicates()
+            if predicates:
+                raise self.unsupported("predicates on text() steps are not supported")
+            return Step(axis=axis, test=TextTest(), predicates=())
+        if name == "node":
+            raise self.unsupported("node() tests are not supported")
+        if name in _UNSUPPORTED_FUNCTIONS:
+            raise self.unsupported(f"function {name}() is not supported")
+        raise self.error(f"unknown node test {name}()")
+
+    def _parse_attribute_step(self, axis: Axis) -> Step:
+        token = self.current
+        if token.kind is TokenKind.STAR:
+            self.advance()
+            test: object = WildcardTest()
+        elif token.kind is TokenKind.NAME:
+            self.advance()
+            test = NameTest(token.value)
+        else:
+            raise self.error("expected an attribute name after '@'")
+        predicates = self._parse_predicates()
+        if predicates:
+            raise self.unsupported("predicates on attribute steps are not supported")
+        if axis is Axis.DESCENDANT:
+            # //@id — normalizer expands this to //*/@id.
+            pass
+        return Step(axis=Axis.ATTRIBUTE, test=test, predicates=())  # type: ignore[arg-type]
+
+    def _parse_predicates(self) -> Tuple[PredicateExpr, ...]:
+        predicates: List[PredicateExpr] = []
+        while self.current.kind is TokenKind.LBRACKET:
+            self.advance()
+            if self.current.kind is TokenKind.NUMBER:
+                # A bare number predicate is positional ([3]) — outside the fragment.
+                if self.peek().kind is TokenKind.RBRACKET:
+                    raise self.unsupported("positional predicates are not supported")
+            predicates.append(self._parse_or_expr())
+            self.expect(TokenKind.RBRACKET)
+        return tuple(predicates)
+
+    # -- predicate expression grammar --------------------------------------
+
+    def _parse_or_expr(self) -> PredicateExpr:
+        operands = [self._parse_and_expr()]
+        while self.current.is_name("or"):
+            self.advance()
+            operands.append(self._parse_and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return OrExpr(operands=tuple(operands))
+
+    def _parse_and_expr(self) -> PredicateExpr:
+        operands = [self._parse_unary_expr()]
+        while self.current.is_name("and"):
+            self.advance()
+            operands.append(self._parse_unary_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return AndExpr(operands=tuple(operands))
+
+    def _parse_unary_expr(self) -> PredicateExpr:
+        token = self.current
+        if token.is_name("not") and self.peek().kind is TokenKind.LPAREN:
+            self.advance()
+            self.expect(TokenKind.LPAREN)
+            inner = self._parse_or_expr()
+            self.expect(TokenKind.RPAREN)
+            return NotExpr(operand=inner)
+        if token.kind is TokenKind.LPAREN:
+            self.advance()
+            inner = self._parse_or_expr()
+            self.expect(TokenKind.RPAREN)
+            return inner
+        return self._parse_relational()
+
+    def _parse_relational(self) -> PredicateExpr:
+        token = self.current
+        if token.kind in (TokenKind.STRING, TokenKind.NUMBER):
+            # Literal-first comparison: '30' < price  → rewrite with flipped op.
+            literal = self._parse_literal()
+            op_token = self.current
+            if op_token.kind not in COMPARISON_KINDS:
+                raise self.error("a literal predicate must be part of a comparison")
+            self.advance()
+            path = self._parse_relative_path()
+            op = _flip(_COMPARISON_MAP[op_token.kind])
+            return Comparison(path=path, op=op, literal=literal)
+        path = self._parse_relative_path()
+        if self.current.kind in COMPARISON_KINDS:
+            op = _COMPARISON_MAP[self.current.kind]
+            self.advance()
+            literal = self._parse_literal()
+            return Comparison(path=path, op=op, literal=literal)
+        return Exists(path=path)
+
+    def _parse_literal(self) -> Literal:
+        token = self.current
+        if token.kind is TokenKind.STRING:
+            self.advance()
+            return Literal(value=token.value)
+        if token.kind is TokenKind.NUMBER:
+            self.advance()
+            return Literal(value=float(token.value))
+        raise self.error("expected a string or number literal")
+
+    def _parse_relative_path(self) -> PathExpr:
+        token = self.current
+        if token.kind is TokenKind.DOT:
+            self.advance()
+            if self.current.kind is TokenKind.DOUBLE_SLASH:
+                self.advance()
+                steps = self._parse_step_list(first_axis=Axis.DESCENDANT)
+                return PathExpr(steps=tuple(steps))
+            if self.current.kind is TokenKind.SLASH:
+                self.advance()
+                steps = self._parse_step_list(first_axis=Axis.CHILD)
+                return PathExpr(steps=tuple(steps))
+            return PathExpr(steps=())
+        if token.kind is TokenKind.SLASH or token.kind is TokenKind.DOUBLE_SLASH:
+            raise self.unsupported(
+                "absolute paths inside predicates are not supported"
+            )
+        if token.kind in (TokenKind.NAME, TokenKind.STAR, TokenKind.AT):
+            if token.kind is TokenKind.NAME and token.value in _UNSUPPORTED_FUNCTIONS and self.peek().kind is TokenKind.LPAREN:
+                raise self.unsupported(f"function {token.value}() is not supported")
+            steps = self._parse_step_list(first_axis=Axis.CHILD)
+            return PathExpr(steps=tuple(steps))
+        raise self.error(
+            f"expected a relative path but found {token.value or 'end of input'!r}"
+        )
+
+
+def _flip(op: ComparisonOp) -> ComparisonOp:
+    """Flip a comparison for literal-first forms ('30' < price → price > 30)."""
+    flips = {
+        ComparisonOp.LT: ComparisonOp.GT,
+        ComparisonOp.LTE: ComparisonOp.GTE,
+        ComparisonOp.GT: ComparisonOp.LT,
+        ComparisonOp.GTE: ComparisonOp.LTE,
+        ComparisonOp.EQ: ComparisonOp.EQ,
+        ComparisonOp.NEQ: ComparisonOp.NEQ,
+    }
+    return flips[op]
+
+
+def parse_xpath(expression: str) -> LocationPath:
+    """Parse an XPath expression into a :class:`LocationPath`.
+
+    Raises :class:`~repro.errors.XPathSyntaxError` for malformed input and
+    :class:`~repro.errors.UnsupportedFeatureError` for XPath features outside
+    the supported fragment.
+    """
+    return XPathParser(expression).parse()

@@ -1,0 +1,216 @@
+"""Tokenizer for the XPath fragment XP{/, //, *, []} (plus attributes and value tests).
+
+The lexer is deliberately small: the fragment ViteX handles does not include
+arithmetic, variables, or the full function library, so the token vocabulary
+is limited to path punctuation, names, literals and comparison operators.
+Keywords (``and``, ``or``, ``not``) are lexed as plain names and recognised
+contextually by the parser, exactly as XPath 1.0 specifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, unique
+from typing import Iterator, List
+
+from ..errors import XPathSyntaxError
+
+
+@unique
+class TokenKind(Enum):
+    """Kinds of lexical tokens in the supported XPath fragment."""
+
+    SLASH = "/"
+    DOUBLE_SLASH = "//"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LPAREN = "("
+    RPAREN = ")"
+    AT = "@"
+    DOT = "."
+    STAR = "*"
+    COMMA = ","
+    NAME = "name"
+    STRING = "string"
+    NUMBER = "number"
+    EQ = "="
+    NEQ = "!="
+    LT = "<"
+    LTE = "<="
+    GT = ">"
+    GTE = ">="
+    END = "end"
+
+
+#: Token kinds that denote a comparison operator.
+COMPARISON_KINDS = (
+    TokenKind.EQ,
+    TokenKind.NEQ,
+    TokenKind.LT,
+    TokenKind.LTE,
+    TokenKind.GT,
+    TokenKind.GTE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes
+    ----------
+    kind:
+        The :class:`TokenKind`.
+    value:
+        The token text (name text, string literal contents, number text, or
+        the operator characters).
+    position:
+        0-based character offset of the token's first character in the
+        expression, used for error reporting.
+    """
+
+    kind: TokenKind
+    value: str
+    position: int
+
+    def is_name(self, text: str) -> bool:
+        """True when this token is a NAME with exactly the given text."""
+        return self.kind is TokenKind.NAME and self.value == text
+
+
+_NAME_START_EXTRA = set("_")
+_NAME_EXTRA = set("_.-")
+
+
+def _is_name_start(char: str) -> bool:
+    return char.isalpha() or char in _NAME_START_EXTRA
+
+
+def _is_name_char(char: str) -> bool:
+    return char.isalnum() or char in _NAME_EXTRA
+
+
+def tokenize_xpath(expression: str) -> List[Token]:
+    """Tokenize an XPath expression into a list of tokens (END-terminated).
+
+    Raises :class:`~repro.errors.XPathSyntaxError` on unrecognised characters
+    or unterminated string literals.
+    """
+    return list(iter_tokens(expression))
+
+
+def iter_tokens(expression: str) -> Iterator[Token]:
+    """Yield the tokens of ``expression``, ending with an END token."""
+    index = 0
+    length = len(expression)
+    while index < length:
+        char = expression[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "/":
+            if index + 1 < length and expression[index + 1] == "/":
+                yield Token(TokenKind.DOUBLE_SLASH, "//", index)
+                index += 2
+            else:
+                yield Token(TokenKind.SLASH, "/", index)
+                index += 1
+            continue
+        if char == "[":
+            yield Token(TokenKind.LBRACKET, "[", index)
+            index += 1
+            continue
+        if char == "]":
+            yield Token(TokenKind.RBRACKET, "]", index)
+            index += 1
+            continue
+        if char == "(":
+            yield Token(TokenKind.LPAREN, "(", index)
+            index += 1
+            continue
+        if char == ")":
+            yield Token(TokenKind.RPAREN, ")", index)
+            index += 1
+            continue
+        if char == "@":
+            yield Token(TokenKind.AT, "@", index)
+            index += 1
+            continue
+        if char == "*":
+            yield Token(TokenKind.STAR, "*", index)
+            index += 1
+            continue
+        if char == ",":
+            yield Token(TokenKind.COMMA, ",", index)
+            index += 1
+            continue
+        if char == ".":
+            # A leading dot may start a number (".5") or be the self step.
+            if index + 1 < length and expression[index + 1].isdigit():
+                index = yield from _lex_number(expression, index)
+                continue
+            yield Token(TokenKind.DOT, ".", index)
+            index += 1
+            continue
+        if char == "=":
+            yield Token(TokenKind.EQ, "=", index)
+            index += 1
+            continue
+        if char == "!":
+            if index + 1 < length and expression[index + 1] == "=":
+                yield Token(TokenKind.NEQ, "!=", index)
+                index += 2
+                continue
+            raise XPathSyntaxError("unexpected '!'", position=index, expression=expression)
+        if char == "<":
+            if index + 1 < length and expression[index + 1] == "=":
+                yield Token(TokenKind.LTE, "<=", index)
+                index += 2
+            else:
+                yield Token(TokenKind.LT, "<", index)
+                index += 1
+            continue
+        if char == ">":
+            if index + 1 < length and expression[index + 1] == "=":
+                yield Token(TokenKind.GTE, ">=", index)
+                index += 2
+            else:
+                yield Token(TokenKind.GT, ">", index)
+                index += 1
+            continue
+        if char in "\"'":
+            end = expression.find(char, index + 1)
+            if end == -1:
+                raise XPathSyntaxError(
+                    "unterminated string literal", position=index, expression=expression
+                )
+            yield Token(TokenKind.STRING, expression[index + 1:end], index)
+            index = end + 1
+            continue
+        if char.isdigit():
+            index = yield from _lex_number(expression, index)
+            continue
+        if _is_name_start(char):
+            start = index
+            index += 1
+            while index < length and (_is_name_char(expression[index]) or expression[index] == ":"):
+                index += 1
+            yield Token(TokenKind.NAME, expression[start:index], start)
+            continue
+        raise XPathSyntaxError(
+            f"unexpected character {char!r}", position=index, expression=expression
+        )
+    yield Token(TokenKind.END, "", length)
+
+
+def _lex_number(expression: str, start: int):
+    """Lex a number starting at ``start``; yields the token and returns the new index."""
+    index = start
+    length = len(expression)
+    seen_dot = False
+    while index < length and (expression[index].isdigit() or (expression[index] == "." and not seen_dot)):
+        if expression[index] == ".":
+            seen_dot = True
+        index += 1
+    yield Token(TokenKind.NUMBER, expression[start:index], start)
+    return index

@@ -1,0 +1,98 @@
+"""Unit tests for the DOM oracle evaluator."""
+
+from __future__ import annotations
+
+from repro.baselines.dom_eval import DomEvaluator, evaluate_with_dom
+from repro.core.results import SolutionKind
+from repro.xmlstream.dom import parse_document
+from repro.xmlstream.tokenizer import tokenize
+
+
+class TestBasicEvaluation:
+    def test_descendant_query(self, simple_doc):
+        result = evaluate_with_dom("//title", simple_doc)
+        assert len(result) == 3
+
+    def test_child_path(self, simple_doc):
+        assert len(evaluate_with_dom("/library/book", simple_doc)) == 2
+        assert len(evaluate_with_dom("/book", simple_doc)) == 0
+
+    def test_attribute_output(self, simple_doc):
+        result = evaluate_with_dom("//book/@id", simple_doc)
+        assert sorted(s.value for s in result) == ["b1", "b2"]
+        assert all(s.kind is SolutionKind.ATTRIBUTE for s in result)
+
+    def test_text_output(self, simple_doc):
+        assert evaluate_with_dom("//journal/title/text()", simple_doc).values() == ["Queries"]
+
+    def test_predicates(self, simple_doc):
+        assert evaluate_with_dom("//book[@year]/@id", simple_doc).values() == ["b1"]
+        assert evaluate_with_dom("//book[price>20]/@id", simple_doc).values() == ["b1"]
+        assert evaluate_with_dom("//book[not(@year)]/@id", simple_doc).values() == ["b2"]
+
+    def test_results_in_document_order(self, simple_doc):
+        orders = [s.node.order for s in evaluate_with_dom("//title", simple_doc)]
+        assert orders == sorted(orders)
+
+    def test_no_duplicate_solutions_on_recursive_data(self, recursive_doc):
+        keys = evaluate_with_dom("//a//b", recursive_doc).keys()
+        assert len(keys) == len(set(keys))
+
+
+class TestSourceFlexibility:
+    def test_accepts_document_object(self, simple_doc):
+        document = parse_document(simple_doc)
+        result = DomEvaluator("//book").evaluate_document(document)
+        assert len(result) == 2
+
+    def test_accepts_event_list(self, simple_doc):
+        events = list(tokenize(simple_doc))
+        assert len(evaluate_with_dom("//book", events)) == 2
+
+    def test_accepts_file_path(self, simple_doc, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text(simple_doc, encoding="utf-8")
+        assert len(evaluate_with_dom("//book", str(path))) == 2
+
+    def test_reusable_evaluator(self, simple_doc, recursive_doc):
+        evaluator = DomEvaluator("//b")
+        assert len(evaluator.evaluate(recursive_doc)) == 5
+        assert len(evaluator.evaluate(simple_doc)) == 0
+
+
+class TestOracleSemantics:
+    """Spot-checks of the reference semantics on tricky constructs."""
+
+    def test_predicate_child_vs_descendant(self):
+        document = "<r><a><x><b/></x></a><a><b/></a></r>"
+        assert len(evaluate_with_dom("//a[b]", document)) == 1
+        assert len(evaluate_with_dom("//a[.//b]", document)) == 2
+
+    def test_wildcard_predicate(self):
+        document = "<r><a><anything/></a><a/></r>"
+        assert len(evaluate_with_dom("//a[*]", document)) == 1
+
+    def test_value_test_uses_string_value(self):
+        document = "<r><a><b>he</b><c>llo</c></a></r>"
+        assert len(evaluate_with_dom("//a[.='hello']", document)) == 1
+
+    def test_numeric_comparisons(self):
+        document = "<r><item><price>5</price></item><item><price>50</price></item></r>"
+        assert len(evaluate_with_dom("//item[price>10]", document)) == 1
+        assert len(evaluate_with_dom("//item[price<=5]", document)) == 1
+        assert len(evaluate_with_dom("//item[price!=5]", document)) == 1
+
+    def test_or_and_not_combinations(self):
+        document = "<r><a><x/></a><a><y/></a><a><z/></a></r>"
+        assert len(evaluate_with_dom("//a[x or y]", document)) == 2
+        assert len(evaluate_with_dom("//a[not(x) and not(y)]", document)) == 1
+
+    def test_attribute_value_comparison(self):
+        document = "<r><a id='1'/><a id='2'/></r>"
+        assert len(evaluate_with_dom("//a[@id='2']", document)) == 1
+        assert len(evaluate_with_dom("//a[@id!='2']", document)) == 1
+
+    def test_text_output_requires_direct_text(self):
+        document = "<r><a><b>x</b></a><a>direct</a></r>"
+        result = evaluate_with_dom("//a/text()", document)
+        assert result.values() == ["direct"]

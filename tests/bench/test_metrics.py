@@ -1,0 +1,119 @@
+"""Unit tests for the benchmark metering utilities."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.metrics import (
+    MemoryReport,
+    RunMeasurement,
+    Timer,
+    document_byte_size,
+    measure_peak_memory,
+    measure_run,
+    time_evaluation,
+    time_parse_only,
+)
+
+
+class TestTimer:
+    def test_accumulates_laps(self):
+        timer = Timer()
+        timer.start()
+        lap = timer.stop()
+        assert lap >= 0
+        assert timer.elapsed == pytest.approx(lap)
+        with timer.measure():
+            pass
+        assert timer.elapsed >= lap
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+
+class TestMemoryMeasurement:
+    def test_measures_allocation_peak(self):
+        def allocate():
+            return [bytearray(1024) for _ in range(512)]
+
+        result, report = measure_peak_memory(allocate)
+        assert len(result) == 512
+        assert isinstance(report, MemoryReport)
+        assert report.peak_bytes >= 512 * 1024
+        assert report.peak_megabytes > 0.4
+
+    def test_small_allocation_reports_small_peak(self):
+        _, small = measure_peak_memory(lambda: [0] * 10)
+        _, large = measure_peak_memory(lambda: [bytearray(1024) for _ in range(2048)])
+        assert small.peak_bytes < large.peak_bytes
+
+
+class TestTimingHelpers:
+    def test_time_parse_only_counts_events(self):
+        seconds, events = time_parse_only("<a><b/><c/></a>")
+        assert seconds >= 0
+        assert events == 8  # start/end doc + 3 start + 3 end
+
+    def test_time_evaluation_returns_results(self):
+        seconds, results, evaluator = time_evaluation("//b", "<a><b/><b/></a>")
+        assert seconds >= 0
+        assert len(results) == 2
+        assert evaluator.statistics.elements == 3
+
+    def test_document_byte_size(self):
+        assert document_byte_size(["<a>", "é", "</a>"]) == len("<a>é</a>".encode("utf-8"))
+
+
+class TestMeasureRun:
+    def test_string_source(self):
+        document = "<r>" + "<x id='1'/>" * 50 + "</r>"
+        measurement = measure_run(
+            query="//x/@id",
+            dataset_name="inline",
+            make_source=lambda: document,
+        )
+        assert measurement.solutions == 50
+        assert measurement.document_bytes == len(document.encode("utf-8"))
+        assert measurement.total_seconds >= 0
+        assert measurement.query_seconds >= 0
+        assert measurement.throughput_mb_per_s > 0
+
+    def test_chunked_source_and_memory(self):
+        def make_source():
+            def chunks():
+                yield "<r>"
+                for index in range(100):
+                    yield f"<x id='{index}'/>"
+                yield "</r>"
+            return chunks()
+
+        measurement = measure_run(
+            query="//x",
+            dataset_name="chunked",
+            make_source=make_source,
+            measure_memory=True,
+        )
+        assert measurement.solutions == 100
+        assert measurement.peak_memory_bytes is not None
+        row = measurement.as_row()
+        assert row["dataset"] == "chunked"
+        assert "peak_mem_mb" in row
+        assert "peak_stack_entries" in row
+
+    def test_as_row_without_memory(self):
+        measurement = RunMeasurement(
+            query="//a",
+            dataset="d",
+            parse_seconds=0.5,
+            total_seconds=1.0,
+            document_bytes=2 * 1024 * 1024,
+            solutions=3,
+        )
+        row = measurement.as_row()
+        assert row["doc_mb"] == 2.0
+        assert row["twigm_s"] == 0.5
+        assert row["throughput_mb_s"] == 2.0
+        assert "peak_mem_mb" not in row

@@ -1,0 +1,73 @@
+"""Unit tests for report rendering."""
+
+from __future__ import annotations
+
+from repro.bench.reporting import render_csv, render_series, render_table
+
+
+ROWS = [
+    {"dataset": "protein", "time_s": 1.25, "solutions": 40},
+    {"dataset": "recursive", "time_s": 0.031, "solutions": 7},
+]
+
+
+class TestRenderTable:
+    def test_contains_headers_and_values(self):
+        table = render_table(ROWS)
+        assert "dataset" in table
+        assert "protein" in table
+        assert "recursive" in table
+        assert "40" in table
+
+    def test_title_included(self):
+        assert render_table(ROWS, title="My table").startswith("My table")
+
+    def test_explicit_column_order(self):
+        table = render_table(ROWS, columns=["solutions", "dataset"])
+        header = table.splitlines()[0]
+        assert header.index("solutions") < header.index("dataset")
+
+    def test_empty_rows(self):
+        assert "(no rows)" in render_table([], title="Empty")
+
+    def test_columns_aligned(self):
+        lines = render_table(ROWS).splitlines()
+        assert len(set(len(line.rstrip()) <= len(lines[0]) + 40 for line in lines)) >= 1
+
+    def test_missing_cells_rendered_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        table = render_table(rows)
+        assert "b" in table
+
+
+class TestRenderCsv:
+    def test_header_and_rows(self):
+        csv = render_csv(ROWS)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "dataset,time_s,solutions"
+        assert lines[1].startswith("protein,")
+        assert len(lines) == 3
+
+    def test_empty(self):
+        assert render_csv([]) == ""
+
+
+class TestRenderSeries:
+    def test_series_table_shape(self):
+        text = render_series(
+            {"twigm": [1, 2, 3], "naive": [1, 4, 9]},
+            x_label="steps",
+            x_values=[1, 2, 3],
+            title="Scaling",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Scaling"
+        assert "steps" in lines[1]
+        assert "twigm" in lines[1]
+        assert "naive" in lines[1]
+        # one row per x value
+        assert len(lines) == 2 + 1 + 3
+
+    def test_short_series_padded(self):
+        text = render_series({"only": [5]}, x_label="x", x_values=[1, 2])
+        assert "5" in text

@@ -1,0 +1,98 @@
+"""Tests for the experiment drivers (small problem sizes, shape assertions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import (
+    run_builder_scaling,
+    run_incremental_latency,
+    run_memory_stability,
+    run_protein_breakdown,
+    run_query_size_scaling,
+    run_query_variety,
+    sweep,
+)
+
+
+class TestProteinBreakdown:
+    def test_rows_have_expected_columns(self):
+        rows = run_protein_breakdown(entries=(30,), parser="native")
+        assert len(rows) == 1
+        row = rows[0]
+        for key in ("dataset", "query", "parse_s", "total_s", "twigm_s", "parse_fraction"):
+            assert key in row
+        assert row["solutions"] > 0
+
+    def test_parse_time_below_total_time(self):
+        row = run_protein_breakdown(entries=(50,), parser="native")[0]
+        assert row["parse_s"] <= row["total_s"]
+        assert 0 < row["parse_fraction"] <= 1
+
+
+class TestMemoryStability:
+    def test_peak_state_flat_across_sizes(self):
+        rows = run_memory_stability(sizes_mb=(0.1, 0.4), measure_allocations=False)
+        assert len(rows) == 2
+        assert rows[1]["elements"] > rows[0]["elements"]
+        # The engine's live state must not grow with the document: allow a
+        # small constant wiggle but nothing proportional to the 4x size gap.
+        assert rows[1]["peak_stack_entries"] <= rows[0]["peak_stack_entries"] + 2
+
+    def test_allocation_measurement_optional(self):
+        rows = run_memory_stability(sizes_mb=(0.1,), measure_allocations=True)
+        assert "peak_alloc_mb" in rows[0]
+
+
+class TestQuerySizeScaling:
+    def test_naive_blows_up_and_agrees(self):
+        rows = run_query_size_scaling(max_steps=3, nesting_depth=8)
+        assert len(rows) == 3
+        assert all(row.get("agrees", True) for row in rows)
+        naive_records = [row["naive_records"] for row in rows if "naive_records" in row]
+        twigm_work = [row["twigm_work"] for row in rows]
+        # Naive record growth accelerates; TwigM work stays comparatively tame.
+        assert naive_records == sorted(naive_records)
+        assert naive_records[-1] > twigm_work[-1]
+
+    def test_naive_can_be_limited(self):
+        rows = run_query_size_scaling(max_steps=4, nesting_depth=6, naive_step_limit=2)
+        assert "naive_records" in rows[0]
+        assert "naive_records" not in rows[-1]
+
+
+class TestBuilderScaling:
+    def test_build_time_roughly_linear(self):
+        rows = run_builder_scaling(step_counts=(1, 10, 50), repeats=5)
+        assert [row["steps"] for row in rows] == [1, 10, 50]
+        per_node = [row["build_us_per_node"] for row in rows]
+        # Per-node cost may fluctuate but must not explode with query size.
+        assert per_node[-1] < per_node[0] * 20
+
+
+class TestQueryVariety:
+    def test_all_workloads_covered(self):
+        rows = run_query_variety(scale=0.05)
+        datasets = {row["dataset"] for row in rows}
+        assert datasets == {"protein", "recursive", "auction", "newsfeed", "treebank"}
+        assert all(row["total_s"] >= 0 for row in rows)
+
+    def test_subset_of_workloads(self):
+        rows = run_query_variety(workload_names=["newsfeed"], scale=0.05)
+        assert {row["dataset"] for row in rows} == {"newsfeed"}
+
+
+class TestIncrementalLatency:
+    def test_first_solution_well_before_end(self):
+        row = run_incremental_latency(updates=400)
+        assert row["solutions"] >= 1
+        assert row["first_solution_s"] <= row["total_s"]
+        assert row["latency_fraction"] < 0.6
+
+
+class TestSweepHelper:
+    def test_sweep_collects_rows(self):
+        result = sweep("n", [1, 2, 3], lambda n: {"square": n * n})
+        assert result.parameter == "n"
+        assert [row["square"] for row in result.rows] == [1, 4, 9]
+        assert [row["n"] for row in result.rows] == [1, 2, 3]

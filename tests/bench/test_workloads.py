@@ -1,0 +1,67 @@
+"""Unit tests for the workload registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import (
+    PROTEIN_PAPER_QUERY,
+    WORKLOADS,
+    get_workload,
+    iter_workloads,
+)
+from repro.core.engine import evaluate
+from repro.errors import BenchmarkError
+from repro.xpath.normalize import compile_query
+
+
+class TestRegistry:
+    def test_expected_workloads_present(self):
+        assert set(WORKLOADS) == {"protein", "recursive", "auction", "newsfeed", "treebank"}
+
+    def test_get_workload(self):
+        assert get_workload("protein").name == "protein"
+        with pytest.raises(BenchmarkError):
+            get_workload("unknown")
+
+    def test_iter_workloads_all_and_subset(self):
+        assert len(iter_workloads()) == 5
+        subset = iter_workloads(["protein", "newsfeed"])
+        assert [w.name for w in subset] == ["protein", "newsfeed"]
+
+    def test_paper_query_constant(self):
+        assert PROTEIN_PAPER_QUERY == "//ProteinEntry[reference]/@id"
+
+
+class TestWorkloadContents:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_queries_compile(self, name):
+        workload = get_workload(name)
+        assert workload.queries
+        for query in workload.queries:
+            assert compile_query(query).size >= 1
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_dataset_scales(self, name):
+        workload = get_workload(name)
+        small = workload.dataset(0.05).size_bytes()
+        assert small > 0
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(BenchmarkError):
+            get_workload("protein").dataset(0)
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_every_query_has_answers_at_small_scale(self, name):
+        """Each canned query should return at least one solution on its dataset.
+
+        Benchmarks that always return empty results would not exercise the
+        candidate bookkeeping path at all.
+        """
+        workload = get_workload(name)
+        text = workload.dataset(0.2).text()
+        non_empty = 0
+        for query in workload.queries:
+            if len(evaluate(query, text)) > 0:
+                non_empty += 1
+        assert non_empty >= len(workload.queries) - 1

@@ -1,0 +1,71 @@
+"""Shared pytest fixtures and helpers for the ViteX reproduction test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Allow running the tests from a source checkout without installation.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.baselines import evaluate_naive, evaluate_with_dom  # noqa: E402
+from repro.core import evaluate  # noqa: E402
+from repro.datasets import FIGURE_1_QUERY, FIGURE_1_XML  # noqa: E402
+
+
+@pytest.fixture
+def figure1_xml() -> str:
+    """The paper's Figure 1 document."""
+    return FIGURE_1_XML
+
+
+@pytest.fixture
+def figure1_query() -> str:
+    """The paper's Section 1 walk-through query."""
+    return FIGURE_1_QUERY
+
+
+@pytest.fixture
+def simple_doc() -> str:
+    """A small non-recursive document used across unit tests."""
+    return (
+        "<library>"
+        "<book id='b1' year='1999'><title>Streams</title>"
+        "<author>Ada</author><price>30.50</price></book>"
+        "<book id='b2'><title>Trees</title>"
+        "<author>Grace</author><author>Linus</author><price>12</price></book>"
+        "<journal id='j1'><title>Queries</title></journal>"
+        "</library>"
+    )
+
+
+@pytest.fixture
+def recursive_doc() -> str:
+    """A small recursive document where tags nest inside themselves."""
+    return (
+        "<a>"
+        "<a key='1'><b>x</b><a><b>y</b><c>z</c></a></a>"
+        "<b>top</b>"
+        "<c><b>inside c</b></c>"
+        "<a><a><a><b>deep</b></a></a></a>"
+        "</a>"
+    )
+
+
+def assert_engines_agree(query: str, document: str) -> None:
+    """Assert that TwigM, the naive baseline and the DOM oracle agree."""
+    twigm = evaluate(query, document).keys()
+    dom = evaluate_with_dom(query, document).keys()
+    naive = evaluate_naive(query, document).keys()
+    assert twigm == dom, f"TwigM vs DOM mismatch for {query!r}: {twigm} != {dom}"
+    assert naive == dom, f"naive vs DOM mismatch for {query!r}: {naive} != {dom}"
+
+
+@pytest.fixture
+def engines_agree():
+    """Fixture exposing the cross-engine agreement assertion as a callable."""
+    return assert_engines_agree

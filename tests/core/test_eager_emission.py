@@ -1,0 +1,128 @@
+"""Tests for the optional eager-emission optimisation.
+
+Eager emission must never change the answer set; it may only change *when*
+solutions are emitted (earlier) and how many candidates are held (fewer).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_machine
+from repro.core.engine import TwigMEvaluator, evaluate
+from repro.datasets.figures import FIGURE_1_QUERY, FIGURE_1_XML
+from repro.datasets.newsfeed import NewsFeedConfig, NewsFeedGenerator
+from repro.datasets.randomtree import RandomTreeConfig, RandomTreeGenerator
+from repro.xmlstream.tokenizer import tokenize
+from repro.xpath.generator import QueryGenerator, QueryGeneratorConfig
+
+
+class TestBuilderAnnotations:
+    def test_unconditional_flags(self):
+        machine = build_machine("//a[b]//c//d")
+        by_label = {node.label: node for node in machine.nodes}
+        assert not by_label["a"].is_unconditional          # has predicate [b]
+        assert by_label["b"].is_unconditional
+        assert by_label["c"].is_unconditional
+        assert by_label["d"].is_unconditional
+
+    def test_ancestors_unconditional_chain(self):
+        machine = build_machine("//a[b]//c//d")
+        by_label = {node.label: node for node in machine.nodes}
+        assert by_label["a"].ancestors_unconditional        # root: no ancestors
+        assert by_label["b"].ancestors_unconditional is False  # parent a has predicate
+        assert by_label["c"].ancestors_unconditional is False
+        assert by_label["d"].ancestors_unconditional is False
+
+    def test_fully_unconstrained_chain(self):
+        machine = build_machine("/feed//update//price")
+        assert all(node.ancestors_unconditional for node in machine.nodes)
+
+    def test_value_test_makes_node_conditional(self):
+        machine = build_machine("//a[.='x']//b")
+        by_label = {node.label: node for node in machine.nodes}
+        assert not by_label["a"].is_unconditional
+        assert not by_label["b"].ancestors_unconditional
+
+
+class TestAnswerEquivalence:
+    QUERIES = [
+        "//section[author]//table[position]//cell",
+        "//section//table//cell",
+        "/book//cell",
+        "//table[position]",
+        "//cell",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_same_answers_on_figure1(self, query):
+        lazy = evaluate(query, FIGURE_1_XML).keys()
+        eager = evaluate(query, FIGURE_1_XML, eager_emission=True).keys()
+        assert lazy == eager
+
+    def test_same_answers_on_random_documents(self):
+        query_gen = QueryGenerator(
+            config=QueryGeneratorConfig(vocabulary=("a", "b", "c"), attributes=("id",)),
+            seed=17,
+        )
+        for seed in range(30):
+            document = RandomTreeGenerator(
+                config=RandomTreeConfig(vocabulary=("a", "b", "c")), seed=seed
+            ).text()
+            query = query_gen.generate_expression()
+            lazy = evaluate(query, document).keys()
+            eager = evaluate(query, document, eager_emission=True).keys()
+            assert lazy == eager, (query, document)
+
+    def test_same_answers_on_newsfeed(self):
+        generator = NewsFeedGenerator(NewsFeedConfig(updates=150), seed=3)
+        document = generator.text()
+        query = generator.CANONICAL_QUERY
+        assert (
+            evaluate(query, document).keys()
+            == evaluate(query, document, eager_emission=True).keys()
+        )
+
+
+class TestEmissionTiming:
+    def test_eager_emits_before_root_closes(self):
+        # /feed//update: with lazy emission everything waits for </feed>;
+        # with eager emission each update is emitted at its own end tag.
+        generator = NewsFeedGenerator(NewsFeedConfig(updates=50), seed=4)
+        document = generator.text()
+        query = "/feed//update[quote]"
+
+        def first_emission_index(eager: bool) -> int:
+            evaluator = TwigMEvaluator(query, eager_emission=eager)
+            for index, event in enumerate(tokenize(document)):
+                if evaluator.feed(event):
+                    return index
+            return -1
+
+        events_total = sum(1 for _ in tokenize(document))
+        lazy_first = first_emission_index(False)
+        eager_first = first_emission_index(True)
+        assert eager_first < lazy_first
+        assert lazy_first >= events_total - 3  # lazy: only when the root closes
+        assert eager_first < events_total * 0.2
+
+    def test_eager_reduces_peak_candidates(self):
+        generator = NewsFeedGenerator(NewsFeedConfig(updates=300), seed=4)
+        document = generator.text()
+        query = "/feed//update[quote]"
+
+        lazy = TwigMEvaluator(query)
+        lazy.evaluate(document)
+        eager = TwigMEvaluator(query, eager_emission=True)
+        eager.evaluate(document)
+
+        assert len(lazy.collector.solutions()) == len(eager.collector.solutions())
+        assert eager.statistics.peak_candidate_count < lazy.statistics.peak_candidate_count
+
+    def test_eager_does_not_apply_under_predicated_ancestors(self):
+        # //section[author]//cell: the section predicate may only be satisfied
+        # after the cell closes, so eager emission must not fire early there.
+        document = FIGURE_1_XML
+        lazy = evaluate(FIGURE_1_QUERY, document).keys()
+        eager = evaluate(FIGURE_1_QUERY, document, eager_emission=True).keys()
+        assert lazy == eager == [("element", 7)]

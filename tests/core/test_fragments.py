@@ -1,0 +1,64 @@
+"""Tests for optional XML-fragment capture on element solutions."""
+
+from __future__ import annotations
+
+from repro.core.engine import TwigMEvaluator, evaluate
+from repro.xmlstream.dom import parse_document
+
+
+DOC = (
+    "<catalog>"
+    "<product id='p1'><name>Lamp</name><price>20</price></product>"
+    "<product id='p2'><name>Desk &amp; Chair</name><price>120</price></product>"
+    "</catalog>"
+)
+
+
+class TestFragmentCapture:
+    def test_disabled_by_default(self):
+        result = evaluate("//product", DOC)
+        assert all(solution.fragment is None for solution in result)
+
+    def test_fragments_captured_when_enabled(self):
+        result = evaluate("//product", DOC, capture_fragments=True)
+        fragments = [solution.fragment for solution in result.solutions]
+        assert len(fragments) == 2
+        assert all(fragment is not None for fragment in fragments)
+        assert fragments[0].startswith('<product id="p1">')
+        assert "<name>Lamp</name>" in fragments[0]
+
+    def test_fragment_is_reparseable_and_escaped(self):
+        result = evaluate("//product[price>100]", DOC, capture_fragments=True)
+        assert len(result) == 1
+        fragment = result.solutions[0].fragment
+        tree = parse_document(fragment)
+        assert tree.root.tag == "product"
+        assert tree.root.find_all("name")[0].string_value() == "Desk & Chair"
+
+    def test_fragments_for_filtered_solutions_only(self):
+        result = evaluate("//product[price>100]", DOC, capture_fragments=True)
+        assert [s.node.order for s in result.solutions] == [4]
+
+    def test_nested_solution_fragments(self):
+        document = "<a><a><b>inner</b></a><b>outer</b></a>"
+        result = evaluate("//a", document, capture_fragments=True)
+        fragments = {s.node.level: s.fragment for s in result.solutions}
+        assert fragments[2] == "<a><b>inner</b></a>"
+        assert fragments[1] == "<a><a><b>inner</b></a><b>outer</b></a>"
+
+    def test_attribute_solutions_have_no_fragment(self):
+        result = evaluate("//product/@id", DOC, capture_fragments=True)
+        assert all(solution.fragment is None for solution in result)
+
+    def test_capture_does_not_change_answers(self):
+        plain = evaluate("//product[name]/price", DOC).keys()
+        captured = evaluate("//product[name]/price", DOC, capture_fragments=True).keys()
+        assert plain == captured
+
+    def test_reset_clears_capture_state(self):
+        evaluator = TwigMEvaluator("//product", capture_fragments=True)
+        evaluator.evaluate(DOC)
+        evaluator.reset()
+        result = evaluator.evaluate(DOC)
+        assert len(result) == 2
+        assert all(solution.fragment for solution in result)

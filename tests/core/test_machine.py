@@ -1,0 +1,73 @@
+"""Unit tests for the TwigMachine structure and bookkeeping helpers."""
+
+from __future__ import annotations
+
+from repro.core.builder import build_machine
+from repro.core.engine import TwigMEvaluator
+from repro.xmlstream.tokenizer import tokenize
+
+
+class TestMachineQueries:
+    def test_size_matches_element_query_nodes(self):
+        assert build_machine("//a[b]//c").size == 3
+        assert build_machine("//a/@id").size == 1
+        assert build_machine("//a[@id]/text()").size == 1
+
+    def test_text_nodes_index(self):
+        machine = build_machine("//a[b='x']//c[.='y']/text()")
+        labels = sorted(node.label for node in machine.text_nodes)
+        assert labels == ["b", "c"]
+
+    def test_total_live_entries_and_candidates(self):
+        machine = build_machine("//a//b")
+        assert machine.total_live_entries() == 0
+        assert machine.total_live_candidates() == 0
+        assert machine.stacks_empty()
+
+    def test_reset_clears_stacks(self):
+        evaluator = TwigMEvaluator("//a//b")
+        events = list(tokenize("<a><b></b></a>"))
+        # Feed only the prefix up to (and including) <b> so stacks stay populated.
+        for event in events[:3]:
+            evaluator.feed(event)
+        assert not evaluator.machine.stacks_empty()
+        evaluator.machine.reset()
+        assert evaluator.machine.stacks_empty()
+
+    def test_nodes_matching_tags_and_wildcards(self):
+        machine = build_machine("//a[*]//b")
+        assert [node.label for node in machine.nodes_matching("a")] == ["a", "*"]
+        assert [node.label for node in machine.nodes_matching("b")] == ["*", "b"]
+        assert [node.label for node in machine.nodes_matching("zzz")] == ["*"]
+
+    def test_describe_marks_roles(self):
+        text = build_machine("//a[@lang]//b[c]/@id").describe()
+        assert "attribute predicates: @lang" in text
+        assert "attribute output: @id" in text
+        assert "predicate branch" in text
+
+
+class TestMachineDuringExecution:
+    def test_live_entries_track_open_elements(self):
+        evaluator = TwigMEvaluator("//a//a")
+        events = list(tokenize("<a><a><a></a></a></a>"))
+        live_after_each = []
+        for event in events:
+            evaluator.feed(event)
+            live_after_each.append(evaluator.machine.total_live_entries())
+        # After the three start tags: 1 (root a), then 1+2, then 1+2... the
+        # exact values depend on the machine shape, but the peak must exceed
+        # the value after everything closed (0).
+        assert max(live_after_each) >= 3
+        assert live_after_each[-1] == 0
+
+    def test_statistics_live_counters_match_machine_state(self):
+        evaluator = TwigMEvaluator("//a[b]//c")
+        events = list(tokenize("<a><b/><c/><a><c/></a></a>"))
+        for event in events:
+            evaluator.feed(event)
+            assert evaluator.statistics.live_entries == evaluator.machine.total_live_entries()
+            assert (
+                evaluator.statistics.live_candidates
+                == evaluator.machine.total_live_candidates()
+            )

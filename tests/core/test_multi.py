@@ -1,0 +1,114 @@
+"""Unit tests for the multi-query (shared single pass) evaluator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import evaluate
+from repro.core.multi import MultiQueryEvaluator, evaluate_many
+from repro.datasets.newsfeed import NewsFeedConfig, NewsFeedGenerator
+from repro.errors import EngineError
+from repro.xmlstream.tokenizer import tokenize
+
+
+QUERIES = ["//book/@id", "//book[author]/title", "//journal//title/text()"]
+
+
+class TestRegistration:
+    def test_register_returns_subscription(self):
+        evaluator = MultiQueryEvaluator()
+        subscription = evaluator.register("//a", name="mine")
+        assert subscription.name == "mine"
+        assert subscription.query == "//a"
+        assert len(evaluator) == 1
+
+    def test_auto_names_are_unique(self):
+        evaluator = MultiQueryEvaluator()
+        first = evaluator.register("//a")
+        second = evaluator.register("//b")
+        assert first.name != second.name
+
+    def test_duplicate_name_rejected(self):
+        evaluator = MultiQueryEvaluator()
+        evaluator.register("//a", name="dup")
+        with pytest.raises(EngineError):
+            evaluator.register("//b", name="dup")
+
+    def test_feed_without_queries_rejected(self, simple_doc):
+        evaluator = MultiQueryEvaluator()
+        with pytest.raises(EngineError):
+            evaluator.feed(next(iter(tokenize(simple_doc))))
+
+
+class TestSharedPassCorrectness:
+    def test_results_match_individual_evaluation(self, simple_doc):
+        combined = evaluate_many(QUERIES, simple_doc)
+        for query in QUERIES:
+            assert combined[query].keys() == evaluate(query, simple_doc).keys()
+
+    def test_results_by_subscription_name(self, simple_doc):
+        evaluator = MultiQueryEvaluator()
+        evaluator.register("//book", name="books")
+        evaluator.register("//journal", name="journals")
+        results = evaluator.evaluate(simple_doc)
+        assert len(results["books"]) == 2
+        assert len(results["journals"]) == 1
+
+    def test_statistics_per_subscription(self, simple_doc):
+        evaluator = MultiQueryEvaluator()
+        evaluator.register("//book", name="books")
+        evaluator.register("//title", name="titles")
+        evaluator.evaluate(simple_doc)
+        stats = evaluator.statistics()
+        assert stats["books"]["solutions_distinct"] == 2
+        assert stats["titles"]["solutions_distinct"] == 3
+
+    def test_incremental_stream_pairs(self, simple_doc):
+        evaluator = MultiQueryEvaluator()
+        evaluator.register("//book/@id", name="ids")
+        evaluator.register("//author/text()", name="authors")
+        pairs = list(evaluator.stream(simple_doc))
+        names = {name for name, _ in pairs}
+        assert names == {"ids", "authors"}
+        assert len([p for p in pairs if p[0] == "ids"]) == 2
+        assert len([p for p in pairs if p[0] == "authors"]) == 3
+
+    def test_callbacks_invoked(self, simple_doc):
+        seen = []
+        evaluator = MultiQueryEvaluator()
+        evaluator.register("//book/@id", name="ids", callback=seen.append)
+        evaluator.evaluate(simple_doc)
+        assert sorted(s.value for s in seen) == ["b1", "b2"]
+        assert evaluator.subscriptions[0].delivered == 2
+
+    def test_reset_allows_second_stream(self, simple_doc, recursive_doc):
+        evaluator = MultiQueryEvaluator()
+        evaluator.register("//b", name="bs")
+        first = evaluator.evaluate(recursive_doc)
+        evaluator.reset()
+        second = evaluator.evaluate(simple_doc)
+        assert len(first["bs"]) == 5
+        assert len(second["bs"]) == 0
+
+    def test_register_after_run_rejected(self, simple_doc):
+        evaluator = MultiQueryEvaluator()
+        evaluator.register("//book")
+        evaluator.evaluate(simple_doc)
+        with pytest.raises(EngineError):
+            evaluator.register("//title")
+
+
+class TestSubscriptionScenario:
+    def test_ticker_subscriptions_share_one_pass(self):
+        generator = NewsFeedGenerator(NewsFeedConfig(updates=200), seed=5)
+        document = generator.text()
+        evaluator = MultiQueryEvaluator()
+        evaluator.register(generator.CANONICAL_QUERY, name="acme")
+        evaluator.register("//headline[@section='markets']/title/text()", name="markets")
+        evaluator.register("//update/quote[price>450]/@symbol", name="movers")
+        results = evaluator.evaluate(generator.chunks())
+        assert len(results["acme"]) == generator.expected_symbol_updates("ACME")
+        for name in ("acme", "markets", "movers"):
+            assert results[name].keys() == evaluate(
+                evaluator._subscriptions[name].query, document
+            ).keys()

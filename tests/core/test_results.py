@@ -1,0 +1,115 @@
+"""Unit tests for the result model (NodeRef, Solution, collectors)."""
+
+from __future__ import annotations
+
+from repro.core.results import (
+    NodeRef,
+    ResultCollector,
+    ResultSet,
+    Solution,
+    SolutionKind,
+)
+
+
+def element_solution(order, tag="a", level=1, line=None):
+    return Solution(kind=SolutionKind.ELEMENT, node=NodeRef(order=order, tag=tag, level=level, line=line))
+
+
+class TestNodeRef:
+    def test_label_with_line(self):
+        assert NodeRef(order=3, tag="table", level=5, line=5).label() == "table_5"
+
+    def test_label_without_line(self):
+        assert NodeRef(order=3, tag="table", level=5).label() == "table#3"
+
+
+class TestSolution:
+    def test_element_key(self):
+        assert element_solution(4).key() == ("element", 4)
+
+    def test_attribute_key_includes_name(self):
+        ref = NodeRef(order=2, tag="a", level=1)
+        solution = Solution(kind=SolutionKind.ATTRIBUTE, node=ref, attribute="id", value="1")
+        assert solution.key() == ("attribute", 2, "id")
+
+    def test_text_key(self):
+        ref = NodeRef(order=2, tag="a", level=1)
+        assert Solution(kind=SolutionKind.TEXT, node=ref, value="x").key() == ("text", 2)
+
+    def test_describe_variants(self):
+        ref = NodeRef(order=2, tag="a", level=1, line=9)
+        assert "a_9" in element_solution(2, line=9).describe()
+        attr = Solution(kind=SolutionKind.ATTRIBUTE, node=ref, attribute="id", value="1")
+        assert "@id" in attr.describe()
+        text = Solution(kind=SolutionKind.TEXT, node=ref, value="hello")
+        assert "hello" in text.describe()
+
+    def test_order_key_sorts_by_document_order(self):
+        solutions = [element_solution(5), element_solution(1), element_solution(3)]
+        ordered = sorted(solutions, key=Solution.order_key)
+        assert [s.node.order for s in ordered] == [1, 3, 5]
+
+
+class TestResultCollector:
+    def test_deduplicates_by_key(self):
+        collector = ResultCollector()
+        assert collector.add(element_solution(1))
+        assert not collector.add(element_solution(1))
+        assert len(collector) == 1
+        assert collector.emitted == 2
+
+    def test_extend_returns_new_only(self):
+        collector = ResultCollector()
+        new = collector.extend([element_solution(1), element_solution(1), element_solution(2)])
+        assert [s.node.order for s in new] == [1, 2]
+
+    def test_contains(self):
+        collector = ResultCollector()
+        collector.add(element_solution(1))
+        assert element_solution(1) in collector
+        assert element_solution(2) not in collector
+
+    def test_in_document_order(self):
+        collector = ResultCollector()
+        collector.add(element_solution(9))
+        collector.add(element_solution(2))
+        ordered = collector.in_document_order()
+        assert [s.node.order for s in ordered] == [2, 9]
+
+    def test_keys_sorted(self):
+        collector = ResultCollector()
+        collector.add(element_solution(9))
+        collector.add(element_solution(2))
+        assert collector.keys() == [("element", 2), ("element", 9)]
+
+
+class TestResultSet:
+    def test_basic_accessors(self):
+        collector = ResultCollector()
+        collector.add(element_solution(3, tag="cell", line=8))
+        result = ResultSet.from_collector("//cell", collector)
+        assert len(result) == 1
+        assert bool(result)
+        assert result.keys() == [("element", 3)]
+        assert result.elements()[0].tag == "cell"
+
+    def test_empty_result_set_is_falsy(self):
+        assert not ResultSet(query="//x", solutions=[])
+
+    def test_values_in_document_order(self):
+        ref1 = NodeRef(order=5, tag="a", level=1)
+        ref2 = NodeRef(order=1, tag="a", level=1)
+        result = ResultSet(
+            query="//a/@id",
+            solutions=[
+                Solution(kind=SolutionKind.ATTRIBUTE, node=ref1, attribute="id", value="later"),
+                Solution(kind=SolutionKind.ATTRIBUTE, node=ref2, attribute="id", value="earlier"),
+            ],
+        )
+        assert result.values() == ["earlier", "later"]
+
+    def test_describe_lists_solutions(self):
+        result = ResultSet(query="//a", solutions=[element_solution(1, tag="a", line=2)])
+        text = result.describe()
+        assert "1 solution" in text
+        assert "a_2" in text

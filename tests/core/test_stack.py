@@ -1,0 +1,137 @@
+"""Unit tests for machine stacks and stack entries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import NodeRef, Solution, SolutionKind
+from repro.core.stack import MachineStack, StackEntry
+from repro.errors import StreamStateError
+
+
+def entry(level, order=0, tag="a"):
+    return StackEntry(level=level, element=NodeRef(order=order, tag=tag, level=level))
+
+
+def solution(order):
+    return Solution(kind=SolutionKind.ELEMENT, node=NodeRef(order=order, tag="x", level=1))
+
+
+class TestStackEntry:
+    def test_string_value_requires_collection(self):
+        plain = entry(1)
+        assert plain.string_value() is None
+        collecting = StackEntry(level=1, element=NodeRef(order=0, tag="a", level=1), string_parts=[])
+        collecting.string_parts.extend(["ab", "cd"])
+        assert collecting.string_value() == "abcd"
+
+    def test_direct_text(self):
+        collecting = StackEntry(level=1, element=NodeRef(order=0, tag="a", level=1), direct_parts=["x"])
+        assert collecting.direct_text() == "x"
+        assert entry(1).direct_text() is None
+
+    def test_add_candidate_is_idempotent(self):
+        e = entry(1)
+        e.add_candidate(solution(5))
+        e.add_candidate(solution(5))
+        assert e.candidate_count == 1
+
+    def test_absorb_candidates_counts_new_only(self):
+        target = entry(1)
+        source = entry(2)
+        source.add_candidate(solution(1))
+        source.add_candidate(solution(2))
+        target.add_candidate(solution(1))
+        added = target.absorb_candidates(source)
+        assert added == 1
+        assert target.candidate_count == 2
+
+
+class TestMachineStack:
+    def test_push_and_pop_order(self):
+        stack = MachineStack()
+        stack.push(entry(1))
+        stack.push(entry(3))
+        assert len(stack) == 2
+        assert stack.top_level() == 3
+        popped = stack.pop()
+        assert popped.level == 3
+        assert stack.top_level() == 1
+
+    def test_push_requires_increasing_levels(self):
+        stack = MachineStack()
+        stack.push(entry(2))
+        with pytest.raises(StreamStateError):
+            stack.push(entry(2))
+        with pytest.raises(StreamStateError):
+            stack.push(entry(1))
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(StreamStateError):
+            MachineStack().pop()
+
+    def test_top_and_bottom(self):
+        stack = MachineStack()
+        assert stack.top is None
+        assert stack.bottom is None
+        stack.push(entry(1))
+        stack.push(entry(4))
+        assert stack.bottom.level == 1
+        assert stack.top.level == 4
+
+    def test_has_open_at_level(self):
+        stack = MachineStack()
+        stack.push(entry(1))
+        stack.push(entry(3))
+        assert stack.has_open_at_level(1)
+        assert stack.has_open_at_level(3)
+        assert not stack.has_open_at_level(2)
+        assert not stack.has_open_at_level(4)
+
+    def test_has_open_below(self):
+        stack = MachineStack()
+        assert not stack.has_open_below(5)
+        stack.push(entry(2))
+        assert stack.has_open_below(3)
+        assert not stack.has_open_below(2)
+        assert not stack.has_open_below(1)
+
+    def test_entries_for_axis_child(self):
+        stack = MachineStack()
+        stack.push(entry(1))
+        stack.push(entry(2))
+        stack.push(entry(4))
+        child_targets = stack.entries_for_axis(3, descendant=False)
+        assert [e.level for e in child_targets] == [2]
+
+    def test_entries_for_axis_descendant(self):
+        stack = MachineStack()
+        stack.push(entry(1))
+        stack.push(entry(2))
+        stack.push(entry(4))
+        descendant_targets = stack.entries_for_axis(4, descendant=True)
+        assert [e.level for e in descendant_targets] == [1, 2]
+
+    def test_candidate_total(self):
+        stack = MachineStack()
+        first = entry(1)
+        first.add_candidate(solution(1))
+        second = entry(2)
+        second.add_candidate(solution(2))
+        second.add_candidate(solution(3))
+        stack.push(first)
+        stack.push(second)
+        assert stack.candidate_total() == 3
+
+    def test_clear(self):
+        stack = MachineStack()
+        stack.push(entry(1))
+        stack.clear()
+        assert len(stack) == 0
+        assert not stack
+
+    def test_iteration_bottom_to_top(self):
+        stack = MachineStack()
+        stack.push(entry(1))
+        stack.push(entry(2))
+        assert [e.level for e in stack] == [1, 2]

@@ -1,0 +1,84 @@
+"""Unit tests for engine statistics counters."""
+
+from __future__ import annotations
+
+from repro.core.engine import TwigMEvaluator
+from repro.core.statistics import EngineStatistics
+from repro.datasets.recursive import small_recursive_document
+
+
+class TestEngineStatisticsUnit:
+    def test_record_push_tracks_per_label(self):
+        stats = EngineStatistics()
+        stats.record_push("a")
+        stats.record_push("a")
+        stats.record_push("b")
+        assert stats.pushes == 3
+        assert stats.pushes_by_node == {"a": 2, "b": 1}
+
+    def test_observe_state_tracks_peaks(self):
+        stats = EngineStatistics()
+        stats.observe_state(5, 2)
+        stats.observe_state(3, 9)
+        stats.observe_state(4, 4)
+        assert stats.peak_stack_entries == 5
+        assert stats.peak_candidate_count == 9
+
+    def test_work_units_sums_components(self):
+        stats = EngineStatistics(
+            pushes=2, pops=2, flags_set=1, candidates_created=3, candidates_propagated=4
+        )
+        assert stats.work_units() == 12
+
+    def test_as_dict_contains_all_scalars(self):
+        data = EngineStatistics().as_dict()
+        for key in (
+            "events",
+            "elements",
+            "pushes",
+            "pops",
+            "flags_set",
+            "candidates_created",
+            "candidates_propagated",
+            "solutions_emitted",
+            "solutions_distinct",
+            "peak_stack_entries",
+            "peak_candidate_count",
+            "max_depth",
+        ):
+            assert key in data
+
+
+class TestEngineStatisticsBehaviour:
+    def test_pushes_equal_pops_on_complete_documents(self):
+        document = small_recursive_document(section_depth=4, table_depth=3)
+        evaluator = TwigMEvaluator("//section[author]//table[position]//cell")
+        evaluator.evaluate(document)
+        stats = evaluator.statistics
+        assert stats.pushes == stats.pops
+        assert stats.live_entries == 0
+        assert stats.live_candidates >= 0
+
+    def test_peak_stack_entries_bounded_by_depth_times_query(self):
+        document = small_recursive_document(section_depth=6, table_depth=5)
+        evaluator = TwigMEvaluator("//section//table//cell")
+        evaluator.evaluate(document)
+        stats = evaluator.statistics
+        machine_size = evaluator.machine.size
+        assert stats.peak_stack_entries <= stats.max_depth * machine_size
+
+    def test_solutions_distinct_matches_result_count(self):
+        document = small_recursive_document(section_depth=3, table_depth=3)
+        evaluator = TwigMEvaluator("//table//cell")
+        result = evaluator.evaluate(document)
+        assert evaluator.statistics.solutions_distinct == len(result)
+
+    def test_deeper_documents_do_more_work(self):
+        shallow = small_recursive_document(section_depth=2, table_depth=2)
+        deep = small_recursive_document(section_depth=8, table_depth=8)
+        query = "//section//table//cell"
+        small_eval = TwigMEvaluator(query)
+        small_eval.evaluate(shallow)
+        big_eval = TwigMEvaluator(query)
+        big_eval.evaluate(deep)
+        assert big_eval.statistics.work_units() > small_eval.statistics.work_units()

@@ -1,0 +1,102 @@
+"""Unit tests for the dataset generator framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.base import DatasetGenerator, StringDataset, XMLWriter, chunked
+from repro.errors import DatasetError
+
+
+class TestXMLWriter:
+    def test_simple_document(self):
+        writer = XMLWriter()
+        writer.start("a", {"id": 1})
+        writer.element("b", "text")
+        writer.end("a")
+        assert writer.drain() == '<a id="1"><b>text</b></a>'
+
+    def test_escaping_in_text_and_attributes(self):
+        writer = XMLWriter()
+        writer.start("a", {"title": 'x "<&>" y'})
+        writer.text("1 < 2 & 3 > 2")
+        writer.end()
+        output = writer.drain()
+        assert 'title="x &quot;&lt;&amp;&gt;&quot; y"' in output
+        assert "1 &lt; 2 &amp; 3 &gt; 2" in output
+
+    def test_mismatched_end_rejected(self):
+        writer = XMLWriter()
+        writer.start("a")
+        with pytest.raises(DatasetError):
+            writer.end("b")
+
+    def test_end_without_open_rejected(self):
+        with pytest.raises(DatasetError):
+            XMLWriter().end()
+
+    def test_open_depth_tracking(self):
+        writer = XMLWriter()
+        assert writer.open_depth == 0
+        writer.start("a")
+        writer.start("b")
+        assert writer.open_depth == 2
+        writer.end()
+        assert writer.open_depth == 1
+
+    def test_drain_clears_buffer(self):
+        writer = XMLWriter()
+        writer.element("a")
+        assert writer.drain() == "<a></a>"
+        assert writer.drain() == ""
+
+    def test_pending_size(self):
+        writer = XMLWriter()
+        writer.element("abc")
+        assert writer.pending_size() == len("<abc></abc>")
+
+
+class TestStringDataset:
+    def test_chunks_reassemble(self):
+        dataset = StringDataset("<a>" + "x" * 1000 + "</a>", chunk_size=64)
+        chunks = list(dataset.chunks())
+        assert len(chunks) > 1
+        assert "".join(chunks) == dataset.text()
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(DatasetError):
+            StringDataset("<a/>", chunk_size=0)
+
+    def test_size_bytes(self):
+        dataset = StringDataset("<a>é</a>")
+        assert dataset.size_bytes() == len("<a>é</a>".encode("utf-8"))
+
+    def test_write_to_file(self, tmp_path):
+        dataset = StringDataset("<a>content</a>")
+        path = tmp_path / "out.xml"
+        written = dataset.write_to(path)
+        assert written == len("<a>content</a>")
+        assert path.read_text(encoding="utf-8") == "<a>content</a>"
+
+
+class TestChunked:
+    def test_groups_small_parts(self):
+        parts = ["ab"] * 100
+        chunks = list(chunked(parts, chunk_size=32))
+        assert all(len(chunk) >= 32 for chunk in chunks[:-1])
+        assert "".join(chunks) == "ab" * 100
+
+    def test_empty_input(self):
+        assert list(chunked([], chunk_size=10)) == []
+
+
+class TestBaseGenerator:
+    def test_chunks_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            list(DatasetGenerator().chunks())
+
+    def test_reset_reseeds_rng(self):
+        generator = DatasetGenerator(seed=5)
+        first = generator.rng.random()
+        generator.reset()
+        assert generator.rng.random() == first

@@ -1,0 +1,113 @@
+"""Integration tests for the ``vitex`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.figures import FIGURE_1_QUERY, FIGURE_1_XML
+
+
+@pytest.fixture
+def figure1_file(tmp_path):
+    path = tmp_path / "figure1.xml"
+    path.write_text(FIGURE_1_XML, encoding="utf-8")
+    return str(path)
+
+
+class TestRunCommand:
+    def test_run_prints_solutions_and_count(self, figure1_file, capsys):
+        exit_code = main(["run", FIGURE_1_QUERY, figure1_file])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "1 solution(s)" in captured.out
+        assert "cell_8" in captured.out
+
+    def test_run_quiet(self, figure1_file, capsys):
+        main(["run", FIGURE_1_QUERY, figure1_file, "--quiet"])
+        captured = capsys.readouterr()
+        assert "1 solution(s)" in captured.out
+        assert "cell_8" not in captured.out
+
+    def test_run_with_stats(self, figure1_file, capsys):
+        main(["run", "//table", figure1_file, "--stats"])
+        captured = capsys.readouterr()
+        assert "pushes" in captured.out
+
+    def test_run_with_fragments(self, figure1_file, capsys):
+        main(["run", "//cell", figure1_file, "--fragments"])
+        captured = capsys.readouterr()
+        assert "<cell>" in captured.out
+
+    def test_run_expat_backend(self, figure1_file, capsys):
+        exit_code = main(["run", "//table", figure1_file, "--parser", "expat"])
+        assert exit_code == 0
+        assert "3 solution(s)" in capsys.readouterr().out
+
+    def test_run_eager_flag_same_answers(self, figure1_file, capsys):
+        main(["run", FIGURE_1_QUERY, figure1_file, "--eager"])
+        assert "1 solution(s)" in capsys.readouterr().out
+
+    def test_bad_query_reports_error(self, figure1_file, capsys):
+        exit_code = main(["run", "//a[", figure1_file])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "error:" in captured.err
+
+    def test_unsupported_query_reports_error(self, figure1_file, capsys):
+        exit_code = main(["run", "//a[position()=1]", figure1_file])
+        assert exit_code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExplainCommand:
+    def test_explain_shows_machine(self, capsys):
+        exit_code = main(["explain", FIGURE_1_QUERY])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "TwigM machine" in captured.out
+        assert "section" in captured.out
+        assert "output" in captured.out
+
+
+class TestGenerateCommand:
+    @pytest.mark.parametrize("dataset", ["protein", "recursive", "auction", "newsfeed", "treebank"])
+    def test_generate_writes_well_formed_file(self, dataset, tmp_path, capsys):
+        output = tmp_path / f"{dataset}.xml"
+        exit_code = main(["generate", dataset, str(output), "--size-mb", "0.05"])
+        assert exit_code == 0
+        assert output.exists()
+        from repro.xmlstream.wellformed import check_well_formed
+
+        assert check_well_formed(str(output)).well_formed
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestBenchCommand:
+    def test_bench_builder_linear_quick(self, capsys):
+        exit_code = main(["bench", "builder-linear", "--quick"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "E4" in captured.out
+
+    def test_bench_incremental_latency_quick(self, capsys):
+        exit_code = main(["bench", "incremental-latency", "--quick"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "latency" in captured.out.lower()
+
+
+class TestParser:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "vitex-repro" in capsys.readouterr().out
+
+    def test_build_parser_has_subcommands(self):
+        parser = build_parser()
+        assert parser.prog == "vitex"

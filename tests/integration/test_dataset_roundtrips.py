@@ -1,0 +1,86 @@
+"""Cross-substrate integration tests over every synthetic dataset.
+
+For each dataset generator (at a small scale) we check that the whole stack
+hangs together: both parser back-ends produce the same event shape, the
+serializer round-trips the document, the DOM and the event statistics agree
+on structure, and the engine invariants hold on realistic (not hand-written)
+documents.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import TwigMEvaluator
+from repro.datasets.auction import AuctionConfig, AuctionGenerator
+from repro.datasets.newsfeed import NewsFeedConfig, NewsFeedGenerator
+from repro.datasets.protein import ProteinConfig, ProteinDatabaseGenerator
+from repro.datasets.recursive import RecursiveBookGenerator, RecursiveConfig
+from repro.datasets.treebank import TreebankConfig, TreebankGenerator
+from repro.xmlstream.dom import parse_document
+from repro.xmlstream.events import Characters, EndElement, StartElement, EventStatistics
+from repro.xmlstream.sax import iter_events
+from repro.xmlstream.serializer import serialize_element
+from repro.xmlstream.tokenizer import tokenize
+
+GENERATORS = {
+    "protein": ProteinDatabaseGenerator(ProteinConfig(entries=20), seed=41),
+    "recursive": RecursiveBookGenerator(RecursiveConfig(section_depth=4, table_depth=3), seed=42),
+    "auction": AuctionGenerator(AuctionConfig(items=10, people=6, open_auctions=6), seed=43),
+    "newsfeed": NewsFeedGenerator(NewsFeedConfig(updates=40), seed=44),
+    "treebank": TreebankGenerator(TreebankConfig(sentences=10), seed=45),
+}
+
+QUERY_FOR = {
+    "protein": "//ProteinEntry[reference]/@id",
+    "recursive": "//section[author]//table[position]//cell",
+    "auction": "//item[price>100]/name",
+    "newsfeed": "//update[quote]/@seq",
+    "treebank": "//NP[PP]//NN",
+}
+
+
+def _shape(events):
+    shape = []
+    for event in events:
+        if isinstance(event, StartElement):
+            shape.append(("s", event.name, event.level, tuple(sorted(event.attributes))))
+        elif isinstance(event, EndElement):
+            shape.append(("e", event.name, event.level))
+        elif isinstance(event, Characters):
+            shape.append(("t", event.text))
+    return shape
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+class TestDatasetRoundTrips:
+    def test_parser_backends_agree_on_dataset(self, name):
+        document = GENERATORS[name].text()
+        assert _shape(iter_events(document, parser="native")) == _shape(
+            iter_events(document, parser="expat")
+        )
+
+    def test_serializer_roundtrip_preserves_structure(self, name):
+        document = GENERATORS[name].text()
+        original = parse_document(document)
+        reparsed = parse_document(serialize_element(original.root))
+        assert [e.tag for e in reparsed.iter()] == [e.tag for e in original.iter()]
+        assert reparsed.max_depth == original.max_depth
+        assert reparsed.root.string_value() == original.root.string_value()
+
+    def test_dom_and_event_statistics_agree(self, name):
+        document = GENERATORS[name].text()
+        stats = EventStatistics.from_events(tokenize(document))
+        tree = parse_document(document)
+        assert stats.element_count == tree.element_count
+        assert stats.max_depth == tree.max_depth
+
+    def test_engine_invariants_on_dataset(self, name):
+        document = GENERATORS[name].text()
+        evaluator = TwigMEvaluator(QUERY_FOR[name])
+        evaluator.evaluate(document)
+        stats = evaluator.statistics
+        assert evaluator.machine.stacks_empty()
+        assert stats.pushes == stats.pops
+        assert stats.live_entries == 0
+        assert stats.peak_stack_entries <= stats.max_depth * evaluator.machine.size

@@ -1,0 +1,77 @@
+"""Differential integration tests: TwigM vs naive vs DOM oracle on a fixed matrix.
+
+Every (document, query) pair in the matrix is evaluated by the three engines;
+they must produce identical canonical solution keys.  The matrix deliberately
+mixes recursive documents, attribute/text outputs, value tests and boolean
+predicate combinations — the places where streaming implementations usually
+go wrong.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.figures import FIGURE_1_XML
+from repro.datasets.recursive import small_recursive_document
+from tests.conftest import assert_engines_agree
+
+
+DOCUMENTS = {
+    "figure1": FIGURE_1_XML,
+    "library": (
+        "<library><book id='b1' lang='en'><title>Streams</title><author>Ada</author>"
+        "<price>30.5</price></book><book id='b2'><title>Trees</title><author>Bob</author>"
+        "<price currency='eur'>12</price></book>"
+        "<magazine id='m1'><title>Streams</title></magazine></library>"
+    ),
+    "recursive": (
+        "<a><a id='1'><b>x</b><a><b>y</b><c>z</c></a></a><b>top</b>"
+        "<c><b>in c</b><a><c><b>deep</b></c></a></c></a>"
+    ),
+    "recursive_generated": small_recursive_document(section_depth=4, table_depth=4, seed=3),
+    "mixed_text": (
+        "<doc><p>alpha <em>beta</em> gamma</p><p>delta</p>"
+        "<note lang='fr'>epsilon</note><note>zeta</note></doc>"
+    ),
+    "deep_chain": "<l1><l2><l3><l4><l5><x/></l5></l4></l3></l2></l1>",
+    "empty_elements": "<r><a/><a></a><b><a/></b></r>",
+}
+
+QUERIES = [
+    "//a",
+    "//a//b",
+    "//a/b",
+    "//a//a//b",
+    "//a[b]",
+    "//a[b]//c",
+    "//a[.//c]//b",
+    "//a[@id]",
+    "//a[@id='1']/b",
+    "//*",
+    "//*[b]",
+    "/a//c",
+    "//b/text()",
+    "//a/@id",
+    "//@id",
+    "//section[author]//table[position]//cell",
+    "//section//cell",
+    "//table[not(position)]",
+    "//book[author='Ada']/title",
+    "//book[price>20]/@id",
+    "//book[price<20 or @lang]/title/text()",
+    "//book[title='Streams' and author]/@id",
+    "//p[em]",
+    "//note[@lang]/text()",
+    "//note[not(@lang)]",
+    "//l3//x",
+    "/l1/l2/l3/l4/l5/x",
+    "//r/a",
+    "//b[a]",
+    "//doc/p/em/text()",
+]
+
+
+@pytest.mark.parametrize("doc_name", sorted(DOCUMENTS))
+@pytest.mark.parametrize("query", QUERIES)
+def test_three_engines_agree(doc_name, query):
+    assert_engines_agree(query, DOCUMENTS[doc_name])

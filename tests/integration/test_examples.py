@@ -1,0 +1,80 @@
+"""Smoke tests: every example script must run end-to-end and say what it promises."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))), "examples"
+)
+SRC_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))), "src"
+)
+
+
+def run_example(script: str, *args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+
+
+class TestExampleScripts:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "cell_8" in result.stdout
+        assert "TwigM machine" in result.stdout
+        assert "One-shot evaluation" in result.stdout
+
+    def test_protein_pipeline(self):
+        result = run_example("protein_pipeline.py", "--size-mb", "0.2")
+        assert result.returncode == 0, result.stderr
+        assert "//ProteinEntry[reference]/@id" in result.stdout
+        assert "peak_alloc_mb" in result.stdout
+
+    def test_stock_ticker(self):
+        result = run_example("stock_ticker.py", "--updates", "120")
+        assert result.returncode == 0, result.stderr
+        assert "ACME quotes" in result.stdout
+        assert "first alert" in result.stdout
+
+    def test_recursive_documents(self):
+        result = run_example("recursive_documents.py", "--depth", "6", "--max-steps", "3")
+        assert result.returncode == 0, result.stderr
+        assert "naive_records" in result.stdout
+        assert "TwigM" in result.stdout
+
+    def test_subscriptions(self):
+        result = run_example("subscriptions.py", "--updates", "200")
+        assert result.returncode == 0, result.stderr
+        assert "acme-quotes" in result.stdout
+        assert "speed-up" in result.stdout
+        assert "eager emission" in result.stdout
+
+    @pytest.mark.parametrize(
+        "script",
+        [
+            "quickstart.py",
+            "protein_pipeline.py",
+            "stock_ticker.py",
+            "recursive_documents.py",
+            "subscriptions.py",
+        ],
+    )
+    def test_examples_exist_and_have_docstrings(self, script):
+        path = os.path.join(EXAMPLES_DIR, script)
+        assert os.path.exists(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        assert '"""' in source.split("\n", 2)[-1] or source.lstrip().startswith('#!/usr/bin/env python3')
+        assert "def main()" in source

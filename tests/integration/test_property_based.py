@@ -1,0 +1,209 @@
+"""Property-based tests (hypothesis): random documents × random queries.
+
+Two kinds of properties are checked:
+
+* **Differential correctness** — for any document in the supported XML subset
+  and any query in XP{/,//,*,[]}, the streaming TwigM engine, the naive
+  enumerating streamer and the random-access DOM oracle return the same
+  solution set.
+* **Engine invariants** — stacks are empty at end of document, push/pop
+  counts balance, levels on any stack increase strictly bottom-to-top, and
+  the peak number of stack entries never exceeds document depth × query size.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines.dom_eval import evaluate_with_dom
+from repro.baselines.naive import NaiveStreamingEvaluator
+from repro.core.engine import TwigMEvaluator, evaluate
+from repro.core.multi import MultiQueryEvaluator
+from repro.datasets.randomtree import RandomTreeConfig, RandomTreeGenerator
+from repro.xmlstream.dom import parse_document
+from repro.xmlstream.tokenizer import tokenize
+from repro.xpath.generator import QueryGenerator, QueryGeneratorConfig
+
+SETTINGS = settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# Documents and queries share a deliberately tiny vocabulary so that name
+# collisions (and therefore recursive nesting and multi-matches) are frequent.
+_DOC_CONFIG = RandomTreeConfig(
+    vocabulary=("a", "b", "c"),
+    attributes=("id", "key"),
+    values=("1", "2"),
+    max_depth=6,
+    max_children=3,
+)
+_QUERY_CONFIG = QueryGeneratorConfig(
+    vocabulary=("a", "b", "c"),
+    attributes=("id", "key"),
+    values=("1", "2"),
+    min_steps=1,
+    max_steps=4,
+)
+
+
+def make_document(seed: int) -> str:
+    return RandomTreeGenerator(config=_DOC_CONFIG, seed=seed).text()
+
+
+def make_query(seed: int) -> str:
+    return QueryGenerator(config=_QUERY_CONFIG, seed=seed).generate_expression()
+
+
+class TestDifferentialProperties:
+    @SETTINGS
+    @given(doc_seed=st.integers(0, 10_000), query_seed=st.integers(0, 10_000))
+    def test_twigm_matches_dom_oracle(self, doc_seed, query_seed):
+        document = make_document(doc_seed)
+        query = make_query(query_seed)
+        assert evaluate(query, document).keys() == evaluate_with_dom(query, document).keys()
+
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(doc_seed=st.integers(0, 10_000), query_seed=st.integers(0, 10_000))
+    def test_naive_matches_dom_oracle(self, doc_seed, query_seed):
+        document = make_document(doc_seed)
+        query = make_query(query_seed)
+        naive = NaiveStreamingEvaluator(query).evaluate(document)
+        assert naive.keys() == evaluate_with_dom(query, document).keys()
+
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(doc_seed=st.integers(0, 10_000), query_seed=st.integers(0, 10_000))
+    def test_eager_emission_matches_lazy(self, doc_seed, query_seed):
+        document = make_document(doc_seed)
+        query = make_query(query_seed)
+        lazy = evaluate(query, document).keys()
+        eager = evaluate(query, document, eager_emission=True).keys()
+        assert lazy == eager
+
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(doc_seed=st.integers(0, 10_000), query_seed=st.integers(0, 10_000))
+    def test_parser_backends_agree(self, doc_seed, query_seed):
+        document = make_document(doc_seed)
+        query = make_query(query_seed)
+        native = evaluate(query, document, parser="native").keys()
+        expat = evaluate(query, document, parser="expat").keys()
+        assert native == expat
+
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(doc_seed=st.integers(0, 10_000), query_seed=st.integers(0, 10_000), chunk=st.integers(1, 64))
+    def test_chunking_does_not_change_answers(self, doc_seed, query_seed, chunk):
+        document = make_document(doc_seed)
+        query = make_query(query_seed)
+        whole = evaluate(query, document).keys()
+        chunks = [document[i:i + chunk] for i in range(0, len(document), chunk)]
+        chunked = evaluate(query, iter(chunks)).keys()
+        assert whole == chunked
+
+
+class TestMultiQueryProperties:
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        doc_seed=st.integers(0, 10_000),
+        query_seed_a=st.integers(0, 10_000),
+        query_seed_b=st.integers(0, 10_000),
+    )
+    def test_shared_pass_matches_individual_passes(self, doc_seed, query_seed_a, query_seed_b):
+        document = make_document(doc_seed)
+        query_a = make_query(query_seed_a)
+        query_b = make_query(query_seed_b)
+        multi = MultiQueryEvaluator()
+        multi.register(query_a, name="a")
+        multi.register(query_b, name="b")
+        combined = multi.evaluate(document)
+        assert combined["a"].keys() == evaluate(query_a, document).keys()
+        assert combined["b"].keys() == evaluate(query_b, document).keys()
+
+
+class TestEngineInvariants:
+    @SETTINGS
+    @given(doc_seed=st.integers(0, 10_000), query_seed=st.integers(0, 10_000))
+    def test_stacks_empty_and_counters_balanced(self, doc_seed, query_seed):
+        document = make_document(doc_seed)
+        query = make_query(query_seed)
+        evaluator = TwigMEvaluator(query)
+        evaluator.evaluate(document)
+        assert evaluator.machine.stacks_empty()
+        stats = evaluator.statistics
+        assert stats.pushes == stats.pops
+        assert stats.live_entries == 0
+
+    @SETTINGS
+    @given(doc_seed=st.integers(0, 10_000), query_seed=st.integers(0, 10_000))
+    def test_peak_entries_bounded_by_depth_times_query_size(self, doc_seed, query_seed):
+        document = make_document(doc_seed)
+        query = make_query(query_seed)
+        evaluator = TwigMEvaluator(query)
+        evaluator.evaluate(document)
+        depth = parse_document(document).max_depth
+        assert evaluator.statistics.peak_stack_entries <= depth * evaluator.machine.size
+
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(doc_seed=st.integers(0, 10_000), query_seed=st.integers(0, 10_000))
+    def test_stack_levels_strictly_increase(self, doc_seed, query_seed):
+        document = make_document(doc_seed)
+        query = make_query(query_seed)
+        evaluator = TwigMEvaluator(query)
+        for event in tokenize(document):
+            evaluator.feed(event)
+            for node in evaluator.machine.nodes:
+                levels = [entry.level for entry in node.stack.entries]
+                assert levels == sorted(levels)
+                assert len(levels) == len(set(levels))
+
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(doc_seed=st.integers(0, 10_000), query_seed=st.integers(0, 10_000))
+    def test_solutions_unique_and_in_document_range(self, doc_seed, query_seed):
+        document = make_document(doc_seed)
+        query = make_query(query_seed)
+        result = evaluate(query, document)
+        keys = result.keys()
+        assert len(keys) == len(set(keys))
+        element_count = parse_document(document).element_count
+        for solution in result:
+            assert 0 <= solution.node.order < element_count
+
+
+class TestSolutionSubsetProperties:
+    @settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(doc_seed=st.integers(0, 10_000), seed=st.integers(0, 10_000))
+    def test_predicate_only_restricts_results(self, doc_seed, seed):
+        """Adding a predicate can only shrink the result set."""
+        rng = random.Random(seed)
+        tag = rng.choice(["a", "b", "c"])
+        pred = rng.choice(["a", "b", "c", "@id"])
+        document = make_document(doc_seed)
+        without = set(evaluate(f"//{tag}", document).keys())
+        with_pred = set(evaluate(f"//{tag}[{pred}]", document).keys())
+        assert with_pred <= without
+
+    @settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(doc_seed=st.integers(0, 10_000), seed=st.integers(0, 10_000))
+    def test_child_axis_results_subset_of_descendant(self, doc_seed, seed):
+        rng = random.Random(seed)
+        outer = rng.choice(["a", "b", "c"])
+        inner = rng.choice(["a", "b", "c"])
+        document = make_document(doc_seed)
+        child = set(evaluate(f"//{outer}/{inner}", document).keys())
+        descendant = set(evaluate(f"//{outer}//{inner}", document).keys())
+        assert child <= descendant
+
+    @settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(doc_seed=st.integers(0, 10_000), seed=st.integers(0, 10_000))
+    def test_negated_predicate_partitions_matches(self, doc_seed, seed):
+        rng = random.Random(seed)
+        tag = rng.choice(["a", "b", "c"])
+        pred = rng.choice(["a", "b", "@id"])
+        document = make_document(doc_seed)
+        base = set(evaluate(f"//{tag}", document).keys())
+        positive = set(evaluate(f"//{tag}[{pred}]", document).keys())
+        negative = set(evaluate(f"//{tag}[not({pred})]", document).keys())
+        assert positive | negative == base
+        assert positive & negative == set()

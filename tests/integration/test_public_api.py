@@ -1,0 +1,76 @@
+"""Tests of the top-level public API surface (what README documents)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import (
+    ResultSet,
+    Solution,
+    SolutionKind,
+    TwigMEvaluator,
+    UnsupportedFeatureError,
+    ViteXError,
+    XPathSyntaxError,
+    compile_query,
+    evaluate,
+    parse_xpath,
+    stream_evaluate,
+)
+
+
+class TestPackageSurface:
+    def test_version_is_exposed(self):
+        assert repro.__version__
+
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_readme_quickstart_flow(self, simple_doc):
+        results = evaluate("//book[author]/@id", simple_doc)
+        assert isinstance(results, ResultSet)
+        assert sorted(s.value for s in results) == ["b1", "b2"]
+        assert all(isinstance(s, Solution) for s in results)
+
+    def test_stream_evaluate_is_lazy(self, simple_doc):
+        iterator = stream_evaluate("//book", simple_doc)
+        first = next(iterator)
+        assert first.kind is SolutionKind.ELEMENT
+
+    def test_compile_once_run_many(self, simple_doc, recursive_doc):
+        query = compile_query("//a//b")
+        first = TwigMEvaluator(query).evaluate(recursive_doc)
+        second = TwigMEvaluator(query).evaluate(simple_doc)
+        assert len(first) == 5
+        assert len(second) == 0
+
+    def test_parse_xpath_exposed(self):
+        path = parse_xpath("//a[b]")
+        assert len(path.steps) == 1
+
+
+class TestErrorHierarchy:
+    def test_xpath_errors_are_vitex_errors(self):
+        with pytest.raises(ViteXError):
+            compile_query("//a[")
+        with pytest.raises(XPathSyntaxError):
+            compile_query("//a[")
+
+    def test_unsupported_feature_is_vitex_error(self):
+        with pytest.raises(UnsupportedFeatureError):
+            compile_query("//a[count(b)=2]")
+
+    def test_xml_errors_are_vitex_errors(self, simple_doc):
+        with pytest.raises(ViteXError):
+            evaluate("//a", "<a><b></a>")
+
+    def test_catching_base_class_is_enough(self):
+        for bad_call in (
+            lambda: evaluate("//a[", "<a/>"),
+            lambda: evaluate("//a", "<a>"),
+            lambda: evaluate("//a/..", "<a/>"),
+        ):
+            with pytest.raises(ViteXError):
+                bad_call()

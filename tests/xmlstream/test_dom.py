@@ -1,0 +1,135 @@
+"""Unit tests for the lightweight in-memory DOM."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StreamStateError
+from repro.xmlstream.dom import TreeBuilder, build_tree, parse_document
+from repro.xmlstream.events import EndElement, StartElement
+from repro.xmlstream.tokenizer import tokenize
+
+
+DOC = (
+    "<library><book id='b1'><title>Streams</title><author>Ada</author></book>"
+    "<book id='b2'><title>Trees</title></book></library>"
+)
+
+
+class TestParsing:
+    def test_root_tag(self):
+        document = parse_document(DOC)
+        assert document.root.tag == "library"
+        assert document.root.level == 1
+
+    def test_element_count_and_depth(self):
+        document = parse_document(DOC)
+        assert document.element_count == 6
+        assert document.max_depth == 3
+
+    def test_children_in_order(self):
+        document = parse_document(DOC)
+        tags = [child.tag for child in document.root.children]
+        assert tags == ["book", "book"]
+
+    def test_attributes(self):
+        document = parse_document(DOC)
+        books = document.find_all("book")
+        assert [book.get("id") for book in books] == ["b1", "b2"]
+        assert books[0].get("missing") is None
+        assert books[0].get("missing", "x") == "x"
+
+    def test_pre_order_indexes_are_consecutive(self):
+        document = parse_document(DOC)
+        orders = [element.order for element in document.iter()]
+        assert orders == list(range(len(orders)))
+
+    def test_parent_pointers(self):
+        document = parse_document(DOC)
+        title = document.find_all("title")[0]
+        assert title.parent is not None
+        assert title.parent.tag == "book"
+        ancestor_tags = [ancestor.tag for ancestor in title.ancestors()]
+        assert ancestor_tags == ["book", "library"]
+
+    def test_line_numbers_recorded(self):
+        document = parse_document("<a>\n<b/>\n<c/>\n</a>")
+        lines = {element.tag: element.line for element in document.iter()}
+        assert lines == {"a": 1, "b": 2, "c": 3}
+
+
+class TestTextHandling:
+    def test_string_value_concatenates_descendants(self):
+        document = parse_document("<a>x<b>y</b>z<c><d>w</d></c></a>")
+        assert document.root.string_value() == "xyzw"
+
+    def test_direct_text_segments(self):
+        document = parse_document("<a>x<b/>y<c/>z</a>")
+        root = document.root
+        assert root.text_before_children() == "x"
+        assert root.text_segment(1) == "y"
+        assert root.text_segment(2) == "z"
+        assert root.text == "xyz"
+
+    def test_text_segment_out_of_range_is_empty(self):
+        document = parse_document("<a>x</a>")
+        assert document.root.text_segment(5) == ""
+
+
+class TestNavigation:
+    def test_find_all_descendants(self):
+        document = parse_document(DOC)
+        assert len(document.find_all("title")) == 2
+        assert len(document.root.find_all("library")) == 1  # includes self
+
+    def test_descendants_excludes_self(self):
+        document = parse_document(DOC)
+        tags = [element.tag for element in document.root.descendants()]
+        assert "library" not in tags
+        assert tags.count("book") == 2
+
+    def test_child_elements_filtered(self):
+        document = parse_document(DOC)
+        book = document.root.children[0]
+        assert [child.tag for child in book.child_elements("title")] == ["title"]
+        assert len(book.child_elements()) == 2
+
+    def test_elements_at_line(self):
+        document = parse_document("<a>\n<b/>\n</a>")
+        assert [element.tag for element in document.elements_at_line(2)] == ["b"]
+
+
+class TestTreeBuilder:
+    def test_build_from_event_iterable(self):
+        events = list(tokenize(DOC))
+        document = build_tree(events)
+        assert document.root.tag == "library"
+        assert document.element_count == 6
+
+    def test_mismatched_events_rejected(self):
+        builder = TreeBuilder()
+        builder.feed(StartElement(position=0, name="a", level=1))
+        with pytest.raises(StreamStateError):
+            builder.feed(EndElement(position=1, name="b", level=1))
+
+    def test_unclosed_document_rejected(self):
+        builder = TreeBuilder()
+        builder.feed(StartElement(position=0, name="a", level=1))
+        with pytest.raises(StreamStateError):
+            builder.close()
+
+    def test_end_without_start_rejected(self):
+        builder = TreeBuilder()
+        with pytest.raises(StreamStateError):
+            builder.feed(EndElement(position=0, name="a", level=1))
+
+    def test_multiple_roots_rejected(self):
+        builder = TreeBuilder()
+        builder.feed(StartElement(position=0, name="a", level=1))
+        builder.feed(EndElement(position=1, name="a", level=1))
+        with pytest.raises(StreamStateError):
+            builder.feed(StartElement(position=2, name="b", level=1))
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(StreamStateError):
+            TreeBuilder().close()

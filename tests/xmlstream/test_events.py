@@ -1,0 +1,110 @@
+"""Unit tests for the streaming event model."""
+
+from __future__ import annotations
+
+from repro.xmlstream.events import (
+    Characters,
+    Comment,
+    EndDocument,
+    EndElement,
+    EventRecorder,
+    EventStatistics,
+    StartDocument,
+    StartElement,
+    element_events,
+    is_structural,
+)
+
+
+def _sample_events():
+    return [
+        StartDocument(position=0),
+        StartElement(position=1, name="a", level=1, attributes=(("id", "1"),)),
+        Characters(position=2, text="hello", level=1),
+        StartElement(position=3, name="b", level=2),
+        EndElement(position=4, name="b", level=2),
+        Comment(position=5, text="note", level=1),
+        EndElement(position=6, name="a", level=1),
+        EndDocument(position=7),
+    ]
+
+
+class TestStartElement:
+    def test_attribute_dict(self):
+        event = StartElement(position=0, name="a", level=1, attributes=(("x", "1"), ("y", "2")))
+        assert event.attribute_dict() == {"x": "1", "y": "2"}
+
+    def test_get_present_attribute(self):
+        event = StartElement(position=0, name="a", level=1, attributes=(("x", "1"),))
+        assert event.get("x") == "1"
+
+    def test_get_missing_attribute_returns_default(self):
+        event = StartElement(position=0, name="a", level=1)
+        assert event.get("x") is None
+        assert event.get("x", "fallback") == "fallback"
+
+    def test_events_are_immutable(self):
+        event = StartElement(position=0, name="a", level=1)
+        try:
+            event.name = "b"  # type: ignore[misc]
+        except AttributeError:
+            pass
+        else:  # pragma: no cover - would indicate a mutable dataclass
+            raise AssertionError("StartElement should be frozen")
+
+
+class TestStructuralHelpers:
+    def test_is_structural(self):
+        assert is_structural(StartElement(position=0, name="a", level=1))
+        assert is_structural(EndElement(position=0, name="a", level=1))
+        assert not is_structural(Characters(position=0, text="x", level=1))
+        assert not is_structural(StartDocument(position=0))
+
+    def test_element_events_filters(self):
+        structural = list(element_events(_sample_events()))
+        assert len(structural) == 4
+        assert all(is_structural(event) for event in structural)
+
+
+class TestEventStatistics:
+    def test_counts_elements_and_attributes(self):
+        stats = EventStatistics.from_events(_sample_events())
+        assert stats.start_elements == 2
+        assert stats.end_elements == 2
+        assert stats.attributes == 1
+        assert stats.element_count == 2
+
+    def test_tracks_depth_and_text(self):
+        stats = EventStatistics.from_events(_sample_events())
+        assert stats.max_depth == 2
+        assert stats.characters == 1
+        assert stats.text_length == len("hello")
+
+    def test_tag_histogram(self):
+        stats = EventStatistics.from_events(_sample_events())
+        assert stats.tag_names == {"a": 1, "b": 1}
+
+    def test_summary_keys(self):
+        summary = EventStatistics.from_events(_sample_events()).summary()
+        assert summary["elements"] == 2
+        assert summary["distinct_tags"] == 2
+        assert summary["max_depth"] == 2
+
+
+class TestEventRecorder:
+    def test_records_while_passing_through(self):
+        recorder = EventRecorder()
+        passed = list(recorder(_sample_events()))
+        assert passed == recorder.events
+        assert len(recorder.events) == 8
+
+    def test_structural_subset(self):
+        recorder = EventRecorder()
+        list(recorder(_sample_events()))
+        assert len(recorder.structural()) == 4
+
+    def test_clear(self):
+        recorder = EventRecorder()
+        list(recorder(_sample_events()))
+        recorder.clear()
+        assert recorder.events == []

@@ -1,0 +1,80 @@
+"""Unit tests for structural path utilities."""
+
+from __future__ import annotations
+
+from repro.xmlstream.dom import parse_document
+from repro.xmlstream.paths import (
+    element_label,
+    element_path,
+    path_counts,
+    summarize_structure,
+    tag_histogram,
+)
+from repro.xmlstream.tokenizer import tokenize
+
+
+RECURSIVE = "<a><a><b/><a><b/></a></a><c><b/></c></a>"
+
+
+class TestElementPath:
+    def test_absolute_path(self):
+        document = parse_document("<x><y><z/></y></x>")
+        z = document.find_all("z")[0]
+        assert element_path(z) == "/x/y/z"
+
+    def test_root_path(self):
+        document = parse_document("<x/>")
+        assert element_path(document.root) == "/x"
+
+
+class TestElementLabel:
+    def test_label_uses_line_number(self):
+        document = parse_document("<a>\n<b/>\n</a>")
+        b = document.find_all("b")[0]
+        assert element_label(b) == "b_2"
+
+    def test_label_falls_back_to_order(self):
+        document = parse_document("<a><b/></a>")
+        b = document.find_all("b")[0]
+        b.line = None
+        assert element_label(b) == "b#1"
+
+
+class TestCountsAndHistograms:
+    def test_path_counts(self):
+        counts = path_counts(parse_document(RECURSIVE))
+        assert counts["/a"] == 1
+        assert counts["/a/a"] == 1
+        assert counts["/a/a/a"] == 1
+        assert counts["/a/a/b"] == 1
+        assert counts["/a/a/a/b"] == 1
+        assert counts["/a/c/b"] == 1
+
+    def test_tag_histogram_from_events(self):
+        histogram = tag_histogram(tokenize(RECURSIVE))
+        assert histogram == {"a": 3, "b": 3, "c": 1}
+
+
+class TestStructureSummary:
+    def test_recursive_tags_detected(self):
+        summary = summarize_structure(parse_document(RECURSIVE))
+        assert summary.element_count == 7
+        assert summary.max_depth == 4
+        assert "a" in summary.recursive_tags
+        assert "b" not in summary.recursive_tags
+
+    def test_non_recursive_document(self):
+        summary = summarize_structure(parse_document("<x><y/><z/></x>"))
+        assert summary.recursive_tags == ()
+        assert summary.distinct_tags == 3
+        assert summary.distinct_paths == 3
+
+    def test_as_dict_keys(self):
+        summary = summarize_structure(parse_document(RECURSIVE)).as_dict()
+        assert set(summary) == {
+            "elements",
+            "max_depth",
+            "distinct_tags",
+            "distinct_paths",
+            "recursive_tags",
+        }

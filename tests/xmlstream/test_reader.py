@@ -1,0 +1,117 @@
+"""Unit tests for the chunked stream reader."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.xmlstream.reader import DEFAULT_CHUNK_SIZE, StreamReader, read_document
+
+
+DOC = "<root><child>héllo wörld</child></root>"
+
+
+class TestStringSources:
+    def test_document_string_roundtrip(self):
+        assert read_document(DOC) == DOC
+
+    def test_small_chunk_size_splits_string(self):
+        chunks = list(StreamReader(DOC, chunk_size=5).chunks())
+        assert all(len(chunk) <= 5 for chunk in chunks)
+        assert "".join(chunks) == DOC
+
+    def test_bytes_source_decoded_as_utf8(self):
+        assert read_document(DOC.encode("utf-8")) == DOC
+
+    def test_bytes_with_bom(self):
+        data = "﻿".encode("utf-8") + DOC.encode("utf-8")
+        text = read_document(data)
+        assert text.endswith(DOC)
+        assert "héllo" in text
+
+    def test_utf16_detected_from_bom(self):
+        data = DOC.encode("utf-16")
+        assert read_document(data) == DOC
+
+    def test_declared_encoding_honoured(self):
+        doc = '<?xml version="1.0" encoding="iso-8859-1"?><a>café</a>'
+        data = doc.encode("iso-8859-1")
+        assert read_document(data) == doc
+
+    def test_bad_encoding_raises(self):
+        with pytest.raises(EncodingError):
+            read_document(b"\xff\xff\xfe<a/>", encoding="utf-8")
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            StreamReader(DOC, chunk_size=0)
+
+
+class TestFileSources:
+    def test_path_source(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text(DOC, encoding="utf-8")
+        assert read_document(str(path)) == DOC
+
+    def test_pathlike_source(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text(DOC, encoding="utf-8")
+        assert read_document(path) == DOC
+
+    def test_binary_file_object(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_bytes(DOC.encode("utf-8"))
+        with open(path, "rb") as handle:
+            assert read_document(handle) == DOC
+
+    def test_text_file_object(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text(DOC, encoding="utf-8")
+        with open(path, "r", encoding="utf-8") as handle:
+            assert read_document(handle) == DOC
+
+    def test_chunking_large_file(self, tmp_path):
+        path = tmp_path / "big.xml"
+        body = "<item>x</item>" * 20000
+        path.write_text(f"<root>{body}</root>", encoding="utf-8")
+        reader = StreamReader(str(path), chunk_size=1024)
+        chunks = list(reader.chunks())
+        assert len(chunks) > 1
+        assert "".join(chunks) == f"<root>{body}</root>"
+
+    def test_multibyte_character_split_across_chunks(self, tmp_path):
+        path = tmp_path / "multibyte.xml"
+        text = "<a>" + "é" * 5000 + "</a>"
+        path.write_bytes(text.encode("utf-8"))
+        # A chunk size of 3 guarantees many é characters straddle a boundary.
+        joined = "".join(StreamReader(str(path), chunk_size=3).chunks())
+        assert joined == text
+
+
+class TestIterableSources:
+    def test_iterable_of_text_chunks(self):
+        chunks = ["<a>", "text", "</a>"]
+        assert read_document(iter(chunks)) == "<a>text</a>"
+
+    def test_iterable_of_byte_chunks(self):
+        chunks = [b"<a>", "é".encode("utf-8"), b"</a>"]
+        assert read_document(iter(chunks)) == "<a>é</a>"
+
+    def test_generator_source(self):
+        def produce():
+            yield "<a>"
+            for index in range(3):
+                yield f"<b>{index}</b>"
+            yield "</a>"
+
+        assert read_document(produce()) == "<a><b>0</b><b>1</b><b>2</b></a>"
+
+
+class TestDefaults:
+    def test_default_chunk_size_positive(self):
+        assert DEFAULT_CHUNK_SIZE > 0
+
+    def test_empty_string_yields_nothing(self):
+        assert list(StreamReader("").chunks()) == []

@@ -1,0 +1,82 @@
+"""Unit tests for event/tree serialization."""
+
+from __future__ import annotations
+
+from repro.xmlstream.dom import parse_document
+from repro.xmlstream.serializer import (
+    escape_attribute,
+    escape_text,
+    serialize_document,
+    serialize_element,
+    serialize_events,
+)
+from repro.xmlstream.tokenizer import tokenize
+
+
+class TestEscaping:
+    def test_escape_text(self):
+        assert escape_text("a < b & c > d") == "a &lt; b &amp; c &gt; d"
+
+    def test_escape_attribute_also_escapes_quotes(self):
+        assert escape_attribute('say "hi" & <bye>') == "say &quot;hi&quot; &amp; &lt;bye&gt;"
+
+    def test_escape_is_noop_for_plain_text(self):
+        assert escape_text("plain") == "plain"
+
+
+class TestEventSerialization:
+    def test_roundtrip_simple_document(self):
+        document = "<a x=\"1\"><b>text</b><c/></a>"
+        serialized = serialize_events(tokenize(document))
+        # Empty-element tags are expanded to start/end pairs.
+        assert serialized == '<a x="1"><b>text</b><c></c></a>'
+
+    def test_roundtrip_preserves_text_and_reescapes_entities(self):
+        document = "<a>1 &lt; 2 &amp; 3</a>"
+        serialized = serialize_events(tokenize(document))
+        assert serialized == "<a>1 &lt; 2 &amp; 3</a>"
+
+    def test_double_roundtrip_is_stable(self):
+        document = "<a p='q'><b>x &amp; y</b> tail <c/></a>"
+        once = serialize_events(tokenize(document))
+        twice = serialize_events(tokenize(once))
+        assert once == twice
+
+    def test_comments_and_pis_preserved(self):
+        document = "<a><!-- note --><?pi data?></a>"
+        serialized = serialize_events(tokenize(document))
+        assert "<!-- note -->" in serialized
+        assert "<?pi data?>" in serialized
+
+    def test_xml_declaration_flag(self):
+        serialized = serialize_events(tokenize("<a/>"), xml_declaration=True)
+        assert serialized.startswith("<?xml")
+
+
+class TestElementSerialization:
+    def test_exact_mode_preserves_mixed_content(self):
+        document = parse_document("<a>x<b>y</b>z</a>")
+        assert serialize_element(document.root) == "<a>x<b>y</b>z</a>"
+
+    def test_attributes_rendered(self):
+        document = parse_document('<a id="1" name="n"><b/></a>')
+        text = serialize_element(document.root)
+        assert text.startswith('<a id="1" name="n">')
+
+    def test_pretty_mode_indents(self):
+        document = parse_document("<a><b>x</b><c><d>y</d></c></a>")
+        pretty = serialize_element(document.root, indent="  ")
+        lines = pretty.splitlines()
+        assert lines[0] == "<a>"
+        assert lines[1] == "  <b>x</b>"
+        assert lines[-1] == "</a>"
+
+    def test_reparse_of_serialized_tree_matches(self):
+        original = parse_document("<a p='1'>x<b>y</b>z<c><d>w</d></c></a>")
+        reparsed = parse_document(serialize_element(original.root))
+        assert [e.tag for e in reparsed.iter()] == [e.tag for e in original.iter()]
+        assert reparsed.root.string_value() == original.root.string_value()
+
+    def test_serialize_document_includes_declaration(self):
+        document = parse_document("<a/>")
+        assert serialize_document(document).startswith('<?xml version="1.0"')

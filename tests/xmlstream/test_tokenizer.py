@@ -1,0 +1,252 @@
+"""Unit tests for the from-scratch incremental XML tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmlstream.events import (
+    Characters,
+    Comment,
+    EndDocument,
+    EndElement,
+    ProcessingInstruction,
+    StartDocument,
+    StartElement,
+)
+from repro.xmlstream.tokenizer import (
+    StreamTokenizer,
+    decode_entities,
+    tokenize,
+    tokenize_chunks,
+)
+
+
+def kinds(events):
+    return [type(event).__name__ for event in events]
+
+
+def structural(events):
+    return [
+        (type(event).__name__, event.name, event.level)
+        for event in events
+        if isinstance(event, (StartElement, EndElement))
+    ]
+
+
+class TestBasicDocuments:
+    def test_single_element(self):
+        events = list(tokenize("<a></a>"))
+        assert kinds(events) == ["StartDocument", "StartElement", "EndElement", "EndDocument"]
+
+    def test_empty_element_shorthand(self):
+        events = list(tokenize("<a/>"))
+        assert kinds(events) == ["StartDocument", "StartElement", "EndElement", "EndDocument"]
+        start = events[1]
+        assert start.name == "a"
+        assert start.level == 1
+
+    def test_nested_levels(self):
+        events = list(tokenize("<a><b><c/></b></a>"))
+        assert structural(events) == [
+            ("StartElement", "a", 1),
+            ("StartElement", "b", 2),
+            ("StartElement", "c", 3),
+            ("EndElement", "c", 3),
+            ("EndElement", "b", 2),
+            ("EndElement", "a", 1),
+        ]
+
+    def test_text_content(self):
+        events = list(tokenize("<a>hello</a>"))
+        text = [event for event in events if isinstance(event, Characters)]
+        assert len(text) == 1
+        assert text[0].text == "hello"
+        assert text[0].level == 1
+
+    def test_mixed_content_coalesced_per_segment(self):
+        events = list(tokenize("<a>one<b/>two</a>"))
+        text = [event.text for event in events if isinstance(event, Characters)]
+        assert text == ["one", "two"]
+
+    def test_whitespace_between_elements_is_reported(self):
+        events = list(tokenize("<a>\n  <b/>\n</a>"))
+        text = [event.text for event in events if isinstance(event, Characters)]
+        assert text == ["\n  ", "\n"]
+
+    def test_xml_declaration_is_skipped(self):
+        events = list(tokenize('<?xml version="1.0" encoding="UTF-8"?><a/>'))
+        assert kinds(events) == ["StartDocument", "StartElement", "EndElement", "EndDocument"]
+
+    def test_doctype_is_skipped(self):
+        document = '<!DOCTYPE book SYSTEM "book.dtd"><book/>'
+        events = list(tokenize(document))
+        assert structural(events) == [("StartElement", "book", 1), ("EndElement", "book", 1)]
+
+    def test_doctype_with_internal_subset(self):
+        document = "<!DOCTYPE book [<!ENTITY x 'y'>]><book/>"
+        events = list(tokenize(document))
+        assert structural(events) == [("StartElement", "book", 1), ("EndElement", "book", 1)]
+
+
+class TestAttributes:
+    def test_double_and_single_quotes(self):
+        events = list(tokenize("<a x=\"1\" y='2'/>"))
+        start = events[1]
+        assert start.attribute_dict() == {"x": "1", "y": "2"}
+
+    def test_attribute_with_whitespace_around_equals(self):
+        events = list(tokenize("<a x = '1'/>"))
+        assert events[1].get("x") == "1"
+
+    def test_attribute_value_with_entities(self):
+        events = list(tokenize("<a title='Tom &amp; Jerry &lt;3'/>"))
+        assert events[1].get("title") == "Tom & Jerry <3"
+
+    def test_attribute_value_containing_gt(self):
+        events = list(tokenize("<a expr='x > 3'/>"))
+        assert events[1].get("expr") == "x > 3"
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            list(tokenize("<a x='1' x='2'/>"))
+
+    def test_unquoted_attribute_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            list(tokenize("<a x=1/>"))
+
+    def test_attribute_without_value_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            list(tokenize("<a disabled/>"))
+
+
+class TestEntitiesAndCdata:
+    def test_predefined_entities_in_text(self):
+        events = list(tokenize("<a>&lt;tag&gt; &amp; &quot;q&quot; &apos;a&apos;</a>"))
+        text = next(event for event in events if isinstance(event, Characters))
+        assert text.text == "<tag> & \"q\" 'a'"
+
+    def test_numeric_character_references(self):
+        events = list(tokenize("<a>&#65;&#x42;</a>"))
+        text = next(event for event in events if isinstance(event, Characters))
+        assert text.text == "AB"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            list(tokenize("<a>&nbsp;</a>"))
+
+    def test_cdata_section_text_not_expanded(self):
+        events = list(tokenize("<a><![CDATA[1 < 2 && x]]></a>"))
+        text = next(event for event in events if isinstance(event, Characters))
+        assert text.text == "1 < 2 && x"
+
+    def test_decode_entities_helper(self):
+        assert decode_entities("a &amp; b") == "a & b"
+        assert decode_entities("no entities") == "no entities"
+        with pytest.raises(XMLSyntaxError):
+            decode_entities("broken &amp")
+
+
+class TestCommentsAndProcessingInstructions:
+    def test_comment_event(self):
+        events = list(tokenize("<a><!-- note --></a>"))
+        comment = next(event for event in events if isinstance(event, Comment))
+        assert comment.text == " note "
+
+    def test_processing_instruction_event(self):
+        events = list(tokenize('<a><?target data here?></a>'))
+        pi = next(event for event in events if isinstance(event, ProcessingInstruction))
+        assert pi.target == "target"
+        assert pi.data == "data here"
+
+    def test_comment_before_root(self):
+        events = list(tokenize("<!-- header --><a/>"))
+        assert structural(events) == [("StartElement", "a", 1), ("EndElement", "a", 1)]
+
+
+class TestErrorHandling:
+    @pytest.mark.parametrize(
+        "document",
+        [
+            "<a><b></a>",          # mismatched end tag
+            "<a>",                  # unclosed element
+            "<a></a><b></b>",      # two root elements
+            "text only",            # no root element
+            "<a></a>trailing",     # trailing content
+            "<a><!-- broken </a>", # unterminated comment
+            "<a attr></a>",         # attribute without value
+            "</a>",                 # end tag without start
+            "<>",                   # empty tag
+            "<1abc/>",              # invalid name start
+        ],
+    )
+    def test_malformed_documents_rejected(self, document):
+        with pytest.raises(XMLSyntaxError):
+            list(tokenize(document))
+
+    def test_error_reports_line_number(self):
+        document = "<a>\n<b>\n</c>\n</a>"
+        with pytest.raises(XMLSyntaxError) as excinfo:
+            list(tokenize(document))
+        assert excinfo.value.line == 3
+
+    def test_feed_after_close_rejected(self):
+        tokenizer = StreamTokenizer()
+        list(tokenizer.tokenize("<a/>"))
+        with pytest.raises(XMLSyntaxError):
+            tokenizer.feed("<b/>")
+
+
+class TestIncrementalFeeding:
+    def test_chunked_equivalent_to_whole(self):
+        document = "<root a='1'>text<child>more &amp; stuff</child><!--c--><leaf/></root>"
+        whole = list(tokenize(document))
+        for chunk_size in (1, 2, 3, 7, 16):
+            chunks = [document[i:i + chunk_size] for i in range(0, len(document), chunk_size)]
+            chunked = list(tokenize_chunks(chunks))
+            assert [type(e).__name__ for e in chunked] == [type(e).__name__ for e in whole]
+            assert structural(chunked) == structural(whole)
+            whole_text = "".join(e.text for e in whole if isinstance(e, Characters))
+            chunk_text = "".join(e.text for e in chunked if isinstance(e, Characters))
+            assert chunk_text == whole_text
+
+    def test_split_inside_entity_reference(self):
+        chunks = ["<a>left &a", "mp; right</a>"]
+        events = list(tokenize_chunks(chunks))
+        text = "".join(e.text for e in events if isinstance(e, Characters))
+        assert text == "left & right"
+
+    def test_split_inside_tag(self):
+        chunks = ["<a", " x='1'", "><b", "/></a>"]
+        events = list(tokenize_chunks(chunks))
+        assert structural(events) == [
+            ("StartElement", "a", 1),
+            ("StartElement", "b", 2),
+            ("EndElement", "b", 2),
+            ("EndElement", "a", 1),
+        ]
+
+    def test_depth_property_tracks_open_elements(self):
+        tokenizer = StreamTokenizer()
+        tokenizer.feed("<a><b>")
+        assert tokenizer.depth == 2
+        tokenizer.feed("</b>")
+        assert tokenizer.depth == 1
+        tokenizer.feed("</a>")
+        tokenizer.close()
+        assert tokenizer.depth == 0
+        assert tokenizer.finished
+
+
+class TestLineNumbers:
+    def test_start_tag_lines_match_figure_numbering(self):
+        document = "<a>\n <b>\n  <c/>\n </b>\n</a>"
+        events = list(tokenize(document))
+        lines = {event.name: event.line for event in events if isinstance(event, StartElement)}
+        assert lines == {"a": 1, "b": 2, "c": 3}
+
+    def test_document_order_positions_increase(self):
+        events = list(tokenize("<a><b/><c/></a>"))
+        positions = [event.position for event in events]
+        assert positions == sorted(positions)
+        assert len(set(positions)) == len(positions)

@@ -1,0 +1,93 @@
+"""Unit tests for well-formedness checking and depth tracking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmlstream.events import EndElement, StartElement
+from repro.xmlstream.tokenizer import tokenize
+from repro.xmlstream.wellformed import (
+    DepthTracker,
+    check_well_formed,
+    validate_event_stream,
+)
+
+
+class TestCheckWellFormed:
+    def test_well_formed_document(self):
+        report = check_well_formed("<a><b>x</b><c/></a>")
+        assert report
+        assert report.well_formed
+        assert report.elements == 3
+        assert report.max_depth == 2
+        assert report.error is None
+
+    def test_malformed_document(self):
+        report = check_well_formed("<a><b></a>")
+        assert not report
+        assert not report.well_formed
+        assert "does not match" in report.error
+        assert report.line == 1
+
+    def test_unclosed_document(self):
+        report = check_well_formed("<a><b>")
+        assert not report.well_formed
+
+    def test_file_source(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text("<a><b/></a>", encoding="utf-8")
+        assert check_well_formed(str(path)).well_formed
+
+    def test_counts_elements_of_large_flat_document(self):
+        document = "<r>" + "<x/>" * 500 + "</r>"
+        report = check_well_formed(document)
+        assert report.elements == 501
+        assert report.max_depth == 2
+
+
+class TestDepthTracker:
+    def test_tracks_depth_and_path(self):
+        tracker = DepthTracker()
+        events = list(tokenize("<a><b><c/></b></a>"))
+        max_seen = 0
+        for event in events:
+            tracker.observe(event)
+            max_seen = max(max_seen, tracker.depth)
+        assert max_seen == 3
+        assert tracker.max_depth == 3
+        assert tracker.depth == 0
+
+    def test_path_rendering(self):
+        tracker = DepthTracker()
+        tracker.observe(StartElement(position=0, name="a", level=1))
+        tracker.observe(StartElement(position=1, name="b", level=2))
+        assert tracker.path() == "/a/b"
+        assert tracker.snapshot() == ("a", "b")
+
+    def test_unbalanced_end_rejected(self):
+        tracker = DepthTracker()
+        with pytest.raises(XMLSyntaxError):
+            tracker.observe(EndElement(position=0, name="a", level=1))
+
+
+class TestValidateEventStream:
+    def test_valid_stream(self):
+        events = list(tokenize("<a><b/><c><d/></c></a>"))
+        elements, depth = validate_event_stream(events)
+        assert elements == 4
+        assert depth == 3
+
+    def test_unbalanced_stream_rejected(self):
+        events = [StartElement(position=0, name="a", level=1)]
+        with pytest.raises(XMLSyntaxError):
+            validate_event_stream(events)
+
+    def test_extra_end_rejected(self):
+        events = [
+            StartElement(position=0, name="a", level=1),
+            EndElement(position=1, name="a", level=1),
+            EndElement(position=2, name="a", level=1),
+        ]
+        with pytest.raises(XMLSyntaxError):
+            validate_event_stream(events)

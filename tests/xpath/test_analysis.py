@@ -1,0 +1,62 @@
+"""Unit tests for query analysis statistics."""
+
+from __future__ import annotations
+
+from repro.xpath.analysis import analyze, collect_labels, describe
+from repro.xpath.normalize import compile_query
+
+
+class TestAnalyze:
+    def test_paper_query(self):
+        stats = analyze(compile_query("//section[author]//table[position]//cell"))
+        assert stats.size == 5
+        assert stats.main_path_length == 3
+        assert stats.predicate_nodes == 2
+        assert stats.descendant_edges == 3
+        assert stats.child_edges == 2
+        assert stats.wildcard_nodes == 0
+        assert not stats.attribute_output
+        assert not stats.text_output
+
+    def test_attribute_output_query(self):
+        stats = analyze(compile_query("//ProteinEntry[reference]/@id"))
+        assert stats.attribute_output
+        assert stats.attribute_nodes == 1
+        assert stats.size == 3
+
+    def test_text_output_query(self):
+        stats = analyze(compile_query("//a/b/text()"))
+        assert stats.text_output
+
+    def test_wildcards_counted(self):
+        stats = analyze(compile_query("//*/*[*]"))
+        assert stats.wildcard_nodes == 3
+
+    def test_value_tests_counted(self):
+        stats = analyze(compile_query("//a[b='x'][@id='2'][.='y']"))
+        assert stats.value_tests == 3
+
+    def test_depth_counts_predicate_subtrees(self):
+        stats = analyze(compile_query("//a[b/c/d]"))
+        assert stats.depth == 4
+        assert stats.main_path_length == 1
+
+    def test_as_dict_round_trip(self):
+        stats = analyze(compile_query("//a[b]//c"))
+        data = stats.as_dict()
+        assert data["size"] == stats.size
+        assert data["predicate_nodes"] == 1
+
+
+class TestDescribeAndLabels:
+    def test_describe_mentions_size(self):
+        text = describe(compile_query("//a[b]//c"))
+        assert "|Q|=3" in text
+
+    def test_collect_labels_skips_wildcards(self):
+        labels = collect_labels(compile_query("//a[*]//b/@id"))
+        assert labels == ["a", "b", "id"]
+
+    def test_collect_labels_unique(self):
+        labels = collect_labels(compile_query("//a//a[a]"))
+        assert labels == ["a"]

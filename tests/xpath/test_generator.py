@@ -1,0 +1,94 @@
+"""Unit tests for the random query generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xpath.ast import QueryTree
+from repro.xpath.generator import (
+    QueryGenerator,
+    QueryGeneratorConfig,
+    chain_query_with_predicates,
+    deep_child_query,
+    linear_descendant_query,
+)
+from repro.xpath.normalize import compile_query
+
+
+class TestQueryGenerator:
+    def test_deterministic_for_same_seed(self):
+        first = [QueryGenerator(seed=42).generate_expression() for _ in range(10)]
+        second = [QueryGenerator(seed=42).generate_expression() for _ in range(10)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        a = [QueryGenerator(seed=1).generate_expression() for _ in range(20)]
+        b = [QueryGenerator(seed=2).generate_expression() for _ in range(20)]
+        assert a != b
+
+    def test_generated_expressions_compile(self):
+        generator = QueryGenerator(seed=7)
+        for _ in range(100):
+            expression = generator.generate_expression()
+            tree = compile_query(expression)
+            assert isinstance(tree, QueryTree)
+            assert tree.size >= 1
+
+    def test_generate_returns_query_tree(self):
+        tree = QueryGenerator(seed=3).generate()
+        assert isinstance(tree, QueryTree)
+
+    def test_generate_many(self):
+        trees = QueryGenerator(seed=3).generate_many(5)
+        assert len(trees) == 5
+
+    def test_respects_step_bounds(self):
+        config = QueryGeneratorConfig(
+            min_steps=3,
+            max_steps=3,
+            predicate_probability=0.0,
+            attribute_output_probability=0.0,
+            wildcard_probability=0.0,
+        )
+        generator = QueryGenerator(config=config, seed=5)
+        for _ in range(20):
+            tree = generator.generate()
+            assert len(tree.main_path()) == 3
+
+    def test_vocabulary_respected(self):
+        config = QueryGeneratorConfig(
+            vocabulary=("only",),
+            wildcard_probability=0.0,
+            predicate_probability=0.0,
+            attribute_output_probability=0.0,
+        )
+        generator = QueryGenerator(config=config, seed=5)
+        for _ in range(10):
+            labels = {node.label for node in generator.generate().nodes()}
+            assert labels == {"only"}
+
+
+class TestQueryFamilies:
+    def test_linear_descendant_query(self):
+        assert linear_descendant_query("a", 3) == "//a//a//a"
+        assert linear_descendant_query("a", 2, predicate_tag="p") == "//a[p]//a[p]"
+
+    def test_linear_descendant_query_rejects_zero_steps(self):
+        with pytest.raises(ValueError):
+            linear_descendant_query("a", 0)
+
+    def test_linear_query_compiles_to_expected_size(self):
+        tree = compile_query(linear_descendant_query("a", 4, predicate_tag="p"))
+        assert len(tree.main_path()) == 4
+        assert tree.size == 8
+
+    def test_deep_child_query(self):
+        assert deep_child_query(["a", "b", "c"]) == "/a/b/c"
+        with pytest.raises(ValueError):
+            deep_child_query([])
+
+    def test_chain_query_with_predicates(self):
+        query = chain_query_with_predicates(["a", "b"], ["p", None])
+        assert query == "//a[p]//b"
+        with pytest.raises(ValueError):
+            chain_query_with_predicates(["a"], ["p", "q"])

@@ -1,0 +1,197 @@
+"""Unit tests for the XPath parser (surface AST)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.ast import (
+    AndExpr,
+    Axis,
+    Comparison,
+    ComparisonOp,
+    Exists,
+    NameTest,
+    NotExpr,
+    OrExpr,
+    TextTest,
+    WildcardTest,
+)
+from repro.xpath.parser import parse_xpath
+
+
+class TestLocationPaths:
+    def test_absolute_child_path(self):
+        path = parse_xpath("/book/section")
+        assert path.absolute
+        assert not path.initial_descendant
+        assert [step.axis for step in path.steps] == [Axis.CHILD, Axis.CHILD]
+        assert [str(step.test) for step in path.steps] == ["book", "section"]
+
+    def test_descendant_start(self):
+        path = parse_xpath("//section")
+        assert path.initial_descendant
+        assert path.steps[0].axis is Axis.DESCENDANT
+
+    def test_mixed_axes(self):
+        path = parse_xpath("//a/b//c")
+        assert [step.axis for step in path.steps] == [
+            Axis.DESCENDANT,
+            Axis.CHILD,
+            Axis.DESCENDANT,
+        ]
+
+    def test_relative_path_is_not_absolute(self):
+        path = parse_xpath("a/b")
+        assert not path.absolute
+        assert len(path.steps) == 2
+
+    def test_wildcard_step(self):
+        path = parse_xpath("//*")
+        assert isinstance(path.steps[0].test, WildcardTest)
+
+    def test_attribute_step(self):
+        path = parse_xpath("//a/@id")
+        assert path.steps[-1].axis is Axis.ATTRIBUTE
+        assert isinstance(path.steps[-1].test, NameTest)
+        assert path.steps[-1].test.name == "id"
+
+    def test_attribute_wildcard(self):
+        path = parse_xpath("//a/@*")
+        assert path.steps[-1].axis is Axis.ATTRIBUTE
+        assert isinstance(path.steps[-1].test, WildcardTest)
+
+    def test_text_step(self):
+        path = parse_xpath("//a/text()")
+        assert isinstance(path.steps[-1].test, TextTest)
+
+    def test_paper_query_parses(self):
+        path = parse_xpath("//section[author]//table[position]//cell")
+        assert len(path.steps) == 3
+        assert all(step.axis is Axis.DESCENDANT for step in path.steps)
+        assert [str(step.test) for step in path.steps] == ["section", "table", "cell"]
+
+    def test_roundtrip_str(self):
+        for text in ("//a/b", "/a//b", "//a[b]//c[@id]", "//a[b='x']/c"):
+            assert str(parse_xpath(text)).replace(" ", "") == text.replace(" ", "")
+
+
+class TestPredicates:
+    def test_existence_predicate(self):
+        path = parse_xpath("//a[b]")
+        predicate = path.steps[0].predicates[0]
+        assert isinstance(predicate, Exists)
+        assert str(predicate.path) == "b"
+
+    def test_multiple_predicates_on_one_step(self):
+        path = parse_xpath("//a[b][c]")
+        assert len(path.steps[0].predicates) == 2
+
+    def test_attribute_existence(self):
+        predicate = parse_xpath("//a[@id]").steps[0].predicates[0]
+        assert isinstance(predicate, Exists)
+        assert predicate.path.steps[0].axis is Axis.ATTRIBUTE
+
+    def test_string_comparison(self):
+        predicate = parse_xpath("//a[b='x']").steps[0].predicates[0]
+        assert isinstance(predicate, Comparison)
+        assert predicate.op is ComparisonOp.EQ
+        assert predicate.literal.value == "x"
+
+    def test_numeric_comparison(self):
+        predicate = parse_xpath("//a[price > 30]").steps[0].predicates[0]
+        assert isinstance(predicate, Comparison)
+        assert predicate.op is ComparisonOp.GT
+        assert predicate.literal.value == 30.0
+        assert predicate.literal.is_numeric
+
+    def test_literal_first_comparison_is_flipped(self):
+        predicate = parse_xpath("//a[30 < price]").steps[0].predicates[0]
+        assert isinstance(predicate, Comparison)
+        assert predicate.op is ComparisonOp.GT
+        assert str(predicate.path) == "price"
+
+    def test_self_comparison(self):
+        predicate = parse_xpath("//a[.='x']").steps[0].predicates[0]
+        assert isinstance(predicate, Comparison)
+        assert predicate.path.steps == ()
+
+    def test_text_function_comparison(self):
+        predicate = parse_xpath("//a[text()='x']").steps[0].predicates[0]
+        assert isinstance(predicate, Comparison)
+        assert isinstance(predicate.path.steps[0].test, TextTest)
+
+    def test_relative_descendant_predicate(self):
+        predicate = parse_xpath("//a[.//b]").steps[0].predicates[0]
+        assert isinstance(predicate, Exists)
+        assert predicate.path.steps[0].axis is Axis.DESCENDANT
+
+    def test_multi_step_predicate_path(self):
+        predicate = parse_xpath("//a[b/c/@id='1']").steps[0].predicates[0]
+        assert isinstance(predicate, Comparison)
+        assert len(predicate.path.steps) == 3
+
+    def test_and_expression(self):
+        predicate = parse_xpath("//a[b and c]").steps[0].predicates[0]
+        assert isinstance(predicate, AndExpr)
+        assert len(predicate.operands) == 2
+
+    def test_or_expression(self):
+        predicate = parse_xpath("//a[b or c or d]").steps[0].predicates[0]
+        assert isinstance(predicate, OrExpr)
+        assert len(predicate.operands) == 3
+
+    def test_and_binds_tighter_than_or(self):
+        predicate = parse_xpath("//a[b and c or d]").steps[0].predicates[0]
+        assert isinstance(predicate, OrExpr)
+        assert isinstance(predicate.operands[0], AndExpr)
+
+    def test_not_expression(self):
+        predicate = parse_xpath("//a[not(b)]").steps[0].predicates[0]
+        assert isinstance(predicate, NotExpr)
+        assert isinstance(predicate.operand, Exists)
+
+    def test_parenthesised_expression(self):
+        predicate = parse_xpath("//a[(b or c) and d]").steps[0].predicates[0]
+        assert isinstance(predicate, AndExpr)
+        assert isinstance(predicate.operands[0], OrExpr)
+
+    def test_nested_predicates(self):
+        path = parse_xpath("//a[b[c]]")
+        outer = path.steps[0].predicates[0]
+        assert isinstance(outer, Exists)
+        inner_step = outer.path.steps[0]
+        assert len(inner_step.predicates) == 1
+
+    def test_predicate_on_later_step(self):
+        path = parse_xpath("//a/b[c]")
+        assert not path.steps[0].predicates
+        assert len(path.steps[1].predicates) == 1
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "",
+            "   ",
+            "//",
+            "//a[",
+            "//a[]",
+            "//a]b",
+            "//a[b=']",
+            "//a[b='x' and]",
+            "//a//",
+            "//a[@]",
+            "//a[b=]",
+            "//a b",
+        ],
+    )
+    def test_malformed_expressions_rejected(self, expression):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath(expression)
+
+    def test_error_message_contains_pointer(self):
+        with pytest.raises(XPathSyntaxError) as excinfo:
+            parse_xpath("//a[b=]")
+        assert "//a[b=]" in str(excinfo.value)

@@ -1,0 +1,127 @@
+"""Unit tests for the XPath lexer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.tokens import Token, TokenKind, tokenize_xpath
+
+
+def kinds(expression):
+    return [token.kind for token in tokenize_xpath(expression)]
+
+
+def values(expression):
+    return [token.value for token in tokenize_xpath(expression) if token.kind is not TokenKind.END]
+
+
+class TestPathTokens:
+    def test_simple_path(self):
+        assert kinds("/a/b") == [
+            TokenKind.SLASH,
+            TokenKind.NAME,
+            TokenKind.SLASH,
+            TokenKind.NAME,
+            TokenKind.END,
+        ]
+
+    def test_double_slash(self):
+        assert kinds("//a")[:2] == [TokenKind.DOUBLE_SLASH, TokenKind.NAME]
+
+    def test_wildcard_and_attribute(self):
+        assert kinds("//*/@id")[:5] == [
+            TokenKind.DOUBLE_SLASH,
+            TokenKind.STAR,
+            TokenKind.SLASH,
+            TokenKind.AT,
+            TokenKind.NAME,
+        ]
+
+    def test_predicate_brackets(self):
+        assert TokenKind.LBRACKET in kinds("//a[b]")
+        assert TokenKind.RBRACKET in kinds("//a[b]")
+
+    def test_name_with_xml_characters(self):
+        tokens = values("//Protein-Entry.v2/ns:tag/_private")
+        assert "Protein-Entry.v2" in tokens
+        assert "ns:tag" in tokens
+        assert "_private" in tokens
+
+    def test_whitespace_ignored(self):
+        assert kinds("  //a [ b ]  ") == kinds("//a[b]")
+
+
+class TestLiteralsAndOperators:
+    def test_string_literals_both_quote_styles(self):
+        double = tokenize_xpath('//a[b="x y"]')
+        single = tokenize_xpath("//a[b='x y']")
+        assert any(t.kind is TokenKind.STRING and t.value == "x y" for t in double)
+        assert any(t.kind is TokenKind.STRING and t.value == "x y" for t in single)
+
+    def test_numbers(self):
+        tokens = tokenize_xpath("//a[b=3.25]")
+        number = next(t for t in tokens if t.kind is TokenKind.NUMBER)
+        assert number.value == "3.25"
+
+    def test_leading_dot_number(self):
+        tokens = tokenize_xpath("//a[b > .5]")
+        number = next(t for t in tokens if t.kind is TokenKind.NUMBER)
+        assert number.value == ".5"
+
+    @pytest.mark.parametrize(
+        "text, kind",
+        [
+            ("=", TokenKind.EQ),
+            ("!=", TokenKind.NEQ),
+            ("<", TokenKind.LT),
+            ("<=", TokenKind.LTE),
+            (">", TokenKind.GT),
+            (">=", TokenKind.GTE),
+        ],
+    )
+    def test_comparison_operators(self, text, kind):
+        tokens = tokenize_xpath(f"//a[b {text} 1]")
+        assert any(t.kind is kind for t in tokens)
+
+    def test_dot_token(self):
+        tokens = kinds("//a[. = 'x']")
+        assert TokenKind.DOT in tokens
+
+    def test_parentheses(self):
+        tokens = kinds("//a[not(b)]")
+        assert TokenKind.LPAREN in tokens
+        assert TokenKind.RPAREN in tokens
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize_xpath("//a[b='oops]")
+
+    def test_unexpected_character(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize_xpath("//a[b ~ 1]")
+
+    def test_bang_without_equals(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize_xpath("//a[!b]")
+
+    def test_error_carries_position(self):
+        with pytest.raises(XPathSyntaxError) as excinfo:
+            tokenize_xpath("//a[#]")
+        assert excinfo.value.position == 4
+
+
+class TestTokenHelpers:
+    def test_is_name(self):
+        token = Token(kind=TokenKind.NAME, value="and", position=0)
+        assert token.is_name("and")
+        assert not token.is_name("or")
+        other = Token(kind=TokenKind.STRING, value="and", position=0)
+        assert not other.is_name("and")
+
+    def test_end_token_terminates_stream(self):
+        tokens = tokenize_xpath("//a")
+        assert tokens[-1].kind is TokenKind.END
+        assert tokens[-1].value == ""
