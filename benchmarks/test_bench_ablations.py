@@ -19,6 +19,7 @@ reproduction makes so a downstream user knows what each one buys:
 
 from __future__ import annotations
 
+import io
 import time
 
 import pytest
@@ -54,10 +55,17 @@ class TestSharedPassBenchmarks:
 
 
 def test_a1_shared_pass_table(benchmark, protein_document):
-    """Shared pass must beat per-query passes, and answers must be identical."""
+    """Shared pass must beat per-query passes, and answers must be identical.
+
+    The separate passes are fed the document as a chunk iterable so both
+    strategies run through the same streaming event pipeline — the ablation
+    isolates scan sharing, not the fused in-memory fast path (which only
+    single-query ``evaluate`` over a ``str`` engages).
+    """
     start = time.perf_counter()
     separate_results = [
-        TwigMEvaluator(query).evaluate(protein_document) for query in PROTEIN_QUERIES
+        TwigMEvaluator(query).evaluate(iter([protein_document]))
+        for query in PROTEIN_QUERIES
     ]
     separate_seconds = time.perf_counter() - start
 
@@ -131,12 +139,17 @@ def test_a2_parser_backend_table(benchmark, protein_document):
 
 
 def test_a3_chunk_size_table(benchmark, protein_document):
-    """Throughput as a function of streaming chunk size (native tokenizer)."""
+    """Throughput as a function of streaming chunk size (native tokenizer).
+
+    The document is wrapped in a ``StringIO`` so evaluation actually streams
+    in ``chunk_size`` pieces — handing the ``str`` directly would engage the
+    fused in-memory fast path, which ignores chunking entirely.
+    """
     rows = []
     for chunk_size in (4 * 1024, 64 * 1024, 1024 * 1024):
         start = time.perf_counter()
         result = TwigMEvaluator(PROTEIN_PAPER_QUERY).evaluate(
-            protein_document, parser="native", chunk_size=chunk_size
+            io.StringIO(protein_document), parser="native", chunk_size=chunk_size
         )
         elapsed = time.perf_counter() - start
         rows.append(
@@ -148,7 +161,7 @@ def test_a3_chunk_size_table(benchmark, protein_document):
         )
     benchmark.pedantic(
         lambda: TwigMEvaluator(PROTEIN_PAPER_QUERY).evaluate(
-            protein_document, parser="native", chunk_size=64 * 1024
+            io.StringIO(protein_document), parser="native", chunk_size=64 * 1024
         ),
         rounds=1,
         iterations=1,

@@ -69,9 +69,10 @@ def test_e1_breakdown_table(benchmark, protein_document):
                 "paper_parse_s": "4.43 (75 MB)",
             }
         )
-        # Shape assertions: evaluation never beats a bare parse, and the TwigM
-        # overhead is bounded (well under 3x the parse time for this query).
-        assert total_seconds >= parse_seconds * 0.8
+        # Shape assertion: the TwigM overhead on top of parsing is bounded
+        # (well under 3x the parse time for this query).  No lower bound:
+        # full evaluation goes through the fused fast path, which can beat
+        # a bare pass of the event *object* pipeline measured here.
         assert total_seconds <= parse_seconds * 4.0
         assert len(results) > 0
     print_report(

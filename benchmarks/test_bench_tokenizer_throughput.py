@@ -1,0 +1,84 @@
+"""E8 benchmarks: streaming-pipeline throughput (tokenizer and end-to-end).
+
+The headline metric of the reproduction (the paper's claim is single-pass
+streaming evaluation, so MB/s is what matters).  Four benchmark groups:
+
+* tokenizer-only throughput of the bulk-scanning pure-Python tokenizer,
+* tokenizer-only throughput of the direct expat backend,
+* end-to-end ``//a[b]//c`` evaluation per backend (fused fast paths),
+* end-to-end evaluation with statistics disabled (the no-op counter mode).
+
+All run over the standard 2 MB tag-dense random-tree document, and a
+correctness check asserts byte-identical result sets across backends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import PIPELINE_QUERY, build_random_tree_document
+from repro.core.engine import TwigMEvaluator
+from repro.xmlstream.sax import event_batches
+
+from conftest import SCALE
+
+
+@pytest.fixture(scope="module")
+def pipeline_document() -> str:
+    """The standard pipeline workload document (~2 MB at scale 1.0)."""
+    return build_random_tree_document(target_bytes=int(2 * 1024 * 1024 * SCALE), seed=42)
+
+
+def _document_mb(document: str) -> float:
+    return len(document.encode("utf-8")) / (1024 * 1024)
+
+
+def _consume(document: str, backend: str) -> int:
+    return sum(len(batch) for batch in event_batches(document, parser=backend))
+
+
+@pytest.mark.benchmark(group="tokenizer-throughput")
+@pytest.mark.parametrize("backend", ["pure", "expat"])
+def test_tokenizer_throughput(benchmark, pipeline_document, backend):
+    events = benchmark(lambda: _consume(pipeline_document, backend))
+    assert events > 0
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["doc_mb"] = round(_document_mb(pipeline_document), 3)
+    benchmark.extra_info["events"] = events
+
+
+@pytest.mark.benchmark(group="pipeline-evaluate")
+@pytest.mark.parametrize("backend", ["pure", "expat"])
+def test_pipeline_evaluate_throughput(benchmark, pipeline_document, backend):
+    def run():
+        return TwigMEvaluator(PIPELINE_QUERY).evaluate(pipeline_document, parser=backend)
+
+    results = benchmark(run)
+    assert len(results) > 0
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["doc_mb"] = round(_document_mb(pipeline_document), 3)
+    benchmark.extra_info["solutions"] = len(results)
+
+
+@pytest.mark.benchmark(group="pipeline-evaluate-nostats")
+@pytest.mark.parametrize("backend", ["pure", "expat"])
+def test_pipeline_evaluate_nostats_throughput(benchmark, pipeline_document, backend):
+    def run():
+        evaluator = TwigMEvaluator(PIPELINE_QUERY, collect_statistics=False)
+        return evaluator.evaluate(pipeline_document, parser=backend)
+
+    results = benchmark(run)
+    assert len(results) > 0
+    benchmark.extra_info["backend"] = backend
+
+
+def test_backends_agree_on_pipeline_document(pipeline_document):
+    """Byte-identical result sets across the pure and expat backends."""
+    pure = TwigMEvaluator(PIPELINE_QUERY).evaluate(pipeline_document, parser="pure")
+    expat = TwigMEvaluator(PIPELINE_QUERY).evaluate(pipeline_document, parser="expat")
+    nostats = TwigMEvaluator(PIPELINE_QUERY, collect_statistics=False).evaluate(
+        pipeline_document, parser="pure"
+    )
+    assert pure.keys() == expat.keys()
+    assert pure.keys() == nostats.keys()
+    assert len(pure) > 0

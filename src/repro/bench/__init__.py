@@ -18,10 +18,12 @@ from .metrics import (
 )
 from .reporting import print_report, render_csv, render_series, render_table
 from .runner import (
+    SEED_BASELINE_MB_S,
     SweepResult,
     run_builder_scaling,
     run_incremental_latency,
     run_memory_stability,
+    run_pipeline_throughput,
     run_protein_breakdown,
     run_query_size_scaling,
     run_query_variety,
@@ -30,12 +32,14 @@ from .runner import (
 from .workloads import (
     AUCTION_QUERIES,
     NEWSFEED_QUERIES,
+    PIPELINE_QUERY,
     PROTEIN_PAPER_QUERY,
     PROTEIN_QUERIES,
     RECURSIVE_QUERIES,
     TREEBANK_QUERIES,
     WORKLOADS,
     Workload,
+    build_random_tree_document,
     get_workload,
     iter_workloads,
 )
@@ -44,15 +48,18 @@ __all__ = [
     "AUCTION_QUERIES",
     "MemoryReport",
     "NEWSFEED_QUERIES",
+    "PIPELINE_QUERY",
     "PROTEIN_PAPER_QUERY",
     "PROTEIN_QUERIES",
     "RECURSIVE_QUERIES",
     "RunMeasurement",
+    "SEED_BASELINE_MB_S",
     "SweepResult",
     "TREEBANK_QUERIES",
     "Timer",
     "WORKLOADS",
     "Workload",
+    "build_random_tree_document",
     "document_byte_size",
     "get_workload",
     "iter_workloads",
@@ -65,6 +72,7 @@ __all__ = [
     "run_builder_scaling",
     "run_incremental_latency",
     "run_memory_stability",
+    "run_pipeline_throughput",
     "run_protein_breakdown",
     "run_query_size_scaling",
     "run_query_variety",

@@ -21,8 +21,15 @@ from ..datasets.newsfeed import NewsFeedConfig, NewsFeedGenerator
 from ..xpath.generator import linear_descendant_query
 from ..xpath.normalize import compile_query
 from ..core.builder import build_machine
+from ..xmlstream.sax import event_batches
 from .metrics import RunMeasurement, measure_run, measure_peak_memory
-from .workloads import PROTEIN_PAPER_QUERY, Workload, iter_workloads
+from .workloads import (
+    PIPELINE_QUERY,
+    PROTEIN_PAPER_QUERY,
+    Workload,
+    build_random_tree_document,
+    iter_workloads,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -265,6 +272,92 @@ def run_incremental_latency(
             (first_solution_seconds or 0.0) / total_seconds, 5
         ) if total_seconds else 0.0,
     }
+
+
+# ---------------------------------------------------------------------------
+# E8: streaming-pipeline throughput (tokenizer + end-to-end, per backend)
+# ---------------------------------------------------------------------------
+
+#: Seed-engine reference throughput on the standard pipeline workload
+#: (2 MB tag-dense random-tree document, ``//a[b]//c``), measured from the
+#: seed commit on the same container that produced BENCH_pipeline.json.
+#: Used to report speedup ratios without keeping the old code importable.
+SEED_BASELINE_MB_S = {
+    "evaluate": 0.62,
+    "tokenize": 1.25,
+}
+
+
+def run_pipeline_throughput(
+    target_bytes: int = 2 * 1024 * 1024,
+    query: str = PIPELINE_QUERY,
+    seed: int = 42,
+    backends: Sequence[str] = ("pure", "expat"),
+    repeats: int = 3,
+) -> List[Dict[str, object]]:
+    """E8: MB/s of the streaming pipeline, tokenizer-only and end-to-end.
+
+    For each backend the experiment reports the event-pipeline tokenizer
+    throughput (``event_batches`` consumed, no query) and the end-to-end
+    ``evaluate`` throughput with statistics on and off (the fused fast paths
+    are engaged automatically for in-memory documents).  All backends must
+    produce identical solution sets; the rows carry the best-of-``repeats``
+    wall-clock times.
+    """
+    document = build_random_tree_document(target_bytes=target_bytes, seed=seed)
+    doc_mb = len(document.encode("utf-8")) / (1024 * 1024)
+    rows: List[Dict[str, object]] = []
+    reference_keys = None
+
+    def best_of(action: Callable[[], object]) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            action()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    for backend in backends:
+        tokenize_seconds = best_of(
+            lambda: sum(len(batch) for batch in event_batches(document, parser=backend))
+        )
+        results = {}
+
+        def evaluate_once(collect: bool) -> None:
+            evaluator = TwigMEvaluator(query, collect_statistics=collect)
+            results["set"] = evaluator.evaluate(document, parser=backend)
+
+        eval_seconds = best_of(lambda: evaluate_once(True))
+        eval_fast_seconds = best_of(lambda: evaluate_once(False))
+        result_set = results["set"]
+        if reference_keys is None:
+            reference_keys = result_set.keys()
+        tokenize_mb_s = doc_mb / tokenize_seconds if tokenize_seconds else float("inf")
+        eval_mb_s = doc_mb / eval_seconds if eval_seconds else float("inf")
+        eval_fast_mb_s = doc_mb / eval_fast_seconds if eval_fast_seconds else float("inf")
+        rows.append(
+            {
+                "backend": backend,
+                "doc_mb": round(doc_mb, 3),
+                "query": query,
+                "solutions": len(result_set),
+                "results_identical": result_set.keys() == reference_keys,
+                "tokenize_s": round(tokenize_seconds, 4),
+                "tokenize_mb_s": round(tokenize_mb_s, 3),
+                "evaluate_s": round(eval_seconds, 4),
+                "evaluate_mb_s": round(eval_mb_s, 3),
+                "evaluate_nostats_s": round(eval_fast_seconds, 4),
+                "evaluate_nostats_mb_s": round(eval_fast_mb_s, 3),
+                "speedup_vs_seed": round(eval_mb_s / SEED_BASELINE_MB_S["evaluate"], 2),
+                "speedup_vs_seed_nostats": round(
+                    eval_fast_mb_s / SEED_BASELINE_MB_S["evaluate"], 2
+                ),
+                "tokenize_speedup_vs_seed": round(
+                    tokenize_mb_s / SEED_BASELINE_MB_S["tokenize"], 2
+                ),
+            }
+        )
+    return rows
 
 
 # ---------------------------------------------------------------------------

@@ -9,8 +9,9 @@ files.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..datasets.auction import AuctionConfig, AuctionGenerator
 from ..datasets.base import DatasetGenerator
@@ -130,6 +131,58 @@ TREEBANK_QUERIES: List[str] = [
     "//S[VP/VB]//NP[not(PP)]/NN",
     "//sentence//PP//NNP",
 ]
+
+
+# ---------------------------------------------------------------------------
+# Streaming-pipeline workload (tokenizer / backend throughput)
+# ---------------------------------------------------------------------------
+
+#: Canonical query of the pipeline-throughput benchmark (BENCH_pipeline.json).
+PIPELINE_QUERY = "//a[b]//c"
+
+
+def build_random_tree_document(
+    target_bytes: int = 2 * 1024 * 1024,
+    seed: int = 42,
+    vocabulary: Tuple[str, ...] = ("a", "b", "c", "d"),
+    max_depth: int = 8,
+) -> str:
+    """Deterministic tag-dense random-tree document of roughly ``target_bytes``.
+
+    This is the pipeline benchmark's standard document: a forest of small
+    recursive trees over a four-letter vocabulary under a single ``<root>``
+    element, averaging ~8 bytes per element — the same density profile as
+    the seed engine's original profiling workload (~650 k events / 2 MB), so
+    throughput numbers stay comparable across revisions.
+    """
+    rng = random.Random(seed)
+    choice = rng.choice
+    random_ = rng.random
+    randint = rng.randint
+    parts: List[str] = ["<root>"]
+    size = [6]
+    values = ("1", "2", "x", "hello")
+
+    def emit(depth: int) -> None:
+        tag = choice(vocabulary)
+        if depth < max_depth and random_() < 0.7:
+            piece = f"<{tag}>"
+            parts.append(piece)
+            size[0] += len(piece)
+            for _ in range(randint(1, 3)):
+                emit(depth + 1)
+            piece = f"</{tag}>"
+            parts.append(piece)
+            size[0] += len(piece)
+        else:
+            piece = f"<{tag}>{choice(values)}</{tag}>"
+            parts.append(piece)
+            size[0] += len(piece)
+
+    while size[0] < target_bytes:
+        emit(1)
+    parts.append("</root>")
+    return "".join(parts)
 
 
 # ---------------------------------------------------------------------------

@@ -14,6 +14,7 @@ Subcommands mirror how the original demo system was driven:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -24,6 +25,7 @@ from .bench import (
     run_builder_scaling,
     run_incremental_latency,
     run_memory_stability,
+    run_pipeline_throughput,
     run_protein_breakdown,
     run_query_size_scaling,
     run_query_variety,
@@ -54,9 +56,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("file", help="path to an XML file, or - for stdin")
     run_parser.add_argument(
         "--parser",
-        choices=("native", "expat"),
+        choices=("native", "pure", "expat"),
         default="native",
-        help="SAX event producer back-end (default: native)",
+        help="parser back-end: pure (alias native) or expat (default: native)",
     )
     run_parser.add_argument(
         "--fragments",
@@ -96,9 +98,16 @@ def build_parser() -> argparse.ArgumentParser:
             "builder-linear",
             "query-variety",
             "incremental-latency",
+            "pipeline",
         ),
     )
     bench_parser.add_argument("--quick", action="store_true", help="use reduced problem sizes")
+    bench_parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the experiment rows as JSON (e.g. BENCH_pipeline.json)",
+    )
     return parser
 
 
@@ -199,22 +208,35 @@ def _command_bench(args: argparse.Namespace) -> int:
     quick = args.quick
     if args.experiment == "protein-breakdown":
         rows = run_protein_breakdown(entries=(100, 200) if quick else (200, 400, 800))
-        print_report(render_table(rows, title="E1: protein query time breakdown"))
+        title = "E1: protein query time breakdown"
     elif args.experiment == "memory-stability":
         rows = run_memory_stability(sizes_mb=(0.5, 1) if quick else (1, 2, 4, 8))
-        print_report(render_table(rows, title="E2: memory stability vs document size"))
+        title = "E2: memory stability vs document size"
     elif args.experiment == "query-size-scaling":
         rows = run_query_size_scaling(max_steps=3 if quick else 5, nesting_depth=8 if quick else 10)
-        print_report(render_table(rows, title="E3: TwigM vs naive enumeration"))
+        title = "E3: TwigM vs naive enumeration"
     elif args.experiment == "builder-linear":
         rows = run_builder_scaling(step_counts=(1, 10, 50) if quick else (1, 5, 10, 25, 50, 100, 200))
-        print_report(render_table(rows, title="E4: TwigM builder scaling"))
+        title = "E4: TwigM builder scaling"
     elif args.experiment == "query-variety":
         rows = run_query_variety(scale=0.2 if quick else 0.5)
-        print_report(render_table(rows, title="E5: query variety across datasets"))
+        title = "E5: query variety across datasets"
+    elif args.experiment == "incremental-latency":
+        rows = [run_incremental_latency(updates=500 if quick else 3000)]
+        title = "E7: incremental output latency"
     else:
-        row = run_incremental_latency(updates=500 if quick else 3000)
-        print_report(render_table([row], title="E7: incremental output latency"))
+        rows = run_pipeline_throughput(
+            target_bytes=(512 * 1024) if quick else (2 * 1024 * 1024),
+            repeats=1 if quick else 3,
+        )
+        title = "E8: streaming-pipeline throughput per backend"
+    print_report(render_table(rows, title=title))
+    if args.json:
+        payload = {"experiment": args.experiment, "title": title, "rows": rows}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
     return 0
 
 

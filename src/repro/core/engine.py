@@ -32,11 +32,12 @@ from ..xmlstream.events import (
     StartDocument,
     StartElement,
 )
-from ..xmlstream.reader import DEFAULT_CHUNK_SIZE, TextSource
-from ..xmlstream.sax import iter_events
+from ..xmlstream.reader import DEFAULT_CHUNK_SIZE, StreamReader, TextSource
+from ..xmlstream.sax import event_batches, iter_events
 from ..xmlstream.serializer import serialize_events
 from ..xpath.ast import QueryTree
 from .builder import build_machine
+from .fastpath import FusedExpatDriver, fused_pure_evaluate
 from .machine import TwigMachine
 from .results import ResultCollector, ResultSet, Solution
 from .statistics import EngineStatistics
@@ -68,6 +69,12 @@ class TwigMEvaluator:
         property-based tests); it lowers result latency and peak candidate
         counts for queries such as ``/feed//update[...]`` whose root step is
         unconstrained.  Off by default to match the paper's description.
+    collect_statistics:
+        When False, the :class:`EngineStatistics` counters are not maintained
+        during the run (``self.statistics`` stays at its zeroed state).  The
+        counters cost a measurable fraction of the per-event transition work,
+        so latency-critical deployments can switch them off; benchmarks and
+        tests keep them on (the default).
     """
 
     def __init__(
@@ -75,11 +82,13 @@ class TwigMEvaluator:
         query: Union[str, QueryTree],
         capture_fragments: bool = False,
         eager_emission: bool = False,
+        collect_statistics: bool = True,
     ) -> None:
         self.machine: TwigMachine = build_machine(query)
         self.query: QueryTree = self.machine.query
         self.capture_fragments = capture_fragments
         self.eager_emission = eager_emission
+        self.collect_statistics = collect_statistics
         self.statistics = EngineStatistics()
         self.collector = ResultCollector()
         self._element_order = 0
@@ -94,33 +103,90 @@ class TwigMEvaluator:
     # ------------------------------------------------------------ push API
 
     def feed(self, event: Event) -> List[Solution]:
-        """Process one event; return solutions that became known with it."""
+        """Process one event; return solutions that became known with it.
+
+        Dispatch is keyed on the exact event class first (the ``is`` checks
+        below, ordered by stream frequency) with an ``isinstance`` ladder as
+        the fallback for subclassed events; per-event isinstance chains were
+        ~40% of the seed engine's runtime.
+        """
         if self._finished:
             raise StreamStateError("evaluator already finished; call reset() first")
-        self.statistics.events += 1
+        statistics = self.statistics if self.collect_statistics else None
+        if statistics is not None:
+            statistics.events += 1
+        cls = event.__class__
+        if cls is StartElement:
+            self._started = True
+            order = self._element_order
+            self._element_order = order + 1
+            if self.capture_fragments:
+                self._capture_start(event, order)
+            process_start_element(
+                self.machine,
+                event.name,
+                event.level,
+                event.attributes,
+                event.line,
+                order,
+                statistics,
+            )
+            return []
+        if cls is EndElement:
+            if self.capture_fragments:
+                self._capture_end(event)
+            return process_end_element(
+                self.machine,
+                event.name,
+                event.level,
+                statistics,
+                self.collector,
+                fragments=self._fragments if self.capture_fragments else None,
+                eager_emission=self.eager_emission,
+            )
+        if cls is Characters:
+            if self.capture_fragments:
+                self._capture_event(event)
+            process_characters(self.machine, event.text, event.level, statistics)
+            return []
+        return self._feed_uncommon(event, statistics)
+
+    def _feed_uncommon(
+        self, event: Event, statistics: Optional[EngineStatistics]
+    ) -> List[Solution]:
+        """Slow-path dispatch for rare event kinds and event subclasses."""
         if isinstance(event, StartDocument):
             self._started = True
             return []
         if isinstance(event, StartElement):
             self._started = True
             order = self._element_order
-            self._element_order += 1
+            self._element_order = order + 1
             if self.capture_fragments:
                 self._capture_start(event, order)
-            process_start_element(self.machine, event, order, self.statistics)
+            process_start_element(
+                self.machine,
+                event.name,
+                event.level,
+                event.attributes,
+                event.line,
+                order,
+                statistics,
+            )
             return []
         if isinstance(event, Characters):
             if self.capture_fragments:
                 self._capture_event(event)
-            process_characters(self.machine, event, self.statistics)
+            process_characters(self.machine, event.text, event.level, statistics)
             return []
         if isinstance(event, EndElement):
             if self.capture_fragments:
                 self._capture_end(event)
             return process_end_element(
                 self.machine,
-                event,
-                self.statistics,
+                event.name,
+                event.level,
+                statistics,
                 self.collector,
                 fragments=self._fragments if self.capture_fragments else None,
                 eager_emission=self.eager_emission,
@@ -173,8 +239,9 @@ class TwigMEvaluator:
         accepts, or an already-produced iterable of events.
         """
         for event in self._events_for(source, parser, chunk_size):
-            for solution in self.feed(event):
-                yield solution
+            solutions = self.feed(event)
+            if solutions:
+                yield from solutions
 
     def evaluate(
         self,
@@ -182,9 +249,117 @@ class TwigMEvaluator:
         parser: str = "native",
         chunk_size: int = DEFAULT_CHUNK_SIZE,
     ) -> ResultSet:
-        """Evaluate the query over a complete document and return all solutions."""
-        for _ in self.stream(source, parser=parser, chunk_size=chunk_size):
-            pass
+        """Evaluate the query over a complete document and return all solutions.
+
+        Unlike :meth:`stream`, this uses the fused fast paths from
+        :mod:`repro.core.fastpath` whenever possible — a bulk scan that
+        drives the TwigM transitions with no event objects at all — and
+        otherwise consumes the parser's event *batches* directly (one list
+        per fed chunk) with inline class dispatch, so neither generator
+        machinery nor a per-event ``feed`` call sits between the tokenizer
+        and the transition functions.
+        """
+        fresh = (
+            not self.capture_fragments
+            and not self._started
+            and not self._finished
+            and self._element_order == 0
+            and not _is_event_iterable(source)
+        )
+        if fresh:
+            statistics = self.statistics if self.collect_statistics else None
+            if (
+                parser in ("native", "pure")
+                and isinstance(source, str)
+                and not StreamReader._looks_like_path(source)
+            ):
+                # Complete in-memory document: fused scan + transitions.
+                elements = fused_pure_evaluate(
+                    self.machine, source, statistics,
+                    self.collector, self.eager_emission,
+                )
+                if elements is not None:
+                    self._element_order = elements
+                    self._started = True
+                    self._finished = True
+                    return self.finish()
+                # Construct the fast scan could not handle (or a syntax
+                # error): reset the partial state and replay through the
+                # event pipeline, which reproduces the canonical behaviour.
+                self.machine.reset()
+                self.collector = ResultCollector()
+                if self.collect_statistics:
+                    self.statistics = EngineStatistics()
+            elif parser == "expat":
+                driver = FusedExpatDriver(
+                    self.machine, statistics, self.collector, self.eager_emission
+                )
+                reader = StreamReader(source, chunk_size=chunk_size)
+                driver.run(reader.raw_chunks())
+                self._element_order = driver.element_count
+                self._started = True
+                self._finished = True
+                return self.finish()
+        if _is_event_iterable(source):
+            feed = self.feed
+            for event in source:
+                feed(event)
+            return self.finish()
+        if self.capture_fragments:
+            feed = self.feed
+            for batch in event_batches(source, parser=parser, chunk_size=chunk_size):
+                for event in batch:
+                    feed(event)
+            return self.finish()
+        # Bulk fast path: locals for everything touched per event.
+        machine = self.machine
+        statistics = self.statistics if self.collect_statistics else None
+        collector = self.collector
+        eager = self.eager_emission
+        order = self._element_order
+        has_text_nodes = bool(machine.text_nodes)
+        start_element = StartElement
+        end_element = EndElement
+        characters = Characters
+        try:
+            for batch in event_batches(source, parser=parser, chunk_size=chunk_size):
+                if self._finished:
+                    raise StreamStateError(
+                        "evaluator already finished; call reset() first"
+                    )
+                if statistics is not None:
+                    statistics.events += len(batch)
+                for event in batch:
+                    cls = event.__class__
+                    if cls is start_element:
+                        process_start_element(
+                            machine,
+                            event.name,
+                            event.level,
+                            event.attributes,
+                            event.line,
+                            order,
+                            statistics,
+                        )
+                        order += 1
+                    elif cls is end_element:
+                        process_end_element(
+                            machine, event.name, event.level, statistics, collector,
+                            fragments=None, eager_emission=eager,
+                        )
+                    elif cls is characters:
+                        if has_text_nodes:
+                            process_characters(
+                                machine, event.text, event.level, statistics
+                            )
+                        elif statistics is not None:
+                            statistics.text_chunks += 1
+                    else:
+                        self._element_order = order
+                        self._feed_uncommon(event, statistics)
+                        order = self._element_order
+        finally:
+            self._element_order = order
         return self.finish()
 
     # ------------------------------------------------------------ internals
@@ -252,11 +427,15 @@ def evaluate(
     parser: str = "native",
     capture_fragments: bool = False,
     eager_emission: bool = False,
+    collect_statistics: bool = True,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> ResultSet:
     """Evaluate ``query`` over ``source`` and return the full result set."""
     evaluator = TwigMEvaluator(
-        query, capture_fragments=capture_fragments, eager_emission=eager_emission
+        query,
+        capture_fragments=capture_fragments,
+        eager_emission=eager_emission,
+        collect_statistics=collect_statistics,
     )
     return evaluator.evaluate(source, parser=parser, chunk_size=chunk_size)
 
@@ -267,10 +446,14 @@ def stream_evaluate(
     parser: str = "native",
     capture_fragments: bool = False,
     eager_emission: bool = False,
+    collect_statistics: bool = True,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> Iterator[Solution]:
     """Yield solutions of ``query`` over ``source`` incrementally."""
     evaluator = TwigMEvaluator(
-        query, capture_fragments=capture_fragments, eager_emission=eager_emission
+        query,
+        capture_fragments=capture_fragments,
+        eager_emission=eager_emission,
+        collect_statistics=collect_statistics,
     )
     return evaluator.stream(source, parser=parser, chunk_size=chunk_size)

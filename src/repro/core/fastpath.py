@@ -1,0 +1,577 @@
+"""Fused streaming fast paths: scan + TwigM transitions with no event objects.
+
+The general pipeline materialises one event object per markup construct and
+dispatches it through :meth:`TwigMEvaluator.feed`.  That is the right shape
+for the push API, for fragment capture and for incremental solution
+streaming — but for the dominant ``evaluate(document)`` call it spends a
+large fraction of the per-element budget on allocating, dispatching and
+unpacking event tuples.
+
+This module provides two fused drivers used by :meth:`TwigMEvaluator.evaluate`:
+
+* :func:`fused_pure_evaluate` — a bulk regex scan over a complete in-memory
+  document that drives the TwigM transitions *inline*.  The inlined
+  start/end bodies are deliberate copies of
+  :func:`~repro.core.transitions.process_start_element` /
+  :func:`process_end_element` (calling them per tag costs ~15% of this
+  path's budget): ANY semantic change to transitions.py must be mirrored
+  here, and the conformance suite
+  (``tests/xmlstream/test_backend_conformance.py`` — result sets *and*
+  statistics parity against the event pipeline) is the tripwire that
+  catches drift.  Used for ``str`` sources, where chunking buys no memory
+  advantage.  Returns ``None`` whenever the document needs the
+  general pipeline — unsupported constructs or any syntax error — and the
+  caller replays through the event pipeline, which reproduces the exact
+  error message of the incremental tokenizer.
+* :class:`FusedExpatDriver` — expat callbacks calling the scalar transition
+  functions directly, skipping event materialisation.  Works for any
+  (possibly streaming) source and keeps expat's constant-memory behaviour.
+
+Both drivers maintain :class:`~repro.core.statistics.EngineStatistics`
+counters identical to the event pipeline when a statistics object is given,
+and skip them entirely when it is ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+from xml.parsers import expat
+
+from ..errors import XMLSyntaxError
+from ..xpath.ast import Axis, evaluate_formula
+from ..xmlstream.tokenizer import (
+    _END_TAG_RE,
+    _START_TAG_RE,
+    decode_entities,
+    parse_attribute_string,
+)
+from .machine import TwigMachine
+from .results import NodeRef, ResultCollector, Solution, SolutionKind
+from .stack import StackEntry
+from .statistics import EngineStatistics
+from .transitions import (
+    _resolve_attributes,
+    process_end_element,
+    process_start_element,
+)
+
+_DESCENDANT = Axis.DESCENDANT
+_CHILD = Axis.CHILD
+
+
+def fused_pure_evaluate(
+    machine: TwigMachine,
+    document: str,
+    statistics: Optional[EngineStatistics],
+    collector: ResultCollector,
+    eager_emission: bool,
+) -> Optional[int]:
+    """Evaluate over a complete document string; return the element count.
+
+    Returns ``None`` when the document cannot be handled by the fast
+    patterns (malformed markup, truncated constructs, exotic declarations).
+    The caller must then reset the machine/collector and replay through the
+    general event pipeline, which either succeeds (constructs the fast path
+    skipped) or raises the canonical :class:`XMLSyntaxError`.
+    """
+    try:
+        return _fused_pure_scan(
+            machine, document, statistics, collector, eager_emission
+        )
+    except XMLSyntaxError:
+        # Entity/attribute errors raised mid-scan: let the event pipeline
+        # re-derive the canonical error message and line number.
+        return None
+
+
+def _fused_pure_scan(
+    machine: TwigMachine,
+    doc: str,
+    statistics: Optional[EngineStatistics],
+    collector: ResultCollector,
+    eager: bool,
+) -> Optional[int]:
+    n = len(doc)
+    find = doc.find
+    count = doc.count
+    start_match = _START_TAG_RE.match
+    end_match = _END_TAG_RE.match
+    match_cache = machine._match_cache
+    match_cache_postorder = machine._match_cache_postorder
+    nodes_matching = machine.nodes_matching
+    nodes_matching_postorder = machine.nodes_matching_postorder
+    text_nodes = machine.text_nodes
+    need_text = bool(text_nodes)
+    track_lines = "\n" in doc
+
+    open_elements: List[str] = []
+    order = 0
+    index = 0
+    line = 1
+    root_seen = False
+    root_closed = False
+    # Emulates the event pipeline's text coalescing for the statistics
+    # counters: one Characters event per run of text flushed by a
+    # structural event, comment or processing instruction.
+    pending_text = False
+    text_flushes = 0
+    misc_events = 0  # comments + processing instructions
+
+    while index < n:
+        lt = find("<", index)
+        if lt == -1:
+            tail = doc[index:]
+            if tail.strip():
+                return None  # trailing content / unclosed element -> replay
+            if track_lines:
+                line += tail.count("\n")
+            index = n
+            break
+        if lt > index:
+            if open_elements:
+                if need_text:
+                    text = doc[index:lt]
+                    if "&" in text:
+                        text = decode_entities(text, line=line)
+                    level = len(open_elements)
+                    for machine_node in text_nodes:
+                        for entry in machine_node.stack.entries:
+                            if entry.string_parts is not None:
+                                entry.string_parts.append(text)
+                            if entry.direct_parts is not None and level == entry.level:
+                                entry.direct_parts.append(text)
+                    pending_text = True
+                else:
+                    # Text content is irrelevant to this query; validate
+                    # entity references without materialising the slice
+                    # unless one is present.
+                    if find("&", index, lt) != -1:
+                        decode_entities(doc[index:lt], line=line)
+                    pending_text = True
+            elif doc[index:lt].strip():
+                return None  # character data outside the root element
+            if track_lines:
+                line += count("\n", index, lt)
+        second = doc[lt + 1] if lt + 1 < n else ""
+        if second == "/":
+            match = end_match(doc, lt)
+            if match is None:
+                return None
+            name = match.group(1)
+            end = match.end()
+            if track_lines:
+                line += count("\n", lt, end)
+            if not open_elements or open_elements[-1] != name:
+                return None  # mismatched end tag -> replay for exact error
+            if pending_text:
+                pending_text = False
+                if statistics is not None:
+                    statistics.text_chunks += 1
+                    text_flushes += 1
+            level = len(open_elements)
+            open_elements.pop()
+            if not open_elements:
+                root_closed = True
+            # ---- inline end-element transition (mirrors transitions.py) ----
+            matching = match_cache_postorder.get(name)
+            if matching is None:
+                matching = nodes_matching_postorder(name)
+            popped = False
+            for machine_node in matching:
+                entries = machine_node.stack.entries
+                if not entries or entries[-1].level != level:
+                    continue
+                entry = entries.pop()
+                popped = True
+                if statistics is not None:
+                    statistics.pops += 1
+                    statistics.live_entries -= 1
+                    if entry.candidates:
+                        statistics.live_candidates -= len(entry.candidates)
+                if not machine_node.is_unconditional:
+                    query_node = machine_node.query_node
+                    parts = entry.string_parts
+                    string_value = "".join(parts) if parts is not None else None
+                    if query_node.value_test is not None and not query_node.value_test.evaluate(string_value):
+                        continue
+                    if not evaluate_formula(query_node.formula, entry.satisfied, string_value):
+                        continue
+                if machine_node.is_output:
+                    before = len(entry.candidates)
+                    solution = Solution(kind=SolutionKind.ELEMENT, node=entry.element)
+                    entry.candidates.setdefault(solution.key(), solution)
+                    if statistics is not None and len(entry.candidates) > before:
+                        statistics.candidates_created += 1
+                if machine_node.text_output is not None:
+                    direct = entry.direct_text() or ""
+                    if direct:
+                        before = len(entry.candidates)
+                        solution = Solution(
+                            kind=SolutionKind.TEXT, node=entry.element, value=direct
+                        )
+                        entry.candidates.setdefault(solution.key(), solution)
+                        if statistics is not None and len(entry.candidates) > before:
+                            statistics.candidates_created += 1
+                if machine_node.parent is None or (
+                    eager
+                    and not machine_node.is_predicate_branch
+                    and machine_node.ancestors_unconditional
+                ):
+                    if statistics is not None:
+                        statistics.solutions_emitted += len(entry.candidates)
+                    for solution in entry.candidates.values():
+                        if collector.add(solution) and statistics is not None:
+                            statistics.solutions_distinct += 1
+                    continue
+                parent_entries = machine_node.parent.stack.entries
+                if machine_node.axis is _DESCENDANT:
+                    targets = [t for t in parent_entries if t.level < level]
+                else:
+                    parent_level = level - 1
+                    targets = [t for t in parent_entries if t.level == parent_level]
+                if machine_node.is_predicate_branch:
+                    node_id = machine_node.query_node.node_id
+                    for target in targets:
+                        if node_id not in target.satisfied:
+                            target.satisfied.add(node_id)
+                            if statistics is not None:
+                                statistics.flags_set += 1
+                else:
+                    for target in targets:
+                        added = target.absorb_candidates(entry)
+                        if statistics is not None:
+                            statistics.candidates_propagated += added
+                            statistics.live_candidates += added
+            if popped and statistics is not None:
+                live_candidates = statistics.live_candidates
+                if live_candidates > statistics.peak_candidate_count:
+                    statistics.peak_candidate_count = live_candidates
+            # ---------------------------------------------------------------
+            index = end
+            continue
+        elif second not in ("!", "?", ""):
+            match = start_match(doc, lt)
+            if match is None:
+                return None
+            name, raw_attributes, empty = match.group(1, 2, 3)
+            end = match.end()
+            if track_lines:
+                line += count("\n", lt, end)
+            if root_closed:
+                return None  # second root element -> replay for exact error
+            if raw_attributes:
+                # Duplicate attributes / bad entity references raise
+                # XMLSyntaxError, which the fused_pure_evaluate wrapper
+                # converts into an event-pipeline replay.
+                attributes = parse_attribute_string(raw_attributes, name, line)
+            else:
+                attributes = ()
+            if pending_text:
+                pending_text = False
+                if statistics is not None:
+                    statistics.text_chunks += 1
+                    text_flushes += 1
+            open_elements.append(name)
+            root_seen = True
+            level = len(open_elements)
+            # ---- inline start-element transition (mirrors transitions.py) ----
+            if statistics is not None:
+                statistics.elements += 1
+                statistics.attributes += len(attributes)
+                if level > statistics.max_depth:
+                    statistics.max_depth = level
+            matching = match_cache.get(name)
+            if matching is None:
+                matching = nodes_matching(name)
+            if matching:
+                node_ref = None
+                pushed = False
+                for machine_node in matching:
+                    parent = machine_node.parent
+                    if parent is None:
+                        if machine_node.axis is not _DESCENDANT and level != 1:
+                            continue
+                    else:
+                        parent_entries = parent.stack.entries
+                        if machine_node.axis is _CHILD:
+                            target_level = level - 1
+                            open_at = False
+                            for open_entry in reversed(parent_entries):
+                                entry_level = open_entry.level
+                                if entry_level == target_level:
+                                    open_at = True
+                                    break
+                                if entry_level < target_level:
+                                    break
+                            if not open_at:
+                                continue
+                        elif not parent_entries or parent_entries[0].level >= level:
+                            continue
+                    if node_ref is None:
+                        node_ref = NodeRef(order, name, level, line)
+                    entry = StackEntry(
+                        level=level,
+                        element=node_ref,
+                        string_parts=[] if machine_node.needs_string_value else None,
+                        direct_parts=[] if machine_node.needs_direct_text else None,
+                    )
+                    attribute_work = (
+                        machine_node.attribute_predicates
+                        or machine_node.attribute_output is not None
+                    )
+                    if attribute_work:
+                        _resolve_attributes(machine_node, entry, attributes, statistics)
+                    machine_node.stack.entries.append(entry)
+                    pushed = True
+                    if statistics is not None:
+                        statistics.pushes += 1
+                        by_node = statistics.pushes_by_node
+                        label = machine_node.label
+                        by_node[label] = by_node.get(label, 0) + 1
+                        statistics.live_entries += 1
+                        if attribute_work:
+                            statistics.live_candidates += entry.candidate_count
+                if pushed and statistics is not None:
+                    live_entries = statistics.live_entries
+                    if live_entries > statistics.peak_stack_entries:
+                        statistics.peak_stack_entries = live_entries
+                    live_candidates = statistics.live_candidates
+                    if live_candidates > statistics.peak_candidate_count:
+                        statistics.peak_candidate_count = live_candidates
+            # -----------------------------------------------------------------
+            order += 1
+            if empty:
+                open_elements.pop()
+                if not open_elements:
+                    root_closed = True
+                process_end_element(
+                    machine, name, level, statistics, collector,
+                    eager_emission=eager,
+                )
+            index = end
+            continue
+        # -------- uncommon constructs: comments, CDATA, PI, DOCTYPE --------
+        if doc.startswith("<!--", lt):
+            end3 = find("-->", lt + 4)
+            if end3 == -1:
+                return None
+            if pending_text:
+                pending_text = False
+                if statistics is not None:
+                    statistics.text_chunks += 1
+                    text_flushes += 1
+            misc_events += 1  # Comment event
+            if track_lines:
+                line += count("\n", lt, end3 + 3)
+            index = end3 + 3
+            continue
+        if doc.startswith("<![CDATA[", lt):
+            end3 = find("]]>", lt + 9)
+            if end3 == -1:
+                return None
+            content = doc[lt + 9:end3]
+            if open_elements:
+                if content:
+                    if need_text:
+                        level = len(open_elements)
+                        for machine_node in text_nodes:
+                            for entry in machine_node.stack.entries:
+                                if entry.string_parts is not None:
+                                    entry.string_parts.append(content)
+                                if entry.direct_parts is not None and level == entry.level:
+                                    entry.direct_parts.append(content)
+                    pending_text = True
+            elif content.strip():
+                return None  # CDATA outside the root element
+            if track_lines:
+                line += count("\n", lt, end3 + 3)
+            index = end3 + 3
+            continue
+        if second == "?":
+            end2 = find("?>", lt + 2)
+            if end2 == -1:
+                return None
+            content = doc[lt + 2:end2]
+            target = content.partition(" ")[0].strip()
+            if target.lower() != "xml":
+                if pending_text:
+                    pending_text = False
+                    if statistics is not None:
+                        statistics.text_chunks += 1
+                        text_flushes += 1
+                misc_events += 1  # ProcessingInstruction event
+            if track_lines:
+                line += count("\n", lt, end2 + 2)
+            index = end2 + 2
+            continue
+        if doc.startswith("<!DOCTYPE", lt):
+            depth = 0
+            scan = lt
+            doctype_end = -1
+            while scan < n:
+                char = doc[scan]
+                if char == "[":
+                    depth += 1
+                elif char == "]":
+                    depth -= 1
+                elif char == ">" and depth <= 0:
+                    doctype_end = scan + 1
+                    break
+                scan += 1
+            if doctype_end == -1:
+                return None
+            if track_lines:
+                line += count("\n", lt, doctype_end)
+            index = doctype_end
+            continue
+        return None  # anything else: replay through the event pipeline
+
+    if open_elements or not root_seen:
+        return None  # unclosed element / no root -> replay for exact error
+    if statistics is not None:
+        # StartDocument + EndDocument + one start and one end per element
+        # + coalesced text chunks + comments/PIs.
+        statistics.events += 2 + 2 * order + text_flushes + misc_events
+    return order
+
+
+class FusedExpatDriver:
+    """Drive the TwigM transitions straight from expat callbacks.
+
+    No event objects are created: each callback calls the scalar transition
+    functions with the values expat hands it.  Statistics counters (when
+    enabled) are maintained with the same semantics as the event pipeline,
+    including coalesced text-chunk counting.
+    """
+
+    def __init__(
+        self,
+        machine: TwigMachine,
+        statistics: Optional[EngineStatistics],
+        collector: ResultCollector,
+        eager_emission: bool,
+    ) -> None:
+        parser = expat.ParserCreate()
+        parser.buffer_text = True
+        parser.ordered_attributes = True
+        parser.StartElementHandler = self._start_element
+        parser.EndElementHandler = self._end_element
+        if machine.text_nodes or statistics is not None:
+            parser.CharacterDataHandler = self._characters
+        if statistics is not None:
+            parser.CommentHandler = self._comment
+            parser.ProcessingInstructionHandler = self._processing_instruction
+        self._parser = parser
+        self._machine = machine
+        self._statistics = statistics
+        self._collector = collector
+        self._eager = eager_emission
+        self._text_nodes = machine.text_nodes
+        self._level = 0
+        self._order = 0
+        self._pending_text = False
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def element_count(self) -> int:
+        """Number of start tags processed so far."""
+        return self._order
+
+    def run(self, chunks) -> None:
+        """Consume the whole document from an iterable of str/bytes chunks."""
+        statistics = self._statistics
+        if statistics is not None:
+            statistics.events += 1  # StartDocument
+        parser = self._parser
+        fed_bytes = False
+        try:
+            for chunk in chunks:
+                if isinstance(chunk, bytes):
+                    fed_bytes = True
+                parser.Parse(chunk, False)
+            parser.Parse(b"" if fed_bytes else "", True)
+        except expat.ExpatError as exc:
+            raise XMLSyntaxError(
+                str(exc),
+                line=getattr(exc, "lineno", None),
+                column=getattr(exc, "offset", None),
+            ) from exc
+        self._flush_pending()
+        if statistics is not None:
+            statistics.events += 1  # EndDocument
+
+    # ------------------------------------------------------ expat callbacks
+
+    def _flush_pending(self) -> None:
+        if self._pending_text:
+            self._pending_text = False
+            statistics = self._statistics
+            if statistics is not None:
+                statistics.text_chunks += 1
+                statistics.events += 1
+
+    def _start_element(self, name: str, attributes: List[str]) -> None:
+        if self._pending_text:
+            self._flush_pending()
+        statistics = self._statistics
+        if statistics is not None:
+            statistics.events += 1
+        level = self._level + 1
+        self._level = level
+        pairs = tuple(zip(attributes[0::2], attributes[1::2])) if attributes else ()
+        order = self._order
+        self._order = order + 1
+        process_start_element(
+            self._machine,
+            name,
+            level,
+            pairs,
+            self._parser.CurrentLineNumber,
+            order,
+            statistics,
+        )
+
+    def _end_element(self, name: str) -> None:
+        if self._pending_text:
+            self._flush_pending()
+        statistics = self._statistics
+        if statistics is not None:
+            statistics.events += 1
+        level = self._level
+        self._level = level - 1
+        process_end_element(
+            self._machine, name, level, statistics, self._collector,
+            eager_emission=self._eager,
+        )
+
+    def _characters(self, data: str) -> None:
+        level = self._level
+        if level <= 0:
+            return
+        self._pending_text = True
+        text_nodes = self._text_nodes
+        if text_nodes:
+            for machine_node in text_nodes:
+                for entry in machine_node.stack.entries:
+                    if entry.string_parts is not None:
+                        entry.string_parts.append(data)
+                    if entry.direct_parts is not None and level == entry.level:
+                        entry.direct_parts.append(data)
+
+    def _comment(self, data: str) -> None:
+        if self._pending_text:
+            self._flush_pending()
+        statistics = self._statistics
+        if statistics is not None:
+            statistics.events += 1
+
+    def _processing_instruction(self, target: str, data: str) -> None:
+        if self._pending_text:
+            self._flush_pending()
+        statistics = self._statistics
+        if statistics is not None:
+            statistics.events += 1
+
+
+__all__ = ["FusedExpatDriver", "fused_pure_evaluate"]

@@ -132,6 +132,7 @@ class TwigMachine:
             else:
                 self._by_label.setdefault(node.label, []).append(node)
         self._match_cache: Dict[str, List[MachineNode]] = {}
+        self._match_cache_postorder: Dict[str, List[MachineNode]] = {}
         #: Machine nodes whose entries accumulate text, kept separately so
         #: character events do not touch unrelated nodes.
         self.text_nodes = [
@@ -153,6 +154,19 @@ class TwigMachine:
                 node for node in self.nodes if node.matches(tag)
             ]
             self._match_cache[tag] = cached
+        return cached
+
+    def nodes_matching_postorder(self, tag: str) -> List[MachineNode]:
+        """Machine nodes whose label matches ``tag`` (post-order), cached per tag.
+
+        End-element processing must visit children before parents so that
+        bookkeeping flows upwards within a single event; caching the filtered
+        list removes the per-event ``matches`` scan over all machine nodes.
+        """
+        cached = self._match_cache_postorder.get(tag)
+        if cached is None:
+            cached = [node for node in self.nodes_postorder if node.matches(tag)]
+            self._match_cache_postorder[tag] = cached
         return cached
 
     def total_live_entries(self) -> int:

@@ -20,7 +20,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 from ..errors import EngineError
 from ..xmlstream.events import Event
 from ..xmlstream.reader import DEFAULT_CHUNK_SIZE, TextSource
-from ..xmlstream.sax import iter_events
+from ..xmlstream.sax import event_batches, iter_events
 from ..xpath.ast import QueryTree
 from .engine import TwigMEvaluator
 from .results import ResultSet, Solution
@@ -125,9 +125,21 @@ class MultiQueryEvaluator:
         parser: str = "native",
         chunk_size: int = DEFAULT_CHUNK_SIZE,
     ) -> Dict[str, ResultSet]:
-        """Consume the whole stream and return a result set per subscription."""
-        for _ in self.stream(source, parser=parser, chunk_size=chunk_size):
-            pass
+        """Consume the whole stream and return a result set per subscription.
+
+        Consumes event *batches* (one list per fed chunk) rather than the
+        per-event generator used by :meth:`stream`, saving one generator
+        resumption per event on the single shared scan.
+        """
+        if isinstance(source, (list, tuple)) and source and isinstance(source[0], Event):
+            for _ in self.stream(source, parser=parser, chunk_size=chunk_size):
+                pass
+            return self.results()
+        feed = self.feed
+        for batch in event_batches(source, parser=parser, chunk_size=chunk_size):
+            for event in batch:
+                feed(event)
+        self._finished = True
         return self.results()
 
     def results(self) -> Dict[str, ResultSet]:

@@ -11,25 +11,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum, unique
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Tuple
 
 
-@dataclass(frozen=True)
-class NodeRef:
+class NodeRef(NamedTuple):
     """A lightweight reference to a document element.
 
     Streaming evaluators cannot hold on to element objects (there are none),
-    so they describe elements by their pre-order index, tag, level and source
-    line.  The pre-order index (``order``) is what identifies the element.
+    so they describe elements by their pre-order index (``order``, which
+    identifies the element), tag, level and 1-based source line (when
+    known).  A ``NamedTuple`` rather than a dataclass: one is created per
+    matched element on the streaming hot path.
     """
 
-    #: 0-based pre-order index of the element among all elements.
     order: int
-    #: Tag name.
-    tag: str
-    #: Element depth (document element = 1).
-    level: int
-    #: 1-based source line of the start tag, when known.
+    tag: str = ""
+    level: int = 0
     line: Optional[int] = None
 
     def label(self) -> str:
@@ -48,7 +45,7 @@ class SolutionKind(Enum):
     TEXT = "text"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Solution:
     """One query solution.
 

@@ -23,7 +23,7 @@ from ..errors import StreamStateError
 from .results import NodeRef, Solution
 
 
-@dataclass
+@dataclass(slots=True)
 class StackEntry:
     """One entry of a machine-node stack (the paper's stack-node triplet)."""
 
@@ -84,61 +84,62 @@ class MachineStack:
     functions and asserted by the property-based tests.
     """
 
+    __slots__ = ("entries",)
+
     def __init__(self) -> None:
-        self._entries: List[StackEntry] = []
+        #: The entries from bottom to top.  A plain attribute (not a
+        #: property): the transition functions read it on every event, so
+        #: the descriptor call would be pure per-event overhead.
+        self.entries: List[StackEntry] = []
 
     # ------------------------------------------------------------ basics
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self.entries)
 
     def __bool__(self) -> bool:
-        return bool(self._entries)
+        return bool(self.entries)
 
     def __iter__(self) -> Iterator[StackEntry]:
-        return iter(self._entries)
-
-    @property
-    def entries(self) -> List[StackEntry]:
-        """The entries from bottom to top (read-only use)."""
-        return self._entries
+        return iter(self.entries)
 
     @property
     def top(self) -> Optional[StackEntry]:
         """The top entry, or None when empty."""
-        return self._entries[-1] if self._entries else None
+        return self.entries[-1] if self.entries else None
 
     @property
     def bottom(self) -> Optional[StackEntry]:
         """The bottom (oldest) entry, or None when empty."""
-        return self._entries[0] if self._entries else None
+        return self.entries[0] if self.entries else None
 
     # ------------------------------------------------------------ mutation
 
     def push(self, entry: StackEntry) -> None:
         """Push an entry; levels must be strictly increasing."""
-        if self._entries and entry.level <= self._entries[-1].level:
+        entries = self.entries
+        if entries and entry.level <= entries[-1].level:
             raise StreamStateError(
                 f"stack push at level {entry.level} would not increase the "
-                f"current top level {self._entries[-1].level}"
+                f"current top level {entries[-1].level}"
             )
-        self._entries.append(entry)
+        entries.append(entry)
 
     def pop(self) -> StackEntry:
         """Pop and return the top entry."""
-        if not self._entries:
+        if not self.entries:
             raise StreamStateError("pop from an empty machine stack")
-        return self._entries.pop()
+        return self.entries.pop()
 
     def clear(self) -> None:
         """Remove every entry (used when resetting an engine)."""
-        self._entries.clear()
+        self.entries.clear()
 
     # ------------------------------------------------------------ queries
 
     def top_level(self) -> Optional[int]:
         """Level of the top entry, or None when empty."""
-        return self._entries[-1].level if self._entries else None
+        return self.entries[-1].level if self.entries else None
 
     def has_open_at_level(self, level: int) -> bool:
         """True when some entry sits at exactly ``level``.
@@ -148,7 +149,7 @@ class MachineStack:
         ``level`` during a start-element transition, so a short reverse scan
         suffices; the full scan is kept for clarity and is bounded by depth.
         """
-        for entry in reversed(self._entries):
+        for entry in reversed(self.entries):
             if entry.level == level:
                 return True
             if entry.level < level:
@@ -161,7 +162,8 @@ class MachineStack:
         This is the descendant-axis check: an open entry with a smaller level
         is a proper ancestor of the element currently being opened.
         """
-        return bool(self._entries) and self._entries[0].level < level
+        entries = self.entries
+        return bool(entries) and entries[0].level < level
 
     def entries_for_axis(self, level: int, descendant: bool) -> List[StackEntry]:
         """Entries that can act as the parent-side of an axis edge.
@@ -171,9 +173,9 @@ class MachineStack:
         strictly above it (smaller level) qualifies.
         """
         if descendant:
-            return [entry for entry in self._entries if entry.level < level]
-        return [entry for entry in self._entries if entry.level == level - 1]
+            return [entry for entry in self.entries if entry.level < level]
+        return [entry for entry in self.entries if entry.level == level - 1]
 
     def candidate_total(self) -> int:
         """Total number of candidates attached to entries of this stack."""
-        return sum(entry.candidate_count for entry in self._entries)
+        return sum(entry.candidate_count for entry in self.entries)

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 
-@dataclass
+@dataclass(slots=True)
 class EngineStatistics:
     """Counters collected by :class:`~repro.core.engine.TwigMEvaluator`."""
 

@@ -14,14 +14,25 @@ This module is the direct translation of Section 3.2 of the paper:
 * **characters(text, level)** — appended to the accumulators of entries that
   need text (value tests and ``text()`` output), and ignored everywhere else.
 
-All functions mutate the machine's stacks in place and update the statistics
-counters the benchmarks rely on.
+All functions mutate the machine's stacks in place.  Two hot-path choices
+shape the signatures:
+
+* The functions take *scalars* (``name``, ``level``, ...) instead of event
+  objects, so the fused fast paths (:mod:`repro.core.fastpath`) can drive
+  them straight from regex groups or expat callbacks without materialising
+  an event object per tag; :meth:`TwigMEvaluator.feed` unpacks events.
+* ``statistics`` may be ``None``: transition dispatch runs millions of times
+  per document, so the counters the benchmarks rely on are optional behind a
+  cheap no-op mode (``TwigMEvaluator(collect_statistics=False)``); when a
+  statistics object is supplied the counters are maintained exactly as
+  before.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..errors import StreamStateError
 from ..xpath.ast import Axis, NodeKind, QueryNode, evaluate_formula
 from ..xmlstream.events import Characters, EndElement, StartElement
 from .machine import MachineNode, TwigMachine
@@ -29,39 +40,105 @@ from .results import NodeRef, ResultCollector, Solution, SolutionKind
 from .stack import StackEntry
 from .statistics import EngineStatistics
 
+_DESCENDANT = Axis.DESCENDANT
+_CHILD = Axis.CHILD
+
 
 def process_start_element(
     machine: TwigMachine,
-    event: StartElement,
+    name: str,
+    level: int,
+    attributes: tuple,
+    line: Optional[int],
     order: int,
-    statistics: EngineStatistics,
+    statistics: Optional[EngineStatistics],
 ) -> None:
     """Handle a start-element event: push entries onto matching machine nodes."""
-    statistics.elements += 1
-    statistics.attributes += len(event.attributes)
-    if event.level > statistics.max_depth:
-        statistics.max_depth = event.level
-    node_ref = NodeRef(order=order, tag=event.name, level=event.level, line=event.line)
-
-    for machine_node in machine.nodes_matching(event.name):
-        if not _axis_allows_push(machine_node, event.level):
-            continue
+    if statistics is not None:
+        statistics.elements += 1
+        statistics.attributes += len(attributes)
+        if level > statistics.max_depth:
+            statistics.max_depth = level
+    # Inlined machine.nodes_matching: one dict probe on the hot path.
+    matching = machine._match_cache.get(name)
+    if matching is None:
+        matching = machine.nodes_matching(name)
+    if not matching:
+        return
+    node_ref: Optional[NodeRef] = None
+    pushed = False
+    for machine_node in matching:
+        # Incoming-axis check, inlined from _axis_allows_push.
+        parent = machine_node.parent
+        if parent is None:
+            if machine_node.axis is not _DESCENDANT and level != 1:
+                continue
+        else:
+            parent_entries = parent.stack.entries
+            if machine_node.axis is _CHILD:
+                # Inlined has_open_at_level(level - 1): levels increase
+                # towards the top, so a short reverse scan decides.
+                target = level - 1
+                open_at = False
+                for open_entry in reversed(parent_entries):
+                    entry_level = open_entry.level
+                    if entry_level == target:
+                        open_at = True
+                        break
+                    if entry_level < target:
+                        break
+                if not open_at:
+                    continue
+            # Inlined has_open_below(level): the bottom entry is the
+            # shallowest, so it alone decides the descendant-axis check.
+            elif not parent_entries or parent_entries[0].level >= level:
+                continue
+        if node_ref is None:
+            node_ref = NodeRef(order=order, tag=name, level=level, line=line)
         entry = StackEntry(
-            level=event.level,
+            level=level,
             element=node_ref,
             string_parts=[] if machine_node.needs_string_value else None,
             direct_parts=[] if machine_node.needs_direct_text else None,
         )
-        _resolve_attributes(machine_node, entry, event, statistics)
-        machine_node.stack.push(entry)
-        statistics.record_push(machine_node.label)
-        statistics.live_entries += 1
-        statistics.live_candidates += entry.candidate_count
-    statistics.observe_state(statistics.live_entries, statistics.live_candidates)
+        attribute_work = (
+            machine_node.attribute_predicates
+            or machine_node.attribute_output is not None
+        )
+        if attribute_work:
+            _resolve_attributes(machine_node, entry, attributes, statistics)
+        # Inlined MachineStack.push, keeping its level-monotonicity invariant.
+        stack_entries = machine_node.stack.entries
+        if stack_entries and level <= stack_entries[-1].level:
+            raise StreamStateError(
+                f"stack push at level {level} would not increase the "
+                f"current top level {stack_entries[-1].level}"
+            )
+        stack_entries.append(entry)
+        pushed = True
+        if statistics is not None:
+            statistics.pushes += 1
+            by_node = statistics.pushes_by_node
+            label = machine_node.label
+            by_node[label] = by_node.get(label, 0) + 1
+            statistics.live_entries += 1
+            if attribute_work:
+                statistics.live_candidates += entry.candidate_count
+    if pushed and statistics is not None:
+        live_entries = statistics.live_entries
+        if live_entries > statistics.peak_stack_entries:
+            statistics.peak_stack_entries = live_entries
+        live_candidates = statistics.live_candidates
+        if live_candidates > statistics.peak_candidate_count:
+            statistics.peak_candidate_count = live_candidates
 
 
 def _axis_allows_push(machine_node: MachineNode, level: int) -> bool:
-    """Check the incoming-axis condition for pushing at ``level``."""
+    """Check the incoming-axis condition for pushing at ``level``.
+
+    Kept as a standalone helper (the hot loop above inlines the same logic)
+    because tests and the naive baseline exercise it directly.
+    """
     if machine_node.is_root:
         if machine_node.axis is Axis.DESCENDANT:
             return True
@@ -79,8 +156,8 @@ def _axis_allows_push(machine_node: MachineNode, level: int) -> bool:
 def _resolve_attributes(
     machine_node: MachineNode,
     entry: StackEntry,
-    event: StartElement,
-    statistics: EngineStatistics,
+    attributes: tuple,
+    statistics: Optional[EngineStatistics],
 ) -> None:
     """Resolve attribute predicates and attribute output at push time.
 
@@ -88,13 +165,11 @@ def _resolve_attributes(
     their satisfaction is known immediately and can be recorded on the fresh
     entry without any deferred bookkeeping.
     """
-    if not machine_node.attribute_predicates and machine_node.attribute_output is None:
-        return
-    attributes = event.attributes
     for predicate in machine_node.attribute_predicates:
         if _attribute_satisfies(predicate, attributes):
             entry.satisfied.add(predicate.node_id)
-            statistics.flags_set += 1
+            if statistics is not None:
+                statistics.flags_set += 1
     output = machine_node.attribute_output
     if output is not None:
         for name, value in attributes:
@@ -110,7 +185,8 @@ def _resolve_attributes(
                     value=value,
                 )
             )
-            statistics.candidates_created += 1
+            if statistics is not None:
+                statistics.candidates_created += 1
 
 
 def _attribute_satisfies(predicate: QueryNode, attributes) -> bool:
@@ -125,25 +201,29 @@ def _attribute_satisfies(predicate: QueryNode, attributes) -> bool:
 
 def process_characters(
     machine: TwigMachine,
-    event: Characters,
-    statistics: EngineStatistics,
+    text: str,
+    level: int,
+    statistics: Optional[EngineStatistics],
 ) -> None:
     """Handle character data: feed the accumulators of text-collecting entries."""
-    statistics.text_chunks += 1
-    if not machine.text_nodes:
+    if statistics is not None:
+        statistics.text_chunks += 1
+    text_nodes = machine.text_nodes
+    if not text_nodes:
         return
-    for machine_node in machine.text_nodes:
+    for machine_node in text_nodes:
         for entry in machine_node.stack.entries:
             if entry.string_parts is not None:
-                entry.string_parts.append(event.text)
-            if entry.direct_parts is not None and event.level == entry.level:
-                entry.direct_parts.append(event.text)
+                entry.string_parts.append(text)
+            if entry.direct_parts is not None and level == entry.level:
+                entry.direct_parts.append(text)
 
 
 def process_end_element(
     machine: TwigMachine,
-    event: EndElement,
-    statistics: EngineStatistics,
+    name: str,
+    level: int,
+    statistics: Optional[EngineStatistics],
     collector: ResultCollector,
     fragments: Optional[Dict[int, str]] = None,
     eager_emission: bool = False,
@@ -161,61 +241,88 @@ def process_end_element(
     candidate counts without changing the answer set.
     """
     new_solutions: List[Solution] = []
-    for machine_node in machine.nodes_postorder:
-        if not machine_node.matches(event.name):
+    # Inlined machine.nodes_matching_postorder: one dict probe on the hot path.
+    matching = machine._match_cache_postorder.get(name)
+    if matching is None:
+        matching = machine.nodes_matching_postorder(name)
+    if not matching:
+        return new_solutions
+    popped = False
+    for machine_node in matching:
+        entries = machine_node.stack.entries
+        if not entries or entries[-1].level != level:
             continue
-        stack = machine_node.stack
-        if stack.top_level() != event.level:
-            continue
-        entry = stack.pop()
-        statistics.pops += 1
-        statistics.live_entries -= 1
-        statistics.live_candidates -= entry.candidate_count
+        entry = entries.pop()
+        popped = True
+        if statistics is not None:
+            statistics.pops += 1
+            statistics.live_entries -= 1
+            if entry.candidates:
+                statistics.live_candidates -= len(entry.candidates)
 
-        if not _entry_satisfied(machine_node, entry):
+        # is_unconditional is precomputed by the builder: a trivially-true
+        # formula plus no value test means every pushed entry satisfies, so
+        # the formula evaluation can be skipped entirely.
+        if not machine_node.is_unconditional and not _entry_satisfied(
+            machine_node, entry
+        ):
             # The match fails its predicates: the entire set of pattern
             # matches that flow through it is pruned here, without ever
             # having been enumerated.
             continue
 
-        _add_own_candidates(machine_node, entry, statistics, fragments)
+        if machine_node.is_output or machine_node.text_output is not None:
+            _add_own_candidates(machine_node, entry, statistics, fragments)
 
-        emit_here = machine_node.is_root or (
+        emit_here = machine_node.parent is None or (
             eager_emission
             and not machine_node.is_predicate_branch
             and machine_node.ancestors_unconditional
         )
         if emit_here:
-            statistics.solutions_emitted += len(entry.candidates)
+            if statistics is not None:
+                statistics.solutions_emitted += len(entry.candidates)
             for solution in entry.candidates.values():
                 if collector.add(solution):
-                    statistics.solutions_distinct += 1
+                    if statistics is not None:
+                        statistics.solutions_distinct += 1
                     new_solutions.append(solution)
             continue
 
-        parent = machine_node.parent
-        targets = parent.stack.entries_for_axis(
-            entry.level, descendant=machine_node.axis is Axis.DESCENDANT
-        )
+        # Inlined MachineStack.entries_for_axis.
+        parent_entries = machine_node.parent.stack.entries
+        if machine_node.axis is _DESCENDANT:
+            targets = [t for t in parent_entries if t.level < level]
+        else:
+            parent_level = level - 1
+            targets = [t for t in parent_entries if t.level == parent_level]
         if machine_node.is_predicate_branch:
             node_id = machine_node.query_node.node_id
             for target in targets:
                 if node_id not in target.satisfied:
                     target.satisfied.add(node_id)
-                    statistics.flags_set += 1
+                    if statistics is not None:
+                        statistics.flags_set += 1
         else:
             for target in targets:
                 added = target.absorb_candidates(entry)
-                statistics.candidates_propagated += added
-                statistics.live_candidates += added
-    statistics.observe_state(statistics.live_entries, statistics.live_candidates)
+                if statistics is not None:
+                    statistics.candidates_propagated += added
+                    statistics.live_candidates += added
+    if popped and statistics is not None:
+        # Inlined observe_state: pops can only shrink the live counters, but
+        # candidate propagation above can grow live_candidates.
+        live_candidates = statistics.live_candidates
+        if live_candidates > statistics.peak_candidate_count:
+            statistics.peak_candidate_count = live_candidates
     return new_solutions
 
 
 def _entry_satisfied(machine_node: MachineNode, entry: StackEntry) -> bool:
     """Evaluate the query node's predicate formula and value test for an entry."""
     query_node = machine_node.query_node
-    string_value = entry.string_value()
+    parts = entry.string_parts
+    string_value = "".join(parts) if parts is not None else None
     if query_node.value_test is not None and not query_node.value_test.evaluate(string_value):
         return False
     return evaluate_formula(query_node.formula, entry.satisfied, string_value)
@@ -224,7 +331,7 @@ def _entry_satisfied(machine_node: MachineNode, entry: StackEntry) -> bool:
 def _add_own_candidates(
     machine_node: MachineNode,
     entry: StackEntry,
-    statistics: EngineStatistics,
+    statistics: Optional[EngineStatistics],
     fragments: Optional[Dict[int, str]],
 ) -> None:
     """Attach the candidates contributed by this entry itself (element / text output)."""
@@ -237,7 +344,7 @@ def _add_own_candidates(
         entry.add_candidate(
             Solution(kind=SolutionKind.ELEMENT, node=entry.element, fragment=fragment)
         )
-        if entry.candidate_count > before:
+        if entry.candidate_count > before and statistics is not None:
             statistics.candidates_created += 1
     text_output = machine_node.text_output
     if text_output is not None:
@@ -247,5 +354,5 @@ def _add_own_candidates(
             entry.add_candidate(
                 Solution(kind=SolutionKind.TEXT, node=entry.element, value=text)
             )
-            if entry.candidate_count > before:
+            if entry.candidate_count > before and statistics is not None:
                 statistics.candidates_created += 1

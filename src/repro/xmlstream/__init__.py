@@ -22,8 +22,9 @@ from .events import (
     StartElement,
 )
 from .dom import Document, Element, TreeBuilder, build_tree, parse_document
+from .expat_backend import ExpatEventSource
 from .reader import DEFAULT_CHUNK_SIZE, StreamReader, read_document
-from .sax import PARSER_BACKENDS, iter_events
+from .sax import PARSER_BACKENDS, event_batches, iter_events
 from .serializer import (
     serialize_document,
     serialize_element,
@@ -57,6 +58,7 @@ __all__ = [
     "Event",
     "EventRecorder",
     "EventStatistics",
+    "ExpatEventSource",
     "PARSER_BACKENDS",
     "ProcessingInstruction",
     "StartDocument",
@@ -70,6 +72,7 @@ __all__ = [
     "check_well_formed",
     "element_label",
     "element_path",
+    "event_batches",
     "iter_events",
     "parse_document",
     "path_counts",

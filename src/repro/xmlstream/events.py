@@ -7,34 +7,43 @@ increasing integer assigned by the producer) and, where meaningful, the
 ``level`` (depth) of the corresponding element: the document element sits at
 level 1, its children at level 2, and so on.  ViteX's TwigM machine keys its
 stack entries on exactly this level value.
+
+The event classes are ``NamedTuple`` subclasses: millions of them are
+created per document, and tuple construction is ~2.5× faster than even a
+``slots=True`` dataclass ``__init__`` while staying immutable and hashable.
+``Event`` itself is an abstract base registered for all event classes, so
+``isinstance(x, Event)`` keeps working for consumers that need it.
 """
 
 from __future__ import annotations
 
+from abc import ABC
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Tuple
 
 
-@dataclass(frozen=True)
-class Event:
-    """Base class for every streaming event."""
+class Event(ABC):
+    """Abstract base for every streaming event.
 
-    #: Monotonic event index within the stream (0-based).
-    position: int
+    Concrete events are ``NamedTuple`` subclasses registered as virtual
+    subclasses; every event's first field is ``position``, the monotonic
+    event index within the stream (0-based) assigned by the producer.
+    """
 
 
-@dataclass(frozen=True)
-class StartDocument(Event):
+class StartDocument(NamedTuple):
     """Emitted once before any other event."""
 
+    position: int = 0
 
-@dataclass(frozen=True)
-class EndDocument(Event):
+
+class EndDocument(NamedTuple):
     """Emitted once after every other event."""
 
+    position: int = 0
 
-@dataclass(frozen=True)
-class StartElement(Event):
+
+class StartElement(NamedTuple):
     """An element start tag.
 
     Attributes
@@ -46,9 +55,10 @@ class StartElement(Event):
     attributes:
         Mapping of attribute name to attribute value for this start tag.
     line:
-        1-based source line of the ``<`` character when known.
+        1-based source line of the start tag when known.
     """
 
+    position: int = 0
     name: str = ""
     level: int = 0
     attributes: Tuple[Tuple[str, str], ...] = ()
@@ -66,42 +76,55 @@ class StartElement(Event):
         return default
 
 
-@dataclass(frozen=True)
-class EndElement(Event):
+class EndElement(NamedTuple):
     """An element end tag (or the implicit end of an empty-element tag)."""
 
+    position: int = 0
     name: str = ""
     level: int = 0
     line: Optional[int] = None
 
 
-@dataclass(frozen=True)
-class Characters(Event):
+class Characters(NamedTuple):
     """Character data between tags.
 
     Consecutive raw text chunks are coalesced by the producers so consumers
     may assume at most one ``Characters`` event between two structural events.
     """
 
+    position: int = 0
     text: str = ""
     level: int = 0
 
 
-@dataclass(frozen=True)
-class Comment(Event):
+class Comment(NamedTuple):
     """An XML comment (``<!-- ... -->``)."""
 
+    position: int = 0
     text: str = ""
     level: int = 0
 
 
-@dataclass(frozen=True)
-class ProcessingInstruction(Event):
+class ProcessingInstruction(NamedTuple):
     """A processing instruction (``<?target data?>``)."""
 
+    position: int = 0
     target: str = ""
     data: str = ""
     level: int = 0
+
+
+for _event_class in (
+    StartDocument,
+    EndDocument,
+    StartElement,
+    EndElement,
+    Characters,
+    Comment,
+    ProcessingInstruction,
+):
+    Event.register(_event_class)
+del _event_class
 
 
 def is_structural(event: Event) -> bool:

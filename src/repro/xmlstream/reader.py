@@ -76,22 +76,55 @@ class StreamReader:
 
     def chunks(self) -> Iterator[str]:
         """Yield the document as a sequence of text chunks."""
+        return self._iter_chunks(decode=True)
+
+    def raw_chunks(self) -> Iterator[Union[str, bytes]]:
+        """Yield the document without decoding byte sources.
+
+        Backends that perform their own encoding detection (expat) consume
+        bytes directly, skipping the Python-side incremental decoder that
+        :meth:`chunks` applies.  Text sources are yielded as ``str`` exactly
+        as :meth:`chunks` would.
+        """
+        return self._iter_chunks(decode=False)
+
+    def _iter_chunks(self, decode: bool) -> Iterator[Union[str, bytes]]:
+        """Single source-type dispatch shared by :meth:`chunks`/:meth:`raw_chunks`."""
         source = self.source
         if isinstance(source, str) and not self._looks_like_path(source):
             yield from self._chunk_string(source)
         elif isinstance(source, bytes):
-            yield from self._chunk_string(self._decode(source))
+            if decode:
+                yield from self._chunk_string(self._decode(source))
+            else:
+                for start in range(0, len(source), self.chunk_size):
+                    yield source[start:start + self.chunk_size]
         elif isinstance(source, (str, os.PathLike)):
-            yield from self._chunk_file_path(os.fspath(source))
+            with open(os.fspath(source), "rb") as handle:
+                if decode:
+                    yield from self._chunk_binary_handle(handle)
+                else:
+                    yield from self._read_pieces(handle)
         elif isinstance(source, io.IOBase) or hasattr(source, "read"):
-            yield from self._chunk_file_object(source)
+            if decode:
+                yield from self._chunk_file_object(source)
+            else:
+                yield from self._read_pieces(source)
         else:
-            # Assume an iterable of text chunks (e.g. a dataset generator).
+            # An iterable of text (or byte) chunks (e.g. a dataset generator).
             for chunk in source:  # type: ignore[union-attr]
-                if isinstance(chunk, bytes):
+                if decode and isinstance(chunk, bytes):
                     yield self._decode(chunk)
                 else:
                     yield chunk
+
+    def _read_pieces(self, handle) -> Iterator[Union[str, bytes]]:
+        """Read ``chunk_size`` pieces from a file-like object verbatim."""
+        while True:
+            chunk = handle.read(self.chunk_size)
+            if not chunk:
+                break
+            yield chunk
 
     # ------------------------------------------------------------ helpers
 
@@ -116,10 +149,6 @@ class StreamReader:
     def _chunk_string(self, text: str) -> Iterator[str]:
         for start in range(0, len(text), self.chunk_size):
             yield text[start:start + self.chunk_size]
-
-    def _chunk_file_path(self, path: str) -> Iterator[str]:
-        with open(path, "rb") as handle:
-            yield from self._chunk_binary_handle(handle)
 
     def _chunk_file_object(self, handle) -> Iterator[str]:
         sample = handle.read(0)

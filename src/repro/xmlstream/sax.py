@@ -1,27 +1,31 @@
-"""Unified event producers: the from-scratch tokenizer and an xml.sax bridge.
+"""Unified event producers: the from-scratch tokenizer and the expat backend.
 
 The ViteX architecture (paper Figure 2) has an "XML SAX parser" module that
 feeds SAX events to the TwigM machine.  This module provides that component
-with two interchangeable back-ends:
+with pluggable, interchangeable back-ends:
 
-* ``parser="native"`` — the from-scratch incremental tokenizer from
-  :mod:`repro.xmlstream.tokenizer` (default; pure Python, fully streaming).
-* ``parser="expat"`` — the C-accelerated ``xml.sax`` expat parser from the
-  standard library, bridged into the same event dataclasses.  This is the
-  back-end the benchmark harness uses to report the "SAX parsing" component
-  of end-to-end time, mirroring the paper's 4.43 s / 6.02 s breakdown.
+* ``parser="pure"`` (alias ``"native"``, the default) — the from-scratch
+  bulk-scanning tokenizer from :mod:`repro.xmlstream.tokenizer`; pure Python,
+  fully streaming.
+* ``parser="expat"`` — the C-accelerated ``xml.parsers.expat`` parser driven
+  directly by :mod:`repro.xmlstream.expat_backend`.  This is the back-end the
+  benchmark harness uses to report the "SAX parsing" component of end-to-end
+  time, mirroring the paper's 4.43 s / 6.02 s breakdown.
 
-Both produce identical event sequences (verified by differential tests), so
-the engine is back-end agnostic.
+Both produce identical event sequences (verified by differential and
+property-based conformance tests), so the engine is back-end agnostic.
+
+Two entry points are offered: :func:`iter_events` yields one event at a time
+(convenient for consumers), while :func:`event_batches` yields one *list* of
+events per fed chunk — the engine's bulk evaluation path uses the latter so
+no per-event generator frames sit between the tokenizer and the transition
+functions.
 """
 
 from __future__ import annotations
 
-import xml.sax
-import xml.sax.handler
-from typing import Iterable, Iterator, List, Optional
+from typing import Iterator, List, Optional
 
-from ..errors import XMLSyntaxError
 from .events import (
     Characters,
     Comment,
@@ -32,11 +36,13 @@ from .events import (
     StartDocument,
     StartElement,
 )
+from .expat_backend import ExpatEventSource
 from .reader import DEFAULT_CHUNK_SIZE, StreamReader, TextSource
 from .tokenizer import StreamTokenizer
 
-#: Names of the supported parser back-ends.
-PARSER_BACKENDS = ("native", "expat")
+#: Names of the supported parser back-ends (``native`` is the historical
+#: alias of ``pure``; both select the from-scratch tokenizer).
+PARSER_BACKENDS = ("native", "pure", "expat")
 
 
 def iter_events(
@@ -51,135 +57,67 @@ def iter_events(
     ``source`` may be a document string, bytes, a path, an open file object or
     an iterable of text chunks; see :class:`repro.xmlstream.reader.StreamReader`.
     """
+    for batch in event_batches(
+        source,
+        parser=parser,
+        chunk_size=chunk_size,
+        encoding=encoding,
+        coalesce_text=coalesce_text,
+    ):
+        yield from batch
+
+
+def event_batches(
+    source: TextSource,
+    parser: str = "native",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    encoding: Optional[str] = None,
+    coalesce_text: bool = True,
+) -> Iterator[List[Event]]:
+    """Yield the events of ``source`` as one list per fed chunk.
+
+    This is the bulk form of :func:`iter_events`: consumers that process
+    events in a tight loop (the TwigM engine, the benchmark meters) iterate
+    the batches directly and avoid one generator resumption per event.
+    """
     if parser not in PARSER_BACKENDS:
-        raise ValueError(f"unknown parser backend {parser!r}; expected one of {PARSER_BACKENDS}")
+        raise ValueError(
+            f"unknown parser backend {parser!r}; expected one of {PARSER_BACKENDS}"
+        )
     reader = StreamReader(source, chunk_size=chunk_size, encoding=encoding)
-    if parser == "native":
-        yield from _iter_native(reader, coalesce_text=coalesce_text)
-    else:
-        yield from _iter_expat(reader, coalesce_text=coalesce_text)
+    if parser == "expat":
+        return _expat_batches(reader, coalesce_text=coalesce_text)
+    return _pure_batches(reader, coalesce_text=coalesce_text)
 
 
-def _iter_native(reader: StreamReader, coalesce_text: bool) -> Iterator[Event]:
+def _pure_batches(reader: StreamReader, coalesce_text: bool) -> Iterator[List[Event]]:
     tokenizer = StreamTokenizer(coalesce_text=coalesce_text)
     for chunk in reader.chunks():
-        yield from tokenizer.feed(chunk)
-    yield from tokenizer.close()
+        batch = tokenizer.feed(chunk)
+        if batch:
+            yield batch
+    yield tokenizer.close()
 
 
-class _CollectingHandler(xml.sax.handler.ContentHandler):
-    """SAX ContentHandler translating callbacks into event dataclasses."""
-
-    def __init__(self, coalesce_text: bool) -> None:
-        super().__init__()
-        self.events: List[Event] = []
-        self._position = 0
-        self._level = 0
-        self._coalesce_text = coalesce_text
-        self._pending_text: List[str] = []
-        self._pending_level = 0
-        self._document_started = False
-
-    # -- helpers ---------------------------------------------------------
-
-    def _next_position(self) -> int:
-        position = self._position
-        self._position += 1
-        return position
-
-    def _flush_text(self) -> None:
-        if not self._pending_text:
-            return
-        text = "".join(self._pending_text)
-        self._pending_text = []
-        if text and self._pending_level > 0:
-            self.events.append(
-                Characters(
-                    position=self._next_position(),
-                    text=text,
-                    level=self._pending_level,
-                )
-            )
-
-    # -- ContentHandler callbacks ----------------------------------------
-
-    def startDocument(self) -> None:  # noqa: N802 (SAX API name)
-        self._document_started = True
-        self.events.append(StartDocument(position=self._next_position()))
-
-    def endDocument(self) -> None:  # noqa: N802
-        self._flush_text()
-        self.events.append(EndDocument(position=self._next_position()))
-
-    def startElement(self, name, attrs) -> None:  # noqa: N802
-        self._flush_text()
-        self._level += 1
-        attributes = tuple((key, attrs.getValue(key)) for key in attrs.getNames())
-        self.events.append(
-            StartElement(
-                position=self._next_position(),
-                name=name,
-                level=self._level,
-                attributes=attributes,
-            )
-        )
-
-    def endElement(self, name) -> None:  # noqa: N802
-        self._flush_text()
-        self.events.append(
-            EndElement(position=self._next_position(), name=name, level=self._level)
-        )
-        self._level -= 1
-
-    def characters(self, content) -> None:
-        if self._level <= 0:
-            return
-        if self._coalesce_text:
-            self._pending_text.append(content)
-            self._pending_level = self._level
-        else:
-            self.events.append(
-                Characters(
-                    position=self._next_position(), text=content, level=self._level
-                )
-            )
-
-    def processingInstruction(self, target, data) -> None:  # noqa: N802
-        self._flush_text()
-        self.events.append(
-            ProcessingInstruction(
-                position=self._next_position(),
-                target=target,
-                data=data or "",
-                level=self._level,
-            )
-        )
-
-    def drain(self) -> List[Event]:
-        """Return and clear the events collected so far."""
-        events, self.events = self.events, []
-        return events
-
-
-def _iter_expat(reader: StreamReader, coalesce_text: bool) -> Iterator[Event]:
-    parser = xml.sax.make_parser()
-    parser.setFeature(xml.sax.handler.feature_namespaces, False)
-    handler = _CollectingHandler(coalesce_text=coalesce_text)
-    parser.setContentHandler(handler)
-    try:
-        for chunk in reader.chunks():
-            parser.feed(chunk)
-            yield from handler.drain()
-        parser.close()
-    except xml.sax.SAXParseException as exc:
-        raise XMLSyntaxError(
-            exc.getMessage(), line=exc.getLineNumber(), column=exc.getColumnNumber()
-        ) from exc
-    yield from handler.drain()
+def _expat_batches(reader: StreamReader, coalesce_text: bool) -> Iterator[List[Event]]:
+    # When no encoding override is given, hand expat the raw bytes of binary
+    # sources: it detects the encoding itself (BOM / XML declaration), which
+    # skips the Python-side incremental decode entirely.  With an explicit
+    # override the reader decodes, so expat always receives str chunks and
+    # needs no encoding hint of its own.
+    producer = ExpatEventSource(coalesce_text=coalesce_text)
+    chunks = reader.raw_chunks() if reader.encoding is None else reader.chunks()
+    for chunk in chunks:
+        batch = producer.feed(chunk)
+        if batch:
+            yield batch
+    yield producer.close()
 
 
 __all__ = [
     "PARSER_BACKENDS",
+    "ExpatEventSource",
+    "event_batches",
     "iter_events",
     "Characters",
     "Comment",

@@ -25,6 +25,7 @@ It deliberately does *not* implement DTD entity expansion or validation.
 
 from __future__ import annotations
 
+import re
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..errors import XMLSyntaxError
@@ -57,6 +58,50 @@ def _is_name_start(char: str) -> bool:
 
 def _is_name_char(char: str) -> bool:
     return char.isalnum() or char in _NAME_EXTRA
+
+
+# Bulk-scanning fast path: one precompiled regex match per markup construct
+# instead of a character-at-a-time state machine.  The name pattern mirrors
+# _is_name_start/_is_name_char ([^\W\d] is the unicode-aware "letter or
+# underscore" class); any construct the fast patterns do not recognise falls
+# back to the character-level slow path, which reports precise errors and
+# handles chunk-boundary splits.
+_NAME_PATTERN = r"(?:[^\W\d]|:)[\w:.\-]*"
+_START_TAG_RE = re.compile(
+    r"<(%(name)s)"
+    r"((?:\s+%(name)s\s*=\s*(?:\"[^\"]*\"|'[^']*'))*)"
+    r"\s*(/?)>" % {"name": _NAME_PATTERN}
+)
+_END_TAG_RE = re.compile(r"</\s*(%s)\s*>" % _NAME_PATTERN)
+_ATTRIBUTE_RE = re.compile(r"(%s)\s*=\s*(?:\"([^\"]*)\"|'([^']*)')" % _NAME_PATTERN)
+
+
+def parse_attribute_string(
+    raw: str, tag_name: str, line: Optional[int]
+) -> Tuple[Tuple[str, str], ...]:
+    """Build the attribute tuple from a regex-validated attribute string.
+
+    ``raw`` must already match the attribute group of ``_START_TAG_RE``.
+    Shared by the incremental tokenizer and the fused fast path so the two
+    can never drift on entity decoding or duplicate detection.  Raises
+    :class:`XMLSyntaxError` for duplicates and malformed entity references.
+    """
+    attributes: List[Tuple[str, str]] = []
+    seen: set = set()
+    for match in _ATTRIBUTE_RE.finditer(raw):
+        name = match.group(1)
+        value = match.group(2)
+        if value is None:
+            value = match.group(3)
+        if "&" in value:
+            value = decode_entities(value, line=line)
+        if name in seen:
+            raise XMLSyntaxError(
+                f"duplicate attribute '{name}' in tag '{tag_name}'", line=line
+            )
+        seen.add(name)
+        attributes.append((name, value))
+    return tuple(attributes)
 
 
 def decode_entities(text: str, line: Optional[int] = None) -> str:
@@ -256,10 +301,11 @@ class StreamTokenizer:
             )
 
     def _flush_text(self) -> None:
+        # NB: clears the pending list in place; _scan holds an alias to it.
         if not self._pending_text:
             return
         text = "".join(self._pending_text)
-        self._pending_text = []
+        self._pending_text.clear()
         if text:
             self._emit(
                 Characters(
@@ -273,27 +319,144 @@ class StreamTokenizer:
         buffer = self._buffer
         index = 0
         length = len(buffer)
+        # Hot-loop locals: attribute lookups cost real time at ~1M iterations.
+        # ``position`` and ``line`` shadow the instance counters and are
+        # written back before any call that reads them (slow path, text
+        # queueing helpers) and on loop exit.
+        events = self._events
+        open_elements = self._open_elements
+        pending_text = self._pending_text
+        coalesce = self._coalesce_text
+        position = self._position
+        line = self._line
+        track_lines = "\n" in buffer
+        find = buffer.find
+        count = buffer.count
+        start_match = _START_TAG_RE.match
+        end_match = _END_TAG_RE.match
         while index < length:
-            lt = buffer.find("<", index)
+            lt = find("<", index)
             if lt == -1:
                 # Everything left is character data; keep a tail in case an
                 # entity reference is split across chunks.
                 remainder = buffer[index:]
                 if final or "&" not in remainder:
+                    self._position = position
+                    self._line = line
                     self._queue_text(remainder)
-                    self._count_lines(remainder)
+                    position = self._position
+                    line = self._line + remainder.count("\n")
                     index = length
                 break
             if lt > index:
                 text = buffer[index:lt]
-                self._queue_text(text)
-                self._count_lines(text)
+                if open_elements:
+                    if "&" in text:
+                        text = decode_entities(text, line=line)
+                    if coalesce:
+                        pending_text.append(text)
+                        self._pending_text_level = len(open_elements)
+                    else:
+                        events.append(Characters(position, text, len(open_elements)))
+                        position += 1
+                elif text.strip():
+                    raise XMLSyntaxError(
+                        "character data outside of the root element", line=line
+                    )
+                if track_lines:
+                    line += count("\n", index, lt)
+            second = buffer[lt + 1] if lt + 1 < length else ""
+            if second == "/":
+                match = end_match(buffer, lt)
+                if match is not None:
+                    name = match.group(1)
+                    end = match.end()
+                    if track_lines:
+                        line += count("\n", lt, end)
+                    if not open_elements or open_elements[-1] != name:
+                        # Re-raise through the slow path for the exact message.
+                        self._line = line
+                        self._handle_end_tag(name)
+                    if pending_text:
+                        text = (
+                            pending_text[0]
+                            if len(pending_text) == 1
+                            else "".join(pending_text)
+                        )
+                        pending_text.clear()
+                        if text:
+                            events.append(
+                                Characters(position, text, self._pending_text_level)
+                            )
+                            position += 1
+                    level = len(open_elements)
+                    open_elements.pop()
+                    if not open_elements:
+                        self._root_closed = True
+                    events.append(EndElement(position, name, level, line))
+                    position += 1
+                    index = end
+                    continue
+            elif second not in ("!", "?", ""):
+                match = start_match(buffer, lt)
+                if match is not None:
+                    name, raw_attributes, empty = match.group(1, 2, 3)
+                    end = match.end()
+                    if track_lines:
+                        line += count("\n", lt, end)
+                    if self._root_closed:
+                        raise XMLSyntaxError(
+                            f"element '{name}' appears after the root element was closed",
+                            line=line,
+                        )
+                    if raw_attributes:
+                        self._line = line
+                        attributes = self._parse_attributes_fast(name, raw_attributes)
+                    else:
+                        attributes = ()
+                    if pending_text:
+                        text = (
+                            pending_text[0]
+                            if len(pending_text) == 1
+                            else "".join(pending_text)
+                        )
+                        pending_text.clear()
+                        if text:
+                            events.append(
+                                Characters(position, text, self._pending_text_level)
+                            )
+                            position += 1
+                    open_elements.append(name)
+                    self._root_seen = True
+                    level = len(open_elements)
+                    events.append(StartElement(position, name, level, attributes, line))
+                    position += 1
+                    if empty:
+                        open_elements.pop()
+                        if not open_elements:
+                            self._root_closed = True
+                        events.append(EndElement(position, name, level, line))
+                        position += 1
+                    index = end
+                    continue
+            self._position = position
+            self._line = line
             consumed = self._scan_markup(buffer, lt, final)
+            position = self._position
+            line = self._line
             if consumed is None:
                 index = lt
                 break
             index = consumed
+        self._position = position
+        self._line = line
         self._buffer = buffer[index:]
+
+    def _parse_attributes_fast(
+        self, tag_name: str, raw: str
+    ) -> Tuple[Tuple[str, str], ...]:
+        """Build the attribute tuple from a regex-validated attribute string."""
+        return parse_attribute_string(raw, tag_name, self._line)
 
     def _scan_markup(self, buffer: str, start: int, final: bool) -> Optional[int]:
         """Parse one markup construct starting at ``buffer[start] == '<'``.

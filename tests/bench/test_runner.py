@@ -26,8 +26,11 @@ class TestProteinBreakdown:
 
     def test_parse_time_below_total_time(self):
         row = run_protein_breakdown(entries=(50,), parser="native")[0]
-        assert row["parse_s"] <= row["total_s"]
-        assert 0 < row["parse_fraction"] <= 1
+        # Parse-only and total are two separate wall-clock measurements of a
+        # sub-100ms workload; allow scheduler noise on loaded single-core
+        # machines while still catching parse >> total regressions.
+        assert row["parse_s"] <= row["total_s"] * 1.5 + 0.05
+        assert 0 < row["parse_fraction"] <= 1.5
 
 
 class TestMemoryStability:

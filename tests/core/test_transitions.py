@@ -35,20 +35,30 @@ class Driver:
         )
         self._position += 1
         self._open.append(tag)
-        process_start_element(self.machine, event, self._order, self.statistics)
+        process_start_element(
+            self.machine,
+            event.name,
+            event.level,
+            event.attributes,
+            event.line,
+            self._order,
+            self.statistics,
+        )
         self._order += 1
         return event
 
     def text(self, content):
         event = Characters(position=self._position, text=content, level=self._level)
         self._position += 1
-        process_characters(self.machine, event, self.statistics)
+        process_characters(self.machine, event.text, event.level, self.statistics)
 
     def end(self):
         tag = self._open.pop()
         event = EndElement(position=self._position, name=tag, level=self._level)
         self._position += 1
-        emitted = process_end_element(self.machine, event, self.statistics, self.collector)
+        emitted = process_end_element(
+            self.machine, event.name, event.level, self.statistics, self.collector
+        )
         self._level -= 1
         return emitted
 

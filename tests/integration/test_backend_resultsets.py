@@ -1,0 +1,45 @@
+"""Cross-backend result-set identity over the full workload corpus.
+
+Acceptance property of the pluggable-backend refactor: for every dataset ×
+query pair in the benchmark workload registry, the pure tokenizer and the
+expat backend — each through its fused fast path and through the event
+pipeline — return byte-identical solution sets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import TwigMEvaluator
+from repro.xmlstream.sax import iter_events
+from repro.bench.workloads import iter_workloads
+
+SCALE = 0.1  # small but structurally representative documents
+
+
+def workload_cases():
+    for workload in iter_workloads():
+        for query in workload.queries:
+            yield pytest.param(workload.name, query, id=f"{workload.name}:{query}")
+
+
+@pytest.fixture(scope="module")
+def documents():
+    cache = {}
+    for workload in iter_workloads():
+        cache[workload.name] = workload.dataset(SCALE).text()
+    return cache
+
+
+@pytest.mark.parametrize("workload_name,query", list(workload_cases()))
+def test_backends_produce_identical_result_sets(documents, workload_name, query):
+    document = documents[workload_name]
+    pure = TwigMEvaluator(query).evaluate(document, parser="pure")
+    expat = TwigMEvaluator(query).evaluate(document, parser="expat")
+    assert pure.keys() == expat.keys()
+
+    # The event pipeline (push API) must agree with both fused paths.
+    pushed = TwigMEvaluator(query)
+    for event in iter_events(document, parser="pure"):
+        pushed.feed(event)
+    assert pushed.finish().keys() == pure.keys()

@@ -1,0 +1,110 @@
+"""Unit tests for the direct ``xml.parsers.expat`` event source."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmlstream.events import (
+    Characters,
+    Comment,
+    EndDocument,
+    EndElement,
+    ProcessingInstruction,
+    StartDocument,
+    StartElement,
+)
+from repro.xmlstream.expat_backend import ExpatEventSource
+
+
+def drive(chunks, **kwargs):
+    source = ExpatEventSource(**kwargs)
+    events = []
+    for chunk in chunks:
+        events.extend(source.feed(chunk))
+    events.extend(source.close())
+    return events
+
+
+def kinds(events):
+    return [type(event).__name__ for event in events]
+
+
+class TestBasicDocuments:
+    def test_single_element(self):
+        events = drive(["<a></a>"])
+        assert kinds(events) == ["StartDocument", "StartElement", "EndElement", "EndDocument"]
+
+    def test_levels_and_names(self):
+        events = drive(["<a><b><c/></b></a>"])
+        starts = [(e.name, e.level) for e in events if isinstance(e, StartElement)]
+        assert starts == [("a", 1), ("b", 2), ("c", 3)]
+
+    def test_attributes_in_document_order(self):
+        events = drive(['<a zeta="1" alpha="2"/>'])
+        start = next(e for e in events if isinstance(e, StartElement))
+        assert start.attributes == (("zeta", "1"), ("alpha", "2"))
+
+    def test_text_coalesced_across_cdata(self):
+        events = drive(["<a>one<![CDATA[ two ]]>three</a>"])
+        text = [e.text for e in events if isinstance(e, Characters)]
+        assert text == ["one two three"]
+
+    def test_comment_and_pi_events(self):
+        events = drive(["<a><!--note--><?target data ?></a>"])
+        comment = next(e for e in events if isinstance(e, Comment))
+        pi = next(e for e in events if isinstance(e, ProcessingInstruction))
+        assert comment.text == "note"
+        assert pi.target == "target"
+        assert pi.data == "data"
+
+    def test_positions_are_monotonic(self):
+        events = drive(["<a>x<b/>y</a>"])
+        positions = [event.position for event in events]
+        assert positions == sorted(positions)
+        assert len(set(positions)) == len(positions)
+
+
+class TestChunkedAndBytes:
+    def test_split_inside_tag(self):
+        events = drive(["<a", " x='1'", "><b", "/></a>"])
+        starts = [e.name for e in events if isinstance(e, StartElement)]
+        assert starts == ["a", "b"]
+
+    def test_bytes_feeding(self):
+        events = drive([b"<a>", "café".encode("utf-8"), b"</a>"])
+        text = next(e for e in events if isinstance(e, Characters))
+        assert text.text == "café"
+
+    def test_utf16_bytes_with_bom(self):
+        payload = '<?xml version="1.0" encoding="utf-16"?><a>hi</a>'.encode("utf-16")
+        events = drive([payload])
+        text = next(e for e in events if isinstance(e, Characters))
+        assert text.text == "hi"
+
+
+class TestErrors:
+    def test_mismatched_tag(self):
+        with pytest.raises(XMLSyntaxError):
+            drive(["<a><b></a>"])
+
+    def test_unclosed_document(self):
+        with pytest.raises(XMLSyntaxError):
+            drive(["<a><b>"])
+
+    def test_empty_document(self):
+        with pytest.raises(XMLSyntaxError):
+            drive([])
+
+    def test_error_carries_line(self):
+        with pytest.raises(XMLSyntaxError) as excinfo:
+            drive(["<a>\n<b>\n</c>\n</a>"])
+        assert excinfo.value.line == 3
+
+    def test_feed_after_close_rejected(self):
+        source = ExpatEventSource()
+        source.feed("<a/>")
+        source.close()
+        assert source.finished
+        with pytest.raises(XMLSyntaxError):
+            source.feed("<b/>")
