@@ -23,6 +23,7 @@ from .runner import (
     run_builder_scaling,
     run_incremental_latency,
     run_memory_stability,
+    run_multiquery_scaling,
     run_pipeline_throughput,
     run_protein_breakdown,
     run_query_size_scaling,
@@ -31,6 +32,7 @@ from .runner import (
 )
 from .workloads import (
     AUCTION_QUERIES,
+    MULTIQUERY_MIXES,
     NEWSFEED_QUERIES,
     PIPELINE_QUERY,
     PROTEIN_PAPER_QUERY,
@@ -39,13 +41,16 @@ from .workloads import (
     TREEBANK_QUERIES,
     WORKLOADS,
     Workload,
+    build_multiquery_document,
     build_random_tree_document,
     get_workload,
     iter_workloads,
+    multiquery_mix,
 )
 
 __all__ = [
     "AUCTION_QUERIES",
+    "MULTIQUERY_MIXES",
     "MemoryReport",
     "NEWSFEED_QUERIES",
     "PIPELINE_QUERY",
@@ -59,12 +64,14 @@ __all__ = [
     "Timer",
     "WORKLOADS",
     "Workload",
+    "build_multiquery_document",
     "build_random_tree_document",
     "document_byte_size",
     "get_workload",
     "iter_workloads",
     "measure_peak_memory",
     "measure_run",
+    "multiquery_mix",
     "print_report",
     "render_csv",
     "render_series",
@@ -72,6 +79,7 @@ __all__ = [
     "run_builder_scaling",
     "run_incremental_latency",
     "run_memory_stability",
+    "run_multiquery_scaling",
     "run_pipeline_throughput",
     "run_protein_breakdown",
     "run_query_size_scaling",

@@ -15,6 +15,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..baselines.naive import NaiveStreamingEvaluator
 from ..core.engine import TwigMEvaluator
+from ..core.multi import MultiQueryEvaluator
+from ..errors import BenchmarkError
 from ..datasets.protein import ProteinConfig, ProteinDatabaseGenerator
 from ..datasets.recursive import RecursiveBookGenerator, RecursiveConfig
 from ..datasets.newsfeed import NewsFeedConfig, NewsFeedGenerator
@@ -24,11 +26,14 @@ from ..core.builder import build_machine
 from ..xmlstream.sax import event_batches
 from .metrics import RunMeasurement, measure_run, measure_peak_memory
 from .workloads import (
+    MULTIQUERY_MIXES,
     PIPELINE_QUERY,
     PROTEIN_PAPER_QUERY,
     Workload,
+    build_multiquery_document,
     build_random_tree_document,
     iter_workloads,
+    multiquery_mix,
 )
 
 
@@ -357,6 +362,75 @@ def run_pipeline_throughput(
                 ),
             }
         )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# M1: multi-query subscription scaling (indexed dispatch)
+# ---------------------------------------------------------------------------
+
+
+def run_multiquery_scaling(
+    counts: Sequence[int] = (1, 10, 50, 200, 500),
+    kinds: Sequence[str] = MULTIQUERY_MIXES,
+    records: int = 4000,
+    sample: int = 20,
+    seed: int = 7,
+    parser: str = "pure",
+) -> List[Dict[str, object]]:
+    """M1: shared indexed scan vs independent per-query scans.
+
+    For each query-mix kind and subscription count the experiment measures
+    one :class:`MultiQueryEvaluator` pass (registration + evaluation) and
+    estimates the cost of running every query as its own full scan by
+    measuring ``sample`` individual scans and scaling linearly — measuring
+    all 500 would dominate the experiment's runtime without changing the
+    shape.  Shared-pass answers are verified against the sampled individual
+    scans.  ``machines`` reports how many distinct TwigM machines served the
+    subscriptions (1 for the duplicate mix, regardless of count).
+    """
+    label_count = max(max(counts), 1)
+    document = build_multiquery_document(
+        label_count=label_count, records=records, seed=seed
+    )
+    doc_mb = len(document.encode("utf-8")) / (1024 * 1024)
+    rows: List[Dict[str, object]] = []
+    for kind in kinds:
+        for count in counts:
+            queries = multiquery_mix(kind, count, label_count=label_count)
+            evaluator = MultiQueryEvaluator()
+            start = time.perf_counter()
+            for index, query in enumerate(queries):
+                evaluator.register(query, name=f"q{index}")
+            results = evaluator.evaluate(document, parser=parser)
+            shared_seconds = time.perf_counter() - start
+
+            sampled = queries[: min(sample, count)]
+            start = time.perf_counter()
+            for index, query in enumerate(sampled):
+                individual = TwigMEvaluator(query).evaluate(document, parser=parser)
+                if results[f"q{index}"].keys() != individual.keys():
+                    raise BenchmarkError(
+                        f"shared pass disagrees with individual scan for {query!r}"
+                    )
+            sample_seconds = time.perf_counter() - start
+            independent_seconds = sample_seconds / len(sampled) * count
+            machines = evaluator.machine_count
+            evaluator.close()  # release the compiled-query cache references
+
+            rows.append(
+                {
+                    "mix": kind,
+                    "queries": count,
+                    "machines": machines,
+                    "doc_mb": round(doc_mb, 3),
+                    "solutions": sum(len(result) for result in results.values()),
+                    "shared_s": round(shared_seconds, 4),
+                    "independent_est_s": round(independent_seconds, 4),
+                    "speedup": round(independent_seconds / max(shared_seconds, 1e-9), 2),
+                    "shared_mb_s": round(doc_mb / max(shared_seconds, 1e-9), 3),
+                }
+            )
     return rows
 
 

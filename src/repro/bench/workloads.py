@@ -186,6 +186,65 @@ def build_random_tree_document(
 
 
 # ---------------------------------------------------------------------------
+# Multi-query subscription workload (M1: subscription scaling)
+# ---------------------------------------------------------------------------
+
+#: The query-mix kinds of the multi-query scaling experiment.
+MULTIQUERY_MIXES = ("disjoint", "overlapping", "duplicate")
+
+
+def build_multiquery_document(
+    label_count: int = 200,
+    records: int = 4000,
+    seed: int = 7,
+) -> str:
+    """Deterministic subscription-stream document for the M1 experiment.
+
+    A flat ``<feed>`` of ``records`` records, each carrying one of
+    ``label_count`` *distinct* tag pairs::
+
+        <r seq="17"><s17><v17>x3</v17></s17></r>
+
+    The per-record tag pairs (``s{i}``/``v{i}``) give the disjoint query mix
+    genuinely disjoint label sets, while the shared ``r`` wrapper gives the
+    overlapping mix a tag every query machine must react to.
+    """
+    rng = random.Random(seed)
+    randrange = rng.randrange
+    parts: List[str] = ["<feed>"]
+    for _ in range(records):
+        i = randrange(label_count)
+        parts.append(
+            f'<r seq="{i}"><s{i}><v{i}>x{randrange(5)}</v{i}></s{i}></r>'
+        )
+    parts.append("</feed>")
+    return "".join(parts)
+
+
+def multiquery_mix(kind: str, count: int, label_count: int = 200) -> List[str]:
+    """Build ``count`` queries of the requested mix over the M1 document.
+
+    * ``disjoint`` — query *i* touches only its own record tags
+      (``//s{i}/v{i}``): the best case for label dispatch, every machine's
+      label set is private.
+    * ``overlapping`` — every query anchors on the shared record wrapper
+      (``//r/s{i}``): each ``<r>`` tag dispatches to *all* machines, the
+      adversarial case where per-event cost degrades towards O(queries).
+    * ``duplicate`` — ``count`` registrations of one identical query:
+      exercises fingerprint dedup (one shared machine regardless of count).
+    """
+    if kind == "disjoint":
+        return [f"//s{i % label_count}/v{i % label_count}" for i in range(count)]
+    if kind == "overlapping":
+        return [f"//r/s{i % label_count}" for i in range(count)]
+    if kind == "duplicate":
+        return ["//r//s0[v0]" for _ in range(count)]
+    raise BenchmarkError(
+        f"unknown multiquery mix {kind!r}; known mixes: {', '.join(MULTIQUERY_MIXES)}"
+    )
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 

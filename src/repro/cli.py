@@ -7,16 +7,19 @@ Subcommands mirror how the original demo system was driven:
 * ``vitex explain QUERY`` — show the parsed query twig and the TwigM machine
   that the builder constructs for it (paper Figure 3).
 * ``vitex generate DATASET`` — write one of the synthetic datasets to a file.
-* ``vitex bench EXPERIMENT`` — run one of the E1–E7 experiments and print the
-  report table.
+* ``vitex bench EXPERIMENT`` — run one of the E1–E8/M1 experiments and print
+  the report table.
+* ``vitex watch QUERIES FILE`` — register many standing queries (one per
+  line) and stream ``[name] solution`` matches as they are found.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from . import __version__
 from .bench import (
@@ -25,12 +28,14 @@ from .bench import (
     run_builder_scaling,
     run_incremental_latency,
     run_memory_stability,
+    run_multiquery_scaling,
     run_pipeline_throughput,
     run_protein_breakdown,
     run_query_size_scaling,
     run_query_variety,
 )
 from .core.engine import TwigMEvaluator
+from .core.multi import MultiQueryEvaluator
 from .core.builder import build_machine
 from .datasets.auction import AuctionConfig, AuctionGenerator
 from .datasets.newsfeed import NewsFeedConfig, NewsFeedGenerator
@@ -77,6 +82,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="print only the solution count"
     )
 
+    watch_parser = subparsers.add_parser(
+        "watch",
+        help="register standing queries from a file and stream matches",
+        description=(
+            "Register every query in QUERIES (one per line; 'name: query' "
+            "assigns a subscription name, bare lines are auto-named, '#' "
+            "starts a comment) and stream '[name] solution' lines as "
+            "matches are found — the paper's stock-ticker subscription "
+            "scenario on the command line."
+        ),
+    )
+    watch_parser.add_argument("queries", help="path to the query file")
+    watch_parser.add_argument("file", help="path to an XML file, or - for stdin")
+    watch_parser.add_argument(
+        "--parser",
+        choices=("native", "pure", "expat"),
+        default="native",
+        help="parser back-end: pure (alias native) or expat (default: native)",
+    )
+    watch_parser.add_argument(
+        "--quiet", action="store_true", help="print only the per-subscription totals"
+    )
+
     explain_parser = subparsers.add_parser("explain", help="show the query twig and TwigM machine")
     explain_parser.add_argument("query", help="XPath expression")
 
@@ -99,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
             "query-variety",
             "incremental-latency",
             "pipeline",
+            "multiquery",
         ),
     )
     bench_parser.add_argument("--quick", action="store_true", help="use reduced problem sizes")
@@ -121,6 +150,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "run":
             return _command_run(args)
+        if args.command == "watch":
+            return _command_watch(args)
         if args.command == "explain":
             return _command_explain(args)
         if args.command == "generate":
@@ -157,6 +188,55 @@ def _command_run(args: argparse.Namespace) -> int:
     if args.stats:
         for key, value in evaluator.statistics.as_dict().items():
             print(f"  {key}: {value}")
+    return 0
+
+
+#: ``name: query`` line in a watch query file (names never start with ``/``,
+#: so there is no ambiguity with bare XPath lines).
+_WATCH_LINE_RE = re.compile(r"^([A-Za-z_][\w.-]*):\s+(.+)$")
+
+
+def _load_watch_queries(path: str) -> List[Tuple[Optional[str], str]]:
+    """Parse a watch query file into ``(name or None, query)`` entries."""
+    entries: List[Tuple[Optional[str], str]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            match = _WATCH_LINE_RE.match(line)
+            if match:
+                entries.append((match.group(1), match.group(2).strip()))
+            else:
+                entries.append((None, line))
+    return entries
+
+
+def _command_watch(args: argparse.Namespace) -> int:
+    entries = _load_watch_queries(args.queries)
+    if not entries:
+        print(f"error: no queries found in {args.queries}", file=sys.stderr)
+        return 1
+    evaluator = MultiQueryEvaluator()
+    for name, query in entries:
+        evaluator.register(query, name=name)
+    if args.file == "-":
+        source = sys.stdin.read()
+    else:
+        source = open(args.file, "rb")
+    try:
+        for name, solution in evaluator.stream(source, parser=args.parser):
+            if not args.quiet:
+                print(f"[{name}] {solution.describe()}")
+    finally:
+        if hasattr(source, "close"):
+            source.close()
+    for subscription in evaluator.subscriptions:
+        print(
+            f"{subscription.name}: {subscription.delivered} solution(s) "
+            f"for {subscription.query}"
+        )
+    evaluator.close()
     return 0
 
 
@@ -224,6 +304,13 @@ def _command_bench(args: argparse.Namespace) -> int:
     elif args.experiment == "incremental-latency":
         rows = [run_incremental_latency(updates=500 if quick else 3000)]
         title = "E7: incremental output latency"
+    elif args.experiment == "multiquery":
+        rows = run_multiquery_scaling(
+            counts=(1, 10, 50) if quick else (1, 10, 50, 200, 500),
+            records=1500 if quick else 4000,
+            sample=10 if quick else 20,
+        )
+        title = "M1: multi-query subscription scaling (indexed dispatch)"
     else:
         rows = run_pipeline_throughput(
             target_bytes=(512 * 1024) if quick else (2 * 1024 * 1024),

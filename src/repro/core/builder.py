@@ -3,14 +3,24 @@
 Construction is a single pre-order walk of the query twig, so it runs in time
 linear in the query size — the property stated as Feature 2 in the paper and
 reproduced by the E4 benchmark.
+
+For multi-query deployments the module additionally provides a ref-counted
+:class:`CompiledQueryCache`: structurally identical queries (as decided by
+:func:`~repro.xpath.fingerprint.query_fingerprint`) share one
+:class:`CompiledQuery`, so the parse → normalize → fingerprint work runs once
+per *distinct* query shape no matter how many subscriptions register it.  The
+:class:`~repro.core.multi.MultiQueryEvaluator` acquires from the process-wide
+:data:`shared_compiled_cache` on register and releases on unregister.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
 
 from ..errors import UnsupportedFeatureError
 from ..xpath.ast import FormulaTrue, NodeKind, QueryNode, QueryTree
+from ..xpath.fingerprint import query_fingerprint
 from ..xpath.normalize import compile_query
 from .machine import MachineNode, TwigMachine, node_needs_string_value
 
@@ -34,6 +44,101 @@ def build_machine(query: Union[str, QueryTree]) -> TwigMachine:
     root = _build_node(tree.root, parent=None, is_predicate_branch=False, nodes=nodes)
     _mark_unconditional_ancestry(root, ancestors_unconditional=True)
     return TwigMachine(query=tree, root=root, nodes=nodes)
+
+
+@dataclass
+class CompiledQuery:
+    """One compiled query shape, shareable between subscriptions.
+
+    Holds the normalized twig plus its canonical fingerprint.  The refcount
+    is managed by :class:`CompiledQueryCache`; holders must not mutate the
+    tree (machines built from it carry all per-run state on their stacks).
+    """
+
+    fingerprint: str
+    tree: QueryTree
+    refcount: int = 0
+
+    def build(self) -> TwigMachine:
+        """Build a fresh TwigM machine for this query."""
+        return build_machine(self.tree)
+
+
+class CompiledQueryCache:
+    """Ref-counted cache of compiled queries keyed by canonical fingerprint.
+
+    ``acquire`` parses/normalizes at most once per distinct source string
+    (a source-text memo front-ends the fingerprint computation) and at most
+    once per distinct query *shape* for the returned :class:`CompiledQuery`.
+    Every ``acquire`` must be paired with a ``release``; an entry is evicted
+    when its refcount drops to zero, so the cache never outgrows the set of
+    acquired-but-unreleased queries.  Holders are responsible for releasing
+    (``MultiQueryEvaluator`` does so on ``unregister()``/``close()``; an
+    evaluator dropped without closing pins its entries).
+    """
+
+    def __init__(self) -> None:
+        self._by_fingerprint: Dict[str, CompiledQuery] = {}
+        self._source_memo: Dict[str, str] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._by_fingerprint)
+
+    def acquire(self, query: Union[str, QueryTree]) -> CompiledQuery:
+        """Return the shared :class:`CompiledQuery` for ``query`` (+1 ref)."""
+        fingerprint: Optional[str] = None
+        tree: Optional[QueryTree] = None
+        if isinstance(query, str):
+            fingerprint = self._source_memo.get(query)
+            if fingerprint is None:
+                tree = compile_query(query)
+                fingerprint = query_fingerprint(tree)
+        else:
+            tree = query
+            fingerprint = query_fingerprint(tree)
+        compiled = self._by_fingerprint.get(fingerprint)
+        if compiled is None:
+            if tree is None:  # memoized fingerprint but evicted entry
+                tree = compile_query(query)  # type: ignore[arg-type]
+            compiled = CompiledQuery(fingerprint=fingerprint, tree=tree)
+            self._by_fingerprint[fingerprint] = compiled
+            self.misses += 1
+        else:
+            self.hits += 1
+        if isinstance(query, str):
+            self._source_memo[query] = fingerprint
+        compiled.refcount += 1
+        return compiled
+
+    def release(self, compiled: CompiledQuery) -> None:
+        """Drop one reference; evict the entry when none remain."""
+        compiled.refcount -= 1
+        if compiled.refcount <= 0:
+            cached = self._by_fingerprint.get(compiled.fingerprint)
+            if cached is compiled:
+                del self._by_fingerprint[compiled.fingerprint]
+                # Drop memoized source strings that point at the evicted
+                # entry so the memo cannot grow without bound.
+                stale = [
+                    source
+                    for source, fingerprint in self._source_memo.items()
+                    if fingerprint == compiled.fingerprint
+                ]
+                for source in stale:
+                    del self._source_memo[source]
+
+    def clear(self) -> None:
+        """Forget every entry and reset the hit/miss counters."""
+        self._by_fingerprint.clear()
+        self._source_memo.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: Process-wide compiled-query cache used by the multi-query engine.
+shared_compiled_cache = CompiledQueryCache()
 
 
 def _is_unconditional(query_node: QueryNode) -> bool:

@@ -31,6 +31,7 @@ from ..xmlstream.events import (
     ProcessingInstruction,
     StartDocument,
     StartElement,
+    as_event_iterable,
 )
 from ..xmlstream.reader import DEFAULT_CHUNK_SIZE, StreamReader, TextSource
 from ..xmlstream.sax import event_batches, iter_events
@@ -295,7 +296,16 @@ class TwigMEvaluator:
                     self.machine, statistics, self.collector, self.eager_emission
                 )
                 reader = StreamReader(source, chunk_size=chunk_size)
-                driver.run(reader.raw_chunks())
+                try:
+                    driver.run(reader.raw_chunks())
+                except Exception:
+                    # Leave the evaluator clean: a later evaluate() must not
+                    # see this failed run's partial stacks or solutions.
+                    self.machine.reset()
+                    self.collector = ResultCollector()
+                    if self.collect_statistics:
+                        self.statistics = EngineStatistics()
+                    raise
                 self._element_order = driver.element_count
                 self._started = True
                 self._finished = True
@@ -407,18 +417,8 @@ class TwigMEvaluator:
 
 
 def _is_event_iterable(source) -> bool:
-    """Best-effort check whether ``source`` is already an iterable of events."""
-    if isinstance(source, (str, bytes)):
-        return False
-    if hasattr(source, "read"):
-        return False
-    if isinstance(source, (list, tuple)):
-        return bool(source) and isinstance(source[0], Event)
-    # Generators of events are common in tests; generators of text chunks are
-    # common in datasets.  Peeking would consume them, so we rely on callers
-    # passing event iterables only as lists/tuples, and treat everything else
-    # as a text-chunk source.
-    return False
+    """Shared sniffing rule: see :func:`repro.xmlstream.events.as_event_iterable`."""
+    return as_event_iterable(source) is not None
 
 
 def evaluate(

@@ -574,4 +574,352 @@ class FusedExpatDriver:
             statistics.events += 1
 
 
-__all__ = ["FusedExpatDriver", "fused_pure_evaluate"]
+# ---------------------------------------------------------------------------
+# Fused multi-query drivers: one scan, label-dispatched machines
+# ---------------------------------------------------------------------------
+
+
+def fused_pure_multi_evaluate(index, document: str, deliveries: list) -> Optional[int]:
+    """Evaluate every indexed machine over one bulk scan of ``document``.
+
+    ``index`` is a :class:`~repro.core.queryindex.QueryIndex`; ``deliveries``
+    is an output list that receives ``(runtime, solutions)`` pairs in
+    emission order.  Deliveries are *buffered* rather than fanned out
+    immediately: when the scan bails out (returns ``None``) the caller
+    resets the machines and replays through the event pipeline, and
+    buffering guarantees no subscriber callback fires twice.
+
+    Returns the element count on success, or ``None`` when the document
+    needs the general pipeline (same bail-out conditions as
+    :func:`fused_pure_evaluate`).
+    """
+    try:
+        return _fused_pure_multi_scan(index, document, deliveries)
+    except XMLSyntaxError:
+        return None
+
+
+def _fused_pure_multi_scan(index, doc: str, deliveries: list) -> Optional[int]:
+    n = len(doc)
+    find = doc.find
+    count = doc.count
+    start_match = _START_TAG_RE.match
+    end_match = _END_TAG_RE.match
+    dispatch = index.dispatch
+    text_runtimes = index.text_runtimes()
+    need_text = bool(text_runtimes)
+    track_lines = "\n" in doc
+
+    open_elements: List[str] = []
+    order = 0
+    index_pos = 0
+    line = 1
+    root_seen = False
+    root_closed = False
+    pending_text = False
+
+    def flush_text() -> None:
+        # One coalesced Characters run ended: count it for the machines that
+        # actually receive character data (matching the indexed feed path,
+        # where only text-collecting machines are dispatched text events).
+        for runtime in text_runtimes:
+            statistics = runtime.statistics
+            if statistics is not None:
+                statistics.text_chunks += 1
+
+    while index_pos < n:
+        lt = find("<", index_pos)
+        if lt == -1:
+            tail = doc[index_pos:]
+            if tail.strip():
+                return None  # trailing content / unclosed element -> replay
+            if track_lines:
+                line += tail.count("\n")
+            index_pos = n
+            break
+        if lt > index_pos:
+            if open_elements:
+                if need_text:
+                    text = doc[index_pos:lt]
+                    if "&" in text:
+                        text = decode_entities(text, line=line)
+                    level = len(open_elements)
+                    for runtime in text_runtimes:
+                        for machine_node in runtime.machine.text_nodes:
+                            for entry in machine_node.stack.entries:
+                                if entry.string_parts is not None:
+                                    entry.string_parts.append(text)
+                                if entry.direct_parts is not None and level == entry.level:
+                                    entry.direct_parts.append(text)
+                    pending_text = True
+                else:
+                    if find("&", index_pos, lt) != -1:
+                        decode_entities(doc[index_pos:lt], line=line)
+                    pending_text = True
+            elif doc[index_pos:lt].strip():
+                return None  # character data outside the root element
+            if track_lines:
+                line += count("\n", index_pos, lt)
+        second = doc[lt + 1] if lt + 1 < n else ""
+        if second == "/":
+            match = end_match(doc, lt)
+            if match is None:
+                return None
+            name = match.group(1)
+            end = match.end()
+            if track_lines:
+                line += count("\n", lt, end)
+            if not open_elements or open_elements[-1] != name:
+                return None  # mismatched end tag -> replay for exact error
+            if pending_text:
+                pending_text = False
+                flush_text()
+            level = len(open_elements)
+            open_elements.pop()
+            if not open_elements:
+                root_closed = True
+            for runtime in dispatch(name):
+                solutions = process_end_element(
+                    runtime.machine, name, level, runtime.statistics,
+                    runtime.collector, eager_emission=runtime.eager,
+                )
+                if solutions:
+                    deliveries.append((runtime, solutions))
+            index_pos = end
+            continue
+        elif second not in ("!", "?", ""):
+            match = start_match(doc, lt)
+            if match is None:
+                return None
+            name, raw_attributes, empty = match.group(1, 2, 3)
+            end = match.end()
+            if track_lines:
+                line += count("\n", lt, end)
+            if root_closed:
+                return None  # second root element -> replay for exact error
+            if raw_attributes:
+                # Raises XMLSyntaxError on duplicates / bad entities, which
+                # the wrapper converts into an event-pipeline replay.
+                attributes = parse_attribute_string(raw_attributes, name, line)
+            else:
+                attributes = ()
+            if pending_text:
+                pending_text = False
+                flush_text()
+            open_elements.append(name)
+            root_seen = True
+            level = len(open_elements)
+            runtimes = dispatch(name)
+            if runtimes:
+                for runtime in runtimes:
+                    process_start_element(
+                        runtime.machine, name, level, attributes, line,
+                        order, runtime.statistics,
+                    )
+            order += 1
+            if empty:
+                open_elements.pop()
+                if not open_elements:
+                    root_closed = True
+                for runtime in runtimes:
+                    solutions = process_end_element(
+                        runtime.machine, name, level, runtime.statistics,
+                        runtime.collector, eager_emission=runtime.eager,
+                    )
+                    if solutions:
+                        deliveries.append((runtime, solutions))
+            index_pos = end
+            continue
+        # -------- uncommon constructs: comments, CDATA, PI, DOCTYPE --------
+        if doc.startswith("<!--", lt):
+            end3 = find("-->", lt + 4)
+            if end3 == -1:
+                return None
+            if pending_text:
+                pending_text = False
+                flush_text()
+            if track_lines:
+                line += count("\n", lt, end3 + 3)
+            index_pos = end3 + 3
+            continue
+        if doc.startswith("<![CDATA[", lt):
+            end3 = find("]]>", lt + 9)
+            if end3 == -1:
+                return None
+            content = doc[lt + 9:end3]
+            if open_elements:
+                if content:
+                    if need_text:
+                        level = len(open_elements)
+                        for runtime in text_runtimes:
+                            for machine_node in runtime.machine.text_nodes:
+                                for entry in machine_node.stack.entries:
+                                    if entry.string_parts is not None:
+                                        entry.string_parts.append(content)
+                                    if entry.direct_parts is not None and level == entry.level:
+                                        entry.direct_parts.append(content)
+                    pending_text = True
+            elif content.strip():
+                return None  # CDATA outside the root element
+            if track_lines:
+                line += count("\n", lt, end3 + 3)
+            index_pos = end3 + 3
+            continue
+        if second == "?":
+            end2 = find("?>", lt + 2)
+            if end2 == -1:
+                return None
+            content = doc[lt + 2:end2]
+            target = content.partition(" ")[0].strip()
+            if target.lower() != "xml":
+                if pending_text:
+                    pending_text = False
+                    flush_text()
+            if track_lines:
+                line += count("\n", lt, end2 + 2)
+            index_pos = end2 + 2
+            continue
+        if doc.startswith("<!DOCTYPE", lt):
+            depth = 0
+            scan = lt
+            doctype_end = -1
+            while scan < n:
+                char = doc[scan]
+                if char == "[":
+                    depth += 1
+                elif char == "]":
+                    depth -= 1
+                elif char == ">" and depth <= 0:
+                    doctype_end = scan + 1
+                    break
+                scan += 1
+            if doctype_end == -1:
+                return None
+            if track_lines:
+                line += count("\n", lt, doctype_end)
+            index_pos = doctype_end
+            continue
+        return None  # anything else: replay through the event pipeline
+
+    if open_elements or not root_seen:
+        return None  # unclosed element / no root -> replay for exact error
+    return order
+
+
+class FusedExpatMultiDriver:
+    """Drive every indexed machine straight from one set of expat callbacks.
+
+    The expat analogue of :func:`fused_pure_multi_evaluate`: each callback
+    consults the label-dispatch index and calls the scalar transition
+    functions only for interested machines.  Unlike the pure scan, solutions
+    are delivered (fanned out to subscribers) immediately as they are found —
+    expat either completes or raises, there is no replay, so immediate
+    delivery matches the incremental semantics of the event pipeline.
+    """
+
+    def __init__(self, index) -> None:
+        parser = expat.ParserCreate()
+        parser.buffer_text = True
+        parser.ordered_attributes = True
+        parser.StartElementHandler = self._start_element
+        parser.EndElementHandler = self._end_element
+        self._index = index
+        self._text_runtimes = index.text_runtimes()
+        if self._text_runtimes:
+            parser.CharacterDataHandler = self._characters
+            parser.CommentHandler = self._misc
+            parser.ProcessingInstructionHandler = self._misc
+        self._parser = parser
+        self._dispatch = index.dispatch
+        self._level = 0
+        self._order = 0
+        self._pending_text = False
+
+    @property
+    def element_count(self) -> int:
+        """Number of start tags processed so far."""
+        return self._order
+
+    def run(self, chunks) -> None:
+        """Consume the whole document from an iterable of str/bytes chunks."""
+        parser = self._parser
+        fed_bytes = False
+        try:
+            for chunk in chunks:
+                if isinstance(chunk, bytes):
+                    fed_bytes = True
+                parser.Parse(chunk, False)
+            parser.Parse(b"" if fed_bytes else "", True)
+        except expat.ExpatError as exc:
+            raise XMLSyntaxError(
+                str(exc),
+                line=getattr(exc, "lineno", None),
+                column=getattr(exc, "offset", None),
+            ) from exc
+        self._flush_pending()
+
+    # ------------------------------------------------------ expat callbacks
+
+    def _flush_pending(self) -> None:
+        if self._pending_text:
+            self._pending_text = False
+            for runtime in self._text_runtimes:
+                statistics = runtime.statistics
+                if statistics is not None:
+                    statistics.text_chunks += 1
+
+    def _start_element(self, name: str, attributes: List[str]) -> None:
+        if self._pending_text:
+            self._flush_pending()
+        level = self._level + 1
+        self._level = level
+        order = self._order
+        self._order = order + 1
+        runtimes = self._dispatch(name)
+        if not runtimes:
+            return
+        pairs = tuple(zip(attributes[0::2], attributes[1::2])) if attributes else ()
+        line = self._parser.CurrentLineNumber
+        for runtime in runtimes:
+            process_start_element(
+                runtime.machine, name, level, pairs, line, order,
+                runtime.statistics,
+            )
+
+    def _end_element(self, name: str) -> None:
+        if self._pending_text:
+            self._flush_pending()
+        level = self._level
+        self._level = level - 1
+        for runtime in self._dispatch(name):
+            solutions = process_end_element(
+                runtime.machine, name, level, runtime.statistics,
+                runtime.collector, eager_emission=runtime.eager,
+            )
+            if solutions:
+                runtime.deliver(solutions)
+
+    def _characters(self, data: str) -> None:
+        level = self._level
+        if level <= 0:
+            return
+        self._pending_text = True
+        for runtime in self._text_runtimes:
+            for machine_node in runtime.machine.text_nodes:
+                for entry in machine_node.stack.entries:
+                    if entry.string_parts is not None:
+                        entry.string_parts.append(data)
+                    if entry.direct_parts is not None and level == entry.level:
+                        entry.direct_parts.append(data)
+
+    def _misc(self, *args) -> None:
+        if self._pending_text:
+            self._flush_pending()
+
+
+__all__ = [
+    "FusedExpatDriver",
+    "FusedExpatMultiDriver",
+    "fused_pure_evaluate",
+    "fused_pure_multi_evaluate",
+]

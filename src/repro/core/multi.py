@@ -1,28 +1,89 @@
-"""Multi-query evaluation: share one sequential scan across many queries.
+"""Multi-query evaluation: an indexed subscription engine over one scan.
 
 E1 shows that SAX parsing dominates end-to-end cost, so a system serving many
 standing subscriptions (the stock-ticker scenario from the paper's
-motivation) should not parse the stream once per query.
-:class:`MultiQueryEvaluator` registers any number of TwigM machines and
-drives them all from a single event stream; each query still gets its own
-stacks, statistics and incremental results.
+motivation) should not parse the stream once per query — and, past a few
+dozen subscriptions, should not even *dispatch* every event to every query.
+:class:`MultiQueryEvaluator` therefore layers three sharing mechanisms:
 
-This is an extension beyond the paper's demo (which evaluates one query per
-run); the ablation benchmark ``benchmarks/test_bench_ablations.py`` measures
-the saving against running one full pass per query.
+1. **Shared compilation** — queries are keyed by their canonical fingerprint
+   (:mod:`repro.xpath.fingerprint`) through the ref-counted
+   :data:`~repro.core.builder.shared_compiled_cache`, so structurally
+   identical queries parse and normalize once.
+2. **Shared machines** — subscriptions whose queries have equal fingerprints
+   share one TwigM machine (:class:`~repro.core.queryindex.QueryRuntime`);
+   solutions fan out to every subscriber.
+3. **Label dispatch** — a :class:`~repro.core.queryindex.QueryIndex` maps
+   each element tag to the machines whose label sets can match it, so a
+   start/end event touches only interested machines and per-event cost is
+   O(matching machines), not O(registered queries).  Character data reaches
+   only text-collecting machines.
+
+``evaluate()`` additionally engages fused multi-query fast paths
+(:mod:`repro.core.fastpath`) that drive the dispatch index straight from the
+bulk scanner (pure) or expat callbacks, with no event objects at all.
+
+Subscription lifecycle
+----------------------
+
+* :meth:`register` — allowed until the stream finishes, including
+  *mid-stream*: a machine registered mid-stream starts with empty stacks and
+  its results cover only the remainder of the stream (end tags for elements
+  it never saw pop nothing; levels are absolute, so axis checks stay
+  correct).  To keep that guarantee unconditional, mid-stream registrations
+  always get a *private* machine — they never attach to a warm shared one,
+  even for a structurally identical query.
+* :meth:`unregister` — allowed any time; drops the subscription, and tears
+  down the machine and its compiled-cache reference when the last
+  subscriber of that query shape leaves.
+* :meth:`close` (also the context-manager exit) — unregisters everything;
+  long-running processes that churn through evaluator instances should
+  close them so the process-wide compiled-query cache can evict.
+* :meth:`pause` / :meth:`resume` — per-subscription delivery control.  A
+  paused subscription receives no callbacks and no ``(name, solution)``
+  pairs and its ``delivered`` counter freezes, but the shared machine keeps
+  running, so :meth:`results` stays complete and ``resume`` needs no replay.
+
+Callback-exception semantics
+----------------------------
+
+A ``callback`` that raises does not poison the stream or other
+subscriptions: the exception is caught, counted in
+``Subscription.callback_errors`` and stored in
+``Subscription.last_callback_error``, and delivery continues (the solution
+still counts as ``delivered`` and is still collected for pull-style access).
+
+Statistics semantics
+--------------------
+
+Per-subscription statistics describe only the work *dispatched to that
+machine*: element/attribute counters cover the label classes the machine is
+interested in, and text counters cover text-collecting machines only.
+Solution counters (``solutions_distinct`` etc.) are exact.  Event-level
+totals can differ between the fused and event-pipeline drivers; the
+``(name, solution)`` output streams never do.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from ..errors import EngineError
-from ..xmlstream.events import Event
-from ..xmlstream.reader import DEFAULT_CHUNK_SIZE, TextSource
+from ..xmlstream.events import (
+    Characters,
+    EndElement,
+    Event,
+    StartElement,
+    as_event_iterable,
+)
+from ..xmlstream.reader import DEFAULT_CHUNK_SIZE, StreamReader, TextSource
 from ..xmlstream.sax import event_batches, iter_events
 from ..xpath.ast import QueryTree
+from .builder import shared_compiled_cache
 from .engine import TwigMEvaluator
+from .fastpath import FusedExpatMultiDriver, fused_pure_multi_evaluate
+from .queryindex import QueryIndex, QueryRuntime
 from .results import ResultSet, Solution
 
 
@@ -31,24 +92,58 @@ class Subscription:
     """One registered query inside a :class:`MultiQueryEvaluator`."""
 
     name: str
-    evaluator: TwigMEvaluator
-    #: Number of solutions delivered so far.
+    #: The query text exactly as registered (shared machines may serve
+    #: differently-spelled but structurally identical queries).
+    source: str
+    #: The shared runtime (machine + evaluator) serving this subscription.
+    runtime: QueryRuntime = field(repr=False)
+    #: Number of solutions delivered so far (frozen while paused).
     delivered: int = 0
     #: Optional callback invoked with every solution as it is found.
-    callback: Optional[object] = None
+    callback: Optional[Callable[[Solution], None]] = None
+    #: While True, no callbacks fire and no pairs are emitted for this
+    #: subscription; the shared machine keeps running (see module docstring).
+    paused: bool = False
+    #: Number of callback invocations that raised (see module docstring).
+    callback_errors: int = 0
+    #: The most recent exception raised by the callback, if any.
+    last_callback_error: Optional[BaseException] = None
 
     @property
     def query(self) -> str:
         """The subscription's query text."""
-        return self.evaluator.query.source
+        return self.source
+
+    @property
+    def evaluator(self) -> TwigMEvaluator:
+        """The (possibly shared) evaluator serving this subscription."""
+        return self.runtime.evaluator
+
+    def pause(self) -> None:
+        """Stop push-style delivery for this subscription."""
+        self.paused = True
+
+    def resume(self) -> None:
+        """Resume push-style delivery for this subscription."""
+        self.paused = False
 
 
 class MultiQueryEvaluator:
     """Evaluate many XPath queries over one single pass of an XML stream."""
 
-    def __init__(self) -> None:
+    def __init__(self, collect_statistics: bool = True) -> None:
         self._subscriptions: Dict[str, Subscription] = {}
+        self._index = QueryIndex()
+        self._by_fingerprint: Dict[str, QueryRuntime] = {}
+        self._collect_statistics = collect_statistics
+        self._auto_name_counter = 0
+        #: Global element pre-order counter.  Machines under label dispatch
+        #: see only a subset of start tags, so the engine owns the document
+        #: pre-order (the canonical solution identity) and injects it into
+        #: each dispatched evaluator per event.
+        self._element_order = 0
         self._finished = False
+        self._started = False
 
     # ------------------------------------------------------------ setup
 
@@ -56,29 +151,120 @@ class MultiQueryEvaluator:
         self,
         query: Union[str, QueryTree],
         name: Optional[str] = None,
-        callback: Optional[object] = None,
+        callback: Optional[Callable[[Solution], None]] = None,
     ) -> Subscription:
         """Register a query; returns its :class:`Subscription` handle.
 
         ``callback``, when given, is called with each :class:`Solution` the
         moment it is known (push-style delivery); results are also always
-        collected for pull-style access via :meth:`results`.
+        collected for pull-style access via :meth:`results`.  Registration
+        is allowed mid-stream (see the module docstring for the semantics)
+        but not after the stream has finished.
         """
         if self._finished:
             raise EngineError("cannot register queries after the stream was processed")
-        evaluator = TwigMEvaluator(query)
         if name is None:
-            name = f"q{len(self._subscriptions)}"
-        if name in self._subscriptions:
+            while True:
+                name = f"q{self._auto_name_counter}"
+                self._auto_name_counter += 1
+                if name not in self._subscriptions:
+                    break
+        elif name in self._subscriptions:
             raise EngineError(f"a subscription named {name!r} already exists")
-        subscription = Subscription(name=name, evaluator=evaluator, callback=callback)
+        source = query if isinstance(query, str) else query.source
+        compiled = shared_compiled_cache.acquire(query)
+        # Machine sharing is only sound between subscriptions that joined at
+        # the same stream position: a mid-stream registration attaching to a
+        # warm shared machine would inherit its full history, contradicting
+        # the remainder-only mid-stream semantics.  Mid-stream registrations
+        # therefore always get a private machine (compilation is still
+        # shared through the cache).
+        share = not self._started
+        runtime = self._by_fingerprint.get(compiled.fingerprint) if share else None
+        if runtime is None:
+            try:
+                evaluator = TwigMEvaluator(
+                    compiled.tree, collect_statistics=self._collect_statistics
+                )
+            except Exception:
+                shared_compiled_cache.release(compiled)
+                raise
+            runtime = QueryRuntime(compiled, evaluator)
+            if share:
+                self._by_fingerprint[compiled.fingerprint] = runtime
+            self._index.add(runtime)
+        subscription = Subscription(
+            name=name, source=source, runtime=runtime, callback=callback
+        )
+        runtime.subscribers.append(subscription)
         self._subscriptions[name] = subscription
         return subscription
+
+    def unregister(self, name: str) -> Subscription:
+        """Remove a subscription (allowed mid-stream); returns its handle.
+
+        When the last subscriber of a query shape leaves, its machine is
+        removed from the dispatch index and the compiled-query cache
+        reference is released.
+        """
+        subscription = self._subscriptions.pop(name, None)
+        if subscription is None:
+            raise EngineError(f"no subscription named {name!r}")
+        runtime = subscription.runtime
+        runtime.subscribers.remove(subscription)
+        if not runtime.subscribers:
+            self._index.remove(runtime)
+            # Mid-stream (private) runtimes are not in the sharing map, and
+            # a private runtime's fingerprint may be claimed by a different
+            # shared runtime.
+            if self._by_fingerprint.get(runtime.fingerprint) is runtime:
+                del self._by_fingerprint[runtime.fingerprint]
+        shared_compiled_cache.release(runtime.compiled)
+        return subscription
+
+    def close(self) -> None:
+        """Unregister every subscription, releasing compiled-cache references.
+
+        Idempotent.  Without it, a dropped evaluator pins its queries in the
+        process-wide :data:`~repro.core.builder.shared_compiled_cache`.
+        """
+        for name in list(self._subscriptions):
+            self.unregister(name)
+
+    def __enter__(self) -> "MultiQueryEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def pause(self, name: str) -> None:
+        """Pause push-style delivery for the named subscription."""
+        self._subscription(name).pause()
+
+    def resume(self, name: str) -> None:
+        """Resume push-style delivery for the named subscription."""
+        self._subscription(name).resume()
+
+    def _subscription(self, name: str) -> Subscription:
+        try:
+            return self._subscriptions[name]
+        except KeyError:
+            raise EngineError(f"no subscription named {name!r}") from None
 
     @property
     def subscriptions(self) -> List[Subscription]:
         """The registered subscriptions, in registration order."""
         return list(self._subscriptions.values())
+
+    @property
+    def machine_count(self) -> int:
+        """Number of distinct TwigM machines (≤ number of subscriptions)."""
+        return len(self._index)
+
+    @property
+    def index(self) -> QueryIndex:
+        """The label-dispatch index (diagnostics; treat as read-only)."""
+        return self._index
 
     def __len__(self) -> int:
         return len(self._subscriptions)
@@ -86,20 +272,46 @@ class MultiQueryEvaluator:
     # ------------------------------------------------------------ running
 
     def feed(self, event: Event) -> List[Tuple[str, Solution]]:
-        """Feed one event to every registered machine.
+        """Feed one event through the dispatch index.
 
         Returns ``(subscription name, solution)`` pairs that became known
-        with this event.
+        with this event.  Pairs are grouped by machine in machine
+        registration order; subscribers sharing a machine receive
+        consecutive pairs.
         """
         if not self._subscriptions:
             raise EngineError("no queries registered")
         emitted: List[Tuple[str, Solution]] = []
-        for subscription in self._subscriptions.values():
-            for solution in subscription.evaluator.feed(event):
-                subscription.delivered += 1
-                if subscription.callback is not None:
-                    subscription.callback(solution)
-                emitted.append((subscription.name, solution))
+        cls = event.__class__
+        if cls is StartElement or isinstance(event, StartElement):
+            self._started = True
+            # Inject the *global* pre-order index: a dispatched machine's own
+            # counter would only count the start tags it was shown, breaking
+            # the canonical NodeRef identity shared with single-query runs.
+            order = self._element_order
+            self._element_order = order + 1
+            for runtime in self._index.dispatch(event.name):
+                evaluator = runtime.evaluator
+                evaluator._element_order = order
+                evaluator.feed(event)  # start tags never emit solutions
+            return emitted
+        if cls is EndElement or isinstance(event, EndElement):
+            self._started = True
+            for runtime in self._index.dispatch(event.name):
+                solutions = runtime.evaluator.feed(event)
+                if solutions:
+                    runtime.deliver(solutions, emitted)
+            return emitted
+        if cls is Characters or isinstance(event, Characters):
+            for runtime in self._index.text_runtimes():
+                runtime.evaluator.feed(event)  # text never emits solutions
+            return emitted
+        # Rare events (document boundaries, comments, PIs) go to every
+        # machine: EndDocument in particular validates stack emptiness.
+        for runtime in self._index.runtimes:
+            solutions = runtime.evaluator.feed(event)
+            if solutions:
+                runtime.deliver(solutions, emitted)
         return emitted
 
     def stream(
@@ -109,10 +321,8 @@ class MultiQueryEvaluator:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
     ) -> Iterator[Tuple[str, Solution]]:
         """Yield ``(subscription name, solution)`` pairs incrementally."""
-        events: Iterable[Event]
-        if isinstance(source, (list, tuple)) and source and isinstance(source[0], Event):
-            events = source
-        else:
+        events = as_event_iterable(source)
+        if events is None:
             events = iter_events(source, parser=parser, chunk_size=chunk_size)
         for event in events:
             for pair in self.feed(event):
@@ -127,14 +337,56 @@ class MultiQueryEvaluator:
     ) -> Dict[str, ResultSet]:
         """Consume the whole stream and return a result set per subscription.
 
-        Consumes event *batches* (one list per fed chunk) rather than the
-        per-event generator used by :meth:`stream`, saving one generator
-        resumption per event on the single shared scan.
+        Fresh evaluators over document sources use the fused multi-query
+        fast paths: a single bulk scan (pure) or direct expat callbacks
+        driving the dispatch index with no event objects.  Event iterables
+        and mid-stream continuations run through the event pipeline.
         """
-        if isinstance(source, (list, tuple)) and source and isinstance(source[0], Event):
-            for _ in self.stream(source, parser=parser, chunk_size=chunk_size):
+        events = as_event_iterable(source)
+        if events is not None:
+            for _ in self.stream(events, parser=parser, chunk_size=chunk_size):
                 pass
             return self.results()
+        if not self._subscriptions:
+            raise EngineError("no queries registered")
+        if not self._started and not self._finished:
+            for runtime in self._index.runtimes:
+                runtime.sync()
+            if (
+                parser in ("native", "pure")
+                and isinstance(source, str)
+                and not StreamReader._looks_like_path(source)
+            ):
+                deliveries: List[Tuple[QueryRuntime, List[Solution]]] = []
+                elements = fused_pure_multi_evaluate(self._index, source, deliveries)
+                if elements is not None:
+                    for runtime, solutions in deliveries:
+                        runtime.deliver(solutions)
+                    self._mark_finished(elements)
+                    return self.results()
+                # Construct the fast scan could not handle (or a syntax
+                # error): reset the partial state and replay through the
+                # event pipeline.  Deliveries were buffered, so no callback
+                # fires twice.
+                for runtime in self._index.runtimes:
+                    runtime.evaluator.reset()
+                    runtime.sync()
+            elif parser == "expat":
+                driver = FusedExpatMultiDriver(self._index)
+                reader = StreamReader(source, chunk_size=chunk_size)
+                try:
+                    driver.run(reader.raw_chunks())
+                except Exception:
+                    # Leave the machines clean so a later evaluate() cannot
+                    # mix this failed run's partial state (or collected
+                    # solutions) into its answers.  Callbacks that already
+                    # fired stay fired — delivery is incremental by design.
+                    for runtime in self._index.runtimes:
+                        runtime.evaluator.reset()
+                        runtime.sync()
+                    raise
+                self._mark_finished(driver.element_count)
+                return self.results()
         feed = self.feed
         for batch in event_batches(source, parser=parser, chunk_size=chunk_size):
             for event in batch:
@@ -142,26 +394,47 @@ class MultiQueryEvaluator:
         self._finished = True
         return self.results()
 
+    def _mark_finished(self, element_count: int) -> None:
+        """Record stream completion on every runtime after a fused run."""
+        for runtime in self._index.runtimes:
+            evaluator = runtime.evaluator
+            evaluator._element_order = element_count
+            evaluator._started = True
+            evaluator._finished = True
+        self._element_order = element_count
+        self._started = True
+        self._finished = True
+
     def results(self) -> Dict[str, ResultSet]:
         """Result sets accumulated so far, keyed by subscription name."""
-        return {
-            name: subscription.evaluator.finish()
-            for name, subscription in self._subscriptions.items()
-        }
+        results: Dict[str, ResultSet] = {}
+        for name, subscription in self._subscriptions.items():
+            base = subscription.runtime.evaluator.finish()
+            if base.query != subscription.source:
+                base = ResultSet(query=subscription.source, solutions=list(base.solutions))
+            results[name] = base
+        return results
 
     def statistics(self) -> Dict[str, Dict[str, int]]:
-        """Engine counters per subscription."""
+        """Engine counters per subscription (see the module docstring for
+        what the counters mean under label dispatch)."""
         return {
-            name: subscription.evaluator.statistics.as_dict()
+            name: subscription.runtime.evaluator.statistics.as_dict()
             for name, subscription in self._subscriptions.items()
         }
 
     def reset(self) -> None:
         """Reset every registered machine so another stream can be processed."""
+        for runtime in self._index.runtimes:
+            runtime.evaluator.reset()
+            runtime.sync()
         for subscription in self._subscriptions.values():
-            subscription.evaluator.reset()
             subscription.delivered = 0
+            subscription.callback_errors = 0
+            subscription.last_callback_error = None
+        self._element_order = 0
         self._finished = False
+        self._started = False
 
 
 def evaluate_many(
@@ -170,8 +443,8 @@ def evaluate_many(
     parser: str = "native",
 ) -> Dict[str, ResultSet]:
     """Evaluate several queries over one pass; keys are the query strings."""
-    evaluator = MultiQueryEvaluator()
-    for query in queries:
-        tree_source = query if isinstance(query, str) else query.source
-        evaluator.register(query, name=tree_source)
-    return evaluator.evaluate(source, parser=parser)
+    with MultiQueryEvaluator() as evaluator:
+        for query in queries:
+            tree_source = query if isinstance(query, str) else query.source
+            evaluator.register(query, name=tree_source)
+        return evaluator.evaluate(source, parser=parser)

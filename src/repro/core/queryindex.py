@@ -1,0 +1,227 @@
+"""Label-dispatch index over many TwigM machines: the subscription engine core.
+
+Feeding every stream event to every registered machine makes per-event cost
+O(total machines) — unusable for the paper's motivating scenario of very many
+standing subscriptions over one stream.  This module provides the structure
+that makes the multi-query path scale: at registration time each machine's
+*relevant label set* is extracted (the non-wildcard tag names its machine
+nodes can match), and events are then dispatched only to the machines whose
+label set contains the event's tag.
+
+Dispatch classes:
+
+* **exact labels** — a machine node with label ``a`` makes the machine
+  interested in every ``<a>`` start/end tag;
+* **wildcard class** — a machine containing a ``*`` node must see every
+  element event (``//*/@id`` and friends);
+* **text class** — machines whose entries accumulate character data (value
+  tests, ``text()`` output) receive character events; all others never see
+  text at all.
+
+Skipping a machine for a non-matching tag is semantically a no-op: the
+transition functions would have found an empty ``nodes_matching`` list and
+returned immediately.  The index turns that per-machine no-op into a single
+dictionary probe shared by all machines.  (Per-machine *statistics* under the
+index describe only the events actually dispatched to that machine — see
+``MultiQueryEvaluator``'s docstring.)
+
+Axis structure (``/`` vs ``//`` edges) deliberately does not participate in
+dispatch: the label sets already bound which machines can react to a tag, and
+the *within*-machine axis checks are the per-node transition guards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple, TYPE_CHECKING
+
+from .builder import CompiledQuery
+from .engine import TwigMEvaluator
+from .machine import TwigMachine
+from .results import ResultCollector, Solution
+from .statistics import EngineStatistics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (multi imports us)
+    from .multi import Subscription
+
+
+def machine_label_profile(machine: TwigMachine) -> Tuple[FrozenSet[str], bool]:
+    """Return ``(labels, has_wildcard)`` for a machine.
+
+    ``labels`` are the exact element tag names the machine's nodes match;
+    ``has_wildcard`` is True when any machine node matches every tag, in
+    which case the machine belongs to the every-element dispatch class and
+    its exact labels are irrelevant.  Attribute and ``text()`` query nodes
+    resolve on their *owner* element's events, so only element machine nodes
+    contribute.
+    """
+    labels = set()
+    has_wildcard = False
+    for node in machine.nodes:
+        if node.is_wildcard:
+            has_wildcard = True
+        else:
+            labels.add(node.label)
+    return frozenset(labels), has_wildcard
+
+
+class QueryRuntime:
+    """One running machine inside the index, shared by its subscribers.
+
+    Structurally identical queries (equal fingerprints) map to a single
+    runtime: the machine runs once per stream and its solutions fan out to
+    every subscriber.  The hot-loop attributes (``machine``, ``statistics``,
+    ``collector``, ``eager``) are cached copies of the evaluator's state and
+    must be refreshed via :meth:`sync` after :meth:`TwigMEvaluator.reset`.
+    """
+
+    __slots__ = (
+        "compiled",
+        "evaluator",
+        "subscribers",
+        "labels",
+        "wildcard",
+        "needs_text",
+        "machine",
+        "statistics",
+        "collector",
+        "eager",
+    )
+
+    def __init__(self, compiled: CompiledQuery, evaluator: TwigMEvaluator) -> None:
+        self.compiled = compiled
+        self.evaluator = evaluator
+        self.subscribers: List["Subscription"] = []
+        self.labels, self.wildcard = machine_label_profile(evaluator.machine)
+        self.needs_text = bool(evaluator.machine.text_nodes)
+        self.sync()
+
+    @property
+    def fingerprint(self) -> str:
+        """Canonical fingerprint of the runtime's query shape."""
+        return self.compiled.fingerprint
+
+    def sync(self) -> None:
+        """Refresh the cached hot-loop references from the evaluator."""
+        evaluator = self.evaluator
+        self.machine: TwigMachine = evaluator.machine
+        self.statistics: Optional[EngineStatistics] = (
+            evaluator.statistics if evaluator.collect_statistics else None
+        )
+        self.collector: ResultCollector = evaluator.collector
+        self.eager: bool = evaluator.eager_emission
+
+    def deliver(self, solutions: List[Solution], emitted=None) -> None:
+        """Fan ``solutions`` out to every active subscriber.
+
+        Paused subscribers are skipped entirely (no callback, no pair in the
+        incremental stream, no ``delivered`` increment); the shared machine
+        keeps running, so the pull-style result set stays complete.  A
+        callback that raises is isolated: the exception is recorded on the
+        subscription (``callback_errors`` / ``last_callback_error``) and
+        delivery continues for the remaining solutions and subscribers.
+        """
+        for subscription in self.subscribers:
+            if subscription.paused:
+                continue
+            name = subscription.name
+            callback = subscription.callback
+            for solution in solutions:
+                subscription.delivered += 1
+                if callback is not None:
+                    try:
+                        callback(solution)
+                    except Exception as exc:  # isolation: one bad callback
+                        subscription.callback_errors += 1
+                        subscription.last_callback_error = exc
+                if emitted is not None:
+                    emitted.append((name, solution))
+
+
+class QueryIndex:
+    """label → interested-runtimes dispatch index.
+
+    Runtimes are kept in registration order and every dispatch list preserves
+    that order, so the multi-query engine's output ordering is independent of
+    which dispatch class a runtime sits in.  Dispatch lists are cached per
+    tag and invalidated on registration changes; documents have few distinct
+    tags relative to their element count, so after warm-up a dispatch is one
+    dict probe.
+    """
+
+    def __init__(self) -> None:
+        self._runtimes: List[QueryRuntime] = []
+        self._dispatch_cache: Dict[str, List[QueryRuntime]] = {}
+        self._text_runtimes: Optional[List[QueryRuntime]] = None
+
+    # ------------------------------------------------------------ mutation
+
+    def add(self, runtime: QueryRuntime) -> None:
+        """Register a runtime (invalidates the dispatch caches)."""
+        self._runtimes.append(runtime)
+        self._dispatch_cache.clear()
+        self._text_runtimes = None
+
+    def remove(self, runtime: QueryRuntime) -> None:
+        """Remove a runtime (invalidates the dispatch caches)."""
+        self._runtimes.remove(runtime)
+        self._dispatch_cache.clear()
+        self._text_runtimes = None
+
+    # ------------------------------------------------------------ queries
+
+    def __len__(self) -> int:
+        return len(self._runtimes)
+
+    @property
+    def runtimes(self) -> List[QueryRuntime]:
+        """All registered runtimes, in registration order."""
+        return list(self._runtimes)
+
+    def dispatch(self, tag: str) -> List[QueryRuntime]:
+        """Runtimes interested in element events named ``tag``."""
+        cached = self._dispatch_cache.get(tag)
+        if cached is None:
+            cached = [
+                runtime
+                for runtime in self._runtimes
+                if runtime.wildcard or tag in runtime.labels
+            ]
+            self._dispatch_cache[tag] = cached
+        return cached
+
+    def text_runtimes(self) -> List[QueryRuntime]:
+        """Runtimes whose machines accumulate character data."""
+        cached = self._text_runtimes
+        if cached is None:
+            cached = [runtime for runtime in self._runtimes if runtime.needs_text]
+            self._text_runtimes = cached
+        return cached
+
+    def label_classes(self) -> Dict[str, int]:
+        """Label → number of interested runtimes (diagnostics / reports)."""
+        counts: Dict[str, int] = {}
+        for runtime in self._runtimes:
+            for label in runtime.labels:
+                counts[label] = counts.get(label, 0) + 1
+        return counts
+
+    def describe(self) -> str:
+        """Multi-line description of the index (CLI diagnostics)."""
+        wildcard = sum(1 for runtime in self._runtimes if runtime.wildcard)
+        text = len(self.text_runtimes())
+        lines = [
+            f"QueryIndex: {len(self._runtimes)} machine(s), "
+            f"{len(self.label_classes())} distinct label(s), "
+            f"{wildcard} wildcard, {text} text-collecting"
+        ]
+        for runtime in self._runtimes:
+            names = ", ".join(sub.name for sub in runtime.subscribers)
+            labels = "*" if runtime.wildcard else ",".join(sorted(runtime.labels))
+            lines.append(
+                f"  {runtime.evaluator.query.source!r} -> [{labels}] "
+                f"subscribers: {names or '-'}"
+            )
+        return "\n".join(lines)
+
+
+__all__ = ["QueryIndex", "QueryRuntime", "machine_label_profile"]

@@ -127,6 +127,34 @@ for _event_class in (
 del _event_class
 
 
+def as_event_iterable(source) -> Optional[Iterable[Event]]:
+    """Return ``source`` when it is a recognizable iterable of events, else None.
+
+    This is the one shared sniffing rule used by every evaluator entry point
+    that accepts either a text source or pre-produced events:
+
+    * ``str`` / ``bytes`` / file-like objects are always text sources;
+    * a ``list`` or ``tuple`` whose first element is an :class:`Event` is an
+      event iterable (the first element decides — mixing events with
+      non-events in one list is an error the consuming ``feed`` reports);
+    * an *empty* ``list``/``tuple`` is treated as an empty event stream
+      (there is no document to tokenize in it, so routing it through a
+      parser could only manufacture a misleading syntax error);
+    * generators and other lazy iterables cannot be sniffed without
+      consuming them and are therefore always treated as text-chunk
+      sources — callers holding lazy event streams must materialize them
+      into a list first.
+    """
+    if isinstance(source, (str, bytes)):
+        return None
+    if hasattr(source, "read"):
+        return None
+    if isinstance(source, (list, tuple)):
+        if not source or isinstance(source[0], Event):
+            return source
+    return None
+
+
 def is_structural(event: Event) -> bool:
     """Return True for events that change the element structure of the tree."""
     return isinstance(event, (StartElement, EndElement))

@@ -1,0 +1,103 @@
+"""Canonical query fingerprints: one identity per *normalized* query twig.
+
+Two XPath expressions that differ only in surface syntax (whitespace,
+redundant parentheses, the ``//@id`` → ``//*/@id`` expansion) normalize to
+structurally identical query twigs and therefore drive identical TwigM
+machines.  A subscription engine serving many standing queries should compile
+such queries once and share one machine between them; the fingerprint
+computed here is the cache key that makes the sharing safe.
+
+The fingerprint is a deterministic string serialization of the normalized
+twig covering everything evaluation depends on:
+
+* node labels, kinds (element / attribute / text) and incoming axes,
+* the output-node marker,
+* value tests, including the string-vs-numeric comparison distinction
+  (``[a='1']`` and ``[a=1]`` have different semantics and different
+  fingerprints),
+* the boolean predicate formulas, with query-node ids renumbered to
+  pre-order positions so allocation order never leaks into the identity.
+
+Equal fingerprints guarantee identical evaluation behaviour; unequal
+fingerprints make no claim (semantically equivalent but structurally
+different queries, e.g. ``//a[b][c]`` vs ``//a[c][b]``, hash apart — the
+cache then merely misses a sharing opportunity).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from .ast import (
+    ChildAtom,
+    Formula,
+    FormulaAnd,
+    FormulaNot,
+    FormulaOr,
+    FormulaTrue,
+    QueryNode,
+    QueryTree,
+    SelfTextAtom,
+    ValueTest,
+)
+from .normalize import compile_query
+
+
+def query_fingerprint(query: Union[str, QueryTree]) -> str:
+    """Return the canonical fingerprint of ``query``.
+
+    Accepts an XPath expression string (compiled on the fly) or an
+    already-normalized :class:`~repro.xpath.ast.QueryTree`.
+    """
+    tree = compile_query(query) if isinstance(query, str) else query
+    # Pre-order renumbering: node ids are allocation order, which is already
+    # deterministic, but renumbering makes the fingerprint independent of how
+    # the twig was produced (hand-built trees included).
+    canonical_ids: Dict[int, int] = {
+        node.node_id: index for index, node in enumerate(tree.nodes())
+    }
+    return _node_fingerprint(tree.root, canonical_ids)
+
+
+def _value_test_fingerprint(test: ValueTest) -> str:
+    kind = "num" if test.is_numeric else "str"
+    return f"{test.op.value}:{kind}:{test.value!r}"
+
+
+def _formula_fingerprint(formula: Formula, ids: Dict[int, int]) -> str:
+    if isinstance(formula, FormulaTrue):
+        return "T"
+    if isinstance(formula, ChildAtom):
+        return f"child({ids[formula.node_id]})"
+    if isinstance(formula, SelfTextAtom):
+        return f"self({_value_test_fingerprint(formula.test)})"
+    if isinstance(formula, FormulaAnd):
+        inner = ",".join(_formula_fingerprint(op, ids) for op in formula.operands)
+        return f"and({inner})"
+    if isinstance(formula, FormulaOr):
+        inner = ",".join(_formula_fingerprint(op, ids) for op in formula.operands)
+        return f"or({inner})"
+    if isinstance(formula, FormulaNot):
+        return f"not({_formula_fingerprint(formula.operand, ids)})"
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def _node_fingerprint(node: QueryNode, ids: Dict[int, int]) -> str:
+    parts = [node.axis.value, node.kind.value, node.label]
+    if node.is_output:
+        parts.append("out")
+    if node.value_test is not None:
+        parts.append(f"value<{_value_test_fingerprint(node.value_test)}>")
+    if not isinstance(node.formula, FormulaTrue):
+        parts.append(f"formula<{_formula_fingerprint(node.formula, ids)}>")
+    if node.predicate_children:
+        rendered = ";".join(
+            _node_fingerprint(child, ids) for child in node.predicate_children
+        )
+        parts.append(f"preds[{rendered}]")
+    if node.main_child is not None:
+        parts.append(f"main[{_node_fingerprint(node.main_child, ids)}]")
+    return "|".join(parts)
+
+
+__all__ = ["query_fingerprint"]

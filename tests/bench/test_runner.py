@@ -8,11 +8,39 @@ from repro.bench.runner import (
     run_builder_scaling,
     run_incremental_latency,
     run_memory_stability,
+    run_multiquery_scaling,
     run_protein_breakdown,
     run_query_size_scaling,
     run_query_variety,
     sweep,
 )
+
+
+class TestMultiQueryScaling:
+    def test_rows_have_expected_columns(self):
+        rows = run_multiquery_scaling(
+            counts=(1, 5), kinds=("disjoint", "duplicate"), records=150, sample=3
+        )
+        assert len(rows) == 4
+        for row in rows:
+            for key in (
+                "mix", "queries", "machines", "shared_s",
+                "independent_est_s", "speedup", "solutions",
+            ):
+                assert key in row
+
+    def test_duplicate_mix_uses_one_machine(self):
+        rows = run_multiquery_scaling(
+            counts=(5,), kinds=("duplicate",), records=150, sample=3
+        )
+        assert rows[0]["machines"] == 1
+        assert rows[0]["queries"] == 5
+
+    def test_disjoint_machines_track_query_count(self):
+        rows = run_multiquery_scaling(
+            counts=(5,), kinds=("disjoint",), records=150, sample=3
+        )
+        assert rows[0]["machines"] == 5
 
 
 class TestProteinBreakdown:

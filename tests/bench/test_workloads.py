@@ -5,10 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.workloads import (
+    MULTIQUERY_MIXES,
     PROTEIN_PAPER_QUERY,
     WORKLOADS,
+    build_multiquery_document,
     get_workload,
     iter_workloads,
+    multiquery_mix,
 )
 from repro.core.engine import evaluate
 from repro.errors import BenchmarkError
@@ -65,3 +68,42 @@ class TestWorkloadContents:
             if len(evaluate(query, text)) > 0:
                 non_empty += 1
         assert non_empty >= len(workload.queries) - 1
+
+
+class TestMultiQueryWorkload:
+    def test_document_is_deterministic_and_well_formed(self):
+        first = build_multiquery_document(label_count=10, records=50, seed=3)
+        second = build_multiquery_document(label_count=10, records=50, seed=3)
+        assert first == second
+        assert first.startswith("<feed>") and first.endswith("</feed>")
+        assert first.count("<r ") == 50
+
+    @pytest.mark.parametrize("kind", MULTIQUERY_MIXES)
+    def test_mix_queries_compile_and_answer(self, kind):
+        document = build_multiquery_document(label_count=10, records=200, seed=3)
+        queries = multiquery_mix(kind, 5, label_count=10)
+        assert len(queries) == 5
+        non_empty = 0
+        for query in queries:
+            compile_query(query)
+            if len(evaluate(query, document)) > 0:
+                non_empty += 1
+        assert non_empty >= 4
+
+    def test_disjoint_mix_has_disjoint_label_sets(self):
+        from repro.core.builder import build_machine
+        from repro.core.queryindex import machine_label_profile
+
+        queries = multiquery_mix("disjoint", 8, label_count=10)
+        profiles = [machine_label_profile(build_machine(q))[0] for q in queries]
+        for i, left in enumerate(profiles):
+            for right in profiles[i + 1:]:
+                assert not (left & right)
+
+    def test_duplicate_mix_is_one_query_repeated(self):
+        queries = multiquery_mix("duplicate", 4)
+        assert len(set(queries)) == 1
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(BenchmarkError):
+            multiquery_mix("mystery", 3)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.builder import build_machine
+from repro.core.builder import CompiledQueryCache, build_machine
 from repro.xpath.ast import Axis
 from repro.xpath.normalize import compile_query
 
@@ -117,3 +117,64 @@ class TestBuilderLinearity:
         text = machine.describe()
         for label in ("section", "author", "table", "position", "cell"):
             assert label in text
+
+
+class TestCompiledQueryCache:
+    def test_same_source_shares_one_entry(self):
+        cache = CompiledQueryCache()
+        first = cache.acquire("//a[b]//c")
+        second = cache.acquire("//a[b]//c")
+        assert first is second
+        assert first.refcount == 2
+        assert len(cache) == 1
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_structurally_identical_sources_share_one_entry(self):
+        cache = CompiledQueryCache()
+        first = cache.acquire("//a[b]//c")
+        second = cache.acquire("//a[ b ]//c")
+        assert first is second
+        assert first.refcount == 2
+
+    def test_different_shapes_get_distinct_entries(self):
+        cache = CompiledQueryCache()
+        first = cache.acquire("//a/b")
+        second = cache.acquire("//a//b")
+        assert first is not second
+        assert len(cache) == 2
+
+    def test_release_evicts_at_zero_references(self):
+        cache = CompiledQueryCache()
+        compiled = cache.acquire("//a")
+        cache.acquire("//a")
+        cache.release(compiled)
+        assert len(cache) == 1
+        cache.release(compiled)
+        assert len(cache) == 0
+        # Re-acquiring after eviction compiles a fresh entry.
+        again = cache.acquire("//a")
+        assert again is not compiled
+        assert again.refcount == 1
+
+    def test_compiled_query_builds_fresh_machines(self):
+        cache = CompiledQueryCache()
+        compiled = cache.acquire("//a[b]")
+        first = compiled.build()
+        second = compiled.build()
+        assert first is not second
+        assert first.query is second.query  # shared normalized twig
+
+    def test_tree_inputs_are_cacheable(self):
+        cache = CompiledQueryCache()
+        tree = compile_query("//a[b]")
+        first = cache.acquire(tree)
+        second = cache.acquire("//a[b]")
+        assert first is second
+        assert first.refcount == 2
+
+    def test_clear_resets_counters(self):
+        cache = CompiledQueryCache()
+        cache.acquire("//a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 0

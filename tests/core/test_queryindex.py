@@ -1,0 +1,91 @@
+"""Unit tests for the label-dispatch query index."""
+
+from __future__ import annotations
+
+from repro.core.builder import CompiledQueryCache, build_machine
+from repro.core.engine import TwigMEvaluator
+from repro.core.queryindex import QueryIndex, QueryRuntime, machine_label_profile
+
+
+def _runtime(query: str, cache: CompiledQueryCache) -> QueryRuntime:
+    compiled = cache.acquire(query)
+    return QueryRuntime(compiled, TwigMEvaluator(compiled.tree))
+
+
+class TestLabelProfile:
+    def test_exact_labels(self):
+        labels, wildcard = machine_label_profile(build_machine("//a[b]//c"))
+        assert labels == frozenset({"a", "b", "c"})
+        assert not wildcard
+
+    def test_wildcard_flag(self):
+        labels, wildcard = machine_label_profile(build_machine("//*[b]"))
+        assert wildcard
+        assert labels == frozenset({"b"})
+
+    def test_attribute_and_text_nodes_do_not_add_labels(self):
+        labels, wildcard = machine_label_profile(build_machine("//a[@id]/text()"))
+        assert labels == frozenset({"a"})
+        assert not wildcard
+
+
+class TestDispatch:
+    def test_dispatch_filters_by_label(self):
+        cache = CompiledQueryCache()
+        index = QueryIndex()
+        first = _runtime("//a/b", cache)
+        second = _runtime("//c", cache)
+        index.add(first)
+        index.add(second)
+        assert index.dispatch("a") == [first]
+        assert index.dispatch("c") == [second]
+        assert index.dispatch("zzz") == []
+
+    def test_wildcard_runtime_sees_every_tag(self):
+        cache = CompiledQueryCache()
+        index = QueryIndex()
+        plain = _runtime("//a", cache)
+        star = _runtime("//*[b]", cache)
+        index.add(plain)
+        index.add(star)
+        assert index.dispatch("a") == [plain, star]
+        assert index.dispatch("anything") == [star]
+
+    def test_dispatch_preserves_registration_order(self):
+        cache = CompiledQueryCache()
+        index = QueryIndex()
+        runtimes = [_runtime(f"//x/q{i}", cache) for i in range(5)]
+        for runtime in runtimes:
+            index.add(runtime)
+        assert index.dispatch("x") == runtimes
+
+    def test_remove_invalidates_cached_dispatch(self):
+        cache = CompiledQueryCache()
+        index = QueryIndex()
+        first = _runtime("//a", cache)
+        second = _runtime("//a/b", cache)
+        index.add(first)
+        index.add(second)
+        assert index.dispatch("a") == [first, second]
+        index.remove(first)
+        assert index.dispatch("a") == [second]
+        assert len(index) == 1
+
+    def test_text_runtimes(self):
+        cache = CompiledQueryCache()
+        index = QueryIndex()
+        plain = _runtime("//a", cache)
+        texty = _runtime("//a[b='1']", cache)
+        index.add(plain)
+        index.add(texty)
+        assert index.text_runtimes() == [texty]
+
+    def test_label_classes_and_describe(self):
+        cache = CompiledQueryCache()
+        index = QueryIndex()
+        index.add(_runtime("//a/b", cache))
+        index.add(_runtime("//a/c", cache))
+        classes = index.label_classes()
+        assert classes["a"] == 2
+        assert classes["b"] == 1
+        assert "2 machine(s)" in index.describe()

@@ -96,6 +96,72 @@ class TestBenchCommand:
         assert exit_code == 0
         assert "latency" in captured.out.lower()
 
+    def test_bench_multiquery_quick_writes_json(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "BENCH_multiquery.json"
+        exit_code = main(["bench", "multiquery", "--quick", "--json", str(target)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "M1" in captured.out
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        assert payload["experiment"] == "multiquery"
+        mixes = {row["mix"] for row in payload["rows"]}
+        assert mixes == {"disjoint", "overlapping", "duplicate"}
+        duplicate_rows = [
+            row for row in payload["rows"]
+            if row["mix"] == "duplicate" and row["queries"] > 1
+        ]
+        assert all(row["machines"] == 1 for row in duplicate_rows)
+
+
+class TestWatchCommand:
+    @pytest.fixture
+    def query_file(self, tmp_path):
+        path = tmp_path / "queries.txt"
+        path.write_text(
+            "# standing subscriptions\n"
+            "tables: //table\n"
+            "//cell\n"
+            "\n",
+            encoding="utf-8",
+        )
+        return str(path)
+
+    def test_watch_streams_named_matches(self, query_file, figure1_file, capsys):
+        exit_code = main(["watch", query_file, figure1_file])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "[tables]" in captured.out
+        assert "[q0]" in captured.out  # bare line was auto-named
+        assert "tables: 3 solution(s)" in captured.out
+
+    def test_watch_quiet_prints_totals_only(self, query_file, figure1_file, capsys):
+        exit_code = main(["watch", query_file, figure1_file, "--quiet"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "[tables]" not in captured.out
+        assert "3 solution(s)" in captured.out
+
+    def test_watch_expat_backend(self, query_file, figure1_file, capsys):
+        exit_code = main(["watch", query_file, figure1_file, "--parser", "expat"])
+        assert exit_code == 0
+        assert "tables: 3 solution(s)" in capsys.readouterr().out
+
+    def test_watch_bad_query_reports_error(self, tmp_path, figure1_file, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("//a[\n", encoding="utf-8")
+        exit_code = main(["watch", str(path), figure1_file])
+        assert exit_code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_watch_empty_file_reports_error(self, tmp_path, figure1_file, capsys):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing here\n", encoding="utf-8")
+        exit_code = main(["watch", str(path), figure1_file])
+        assert exit_code == 1
+        assert "no queries" in capsys.readouterr().err
+
 
 class TestParser:
     def test_no_command_prints_help(self, capsys):

@@ -1,0 +1,81 @@
+"""Unit tests for canonical query fingerprints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xpath.fingerprint import query_fingerprint
+from repro.xpath.generator import QueryGenerator
+from repro.xpath.normalize import compile_query
+
+
+class TestStructuralIdentity:
+    def test_identical_sources_have_equal_fingerprints(self):
+        assert query_fingerprint("//a[b]//c") == query_fingerprint("//a[b]//c")
+
+    @pytest.mark.parametrize(
+        "left, right",
+        [
+            ("//a[b]//c", "//a[ b ]//c"),
+            ("//a[@id='x']", "//a[ @id = 'x' ]"),
+            ("//@id", "//*/@id"),  # leading-attribute expansion
+            ("//a[b and c]", "//a[ b and c ]"),
+        ],
+    )
+    def test_surface_variants_share_a_fingerprint(self, left, right):
+        assert query_fingerprint(left) == query_fingerprint(right)
+
+    def test_tree_and_source_agree(self):
+        tree = compile_query("//a[b='1']/c/text()")
+        assert query_fingerprint(tree) == query_fingerprint("//a[b='1']/c/text()")
+
+
+class TestStructuralDifferences:
+    @pytest.mark.parametrize(
+        "left, right",
+        [
+            ("//a", "//b"),                      # label
+            ("//a/b", "//a//b"),                 # axis
+            ("//a[b]", "//a/b"),                 # predicate vs main path
+            ("//a", "/a"),                       # root axis
+            ("//a[b='1']", "//a[b=1]"),          # string vs numeric comparison
+            ("//a[b='1']", "//a[b!='1']"),       # comparison operator
+            ("//a[b]", "//a[not(b)]"),           # negation
+            ("//a/@id", "//a/@key"),             # attribute label
+            ("//a/text()", "//a"),               # output kind
+            ("//a/b", "//a[b]/b"),               # extra predicate node
+            ("//a[b or c]", "//a[b and c]"),     # connective
+        ],
+    )
+    def test_different_structures_differ(self, left, right):
+        assert query_fingerprint(left) != query_fingerprint(right)
+
+    def test_output_position_matters(self):
+        assert query_fingerprint("//a/b") != query_fingerprint("//a//b")
+
+
+class TestGeneratedQueries:
+    def test_fingerprint_is_deterministic_over_generated_corpus(self):
+        generator = QueryGenerator(seed=3)
+        for _ in range(100):
+            expression = generator.generate_expression()
+            first = query_fingerprint(expression)
+            second = query_fingerprint(compile_query(expression))
+            assert first == second
+
+    def test_distinct_shapes_rarely_collide(self):
+        generator = QueryGenerator(seed=4)
+        expressions = {generator.generate_expression() for _ in range(200)}
+        by_fingerprint = {}
+        for expression in expressions:
+            by_fingerprint.setdefault(query_fingerprint(expression), set()).add(
+                expression
+            )
+        # Structurally identical spellings may collapse, but two queries with
+        # different normalized twigs must never share a fingerprint: verify
+        # every collision really is the same twig rendered differently.
+        from repro.xpath.normalize import query_to_string
+
+        for sources in by_fingerprint.values():
+            renderings = {query_to_string(compile_query(s)) for s in sources}
+            assert len(renderings) == 1
