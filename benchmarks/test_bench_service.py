@@ -1,0 +1,51 @@
+"""M2 benchmarks: subscription-service end-to-end latency and throughput.
+
+Everything the library benchmarks (M1) measure stops at the engine; M2
+measures the whole service stack — asyncio server, wire protocol, bounded
+outboxes, client decode — for a chunked live feed fanned out to concurrent
+subscribers.  The acceptance bar from ISSUE 3: the service must sustain
+**≥ 100 concurrent subscribers** with every expected solution either
+delivered or explicitly counted as dropped (here: no drops at all, the
+outboxes never fill at default bounds).
+
+``vitex bench service --json BENCH_service.json`` records the committed
+baseline (1 → 200 subscribers).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_service_scaling
+
+from conftest import SCALE
+
+
+@pytest.mark.benchmark(group="service-scaling")
+@pytest.mark.parametrize("subscribers", [1, 100])
+def test_service_roundtrip(benchmark, subscribers):
+    def run():
+        return run_service_scaling(
+            counts=(subscribers,), records=int(400 * SCALE)
+        )[0]
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert row["subscribers"] == subscribers
+    assert row["dropped"] == 0
+    benchmark.extra_info.update(row)
+
+
+def test_service_sustains_100_subscribers():
+    """Acceptance: 100 concurrent subscribers, all solutions accounted for.
+
+    ``run_service_scaling`` verifies delivered + dropped against the ground
+    truth inside the driver and raises on a mismatch; this test additionally
+    pins the acceptance bar: zero drops and positive throughput at 100
+    subscribers.
+    """
+    row = run_service_scaling(counts=(100,), records=int(400 * SCALE))[0]
+    assert row["subscribers"] == 100
+    assert row["solutions"] > 0
+    assert row["dropped"] == 0
+    assert row["solutions_per_s"] > 0
+    assert row["mean_latency_ms"] >= 0

@@ -28,6 +28,7 @@ from .runner import (
     run_protein_breakdown,
     run_query_size_scaling,
     run_query_variety,
+    run_service_scaling,
     sweep,
 )
 from .workloads import (
@@ -84,6 +85,7 @@ __all__ = [
     "run_protein_breakdown",
     "run_query_size_scaling",
     "run_query_variety",
+    "run_service_scaling",
     "sweep",
     "time_evaluation",
     "time_parse_only",

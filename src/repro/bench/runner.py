@@ -435,6 +435,126 @@ def run_multiquery_scaling(
 
 
 # ---------------------------------------------------------------------------
+# M2: subscription service end-to-end latency and throughput
+# ---------------------------------------------------------------------------
+
+
+def run_service_scaling(
+    counts: Sequence[int] = (1, 25, 100, 200),
+    records: int = 1500,
+    chunk_size: int = 4096,
+    parser: str = "native",
+    seed: int = 7,
+) -> List[Dict[str, object]]:
+    """M2: end-to-end solution latency/throughput over the asyncio service.
+
+    For each subscriber count the experiment runs a full in-process stack —
+    :class:`~repro.service.server.ServiceServer` on an ephemeral loopback
+    port, ``count`` subscriber connections (disjoint-label standing
+    queries) and one publisher connection feeding the M1 document in
+    ``chunk_size`` chunks — and measures wall-clock from first feed until
+    every subscriber has received its ``eof``.  Per-solution latency is the
+    gap between the server stamping a solution frame (``ts``, the shared
+    loop's monotonic clock) and the subscriber's receive callback: the full
+    parse → fan-out → outbox → TCP → client-decode path.
+    """
+    import asyncio
+
+    from ..service.client import ServiceClient
+    from ..service.server import ServiceServer
+
+    label_count = max(max(counts), 1)
+    document = build_multiquery_document(
+        label_count=label_count, records=records, seed=seed
+    )
+    doc_mb = len(document.encode("utf-8")) / (1024 * 1024)
+    chunks = [
+        document[start:start + chunk_size]
+        for start in range(0, len(document), chunk_size)
+    ]
+    queries = multiquery_mix("disjoint", label_count, label_count=label_count)
+
+    async def _run_one(count: int) -> Dict[str, object]:
+        loop = asyncio.get_running_loop()
+        server = ServiceServer(parser=parser)
+        await server.start(port=0)
+        host, port = server.address
+        subscribers: List[ServiceClient] = []
+        latencies: List[float] = []
+        received = 0
+
+        async def _subscriber(index: int, client: ServiceClient) -> int:
+            got = 0
+            async for _name, _solution, frame in client.solutions(stop_at_eof=True):
+                latencies.append(loop.time() - frame["ts"])
+                got += 1
+            return got
+
+        try:
+            for index in range(count):
+                client = await ServiceClient.connect(host, port)
+                await client.subscribe(queries[index], name=f"q{index}")
+                subscribers.append(client)
+            publisher = await ServiceClient.connect(host, port)
+            consumers = [
+                asyncio.ensure_future(_subscriber(index, client))
+                for index, client in enumerate(subscribers)
+            ]
+            started = time.perf_counter()
+            for chunk in chunks:
+                await publisher.feed(chunk)
+            summary = await publisher.finish()
+            counts_received = await asyncio.gather(*consumers)
+            wall = time.perf_counter() - started
+            received = sum(counts_received)
+            stats = await publisher.stats()
+            await publisher.close()
+        finally:
+            for client in subscribers:
+                await client.close()
+            await server.close()
+        dropped = sum(
+            detail["dropped"] for detail in stats["subscription_detail"].values()
+        )
+        latencies.sort()
+        mean_ms = (sum(latencies) / len(latencies) * 1000) if latencies else 0.0
+        p95_ms = (latencies[int(len(latencies) * 0.95)] * 1000) if latencies else 0.0
+        return {
+            "subscribers": count,
+            "doc_mb": round(doc_mb, 3),
+            "chunks": len(chunks),
+            "elements": summary["elements"],
+            "solutions": received,
+            "dropped": dropped,
+            "wall_s": round(wall, 4),
+            "solutions_per_s": round(received / wall, 1) if wall > 0 else 0.0,
+            "elements_per_s": round(summary["elements"] / wall, 1) if wall > 0 else 0.0,
+            "mean_latency_ms": round(mean_ms, 3),
+            "p95_latency_ms": round(p95_ms, 3),
+        }
+
+    rows: List[Dict[str, object]] = []
+    for count in counts:
+        row = asyncio.run(_run_one(count))
+        expected = _expected_disjoint_solutions(document, count, label_count)
+        if row["solutions"] + row["dropped"] != expected:
+            raise BenchmarkError(
+                f"service delivered {row['solutions']} (+{row['dropped']} dropped) "
+                f"solutions for {count} subscribers; expected {expected}"
+            )
+        rows.append(row)
+    return rows
+
+
+def _expected_disjoint_solutions(document: str, count: int, label_count: int) -> int:
+    """Ground truth for M2: records whose label index < subscriber count."""
+    total = 0
+    for index in range(count):
+        total += document.count(f"<s{index}>")
+    return total
+
+
+# ---------------------------------------------------------------------------
 # Generic sweep helper
 # ---------------------------------------------------------------------------
 

@@ -11,13 +11,19 @@ Subcommands mirror how the original demo system was driven:
   the report table.
 * ``vitex watch QUERIES FILE`` — register many standing queries (one per
   line) and stream ``[name] solution`` matches as they are found.
+* ``vitex serve`` / ``vitex publish`` / ``vitex subscribe`` — the streaming
+  subscription service: a long-lived server holding standing queries,
+  publishers pushing live XML at it chunk by chunk, and subscribers
+  receiving solution frames (see :mod:`repro.service`).
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import re
+import signal
 import sys
 from typing import List, Optional, Tuple
 
@@ -33,6 +39,7 @@ from .bench import (
     run_protein_breakdown,
     run_query_size_scaling,
     run_query_variety,
+    run_service_scaling,
 )
 from .core.engine import TwigMEvaluator
 from .core.multi import MultiQueryEvaluator
@@ -105,6 +112,80 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="print only the per-subscription totals"
     )
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the streaming subscription service",
+        description=(
+            "Start the asyncio subscription server: clients SUBSCRIBE "
+            "standing queries and FEED live XML; solutions are pushed back "
+            "as they are found.  With --watch, queries from a watch-format "
+            "file are registered server-side and matches print to stdout."
+        ),
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=None, help="TCP port (default 8005; 0 = ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--parser",
+        choices=("native", "pure", "expat"),
+        default="native",
+        help="parser back-end driving the shared engine (default: native)",
+    )
+    serve_parser.add_argument(
+        "--watch",
+        metavar="QUERIES",
+        default=None,
+        help="register server-local standing queries from a watch-format file",
+    )
+    serve_parser.add_argument(
+        "--outbox-limit",
+        type=int,
+        default=None,
+        help="per-connection outbox bound in frames (slow consumers drop oldest)",
+    )
+
+    publish_parser = subparsers.add_parser(
+        "publish",
+        help="stream an XML document to the subscription service",
+        description=(
+            "Read FILE (or stdin with -) and push it to a running vitex "
+            "service in chunks, then finish the document."
+        ),
+    )
+    publish_parser.add_argument("file", help="path to an XML file, or - for stdin")
+    publish_parser.add_argument("--host", default="127.0.0.1")
+    publish_parser.add_argument("--port", type=int, default=None)
+    publish_parser.add_argument(
+        "--chunk-size",
+        type=int,
+        # Worst case ~6 bytes per character once JSON-escaped (control
+        # chars); 32 Ki characters keeps any frame under the service's
+        # 256 KiB frame bound.
+        default=32 * 1024,
+        help="feed chunk size in characters (default 32768)",
+    )
+    publish_parser.add_argument(
+        "--no-finish",
+        action="store_true",
+        help="leave the document open (more chunks will follow from elsewhere)",
+    )
+
+    subscribe_parser = subparsers.add_parser(
+        "subscribe",
+        help="hold standing queries against the subscription service",
+        description=(
+            "Subscribe one or more queries and print '[name] solution' "
+            "lines as the service pushes matches; Ctrl-C prints totals."
+        ),
+    )
+    subscribe_parser.add_argument("queries", nargs="+", help="XPath expressions")
+    subscribe_parser.add_argument("--host", default="127.0.0.1")
+    subscribe_parser.add_argument("--port", type=int, default=None)
+    subscribe_parser.add_argument(
+        "--count", type=int, default=None, help="exit after this many solutions"
+    )
+
     explain_parser = subparsers.add_parser("explain", help="show the query twig and TwigM machine")
     explain_parser.add_argument("query", help="XPath expression")
 
@@ -128,6 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
             "incremental-latency",
             "pipeline",
             "multiquery",
+            "service",
         ),
     )
     bench_parser.add_argument("--quick", action="store_true", help="use reduced problem sizes")
@@ -152,6 +234,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_run(args)
         if args.command == "watch":
             return _command_watch(args)
+        if args.command == "serve":
+            return _command_serve(args)
+        if args.command == "publish":
+            return _command_publish(args)
+        if args.command == "subscribe":
+            return _command_subscribe(args)
         if args.command == "explain":
             return _command_explain(args)
         if args.command == "generate":
@@ -224,20 +312,219 @@ def _command_watch(args: argparse.Namespace) -> int:
         source = sys.stdin.read()
     else:
         source = open(args.file, "rb")
+    # A long watch over a live pipe is routinely ended with Ctrl-C: convert
+    # SIGINT into the summary path (delivery counts + engine close, which
+    # releases the compiled-query cache refs) instead of a bare traceback.
+    def _sigint_handler(signum, frame):
+        raise KeyboardInterrupt
+
     try:
-        for name, solution in evaluator.stream(source, parser=args.parser):
-            if not args.quiet:
-                print(f"[{name}] {solution.describe()}")
+        previous_handler = signal.signal(signal.SIGINT, _sigint_handler)
+    except ValueError:  # not the main thread (e.g. under a test runner)
+        previous_handler = None
+    interrupted = False
+    try:
+        try:
+            for name, solution in evaluator.stream(source, parser=args.parser):
+                if not args.quiet:
+                    print(f"[{name}] {solution.describe()}")
+        except KeyboardInterrupt:
+            interrupted = True
     finally:
+        if previous_handler is not None:
+            signal.signal(signal.SIGINT, previous_handler)
         if hasattr(source, "close"):
             source.close()
+    if interrupted:
+        print("interrupted; delivery counts so far:", file=sys.stderr)
     for subscription in evaluator.subscriptions:
         print(
             f"{subscription.name}: {subscription.delivered} solution(s) "
             f"for {subscription.query}"
         )
     evaluator.close()
-    return 0
+    return 130 if interrupted else 0
+
+
+def _service_port(args: argparse.Namespace) -> int:
+    from .service.server import DEFAULT_PORT
+
+    return DEFAULT_PORT if args.port is None else args.port
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from .service.server import DEFAULT_OUTBOX_LIMIT, ServiceServer
+
+    outbox_limit = (
+        DEFAULT_OUTBOX_LIMIT if args.outbox_limit is None else args.outbox_limit
+    )
+    watch_entries: List[Tuple[Optional[str], str]] = []
+    if args.watch:
+        try:
+            watch_entries = _load_watch_queries(args.watch)
+        except OSError as exc:
+            print(f"error: cannot read {args.watch}: {exc}", file=sys.stderr)
+            return 1
+        if not watch_entries:
+            print(f"error: no queries found in {args.watch}", file=sys.stderr)
+            return 1
+
+    async def _run() -> int:
+        server = ServiceServer(parser=args.parser, outbox_limit=outbox_limit)
+
+        def _print_solution(name: str, solution) -> None:
+            print(f"[{name}] {solution.describe()}", flush=True)
+
+        for name, query in watch_entries:
+            registered = server.add_local_subscription(
+                query, name=name, callback=_print_solution
+            )
+            print(f"watching [{registered}] {query}")
+        await server.start(args.host, _service_port(args))
+        host, port = server.address
+        print(f"vitex service listening on {host}:{port}", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-unix loops
+                pass
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        await stop.wait()
+        stats = server.stats()
+        serve_task.cancel()
+        try:
+            await serve_task
+        except asyncio.CancelledError:
+            pass
+        await server.close()
+        print(
+            f"shutting down: {stats['documents']} document(s), "
+            f"{stats['elements']} element(s), {stats['solutions']} solution(s) delivered"
+        )
+        for name, detail in stats["subscription_detail"].items():
+            dropped = f", {detail['dropped']} dropped" if detail["dropped"] else ""
+            print(
+                f"{name}: {detail['delivered']} solution(s){dropped} "
+                f"for {detail['query']}"
+            )
+        return 0
+
+    return asyncio.run(_run())
+
+
+def _command_publish(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient, ServiceError
+
+    if args.chunk_size <= 0:
+        print("error: --chunk-size must be positive", file=sys.stderr)
+        return 1
+
+    async def _run() -> int:
+        try:
+            client = await ServiceClient.connect(args.host, _service_port(args))
+        except OSError as exc:
+            print(
+                f"error: cannot reach service at {args.host}:{_service_port(args)}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        try:
+            if args.file == "-":
+                handle = sys.stdin
+            else:
+                handle = open(args.file, "r", encoding="utf-8")
+            sent = 0
+            chunks = 0
+            try:
+                while True:
+                    chunk = handle.read(args.chunk_size)
+                    if not chunk:
+                        break
+                    await client.feed(chunk)
+                    sent += len(chunk)
+                    chunks += 1
+            finally:
+                if handle is not sys.stdin:
+                    handle.close()
+            if args.no_finish:
+                # Round-trip a ping: the server processes frames in order,
+                # so any parse error for the chunks above has reached the
+                # push lane by the time the pong lands.
+                await client.ping()
+                failure = _first_error_push(client)
+                if failure is not None:
+                    print(f"error: {failure}", file=sys.stderr)
+                    return 1
+                print(f"published {sent} char(s) in {chunks} chunk(s); document left open")
+                return 0
+            summary = await client.finish()
+            print(
+                f"published {sent} char(s) in {chunks} chunk(s); "
+                f"document {summary['document']} finished "
+                f"with {summary['elements']} element(s)"
+            )
+            return 0
+        except ServiceError as exc:
+            # A feed error that aborted the document makes finish() fail
+            # with "no document in progress" — the push lane has the real
+            # parse error; prefer it.
+            failure = _first_error_push(client)
+            print(f"error: {failure or exc}", file=sys.stderr)
+            return 1
+        finally:
+            await client.close()
+
+    return asyncio.run(_run())
+
+
+def _first_error_push(client) -> Optional[str]:
+    """The first buffered ``error`` push's message, if any."""
+    for frame in client.pending_pushes():
+        if frame.get("type") == "error":
+            return frame.get("message", "service error")
+    return None
+
+
+def _command_subscribe(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient
+
+    async def _run() -> int:
+        try:
+            client = await ServiceClient.connect(args.host, _service_port(args))
+        except OSError as exc:
+            print(
+                f"error: cannot reach service at {args.host}:{_service_port(args)}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        delivered = {}
+        try:
+            for query in args.queries:
+                name = await client.subscribe(query)
+                delivered[name] = 0
+                print(f"subscribed [{name}] {query}", flush=True)
+            remaining = args.count
+            async for name, solution, _frame in client.solutions():
+                print(f"[{name}] {solution.describe()}", flush=True)
+                delivered[name] = delivered.get(name, 0) + 1
+                if remaining is not None:
+                    remaining -= 1
+                    if remaining <= 0:
+                        break
+            return 0
+        except KeyboardInterrupt:
+            return 130
+        finally:
+            for name, count in delivered.items():
+                print(f"{name}: {count} solution(s)", file=sys.stderr)
+            await client.close()
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:
+        return 130
 
 
 def _command_explain(args: argparse.Namespace) -> int:
@@ -311,6 +598,12 @@ def _command_bench(args: argparse.Namespace) -> int:
             sample=10 if quick else 20,
         )
         title = "M1: multi-query subscription scaling (indexed dispatch)"
+    elif args.experiment == "service":
+        rows = run_service_scaling(
+            counts=(1, 10, 50) if quick else (1, 25, 100, 200),
+            records=400 if quick else 1500,
+        )
+        title = "M2: subscription service end-to-end latency and throughput"
     else:
         rows = run_pipeline_throughput(
             target_bytes=(512 * 1024) if quick else (2 * 1024 * 1024),

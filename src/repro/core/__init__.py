@@ -12,6 +12,7 @@ from .engine import TwigMEvaluator, evaluate, stream_evaluate
 from .machine import MachineNode, TwigMachine
 from .multi import MultiQueryEvaluator, Subscription, evaluate_many
 from .results import NodeRef, ResultCollector, ResultSet, Solution, SolutionKind
+from .session import StreamSession
 from .stack import MachineStack, StackEntry
 from .statistics import EngineStatistics
 from .transitions import (
@@ -31,6 +32,7 @@ __all__ = [
     "Solution",
     "SolutionKind",
     "StackEntry",
+    "StreamSession",
     "Subscription",
     "TwigMEvaluator",
     "TwigMachine",

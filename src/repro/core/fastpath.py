@@ -815,17 +815,31 @@ class FusedExpatMultiDriver:
     are delivered (fanned out to subscribers) immediately as they are found —
     expat either completes or raises, there is no replay, so immediate
     delivery matches the incremental semantics of the event pipeline.
+
+    Two driving modes share the callbacks:
+
+    * :meth:`run` — the one-shot pull loop used by ``evaluate()``; the
+      driver owns the chunk iterable.
+    * ``incremental=True`` + :meth:`feed` / :meth:`finish` — the push
+      (session) mode: the *caller* owns the read loop and hands chunks to
+      ``Parse(chunk, 0)`` as they arrive.  Delivered pairs are buffered on
+      :attr:`emitted` (fan-out still happens immediately; the buffer is how
+      the session returns pairs per chunk), every handler is registered up
+      front because subscriptions may be added mid-stream, and the cached
+      text-runtime list is refreshed at each chunk boundary — registration
+      changes can only happen between chunks.
     """
 
-    def __init__(self, index) -> None:
+    def __init__(self, index, incremental: bool = False) -> None:
         parser = expat.ParserCreate()
         parser.buffer_text = True
         parser.ordered_attributes = True
         parser.StartElementHandler = self._start_element
         parser.EndElementHandler = self._end_element
         self._index = index
+        self._incremental = incremental
         self._text_runtimes = index.text_runtimes()
-        if self._text_runtimes:
+        if incremental or self._text_runtimes:
             parser.CharacterDataHandler = self._characters
             parser.CommentHandler = self._misc
             parser.ProcessingInstructionHandler = self._misc
@@ -834,6 +848,9 @@ class FusedExpatMultiDriver:
         self._level = 0
         self._order = 0
         self._pending_text = False
+        self._fed_bytes = False
+        #: Pairs delivered since the caller last drained (incremental mode).
+        self.emitted: List = [] if incremental else None
 
     @property
     def element_count(self) -> int:
@@ -850,6 +867,35 @@ class FusedExpatMultiDriver:
                     fed_bytes = True
                 parser.Parse(chunk, False)
             parser.Parse(b"" if fed_bytes else "", True)
+        except expat.ExpatError as exc:
+            raise XMLSyntaxError(
+                str(exc),
+                line=getattr(exc, "lineno", None),
+                column=getattr(exc, "offset", None),
+            ) from exc
+        self._flush_pending()
+
+    # ------------------------------------------------------------ push mode
+
+    def feed(self, chunk) -> None:
+        """Push one str/bytes chunk through ``Parse(chunk, 0)``."""
+        self._text_runtimes = self._index.text_runtimes()
+        if isinstance(chunk, bytes):
+            self._fed_bytes = True
+        try:
+            self._parser.Parse(chunk, False)
+        except expat.ExpatError as exc:
+            raise XMLSyntaxError(
+                str(exc),
+                line=getattr(exc, "lineno", None),
+                column=getattr(exc, "offset", None),
+            ) from exc
+
+    def finish(self) -> None:
+        """Signal end of input (``Parse(_, 1)``) and flush pending text."""
+        self._text_runtimes = self._index.text_runtimes()
+        try:
+            self._parser.Parse(b"" if self._fed_bytes else "", True)
         except expat.ExpatError as exc:
             raise XMLSyntaxError(
                 str(exc),
@@ -891,13 +937,14 @@ class FusedExpatMultiDriver:
             self._flush_pending()
         level = self._level
         self._level = level - 1
+        emitted = self.emitted
         for runtime in self._dispatch(name):
             solutions = process_end_element(
                 runtime.machine, name, level, runtime.statistics,
                 runtime.collector, eager_emission=runtime.eager,
             )
             if solutions:
-                runtime.deliver(solutions)
+                runtime.deliver(solutions, emitted)
 
     def _characters(self, data: str) -> None:
         level = self._level

@@ -277,10 +277,23 @@ class MultiQueryEvaluator:
         Returns ``(subscription name, solution)`` pairs that became known
         with this event.  Pairs are grouped by machine in machine
         registration order; subscribers sharing a machine receive
-        consecutive pairs.
+        consecutive pairs.  Raises when no queries are registered — a
+        one-shot evaluation over zero subscriptions is a caller bug; a
+        standing service that must keep parsing while (momentarily) having
+        no subscribers uses :meth:`push`.
         """
         if not self._subscriptions:
             raise EngineError("no queries registered")
+        return self.push(event)
+
+    def push(self, event: Event) -> List[Tuple[str, Solution]]:
+        """:meth:`feed` without the empty-registration guard.
+
+        The subscription service parses the live document even when no
+        queries are registered: the global element pre-order must keep
+        advancing so a subscriber that joins mid-stream sees canonical
+        document-global solution identities for the remainder.
+        """
         emitted: List[Tuple[str, Solution]] = []
         cls = event.__class__
         if cls is StartElement or isinstance(event, StartElement):
@@ -313,6 +326,18 @@ class MultiQueryEvaluator:
             if solutions:
                 runtime.deliver(solutions, emitted)
         return emitted
+
+    def session(self, parser: str = "native", encoding: Optional[str] = None):
+        """Open a push-mode :class:`~repro.core.session.StreamSession`.
+
+        The session inverts the read loop: callers push byte/text chunks as
+        they arrive on the wire (``session.feed_bytes(chunk)``) and receive
+        the ``(name, solution)`` pairs each chunk completed, without the
+        engine ever owning the source.  See :mod:`repro.core.session`.
+        """
+        from .session import StreamSession  # deferred: session imports us
+
+        return StreamSession(self, parser=parser, encoding=encoding)
 
     def stream(
         self,

@@ -1,0 +1,226 @@
+"""Push-mode parse sessions: feed wire chunks in, get solution pairs out.
+
+Everything below :meth:`MultiQueryEvaluator.evaluate` assumes the engine can
+*pull* the document — a string, a file, an iterable it drains.  A network
+service cannot offer that: bytes arrive on a socket at arbitrary chunk
+boundaries, the read loop belongs to the event loop, and the engine must
+hand back whatever solutions each chunk completed before the next chunk
+exists.  :class:`StreamSession` is that inversion:
+
+``session = engine.session(parser=...)`` opens a push session over a
+:class:`~repro.core.multi.MultiQueryEvaluator`.  ``session.feed_bytes(chunk)``
+(or :meth:`feed_text`) advances the parse by exactly one chunk and returns
+the ``(subscription name, solution)`` pairs it completed; :meth:`finish`
+ends the document, returning the trailing pairs.  Chunks may be split at
+*any* byte offset — mid-tag, mid-entity, mid multibyte sequence — and the
+resulting pair stream is identical to the one-shot ``evaluate()`` answer.
+
+Two drivers, selected by ``parser``:
+
+* ``"pure"`` / ``"native"`` — the incremental
+  :class:`~repro.xmlstream.tokenizer.StreamTokenizer` (bytes decoded by
+  :class:`~repro.xmlstream.reader.IncrementalByteDecoder`), each completed
+  event pushed through :meth:`MultiQueryEvaluator.push`.
+* ``"expat"`` — the fused
+  :class:`~repro.core.fastpath.FusedExpatMultiDriver` in incremental mode:
+  chunks go straight to ``Parse(chunk, 0)`` and callbacks drive the
+  dispatch index with no event objects.
+
+Engine-state contract
+---------------------
+
+A session owns the engine's stream position while open: do not mix
+``session.feed_*`` with ``engine.feed``/``engine.stream`` on the same
+document.  Mid-stream ``register``/``unregister``/``pause``/``resume``
+*between* feed calls are fully supported and follow the engine's documented
+mid-stream semantics (late subscriptions get private machines and see only
+the remainder).  Feeding with **zero** registered subscriptions is allowed
+and keeps the global element pre-order advancing — a standing service keeps
+parsing while subscribers churn.  After :meth:`finish` the engine is
+finished (``results()`` works, ``register`` refuses) until ``engine.reset()``
+starts the next document.  A chunk that raises
+:class:`~repro.errors.XMLSyntaxError` (or an encoding error) aborts the
+session and resets every machine, leaving the engine clean for a fresh
+document; callbacks that already fired stay fired, matching the engine's
+incremental-delivery semantics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from ..errors import EngineError
+from ..xmlstream.reader import IncrementalByteDecoder
+from ..xmlstream.sax import PARSER_BACKENDS
+from ..xmlstream.tokenizer import StreamTokenizer
+from .fastpath import FusedExpatMultiDriver
+from .results import Solution
+
+
+class StreamSession:
+    """One push-mode document parse over a ``MultiQueryEvaluator``.
+
+    Create via :meth:`MultiQueryEvaluator.session`.  Not thread-safe; feed
+    from one task/thread at a time.
+    """
+
+    def __init__(
+        self,
+        engine,
+        parser: str = "native",
+        encoding: Optional[str] = None,
+    ) -> None:
+        if parser not in PARSER_BACKENDS:
+            raise ValueError(
+                f"unknown parser backend {parser!r}; expected one of {PARSER_BACKENDS}"
+            )
+        self._engine = engine
+        self.parser = parser
+        self._finished = False
+        self._failed = False
+        if parser == "expat":
+            self._driver = FusedExpatMultiDriver(engine._index, incremental=True)
+            self._tokenizer = None
+            # expat detects encodings itself; an explicit override means the
+            # caller decodes better than expat would, so decode Python-side
+            # and hand expat str chunks.
+            self._decoder = (
+                IncrementalByteDecoder(encoding) if encoding is not None else None
+            )
+        else:
+            self._driver = None
+            self._tokenizer = StreamTokenizer(encoding=encoding)
+            self._decoder = None
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def engine(self):
+        """The :class:`MultiQueryEvaluator` this session drives."""
+        return self._engine
+
+    @property
+    def finished(self) -> bool:
+        """True once :meth:`finish` completed (or the session failed)."""
+        return self._finished
+
+    @property
+    def failed(self) -> bool:
+        """True when a chunk raised and the session was aborted."""
+        return self._failed
+
+    @property
+    def element_count(self) -> int:
+        """Start tags parsed so far (the global element pre-order position)."""
+        if self._driver is not None:
+            return self._driver.element_count
+        return self._engine._element_order
+
+    def feed_bytes(self, chunk: bytes) -> List[Tuple[str, Solution]]:
+        """Feed one byte chunk; return the pairs it completed.
+
+        Chunks may be split at any byte offset; partial multibyte sequences
+        and entity references carry over to the next call.
+        """
+        self._check_open()
+        try:
+            if self._tokenizer is not None:
+                return self._push_events(self._tokenizer.feed_bytes(chunk))
+            if self._decoder is not None:
+                chunk = self._decoder.decode(chunk)  # type: ignore[assignment]
+            return self._feed_fused(chunk)
+        except Exception:
+            self._abort()
+            raise
+
+    def feed_text(self, chunk: str) -> List[Tuple[str, Solution]]:
+        """Feed one text chunk; return the pairs it completed."""
+        self._check_open()
+        try:
+            if self._tokenizer is not None:
+                return self._push_events(self._tokenizer.feed(chunk))
+            return self._feed_fused(chunk)
+        except Exception:
+            self._abort()
+            raise
+
+    def finish(self) -> List[Tuple[str, Solution]]:
+        """Declare end of input; return the trailing pairs.
+
+        Raises :class:`~repro.errors.XMLSyntaxError` when the document is
+        incomplete.  Afterwards the engine is finished: ``results()`` holds
+        the per-subscription answer and ``engine.reset()`` begins the next
+        document.
+        """
+        self._check_open()
+        engine = self._engine
+        try:
+            if self._tokenizer is not None:
+                pairs = self._push_events(self._tokenizer.close())
+                engine._finished = True
+                return pairs
+            driver = self._driver
+            if self._decoder is not None:
+                # Flush the explicit-encoding decoder: raises EncodingError
+                # if the stream ended mid-multibyte-sequence (matching the
+                # tokenizer path), and feeds any final decoded text.
+                tail = self._decoder.decode(b"", final=True)
+                if tail:
+                    driver.feed(tail)
+            driver.finish()
+            pairs, driver.emitted = driver.emitted, []
+            engine._mark_finished(driver.element_count)
+            return pairs
+        except Exception:
+            self._abort()
+            raise
+        finally:
+            self._finished = True
+
+    # ------------------------------------------------------------ internals
+
+    def _check_open(self) -> None:
+        if self._failed:
+            raise EngineError("session aborted by an earlier parse error")
+        if self._finished:
+            raise EngineError("session already finished")
+
+    def _push_events(self, events) -> List[Tuple[str, Solution]]:
+        push = self._engine.push
+        pairs: List[Tuple[str, Solution]] = []
+        for event in events:
+            emitted = push(event)
+            if emitted:
+                pairs.extend(emitted)
+        return pairs
+
+    def _feed_fused(self, chunk: Union[str, bytes]) -> List[Tuple[str, Solution]]:
+        driver = self._driver
+        driver.feed(chunk)
+        if driver.element_count and not self._engine._started:
+            # The fused driver bypasses engine.push, so mirror its
+            # started-flag bookkeeping: registrations from here on are
+            # mid-stream and must get private machines.
+            self._engine._started = True
+        pairs, driver.emitted = driver.emitted, []
+        return pairs
+
+    def _abort(self) -> None:
+        """Reset every machine after a parse error (engine stays usable).
+
+        Mirrors the failed fused-run cleanup in ``evaluate()``: partial
+        machine state (and collected solutions) must not leak into a later
+        document; already-fired callbacks stay fired.
+        """
+        self._failed = True
+        self._finished = True
+        engine = self._engine
+        for runtime in engine._index.runtimes:
+            runtime.evaluator.reset()
+            runtime.sync()
+        engine._element_order = 0
+        engine._started = False
+        engine._finished = False
+
+
+__all__ = ["StreamSession"]

@@ -1,0 +1,241 @@
+"""Asyncio client for the subscription service.
+
+:class:`ServiceClient` speaks the line-delimited JSON protocol of
+:mod:`repro.service.protocol`.  A background reader task splits incoming
+frames into two lanes:
+
+* **replies** (``subscribed`` / ``unsubscribed`` / ``finished`` / ``stats``
+  / ``pong`` / command ``error``) resolve pending request futures in FIFO
+  order — the server answers commands in order per connection;
+* **pushes** (``solution`` / ``eof`` / unsolicited ``error``) land in an
+  internal queue consumed via :meth:`next_push` or the :meth:`solutions`
+  iterator.
+
+One client can be publisher, subscriber, or both.  Typical subscriber::
+
+    client = await ServiceClient.connect(host, port)
+    await client.subscribe("//quote[symbol]")
+    async for name, solution, frame in client.solutions():
+        print(name, solution.describe())
+
+and publisher::
+
+    await client.feed(chunk)        # repeat as chunks arrive
+    summary = await client.finish()
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, AsyncIterator, Deque, Dict, Optional, Tuple
+
+from ..core.results import Solution
+from ..errors import ViteXError
+from .protocol import MAX_FRAME_BYTES, decode_frame, encode_frame, solution_from_payload
+from .server import DEFAULT_PORT
+
+#: Reply frame types, matched FIFO to in-flight commands.
+_REPLY_TYPES = frozenset({"subscribed", "unsubscribed", "finished", "stats", "pong"})
+
+#: Commands that get a reply frame.  An ``error`` naming one of these
+#: resolves the oldest pending request; errors for fire-and-forget commands
+#: (``feed``) and unsolicited errors go to the push lane instead.
+_REQUEST_CMDS = frozenset({"subscribe", "unsubscribe", "finish", "stats", "ping"})
+
+
+class ServiceError(ViteXError):
+    """An ``error`` frame received from the service."""
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.server.ServiceServer`."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._pending: Deque[asyncio.Future] = deque()
+        self._pushes: asyncio.Queue = asyncio.Queue()
+        self._closed = False
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = DEFAULT_PORT
+    ) -> "ServiceClient":
+        """Open a connection to the service."""
+        reader, writer = await asyncio.open_connection(host, port, limit=MAX_FRAME_BYTES)
+        return cls(reader, writer)
+
+    # ------------------------------------------------------------ commands
+
+    async def subscribe(self, query: str, name: Optional[str] = None) -> str:
+        """Register a standing query; returns the (possibly auto-) name."""
+        frame: Dict[str, Any] = {"cmd": "subscribe", "query": query}
+        if name is not None:
+            frame["name"] = name
+        reply = await self._request(frame)
+        return reply["name"]
+
+    async def unsubscribe(self, name: str) -> None:
+        """Drop a subscription owned by this connection."""
+        await self._request({"cmd": "unsubscribe", "name": name})
+
+    async def feed(self, data: str) -> None:
+        """Send one XML text chunk (no reply; parse errors arrive as pushes)."""
+        await self._send({"cmd": "feed", "data": data})
+
+    async def finish(self) -> Dict[str, Any]:
+        """End the current document; returns the ``finished`` reply."""
+        return await self._request({"cmd": "finish"})
+
+    async def stats(self) -> Dict[str, Any]:
+        """Fetch the server's ``stats`` frame."""
+        return await self._request({"cmd": "stats"})
+
+    async def ping(self) -> None:
+        """Round-trip a ``ping``."""
+        await self._request({"cmd": "ping"})
+
+    # ------------------------------------------------------------ pushes
+
+    async def next_push(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Await the next push frame (``solution`` / ``eof`` / ``error``).
+
+        Raises :class:`asyncio.TimeoutError` on timeout and
+        :class:`ConnectionError` when the connection is gone and the queue
+        is drained.
+        """
+        if self._closed and self._pushes.empty():
+            raise ConnectionError("service connection closed")
+        getter = self._pushes.get()
+        frame = await (asyncio.wait_for(getter, timeout) if timeout else getter)
+        if frame is None:
+            raise ConnectionError("service connection closed")
+        return frame
+
+    def pending_pushes(self) -> list:
+        """Drain already-received push frames without blocking.
+
+        Useful for publishers: ``feed`` errors arrive on the push lane, so
+        after a round-trip (``ping``/``finish``) any parse failure for the
+        chunks sent so far is guaranteed to be here.
+        """
+        frames = []
+        while True:
+            try:
+                frame = self._pushes.get_nowait()
+            except asyncio.QueueEmpty:
+                return frames
+            if frame is not None:
+                frames.append(frame)
+
+    async def solutions(
+        self, stop_at_eof: bool = False
+    ) -> AsyncIterator[Tuple[str, Solution, Dict[str, Any]]]:
+        """Iterate ``(name, solution, frame)`` for incoming solution pushes.
+
+        Non-solution pushes are skipped, except that ``stop_at_eof=True``
+        ends the iteration at the next ``eof`` frame; iteration also ends
+        when the connection closes.
+        """
+        while True:
+            try:
+                frame = await self.next_push()
+            except ConnectionError:
+                return
+            kind = frame.get("type")
+            if kind == "solution":
+                yield (
+                    frame["name"],
+                    solution_from_payload(frame["solution"]),
+                    frame,
+                )
+            elif kind == "eof" and stop_at_eof:
+                return
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def close(self) -> None:
+        """Close the connection and stop the reader task.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        self._drain_pending(ConnectionError("service connection closed"))
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------ internals
+
+    async def _send(self, frame: Dict[str, Any]) -> None:
+        if self._closed:
+            raise ConnectionError("service connection closed")
+        self._writer.write(encode_frame(frame))
+        await self._writer.drain()
+
+    async def _request(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending.append(future)
+        try:
+            await self._send(frame)
+        except BaseException:
+            self._pending.remove(future)
+            raise
+        return await future
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                frame = decode_frame(line)
+                kind = frame.get("type")
+                if kind in _REPLY_TYPES:
+                    if self._pending:
+                        self._pending.popleft().set_result(frame)
+                elif (
+                    kind == "error"
+                    and frame.get("cmd") in _REQUEST_CMDS
+                    and self._pending
+                ):
+                    self._pending.popleft().set_exception(
+                        ServiceError(frame.get("message", "service error"))
+                    )
+                else:
+                    self._pushes.put_nowait(frame)
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            # Connection torn down mid-read (or a malformed frame): the
+            # finally block marks the client closed and wakes all waiters.
+            pass
+        finally:
+            self._closed = True
+            self._drain_pending(ConnectionError("service connection closed"))
+            self._pushes.put_nowait(None)  # wake next_push waiters
+
+    def _drain_pending(self, exc: Exception) -> None:
+        while self._pending:
+            future = self._pending.popleft()
+            if not future.done():
+                future.set_exception(exc)
+
+
+__all__ = ["ServiceClient", "ServiceError"]

@@ -1,0 +1,146 @@
+"""Wire protocol for the subscription service: line-delimited JSON frames.
+
+One frame per line, UTF-8, ``\\n``-terminated.  A line starting with ``{``
+is a JSON object; any other non-empty line is a **raw XML frame** — shorthand
+for ``{"cmd": "feed", "data": "<line>"}`` so a document can be piped in from
+``netcat`` (note the transport strips the newline itself; use JSON ``feed``
+frames when exact byte fidelity matters, e.g. newlines inside text nodes).
+
+Client → server commands (``cmd``):
+
+=============  =====================================  =======================
+``cmd``        fields                                 reply (``type``)
+=============  =====================================  =======================
+``subscribe``  ``query``, optional ``name``           ``subscribed``
+``unsubscribe``  ``name``                             ``unsubscribed``
+``feed``       ``data`` (XML text chunk)              — (errors only)
+``finish``     —                                      ``finished``
+``stats``      —                                      ``stats``
+``ping``       —                                      ``pong``
+=============  =====================================  =======================
+
+Server → client pushes (``type``): ``solution`` (a match for one of the
+connection's subscriptions: ``name``, ``ts`` — the server's monotonic clock
+at emission — and the ``solution`` payload), ``eof`` (the current document
+finished; carries ``document`` sequence number and this connection's
+``delivered``/``dropped`` counters), ``error`` (``message``, plus ``cmd``
+when the error answers a specific command).
+
+Solutions travel as flat JSON objects (:func:`solution_to_payload`) and are
+reconstructed client-side into real :class:`~repro.core.results.Solution`
+objects (:func:`solution_from_payload`), so client code sees the same API
+as library code.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Union
+
+from ..core.results import NodeRef, Solution, SolutionKind
+from ..errors import ViteXError
+
+#: Upper bound on one frame (guards the server against unbounded buffering
+#: of a missing newline).  Sized so a 32 Ki-character feed chunk fits even
+#: at the worst-case ~6-bytes-per-character JSON escaping.
+MAX_FRAME_BYTES = 256 * 1024
+
+
+class ProtocolError(ViteXError):
+    """A frame that cannot be parsed or violates the protocol."""
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """Serialize one frame to its wire form (JSON + newline, UTF-8).
+
+    ``ensure_ascii=False``: the transport is UTF-8, and ``\\uXXXX``-escaping
+    every non-ASCII character would inflate XML payloads up to 6× — enough
+    to push an innocently-sized ``feed`` chunk past ``MAX_FRAME_BYTES``.
+    """
+    return (
+        json.dumps(message, separators=(",", ":"), ensure_ascii=False) + "\n"
+    ).encode("utf-8")
+
+
+def decode_frame(line: Union[str, bytes]) -> Dict[str, Any]:
+    """Parse one received line into a frame dict.
+
+    Raw (non-JSON) lines become ``feed`` frames; see the module docstring.
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"frame is not valid UTF-8: {exc}") from exc
+    line = line.rstrip("\r\n")
+    if not line:
+        raise ProtocolError("empty frame")
+    if not line.startswith("{"):
+        return {"cmd": "feed", "data": line}
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"malformed JSON frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame must be a JSON object")
+    return message
+
+
+def solution_to_payload(solution: Solution) -> Dict[str, Any]:
+    """Flatten a :class:`Solution` into its JSON wire payload."""
+    node = solution.node
+    payload: Dict[str, Any] = {
+        "kind": solution.kind.value,
+        "order": node.order,
+        "tag": node.tag,
+        "level": node.level,
+    }
+    if node.line is not None:
+        payload["line"] = node.line
+    if solution.attribute is not None:
+        payload["attribute"] = solution.attribute
+    if solution.value is not None:
+        payload["value"] = solution.value
+    if solution.fragment is not None:
+        payload["fragment"] = solution.fragment
+    return payload
+
+
+def solution_from_payload(payload: Dict[str, Any]) -> Solution:
+    """Rebuild a :class:`Solution` from its wire payload."""
+    try:
+        kind = SolutionKind(payload["kind"])
+        node = NodeRef(
+            order=payload["order"],
+            tag=payload.get("tag", ""),
+            level=payload.get("level", 0),
+            line=payload.get("line"),
+        )
+    except (KeyError, ValueError) as exc:
+        raise ProtocolError(f"malformed solution payload: {payload!r}") from exc
+    return Solution(
+        kind=kind,
+        node=node,
+        attribute=payload.get("attribute"),
+        value=payload.get("value"),
+        fragment=payload.get("fragment"),
+    )
+
+
+def error_frame(message: str, cmd: Optional[str] = None) -> Dict[str, Any]:
+    """Build an ``error`` push frame."""
+    frame: Dict[str, Any] = {"type": "error", "message": message}
+    if cmd is not None:
+        frame["cmd"] = cmd
+    return frame
+
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "decode_frame",
+    "encode_frame",
+    "error_frame",
+    "solution_from_payload",
+    "solution_to_payload",
+]

@@ -1,0 +1,541 @@
+"""The asyncio subscription server: one shared engine, many subscribers.
+
+Architecture::
+
+    client A ──subscribe──▶ ┌──────────────────────────────┐
+    client B ──subscribe──▶ │  ServiceServer               │
+                            │   MultiQueryEvaluator (one)  │──▶ outbox A ──▶ A
+    publisher ──feed/──────▶│   StreamSession (per doc)    │──▶ outbox B ──▶ B
+               finish       └──────────────────────────────┘
+
+* **One engine, one stream.**  All connections share a single
+  :class:`~repro.core.multi.MultiQueryEvaluator`; ``feed`` frames from any
+  connection advance the one global document through a push-mode
+  :class:`~repro.core.session.StreamSession`.  Subscribing mid-document is
+  allowed and follows the engine's remainder-only semantics.
+* **Per-connection subscription ownership.**  A subscription belongs to the
+  connection that created it: only that connection may unsubscribe it, its
+  solutions go only to that connection's outbox, and closing the connection
+  unregisters everything it owned (releasing compiled-query cache refs).
+* **Bounded outboxes, drop-oldest backpressure.**  Each connection has a
+  bounded frame queue drained by its own writer task.  The parse loop never
+  blocks on a slow consumer: when an outbox is full the *oldest* frame is
+  dropped and counted (per connection and per subscription), favouring
+  fresh solutions — the stock-ticker trade-off.
+* **Document lifecycle.**  ``finish`` ends the current document: the
+  publisher gets a ``finished`` reply, every subscriber connection gets an
+  ``eof`` frame, and the engine resets for the next document while keeping
+  all subscriptions registered (standing queries).  A malformed chunk
+  aborts the document the same way (``eof`` with ``aborted``), leaving the
+  machines clean.
+
+Parsing runs synchronously on the event loop — chunks are bounded by
+:data:`~repro.service.protocol.MAX_FRAME_BYTES`, so each ``feed`` is a
+bounded slice of CPU.  Sharding across processes is the roadmap's next step.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from ..core.multi import MultiQueryEvaluator
+from ..core.results import Solution
+from ..core.session import StreamSession
+from ..errors import ViteXError
+from .protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    solution_to_payload,
+)
+
+#: Default TCP port (unassigned range; "ViteX" on a phone keypad is 84839,
+#: which does not fit, so the year of the paper it reproduces: 2005 → 8005).
+DEFAULT_PORT = 8005
+
+#: Default per-connection outbox bound (frames).
+DEFAULT_OUTBOX_LIMIT = 4096
+
+
+class _SubscriptionHandle:
+    """Server-side bookkeeping for one registered subscription."""
+
+    __slots__ = (
+        "name",
+        "query",
+        "connection",
+        "callback",
+        "delivered",
+        "dropped",
+        "callback_errors",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        query: str,
+        connection: Optional["_Connection"],
+        callback: Optional[Callable[[str, Solution], None]] = None,
+    ) -> None:
+        self.name = name
+        self.query = query
+        self.connection = connection  # None for server-local subscriptions
+        self.callback = callback
+        self.delivered = 0
+        self.dropped = 0
+        self.callback_errors = 0
+
+
+class _Connection:
+    """One client connection: reader state, bounded outbox, writer task."""
+
+    __slots__ = (
+        "reader",
+        "writer",
+        "outbox",
+        "wake",
+        "writer_task",
+        "handler_task",
+        "names",
+        "delivered",
+        "dropped",
+        "peer",
+    )
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.outbox: Deque[Tuple[Optional[str], bytes]] = deque()
+        self.wake = asyncio.Event()
+        self.writer_task: Optional[asyncio.Task] = None
+        self.handler_task: Optional[asyncio.Task] = None
+        self.names: List[str] = []  # subscriptions owned, registration order
+        self.delivered = 0
+        self.dropped = 0
+        try:
+            self.peer = writer.get_extra_info("peername")
+        except Exception:  # pragma: no cover - transport without peername
+            self.peer = None
+
+
+class ServiceServer:
+    """Long-lived subscription service over one shared TwigM engine."""
+
+    def __init__(
+        self,
+        parser: str = "native",
+        outbox_limit: int = DEFAULT_OUTBOX_LIMIT,
+    ) -> None:
+        if outbox_limit <= 0:
+            raise ValueError("outbox_limit must be positive")
+        self.parser = parser
+        self._outbox_limit = outbox_limit
+        self._engine = MultiQueryEvaluator(collect_statistics=False)
+        self._session: Optional[StreamSession] = None
+        self._connections: set = set()
+        self._subscriptions: Dict[str, _SubscriptionHandle] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._closed = False
+        # Lifetime counters for /stats.
+        self._documents = 0
+        self._elements_total = 0
+        self._solutions_total = 0
+        self._busy_seconds = 0.0
+        self._started_at = time.monotonic()
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT) -> None:
+        """Bind and start accepting connections (use ``port=0`` for an
+        ephemeral port; see :attr:`address`)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port, limit=MAX_FRAME_BYTES
+        )
+
+    @property
+    def address(self) -> Optional[Tuple[str, int]]:
+        """The first bound ``(host, port)``, once started."""
+        if self._server is None or not self._server.sockets:
+            return None
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def serve_forever(self) -> None:
+        """Block serving until cancelled or :meth:`close` is called."""
+        if self._server is None:
+            raise RuntimeError("call start() first")
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def close(self) -> None:
+        """Graceful teardown: stop accepting, drop connections, release the
+        engine's compiled-query cache references.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        connections = list(self._connections)
+        for connection in connections:
+            await self._drop_connection(connection)
+        # Reap the per-connection handler tasks so shutdown leaves no
+        # pending tasks behind for the loop to complain about.
+        current = asyncio.current_task()
+        for connection in connections:
+            task = connection.handler_task
+            if task is None or task is current:
+                continue
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._session = None
+        self._engine.close()
+
+    @property
+    def engine(self) -> MultiQueryEvaluator:
+        """The shared engine (read-mostly; the server owns its lifecycle)."""
+        return self._engine
+
+    # -------------------------------------------------- local subscriptions
+
+    def add_local_subscription(
+        self,
+        query: str,
+        name: Optional[str] = None,
+        callback: Optional[Callable[[str, Solution], None]] = None,
+    ) -> str:
+        """Register a server-owned standing query (``vitex serve --watch``).
+
+        Solutions invoke ``callback(name, solution)`` on the event loop
+        instead of travelling to a connection.  Returns the subscription
+        name.
+        """
+        subscription = self._engine.register(query, name=name)
+        handle = _SubscriptionHandle(
+            subscription.name, subscription.query, None, callback
+        )
+        self._subscriptions[subscription.name] = handle
+        return subscription.name
+
+    # ------------------------------------------------------------ stats
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``/stats`` payload: engine shape, rates, delivery counters."""
+        elements = self._elements_total
+        if self._session is not None:
+            elements += self._session.element_count
+        busy = self._busy_seconds
+        return {
+            "type": "stats",
+            "parser": self.parser,
+            "machine_count": self._engine.machine_count,
+            "subscriptions": len(self._subscriptions),
+            "connections": len(self._connections),
+            "documents": self._documents,
+            "elements": elements,
+            "events_per_sec": round(elements / busy, 1) if busy > 0 else 0.0,
+            "solutions": self._solutions_total,
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "subscription_detail": {
+                name: {
+                    "query": handle.query,
+                    "delivered": handle.delivered,
+                    "dropped": handle.dropped,
+                    "callback_errors": handle.callback_errors,
+                    "local": handle.connection is None,
+                }
+                for name, handle in self._subscriptions.items()
+            },
+        }
+
+    # ------------------------------------------------------ connection I/O
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = _Connection(reader, writer)
+        self._connections.add(connection)
+        connection.handler_task = asyncio.current_task()
+        connection.writer_task = asyncio.ensure_future(self._writer_loop(connection))
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Frame exceeded MAX_FRAME_BYTES: protocol violation.
+                    self._enqueue(
+                        connection,
+                        None,
+                        encode_frame(error_frame("frame too large; closing")),
+                    )
+                    break
+                if not line:
+                    break
+                if line.strip():
+                    self._dispatch(connection, line)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Cancelled by close(): finish cleanly so the reaping await in
+            # close() (and the loop's shutdown) sees a completed task.
+            pass
+        finally:
+            await self._drop_connection(connection)
+
+    async def _writer_loop(self, connection: _Connection) -> None:
+        """Drain the outbox; the only place that awaits socket writes."""
+        writer = connection.writer
+        outbox = connection.outbox
+        try:
+            while True:
+                await connection.wake.wait()
+                connection.wake.clear()
+                while outbox:
+                    batch: List[bytes] = []
+                    while outbox and len(batch) < 128:
+                        batch.append(outbox.popleft()[1])
+                    writer.write(b"".join(batch))
+                    await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+    def _enqueue(
+        self, connection: _Connection, name: Optional[str], frame: bytes
+    ) -> None:
+        """Queue a frame; drop the oldest *solution* when the bound is hit.
+
+        Never blocks and never awaits: called from the parse loop.  Only
+        solution frames (``name`` set) are droppable — losing a reply or an
+        ``eof`` would wedge the client protocol, and control frames are
+        bounded by the client's own request rate, so exempting them keeps
+        the outbox bound meaningful where it matters (solution fan-out).
+        """
+        outbox = connection.outbox
+        if len(outbox) >= self._outbox_limit:
+            for index, (queued_name, _) in enumerate(outbox):
+                if queued_name is not None:
+                    del outbox[index]
+                    connection.dropped += 1
+                    handle = self._subscriptions.get(queued_name)
+                    if handle is not None:
+                        handle.dropped += 1
+                    break
+            # All-control outbox: append anyway; see the docstring.
+        outbox.append((name, frame))
+        connection.wake.set()
+
+    async def _drop_connection(self, connection: _Connection) -> None:
+        if connection not in self._connections:
+            return
+        self._connections.discard(connection)
+        for name in list(connection.names):
+            self._remove_subscription(name)
+        if connection.writer_task is not None:
+            connection.writer_task.cancel()
+            try:
+                await connection.writer_task
+            except asyncio.CancelledError:
+                pass
+        try:
+            connection.writer.close()
+            await connection.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    def _remove_subscription(self, name: str) -> None:
+        handle = self._subscriptions.pop(name, None)
+        if handle is None:
+            return
+        if handle.connection is not None and name in handle.connection.names:
+            handle.connection.names.remove(name)
+        try:
+            self._engine.unregister(name)
+        except ViteXError:  # pragma: no cover - engine/server maps in sync
+            pass
+
+    # ------------------------------------------------------ frame dispatch
+
+    def _dispatch(self, connection: _Connection, line: bytes) -> None:
+        try:
+            frame = decode_frame(line)
+        except ProtocolError as exc:
+            self._enqueue(connection, None, encode_frame(error_frame(str(exc))))
+            return
+        cmd = frame.get("cmd")
+        handler = self._COMMANDS.get(cmd)
+        if handler is None:
+            self._enqueue(
+                connection,
+                None,
+                encode_frame(error_frame(f"unknown command {cmd!r}", cmd=cmd)),
+            )
+            return
+        try:
+            handler(self, connection, frame)
+        except ViteXError as exc:
+            self._enqueue(
+                connection, None, encode_frame(error_frame(str(exc), cmd=cmd))
+            )
+
+    def _cmd_subscribe(self, connection: _Connection, frame: Dict[str, Any]) -> None:
+        query = frame.get("query")
+        if not isinstance(query, str) or not query:
+            raise ProtocolError("subscribe needs a 'query' string")
+        name = frame.get("name")
+        subscription = self._engine.register(query, name=name)
+        handle = _SubscriptionHandle(subscription.name, subscription.query, connection)
+        self._subscriptions[subscription.name] = handle
+        connection.names.append(subscription.name)
+        self._enqueue(
+            connection,
+            None,
+            encode_frame(
+                {
+                    "type": "subscribed",
+                    "name": subscription.name,
+                    "query": subscription.query,
+                    "mid_stream": self._session is not None,
+                }
+            ),
+        )
+
+    def _cmd_unsubscribe(self, connection: _Connection, frame: Dict[str, Any]) -> None:
+        name = frame.get("name")
+        handle = self._subscriptions.get(name) if isinstance(name, str) else None
+        if handle is None:
+            raise ProtocolError(f"no subscription named {name!r}")
+        if handle.connection is not connection:
+            raise ProtocolError(f"subscription {name!r} belongs to another connection")
+        self._remove_subscription(name)
+        self._enqueue(
+            connection, None, encode_frame({"type": "unsubscribed", "name": name})
+        )
+
+    def _cmd_feed(self, connection: _Connection, frame: Dict[str, Any]) -> None:
+        data = frame.get("data")
+        if not isinstance(data, str):
+            raise ProtocolError("feed needs a 'data' string")
+        if self._session is None:
+            self._session = self._engine.session(parser=self.parser)
+        started = time.perf_counter()
+        try:
+            pairs = self._session.feed_text(data)
+        except ViteXError as exc:
+            self._abort_document(str(exc))
+            raise
+        finally:
+            self._busy_seconds += time.perf_counter() - started
+        if pairs:
+            self._route(pairs)
+
+    def _cmd_finish(self, connection: _Connection, frame: Dict[str, Any]) -> None:
+        session = self._session
+        if session is None:
+            raise ProtocolError("no document in progress")
+        started = time.perf_counter()
+        try:
+            pairs = session.finish()
+        except ViteXError as exc:
+            self._abort_document(str(exc))
+            raise
+        finally:
+            self._busy_seconds += time.perf_counter() - started
+        if pairs:
+            self._route(pairs)
+        document = self._documents
+        elements = session.element_count
+        self._elements_total += elements
+        self._documents = document + 1
+        self._session = None
+        self._engine.reset()
+        self._enqueue(
+            connection,
+            None,
+            encode_frame(
+                {"type": "finished", "document": document, "elements": elements}
+            ),
+        )
+        self._broadcast_eof(document, aborted=False)
+
+    def _cmd_stats(self, connection: _Connection, frame: Dict[str, Any]) -> None:
+        self._enqueue(connection, None, encode_frame(self.stats()))
+
+    def _cmd_ping(self, connection: _Connection, frame: Dict[str, Any]) -> None:
+        self._enqueue(connection, None, encode_frame({"type": "pong"}))
+
+    _COMMANDS: Dict[str, Callable] = {
+        "subscribe": _cmd_subscribe,
+        "unsubscribe": _cmd_unsubscribe,
+        "feed": _cmd_feed,
+        "finish": _cmd_finish,
+        "stats": _cmd_stats,
+        "ping": _cmd_ping,
+    }
+
+    # ------------------------------------------------------ solution fanout
+
+    def _route(self, pairs: List[Tuple[str, Solution]]) -> None:
+        """Fan delivered pairs out to their owners' outboxes (or callbacks)."""
+        ts = asyncio.get_running_loop().time()
+        subscriptions = self._subscriptions
+        self._solutions_total += len(pairs)
+        for name, solution in pairs:
+            handle = subscriptions.get(name)
+            if handle is None:  # pragma: no cover - engine/server maps in sync
+                continue
+            handle.delivered += 1
+            if handle.connection is None:
+                if handle.callback is not None:
+                    # Same isolation as the engine's deliver path: one bad
+                    # local callback must not abort the feed that was being
+                    # parsed (or drop the publisher's connection).
+                    try:
+                        handle.callback(name, solution)
+                    except Exception:
+                        handle.callback_errors += 1
+                continue
+            handle.connection.delivered += 1
+            frame = encode_frame(
+                {
+                    "type": "solution",
+                    "name": name,
+                    "ts": ts,
+                    "solution": solution_to_payload(solution),
+                }
+            )
+            self._enqueue(handle.connection, name, frame)
+
+    def _broadcast_eof(self, document: int, aborted: bool, error: str = "") -> None:
+        for connection in self._connections:
+            if not connection.names:
+                continue
+            frame: Dict[str, Any] = {
+                "type": "eof",
+                "document": document,
+                "aborted": aborted,
+                "delivered": connection.delivered,
+                "dropped": connection.dropped,
+            }
+            if error:
+                frame["error"] = error
+            self._enqueue(connection, None, encode_frame(frame))
+
+    def _abort_document(self, message: str) -> None:
+        """A chunk failed to parse: the session already reset the machines;
+        tell subscribers the document died and arm a fresh one."""
+        document = self._documents
+        self._documents = document + 1
+        self._session = None
+        self._broadcast_eof(document, aborted=True, error=message)
+
+
+__all__ = ["DEFAULT_OUTBOX_LIMIT", "DEFAULT_PORT", "ServiceServer"]

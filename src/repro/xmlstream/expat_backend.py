@@ -88,6 +88,15 @@ class ExpatEventSource:
         self._parse(chunk, False)
         return self._drain()
 
+    def feed_bytes(self, chunk: bytes) -> List[Event]:
+        """Feed a byte chunk split at an arbitrary offset.
+
+        Mirrors :meth:`StreamTokenizer.feed_bytes`; expat performs its own
+        encoding detection and carries partial multibyte sequences across
+        ``Parse(chunk, 0)`` calls, so this is simply :meth:`feed`.
+        """
+        return self.feed(chunk)
+
     def close(self) -> List[Event]:
         """Signal end of input and return the final events."""
         if self._finished:

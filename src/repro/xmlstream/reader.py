@@ -9,6 +9,7 @@ byte-order mark, or an explicitly supplied encoding).
 
 from __future__ import annotations
 
+import codecs
 import io
 import os
 from typing import Iterable, Iterator, Optional, Union
@@ -41,6 +42,79 @@ def _detect_encoding(prefix: bytes) -> str:
             if end != -1:
                 return head[index + len(mark):end]
     return "utf-8"
+
+
+class IncrementalByteDecoder:
+    """Incremental bytes→str decoder with streaming encoding detection.
+
+    Push-mode consumers (``StreamTokenizer.feed_bytes``, the subscription
+    service) receive byte chunks split at *arbitrary* offsets: a multibyte
+    UTF-8 sequence, a UTF-16 code unit or the byte-order mark itself may
+    straddle a chunk boundary.  This class owns both problems:
+
+    * the encoding is detected exactly once, from a buffered prefix — the
+      first bytes are held back until the BOM window (4 bytes) is complete
+      and, when the document opens with an XML declaration, until the
+      declaration's ``?>`` has arrived (bounded at 256 bytes), so an
+      ``encoding="..."`` pseudo-attribute split across chunks is still seen;
+    * decoding uses :mod:`codecs` incremental decoders, which carry partial
+      multibyte sequences across :meth:`decode` calls instead of raising.
+
+    ``decode(chunk)`` therefore returns whatever text is ready (possibly
+    ``""`` while the detection prefix is still buffering) and
+    ``decode(b"", final=True)`` flushes the tail, raising
+    :class:`~repro.errors.EncodingError` if the stream ends mid-character.
+    """
+
+    #: Detection prefix bound: an XML declaration fits comfortably in this.
+    _MAX_PREFIX = 256
+
+    def __init__(self, encoding: Optional[str] = None) -> None:
+        self._encoding = encoding
+        self._decoder = None
+        self._prefix = b""
+        self._detected: Optional[str] = None
+
+    def decode(self, chunk: bytes, final: bool = False) -> str:
+        """Decode ``chunk``, returning the text completed by it."""
+        if self._decoder is None:
+            self._prefix += chunk
+            if not final and self._needs_more_prefix():
+                return ""
+            encoding = self._encoding or _detect_encoding(
+                self._prefix[: self._MAX_PREFIX]
+            )
+            try:
+                self._decoder = codecs.getincrementaldecoder(encoding)()
+            except LookupError as exc:
+                raise EncodingError(f"unknown encoding {encoding!r}") from exc
+            chunk, self._prefix = self._prefix, b""
+            self._detected = encoding
+        try:
+            return self._decoder.decode(chunk, final)
+        except UnicodeDecodeError as exc:
+            raise EncodingError(
+                f"cannot decode document as {self._detected}: {exc}"
+            ) from exc
+
+    def _needs_more_prefix(self) -> bool:
+        prefix = self._prefix
+        if self._encoding is not None:
+            return False
+        if len(prefix) < 5:
+            # Both detection anchors are still incomplete: BOMs are at most
+            # 4 bytes and the b"<?xml" declaration marker is 5.
+            return True
+        if len(prefix) >= self._MAX_PREFIX:
+            return False
+        # A document starting with an XML declaration may name its encoding;
+        # wait for the declaration to close before committing to one.
+        return prefix.startswith(b"<?xml") and b"?>" not in prefix
+
+    @property
+    def detected_encoding(self) -> Optional[str]:
+        """The encoding committed to, or ``None`` while still detecting."""
+        return self._detected
 
 
 class StreamReader:
@@ -162,33 +236,12 @@ class StreamReader:
                 yield chunk
 
     def _chunk_binary_handle(self, handle) -> Iterator[str]:
-        first = handle.read(self.chunk_size)
-        if not first:
-            return
-        encoding = self.encoding or _detect_encoding(first[:256])
-        try:
-            decoder_info = io.TextIOWrapper  # noqa: F841 - documented fallback below
-            import codecs
-
-            decoder = codecs.getincrementaldecoder(encoding)()
-        except LookupError as exc:
-            raise EncodingError(f"unknown encoding {encoding!r}") from exc
-        try:
-            text = decoder.decode(first)
-        except UnicodeDecodeError as exc:
-            raise EncodingError(f"cannot decode document as {encoding}: {exc}") from exc
-        if text:
-            yield text
+        decoder = IncrementalByteDecoder(self.encoding)
         while True:
             chunk = handle.read(self.chunk_size)
             if not chunk:
                 break
-            try:
-                text = decoder.decode(chunk)
-            except UnicodeDecodeError as exc:
-                raise EncodingError(
-                    f"cannot decode document as {encoding}: {exc}"
-                ) from exc
+            text = decoder.decode(chunk)
             if text:
                 yield text
         tail = decoder.decode(b"", final=True)

@@ -29,6 +29,7 @@ import re
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..errors import XMLSyntaxError
+from .reader import IncrementalByteDecoder
 from .events import (
     Characters,
     Comment,
@@ -169,7 +170,11 @@ class StreamTokenizer:
     the document size.
     """
 
-    def __init__(self, coalesce_text: bool = True) -> None:
+    def __init__(
+        self, coalesce_text: bool = True, encoding: Optional[str] = None
+    ) -> None:
+        self._encoding = encoding
+        self._byte_decoder = None  # created lazily by feed_bytes
         self._buffer = ""
         self._events: List[Event] = []
         self._open_elements: List[str] = []
@@ -206,6 +211,24 @@ class StreamTokenizer:
         self._scan()
         return self._drain()
 
+    def feed_bytes(self, chunk: bytes) -> List[Event]:
+        """Feed a byte chunk split at an arbitrary offset.
+
+        Bytes are decoded incrementally (:class:`IncrementalByteDecoder`):
+        the encoding is detected once from the BOM / XML declaration, and a
+        multibyte sequence straddling the chunk boundary is carried over to
+        the next call instead of failing.  A document may be fed one byte at
+        a time and produces the event stream of the one-shot parse.
+        """
+        if self._byte_decoder is None:
+            if self._finished:
+                raise XMLSyntaxError("tokenizer already closed")
+            self._byte_decoder = IncrementalByteDecoder(self._encoding)
+        text = self._byte_decoder.decode(chunk)
+        # Feed even when no text is ready yet: the first call must emit
+        # StartDocument exactly like the text push API does.
+        return self.feed(text)
+
     def close(self) -> List[Event]:
         """Signal end of input and return the final events.
 
@@ -213,6 +236,11 @@ class StreamTokenizer:
         """
         if self._finished:
             return []
+        if self._byte_decoder is not None:
+            # Flush the decoder: raises EncodingError when the stream ends in
+            # the middle of a multibyte sequence.  The flushed text joins the
+            # buffer and is consumed by the final _scan below.
+            self._buffer += self._byte_decoder.decode(b"", final=True)
         if not self._started:
             self._started = True
             self._emit(StartDocument(position=self._next_position()))

@@ -1,0 +1,232 @@
+"""StreamSession: push-mode parity with one-shot evaluation.
+
+The contract under test (ISSUE 3 acceptance): feeding a document through a
+push session in 1-byte chunks must produce a ``(name, solution)`` stream
+byte-identical to one-shot ``evaluate()`` / ``stream()`` — on both parser
+back-ends, with chunk boundaries falling anywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.multi import MultiQueryEvaluator
+from repro.errors import EngineError, XMLSyntaxError
+
+DOC = (
+    '<?xml version="1.0"?>'
+    "<feed>"
+    '<r seq="1"><s1><v1>aé&amp;b</v1></s1></r>'
+    '<r seq="0"><s0><v0>plain</v0></s0></r>'
+    "<r><s1><v1>☃ two</v1></s1></r>"
+    "<!-- noise -->"
+    "<r><s1><v1><![CDATA[cd & ata]]></v1></s1></r>"
+    "</feed>"
+)
+
+QUERIES = (
+    ("a", "//s1/v1"),
+    ("b", "//r[s0]"),
+    ("c", "//v1/text()"),
+    ("d", "//r/@seq"),
+)
+
+PARSERS = ("pure", "expat")
+
+
+def _register_all(engine):
+    for name, query in QUERIES:
+        engine.register(query, name=name)
+
+
+def _pairs_key(pairs):
+    return [(name, solution.key()) for name, solution in pairs]
+
+
+def _oneshot_pairs(parser):
+    with MultiQueryEvaluator() as engine:
+        _register_all(engine)
+        pairs = list(engine.stream(DOC, parser=parser))
+        results = {name: result.keys() for name, result in engine.results().items()}
+    return pairs, results
+
+
+class TestChunkedParity:
+    @pytest.mark.parametrize("parser", PARSERS)
+    def test_one_byte_chunks_match_oneshot(self, parser):
+        expected_pairs, expected_results = _oneshot_pairs(parser)
+        data = DOC.encode("utf-8")
+        with MultiQueryEvaluator() as engine:
+            _register_all(engine)
+            session = engine.session(parser=parser)
+            pairs = []
+            for i in range(len(data)):
+                pairs.extend(session.feed_bytes(data[i : i + 1]))
+            pairs.extend(session.finish())
+            assert _pairs_key(pairs) == _pairs_key(expected_pairs)
+            results = {
+                name: result.keys() for name, result in engine.results().items()
+            }
+            assert results == expected_results
+
+    @pytest.mark.parametrize("parser", PARSERS)
+    def test_pure_and_expat_sessions_agree(self, parser):
+        # Cross-backend: both backends' session streams equal the pure
+        # one-shot stream, hence each other.
+        expected_pairs, _ = _oneshot_pairs("pure")
+        with MultiQueryEvaluator() as engine:
+            _register_all(engine)
+            session = engine.session(parser=parser)
+            pairs = session.feed_text(DOC)
+            pairs.extend(session.finish())
+            assert _pairs_key(pairs) == _pairs_key(expected_pairs)
+
+    @pytest.mark.parametrize("parser", PARSERS)
+    def test_text_and_byte_feeding_agree(self, parser):
+        expected_pairs, _ = _oneshot_pairs(parser)
+        with MultiQueryEvaluator() as engine:
+            _register_all(engine)
+            session = engine.session(parser=parser)
+            half = len(DOC) // 2
+            pairs = session.feed_text(DOC[:half])
+            pairs.extend(session.feed_text(DOC[half:]))
+            pairs.extend(session.finish())
+            assert _pairs_key(pairs) == _pairs_key(expected_pairs)
+
+    @pytest.mark.parametrize("parser", PARSERS)
+    def test_callbacks_fire_exactly_once(self, parser):
+        received = []
+        with MultiQueryEvaluator() as engine:
+            engine.register("//s1/v1", name="cb", callback=received.append)
+            session = engine.session(parser=parser)
+            session.feed_text(DOC)
+            session.finish()
+            assert len(received) == 3
+            assert engine.subscriptions[0].delivered == 3
+
+
+class TestSessionLifecycle:
+    @pytest.mark.parametrize("parser", PARSERS)
+    def test_mid_stream_registration_sees_remainder_only(self, parser):
+        with MultiQueryEvaluator() as engine:
+            engine.register("//s0/v0", name="early")
+            session = engine.session(parser=parser)
+            session.feed_text('<feed><r seq="1"><s1><v1>x</v1></s1></r>')
+            late = engine.register("//s1/v1", name="late")
+            pairs = session.feed_text('<r><s1><v1>y</v1></s1></r></feed>')
+            pairs.extend(session.finish())
+            late_pairs = [pair for pair in pairs if pair[0] == "late"]
+            assert len(late_pairs) == 1
+            # Solution identity is document-global: the second v1 is the
+            # 7th element (0-based order 6) of the whole stream.
+            assert late_pairs[0][1].node.order == 6
+            assert late.delivered == 1
+
+    @pytest.mark.parametrize("parser", PARSERS)
+    def test_zero_subscription_feeding_keeps_position(self, parser):
+        with MultiQueryEvaluator() as engine:
+            session = engine.session(parser=parser)
+            session.feed_text("<feed><r><s1><v1>x</v1></s1></r>")
+            assert session.element_count == 4
+            engine.register("//v1", name="late")
+            pairs = session.feed_text("<r><s1><v1>y</v1></s1></r></feed>")
+            pairs.extend(session.finish())
+            assert len(pairs) == 1
+            # feed(0) r(1) s1(2) v1(3) parsed before registration; the
+            # remainder's v1 lands at document-global order 6.
+            assert pairs[0][1].node.order == 6
+
+    @pytest.mark.parametrize("parser", PARSERS)
+    def test_finish_marks_engine_finished(self, parser):
+        with MultiQueryEvaluator() as engine:
+            engine.register("//v1", name="q")
+            session = engine.session(parser=parser)
+            session.feed_text("<feed><v1>x</v1></feed>")
+            session.finish()
+            assert session.finished
+            with pytest.raises(EngineError):
+                engine.register("//v0", name="later")
+            with pytest.raises(EngineError):
+                session.feed_text("<more/>")
+            engine.reset()
+            # Standing queries survive into the next document.
+            session2 = engine.session(parser=parser)
+            pairs = session2.feed_text("<feed><v1>y</v1></feed>")
+            pairs.extend(session2.finish())
+            assert len(pairs) == 1
+
+    @pytest.mark.parametrize("parser", PARSERS)
+    def test_parse_error_aborts_and_resets(self, parser):
+        with MultiQueryEvaluator() as engine:
+            engine.register("//v1", name="q")
+            session = engine.session(parser=parser)
+            session.feed_text("<feed><v1>x</v1>")
+            with pytest.raises(XMLSyntaxError):
+                session.feed_text("</wrong>")
+            assert session.failed
+            with pytest.raises(EngineError):
+                session.feed_text("<more/>")
+            # The engine is clean: a fresh session parses a new document and
+            # sees none of the aborted document's state.
+            session2 = engine.session(parser=parser)
+            pairs = session2.feed_text("<feed><v1>z</v1></feed>")
+            pairs.extend(session2.finish())
+            assert len(pairs) == 1
+            assert pairs[0][1].node.order == 1
+
+    @pytest.mark.parametrize("parser", PARSERS)
+    def test_paused_subscription_skipped_but_machine_runs(self, parser):
+        with MultiQueryEvaluator() as engine:
+            engine.register("//v1", name="q")
+            session = engine.session(parser=parser)
+            engine.pause("q")
+            pairs = session.feed_text("<feed><v1>x</v1>")
+            engine.resume("q")
+            pairs.extend(session.feed_text("<v1>y</v1></feed>"))
+            pairs.extend(session.finish())
+            assert [name for name, _ in pairs] == ["q"]
+            # Pull-style results stay complete despite the pause.
+            assert len(engine.results()["q"]) == 2
+
+    @pytest.mark.parametrize("parser", PARSERS)
+    def test_explicit_encoding_chunked_bytes(self, parser):
+        expected_pairs, _ = _oneshot_pairs(parser)
+        data = DOC.encode("utf-8")
+        with MultiQueryEvaluator() as engine:
+            _register_all(engine)
+            session = engine.session(parser=parser, encoding="utf-8")
+            pairs = []
+            for i in range(0, len(data), 7):  # 7 never aligns with multibyte
+                pairs.extend(session.feed_bytes(data[i : i + 7]))
+            pairs.extend(session.finish())
+            assert _pairs_key(pairs) == _pairs_key(expected_pairs)
+
+    @pytest.mark.parametrize("parser", PARSERS)
+    def test_explicit_encoding_truncated_multibyte_raises(self, parser):
+        from repro.errors import EncodingError
+
+        data = "<r>☃</r>".encode("utf-8")
+        with MultiQueryEvaluator() as engine:
+            engine.register("//r", name="q")
+            session = engine.session(parser=parser, encoding="utf-8")
+            session.feed_bytes(data[:4])  # ends inside the 3-byte snowman
+            with pytest.raises(EncodingError):
+                # finish() must flush the decoder and report the dangling
+                # partial sequence instead of silently truncating.
+                session.finish()
+            assert session.failed
+
+    def test_unknown_parser_rejected(self):
+        with MultiQueryEvaluator() as engine:
+            with pytest.raises(ValueError):
+                engine.session(parser="nope")
+
+    @pytest.mark.parametrize("parser", PARSERS)
+    def test_incomplete_document_raises_on_finish(self, parser):
+        with MultiQueryEvaluator() as engine:
+            engine.register("//v1", name="q")
+            session = engine.session(parser=parser)
+            session.feed_text("<feed><v1>x</v1>")
+            with pytest.raises(XMLSyntaxError):
+                session.finish()
+            assert session.failed

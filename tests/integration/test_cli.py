@@ -163,6 +163,83 @@ class TestWatchCommand:
         assert "no queries" in capsys.readouterr().err
 
 
+class TestWatchInterrupt:
+    @pytest.fixture
+    def query_file(self, tmp_path):
+        path = tmp_path / "queries.txt"
+        path.write_text("tables: //table\ncells: //cell\n", encoding="utf-8")
+        return str(path)
+
+    def test_sigint_prints_counts_and_closes_engine(
+        self, query_file, figure1_file, capsys, monkeypatch
+    ):
+        # Raise a *real* SIGINT mid-stream: the handler installed by the
+        # watch command must convert it into the summary path (exit 130,
+        # delivery counts, engine closed) instead of a traceback.
+        import signal as signal_module
+
+        from repro.core.builder import shared_compiled_cache
+        from repro.core.multi import MultiQueryEvaluator
+
+        baseline_cached = len(shared_compiled_cache)
+        original_stream = MultiQueryEvaluator.stream
+
+        def interrupted_stream(self, source, **kwargs):
+            iterator = original_stream(self, source, **kwargs)
+            yield next(iterator)
+            signal_module.raise_signal(signal_module.SIGINT)
+            yield from iterator  # the handler interrupts before this drains
+
+        monkeypatch.setattr(MultiQueryEvaluator, "stream", interrupted_stream)
+        exit_code = main(["watch", query_file, figure1_file])
+        captured = capsys.readouterr()
+        assert exit_code == 130
+        assert "interrupted" in captured.err
+        assert "solution(s)" in captured.out
+        # close() ran: the compiled-query cache refs were released.
+        assert len(shared_compiled_cache) == baseline_cached
+
+    def test_sigint_handler_restored(self, query_file, figure1_file, capsys):
+        import signal as signal_module
+
+        before = signal_module.getsignal(signal_module.SIGINT)
+        assert main(["watch", query_file, figure1_file]) == 0
+        capsys.readouterr()
+        assert signal_module.getsignal(signal_module.SIGINT) is before
+
+
+class TestServiceCommands:
+    def test_publish_unreachable_service_reports_error(self, tmp_path, capsys):
+        document = tmp_path / "doc.xml"
+        document.write_text("<a/>", encoding="utf-8")
+        # Port 1 on loopback is essentially never listening.
+        exit_code = main(
+            ["publish", str(document), "--host", "127.0.0.1", "--port", "1"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "cannot reach service" in captured.err
+
+    def test_subscribe_unreachable_service_reports_error(self, capsys):
+        exit_code = main(["subscribe", "//a", "--host", "127.0.0.1", "--port", "1"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "cannot reach service" in captured.err
+
+    def test_publish_rejects_bad_chunk_size(self, tmp_path, capsys):
+        document = tmp_path / "doc.xml"
+        document.write_text("<a/>", encoding="utf-8")
+        exit_code = main(["publish", str(document), "--chunk-size", "0"])
+        assert exit_code == 1
+        assert "chunk-size" in capsys.readouterr().err
+
+    def test_serve_missing_watch_file_reports_error(self, tmp_path, capsys):
+        exit_code = main(
+            ["serve", "--watch", str(tmp_path / "empty.txt"), "--port", "0"]
+        )
+        assert exit_code == 1
+
+
 class TestParser:
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 2

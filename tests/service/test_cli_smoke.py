@@ -1,0 +1,163 @@
+"""End-to-end CLI smoke: a real ``vitex serve`` process on a real socket.
+
+This is the CI smoke test required by ISSUE 3: spawn the server as a child
+process, connect over TCP, subscribe, publish a document with ``vitex
+publish``, and assert a solution frame arrives within a timeout.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service.client import ServiceClient
+
+SERVER_READY_RE = re.compile(r"listening on ([\d.]+):(\d+)")
+STARTUP_TIMEOUT = 20.0
+PUSH_TIMEOUT = 10.0
+
+
+def _repo_env():
+    env = dict(os.environ)
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+        "src",
+    )
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    return env
+
+
+@pytest.fixture
+def served():
+    """A ``vitex serve`` child process on an ephemeral port; yields (host, port)."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=_repo_env(),
+    )
+    try:
+        deadline = time.monotonic() + STARTUP_TIMEOUT
+        address = None
+        while time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if not line:
+                break
+            match = SERVER_READY_RE.search(line)
+            if match:
+                address = (match.group(1), int(match.group(2)))
+                break
+        assert address is not None, "server did not announce its address"
+        yield address
+    finally:
+        if process.poll() is None:
+            process.send_signal(signal.SIGINT)
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover - hang guard
+                process.kill()
+                process.wait(timeout=10)
+
+
+class TestServeSmoke:
+    def test_subscribe_feed_one_solution_arrives(self, served, tmp_path):
+        host, port = served
+
+        async def scenario():
+            subscriber = await ServiceClient.connect(host, port)
+            try:
+                await subscriber.subscribe("//s1/v1", name="smoke")
+                document = tmp_path / "doc.xml"
+                document.write_text(
+                    "<feed><r><s1><v1>live</v1></s1></r></feed>", encoding="utf-8"
+                )
+                publish = await asyncio.create_subprocess_exec(
+                    sys.executable,
+                    "-m",
+                    "repro.cli",
+                    "publish",
+                    str(document),
+                    "--host",
+                    host,
+                    "--port",
+                    str(port),
+                    stdout=asyncio.subprocess.PIPE,
+                    stderr=asyncio.subprocess.PIPE,
+                    env=_repo_env(),
+                )
+                stdout, stderr = await asyncio.wait_for(
+                    publish.communicate(), timeout=PUSH_TIMEOUT
+                )
+                assert publish.returncode == 0, stderr.decode()
+                assert b"finished" in stdout
+                push = await subscriber.next_push(timeout=PUSH_TIMEOUT)
+                assert push["type"] == "solution"
+                assert push["name"] == "smoke"
+                assert push["solution"]["tag"] == "v1"
+                eof = await subscriber.next_push(timeout=PUSH_TIMEOUT)
+                assert eof["type"] == "eof" and eof["delivered"] == 1
+            finally:
+                await subscriber.close()
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=60))
+
+    def test_publish_no_finish_surfaces_parse_errors(self, served, tmp_path):
+        host, port = served
+        document = tmp_path / "broken.xml"
+        document.write_text("<feed><r></mismatch>", encoding="utf-8")
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "publish",
+                str(document),
+                "--host",
+                host,
+                "--port",
+                str(port),
+                "--no-finish",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=30,
+            env=_repo_env(),
+        )
+        assert result.returncode == 1
+        assert "error:" in result.stderr
+        assert "mismatch" in result.stderr or "end tag" in result.stderr
+
+    def test_publish_reports_feed_error_over_finish_noise(self, served, tmp_path):
+        host, port = served
+        document = tmp_path / "broken2.xml"
+        document.write_text("<feed><r></oops>", encoding="utf-8")
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "publish",
+                str(document),
+                "--host",
+                host,
+                "--port",
+                str(port),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=30,
+            env=_repo_env(),
+        )
+        assert result.returncode == 1
+        # The real parse error, not the secondary "no document in progress".
+        assert "no document in progress" not in result.stderr
+        assert "error:" in result.stderr

@@ -1,0 +1,110 @@
+"""Wire-protocol codec tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import NodeRef, Solution, SolutionKind
+from repro.service.protocol import (
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    solution_from_payload,
+    solution_to_payload,
+)
+
+
+class TestFrames:
+    def test_roundtrip(self):
+        frame = {"cmd": "subscribe", "query": "//a[b]", "name": "q1"}
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_encode_is_one_line(self):
+        data = encode_frame({"cmd": "feed", "data": "<a>\n</a>"})
+        assert data.endswith(b"\n")
+        assert data.count(b"\n") == 1  # payload newlines are JSON-escaped
+
+    def test_raw_xml_line_becomes_feed(self):
+        assert decode_frame(b"<quote symbol='X'/>\n") == {
+            "cmd": "feed",
+            "data": "<quote symbol='X'/>",
+        }
+
+    def test_empty_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"\n")
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b'{"cmd": \n')
+
+    def test_non_brace_json_is_a_raw_frame(self):
+        # Only lines opening with '{' are JSON; anything else is raw XML.
+        assert decode_frame(b"[1, 2]\n") == {"cmd": "feed", "data": "[1, 2]"}
+
+    def test_invalid_utf8_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b'{"cmd": "\xff"}\n')
+
+    def test_non_ascii_payload_is_not_escaped(self):
+        # ensure_ascii must stay off: \uXXXX-escaping inflates XML payloads
+        # up to 6x and pushes feed frames past MAX_FRAME_BYTES.
+        data = "é☃" * 1000
+        encoded = encode_frame({"cmd": "feed", "data": data})
+        assert b"\\u" not in encoded
+        assert len(encoded) < 3 * len(data) + 64
+        assert decode_frame(encoded)["data"] == data
+
+    def test_error_frame_shape(self):
+        assert error_frame("boom", cmd="feed") == {
+            "type": "error",
+            "message": "boom",
+            "cmd": "feed",
+        }
+
+
+class TestSolutionPayloads:
+    @pytest.mark.parametrize(
+        "solution",
+        [
+            Solution(kind=SolutionKind.ELEMENT, node=NodeRef(3, "a", 2, 7)),
+            Solution(
+                kind=SolutionKind.ATTRIBUTE,
+                node=NodeRef(5, "b", 1, None),
+                attribute="id",
+                value="x1",
+            ),
+            Solution(
+                kind=SolutionKind.TEXT, node=NodeRef(0, "t", 4, 2), value="téxt ☃"
+            ),
+            Solution(
+                kind=SolutionKind.ELEMENT,
+                node=NodeRef(9, "f", 2, 1),
+                fragment="<f/>",
+            ),
+        ],
+    )
+    def test_roundtrip_preserves_identity(self, solution):
+        rebuilt = solution_from_payload(solution_to_payload(solution))
+        assert rebuilt == solution
+        assert rebuilt.key() == solution.key()
+        assert rebuilt.describe() == solution.describe()
+
+    def test_payload_survives_the_wire(self):
+        solution = Solution(
+            kind=SolutionKind.ATTRIBUTE,
+            node=NodeRef(5, "b", 1, 3),
+            attribute="id",
+            value="x1",
+        )
+        frame = decode_frame(
+            encode_frame({"type": "solution", "solution": solution_to_payload(solution)})
+        )
+        assert solution_from_payload(frame["solution"]) == solution
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            solution_from_payload({"kind": "no-such-kind", "order": 1})
+        with pytest.raises(ProtocolError):
+            solution_from_payload({"order": 1})
