@@ -10,7 +10,7 @@ and property-based tests use it.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Union
+from typing import Iterable, List, Union
 
 from ..xmlstream.dom import Document, Element, parse_document
 from ..xmlstream.events import Event

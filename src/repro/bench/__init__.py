@@ -6,6 +6,13 @@ pytest-benchmark targets, and ``vitex bench`` exposes them on the command
 line.
 """
 
+from .compare import (
+    DEFAULT_TOLERANCE,
+    METRIC_SPECS,
+    compare_files,
+    compare_reports,
+    machine_calibration,
+)
 from .metrics import (
     MemoryReport,
     RunMeasurement,
@@ -51,8 +58,13 @@ from .workloads import (
 
 __all__ = [
     "AUCTION_QUERIES",
+    "DEFAULT_TOLERANCE",
+    "METRIC_SPECS",
     "MULTIQUERY_MIXES",
     "MemoryReport",
+    "compare_files",
+    "compare_reports",
+    "machine_calibration",
     "NEWSFEED_QUERIES",
     "PIPELINE_QUERY",
     "PROTEIN_PAPER_QUERY",

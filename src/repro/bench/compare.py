@@ -1,0 +1,352 @@
+"""Benchmark-regression gate: diff fresh reports against committed baselines.
+
+``vitex bench compare FRESH.json ...`` loads each freshly produced report,
+finds the committed baseline of the same file name, matches rows by their
+experiment-specific identity key and fails when a throughput metric
+regressed beyond the tolerance.  Two classes of metric keep the gate
+meaningful on arbitrary CI runners:
+
+* **relative metrics** (``speedup_vs_seed``, ``speedup``) compare the
+  engine against another implementation measured *in the same run on the
+  same machine*, so they transfer across hardware directly;
+* **absolute metrics** (MB/s, solutions/s) are first rescaled by the ratio
+  of the two reports' ``calibration_score`` — a fixed stdlib-only CPU probe
+  (:func:`machine_calibration`) embedded in every report — so a slower
+  runner is compared against what the baseline machine's numbers *predict*
+  for it, not against the baseline machine itself.  Baselines without a
+  calibration score (pre-gate reports) make absolute metrics informational
+  rather than failing.
+
+The default tolerance is 30% (:data:`DEFAULT_TOLERANCE`), deliberately wide
+to absorb shared-runner noise; the gate exists to catch real regressions
+(algorithmic slowdowns, accidental de-optimisation), not 5% jitter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import BenchmarkError
+
+#: Allowed fractional throughput drop before the gate fails.
+DEFAULT_TOLERANCE = 0.30
+
+#: Row identity, workload guards and gated metrics per experiment (the
+#: report's ``experiment`` field).  ``guard`` fields describe the workload
+#: itself: throughput is only comparable between identical workloads, so a
+#: guard mismatch fails the gate with a "regenerate the baseline" message
+#: instead of silently comparing different problems.
+METRIC_SPECS: Dict[str, Dict[str, Tuple[str, ...]]] = {
+    "pipeline": {
+        "key": ("backend",),
+        "guard": ("doc_mb", "query"),
+        "relative": ("speedup_vs_seed",),
+        "absolute": ("evaluate_mb_s",),
+    },
+    # multiquery is gated on its machine-relative `speedup` only: the quick
+    # sweep's absolute MB/s swings ~2x run-to-run once the small document is
+    # split across 50 machines, while the shared-vs-independent ratio (the
+    # metric the experiment exists to measure) is stable within ~20%.
+    "multiquery": {
+        "key": ("mix", "queries"),
+        "guard": ("doc_mb",),
+        "relative": ("speedup",),
+        "absolute": (),
+    },
+    "service": {
+        "key": ("subscribers",),
+        "guard": ("doc_mb", "chunks"),
+        "relative": (),
+        "absolute": ("solutions_per_s", "elements_per_s"),
+    },
+}
+
+
+def machine_calibration(repeats: int = 5) -> float:
+    """A fixed, stdlib-only CPU probe scoring this machine (higher = faster).
+
+    Deliberately independent of the ViteX code base: if the probe used our
+    own tokenizer, making the engine faster would raise the expected
+    throughput bar by exactly the same factor and the gate would never see
+    the improvement (or would fail on unrelated code changes).  The probe
+    exercises the interpreter work the benchmarks are dominated by — dict
+    and string traffic, JSON encode/decode, hashing.
+    """
+    payload = [
+        {"id": i, "name": f"item-{i}", "values": [i % 7, i % 11, i % 13]}
+        for i in range(2000)
+    ]
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        text = json.dumps(payload, sort_keys=True)
+        decoded = json.loads(text)
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        total = sum(item["id"] for item in decoded)
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    if total != sum(range(2000)) or not digest:  # pragma: no cover - sanity
+        raise BenchmarkError("calibration probe produced inconsistent results")
+    return round(1.0 / best, 2)
+
+
+def _row_key(row: Dict[str, Any], fields: Tuple[str, ...]) -> Tuple:
+    return tuple(row.get(field) for field in fields)
+
+
+def _key_label(key: Tuple, fields: Tuple[str, ...]) -> str:
+    return ",".join(f"{field}={value}" for field, value in zip(fields, key))
+
+
+def compare_reports(
+    fresh: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Tuple[List[str], List[str]]:
+    """Compare one fresh report against its baseline.
+
+    Returns ``(failures, lines)``: human-readable comparison lines for every
+    matched row/metric, and the subset describing metrics that regressed
+    beyond ``tolerance``.  Rows only present on one side are reported but
+    never fail the gate (quick runs cover a subset of the full baseline
+    sweep).
+    """
+    experiment = fresh.get("experiment")
+    if experiment != baseline.get("experiment"):
+        raise BenchmarkError(
+            f"experiment mismatch: fresh={experiment!r} "
+            f"baseline={baseline.get('experiment')!r}"
+        )
+    spec = METRIC_SPECS.get(experiment or "")
+    lines: List[str] = []
+    failures: List[str] = []
+    if spec is None:
+        lines.append(f"{experiment}: no gate metrics defined; skipped")
+        return failures, lines
+    key_fields = spec["key"]
+    fresh_cal = fresh.get("calibration_score")
+    base_cal = baseline.get("calibration_score")
+    scale: Optional[float] = None
+    if isinstance(fresh_cal, (int, float)) and isinstance(base_cal, (int, float)):
+        if base_cal > 0:
+            # Clamp at 1.0: a runner that probes faster than the baseline
+            # machine must not *raise* the throughput bar (probe noise would
+            # turn into false failures); only slower runners get slack.
+            scale = min(fresh_cal / base_cal, 1.0)
+            lines.append(
+                f"{experiment}: calibration {base_cal} -> {fresh_cal} "
+                f"(runner speed ratio {fresh_cal / base_cal:.2f}x, "
+                f"applied {scale:.2f}x)"
+            )
+    else:
+        lines.append(
+            f"{experiment}: baseline has no calibration score; "
+            "absolute metrics are informational"
+        )
+    baseline_rows = {
+        _row_key(row, key_fields): row for row in baseline.get("rows", [])
+    }
+    matched = 0
+    for row in fresh.get("rows", []):
+        key = _row_key(row, key_fields)
+        base_row = baseline_rows.get(key)
+        label = _key_label(key, key_fields)
+        if base_row is None:
+            lines.append(f"{experiment}[{label}]: not in baseline; skipped")
+            continue
+        drifted = [
+            field
+            for field in spec.get("guard", ())
+            if row.get(field) != base_row.get(field)
+        ]
+        if drifted:
+            message = (
+                f"{experiment}[{label}]: workload drift on "
+                f"{', '.join(drifted)} (e.g. {drifted[0]}: "
+                f"{base_row.get(drifted[0])!r} -> {row.get(drifted[0])!r}); "
+                "regenerate the committed baseline"
+            )
+            lines.append(message)
+            failures.append(message)
+            matched += 1  # matched by key; the drift failure already covers it
+            continue
+        matched += 1
+        for metric in spec["relative"]:
+            _check_metric(
+                experiment, label, metric, row, base_row, 1.0, tolerance,
+                lines, failures, gate=True,
+            )
+        for metric in spec["absolute"]:
+            _check_metric(
+                experiment, label, metric, row, base_row,
+                scale if scale is not None else 1.0,
+                tolerance, lines, failures, gate=scale is not None,
+            )
+    if not matched:
+        message = f"{experiment}: no fresh row matched any baseline row"
+        lines.append(message)
+        failures.append(message)
+    return failures, lines
+
+
+def _check_metric(
+    experiment: str,
+    label: str,
+    metric: str,
+    row: Dict[str, Any],
+    base_row: Dict[str, Any],
+    scale: float,
+    tolerance: float,
+    lines: List[str],
+    failures: List[str],
+    gate: bool,
+) -> None:
+    fresh_value = row.get(metric)
+    base_value = base_row.get(metric)
+    if not isinstance(fresh_value, (int, float)) or not isinstance(
+        base_value, (int, float)
+    ):
+        lines.append(f"{experiment}[{label}] {metric}: missing on one side; skipped")
+        return
+    expected = base_value * scale
+    floor = expected * (1.0 - tolerance)
+    if fresh_value >= floor:
+        verdict = "ok"
+    elif gate:
+        verdict = "REGRESSION"
+    else:
+        verdict = "below baseline (informational)"
+    line = (
+        f"{experiment}[{label}] {metric}: {fresh_value:g} vs expected "
+        f"{expected:g} (floor {floor:g}) {verdict}"
+    )
+    lines.append(line)
+    if verdict == "REGRESSION":
+        failures.append(line)
+
+
+def merge_fresh_reports(reports: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Best-of-N merge of repeated fresh runs of one experiment.
+
+    Single-run quick benchmarks are noisy on shared CI runners (same-machine
+    back-to-back runs vary 2x when a neighbour spikes); running the sweep N
+    times and gating on the per-metric *maximum* asks "did any run reach the
+    expected throughput", which is what a regression gate actually wants to
+    know.  Key/guard fields come from the first report; the calibration
+    score is the max (best estimate of the machine's true speed).
+    """
+    if not reports:
+        raise BenchmarkError("merge needs at least one report")
+    first = reports[0]
+    if len(reports) == 1:
+        return first
+    spec = METRIC_SPECS.get(first.get("experiment") or "")
+    if spec is None:
+        return first
+    metrics = spec["relative"] + spec["absolute"]
+    merged = dict(first)
+    merged_rows = [dict(row) for row in first.get("rows", [])]
+    by_key = {_row_key(row, spec["key"]): row for row in merged_rows}
+    for report in reports[1:]:
+        if report.get("experiment") != first.get("experiment"):
+            raise BenchmarkError("cannot merge reports of different experiments")
+        calibration = report.get("calibration_score")
+        if isinstance(calibration, (int, float)):
+            current = merged.get("calibration_score")
+            if not isinstance(current, (int, float)) or calibration > current:
+                merged["calibration_score"] = calibration
+        for row in report.get("rows", []):
+            target = by_key.get(_row_key(row, spec["key"]))
+            if target is None:
+                continue
+            for metric in metrics:
+                value = row.get(metric)
+                if isinstance(value, (int, float)):
+                    current = target.get(metric)
+                    if not isinstance(current, (int, float)) or value > current:
+                        target[metric] = value
+    merged["rows"] = merged_rows
+    return merged
+
+
+def compare_files(
+    report_paths: Sequence[str],
+    baseline_dir: str = ".",
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Tuple[List[str], List[str]]:
+    """Compare fresh report files against ``baseline_dir/<same file name>``.
+
+    Several fresh reports of the same experiment (e.g. two runs of the same
+    quick sweep written to different directories) are merged best-of-N
+    before the comparison — see :func:`merge_fresh_reports`.
+    """
+    if not report_paths:
+        raise BenchmarkError("bench compare needs at least one report file")
+    if not 0 <= tolerance < 1:
+        raise BenchmarkError("tolerance must be in [0, 1)")
+    groups: Dict[str, Dict[str, Any]] = {}
+    order: List[str] = []
+    for path in report_paths:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                fresh = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BenchmarkError(f"cannot read fresh report {path!r}: {exc}") from exc
+        experiment = fresh.get("experiment") or os.path.basename(path)
+        group = groups.get(experiment)
+        if group is None:
+            groups[experiment] = {"basename": os.path.basename(path), "reports": [fresh]}
+            order.append(experiment)
+        else:
+            if group["basename"] != os.path.basename(path):
+                raise BenchmarkError(
+                    f"reports for experiment {experiment!r} have different file "
+                    f"names ({group['basename']!r} vs {os.path.basename(path)!r}); "
+                    "repeated runs must share a file name so one baseline applies"
+                )
+            group["reports"].append(fresh)
+    failures: List[str] = []
+    lines: List[str] = []
+    for experiment in order:
+        group = groups[experiment]
+        baseline_path = os.path.join(baseline_dir, group["basename"])
+        if any(
+            os.path.abspath(baseline_path) == os.path.abspath(path)
+            for path in report_paths
+        ):
+            raise BenchmarkError(
+                f"fresh report {baseline_path!r} is the baseline itself; write "
+                "fresh reports to a different directory (e.g. --json fresh/...)"
+            )
+        try:
+            with open(baseline_path, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BenchmarkError(
+                f"cannot read baseline {baseline_path!r}: {exc}"
+            ) from exc
+        merged = merge_fresh_reports(group["reports"])
+        if len(group["reports"]) > 1:
+            lines.append(
+                f"{experiment}: best-of-{len(group['reports'])} merge of "
+                "repeated fresh runs"
+            )
+        report_failures, report_lines = compare_reports(merged, baseline, tolerance)
+        failures.extend(report_failures)
+        lines.extend(report_lines)
+    return failures, lines
+
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "METRIC_SPECS",
+    "compare_files",
+    "compare_reports",
+    "machine_calibration",
+    "merge_fresh_reports",
+]

@@ -16,12 +16,12 @@ import time
 import tracemalloc
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, Iterator, Optional, Tuple
 
 from ..core.engine import TwigMEvaluator
 from ..core.results import ResultSet
 from ..xmlstream.reader import TextSource
-from ..xmlstream.sax import event_batches, iter_events
+from ..xmlstream.sax import event_batches
 
 
 @dataclass

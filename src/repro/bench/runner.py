@@ -24,12 +24,11 @@ from ..xpath.generator import linear_descendant_query
 from ..xpath.normalize import compile_query
 from ..core.builder import build_machine
 from ..xmlstream.sax import event_batches
-from .metrics import RunMeasurement, measure_run, measure_peak_memory
+from .metrics import measure_run, measure_peak_memory
 from .workloads import (
     MULTIQUERY_MIXES,
     PIPELINE_QUERY,
     PROTEIN_PAPER_QUERY,
-    Workload,
     build_multiquery_document,
     build_random_tree_document,
     iter_workloads,

@@ -144,6 +144,82 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-connection outbox bound in frames (slow consumers drop oldest)",
     )
+    serve_parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="checkpoint file path (default vitex-checkpoint.json) used by "
+        "the checkpoint frame, vitex checkpoint and --checkpoint-interval",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="auto-write the checkpoint file every SECONDS (chunk-aligned)",
+    )
+
+    resume_parser = subparsers.add_parser(
+        "resume",
+        help="restore a checkpoint file and continue serving",
+        description=(
+            "Start the subscription server from a checkpoint written by "
+            "'vitex checkpoint' / the checkpoint frame / --checkpoint-interval: "
+            "standing queries, machine state and any half-parsed document "
+            "resume exactly where the checkpoint was taken.  Subscribers "
+            "re-attach by subscribing under their previous names."
+        ),
+    )
+    resume_parser.add_argument("checkpoint_file", help="path to the checkpoint file")
+    resume_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    resume_parser.add_argument(
+        "--port", type=int, default=None, help="TCP port (default 8005; 0 = ephemeral)"
+    )
+    resume_parser.add_argument(
+        "--watch",
+        metavar="QUERIES",
+        default=None,
+        help="re-bind printing callbacks to restored server-local queries "
+        "(and register any new ones from the watch-format file)",
+    )
+    resume_parser.add_argument(
+        "--outbox-limit",
+        type=int,
+        default=None,
+        help="per-connection outbox bound in frames (slow consumers drop oldest)",
+    )
+    resume_parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="checkpoint file path for future checkpoints "
+        "(default: the file being resumed)",
+    )
+    resume_parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="auto-write the checkpoint file every SECONDS (chunk-aligned)",
+    )
+
+    checkpoint_parser = subparsers.add_parser(
+        "checkpoint",
+        help="ask a running service to write a checkpoint file",
+        description=(
+            "Connect to a running vitex service and trigger a checkpoint: "
+            "the server writes its live state (standing queries, machine "
+            "stacks, any half-parsed document) to disk and reports the path "
+            "and size.  Resume later with 'vitex resume'."
+        ),
+    )
+    checkpoint_parser.add_argument("--host", default="127.0.0.1")
+    checkpoint_parser.add_argument("--port", type=int, default=None)
+    checkpoint_parser.add_argument(
+        "--path",
+        default=None,
+        help="server-side path to write (default: the server's configured path)",
+    )
 
     publish_parser = subparsers.add_parser(
         "publish",
@@ -197,7 +273,15 @@ def build_parser() -> argparse.ArgumentParser:
     generate_parser.add_argument("--size-mb", type=float, default=1.0, help="approximate size in MB")
     generate_parser.add_argument("--seed", type=int, default=0)
 
-    bench_parser = subparsers.add_parser("bench", help="run one of the paper's experiments")
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run one of the paper's experiments, or compare reports",
+        description=(
+            "Run one of the E1–E8/M1/M2 experiments, or — with 'compare' — "
+            "diff freshly produced report JSONs against committed baselines "
+            "and fail on throughput regressions (the CI gate)."
+        ),
+    )
     bench_parser.add_argument(
         "experiment",
         choices=(
@@ -210,7 +294,14 @@ def build_parser() -> argparse.ArgumentParser:
             "pipeline",
             "multiquery",
             "service",
+            "compare",
         ),
+    )
+    bench_parser.add_argument(
+        "reports",
+        nargs="*",
+        metavar="REPORT",
+        help="(compare only) fresh BENCH_*.json report files to check",
     )
     bench_parser.add_argument("--quick", action="store_true", help="use reduced problem sizes")
     bench_parser.add_argument(
@@ -218,6 +309,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="also write the experiment rows as JSON (e.g. BENCH_pipeline.json)",
+    )
+    bench_parser.add_argument(
+        "--baseline-dir",
+        metavar="DIR",
+        default=".",
+        help="(compare only) directory holding the committed baselines "
+        "matched by file name (default: current directory)",
+    )
+    bench_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="(compare only) allowed fractional regression before failing "
+        "(default 0.30)",
     )
     return parser
 
@@ -236,6 +341,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_watch(args)
         if args.command == "serve":
             return _command_serve(args)
+        if args.command == "resume":
+            return _command_resume(args)
+        if args.command == "checkpoint":
+            return _command_checkpoint(args)
         if args.command == "publish":
             return _command_publish(args)
         if args.command == "subscribe":
@@ -353,6 +462,14 @@ def _service_port(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    return _serve_main(args, restore_path=None)
+
+
+def _command_resume(args: argparse.Namespace) -> int:
+    return _serve_main(args, restore_path=args.checkpoint_file)
+
+
+def _serve_main(args: argparse.Namespace, restore_path: Optional[str]) -> int:
     from .service.server import DEFAULT_OUTBOX_LIMIT, ServiceServer
 
     outbox_limit = (
@@ -368,14 +485,38 @@ def _command_serve(args: argparse.Namespace) -> int:
         if not watch_entries:
             print(f"error: no queries found in {args.watch}", file=sys.stderr)
             return 1
+    checkpoint_path = args.checkpoint
+    if checkpoint_path is None and restore_path is not None:
+        # Future checkpoints of a resumed server overwrite the file it came
+        # from unless redirected.
+        checkpoint_path = restore_path
 
     async def _run() -> int:
-        server = ServiceServer(parser=args.parser, outbox_limit=outbox_limit)
+        server = ServiceServer(
+            parser=getattr(args, "parser", "native"),
+            outbox_limit=outbox_limit,
+            checkpoint_path=checkpoint_path,
+            checkpoint_interval=args.checkpoint_interval,
+        )
 
         def _print_solution(name: str, solution) -> None:
             print(f"[{name}] {solution.describe()}", flush=True)
 
+        if restore_path is not None:
+            summary = server.restore_from_file(restore_path)
+            state = "mid-document" if summary["mid_document"] else "between documents"
+            print(
+                f"resumed {restore_path}: {summary['subscriptions']} "
+                f"subscription(s), {summary['elements']} element(s) parsed, "
+                f"{state}",
+                flush=True,
+            )
         for name, query in watch_entries:
+            if name is not None and server.rebind_local_callback(
+                name, _print_solution, query=query
+            ):
+                print(f"watching [{name}] {query} (restored)")
+                continue
             registered = server.add_local_subscription(
                 query, name=name, callback=_print_solution
             )
@@ -410,6 +551,36 @@ def _command_serve(args: argparse.Namespace) -> int:
                 f"for {detail['query']}"
             )
         return 0
+
+    return asyncio.run(_run())
+
+
+def _command_checkpoint(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient, ServiceError
+
+    async def _run() -> int:
+        try:
+            client = await ServiceClient.connect(args.host, _service_port(args))
+        except OSError as exc:
+            print(
+                f"error: cannot reach service at {args.host}:{_service_port(args)}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        try:
+            reply = await client.checkpoint(args.path)
+            state = "mid-document" if reply.get("mid_document") else "between documents"
+            print(
+                f"checkpointed {reply['subscriptions']} subscription(s) "
+                f"to {reply['path']} ({reply['bytes']} bytes, {state}); "
+                f"resume with: vitex resume {reply['path']}"
+            )
+            return 0
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        finally:
+            await client.close()
 
     return asyncio.run(_run())
 
@@ -573,6 +744,11 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 def _command_bench(args: argparse.Namespace) -> int:
     quick = args.quick
+    if args.experiment == "compare":
+        return _command_bench_compare(args)
+    if args.reports:
+        print("error: REPORT arguments are only valid with 'compare'", file=sys.stderr)
+        return 2
     if args.experiment == "protein-breakdown":
         rows = run_protein_breakdown(entries=(100, 200) if quick else (200, 400, 800))
         title = "E1: protein query time breakdown"
@@ -599,8 +775,10 @@ def _command_bench(args: argparse.Namespace) -> int:
         )
         title = "M1: multi-query subscription scaling (indexed dispatch)"
     elif args.experiment == "service":
+        # Quick counts are a subset of the full sweep so `bench compare`
+        # can match quick CI rows against the committed full baseline.
         rows = run_service_scaling(
-            counts=(1, 10, 50) if quick else (1, 25, 100, 200),
+            counts=(1, 25, 100) if quick else (1, 25, 100, 200),
             records=400 if quick else 1500,
         )
         title = "M2: subscription service end-to-end latency and throughput"
@@ -612,11 +790,45 @@ def _command_bench(args: argparse.Namespace) -> int:
         title = "E8: streaming-pipeline throughput per backend"
     print_report(render_table(rows, title=title))
     if args.json:
-        payload = {"experiment": args.experiment, "title": title, "rows": rows}
+        from .bench.compare import machine_calibration
+
+        payload = {
+            "experiment": args.experiment,
+            "title": title,
+            "rows": rows,
+            # Machine-speed probe: lets `bench compare` rescale absolute
+            # throughputs between the baseline machine and a CI runner.
+            "calibration_score": machine_calibration(),
+        }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.json}")
+    return 0
+
+
+def _command_bench_compare(args: argparse.Namespace) -> int:
+    from .bench.compare import DEFAULT_TOLERANCE, compare_files
+
+    if not args.reports:
+        print("error: bench compare needs at least one REPORT file", file=sys.stderr)
+        return 2
+    tolerance = DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+    failures, lines = compare_files(
+        args.reports, baseline_dir=args.baseline_dir, tolerance=tolerance
+    )
+    for line in lines:
+        print(line)
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} metric(s) regressed beyond "
+            f"{tolerance:.0%} tolerance:",
+            file=sys.stderr,
+        )
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no regression beyond {tolerance:.0%} tolerance")
     return 0
 
 

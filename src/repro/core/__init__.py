@@ -8,6 +8,12 @@ anyone extending the engine.
 """
 
 from .builder import build_machine
+from .checkpoint import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    dumps_snapshot,
+    loads_snapshot,
+)
 from .engine import TwigMEvaluator, evaluate, stream_evaluate
 from .machine import MachineNode, TwigMachine
 from .multi import MultiQueryEvaluator, Subscription, evaluate_many
@@ -29,6 +35,8 @@ __all__ = [
     "NodeRef",
     "ResultCollector",
     "ResultSet",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
     "Solution",
     "SolutionKind",
     "StackEntry",
@@ -37,7 +45,9 @@ __all__ = [
     "TwigMEvaluator",
     "TwigMachine",
     "build_machine",
+    "dumps_snapshot",
     "evaluate",
+    "loads_snapshot",
     "evaluate_many",
     "process_characters",
     "process_end_element",

@@ -877,6 +877,71 @@ class FusedExpatMultiDriver:
 
     # ------------------------------------------------------------ push mode
 
+    def snapshot_state(self) -> dict:
+        """JSON-able driver scalars for the checkpoint format.
+
+        expat's parser itself cannot be serialized; the session snapshots
+        the raw chunk prefix instead and :meth:`prime` re-drives a fresh
+        parser over it, after which these scalars are restored verbatim.
+        """
+        return {
+            "level": self._level,
+            "order": self._order,
+            "pending_text": self._pending_text,
+            "fed_bytes": self._fed_bytes,
+        }
+
+    def prime(self, segments, state: dict) -> None:
+        """Re-drive this *fresh* parser over the captured chunk prefix.
+
+        ``segments`` is the exact sequence of str/bytes chunks the original
+        parser consumed before the snapshot.  Replaying the identical input
+        reproduces all of expat's internal state — detected encoding,
+        open-element stack, buffered partial construct, line numbers — with
+        the machine-facing handlers swapped out for no-ops so no transition
+        runs twice (the machines are restored from the snapshot instead).
+        The handlers stay *registered* during the replay so expat's
+        text-buffering behaviour matches the original run exactly.
+        """
+        if self._order or self._level or self._fed_bytes:
+            raise XMLSyntaxError("prime() requires a freshly created driver")
+        parser = self._parser
+        noop = _prime_noop
+        saved = (
+            parser.StartElementHandler,
+            parser.EndElementHandler,
+            parser.CharacterDataHandler,
+            parser.CommentHandler,
+            parser.ProcessingInstructionHandler,
+        )
+        parser.StartElementHandler = noop
+        parser.EndElementHandler = noop
+        parser.CharacterDataHandler = noop
+        parser.CommentHandler = noop
+        parser.ProcessingInstructionHandler = noop
+        try:
+            for segment in segments:
+                parser.Parse(segment, False)
+        except expat.ExpatError as exc:  # pragma: no cover - snapshot corruption
+            raise XMLSyntaxError(
+                f"cannot replay checkpoint prefix: {exc}",
+                line=getattr(exc, "lineno", None),
+            ) from exc
+        finally:
+            (
+                parser.StartElementHandler,
+                parser.EndElementHandler,
+                parser.CharacterDataHandler,
+                parser.CommentHandler,
+                parser.ProcessingInstructionHandler,
+            ) = saved
+        self._level = state["level"]
+        self._order = state["order"]
+        self._pending_text = state["pending_text"]
+        self._fed_bytes = state["fed_bytes"]
+        if self.emitted:
+            self.emitted.clear()
+
     def feed(self, chunk) -> None:
         """Push one str/bytes chunk through ``Parse(chunk, 0)``."""
         self._text_runtimes = self._index.text_runtimes()
@@ -962,6 +1027,10 @@ class FusedExpatMultiDriver:
     def _misc(self, *args) -> None:
         if self._pending_text:
             self._flush_pending()
+
+
+def _prime_noop(*args) -> None:
+    """Handler stand-in during checkpoint replay (see ``prime``)."""
 
 
 __all__ = [

@@ -20,7 +20,7 @@ from ..xpath.ast import (
     SelfTextAtom,
     formula_atoms,
 )
-from .stack import MachineStack
+from .stack import MachineStack, StackEntry
 
 
 @dataclass
@@ -185,6 +185,30 @@ class TwigMachine:
         """Clear all stacks so the machine can process another document."""
         for node in self.nodes:
             node.stack.clear()
+
+    # ------------------------------------------------------------ snapshot
+
+    def snapshot_stacks(self) -> List[List[Dict]]:
+        """JSON-able state of every machine-node stack, in node pre-order.
+
+        Machine *structure* is not serialized: the builder is deterministic,
+        so recompiling the query source in another process yields the same
+        node list (and the same query-node ids referenced by the entries'
+        ``satisfied`` sets).  Only the per-run stack state travels.
+        """
+        return [
+            [entry.to_state() for entry in node.stack.entries] for node in self.nodes
+        ]
+
+    def restore_stacks(self, state: List[List[Dict]]) -> None:
+        """Rebuild every stack from :meth:`snapshot_stacks` output."""
+        if len(state) != len(self.nodes):
+            raise ValueError(
+                f"snapshot has {len(state)} machine-node stacks, "
+                f"machine has {len(self.nodes)} nodes (query shape mismatch)"
+            )
+        for node, entries in zip(self.nodes, state):
+            node.stack.entries[:] = [StackEntry.from_state(item) for item in entries]
 
     def describe(self) -> str:
         """Multi-line description of the machine structure (CLI ``--explain``)."""

@@ -327,17 +327,86 @@ class MultiQueryEvaluator:
                 runtime.deliver(solutions, emitted)
         return emitted
 
-    def session(self, parser: str = "native", encoding: Optional[str] = None):
+    def session(
+        self,
+        parser: str = "native",
+        encoding: Optional[str] = None,
+        resumable: bool = True,
+    ):
         """Open a push-mode :class:`~repro.core.session.StreamSession`.
 
         The session inverts the read loop: callers push byte/text chunks as
         they arrive on the wire (``session.feed_bytes(chunk)``) and receive
         the ``(name, solution)`` pairs each chunk completed, without the
         engine ever owning the source.  See :mod:`repro.core.session`.
+
+        ``resumable=False`` disables ``session.snapshot()`` support for the
+        expat backend, which otherwise spools the raw chunk prefix (the only
+        way to rebuild expat's unserializable parser state on restore).
         """
         from .session import StreamSession  # deferred: session imports us
 
-        return StreamSession(self, parser=parser, encoding=encoding)
+        return StreamSession(self, parser=parser, encoding=encoding, resumable=resumable)
+
+    # ------------------------------------------------------------ checkpoint
+
+    def snapshot(self) -> Dict:
+        """Engine-only snapshot (no open session): the between-documents form.
+
+        Captures subscriptions, machine state and counters; restore with
+        :meth:`restore_session` on a fresh engine (which returns ``None``
+        because there is no session to rebuild).  To checkpoint mid-document,
+        snapshot the open session instead
+        (:meth:`~repro.core.session.StreamSession.snapshot`), which embeds
+        this engine state alongside the parse carry-over.
+        """
+        from .checkpoint import engine_state, make_snapshot
+
+        return make_snapshot(engine_state(self), None)
+
+    def restore_session(self, snapshot: Dict):
+        """Restore a snapshot into this *fresh* engine.
+
+        ``snapshot`` is the dict produced by
+        :meth:`~repro.core.session.StreamSession.snapshot` or
+        :meth:`snapshot` (possibly round-tripped through
+        :func:`repro.core.checkpoint.dumps_snapshot` /
+        :func:`~repro.core.checkpoint.loads_snapshot`).  The engine must have
+        no subscriptions and no stream position; on success it carries the
+        snapshot's subscriptions (callbacks reset to ``None``) and machine
+        state, and the return value is the restored mid-document
+        :class:`~repro.core.session.StreamSession` — or ``None`` for an
+        engine-only snapshot.  Raises
+        :class:`~repro.errors.CheckpointError` on malformed or incompatible
+        snapshots, leaving the engine empty.
+        """
+        from ..errors import CheckpointError
+        from .checkpoint import restore_engine_into, validate_snapshot
+        from .session import StreamSession
+
+        validate_snapshot(snapshot)
+        try:
+            restore_engine_into(self, snapshot["engine"])
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            # A structurally broken payload (truncated/hand-edited past the
+            # envelope) must surface as the documented error type, not a raw
+            # KeyError traceback; restore_engine_into already tore the
+            # engine back down to empty.
+            raise CheckpointError(f"malformed snapshot payload: {exc!r}") from exc
+        session_state = snapshot.get("session")
+        if session_state is None:
+            return None
+        try:
+            return StreamSession._from_snapshot(self, session_state)
+        except Exception as exc:
+            # Leave the engine as it was before restore_session: empty.
+            self.close()
+            self._element_order = 0
+            self._started = False
+            self._finished = False
+            if isinstance(exc, (KeyError, IndexError, TypeError, ValueError)):
+                raise CheckpointError(f"malformed snapshot payload: {exc!r}") from exc
+            raise
 
     def stream(
         self,

@@ -131,6 +131,52 @@ class ResultCollector:
         return sorted(solution.key() for solution in self._solutions.values())
 
 
+def solution_to_payload(solution: Solution) -> Dict[str, object]:
+    """Flatten a :class:`Solution` into a JSON-able payload dict.
+
+    The canonical flat encoding shared by the service wire protocol and the
+    checkpoint format; :func:`solution_from_payload` inverts it exactly.
+    """
+    node = solution.node
+    payload: Dict[str, object] = {
+        "kind": solution.kind.value,
+        "order": node.order,
+        "tag": node.tag,
+        "level": node.level,
+    }
+    if node.line is not None:
+        payload["line"] = node.line
+    if solution.attribute is not None:
+        payload["attribute"] = solution.attribute
+    if solution.value is not None:
+        payload["value"] = solution.value
+    if solution.fragment is not None:
+        payload["fragment"] = solution.fragment
+    return payload
+
+
+def solution_from_payload(payload: Dict[str, object]) -> Solution:
+    """Rebuild a :class:`Solution` from its flat payload dict.
+
+    Raises ``KeyError``/``ValueError`` on malformed payloads; transport
+    layers wrap these in their own error types.
+    """
+    kind = SolutionKind(payload["kind"])
+    node = NodeRef(
+        order=payload["order"],  # type: ignore[arg-type]
+        tag=payload.get("tag", ""),  # type: ignore[arg-type]
+        level=payload.get("level", 0),  # type: ignore[arg-type]
+        line=payload.get("line"),  # type: ignore[arg-type]
+    )
+    return Solution(
+        kind=kind,
+        node=node,
+        attribute=payload.get("attribute"),  # type: ignore[arg-type]
+        value=payload.get("value"),  # type: ignore[arg-type]
+        fragment=payload.get("fragment"),  # type: ignore[arg-type]
+    )
+
+
 @dataclass
 class ResultSet:
     """The final answer of a query evaluation run.

@@ -47,12 +47,13 @@ incremental-delivery semantics.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
-from ..errors import EngineError
+from ..errors import CheckpointError, EngineError
 from ..xmlstream.reader import IncrementalByteDecoder
 from ..xmlstream.sax import PARSER_BACKENDS
 from ..xmlstream.tokenizer import StreamTokenizer
+from .checkpoint import decode_spool, encode_spool, engine_state, make_snapshot
 from .fastpath import FusedExpatMultiDriver
 from .results import Solution
 
@@ -69,6 +70,7 @@ class StreamSession:
         engine,
         parser: str = "native",
         encoding: Optional[str] = None,
+        resumable: bool = True,
     ) -> None:
         if parser not in PARSER_BACKENDS:
             raise ValueError(
@@ -78,6 +80,7 @@ class StreamSession:
         self.parser = parser
         self._finished = False
         self._failed = False
+        self._aborted_elements = 0
         if parser == "expat":
             self._driver = FusedExpatMultiDriver(engine._index, incremental=True)
             self._tokenizer = None
@@ -87,10 +90,16 @@ class StreamSession:
             self._decoder = (
                 IncrementalByteDecoder(encoding) if encoding is not None else None
             )
+            # expat state cannot be serialized, so a resumable expat session
+            # spools the chunk prefix: snapshot() ships it and restore
+            # re-drives a fresh parser over it (memory grows with the
+            # document; pass resumable=False to opt out).
+            self._spool: Optional[List[Union[str, bytes]]] = [] if resumable else None
         else:
             self._driver = None
             self._tokenizer = StreamTokenizer(encoding=encoding)
             self._decoder = None
+            self._spool = None
 
     # ------------------------------------------------------------------ API
 
@@ -111,7 +120,13 @@ class StreamSession:
 
     @property
     def element_count(self) -> int:
-        """Start tags parsed so far (the global element pre-order position)."""
+        """Start tags parsed so far (the global element pre-order position).
+
+        After an abort this reports the count at the moment of failure (the
+        abort itself resets the engine's live counter).
+        """
+        if self._failed:
+            return self._aborted_elements
         if self._driver is not None:
             return self._driver.element_count
         return self._engine._element_order
@@ -177,6 +192,75 @@ class StreamSession:
         finally:
             self._finished = True
 
+    # ------------------------------------------------------------ snapshot
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Versioned, JSON-able snapshot of this open session and its engine.
+
+        Captures the full live state — every machine stack, candidate and
+        collected solution, the global element pre-order, and the parse
+        carry-over (unparsed tails, undecoded bytes) — so that
+        ``MultiQueryEvaluator().restore_session(snap)`` in a *fresh process*
+        continues the document exactly where this one stopped: feeding the
+        suffix there produces pairs byte-identical to an unbroken run.
+
+        Serialize with :func:`repro.core.checkpoint.dumps_snapshot`.  Only an
+        open session can be snapshotted; between documents, snapshot the
+        engine itself (:meth:`MultiQueryEvaluator.snapshot`).  Subscription
+        callbacks do not travel; re-bind them after restore.
+        """
+        if self._failed:
+            raise CheckpointError("cannot snapshot an aborted session")
+        if self._finished:
+            raise CheckpointError(
+                "cannot snapshot a finished session; snapshot the engine instead"
+            )
+        session_state: Dict[str, Any] = {"parser": self.parser}
+        if self._tokenizer is not None:
+            session_state["tokenizer"] = self._tokenizer.snapshot_state()
+        else:
+            if self._spool is None:
+                raise CheckpointError(
+                    "this expat session was opened with resumable=False"
+                )
+            session_state["driver"] = self._driver.snapshot_state()
+            session_state["spool"] = encode_spool(self._spool)
+            if self._decoder is not None:
+                session_state["decoder"] = self._decoder.snapshot_state()
+        return make_snapshot(engine_state(self._engine), session_state)
+
+    @classmethod
+    def _from_snapshot(cls, engine, state: Dict[str, Any]) -> "StreamSession":
+        """Rebuild a session from snapshot state (engine already restored)."""
+        parser = state.get("parser", "native")
+        if parser not in PARSER_BACKENDS:
+            raise CheckpointError(f"unknown parser backend {parser!r} in snapshot")
+        session = cls.__new__(cls)
+        session._engine = engine
+        session.parser = parser
+        session._finished = False
+        session._failed = False
+        session._aborted_elements = 0
+        if parser == "expat":
+            session._tokenizer = None
+            spool = decode_spool(state.get("spool", []))
+            driver = FusedExpatMultiDriver(engine._index, incremental=True)
+            driver.prime(spool, state["driver"])
+            session._driver = driver
+            session._spool = spool
+            decoder_state = state.get("decoder")
+            session._decoder = (
+                IncrementalByteDecoder.restore_state(decoder_state)
+                if decoder_state is not None
+                else None
+            )
+        else:
+            session._driver = None
+            session._decoder = None
+            session._spool = None
+            session._tokenizer = StreamTokenizer.restore_state(state["tokenizer"])
+        return session
+
     # ------------------------------------------------------------ internals
 
     def _check_open(self) -> None:
@@ -196,6 +280,12 @@ class StreamSession:
 
     def _feed_fused(self, chunk: Union[str, bytes]) -> List[Tuple[str, Solution]]:
         driver = self._driver
+        spool = self._spool
+        if spool is not None and chunk:
+            # O(1) append per feed; adjacent same-type chunks are coalesced
+            # lazily by encode_spool at snapshot time (eagerly concatenating
+            # here would re-copy the whole prefix on every feed).
+            spool.append(chunk)
         driver.feed(chunk)
         if driver.element_count and not self._engine._started:
             # The fused driver bypasses engine.push, so mirror its
@@ -212,6 +302,7 @@ class StreamSession:
         machine state (and collected solutions) must not leak into a later
         document; already-fired callbacks stay fired.
         """
+        self._aborted_elements = self.element_count
         self._failed = True
         self._finished = True
         engine = self._engine

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..errors import StreamStateError
-from .results import NodeRef, Solution
+from .results import NodeRef, Solution, solution_from_payload, solution_to_payload
 
 
 @dataclass(slots=True)
@@ -73,6 +73,49 @@ class StackEntry:
     def candidate_count(self) -> int:
         """Number of distinct candidates currently attached to this entry."""
         return len(self.candidates)
+
+    # ------------------------------------------------------------ snapshot
+
+    def to_state(self) -> Dict:
+        """JSON-able state of this entry (checkpoint format).
+
+        Candidates are stored in insertion order (their keys are recomputed
+        on restore) and accumulated text parts are stored pre-joined — a
+        restored entry behaves identically because the parts lists are only
+        ever joined, never indexed.
+        """
+        element = self.element
+        state: Dict = {
+            "level": self.level,
+            "element": [element.order, element.tag, element.level, element.line],
+        }
+        if self.satisfied:
+            state["satisfied"] = sorted(self.satisfied)
+        if self.candidates:
+            state["candidates"] = [
+                solution_to_payload(solution) for solution in self.candidates.values()
+            ]
+        if self.string_parts is not None:
+            state["string"] = "".join(self.string_parts)
+        if self.direct_parts is not None:
+            state["direct"] = "".join(self.direct_parts)
+        return state
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "StackEntry":
+        """Rebuild an entry from :meth:`to_state` output."""
+        order, tag, level, line = state["element"]
+        entry = cls(
+            level=state["level"],
+            element=NodeRef(order, tag, level, line),
+            satisfied=set(state.get("satisfied", ())),
+            string_parts=[state["string"]] if "string" in state else None,
+            direct_parts=[state["direct"]] if "direct" in state else None,
+        )
+        for payload in state.get("candidates", ()):
+            solution = solution_from_payload(payload)
+            entry.candidates[solution.key()] = solution
+        return entry
 
 
 class MachineStack:

@@ -33,8 +33,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..errors import StreamStateError
-from ..xpath.ast import Axis, NodeKind, QueryNode, evaluate_formula
-from ..xmlstream.events import Characters, EndElement, StartElement
+from ..xpath.ast import Axis, QueryNode, evaluate_formula
 from .machine import MachineNode, TwigMachine
 from .results import NodeRef, ResultCollector, Solution, SolutionKind
 from .stack import StackEntry

@@ -16,7 +16,6 @@ Every synthetic dataset in the reproduction is produced by a
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional
 
 from ..errors import DatasetError

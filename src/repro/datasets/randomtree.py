@@ -9,7 +9,6 @@ exponential-match corner cases are hit constantly.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
 

@@ -97,6 +97,15 @@ class StreamStateError(EngineError):
     """
 
 
+class CheckpointError(EngineError):
+    """Raised when a snapshot cannot be produced, parsed or restored.
+
+    Covers malformed/incompatible snapshot payloads (bad format marker,
+    unsupported version, shape mismatches against the recompiled query) and
+    restore attempts against an engine that is not fresh.
+    """
+
+
 class DatasetError(ViteXError):
     """Raised when a synthetic dataset generator receives invalid parameters."""
 

@@ -36,12 +36,24 @@ from .protocol import MAX_FRAME_BYTES, decode_frame, encode_frame, solution_from
 from .server import DEFAULT_PORT
 
 #: Reply frame types, matched FIFO to in-flight commands.
-_REPLY_TYPES = frozenset({"subscribed", "unsubscribed", "finished", "stats", "pong"})
+_REPLY_TYPES = frozenset(
+    {
+        "subscribed",
+        "unsubscribed",
+        "finished",
+        "stats",
+        "pong",
+        "checkpointed",
+        "restored",
+    }
+)
 
 #: Commands that get a reply frame.  An ``error`` naming one of these
 #: resolves the oldest pending request; errors for fire-and-forget commands
 #: (``feed``) and unsolicited errors go to the push lane instead.
-_REQUEST_CMDS = frozenset({"subscribe", "unsubscribe", "finish", "stats", "ping"})
+_REQUEST_CMDS = frozenset(
+    {"subscribe", "unsubscribe", "finish", "stats", "ping", "checkpoint", "restore"}
+)
 
 
 class ServiceError(ViteXError):
@@ -96,6 +108,22 @@ class ServiceClient:
     async def ping(self) -> None:
         """Round-trip a ``ping``."""
         await self._request({"cmd": "ping"})
+
+    async def checkpoint(self, path: Optional[str] = None) -> Dict[str, Any]:
+        """Ask the server to write a checkpoint file; returns its metadata.
+
+        Without ``path`` the server uses its configured checkpoint path.
+        The reply carries ``path``, ``bytes``, ``document`` and
+        ``mid_document``.
+        """
+        frame: Dict[str, Any] = {"cmd": "checkpoint"}
+        if path is not None:
+            frame["path"] = path
+        return await self._request(frame)
+
+    async def restore(self, path: str) -> Dict[str, Any]:
+        """Ask an idle, empty server to restore a checkpoint file."""
+        return await self._request({"cmd": "restore", "path": path})
 
     # ------------------------------------------------------------ pushes
 

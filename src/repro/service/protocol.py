@@ -17,7 +17,19 @@ Client → server commands (``cmd``):
 ``finish``     —                                      ``finished``
 ``stats``      —                                      ``stats``
 ``ping``       —                                      ``pong``
+``checkpoint``  optional ``path``                     ``checkpointed``
+``restore``    ``path``                               ``restored``
 =============  =====================================  =======================
+
+``checkpoint`` writes the server's full live state (engine, machine stacks,
+half-parsed document) to a disk file and replies with ``path``/``bytes``;
+``subscribe`` with the ``name`` of a checkpoint-restored subscription
+re-attaches to it (the reply carries ``"reattached": true``).  ``restore``
+loads a checkpoint file into an idle, empty server; ``vitex resume`` does
+this at startup.  Checkpoints live on the server's filesystem — snapshots
+can exceed the frame bound, so they never travel inline — and
+client-supplied paths are confined to the directory of the server's
+configured checkpoint file (clients choose a file *name*, not a location).
 
 Server → client pushes (``type``): ``solution`` (a match for one of the
 connection's subscriptions: ``name``, ``ts`` — the server's monotonic clock
@@ -37,7 +49,9 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Optional, Union
 
-from ..core.results import NodeRef, Solution, SolutionKind
+from ..core.results import Solution
+from ..core.results import solution_from_payload as _solution_from_payload
+from ..core.results import solution_to_payload as _solution_to_payload
 from ..errors import ViteXError
 
 #: Upper bound on one frame (guards the server against unbounded buffering
@@ -87,44 +101,20 @@ def decode_frame(line: Union[str, bytes]) -> Dict[str, Any]:
 
 
 def solution_to_payload(solution: Solution) -> Dict[str, Any]:
-    """Flatten a :class:`Solution` into its JSON wire payload."""
-    node = solution.node
-    payload: Dict[str, Any] = {
-        "kind": solution.kind.value,
-        "order": node.order,
-        "tag": node.tag,
-        "level": node.level,
-    }
-    if node.line is not None:
-        payload["line"] = node.line
-    if solution.attribute is not None:
-        payload["attribute"] = solution.attribute
-    if solution.value is not None:
-        payload["value"] = solution.value
-    if solution.fragment is not None:
-        payload["fragment"] = solution.fragment
-    return payload
+    """Flatten a :class:`Solution` into its JSON wire payload.
+
+    The encoding itself lives in :mod:`repro.core.results` (it is shared
+    with the checkpoint format); this wrapper is the wire-facing name.
+    """
+    return _solution_to_payload(solution)
 
 
 def solution_from_payload(payload: Dict[str, Any]) -> Solution:
     """Rebuild a :class:`Solution` from its wire payload."""
     try:
-        kind = SolutionKind(payload["kind"])
-        node = NodeRef(
-            order=payload["order"],
-            tag=payload.get("tag", ""),
-            level=payload.get("level", 0),
-            line=payload.get("line"),
-        )
+        return _solution_from_payload(payload)
     except (KeyError, ValueError) as exc:
         raise ProtocolError(f"malformed solution payload: {payload!r}") from exc
-    return Solution(
-        kind=kind,
-        node=node,
-        attribute=payload.get("attribute"),
-        value=payload.get("value"),
-        fragment=payload.get("fragment"),
-    )
 
 
 def error_frame(message: str, cmd: Optional[str] = None) -> Dict[str, Any]:

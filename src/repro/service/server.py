@@ -37,14 +37,17 @@ bounded slice of CPU.  Sharding across processes is the roadmap's next step.
 from __future__ import annotations
 
 import asyncio
+import json
+import os
 import time
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
+from ..core.builder import shared_compiled_cache
 from ..core.multi import MultiQueryEvaluator
 from ..core.results import Solution
 from ..core.session import StreamSession
-from ..errors import ViteXError
+from ..errors import CheckpointError, ViteXError
 from .protocol import (
     MAX_FRAME_BYTES,
     ProtocolError,
@@ -61,6 +64,32 @@ DEFAULT_PORT = 8005
 #: Default per-connection outbox bound (frames).
 DEFAULT_OUTBOX_LIMIT = 4096
 
+#: Format marker of the service checkpoint file (wraps a core snapshot with
+#: server-level counters and subscription routing metadata).
+CHECKPOINT_FORMAT = "vitex-checkpoint"
+
+#: Version of the service checkpoint layout.
+CHECKPOINT_VERSION = 1
+
+#: Default on-disk checkpoint location (relative to the server's cwd).
+DEFAULT_CHECKPOINT_PATH = "vitex-checkpoint.json"
+
+
+def _encode_checkpoint(payload: Dict[str, Any]) -> bytes:
+    """Serialize a checkpoint payload (thread-safe: payload is isolated)."""
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":"), ensure_ascii=False)
+        + "\n"
+    ).encode("utf-8")
+
+
+def _write_atomically(target: str, data: bytes) -> None:
+    """Write next to the final location, then ``os.replace`` into place."""
+    tmp = f"{target}.tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+    os.replace(tmp, target)
+
 
 class _SubscriptionHandle:
     """Server-side bookkeeping for one registered subscription."""
@@ -73,6 +102,7 @@ class _SubscriptionHandle:
         "delivered",
         "dropped",
         "callback_errors",
+        "detached",
     )
 
     def __init__(
@@ -89,6 +119,10 @@ class _SubscriptionHandle:
         self.delivered = 0
         self.dropped = 0
         self.callback_errors = 0
+        #: True for a connection-owned subscription restored from a
+        #: checkpoint whose owner has not re-attached yet: a ``subscribe``
+        #: frame with the same name (and an equivalent query) claims it.
+        self.detached = False
 
 
 class _Connection:
@@ -130,9 +164,13 @@ class ServiceServer:
         self,
         parser: str = "native",
         outbox_limit: int = DEFAULT_OUTBOX_LIMIT,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_interval: Optional[float] = None,
     ) -> None:
         if outbox_limit <= 0:
             raise ValueError("outbox_limit must be positive")
+        if checkpoint_interval is not None and checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be positive")
         self.parser = parser
         self._outbox_limit = outbox_limit
         self._engine = MultiQueryEvaluator(collect_statistics=False)
@@ -141,8 +179,18 @@ class ServiceServer:
         self._subscriptions: Dict[str, _SubscriptionHandle] = {}
         self._server: Optional[asyncio.AbstractServer] = None
         self._closed = False
+        # Checkpointing: target path for /checkpoint frames without an
+        # explicit path and for the periodic auto-checkpoint task.
+        self.checkpoint_path = checkpoint_path or DEFAULT_CHECKPOINT_PATH
+        self._checkpoint_interval = checkpoint_interval
+        self._checkpoint_task: Optional[asyncio.Task] = None
+        self._checkpoints_written = 0
+        self._last_checkpoint_bytes = 0
+        self._last_checkpoint_at: Optional[float] = None
+        self._last_checkpoint_error: Optional[str] = None
         # Lifetime counters for /stats.
         self._documents = 0
+        self._aborted_documents = 0
         self._elements_total = 0
         self._solutions_total = 0
         self._busy_seconds = 0.0
@@ -156,6 +204,8 @@ class ServiceServer:
         self._server = await asyncio.start_server(
             self._handle_connection, host, port, limit=MAX_FRAME_BYTES
         )
+        if self._checkpoint_interval is not None and self._checkpoint_task is None:
+            self._checkpoint_task = asyncio.ensure_future(self._auto_checkpoint_loop())
 
     @property
     def address(self) -> Optional[Tuple[str, int]]:
@@ -179,6 +229,13 @@ class ServiceServer:
         if self._closed:
             return
         self._closed = True
+        if self._checkpoint_task is not None:
+            self._checkpoint_task.cancel()
+            try:
+                await self._checkpoint_task
+            except asyncio.CancelledError:
+                pass
+            self._checkpoint_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -234,28 +291,261 @@ class ServiceServer:
         if self._session is not None:
             elements += self._session.element_count
         busy = self._busy_seconds
-        return {
+        payload: Dict[str, Any] = {
             "type": "stats",
             "parser": self.parser,
             "machine_count": self._engine.machine_count,
             "subscriptions": len(self._subscriptions),
             "connections": len(self._connections),
             "documents": self._documents,
+            "aborted_documents": self._aborted_documents,
+            "document_open": self._session is not None,
             "elements": elements,
             "events_per_sec": round(elements / busy, 1) if busy > 0 else 0.0,
             "solutions": self._solutions_total,
             "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "checkpoints_written": self._checkpoints_written,
             "subscription_detail": {
                 name: {
                     "query": handle.query,
                     "delivered": handle.delivered,
                     "dropped": handle.dropped,
                     "callback_errors": handle.callback_errors,
-                    "local": handle.connection is None,
+                    "local": handle.connection is None and not handle.detached,
+                    "detached": handle.detached,
                 }
                 for name, handle in self._subscriptions.items()
             },
         }
+        if self._last_checkpoint_at is not None:
+            payload["last_checkpoint_age_s"] = round(
+                time.monotonic() - self._last_checkpoint_at, 3
+            )
+            payload["last_checkpoint_bytes"] = self._last_checkpoint_bytes
+        if self._last_checkpoint_error is not None:
+            payload["last_checkpoint_error"] = self._last_checkpoint_error
+        return payload
+
+    # ------------------------------------------------------------ checkpoint
+
+    def checkpoint_state(self) -> Dict[str, Any]:
+        """The full service checkpoint payload (JSON-able).
+
+        Wraps the core engine/session snapshot with server-level counters
+        and the subscription routing table (which names were client-owned —
+        restored as *detached*, re-claimable via ``subscribe`` — and which
+        were server-local).  Taken between frames, so it is always aligned
+        to a feed-chunk boundary.
+        """
+        if self._session is not None:
+            snapshot = self._session.snapshot()
+        else:
+            snapshot = self._engine.snapshot()
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "server": {
+                "parser": self.parser,
+                "documents": self._documents,
+                "aborted_documents": self._aborted_documents,
+                "elements_total": self._elements_total,
+                "solutions_total": self._solutions_total,
+                "subscriptions": {
+                    name: {
+                        "delivered": handle.delivered,
+                        "dropped": handle.dropped,
+                        "callback_errors": handle.callback_errors,
+                        "local": handle.connection is None and not handle.detached,
+                    }
+                    for name, handle in self._subscriptions.items()
+                },
+            },
+            "snapshot": snapshot,
+        }
+
+    def save_checkpoint(self, path: Optional[str] = None) -> Dict[str, Any]:
+        """Write the current checkpoint to disk atomically; returns metadata.
+
+        The file is written next to its final location and moved into place
+        with ``os.replace``, so a crash mid-write never corrupts the
+        previous checkpoint.
+        """
+        target = path or self.checkpoint_path
+        data = _encode_checkpoint(self.checkpoint_state())
+        _write_atomically(target, data)
+        return self._record_checkpoint(target, data)
+
+    def _record_checkpoint(self, target: str, data: bytes) -> Dict[str, Any]:
+        self._checkpoints_written += 1
+        self._last_checkpoint_bytes = len(data)
+        self._last_checkpoint_at = time.monotonic()
+        self._last_checkpoint_error = None
+        return {
+            "path": target,
+            "bytes": len(data),
+            "document": self._documents,
+            "mid_document": self._session is not None,
+            "subscriptions": len(self._subscriptions),
+        }
+
+    def _client_checkpoint_path(self, path: str) -> str:
+        """Confine a *client-supplied* path to the checkpoint directory.
+
+        The checkpoint/restore frames are the only protocol surface that
+        names server-side files; without this check any connected client
+        could overwrite (checkpoint) or probe (restore) arbitrary paths.
+        Clients may choose a file *name*, but only inside the directory of
+        the server's configured checkpoint path.  Local callers (CLI
+        ``vitex resume``, :meth:`save_checkpoint`) are not restricted.
+        """
+        base = os.path.dirname(os.path.abspath(self.checkpoint_path))
+        candidate = os.path.abspath(
+            path if os.path.isabs(path) else os.path.join(base, path)
+        )
+        if os.path.dirname(candidate) != base:
+            raise ProtocolError(
+                f"checkpoint paths are confined to {base!r} on this server"
+            )
+        return candidate
+
+    def restore_state(self, payload: Dict[str, Any]) -> None:
+        """Restore a checkpoint payload into this (fresh) server.
+
+        Allowed only while no document is in progress and no subscriptions
+        exist — i.e. at startup (``vitex resume``) or on an idle, empty
+        server via the ``restore`` frame.  Client-owned subscriptions come
+        back *detached*: solutions are discarded until their owner
+        re-subscribes under the same name with an equivalent query.
+        """
+        if self._session is not None:
+            raise CheckpointError("cannot restore while a document is in progress")
+        if self._subscriptions:
+            raise CheckpointError("cannot restore over existing subscriptions")
+        if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"not a {CHECKPOINT_FORMAT} payload "
+                f"(format={payload.get('format')!r})"
+            )
+        if payload.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {payload.get('version')!r}"
+            )
+        meta = payload.get("server") or {}
+        engine = MultiQueryEvaluator(collect_statistics=False)
+        session = engine.restore_session(payload["snapshot"])
+        old_engine = self._engine
+        self._engine = engine
+        self._session = session
+        old_engine.close()
+        self.parser = meta.get("parser", self.parser)
+        self._documents = meta.get("documents", 0)
+        self._aborted_documents = meta.get("aborted_documents", 0)
+        self._elements_total = meta.get("elements_total", 0)
+        self._solutions_total = meta.get("solutions_total", 0)
+        sub_meta = meta.get("subscriptions", {})
+        for name, subscription in engine._subscriptions.items():
+            info = sub_meta.get(name, {})
+            handle = _SubscriptionHandle(name, subscription.source, None)
+            handle.delivered = info.get("delivered", 0)
+            handle.dropped = info.get("dropped", 0)
+            handle.callback_errors = info.get("callback_errors", 0)
+            handle.detached = not info.get("local", False)
+            self._subscriptions[name] = handle
+
+    def restore_from_file(self, path: str) -> Dict[str, Any]:
+        """Read and restore a checkpoint file; returns summary metadata."""
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"malformed checkpoint {path!r}: {exc}") from exc
+        self.restore_state(payload)
+        return {
+            "path": path,
+            "document": self._documents,
+            "mid_document": self._session is not None,
+            "subscriptions": len(self._subscriptions),
+            "elements": self._elements_total
+            + (self._session.element_count if self._session is not None else 0),
+        }
+
+    def rebind_local_callback(
+        self,
+        name: str,
+        callback: Optional[Callable[[str, Solution], None]],
+        query: Optional[str] = None,
+    ) -> bool:
+        """Re-attach a delivery callback to a restored server-local
+        subscription (callbacks never travel through checkpoints); returns
+        False when no local subscription has that name.
+
+        When ``query`` is given it must be equivalent to the restored one —
+        the same name-only guard the network re-attach path enforces:
+        silently wiring a callback labelled with one query to a machine
+        evaluating another would mislabel every delivered solution.  Raises
+        :class:`~repro.errors.CheckpointError` on a mismatch so ``vitex
+        resume --watch`` fails loudly instead of answering the wrong
+        question.
+        """
+        handle = self._subscriptions.get(name)
+        if handle is None or handle.connection is not None or handle.detached:
+            return False
+        if query is not None and not self._query_equivalent(name, handle, query):
+            raise CheckpointError(
+                f"local subscription {name!r} was restored for query "
+                f"{handle.query!r}; refusing to re-bind it to {query!r}"
+            )
+        handle.callback = callback
+        return True
+
+    def _query_equivalent(
+        self, name: str, handle: _SubscriptionHandle, query: str
+    ) -> bool:
+        """True when ``query`` is the restored query (source or fingerprint)."""
+        if query == handle.query:
+            return True
+        subscription = self._engine._subscriptions.get(name)
+        if subscription is None:
+            return False
+        compiled = shared_compiled_cache.acquire(query)
+        try:
+            return compiled.fingerprint == subscription.runtime.fingerprint
+        finally:
+            shared_compiled_cache.release(compiled)
+
+    async def _auto_checkpoint_loop(self) -> None:
+        """Periodically write the checkpoint file (armed by ``start()``).
+
+        The state capture itself runs between frames on the event loop, so
+        every auto-checkpoint is chunk-aligned; the expensive part — JSON
+        encoding (which can embed a large expat spool) and the disk write —
+        is pushed to a worker thread so the parse loop never stalls on it.
+        The captured payload tree is fully materialised (no live-object
+        references), so the loop can keep mutating engine state while the
+        thread encodes.  Failures are recorded in /stats rather than
+        killing the server.
+        """
+        interval = self._checkpoint_interval
+        assert interval is not None
+        try:
+            while True:
+                await asyncio.sleep(interval)
+                try:
+                    target = self.checkpoint_path
+                    payload = self.checkpoint_state()
+                    data = await asyncio.to_thread(_encode_checkpoint, payload)
+                    await asyncio.to_thread(_write_atomically, target, data)
+                    self._record_checkpoint(target, data)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    self._last_checkpoint_error = str(exc)
+        except asyncio.CancelledError:
+            pass
 
     # ------------------------------------------------------ connection I/O
 
@@ -385,12 +675,28 @@ class ServiceServer:
             self._enqueue(
                 connection, None, encode_frame(error_frame(str(exc), cmd=cmd))
             )
+        except Exception as exc:
+            # An unexpected failure must not kill the connection handler (or
+            # worse, leave a half-dead session installed — the feed/finish
+            # handlers abort their document before re-raising).
+            self._enqueue(
+                connection,
+                None,
+                encode_frame(
+                    error_frame(f"internal error: {type(exc).__name__}: {exc}", cmd=cmd)
+                ),
+            )
 
     def _cmd_subscribe(self, connection: _Connection, frame: Dict[str, Any]) -> None:
         query = frame.get("query")
         if not isinstance(query, str) or not query:
             raise ProtocolError("subscribe needs a 'query' string")
         name = frame.get("name")
+        if isinstance(name, str):
+            handle = self._subscriptions.get(name)
+            if handle is not None and handle.detached:
+                self._reattach_subscription(connection, handle, query)
+                return
         subscription = self._engine.register(query, name=name)
         handle = _SubscriptionHandle(subscription.name, subscription.query, connection)
         self._subscriptions[subscription.name] = handle
@@ -404,6 +710,39 @@ class ServiceServer:
                     "name": subscription.name,
                     "query": subscription.query,
                     "mid_stream": self._session is not None,
+                }
+            ),
+        )
+
+    def _reattach_subscription(
+        self, connection: _Connection, handle: _SubscriptionHandle, query: str
+    ) -> None:
+        """Claim a checkpoint-restored subscription for ``connection``.
+
+        The claimed query must be *equivalent* to the restored one (equal
+        source text or equal canonical fingerprint) — re-attachment resumes
+        a warm machine mid-document, so handing it to a different query
+        would silently answer the wrong question.
+        """
+        if not self._query_equivalent(handle.name, handle, query):
+            raise ProtocolError(
+                f"subscription {handle.name!r} was restored for query "
+                f"{handle.query!r}; cannot re-attach a different query"
+            )
+        handle.connection = connection
+        handle.detached = False
+        connection.names.append(handle.name)
+        self._enqueue(
+            connection,
+            None,
+            encode_frame(
+                {
+                    "type": "subscribed",
+                    "name": handle.name,
+                    "query": handle.query,
+                    "mid_stream": self._session is not None,
+                    "reattached": True,
+                    "delivered": handle.delivered,
                 }
             ),
         )
@@ -429,7 +768,10 @@ class ServiceServer:
         started = time.perf_counter()
         try:
             pairs = self._session.feed_text(data)
-        except ViteXError as exc:
+        except Exception as exc:
+            # Any failure — parse error or unexpected — must tear the
+            # document down completely: a stale session entry would keep
+            # surfacing through /stats and reject every later feed.
             self._abort_document(str(exc))
             raise
         finally:
@@ -444,7 +786,7 @@ class ServiceServer:
         started = time.perf_counter()
         try:
             pairs = session.finish()
-        except ViteXError as exc:
+        except Exception as exc:
             self._abort_document(str(exc))
             raise
         finally:
@@ -472,6 +814,24 @@ class ServiceServer:
     def _cmd_ping(self, connection: _Connection, frame: Dict[str, Any]) -> None:
         self._enqueue(connection, None, encode_frame({"type": "pong"}))
 
+    def _cmd_checkpoint(self, connection: _Connection, frame: Dict[str, Any]) -> None:
+        path = frame.get("path")
+        if path is not None:
+            if not isinstance(path, str) or not path:
+                raise ProtocolError("checkpoint 'path' must be a non-empty string")
+            path = self._client_checkpoint_path(path)
+        meta = self.save_checkpoint(path)
+        meta["type"] = "checkpointed"
+        self._enqueue(connection, None, encode_frame(meta))
+
+    def _cmd_restore(self, connection: _Connection, frame: Dict[str, Any]) -> None:
+        path = frame.get("path")
+        if not isinstance(path, str) or not path:
+            raise ProtocolError("restore needs a 'path' string")
+        meta = self.restore_from_file(self._client_checkpoint_path(path))
+        meta["type"] = "restored"
+        self._enqueue(connection, None, encode_frame(meta))
+
     _COMMANDS: Dict[str, Callable] = {
         "subscribe": _cmd_subscribe,
         "unsubscribe": _cmd_unsubscribe,
@@ -479,6 +839,8 @@ class ServiceServer:
         "finish": _cmd_finish,
         "stats": _cmd_stats,
         "ping": _cmd_ping,
+        "checkpoint": _cmd_checkpoint,
+        "restore": _cmd_restore,
     }
 
     # ------------------------------------------------------ solution fanout
@@ -531,11 +893,24 @@ class ServiceServer:
 
     def _abort_document(self, message: str) -> None:
         """A chunk failed to parse: the session already reset the machines;
-        tell subscribers the document died and arm a fresh one."""
+        tear the session entry down completely (its elements still count
+        toward the lifetime totals), count the abort, and tell subscribers
+        the document died so the next feed arms a fresh one."""
+        session = self._session
+        if session is not None:
+            self._elements_total += session.element_count
         document = self._documents
         self._documents = document + 1
+        self._aborted_documents += 1
         self._session = None
         self._broadcast_eof(document, aborted=True, error=message)
 
 
-__all__ = ["DEFAULT_OUTBOX_LIMIT", "DEFAULT_PORT", "ServiceServer"]
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "DEFAULT_CHECKPOINT_PATH",
+    "DEFAULT_OUTBOX_LIMIT",
+    "DEFAULT_PORT",
+    "ServiceServer",
+]

@@ -9,6 +9,7 @@ byte-order mark, or an explicitly supplied encoding).
 
 from __future__ import annotations
 
+import base64
 import codecs
 import io
 import os
@@ -115,6 +116,46 @@ class IncrementalByteDecoder:
     def detected_encoding(self) -> Optional[str]:
         """The encoding committed to, or ``None`` while still detecting."""
         return self._detected
+
+    # ------------------------------------------------------------ snapshot
+
+    def snapshot_state(self) -> dict:
+        """JSON-able state of the decoder, including the undecoded byte tail.
+
+        :mod:`codecs` incremental decoders expose their buffered partial
+        multibyte sequence via ``getstate()``; together with the detection
+        prefix this captures every byte the decoder has accepted but not yet
+        turned into text.  Bytes travel base64-encoded.
+        """
+        state: dict = {
+            "encoding": self._encoding,
+            "detected": self._detected,
+            "prefix": base64.b64encode(self._prefix).decode("ascii"),
+        }
+        if self._decoder is not None:
+            buffered, flags = self._decoder.getstate()
+            state["decoder"] = [base64.b64encode(buffered).decode("ascii"), flags]
+        return state
+
+    @classmethod
+    def restore_state(cls, state: dict) -> "IncrementalByteDecoder":
+        """Rebuild a decoder from :meth:`snapshot_state` output."""
+        decoder = cls(state.get("encoding"))
+        decoder._prefix = base64.b64decode(state.get("prefix", ""))
+        decoder._detected = state.get("detected")
+        inner = state.get("decoder")
+        if inner is not None:
+            if decoder._detected is None:
+                raise EncodingError("decoder snapshot carries state but no encoding")
+            try:
+                decoder._decoder = codecs.getincrementaldecoder(decoder._detected)()
+            except LookupError as exc:
+                raise EncodingError(
+                    f"unknown encoding {decoder._detected!r} in snapshot"
+                ) from exc
+            buffered, flags = inner
+            decoder._decoder.setstate((base64.b64decode(buffered), flags))
+        return decoder
 
 
 class StreamReader:

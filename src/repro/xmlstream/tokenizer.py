@@ -26,7 +26,7 @@ It deliberately does *not* implement DTD entity expansion or validation.
 from __future__ import annotations
 
 import re
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from ..errors import XMLSyntaxError
 from .reader import IncrementalByteDecoder
@@ -265,6 +265,61 @@ class StreamTokenizer:
         """Tokenize a complete document given as a single string."""
         yield from self.feed(text)
         yield from self.close()
+
+    # ------------------------------------------------------------ snapshot
+
+    def snapshot_state(self) -> dict:
+        """JSON-able state of the tokenizer mid-stream (checkpoint format).
+
+        Captures everything a later :meth:`feed` reads: the unparsed buffer
+        tail, the open-element stack, position/line counters, the pending
+        coalesced text and the incremental byte decoder (with its undecoded
+        byte tail) when :meth:`feed_bytes` has been used.  Must not be
+        called with undrained events (the session API always drains).
+        """
+        if self._events:
+            raise ValueError("cannot snapshot a tokenizer with undrained events")
+        state: dict = {
+            "buffer": self._buffer,
+            "open_elements": list(self._open_elements),
+            "position": self._position,
+            "line": self._line,
+            "started": self._started,
+            "finished": self._finished,
+            "root_seen": self._root_seen,
+            "root_closed": self._root_closed,
+            "coalesce_text": self._coalesce_text,
+            "pending_text": "".join(self._pending_text),
+            "has_pending": bool(self._pending_text),
+            "pending_level": self._pending_text_level,
+            "encoding": self._encoding,
+        }
+        if self._byte_decoder is not None:
+            state["decoder"] = self._byte_decoder.snapshot_state()
+        return state
+
+    @classmethod
+    def restore_state(cls, state: dict) -> "StreamTokenizer":
+        """Rebuild a tokenizer from :meth:`snapshot_state` output."""
+        tokenizer = cls(
+            coalesce_text=state.get("coalesce_text", True),
+            encoding=state.get("encoding"),
+        )
+        tokenizer._buffer = state["buffer"]
+        tokenizer._open_elements = list(state["open_elements"])
+        tokenizer._position = state["position"]
+        tokenizer._line = state["line"]
+        tokenizer._started = state["started"]
+        tokenizer._finished = state["finished"]
+        tokenizer._root_seen = state["root_seen"]
+        tokenizer._root_closed = state["root_closed"]
+        if state.get("has_pending"):
+            tokenizer._pending_text = [state["pending_text"]]
+        tokenizer._pending_text_level = state.get("pending_level", 0)
+        decoder = state.get("decoder")
+        if decoder is not None:
+            tokenizer._byte_decoder = IncrementalByteDecoder.restore_state(decoder)
+        return tokenizer
 
     # ------------------------------------------------------------ internals
 

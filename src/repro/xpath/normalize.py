@@ -20,7 +20,7 @@ Normalization rules:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional
 
 from ..errors import UnsupportedFeatureError
 from .ast import (
@@ -28,16 +28,13 @@ from .ast import (
     Axis,
     ChildAtom,
     Comparison,
-    ComparisonOp,
     Exists,
     Formula,
     FormulaAnd,
     FormulaNot,
     FormulaOr,
     FormulaTrue,
-    Literal,
     LocationPath,
-    NameTest,
     NodeKind,
     NotExpr,
     OrExpr,

@@ -28,7 +28,7 @@ queries are never silently mis-evaluated.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..errors import UnsupportedFeatureError, XPathSyntaxError
 from .ast import (

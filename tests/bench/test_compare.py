@@ -1,0 +1,162 @@
+"""Unit tests for the benchmark-regression gate (``vitex bench compare``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    DEFAULT_TOLERANCE,
+    compare_files,
+    compare_reports,
+    machine_calibration,
+    merge_fresh_reports,
+)
+from repro.errors import BenchmarkError
+
+
+def _pipeline_report(speedup=3.0, mbs=2.0, calibration=100.0):
+    return {
+        "experiment": "pipeline",
+        "calibration_score": calibration,
+        "rows": [
+            {
+                "backend": "pure",
+                "doc_mb": 0.5,
+                "query": "//a[b]//c",
+                "speedup_vs_seed": speedup,
+                "evaluate_mb_s": mbs,
+            }
+        ],
+    }
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self):
+        failures, lines = compare_reports(_pipeline_report(), _pipeline_report())
+        assert failures == []
+        assert any("ok" in line for line in lines)
+
+    def test_relative_regression_fails(self):
+        fresh = _pipeline_report(speedup=3.0 * (1 - DEFAULT_TOLERANCE) - 0.1)
+        failures, _ = compare_reports(fresh, _pipeline_report())
+        assert len(failures) == 1
+        assert "speedup_vs_seed" in failures[0]
+
+    def test_within_tolerance_passes(self):
+        fresh = _pipeline_report(speedup=3.0 * 0.75, mbs=2.0 * 0.75)
+        failures, _ = compare_reports(fresh, _pipeline_report())
+        assert failures == []
+
+    def test_absolute_metric_rescaled_by_calibration(self):
+        # Runner probes at half the baseline machine's speed: half the MB/s
+        # is exactly what the baseline predicts, so no failure.
+        fresh = _pipeline_report(mbs=1.0, calibration=50.0)
+        failures, lines = compare_reports(fresh, _pipeline_report())
+        assert failures == []
+        assert any("0.50x" in line for line in lines)
+
+    def test_faster_runner_does_not_raise_the_bar(self):
+        # Probe says 2x faster, throughput unchanged: clamped scale keeps ok.
+        fresh = _pipeline_report(calibration=200.0)
+        failures, _ = compare_reports(fresh, _pipeline_report())
+        assert failures == []
+
+    def test_absolute_informational_without_baseline_calibration(self):
+        baseline = _pipeline_report()
+        del baseline["calibration_score"]
+        fresh = _pipeline_report(mbs=0.1, speedup=3.0)
+        failures, lines = compare_reports(fresh, baseline)
+        assert failures == []
+        assert any("informational" in line for line in lines)
+
+    def test_workload_drift_fails_with_regenerate_hint(self):
+        fresh = _pipeline_report()
+        fresh["rows"][0]["doc_mb"] = 2.0
+        failures, _ = compare_reports(fresh, _pipeline_report())
+        assert len(failures) == 1
+        assert "regenerate" in failures[0]
+
+    def test_no_matching_rows_fails(self):
+        fresh = _pipeline_report()
+        fresh["rows"][0]["backend"] = "imaginary"
+        failures, _ = compare_reports(fresh, _pipeline_report())
+        assert any("no fresh row matched" in failure for failure in failures)
+
+    def test_experiment_mismatch_raises(self):
+        other = _pipeline_report()
+        other["experiment"] = "multiquery"
+        with pytest.raises(BenchmarkError):
+            compare_reports(_pipeline_report(), other)
+
+
+class TestMergeFreshReports:
+    def test_best_of_n_takes_per_metric_max(self):
+        slow = _pipeline_report(speedup=2.0, mbs=2.5, calibration=90.0)
+        fast = _pipeline_report(speedup=3.5, mbs=1.5, calibration=110.0)
+        merged = merge_fresh_reports([slow, fast])
+        row = merged["rows"][0]
+        assert row["speedup_vs_seed"] == 3.5
+        assert row["evaluate_mb_s"] == 2.5
+        assert merged["calibration_score"] == 110.0
+
+    def test_single_report_unchanged(self):
+        report = _pipeline_report()
+        assert merge_fresh_reports([report]) is report
+
+    def test_mixed_experiments_rejected(self):
+        other = _pipeline_report()
+        other["experiment"] = "service"
+        with pytest.raises(BenchmarkError):
+            merge_fresh_reports([_pipeline_report(), other])
+
+
+class TestCompareFiles:
+    def _write(self, path, report):
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle)
+
+    def test_files_round_trip_and_merge(self, tmp_path):
+        baseline_dir = tmp_path / "baseline"
+        baseline_dir.mkdir()
+        self._write(baseline_dir / "BENCH_pipeline.quick.json", _pipeline_report())
+        run1 = tmp_path / "run1"
+        run2 = tmp_path / "run2"
+        run1.mkdir()
+        run2.mkdir()
+        self._write(run1 / "BENCH_pipeline.quick.json", _pipeline_report(speedup=1.0))
+        self._write(run2 / "BENCH_pipeline.quick.json", _pipeline_report(speedup=3.1))
+        failures, lines = compare_files(
+            [
+                str(run1 / "BENCH_pipeline.quick.json"),
+                str(run2 / "BENCH_pipeline.quick.json"),
+            ],
+            baseline_dir=str(baseline_dir),
+        )
+        assert failures == []
+        assert any("best-of-2" in line for line in lines)
+
+    def test_missing_baseline_raises(self, tmp_path):
+        report_path = tmp_path / "BENCH_pipeline.quick.json"
+        self._write(report_path, _pipeline_report())
+        with pytest.raises(BenchmarkError, match="baseline"):
+            compare_files([str(report_path)], baseline_dir=str(tmp_path / "nowhere"))
+
+    def test_comparing_baseline_to_itself_raises(self, tmp_path):
+        report_path = tmp_path / "BENCH_pipeline.quick.json"
+        self._write(report_path, _pipeline_report())
+        with pytest.raises(BenchmarkError, match="baseline itself"):
+            compare_files([str(report_path)], baseline_dir=str(tmp_path))
+
+    def test_bad_tolerance_rejected(self, tmp_path):
+        report_path = tmp_path / "BENCH_pipeline.quick.json"
+        self._write(report_path, _pipeline_report())
+        with pytest.raises(BenchmarkError, match="tolerance"):
+            compare_files([str(report_path)], baseline_dir="/", tolerance=1.5)
+
+
+class TestCalibration:
+    def test_probe_returns_positive_score(self):
+        score = machine_calibration(repeats=2)
+        assert score > 0

@@ -1,0 +1,208 @@
+"""Checkpoint boundary fuzz: snapshot/restore at *every* byte offset.
+
+The acceptance bar for the checkpoint subsystem (ISSUE 4): for any document
+split at any byte offset, feed-prefix → snapshot → restore-in-a-fresh-engine
+→ feed-suffix must produce ``(name, solution)`` pairs byte-identical to an
+unbroken session, on both parser backends.  Snapshots round-trip through
+their serialized bytes at every offset, so nothing in-memory can leak
+through; a subprocess spot-check additionally proves the bytes restore in a
+genuinely fresh interpreter (the service-level test drives the same path
+through real ``vitex serve``/``resume`` processes).
+
+This file is also a dedicated CI matrix step so checkpoint parity is
+exercised on every supported Python version.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.checkpoint import dumps_snapshot, loads_snapshot
+from repro.core.multi import MultiQueryEvaluator
+
+#: Same flavour of nastiness as the tokenizer boundary corpus: multibyte
+#: UTF-8 (2-, 3- and 4-byte), entities and character references in text and
+#: attribute values, CDATA, comments, a PI, empty elements, deep nesting —
+#: now with queries that exercise predicates, text() output and attributes
+#: so machine stacks carry candidates and accumulated text across the split.
+FUZZ_DOC = (
+    '<?xml version="1.0" encoding="utf-8"?>'
+    "<catalog état=\"café &amp; crème\">"
+    "<entry id='e1'><name>☃ snow &lt;tag&gt; &#x10348;</name><price>12</price></entry>"
+    "<entry id='e2'><name><![CDATA[raw & <unparsed>]]></name></entry>"
+    "<!-- comment with ümläuts -->"
+    "<?target some data?>"
+    "<empty/>"
+    "<deep><entry id='e3'><name>nested</name><price>5</price></entry></deep>"
+    "</catalog>"
+)
+
+QUERIES = (
+    ("names", "//entry/name"),
+    ("texts", "//name/text()"),
+    ("ids", "//entry/@id"),
+    ("priced", "//entry[price]"),
+    ("wild", "//deep//*"),
+)
+
+PARSERS = ("pure", "expat")
+
+
+def _register(engine):
+    for name, query in QUERIES:
+        engine.register(query, name=name)
+
+
+def _pairs_key(pairs):
+    return [(name, solution.key()) for name, solution in pairs]
+
+
+def _unbroken(parser, doc):
+    with MultiQueryEvaluator() as engine:
+        _register(engine)
+        pairs = _pairs_key(engine.stream(doc, parser=parser))
+        results = {name: result.keys() for name, result in engine.results().items()}
+    return pairs, results
+
+
+def _split_run(parser, data, offset):
+    """prefix → snapshot → serialize → restore in a new engine → suffix."""
+    engine = MultiQueryEvaluator()
+    _register(engine)
+    session = engine.session(parser=parser)
+    pairs = _pairs_key(session.feed_bytes(data[:offset]))
+    blob = dumps_snapshot(session.snapshot())
+    engine.close()
+    restored = MultiQueryEvaluator()
+    session = restored.restore_session(loads_snapshot(blob))
+    pairs += _pairs_key(session.feed_bytes(data[offset:]))
+    pairs += _pairs_key(session.finish())
+    results = {name: result.keys() for name, result in restored.results().items()}
+    restored.close()
+    return pairs, results, len(blob)
+
+
+class TestEveryByteOffset:
+    @pytest.mark.parametrize("parser", PARSERS)
+    def test_snapshot_restore_at_every_offset(self, parser):
+        data = FUZZ_DOC.encode("utf-8")
+        expected_pairs, expected_results = _unbroken(parser, FUZZ_DOC)
+        assert expected_pairs  # the corpus must actually produce solutions
+        for offset in range(len(data) + 1):
+            pairs, results, _ = _split_run(parser, data, offset)
+            assert pairs == expected_pairs, f"pairs diverged at byte {offset}"
+            assert results == expected_results, f"results diverged at byte {offset}"
+
+    def test_utf16_document_every_offset_pure(self):
+        doc = "<r><v a='é'>☃ &amp; text</v><v a='x'>plain</v></r>"
+        data = doc.encode("utf-16")  # BOM + 2-byte units: splits land mid-unit
+        with MultiQueryEvaluator() as engine:
+            engine.register("//v/@a", name="attrs")
+            engine.register("//v/text()", name="texts")
+            expected = _pairs_key(engine.stream(doc, parser="pure"))
+        for offset in range(len(data) + 1):
+            engine = MultiQueryEvaluator()
+            engine.register("//v/@a", name="attrs")
+            engine.register("//v/text()", name="texts")
+            session = engine.session(parser="pure")
+            pairs = _pairs_key(session.feed_bytes(data[:offset]))
+            blob = dumps_snapshot(session.snapshot())
+            engine.close()
+            restored = MultiQueryEvaluator()
+            session = restored.restore_session(loads_snapshot(blob))
+            pairs += _pairs_key(session.feed_bytes(data[offset:]))
+            pairs += _pairs_key(session.finish())
+            restored.close()
+            assert pairs == expected, f"utf-16 split at byte {offset} diverged"
+
+    @pytest.mark.parametrize("parser", PARSERS)
+    def test_one_byte_feeds_with_snapshot_each_step(self, parser):
+        # The torture variant: re-serialize and re-restore after *every*
+        # single-byte chunk, chaining dozens of checkpoints in one parse.
+        data = FUZZ_DOC.encode("utf-8")[: len(FUZZ_DOC) // 3]
+        tail = FUZZ_DOC.encode("utf-8")[len(FUZZ_DOC) // 3 :]
+        expected_pairs, _ = _unbroken(parser, FUZZ_DOC)
+        engine = MultiQueryEvaluator()
+        _register(engine)
+        session = engine.session(parser=parser)
+        pairs = []
+        for i in range(len(data)):
+            pairs += _pairs_key(session.feed_bytes(data[i : i + 1]))
+            blob = dumps_snapshot(session.snapshot())
+            engine.close()
+            engine = MultiQueryEvaluator()
+            session = engine.restore_session(loads_snapshot(blob))
+        pairs += _pairs_key(session.feed_bytes(tail))
+        pairs += _pairs_key(session.finish())
+        engine.close()
+        assert pairs == expected_pairs
+
+
+_CHILD_SCRIPT = """
+import json, sys
+from repro.core.checkpoint import loads_snapshot
+from repro.core.multi import MultiQueryEvaluator
+
+with open(sys.argv[1], "rb") as handle:
+    snapshot = loads_snapshot(handle.read())
+with open(sys.argv[2], "rb") as handle:
+    suffix = handle.read()
+engine = MultiQueryEvaluator()
+session = engine.restore_session(snapshot)
+pairs = session.feed_bytes(suffix)
+pairs += session.finish()
+out = {
+    "pairs": [[name, list(solution.key())] for name, solution in pairs],
+    "results": {
+        name: [list(key) for key in result.keys()]
+        for name, result in engine.results().items()
+    },
+}
+print(json.dumps(out))
+"""
+
+
+class TestFreshProcessRestore:
+    @pytest.mark.parametrize("parser", PARSERS)
+    def test_subprocess_restore_matches_unbroken(self, parser, tmp_path):
+        """Spot-check a handful of offsets through a real fresh interpreter."""
+        data = FUZZ_DOC.encode("utf-8")
+        expected_pairs, expected_results = _unbroken(parser, FUZZ_DOC)
+        offsets = [1, len(data) // 3, len(data) // 2, len(data) - 7]
+        env = dict(os.environ)
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+            "src",
+        )
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        for offset in offsets:
+            engine = MultiQueryEvaluator()
+            _register(engine)
+            session = engine.session(parser=parser)
+            prefix_pairs = _pairs_key(session.feed_bytes(data[:offset]))
+            snapshot_file = tmp_path / f"snap-{parser}-{offset}.json"
+            snapshot_file.write_bytes(dumps_snapshot(session.snapshot()))
+            engine.close()
+            suffix_file = tmp_path / f"suffix-{parser}-{offset}.bin"
+            suffix_file.write_bytes(data[offset:])
+            completed = subprocess.run(
+                [sys.executable, "-c", _CHILD_SCRIPT, str(snapshot_file), str(suffix_file)],
+                capture_output=True,
+                text=True,
+                env=env,
+                timeout=60,
+            )
+            assert completed.returncode == 0, completed.stderr
+            out = json.loads(completed.stdout)
+            child_pairs = [(name, tuple(key)) for name, key in out["pairs"]]
+            assert prefix_pairs + child_pairs == expected_pairs
+            child_results = {
+                name: [tuple(key) for key in keys]
+                for name, keys in out["results"].items()
+            }
+            assert child_results == expected_results

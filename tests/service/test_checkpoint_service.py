@@ -1,0 +1,318 @@
+"""Service-level checkpoint/restore: wire frames, reattach, abort hygiene.
+
+In-process asyncio tests mirroring ``test_server.py`` conventions; the
+kill-the-real-process resume path lives in ``test_resume_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import CHECKPOINT_FORMAT, ServiceServer
+
+TIMEOUT = 5.0
+
+
+def run(coroutine):
+    return asyncio.run(asyncio.wait_for(coroutine, timeout=30))
+
+
+class TestCheckpointFrame:
+    def test_checkpoint_mid_document_and_restore(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+
+        async def scenario():
+            server = ServiceServer(parser="expat", checkpoint_path=path)
+            await server.start(port=0)
+            host, port = server.address
+            subscriber = await ServiceClient.connect(host, port)
+            publisher = await ServiceClient.connect(host, port)
+            try:
+                await subscriber.subscribe("//s1/v1", name="standing")
+                await publisher.feed("<feed><r><s1><v1>first</v1></s1></r><r><s1><v1>sp")
+                push = await subscriber.next_push(timeout=TIMEOUT)
+                assert push["solution"]["order"] == 3
+                reply = await publisher.checkpoint()
+                assert reply["path"] == path
+                assert reply["mid_document"] is True
+                assert reply["bytes"] > 0
+            finally:
+                await subscriber.close()
+                await publisher.close()
+                await server.close()
+
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            assert payload["format"] == CHECKPOINT_FORMAT
+
+            restored = ServiceServer()
+            summary = restored.restore_from_file(path)
+            assert summary["mid_document"] is True
+            assert summary["subscriptions"] == 1
+            await restored.start(port=0)
+            host, port = restored.address
+            subscriber = await ServiceClient.connect(host, port)
+            publisher = await ServiceClient.connect(host, port)
+            try:
+                await subscriber.subscribe("//s1/v1", name="standing")
+                await publisher.feed("lit</v1></s1></r></feed>")
+                summary = await publisher.finish()
+                assert summary["elements"] == 7
+                push = await subscriber.next_push(timeout=TIMEOUT)
+                # Document-global identity survives the process boundary:
+                # the completed v1 is the 7th element (order 6).
+                assert push["solution"]["order"] == 6
+            finally:
+                await subscriber.close()
+                await publisher.close()
+                await restored.close()
+
+        run(scenario())
+
+    def test_reattach_requires_equivalent_query(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+
+        async def scenario():
+            server = ServiceServer(checkpoint_path=path)
+            await server.start(port=0)
+            host, port = server.address
+            client = await ServiceClient.connect(host, port)
+            try:
+                await client.subscribe("//s1/v1", name="standing")
+                await client.feed("<feed><r><s1><v1>x")
+                await client.checkpoint()
+            finally:
+                await client.close()
+                await server.close()
+
+            restored = ServiceServer()
+            restored.restore_from_file(path)
+            await restored.start(port=0)
+            host, port = restored.address
+            client = await ServiceClient.connect(host, port)
+            try:
+                with pytest.raises(ServiceError, match="re-attach"):
+                    await client.subscribe("//totally/different", name="standing")
+                # Differently-spelled but structurally identical: accepted.
+                await client.subscribe("//s1 / v1", name="standing")
+                stats = await client.stats()
+                detail = stats["subscription_detail"]["standing"]
+                assert detail["detached"] is False
+            finally:
+                await client.close()
+                await restored.close()
+
+        run(scenario())
+
+    def test_restore_frame_refused_with_state(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+
+        async def scenario():
+            server = ServiceServer(checkpoint_path=path)
+            await server.start(port=0)
+            host, port = server.address
+            client = await ServiceClient.connect(host, port)
+            try:
+                await client.subscribe("//a", name="q")
+                await client.checkpoint()
+                with pytest.raises(ServiceError, match="existing subscriptions"):
+                    await client.restore(path)
+            finally:
+                await client.close()
+                await server.close()
+
+            # An idle, empty server accepts the restore frame.
+            empty = ServiceServer(checkpoint_path=path)
+            await empty.start(port=0)
+            host, port = empty.address
+            client = await ServiceClient.connect(host, port)
+            try:
+                reply = await client.restore(path)
+                assert reply["subscriptions"] == 1
+            finally:
+                await client.close()
+                await empty.close()
+
+        run(scenario())
+
+    def test_checkpoint_between_documents(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+
+        async def scenario():
+            server = ServiceServer(checkpoint_path=path)
+            await server.start(port=0)
+            host, port = server.address
+            client = await ServiceClient.connect(host, port)
+            try:
+                await client.subscribe("//s1/v1", name="standing")
+                await client.feed("<feed><r><s1><v1>x</v1></s1></r></feed>")
+                await client.finish()
+                reply = await client.checkpoint()
+                assert reply["mid_document"] is False
+            finally:
+                await client.close()
+                await server.close()
+
+            restored = ServiceServer()
+            restored.restore_from_file(path)
+            await restored.start(port=0)
+            host, port = restored.address
+            client = await ServiceClient.connect(host, port)
+            try:
+                await client.subscribe("//s1/v1", name="standing")
+                await client.feed("<feed><r><s1><v1>y</v1></s1></r></feed>")
+                await client.finish()
+                push = await client.next_push(timeout=TIMEOUT)
+                assert push["type"] == "solution"
+                stats = await client.stats()
+                assert stats["documents"] == 2  # counted across the restart
+            finally:
+                await client.close()
+                await restored.close()
+
+        run(scenario())
+
+    def test_local_rebind_refuses_different_query(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+
+        async def scenario():
+            server = ServiceServer(checkpoint_path=path)
+            await server.start(port=0)
+            server.add_local_subscription("//article//headline", name="news")
+            host, port = server.address
+            client = await ServiceClient.connect(host, port)
+            try:
+                await client.feed("<feed><r>")
+                await client.checkpoint()
+            finally:
+                await client.close()
+                await server.close()
+
+            restored = ServiceServer()
+            restored.restore_from_file(path)
+            from repro.errors import CheckpointError
+
+            with pytest.raises(CheckpointError, match="re-bind"):
+                restored.rebind_local_callback(
+                    "news", lambda name, solution: None, query="//sports//score"
+                )
+            # The restored spelling (and equivalent spellings) re-bind fine.
+            assert restored.rebind_local_callback(
+                "news", lambda name, solution: None, query="// article // headline"
+            )
+            await restored.close()
+
+        run(scenario())
+
+    def test_client_paths_confined_to_checkpoint_directory(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        outside = str(tmp_path / "sub" / "escape.json")
+
+        async def scenario():
+            server = ServiceServer(checkpoint_path=path)
+            await server.start(port=0)
+            host, port = server.address
+            client = await ServiceClient.connect(host, port)
+            try:
+                await client.subscribe("//a", name="q")
+                with pytest.raises(ServiceError, match="confined"):
+                    await client.checkpoint("/etc/vitex-should-not-exist.json")
+                with pytest.raises(ServiceError, match="confined"):
+                    await client.checkpoint(outside)
+                with pytest.raises(ServiceError, match="confined"):
+                    await client.restore("../somewhere/else.json")
+                # A bare file name inside the configured directory is fine.
+                reply = await client.checkpoint("renamed.json")
+                assert reply["path"] == str(tmp_path / "renamed.json")
+            finally:
+                await client.close()
+                await server.close()
+
+        run(scenario())
+
+    def test_auto_checkpoint_writes_file(self, tmp_path):
+        path = str(tmp_path / "auto.json")
+
+        async def scenario():
+            server = ServiceServer(checkpoint_path=path, checkpoint_interval=0.05)
+            await server.start(port=0)
+            host, port = server.address
+            client = await ServiceClient.connect(host, port)
+            try:
+                await client.subscribe("//s1/v1", name="standing")
+                await client.feed("<feed><r><s1><v1>x")
+                for _ in range(100):
+                    await asyncio.sleep(0.02)
+                    stats = await client.stats()
+                    if stats["checkpoints_written"]:
+                        break
+                assert stats["checkpoints_written"] >= 1
+                assert stats["last_checkpoint_bytes"] > 0
+            finally:
+                await client.close()
+                await server.close()
+
+            restored = ServiceServer()
+            summary = restored.restore_from_file(path)
+            assert summary["mid_document"] is True
+            await restored.close()
+
+        run(scenario())
+
+
+class TestAbortHygiene:
+    def test_abort_clears_session_and_counts(self):
+        async def scenario():
+            server = ServiceServer()
+            await server.start(port=0)
+            host, port = server.address
+            client = await ServiceClient.connect(host, port)
+            try:
+                await client.subscribe("//s1/v1", name="q")
+                await client.feed("<feed><r><s1><v1>x</v1></s1></r>")
+                await client.feed("</wrong>")
+                await client.ping()  # order barrier: the error has landed
+                stats = await client.stats()
+                assert stats["aborted_documents"] == 1
+                assert stats["document_open"] is False
+                # The aborted document's elements still count in the totals
+                # (pre-fix they vanished with the stale session entry).
+                assert stats["elements"] == 4
+                pushes = client.pending_pushes()
+                kinds = [frame["type"] for frame in pushes]
+                assert "error" in kinds
+                assert any(
+                    frame["type"] == "eof" and frame["aborted"] for frame in pushes
+                )
+                # The server accepts a fresh document afterwards.
+                await client.feed("<feed><r><s1><v1>y</v1></s1></r></feed>")
+                summary = await client.finish()
+                assert summary["elements"] == 4
+            finally:
+                await client.close()
+                await server.close()
+
+        run(scenario())
+
+    def test_stats_report_open_document(self):
+        async def scenario():
+            server = ServiceServer()
+            await server.start(port=0)
+            host, port = server.address
+            client = await ServiceClient.connect(host, port)
+            try:
+                stats = await client.stats()
+                assert stats["document_open"] is False
+                await client.feed("<feed><r>")
+                stats = await client.stats()
+                assert stats["document_open"] is True
+                assert stats["elements"] == 2
+            finally:
+                await client.close()
+                await server.close()
+
+        run(scenario())

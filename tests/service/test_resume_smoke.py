@@ -1,0 +1,183 @@
+"""End-to-end failover smoke: serve → publish half → checkpoint → SIGKILL →
+``vitex resume`` → publish the rest → the subscriber gets the completed
+solutions.
+
+Real child processes on a real socket, exercising the ``vitex checkpoint``
+and ``vitex resume`` verbs: the second server is a genuinely fresh
+interpreter, so everything it knows about the half-parsed document came
+through the checkpoint file.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service.client import ServiceClient
+
+SERVER_READY_RE = re.compile(r"listening on ([\d.]+):(\d+)")
+STARTUP_TIMEOUT = 20.0
+PUSH_TIMEOUT = 10.0
+
+#: Split inside the third <v1> text node: its solution can only complete
+#: after the resume, and its pre-order identity (order 9) only comes out
+#: right if the restored server kept the global element counter.
+DOC_PREFIX = (
+    "<feed>"
+    "<r><s1><v1>one</v1></s1></r>"
+    "<r><s1><v1>two</v1></s1></r>"
+    "<r><s1><v1>th"
+)
+DOC_SUFFIX = "ree</v1></s1></r></feed>"
+
+
+def _repo_env():
+    env = dict(os.environ)
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+        "src",
+    )
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    return env
+
+
+def _spawn(args):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=_repo_env(),
+    )
+
+
+def _await_address(process):
+    deadline = time.monotonic() + STARTUP_TIMEOUT
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        match = SERVER_READY_RE.search(line)
+        if match:
+            return match.group(1), int(match.group(2))
+    raise AssertionError("server did not announce its address")
+
+
+def _run_cli(args, timeout=30):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True,
+        text=True,
+        env=_repo_env(),
+        timeout=timeout,
+    )
+
+
+def _terminate(process):
+    if process.poll() is None:
+        process.kill()
+        process.wait(timeout=10)
+
+
+class TestResumeSmoke:
+    def test_checkpoint_kill_resume_subscriber_completes(self, tmp_path):
+        checkpoint = str(tmp_path / "smoke-checkpoint.json")
+        prefix_file = tmp_path / "prefix.xml"
+        prefix_file.write_text(DOC_PREFIX, encoding="utf-8")
+        suffix_file = tmp_path / "suffix.xml"
+        suffix_file.write_text(DOC_SUFFIX, encoding="utf-8")
+
+        server = _spawn(["serve", "--port", "0", "--checkpoint", checkpoint])
+        try:
+            host, port = _await_address(server)
+
+            async def first_half():
+                subscriber = await ServiceClient.connect(host, port)
+                try:
+                    await subscriber.subscribe("//s1/v1", name="standing")
+                    # Publish the prefix through the real CLI verb.
+                    published = _run_cli(
+                        [
+                            "publish",
+                            str(prefix_file),
+                            "--host",
+                            host,
+                            "--port",
+                            str(port),
+                            "--no-finish",
+                        ]
+                    )
+                    assert published.returncode == 0, published.stderr
+                    # The two complete records arrive before the kill.
+                    orders = []
+                    for _ in range(2):
+                        push = await asyncio.wait_for(
+                            subscriber.next_push(), timeout=PUSH_TIMEOUT
+                        )
+                        assert push["type"] == "solution"
+                        orders.append(push["solution"]["order"])
+                    assert orders == [3, 6]
+                    # Checkpoint while the subscriber is still attached: a
+                    # subscription's registration dies with its connection,
+                    # so this is the state a failover must capture.
+                    checkpointed = _run_cli(
+                        ["checkpoint", "--host", host, "--port", str(port)]
+                    )
+                    assert checkpointed.returncode == 0, checkpointed.stdout
+                    assert checkpoint in checkpointed.stdout
+                finally:
+                    await subscriber.close()
+
+            asyncio.run(first_half())
+            assert os.path.exists(checkpoint)
+        finally:
+            # SIGKILL: the resumed server may not rely on any graceful
+            # shutdown work in the original process.
+            _terminate(server)
+
+        resumed = _spawn(["resume", checkpoint, "--port", "0"])
+        try:
+            host, port = _await_address(resumed)
+
+            async def second_half():
+                subscriber = await ServiceClient.connect(host, port)
+                try:
+                    await subscriber.subscribe("//s1/v1", name="standing")
+                    published = _run_cli(
+                        [
+                            "publish",
+                            str(suffix_file),
+                            "--host",
+                            host,
+                            "--port",
+                            str(port),
+                        ]
+                    )
+                    assert published.returncode == 0, published.stderr
+                    push = await asyncio.wait_for(
+                        subscriber.next_push(), timeout=PUSH_TIMEOUT
+                    )
+                    assert push["type"] == "solution"
+                    # The split v1 completed with its document-global
+                    # pre-order identity intact across the failover.
+                    assert push["solution"]["order"] == 9
+                    assert push["solution"]["tag"] == "v1"
+                finally:
+                    await subscriber.close()
+
+            asyncio.run(second_half())
+        finally:
+            if resumed.poll() is None:
+                resumed.send_signal(signal.SIGINT)
+                try:
+                    resumed.wait(timeout=10)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    _terminate(resumed)
