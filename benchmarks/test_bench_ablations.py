@@ -38,7 +38,7 @@ class TestSharedPassBenchmarks:
         def shared():
             evaluator = MultiQueryEvaluator()
             for index, query in enumerate(PROTEIN_QUERIES):
-                evaluator.register(query, name=f"q{index}")
+                evaluator.subscribe(query, name=f"q{index}")
             return evaluator.evaluate(protein_document)
 
         results = benchmark(shared)
@@ -72,7 +72,7 @@ def test_a1_shared_pass_table(benchmark, protein_document):
     def shared():
         evaluator = MultiQueryEvaluator()
         for index, query in enumerate(PROTEIN_QUERIES):
-            evaluator.register(query, name=PROTEIN_QUERIES[index])
+            evaluator.subscribe(query, name=PROTEIN_QUERIES[index])
         return evaluator.evaluate(protein_document)
 
     start = time.perf_counter()

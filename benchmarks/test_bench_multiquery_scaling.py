@@ -42,7 +42,7 @@ def subscription_document() -> str:
 def _register(kind: str, count: int) -> MultiQueryEvaluator:
     evaluator = MultiQueryEvaluator()
     for index, query in enumerate(multiquery_mix(kind, count, label_count=LABEL_COUNT)):
-        evaluator.register(query, name=f"q{index}")
+        evaluator.subscribe(query, name=f"q{index}")
     return evaluator
 
 
@@ -82,7 +82,7 @@ def test_indexed_dispatch_sublinear_vs_independent_scans(subscription_document):
     queries = multiquery_mix("disjoint", count, label_count=LABEL_COUNT)
     evaluator = MultiQueryEvaluator()
     for index, query in enumerate(queries):
-        evaluator.register(query, name=f"q{index}")
+        evaluator.subscribe(query, name=f"q{index}")
 
     start = time.perf_counter()
     shared = evaluator.evaluate(subscription_document, parser="pure")

@@ -8,7 +8,8 @@ rebuilds that experiment on the synthetic protein dataset:
 
 * generate a protein database of a chosen size (default 4 MB, scale with
   ``--size-mb``),
-* run the paper's query plus a few variants over it while streaming,
+* run the paper's query plus a few variants over it with a single-query
+  :class:`repro.Engine` per run,
 * report the parse-time/total-time breakdown and the engine's peak state.
 
 Run it with ``python examples/protein_pipeline.py [--size-mb 4]``.
@@ -19,7 +20,7 @@ from __future__ import annotations
 import argparse
 import time
 
-from repro import TwigMEvaluator
+from repro import Engine, EngineConfig, Query
 from repro.bench.metrics import measure_peak_memory, time_parse_only
 from repro.bench.reporting import render_table
 from repro.datasets import ProteinConfig, ProteinDatabaseGenerator
@@ -37,7 +38,7 @@ def main() -> None:
     parser.add_argument("--size-mb", type=float, default=4.0, help="document size in MB")
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument(
-        "--parser", choices=("native", "expat"), default="expat",
+        "--parser", choices=EngineConfig.PARSERS, default="expat",
         help="SAX back-end (expat mirrors the paper's use of a C SAX parser)",
     )
     args = parser.parse_args()
@@ -54,16 +55,19 @@ def main() -> None:
     print(f"SAX parse only ({args.parser}): {parse_seconds:.2f} s "
           f"({event_count} events)\n")
 
+    config = EngineConfig(parser=args.parser)
     rows = []
     for query in QUERIES:
         def run(query=query):
-            evaluator = TwigMEvaluator(query)
+            engine = Engine(config)
+            subscription = engine.subscribe(Query(query))
             started = time.perf_counter()
-            results = evaluator.evaluate(generator.chunks(), parser=args.parser)
-            return evaluator, results, time.perf_counter() - started
+            results = engine.evaluate(generator.chunks())[subscription.name]
+            stats = engine.statistics()[subscription.name]
+            engine.close()
+            return stats, results, time.perf_counter() - started
 
-        (evaluator, results, elapsed), memory = measure_peak_memory(run)
-        stats = evaluator.statistics
+        (stats, results, elapsed), memory = measure_peak_memory(run)
         rows.append(
             {
                 "query": query,
@@ -71,7 +75,7 @@ def main() -> None:
                 "total_s": round(elapsed, 2),
                 "parse_s": round(parse_seconds, 2),
                 "twigm_s": round(max(0.0, elapsed - parse_seconds), 2),
-                "peak_state_entries": stats.peak_stack_entries,
+                "peak_state_entries": stats["peak_stack_entries"],
                 "peak_alloc_mb": round(memory.peak_megabytes, 2),
             }
         )

@@ -1,20 +1,20 @@
 #!/usr/bin/env python3
 """Quickstart: evaluate the paper's walk-through query over Figure 1.
 
-This example covers the three ways to drive the engine:
+This example covers the three ways to drive the unified engine:
 
 1. one-shot evaluation (``repro.evaluate``),
 2. incremental streaming (``repro.stream_evaluate``),
-3. the explicit pipeline (compile the query, build the TwigM machine, feed
-   SAX events yourself) — the same wiring the paper's architecture figure
-   shows.
+3. the unified :class:`repro.Engine` facade: compile a :class:`repro.Query`,
+   subscribe it, and push SAX events yourself — the same wiring the paper's
+   architecture figure shows, behind one verb set.
 
 Run it with ``python examples/quickstart.py``.
 """
 
 from __future__ import annotations
 
-from repro import TwigMEvaluator, compile_query, evaluate, stream_evaluate
+from repro import Engine, Query, evaluate, stream_evaluate
 from repro.core.builder import build_machine
 from repro.datasets import FIGURE_1_QUERY, FIGURE_1_XML
 from repro.xmlstream import tokenize
@@ -50,42 +50,46 @@ def incremental_streaming() -> None:
     print()
 
 
-def explicit_pipeline() -> None:
-    """Wire the pieces by hand: parser → TwigM builder → TwigM machine."""
+def unified_engine() -> None:
+    """Wire the pieces by hand: Query -> Engine subscription -> push events."""
     print("=" * 70)
-    print("3. Explicit pipeline (XPath parser -> TwigM builder -> TwigM machine)")
+    print("3. Unified engine (Query -> Engine.subscribe -> push events)")
     print("=" * 70)
 
-    # XPath parser + normalizer: expression -> query twig.
-    query_tree = compile_query(FIGURE_1_QUERY)
+    # XPath parser + normalizer: expression -> compiled, fingerprinted Query.
+    query = Query(FIGURE_1_QUERY)
     print("Normalized query twig:")
-    print(query_to_string(query_tree))
+    print(query_to_string(query.tree))
     print()
-    print(f"Query statistics: {analyze(query_tree).as_dict()}")
+    print(f"Query statistics:   {analyze(query.tree).as_dict()}")
+    print(f"Query fingerprint:  {query.fingerprint[:60]}...")
     print()
 
     # TwigM builder: query twig -> machine (one node per query node).
-    machine = build_machine(query_tree)
+    machine = build_machine(query)
     print(machine.describe())
     print()
 
-    # SAX parser + TwigM machine: feed events one at a time.
-    evaluator = TwigMEvaluator(query_tree)
-    for event in tokenize(FIGURE_1_XML):
-        for solution in evaluator.feed(event):
-            print(f"  emitted while streaming: {solution.describe()}")
-    result = evaluator.finish()
-    print()
-    print(f"Total solutions: {len(result)}")
-    print("Engine statistics:")
-    for key, value in evaluator.statistics.as_dict().items():
-        print(f"  {key:>22}: {value}")
+    # One engine, one subscription, events pushed one at a time.
+    with Engine() as engine:
+        subscription = engine.subscribe(
+            query,
+            callback=lambda match: print(f"  emitted while streaming: {match.describe()}"),
+        )
+        for event in tokenize(FIGURE_1_XML):
+            engine.feed(event)
+        result = engine.results()[subscription.name]
+        print()
+        print(f"Total solutions: {len(result)}")
+        print("Engine statistics:")
+        for key, value in engine.statistics()[subscription.name].items():
+            print(f"  {key:>22}: {value}")
 
 
 def main() -> None:
     one_shot_evaluation()
     incremental_streaming()
-    explicit_pipeline()
+    unified_engine()
 
 
 if __name__ == "__main__":

@@ -8,7 +8,8 @@ that concrete:
 
 * it generates documents where ``section`` nests deeper and deeper,
 * runs the query family ``//section[author]//section[author]...`` with both
-  the TwigM engine and the naive match-enumerating baseline,
+  the TwigM engine (via :class:`repro.Engine`) and the naive
+  match-enumerating baseline,
 * prints how many explicit pattern matches the naive approach stores versus
   how many stack entries TwigM needs — the polynomial/exponential separation
   that is the paper's core claim.
@@ -21,7 +22,7 @@ from __future__ import annotations
 import argparse
 import time
 
-from repro import TwigMEvaluator
+from repro import Engine, Query
 from repro.baselines import NaiveStreamingEvaluator
 from repro.bench.reporting import render_table
 from repro.datasets import RecursiveBookGenerator, RecursiveConfig
@@ -58,10 +59,12 @@ def main() -> None:
     for steps in range(1, args.max_steps + 1):
         query = linear_descendant_query("section", steps, predicate_tag="author")
 
-        twigm = TwigMEvaluator(query)
-        start = time.perf_counter()
-        twigm_result = twigm.evaluate(document)
-        twigm_seconds = time.perf_counter() - start
+        with Engine() as twigm:
+            subscription = twigm.subscribe(Query(query))
+            start = time.perf_counter()
+            twigm_result = twigm.evaluate(document)[subscription.name]
+            twigm_seconds = time.perf_counter() - start
+            twigm_pushes = twigm.statistics()[subscription.name]["pushes"]
 
         naive = NaiveStreamingEvaluator(query)
         start = time.perf_counter()
@@ -75,7 +78,7 @@ def main() -> None:
                 "steps": steps,
                 "query": query if steps <= 3 else f"//section[author] x {steps}",
                 "solutions": len(twigm_result),
-                "twigm_entries": twigm.statistics.pushes,
+                "twigm_entries": twigm_pushes,
                 "twigm_s": round(twigm_seconds, 4),
                 "naive_records": naive.statistics.records_created,
                 "naive_s": round(naive_seconds, 4),

@@ -3,12 +3,14 @@
 
 The paper motivates streaming XPath with stock market data and personalised
 news: results must be delivered while the stream is still arriving.  This
-example simulates exactly that:
+example simulates exactly that with the unified facade:
 
 * a stock/news feed is generated chunk by chunk (never materialised),
-* several "subscriptions" (XPath queries) are registered,
-* each subscription prints its alerts the moment the matching update has
-  been fully received, long before the feed ends.
+* several subscriptions are registered on one :class:`repro.Engine`,
+* the chunks are pushed through an :meth:`Engine.open` session — the same
+  push surface the network service uses — and each subscription prints its
+  alerts the moment the matching update has been fully received, long
+  before the feed ends.
 
 Run it with ``python examples/stock_ticker.py [--updates 2000]``.
 """
@@ -18,28 +20,25 @@ from __future__ import annotations
 import argparse
 import time
 
-from repro import TwigMEvaluator
+from repro import Engine, Match, Query
 from repro.datasets import NewsFeedConfig, NewsFeedGenerator
-from repro.xmlstream import StreamTokenizer
 
 
-class Subscription:
-    """One registered query plus its alert counter."""
+class Alerts:
+    """Per-subscription alert counters fed by the engine's Match callbacks."""
 
-    def __init__(self, name: str, query: str) -> None:
-        self.name = name
-        self.query = query
-        self.evaluator = TwigMEvaluator(query)
-        self.alerts = 0
-        self.first_alert_at = None
+    def __init__(self, clock_start: float) -> None:
+        self.clock_start = clock_start
+        self.counts: dict = {}
+        self.first_alert_at: dict = {}
 
-    def feed(self, event, clock_start: float) -> None:
-        for solution in self.evaluator.feed(event):
-            self.alerts += 1
-            if self.first_alert_at is None:
-                self.first_alert_at = time.perf_counter() - clock_start
-            if self.alerts <= 5:
-                print(f"  [{self.name}] alert #{self.alerts}: {solution.describe()}")
+    def __call__(self, match: Match) -> None:
+        count = self.counts.get(match.name, 0) + 1
+        self.counts[match.name] = count
+        if match.name not in self.first_alert_at:
+            self.first_alert_at[match.name] = time.perf_counter() - self.clock_start
+        if count <= 5:
+            print(f"  [{match.name}] alert #{count}: {match.solution.describe()}")
 
 
 def main() -> None:
@@ -49,43 +48,43 @@ def main() -> None:
     args = parser.parse_args()
 
     generator = NewsFeedGenerator(NewsFeedConfig(updates=args.updates), seed=args.seed)
-    subscriptions = [
-        Subscription("ACME quotes", "//update[quote/@symbol='ACME']"),
-        Subscription("big movers", "//update/quote[price>450]/@symbol"),
-        Subscription("market headlines", "//headline[@section='markets']/title/text()"),
-    ]
+    queries = {
+        "ACME quotes": Query("//update[quote/@symbol='ACME']"),
+        "big movers": Query("//update/quote[price>450]/@symbol"),
+        "market headlines": Query("//headline[@section='markets']/title/text()"),
+    }
 
-    print(f"Streaming a feed of {args.updates} updates with {len(subscriptions)} subscriptions...\n")
+    print(f"Streaming a feed of {args.updates} updates with {len(queries)} subscriptions...\n")
 
-    tokenizer = StreamTokenizer()
     start = time.perf_counter()
+    alerts = Alerts(start)
     chunk_count = 0
-    for chunk in generator.chunks():
-        chunk_count += 1
-        for event in tokenizer.feed(chunk):
-            for subscription in subscriptions:
-                subscription.feed(event, start)
-    for event in tokenizer.close():
-        for subscription in subscriptions:
-            subscription.feed(event, start)
-    elapsed = time.perf_counter() - start
+    with Engine() as engine:
+        for name, query in queries.items():
+            engine.subscribe(query, callback=alerts, name=name)
+        session = engine.open()
+        for chunk in generator.chunks():
+            chunk_count += 1
+            session.feed_text(chunk)
+        session.finish()
+        elapsed = time.perf_counter() - start
 
-    print()
-    print(f"Feed finished: {chunk_count} chunks in {elapsed:.2f} s\n")
-    print(f"{'subscription':<20} {'alerts':>8} {'first alert (s)':>16} {'of total time':>14}")
-    print("-" * 62)
-    for subscription in subscriptions:
-        first = subscription.first_alert_at
-        fraction = f"{100 * first / elapsed:.1f}%" if first is not None else "-"
-        first_text = f"{first:.4f}" if first is not None else "-"
-        print(f"{subscription.name:<20} {subscription.alerts:>8} {first_text:>16} {fraction:>14}")
-    print()
-    print("Each subscription received its first alert after a small fraction of the")
-    print("stream — the incremental-output requirement from the paper's motivation.")
+        print()
+        print(f"Feed finished: {chunk_count} chunks in {elapsed:.2f} s\n")
+        print(f"{'subscription':<20} {'alerts':>8} {'first alert (s)':>16} {'of total time':>14}")
+        print("-" * 62)
+        for name in queries:
+            first = alerts.first_alert_at.get(name)
+            fraction = f"{100 * first / elapsed:.1f}%" if first is not None else "-"
+            first_text = f"{first:.4f}" if first is not None else "-"
+            print(f"{name:<20} {alerts.counts.get(name, 0):>8} {first_text:>16} {fraction:>14}")
+        print()
+        print("Each subscription received its first alert after a small fraction of the")
+        print("stream — the incremental-output requirement from the paper's motivation.")
 
-    expected = generator.expected_symbol_updates("ACME")
-    actual = subscriptions[0].alerts
-    assert actual == expected, f"expected {expected} ACME alerts, got {actual}"
+        expected = generator.expected_symbol_updates("ACME")
+        actual = alerts.counts.get("ACME quotes", 0)
+        assert actual == expected, f"expected {expected} ACME alerts, got {actual}"
 
 
 if __name__ == "__main__":

@@ -4,11 +4,11 @@
 This example combines the two extensions the reproduction adds on top of the
 paper's single-query engine:
 
-* :class:`repro.core.MultiQueryEvaluator` — register any number of XPath
-  subscriptions and drive them all from **one** sequential scan of the stream
-  (parsing dominates cost, so this is ~N× cheaper than N scans);
-* ``eager_emission`` — individual evaluators can also be configured to emit
-  results the moment all remaining constraints are trivially satisfied.
+* :class:`repro.Engine` — subscribe any number of XPath queries and drive
+  them all from **one** sequential scan of the stream (parsing dominates
+  cost, so this is ~N× cheaper than N scans);
+* ``eager_emission`` — the single-query evaluator can also be configured to
+  emit results the moment all remaining constraints are trivially satisfied.
 
 The scenario is the paper's motivating one: a personalised news/stock feed
 where different consumers subscribe to different fragments of the stream.
@@ -21,7 +21,7 @@ from __future__ import annotations
 import argparse
 import time
 
-from repro.core import MultiQueryEvaluator, TwigMEvaluator
+from repro import Engine, Query, evaluate, stream_evaluate
 from repro.bench.reporting import render_table
 from repro.datasets import NewsFeedConfig, NewsFeedGenerator
 
@@ -36,22 +36,18 @@ SUBSCRIPTIONS = {
 
 def run_shared_pass(generator: NewsFeedGenerator) -> dict:
     """Evaluate every subscription in a single scan of the feed."""
-    evaluator = MultiQueryEvaluator()
     delivery_log = {}
 
-    def make_callback(name):
-        def callback(solution, name=name):
-            delivery_log.setdefault(name, 0)
-            delivery_log[name] += 1
+    def on_match(match) -> None:
+        delivery_log[match.name] = delivery_log.get(match.name, 0) + 1
 
-        return callback
+    with Engine() as engine:
+        for name, query in SUBSCRIPTIONS.items():
+            engine.subscribe(Query(query), callback=on_match, name=name)
 
-    for name, query in SUBSCRIPTIONS.items():
-        evaluator.register(query, name=name, callback=make_callback(name))
-
-    start = time.perf_counter()
-    results = evaluator.evaluate(generator.chunks())
-    elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        results = engine.evaluate(generator.chunks())
+        elapsed = time.perf_counter() - start
     return {"results": results, "elapsed": elapsed, "delivered": delivery_log}
 
 
@@ -59,7 +55,7 @@ def run_separate_passes(generator: NewsFeedGenerator) -> float:
     """Reference: evaluate each subscription with its own scan."""
     start = time.perf_counter()
     for query in SUBSCRIPTIONS.values():
-        TwigMEvaluator(query).evaluate(generator.chunks())
+        evaluate(query, generator.chunks())
     return time.perf_counter() - start
 
 
@@ -94,10 +90,9 @@ def main() -> None:
     # Eager emission demo: how early does the first ACME alert arrive?
     query = SUBSCRIPTIONS["acme-quotes"]
     for eager in (False, True):
-        evaluator = TwigMEvaluator(query, eager_emission=eager)
         start = time.perf_counter()
         first = None
-        for _ in evaluator.stream(generator.chunks()):
+        for _ in stream_evaluate(query, generator.chunks(), eager_emission=eager):
             first = time.perf_counter() - start
             break
         label = "eager emission" if eager else "lazy (paper)  "

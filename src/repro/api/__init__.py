@@ -1,0 +1,42 @@
+"""The unified ViteX facade: one engine, one query type, one match type.
+
+Four PRs of growth left the reproduction with four divergent public
+surfaces — ``TwigMEvaluator`` (single query), ``MultiQueryEvaluator``
+(subscriptions), ``StreamSession`` (push-mode parsing) and the asyncio
+``ServiceClient`` (network) — each with its own verbs and return shapes.
+This package is the seam that unifies them:
+
+* :class:`Query` — a compiled, fingerprinted, hashable value object accepted
+  everywhere a query source string is accepted today;
+* :class:`Engine` — the one local engine: ``subscribe`` standing queries,
+  ``evaluate`` whole documents, ``open`` push-mode sessions,
+  ``snapshot``/``restore`` live state, configured by :class:`EngineConfig`;
+* :class:`Match` — the one named-solution delivery type used by sessions,
+  callbacks and service pushes alike (tuple-compatible with the historical
+  ``(name, solution)`` pairs);
+* :func:`connect` → :class:`RemoteEngine` — the same verbs over the wire
+  protocol, so a program written against the local engine ports to the
+  service by swapping the constructor.
+
+The legacy entry points remain importable and functional behind thin
+:class:`DeprecationWarning` shims; see the README migration table.
+"""
+
+from ..core.results import Match
+from ..core.session import StreamSession as Session
+from .config import EngineConfig
+from .engine import Engine
+from .query import Query
+from .remote import RemoteEngine, RemoteSession, RemoteSubscription, connect
+
+__all__ = [
+    "Engine",
+    "EngineConfig",
+    "Match",
+    "Query",
+    "RemoteEngine",
+    "RemoteSession",
+    "RemoteSubscription",
+    "Session",
+    "connect",
+]

@@ -1,0 +1,52 @@
+"""Deprecation shims for the legacy top-level entry points.
+
+The implementation classes stay where they are (``repro.core.engine``,
+``repro.core.multi``, ``repro.service.client``) and keep working unchanged;
+what is deprecated is reaching them through the historical *public* names.
+Each shim is behaviourally identical to the class it wraps — same machinery,
+same results — and only adds a :class:`DeprecationWarning` pointing at the
+unified facade (see the README migration table and API stability policy).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Union
+
+from ..core.engine import TwigMEvaluator as _TwigMEvaluator
+from ..xpath.ast import QueryTree
+
+
+class TwigMEvaluator(_TwigMEvaluator):
+    """Deprecated single-query evaluator (use :class:`repro.Engine`).
+
+    .. deprecated:: 1.1
+       Single-query use is an :class:`repro.Engine` with one subscription
+       (or the :func:`repro.evaluate` / :func:`repro.stream_evaluate`
+       one-shot helpers).  This shim is behaviourally identical to the
+       internal evaluator; it only adds the warning.
+    """
+
+    def __init__(
+        self,
+        query: Union[str, QueryTree],
+        capture_fragments: bool = False,
+        eager_emission: bool = False,
+        collect_statistics: bool = True,
+    ) -> None:
+        warnings.warn(
+            "TwigMEvaluator is deprecated; use repro.Engine (one engine, "
+            "any number of subscriptions) or the repro.evaluate() / "
+            "repro.stream_evaluate() helpers",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(
+            query,
+            capture_fragments=capture_fragments,
+            eager_emission=eager_emission,
+            collect_statistics=collect_statistics,
+        )
+
+
+__all__ = ["TwigMEvaluator"]

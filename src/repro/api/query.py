@@ -1,0 +1,111 @@
+"""The :class:`Query` value object: compile once, pass anywhere.
+
+Every surface of the system historically accepted a raw XPath source string
+and compiled it at the point of use (engine registration, sessions, the
+service ``subscribe`` frame, the CLI).  :class:`Query` lifts that into a
+first-class value: it compiles once, carries the normalized twig and the
+canonical fingerprint of :mod:`repro.xpath.fingerprint`, hashes and compares
+by that fingerprint, and is accepted by every one of those surfaces in place
+of the string.
+
+The original source text travels with the object unchanged, so registering a
+:class:`Query` round-trips the wire protocol and the checkpoint format
+byte-identically to registering the string it was compiled from.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..xpath.ast import QueryTree
+from ..xpath.fingerprint import query_fingerprint
+from ..xpath.normalize import compile_query, query_to_string
+
+
+class Query:
+    """A compiled, fingerprinted XPath query (immutable value object).
+
+    Parameters
+    ----------
+    query:
+        An XPath expression string (compiled here, raising
+        :class:`~repro.errors.XPathSyntaxError` /
+        :class:`~repro.errors.UnsupportedFeatureError` exactly as
+        :func:`repro.compile_query` would), an already-normalized
+        :class:`~repro.xpath.ast.QueryTree`, or another :class:`Query`
+        (copied without recompiling).
+
+    Two queries are equal — and hash equal — iff their canonical
+    fingerprints are equal, i.e. iff they drive structurally identical TwigM
+    machines; surface-syntax variants (``//a[b]`` vs ``//a[ b ]``) collapse.
+    """
+
+    __slots__ = ("_source", "_tree", "_fingerprint")
+
+    def __init__(self, query: Union[str, QueryTree, "Query"]) -> None:
+        if isinstance(query, Query):
+            source: str = query._source
+            tree: QueryTree = query._tree
+            fingerprint: str = query._fingerprint
+        elif isinstance(query, str):
+            source = query
+            tree = compile_query(query)
+            fingerprint = query_fingerprint(tree)
+        elif isinstance(query, QueryTree):
+            tree = query
+            source = query.source or query_to_string(query)
+            fingerprint = query_fingerprint(tree)
+        else:
+            raise TypeError(
+                f"Query() expects an XPath string, a QueryTree or a Query, "
+                f"not {type(query).__name__}"
+            )
+        self._source = source
+        self._tree = tree
+        self._fingerprint = fingerprint
+
+    # ------------------------------------------------------------ attributes
+
+    @property
+    def source(self) -> str:
+        """The query text exactly as compiled (round-trips wire/checkpoint)."""
+        return self._source
+
+    @property
+    def tree(self) -> QueryTree:
+        """The normalized query twig (treat as read-only)."""
+        return self._tree
+
+    @property
+    def fingerprint(self) -> str:
+        """Canonical fingerprint of the normalized twig (the identity)."""
+        return self._fingerprint
+
+    @property
+    def normalized(self) -> str:
+        """The normalized spelling of the query (one canonical rendering)."""
+        return query_to_string(self._tree)
+
+    # ------------------------------------------------------------ value-ness
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Query):
+            return self._fingerprint == other._fingerprint
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        if isinstance(other, Query):
+            return self._fingerprint != other._fingerprint
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._fingerprint)
+
+    def __str__(self) -> str:
+        return self._source
+
+    def __repr__(self) -> str:
+        return f"Query({self._source!r})"
+
+
+__all__ = ["Query"]

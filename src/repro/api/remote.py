@@ -1,0 +1,320 @@
+"""The remote engine: the local verb set over the service wire protocol.
+
+A program written against the local :class:`~repro.api.engine.Engine` ports
+to the subscription service by swapping the constructor::
+
+    engine = Engine()                          # in-process
+    engine = await connect("10.0.0.5", 8005)   # over the wire
+
+Both speak the same verbs — ``subscribe`` (returns a handle), ``open`` (a
+per-document session), ``stats``, ``checkpoint``/``restore`` — and both
+deliver :class:`~repro.core.results.Match` objects.  The differences are
+inherent to the transport and kept explicit:
+
+* every verb is a coroutine;
+* matches arrive on the connection's push lane — iterate
+  :meth:`RemoteEngine.matches` *or* pass ``callback=`` to ``subscribe``
+  (the two consume the same lane and are mutually exclusive);
+* feeding a session returns no matches inline (the server pushes them).
+
+The wire protocol is unchanged; :class:`RemoteEngine` wraps the existing
+:class:`~repro.service.client.ServiceConnection` frame client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, AsyncIterator, Dict, Iterable, Optional, Union
+
+from ..core.results import Match
+from ..errors import EngineError
+from ..service.client import ServiceConnection
+from ..service.server import DEFAULT_PORT
+from .engine import MatchCallback, QuerySource
+
+#: Default characters per ``feed`` frame for :meth:`RemoteEngine.publish`
+#: (worst-case JSON escaping keeps every frame under the protocol bound).
+DEFAULT_PUBLISH_CHUNK = 32 * 1024
+
+
+class RemoteSubscription:
+    """A standing query held on the server, owned by this connection."""
+
+    __slots__ = ("_engine", "name", "query", "delivered", "callback_errors")
+
+    def __init__(self, engine: "RemoteEngine", name: str, query: str) -> None:
+        self._engine = engine
+        #: Server-assigned subscription name (stable across reconnects).
+        self.name = name
+        #: The query source text as sent on the wire.
+        self.query = query
+        #: Matches seen by this client for this subscription.
+        self.delivered = 0
+        #: Callback invocations that raised (exceptions are isolated).
+        self.callback_errors = 0
+
+    async def unsubscribe(self) -> None:
+        """Drop this subscription on the server."""
+        await self._engine.unsubscribe(self.name)
+
+    def __repr__(self) -> str:
+        return f"<RemoteSubscription {self.name!r} {self.query!r}>"
+
+
+class RemoteSession:
+    """One document pushed to the service, chunk by chunk.
+
+    Unlike the local :class:`~repro.core.session.StreamSession`, feeding
+    returns no matches — the server pushes them to their subscribers while
+    the document is still arriving.  Parse errors surface on the push lane
+    (and make :meth:`finish` fail).
+    """
+
+    __slots__ = ("_engine", "_finished")
+
+    def __init__(self, engine: "RemoteEngine") -> None:
+        self._engine = engine
+        self._finished = False
+
+    @property
+    def finished(self) -> bool:
+        """True once :meth:`finish` completed."""
+        return self._finished
+
+    async def feed_text(self, chunk: str) -> None:
+        """Send one XML text chunk (chunks may split anywhere)."""
+        self._check_open()
+        await self._engine.connection.feed(chunk)
+
+    async def finish(self) -> Dict[str, Any]:
+        """End the document; returns the server's ``finished`` reply."""
+        self._check_open()
+        reply = await self._engine.connection.finish()
+        self._finished = True
+        return reply
+
+    def _check_open(self) -> None:
+        # Same contract as the local StreamSession: feeding past finish()
+        # must fail loudly here, not silently open a new server document.
+        if self._finished:
+            raise EngineError("session already finished")
+
+
+class RemoteEngine:
+    """The unified engine verbs over one service connection.
+
+    Construct via :func:`connect`.  One remote engine can subscribe, publish,
+    or both; closing it drops its server-side subscriptions (per-connection
+    ownership is the service's contract).
+    """
+
+    def __init__(self, connection: ServiceConnection) -> None:
+        self._client = connection
+        self._subscriptions: Dict[str, RemoteSubscription] = {}
+        self._callbacks: Dict[str, MatchCallback] = {}
+        self._dispatcher: Optional["asyncio.Task[None]"] = None
+        #: True while a matches() iterator is live (it owns the push lane).
+        self._iterating = False
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def connection(self) -> ServiceConnection:
+        """The underlying frame-level client (escape hatch for raw frames)."""
+        return self._client
+
+    @property
+    def subscriptions(self) -> Dict[str, RemoteSubscription]:
+        """Subscriptions held by this engine, keyed by name."""
+        return dict(self._subscriptions)
+
+    # ---------------------------------------------------------- subscriptions
+
+    async def subscribe(
+        self,
+        query: QuerySource,
+        callback: Optional[MatchCallback] = None,
+        name: Optional[str] = None,
+    ) -> RemoteSubscription:
+        """Register a standing query on the server; returns its handle.
+
+        ``query`` may be a source string or a compiled
+        :class:`~repro.api.query.Query`.  With ``callback``, a background
+        dispatcher consumes the push lane and invokes it with each
+        :class:`~repro.core.results.Match`; without, iterate
+        :meth:`matches` yourself.
+        """
+        if callback is not None and self._iterating:
+            raise RuntimeError(
+                "cannot subscribe with a callback while a matches() iterator "
+                "is live: both consume the connection's push lane (close the "
+                "iterator first)"
+            )
+        source = query if isinstance(query, str) else query.source
+        assigned = await self._client.subscribe(source, name)
+        subscription = RemoteSubscription(self, assigned, source)
+        self._subscriptions[assigned] = subscription
+        if callback is not None:
+            self._callbacks[assigned] = callback
+            self._ensure_dispatcher()
+        return subscription
+
+    async def unsubscribe(
+        self, subscription: Union[str, RemoteSubscription]
+    ) -> None:
+        """Drop a subscription (by handle or name).
+
+        Removing the last callback-delivered subscription also stops the
+        background dispatcher, handing the push lane back to
+        :meth:`matches`.
+        """
+        name = (
+            subscription if isinstance(subscription, str) else subscription.name
+        )
+        await self._client.unsubscribe(name)
+        self._subscriptions.pop(name, None)
+        self._callbacks.pop(name, None)
+        if not self._callbacks:
+            await self._stop_dispatcher()
+
+    # ------------------------------------------------------------ publishing
+
+    def open(self) -> RemoteSession:
+        """Open a push session for one document (the ``feed``/``finish``
+        frames; the server arms its parse session on the first chunk)."""
+        return RemoteSession(self)
+
+    async def publish(
+        self,
+        source: Union[str, Iterable[str]],
+        chunk_size: int = DEFAULT_PUBLISH_CHUNK,
+    ) -> Dict[str, Any]:
+        """Send a whole document and finish it; returns the server reply.
+
+        ``source`` is the document text (chunked every ``chunk_size``
+        characters) or an iterable of text chunks.
+        """
+        session = self.open()
+        if isinstance(source, str):
+            for start in range(0, len(source), chunk_size):
+                await session.feed_text(source[start : start + chunk_size])
+        else:
+            for chunk in source:
+                await session.feed_text(chunk)
+        return await session.finish()
+
+    # ------------------------------------------------------------ delivery
+
+    async def matches(self, stop_at_eof: bool = False) -> AsyncIterator[Match]:
+        """Iterate incoming :class:`~repro.core.results.Match` pushes.
+
+        Ends when the connection closes, or at the next document boundary
+        with ``stop_at_eof=True``.  Mutually exclusive with callback-style
+        delivery (both consume the connection's push lane).
+        """
+        if self._dispatcher is not None:
+            raise RuntimeError(
+                "matches() cannot be used while subscription callbacks are "
+                "active: both consume the connection's push lane"
+            )
+        self._iterating = True
+        try:
+            async for name, solution, _frame in self._client.solutions(
+                stop_at_eof=stop_at_eof
+            ):
+                subscription = self._subscriptions.get(name)
+                if subscription is not None:
+                    subscription.delivered += 1
+                yield Match(name, solution)
+        finally:
+            self._iterating = False
+
+    def pending_pushes(self) -> list:
+        """Drain already-received push frames without blocking (see
+        :meth:`ServiceConnection.pending_pushes`; ``feed`` errors land
+        here)."""
+        return self._client.pending_pushes()
+
+    # ------------------------------------------------------------ management
+
+    async def stats(self) -> Dict[str, Any]:
+        """Fetch the server's ``stats`` frame."""
+        return await self._client.stats()
+
+    async def ping(self) -> None:
+        """Round-trip a ``ping`` (orders the push lane after prior feeds)."""
+        await self._client.ping()
+
+    async def checkpoint(self, path: Optional[str] = None) -> Dict[str, Any]:
+        """Ask the server to write a checkpoint file; returns its metadata."""
+        return await self._client.checkpoint(path)
+
+    async def restore(self, path: str) -> Dict[str, Any]:
+        """Ask an idle, empty server to restore a checkpoint file."""
+        return await self._client.restore(path)
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def close(self) -> None:
+        """Close the connection (server drops owned subscriptions)."""
+        await self._stop_dispatcher()
+        self._iterating = False
+        await self._client.close()
+
+    async def __aenter__(self) -> "RemoteEngine":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    def __repr__(self) -> str:
+        return f"<RemoteEngine subscriptions={len(self._subscriptions)}>"
+
+    # ------------------------------------------------------------ internals
+
+    def _ensure_dispatcher(self) -> None:
+        if self._dispatcher is None:
+            self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+
+    async def _stop_dispatcher(self) -> None:
+        if self._dispatcher is None:
+            return
+        self._dispatcher.cancel()
+        try:
+            await self._dispatcher
+        except asyncio.CancelledError:
+            pass
+        self._dispatcher = None
+
+    async def _dispatch_loop(self) -> None:
+        async for name, solution, _frame in self._client.solutions():
+            subscription = self._subscriptions.get(name)
+            if subscription is not None:
+                subscription.delivered += 1
+            callback = self._callbacks.get(name)
+            if callback is not None:
+                try:
+                    callback(Match(name, solution))
+                except Exception:
+                    if subscription is not None:
+                        subscription.callback_errors += 1
+
+
+async def connect(
+    host: str = "127.0.0.1", port: int = DEFAULT_PORT
+) -> RemoteEngine:
+    """Connect to a running service; returns a :class:`RemoteEngine`.
+
+    The remote counterpart of constructing a local
+    :class:`~repro.api.engine.Engine`.
+    """
+    return RemoteEngine(await ServiceConnection.connect(host, port))
+
+
+__all__ = [
+    "DEFAULT_PUBLISH_CHUNK",
+    "RemoteEngine",
+    "RemoteSession",
+    "RemoteSubscription",
+    "connect",
+]

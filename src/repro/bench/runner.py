@@ -400,7 +400,7 @@ def run_multiquery_scaling(
             evaluator = MultiQueryEvaluator()
             start = time.perf_counter()
             for index, query in enumerate(queries):
-                evaluator.register(query, name=f"q{index}")
+                evaluator.subscribe(query, name=f"q{index}")
             results = evaluator.evaluate(document, parser=parser)
             shared_seconds = time.perf_counter() - start
 
@@ -459,7 +459,7 @@ def run_service_scaling(
     """
     import asyncio
 
-    from ..service.client import ServiceClient
+    from ..service.client import ServiceConnection
     from ..service.server import ServiceServer
 
     label_count = max(max(counts), 1)
@@ -478,11 +478,11 @@ def run_service_scaling(
         server = ServiceServer(parser=parser)
         await server.start(port=0)
         host, port = server.address
-        subscribers: List[ServiceClient] = []
+        subscribers: List[ServiceConnection] = []
         latencies: List[float] = []
         received = 0
 
-        async def _subscriber(index: int, client: ServiceClient) -> int:
+        async def _subscriber(index: int, client: ServiceConnection) -> int:
             got = 0
             async for _name, _solution, frame in client.solutions(stop_at_eof=True):
                 latencies.append(loop.time() - frame["ts"])
@@ -491,10 +491,10 @@ def run_service_scaling(
 
         try:
             for index in range(count):
-                client = await ServiceClient.connect(host, port)
+                client = await ServiceConnection.connect(host, port)
                 await client.subscribe(queries[index], name=f"q{index}")
                 subscribers.append(client)
-            publisher = await ServiceClient.connect(host, port)
+            publisher = await ServiceConnection.connect(host, port)
             consumers = [
                 asyncio.ensure_future(_subscriber(index, client))
                 for index, client in enumerate(subscribers)

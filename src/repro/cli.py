@@ -28,6 +28,7 @@ import sys
 from typing import List, Optional, Tuple
 
 from . import __version__
+from .api import Engine, EngineConfig, Query
 from .bench import (
     print_report,
     render_table,
@@ -41,8 +42,7 @@ from .bench import (
     run_query_variety,
     run_service_scaling,
 )
-from .core.engine import TwigMEvaluator
-from .core.multi import MultiQueryEvaluator
+from .core.engine import TwigMEvaluator as _SingleQueryEvaluator
 from .core.builder import build_machine
 from .datasets.auction import AuctionConfig, AuctionGenerator
 from .datasets.newsfeed import NewsFeedConfig, NewsFeedGenerator
@@ -54,6 +54,35 @@ from .xpath.analysis import describe
 from .xpath.normalize import compile_query, query_to_string
 
 
+#: The one ``--parser`` spelling shared by every XML-parsing verb.  Choices
+#: come from :class:`repro.api.EngineConfig` so the CLI can never drift from
+#: the library's accepted backends (a test enforces the sync).
+PARSER_CHOICES = EngineConfig.PARSERS
+
+
+def _parser_flag_parent() -> argparse.ArgumentParser:
+    """Shared argparse parent providing the uniform ``--parser`` flag.
+
+    The default is ``None`` so each verb can keep its own effective default
+    (always ``native`` today) without the parent hard-coding it; verbs
+    resolve via :func:`_effective_parser`.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--parser",
+        choices=PARSER_CHOICES,
+        default=None,
+        help="parser back-end: pure (alias native) or expat (default: native)",
+    )
+    return parent
+
+
+def _effective_parser(args: argparse.Namespace, default: str = "native") -> str:
+    """The verb's parser backend: the shared flag, or the verb default."""
+    parser = getattr(args, "parser", None)
+    return default if parser is None else parser
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -62,16 +91,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--version", action="version", version=f"vitex-repro {__version__}")
     subparsers = parser.add_subparsers(dest="command")
+    parser_flag = _parser_flag_parent()
 
-    run_parser = subparsers.add_parser("run", help="evaluate a query over an XML document")
+    run_parser = subparsers.add_parser(
+        "run",
+        help="evaluate a query over an XML document",
+        parents=[parser_flag],
+    )
     run_parser.add_argument("query", help="XPath expression (XP{/,//,*,[]} fragment)")
     run_parser.add_argument("file", help="path to an XML file, or - for stdin")
-    run_parser.add_argument(
-        "--parser",
-        choices=("native", "pure", "expat"),
-        default="native",
-        help="parser back-end: pure (alias native) or expat (default: native)",
-    )
     run_parser.add_argument(
         "--fragments",
         action="store_true",
@@ -92,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
     watch_parser = subparsers.add_parser(
         "watch",
         help="register standing queries from a file and stream matches",
+        parents=[parser_flag],
         description=(
             "Register every query in QUERIES (one per line; 'name: query' "
             "assigns a subscription name, bare lines are auto-named, '#' "
@@ -103,18 +132,13 @@ def build_parser() -> argparse.ArgumentParser:
     watch_parser.add_argument("queries", help="path to the query file")
     watch_parser.add_argument("file", help="path to an XML file, or - for stdin")
     watch_parser.add_argument(
-        "--parser",
-        choices=("native", "pure", "expat"),
-        default="native",
-        help="parser back-end: pure (alias native) or expat (default: native)",
-    )
-    watch_parser.add_argument(
         "--quiet", action="store_true", help="print only the per-subscription totals"
     )
 
     serve_parser = subparsers.add_parser(
         "serve",
         help="run the streaming subscription service",
+        parents=[parser_flag],
         description=(
             "Start the asyncio subscription server: clients SUBSCRIBE "
             "standing queries and FEED live XML; solutions are pushed back "
@@ -125,12 +149,6 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
     serve_parser.add_argument(
         "--port", type=int, default=None, help="TCP port (default 8005; 0 = ephemeral)"
-    )
-    serve_parser.add_argument(
-        "--parser",
-        choices=("native", "pure", "expat"),
-        default="native",
-        help="parser back-end driving the shared engine (default: native)",
     )
     serve_parser.add_argument(
         "--watch",
@@ -162,6 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
     resume_parser = subparsers.add_parser(
         "resume",
         help="restore a checkpoint file and continue serving",
+        parents=[parser_flag],
         description=(
             "Start the subscription server from a checkpoint written by "
             "'vitex checkpoint' / the checkpoint frame / --checkpoint-interval: "
@@ -224,6 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
     publish_parser = subparsers.add_parser(
         "publish",
         help="stream an XML document to the subscription service",
+        parents=[parser_flag],
         description=(
             "Read FILE (or stdin with -) and push it to a running vitex "
             "service in chunks, then finish the document."
@@ -276,6 +296,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser = subparsers.add_parser(
         "bench",
         help="run one of the paper's experiments, or compare reports",
+        parents=[parser_flag],
         description=(
             "Run one of the E1–E8/M1/M2 experiments, or — with 'compare' — "
             "diff freshly produced report JSONs against committed baselines "
@@ -362,8 +383,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    evaluator = TwigMEvaluator(
-        args.query, capture_fragments=args.fragments, eager_emission=args.eager
+    # Fragment capture and eager emission are single-machine features, so
+    # ``run`` drives the internal single-query evaluator directly (the
+    # query still goes through the compiled ``Query`` value object).
+    evaluator = _SingleQueryEvaluator(
+        Query(args.query), capture_fragments=args.fragments, eager_emission=args.eager
     )
     if args.file == "-":
         source = sys.stdin.read()
@@ -371,7 +395,7 @@ def _command_run(args: argparse.Namespace) -> int:
         source = open(args.file, "rb")
     count = 0
     try:
-        for solution in evaluator.stream(source, parser=args.parser):
+        for solution in evaluator.stream(source, parser=_effective_parser(args)):
             count += 1
             if args.quiet:
                 continue
@@ -414,9 +438,9 @@ def _command_watch(args: argparse.Namespace) -> int:
     if not entries:
         print(f"error: no queries found in {args.queries}", file=sys.stderr)
         return 1
-    evaluator = MultiQueryEvaluator()
+    engine = Engine(EngineConfig(parser=_effective_parser(args)))
     for name, query in entries:
-        evaluator.register(query, name=name)
+        engine.subscribe(query, name=name)
     if args.file == "-":
         source = sys.stdin.read()
     else:
@@ -434,9 +458,9 @@ def _command_watch(args: argparse.Namespace) -> int:
     interrupted = False
     try:
         try:
-            for name, solution in evaluator.stream(source, parser=args.parser):
+            for match in engine.stream(source):
                 if not args.quiet:
-                    print(f"[{name}] {solution.describe()}")
+                    print(match.describe())
         except KeyboardInterrupt:
             interrupted = True
     finally:
@@ -446,12 +470,12 @@ def _command_watch(args: argparse.Namespace) -> int:
             source.close()
     if interrupted:
         print("interrupted; delivery counts so far:", file=sys.stderr)
-    for subscription in evaluator.subscriptions:
+    for subscription in engine.subscriptions:
         print(
             f"{subscription.name}: {subscription.delivered} solution(s) "
             f"for {subscription.query}"
         )
-    evaluator.close()
+    engine.close()
     return 130 if interrupted else 0
 
 
@@ -493,7 +517,7 @@ def _serve_main(args: argparse.Namespace, restore_path: Optional[str]) -> int:
 
     async def _run() -> int:
         server = ServiceServer(
-            parser=getattr(args, "parser", "native"),
+            parser=_effective_parser(args),
             outbox_limit=outbox_limit,
             checkpoint_path=checkpoint_path,
             checkpoint_interval=args.checkpoint_interval,
@@ -556,11 +580,12 @@ def _serve_main(args: argparse.Namespace, restore_path: Optional[str]) -> int:
 
 
 def _command_checkpoint(args: argparse.Namespace) -> int:
-    from .service.client import ServiceClient, ServiceError
+    from .api.remote import connect
+    from .service.client import ServiceError
 
     async def _run() -> int:
         try:
-            client = await ServiceClient.connect(args.host, _service_port(args))
+            client = await connect(args.host, _service_port(args))
         except OSError as exc:
             print(
                 f"error: cannot reach service at {args.host}:{_service_port(args)}: {exc}",
@@ -586,7 +611,8 @@ def _command_checkpoint(args: argparse.Namespace) -> int:
 
 
 def _command_publish(args: argparse.Namespace) -> int:
-    from .service.client import ServiceClient, ServiceError
+    from .api.remote import connect
+    from .service.client import ServiceError
 
     if args.chunk_size <= 0:
         print("error: --chunk-size must be positive", file=sys.stderr)
@@ -594,7 +620,7 @@ def _command_publish(args: argparse.Namespace) -> int:
 
     async def _run() -> int:
         try:
-            client = await ServiceClient.connect(args.host, _service_port(args))
+            client = await connect(args.host, _service_port(args))
         except OSError as exc:
             print(
                 f"error: cannot reach service at {args.host}:{_service_port(args)}: {exc}",
@@ -606,6 +632,7 @@ def _command_publish(args: argparse.Namespace) -> int:
                 handle = sys.stdin
             else:
                 handle = open(args.file, "r", encoding="utf-8")
+            session = client.open()
             sent = 0
             chunks = 0
             try:
@@ -613,7 +640,7 @@ def _command_publish(args: argparse.Namespace) -> int:
                     chunk = handle.read(args.chunk_size)
                     if not chunk:
                         break
-                    await client.feed(chunk)
+                    await session.feed_text(chunk)
                     sent += len(chunk)
                     chunks += 1
             finally:
@@ -630,7 +657,7 @@ def _command_publish(args: argparse.Namespace) -> int:
                     return 1
                 print(f"published {sent} char(s) in {chunks} chunk(s); document left open")
                 return 0
-            summary = await client.finish()
+            summary = await session.finish()
             print(
                 f"published {sent} char(s) in {chunks} chunk(s); "
                 f"document {summary['document']} finished "
@@ -659,11 +686,11 @@ def _first_error_push(client) -> Optional[str]:
 
 
 def _command_subscribe(args: argparse.Namespace) -> int:
-    from .service.client import ServiceClient
+    from .api.remote import connect
 
     async def _run() -> int:
         try:
-            client = await ServiceClient.connect(args.host, _service_port(args))
+            client = await connect(args.host, _service_port(args))
         except OSError as exc:
             print(
                 f"error: cannot reach service at {args.host}:{_service_port(args)}: {exc}",
@@ -673,13 +700,13 @@ def _command_subscribe(args: argparse.Namespace) -> int:
         delivered = {}
         try:
             for query in args.queries:
-                name = await client.subscribe(query)
-                delivered[name] = 0
-                print(f"subscribed [{name}] {query}", flush=True)
+                subscription = await client.subscribe(query)
+                delivered[subscription.name] = 0
+                print(f"subscribed [{subscription.name}] {query}", flush=True)
             remaining = args.count
-            async for name, solution, _frame in client.solutions():
-                print(f"[{name}] {solution.describe()}", flush=True)
-                delivered[name] = delivered.get(name, 0) + 1
+            async for match in client.matches():
+                print(match.describe(), flush=True)
+                delivered[match.name] = delivered.get(match.name, 0) + 1
                 if remaining is not None:
                     remaining -= 1
                     if remaining <= 0:
@@ -749,6 +776,11 @@ def _command_bench(args: argparse.Namespace) -> int:
     if args.reports:
         print("error: REPORT arguments are only valid with 'compare'", file=sys.stderr)
         return 2
+    # The shared --parser flag selects the backend for single-backend
+    # experiments; backend-comparison experiments (pipeline) always sweep
+    # every backend, and the rest are parse-free.  Passing nothing keeps
+    # each experiment's own default (and the committed baseline row keys).
+    backend_kwargs = {} if args.parser is None else {"parser": args.parser}
     if args.experiment == "protein-breakdown":
         rows = run_protein_breakdown(entries=(100, 200) if quick else (200, 400, 800))
         title = "E1: protein query time breakdown"
@@ -772,6 +804,7 @@ def _command_bench(args: argparse.Namespace) -> int:
             counts=(1, 10, 50) if quick else (1, 10, 50, 200, 500),
             records=1500 if quick else 4000,
             sample=10 if quick else 20,
+            **backend_kwargs,
         )
         title = "M1: multi-query subscription scaling (indexed dispatch)"
     elif args.experiment == "service":
@@ -780,6 +813,7 @@ def _command_bench(args: argparse.Namespace) -> int:
         rows = run_service_scaling(
             counts=(1, 25, 100) if quick else (1, 25, 100, 200),
             records=400 if quick else 1500,
+            **backend_kwargs,
         )
         title = "M2: subscription service end-to-end latency and throughput"
     else:

@@ -17,7 +17,7 @@ from .checkpoint import (
 from .engine import TwigMEvaluator, evaluate, stream_evaluate
 from .machine import MachineNode, TwigMachine
 from .multi import MultiQueryEvaluator, Subscription, evaluate_many
-from .results import NodeRef, ResultCollector, ResultSet, Solution, SolutionKind
+from .results import Match, NodeRef, ResultCollector, ResultSet, Solution, SolutionKind
 from .session import StreamSession
 from .stack import MachineStack, StackEntry
 from .statistics import EngineStatistics
@@ -31,6 +31,7 @@ __all__ = [
     "EngineStatistics",
     "MachineNode",
     "MachineStack",
+    "Match",
     "MultiQueryEvaluator",
     "NodeRef",
     "ResultCollector",

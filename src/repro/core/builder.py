@@ -26,7 +26,12 @@ from .machine import MachineNode, TwigMachine, node_needs_string_value
 
 
 def build_machine(query: Union[str, QueryTree]) -> TwigMachine:
-    """Build the TwigM machine for ``query`` (an expression string or a twig).
+    """Build the TwigM machine for ``query``.
+
+    ``query`` may be an expression string, a normalized
+    :class:`~repro.xpath.ast.QueryTree`, or a compiled
+    :class:`repro.api.Query` value object (recognized structurally through
+    its ``tree`` attribute so the core never imports the facade package).
 
     A machine node is created for every element query node; attribute and
     ``text()`` query nodes are attached to their owner's machine node as
@@ -34,7 +39,10 @@ def build_machine(query: Union[str, QueryTree]) -> TwigMachine:
     match status is known the moment the owning element's start or end tag is
     processed).
     """
-    tree = compile_query(query) if isinstance(query, str) else query
+    if isinstance(query, str):
+        tree = compile_query(query)
+    else:
+        tree = getattr(query, "tree", query)
     if tree.root.kind is not NodeKind.ELEMENT:
         raise UnsupportedFeatureError(
             "the query root must be an element step (attribute-only queries are "
@@ -87,7 +95,12 @@ class CompiledQueryCache:
         return len(self._by_fingerprint)
 
     def acquire(self, query: Union[str, QueryTree]) -> CompiledQuery:
-        """Return the shared :class:`CompiledQuery` for ``query`` (+1 ref)."""
+        """Return the shared :class:`CompiledQuery` for ``query`` (+1 ref).
+
+        Accepts an expression string, a :class:`~repro.xpath.ast.QueryTree`,
+        or a compiled :class:`repro.api.Query` (whose pre-computed tree and
+        fingerprint are reused, skipping the parse and the fingerprint walk).
+        """
         fingerprint: Optional[str] = None
         tree: Optional[QueryTree] = None
         if isinstance(query, str):
@@ -95,6 +108,9 @@ class CompiledQueryCache:
             if fingerprint is None:
                 tree = compile_query(query)
                 fingerprint = query_fingerprint(tree)
+        elif hasattr(query, "fingerprint"):  # compiled repro.api.Query
+            tree = query.tree
+            fingerprint = query.fingerprint
         else:
             tree = query
             fingerprint = query_fingerprint(tree)

@@ -26,7 +26,8 @@ bulk scanner (pure) or expat callbacks, with no event objects at all.
 Subscription lifecycle
 ----------------------
 
-* :meth:`register` — allowed until the stream finishes, including
+* :meth:`subscribe` (legacy, deprecated spelling: :meth:`register`) —
+  allowed until the stream finishes, including
   *mid-stream*: a machine registered mid-stream starts with empty stacks and
   its results cover only the remainder of the stream (end tags for elements
   it never saw pop nothing; levels are absolute, so axis checks stay
@@ -66,8 +67,9 @@ totals can differ between the fused and event-pipeline drivers; the
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from ..errors import EngineError
 from ..xmlstream.events import (
@@ -84,7 +86,13 @@ from .builder import shared_compiled_cache
 from .engine import TwigMEvaluator
 from .fastpath import FusedExpatMultiDriver, fused_pure_multi_evaluate
 from .queryindex import QueryIndex, QueryRuntime
-from .results import ResultSet, Solution
+from .results import Match, ResultSet, Solution
+
+#: What the engine accepts wherever a query is expected: a source string, a
+#: normalized twig, or (structurally — core never imports the facade) a
+#: compiled :class:`repro.api.Query` carrying ``source``/``tree``/
+#: ``fingerprint``.
+QueryLike = Union[str, QueryTree, Any]
 
 
 @dataclass
@@ -149,17 +157,40 @@ class MultiQueryEvaluator:
 
     def register(
         self,
-        query: Union[str, QueryTree],
+        query: QueryLike,
         name: Optional[str] = None,
         callback: Optional[Callable[[Solution], None]] = None,
     ) -> Subscription:
+        """Deprecated spelling of :meth:`subscribe` (note the argument order).
+
+        .. deprecated:: 1.1
+           Use :meth:`subscribe` (or the :class:`repro.Engine` facade, whose
+           callbacks receive :class:`~repro.core.results.Match` objects).
+        """
+        warnings.warn(
+            "MultiQueryEvaluator.register() is deprecated; use "
+            "subscribe(query, callback=None, name=None) or the repro.Engine "
+            "facade instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.subscribe(query, callback=callback, name=name)
+
+    def subscribe(
+        self,
+        query: QueryLike,
+        callback: Optional[Callable[[Solution], None]] = None,
+        name: Optional[str] = None,
+    ) -> Subscription:
         """Register a query; returns its :class:`Subscription` handle.
 
-        ``callback``, when given, is called with each :class:`Solution` the
-        moment it is known (push-style delivery); results are also always
-        collected for pull-style access via :meth:`results`.  Registration
-        is allowed mid-stream (see the module docstring for the semantics)
-        but not after the stream has finished.
+        ``query`` may be an expression string, a normalized
+        :class:`~repro.xpath.ast.QueryTree`, or a compiled
+        :class:`repro.api.Query`.  ``callback``, when given, is called with
+        each :class:`Solution` the moment it is known (push-style delivery);
+        results are also always collected for pull-style access via
+        :meth:`results`.  Registration is allowed mid-stream (see the module
+        docstring for the semantics) but not after the stream has finished.
         """
         if self._finished:
             raise EngineError("cannot register queries after the stream was processed")
@@ -271,22 +302,22 @@ class MultiQueryEvaluator:
 
     # ------------------------------------------------------------ running
 
-    def feed(self, event: Event) -> List[Tuple[str, Solution]]:
+    def feed(self, event: Event) -> List[Match]:
         """Feed one event through the dispatch index.
 
-        Returns ``(subscription name, solution)`` pairs that became known
-        with this event.  Pairs are grouped by machine in machine
-        registration order; subscribers sharing a machine receive
-        consecutive pairs.  Raises when no queries are registered — a
-        one-shot evaluation over zero subscriptions is a caller bug; a
-        standing service that must keep parsing while (momentarily) having
-        no subscribers uses :meth:`push`.
+        Returns the :class:`~repro.core.results.Match` pairs (tuple-compatible
+        ``(subscription name, solution)``) that became known with this event.
+        Pairs are grouped by machine in machine registration order;
+        subscribers sharing a machine receive consecutive pairs.  Raises when
+        no queries are registered — a one-shot evaluation over zero
+        subscriptions is a caller bug; a standing service that must keep
+        parsing while (momentarily) having no subscribers uses :meth:`push`.
         """
         if not self._subscriptions:
             raise EngineError("no queries registered")
         return self.push(event)
 
-    def push(self, event: Event) -> List[Tuple[str, Solution]]:
+    def push(self, event: Event) -> List[Match]:
         """:meth:`feed` without the empty-registration guard.
 
         The subscription service parses the live document even when no
@@ -294,7 +325,7 @@ class MultiQueryEvaluator:
         advancing so a subscriber that joins mid-stream sees canonical
         document-global solution identities for the remainder.
         """
-        emitted: List[Tuple[str, Solution]] = []
+        emitted: List[Match] = []
         cls = event.__class__
         if cls is StartElement or isinstance(event, StartElement):
             self._started = True
@@ -413,8 +444,8 @@ class MultiQueryEvaluator:
         source: Union[TextSource, Iterable[Event]],
         parser: str = "native",
         chunk_size: int = DEFAULT_CHUNK_SIZE,
-    ) -> Iterator[Tuple[str, Solution]]:
-        """Yield ``(subscription name, solution)`` pairs incrementally."""
+    ) -> Iterator[Match]:
+        """Yield :class:`~repro.core.results.Match` pairs incrementally."""
         events = as_event_iterable(source)
         if events is None:
             events = iter_events(source, parser=parser, chunk_size=chunk_size)
@@ -540,5 +571,5 @@ def evaluate_many(
     with MultiQueryEvaluator() as evaluator:
         for query in queries:
             tree_source = query if isinstance(query, str) else query.source
-            evaluator.register(query, name=tree_source)
+            evaluator.subscribe(query, name=tree_source)
         return evaluator.evaluate(source, parser=parser)

@@ -37,7 +37,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple, TYPE_CHECKING
 from .builder import CompiledQuery
 from .engine import TwigMEvaluator
 from .machine import TwigMachine
-from .results import ResultCollector, Solution
+from .results import Match, ResultCollector, Solution
 from .statistics import EngineStatistics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (multi imports us)
@@ -113,6 +113,8 @@ class QueryRuntime:
     def deliver(self, solutions: List[Solution], emitted=None) -> None:
         """Fan ``solutions`` out to every active subscriber.
 
+        Emitted pairs are :class:`~repro.core.results.Match` instances
+        (tuple-compatible with the historical ``(name, solution)`` pairs).
         Paused subscribers are skipped entirely (no callback, no pair in the
         incremental stream, no ``delivered`` increment); the shared machine
         keeps running, so the pull-style result set stays complete.  A
@@ -134,7 +136,7 @@ class QueryRuntime:
                         subscription.callback_errors += 1
                         subscription.last_callback_error = exc
                 if emitted is not None:
-                    emitted.append((name, solution))
+                    emitted.append(Match(name, solution))
 
 
 class QueryIndex:

@@ -83,6 +83,24 @@ class Solution:
         return f"text {self.value!r} of {self.node.label()}"
 
 
+class Match(NamedTuple):
+    """One named solution delivery: which subscription matched, and what.
+
+    This is the single delivery type used by every push surface — session
+    feeds, ``Engine.stream``, subscription callbacks and service pushes.  It
+    is a ``NamedTuple`` so it stays *tuple-compatible* with the historical
+    ``(name, solution)`` pairs: ``name, solution = match`` unpacking,
+    indexing and equality against plain tuples all keep working.
+    """
+
+    name: str
+    solution: Solution
+
+    def describe(self) -> str:
+        """Human-readable one-line description, ``[name] <solution>``."""
+        return f"[{self.name}] {self.solution.describe()}"
+
+
 class ResultCollector:
     """Accumulates solutions, deduplicating by canonical key.
 

@@ -47,7 +47,7 @@ incremental-delivery semantics.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Union
 
 from ..errors import CheckpointError, EngineError
 from ..xmlstream.reader import IncrementalByteDecoder
@@ -55,7 +55,7 @@ from ..xmlstream.sax import PARSER_BACKENDS
 from ..xmlstream.tokenizer import StreamTokenizer
 from .checkpoint import decode_spool, encode_spool, engine_state, make_snapshot
 from .fastpath import FusedExpatMultiDriver
-from .results import Solution
+from .results import Match
 
 
 class StreamSession:
@@ -131,7 +131,7 @@ class StreamSession:
             return self._driver.element_count
         return self._engine._element_order
 
-    def feed_bytes(self, chunk: bytes) -> List[Tuple[str, Solution]]:
+    def feed_bytes(self, chunk: bytes) -> List[Match]:
         """Feed one byte chunk; return the pairs it completed.
 
         Chunks may be split at any byte offset; partial multibyte sequences
@@ -148,7 +148,7 @@ class StreamSession:
             self._abort()
             raise
 
-    def feed_text(self, chunk: str) -> List[Tuple[str, Solution]]:
+    def feed_text(self, chunk: str) -> List[Match]:
         """Feed one text chunk; return the pairs it completed."""
         self._check_open()
         try:
@@ -159,7 +159,7 @@ class StreamSession:
             self._abort()
             raise
 
-    def finish(self) -> List[Tuple[str, Solution]]:
+    def finish(self) -> List[Match]:
         """Declare end of input; return the trailing pairs.
 
         Raises :class:`~repro.errors.XMLSyntaxError` when the document is
@@ -269,16 +269,16 @@ class StreamSession:
         if self._finished:
             raise EngineError("session already finished")
 
-    def _push_events(self, events) -> List[Tuple[str, Solution]]:
+    def _push_events(self, events) -> List[Match]:
         push = self._engine.push
-        pairs: List[Tuple[str, Solution]] = []
+        pairs: List[Match] = []
         for event in events:
             emitted = push(event)
             if emitted:
                 pairs.extend(emitted)
         return pairs
 
-    def _feed_fused(self, chunk: Union[str, bytes]) -> List[Tuple[str, Solution]]:
+    def _feed_fused(self, chunk: Union[str, bytes]) -> List[Match]:
         driver = self._driver
         spool = self._spool
         if spool is not None and chunk:

@@ -18,7 +18,7 @@ package is that process:
   publish`` / ``vitex subscribe`` and the M2 benchmark.
 """
 
-from .client import ServiceClient
+from .client import ServiceClient, ServiceConnection, ServiceError
 from .protocol import (
     decode_frame,
     encode_frame,
@@ -29,6 +29,8 @@ from .server import ServiceServer
 
 __all__ = [
     "ServiceClient",
+    "ServiceConnection",
+    "ServiceError",
     "ServiceServer",
     "decode_frame",
     "encode_frame",

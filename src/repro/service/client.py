@@ -1,6 +1,6 @@
 """Asyncio client for the subscription service.
 
-:class:`ServiceClient` speaks the line-delimited JSON protocol of
+:class:`ServiceConnection` speaks the line-delimited JSON protocol of
 :mod:`repro.service.protocol`.  A background reader task splits incoming
 frames into two lanes:
 
@@ -13,7 +13,7 @@ frames into two lanes:
 
 One client can be publisher, subscriber, or both.  Typical subscriber::
 
-    client = await ServiceClient.connect(host, port)
+    client = await ServiceConnection.connect(host, port)
     await client.subscribe("//quote[symbol]")
     async for name, solution, frame in client.solutions():
         print(name, solution.describe())
@@ -22,11 +22,18 @@ and publisher::
 
     await client.feed(chunk)        # repeat as chunks arrive
     summary = await client.finish()
+
+:class:`ServiceClient` is the deprecated public spelling of the same class —
+it warns on construction and points at the :func:`repro.connect` /
+:class:`repro.RemoteEngine` facade, which layers the unified verb set
+(``subscribe`` → handles, ``open``/``publish``, ``matches``) on top of this
+connection.
 """
 
 from __future__ import annotations
 
 import asyncio
+import warnings
 from collections import deque
 from typing import Any, AsyncIterator, Deque, Dict, Optional, Tuple
 
@@ -60,7 +67,7 @@ class ServiceError(ViteXError):
     """An ``error`` frame received from the service."""
 
 
-class ServiceClient:
+class ServiceConnection:
     """One connection to a :class:`~repro.service.server.ServiceServer`."""
 
     def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
@@ -74,7 +81,7 @@ class ServiceClient:
     @classmethod
     async def connect(
         cls, host: str = "127.0.0.1", port: int = DEFAULT_PORT
-    ) -> "ServiceClient":
+    ) -> "ServiceConnection":
         """Open a connection to the service."""
         reader, writer = await asyncio.open_connection(host, port, limit=MAX_FRAME_BYTES)
         return cls(reader, writer)
@@ -82,7 +89,13 @@ class ServiceClient:
     # ------------------------------------------------------------ commands
 
     async def subscribe(self, query: str, name: Optional[str] = None) -> str:
-        """Register a standing query; returns the (possibly auto-) name."""
+        """Register a standing query; returns the (possibly auto-) name.
+
+        ``query`` may also be a compiled :class:`repro.api.Query`; its
+        source text is what travels on the wire.
+        """
+        if not isinstance(query, str):  # compiled repro.api.Query
+            query = query.source
         frame: Dict[str, Any] = {"cmd": "subscribe", "query": query}
         if name is not None:
             frame["name"] = name
@@ -201,7 +214,7 @@ class ServiceClient:
             pass
         self._drain_pending(ConnectionError("service connection closed"))
 
-    async def __aenter__(self) -> "ServiceClient":
+    async def __aenter__(self) -> "ServiceConnection":
         return self
 
     async def __aexit__(self, *exc_info) -> None:
@@ -266,4 +279,27 @@ class ServiceClient:
                 future.set_exception(exc)
 
 
-__all__ = ["ServiceClient", "ServiceError"]
+class ServiceClient(ServiceConnection):
+    """Deprecated spelling of :class:`ServiceConnection`.
+
+    .. deprecated:: 1.1
+       Use :func:`repro.connect` (→ :class:`repro.RemoteEngine`) for the
+       unified facade, or :class:`ServiceConnection` for the raw protocol
+       client.  ``ServiceClient`` remains behaviourally identical; it only
+       adds this warning.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        warnings.warn(
+            "ServiceClient is deprecated; use repro.connect() / "
+            "repro.RemoteEngine (or repro.service.client.ServiceConnection "
+            "for the raw protocol client)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(reader, writer)
+
+
+__all__ = ["ServiceClient", "ServiceConnection", "ServiceError"]

@@ -276,7 +276,7 @@ class ServiceServer:
         instead of travelling to a connection.  Returns the subscription
         name.
         """
-        subscription = self._engine.register(query, name=name)
+        subscription = self._engine.subscribe(query, name=name)
         handle = _SubscriptionHandle(
             subscription.name, subscription.query, None, callback
         )
@@ -697,7 +697,7 @@ class ServiceServer:
             if handle is not None and handle.detached:
                 self._reattach_subscription(connection, handle, query)
                 return
-        subscription = self._engine.register(query, name=name)
+        subscription = self._engine.subscribe(query, name=name)
         handle = _SubscriptionHandle(subscription.name, subscription.query, connection)
         self._subscriptions[subscription.name] = handle
         connection.names.append(subscription.name)

@@ -1,0 +1,1 @@
+"""API facade tests (a package so the parity corpus can be shared)."""

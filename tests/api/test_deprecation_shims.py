@@ -1,0 +1,146 @@
+"""The legacy entry points warn — and behave byte-identically to the new API.
+
+Three shims: ``repro.TwigMEvaluator`` (class), ``MultiQueryEvaluator.register``
+(method) and ``repro.ServiceClient`` (class).  Each must
+
+* emit exactly one ``DeprecationWarning`` per call,
+* remain behaviourally identical to the non-deprecated path it wraps, on
+  the backend-conformance corpus.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import warnings
+
+import pytest
+
+import repro
+from repro import Engine, EngineConfig, MultiQueryEvaluator, Query
+from repro.core.engine import TwigMEvaluator as _InternalEvaluator
+from repro.service.server import ServiceServer
+
+from .test_parity import CORPUS, QUERIES, _keys
+
+
+class TestTwigMEvaluatorShim:
+    def test_constructor_warns(self):
+        with pytest.warns(DeprecationWarning, match="TwigMEvaluator is deprecated"):
+            repro.TwigMEvaluator("//a")
+
+    def test_warns_on_every_construction(self):
+        for _ in range(3):
+            with pytest.warns(DeprecationWarning):
+                repro.TwigMEvaluator("//a")
+
+    def test_internal_import_path_stays_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            _InternalEvaluator("//a")
+
+    def test_shim_is_the_internal_evaluator(self):
+        with pytest.warns(DeprecationWarning):
+            evaluator = repro.TwigMEvaluator("//a")
+        assert isinstance(evaluator, _InternalEvaluator)
+
+    def test_byte_identical_to_engine_on_corpus(self):
+        for backend in ("pure", "expat"):
+            for document in CORPUS:
+                for query in QUERIES:
+                    with pytest.warns(DeprecationWarning):
+                        legacy = repro.TwigMEvaluator(query)
+                    old = legacy.evaluate(document, parser=backend)
+                    with Engine(EngineConfig(parser=backend)) as engine:
+                        subscription = engine.subscribe(Query(query))
+                        new = engine.evaluate(document)[subscription.name]
+                    assert _keys(new) == _keys(old), (backend, document, query)
+
+    def test_kwargs_still_accepted(self):
+        with pytest.warns(DeprecationWarning):
+            evaluator = repro.TwigMEvaluator(
+                "//a", capture_fragments=True, eager_emission=True,
+                collect_statistics=False,
+            )
+        assert evaluator.capture_fragments and evaluator.eager_emission
+        assert not evaluator.collect_statistics
+
+
+class TestRegisterShim:
+    def test_register_warns(self):
+        engine = MultiQueryEvaluator()
+        with pytest.warns(DeprecationWarning, match="register\\(\\) is deprecated"):
+            engine.register("//a", name="q")
+        engine.close()
+
+    def test_subscribe_stays_silent(self):
+        engine = MultiQueryEvaluator()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine.subscribe("//a", name="q")
+        engine.close()
+
+    def test_register_and_subscribe_byte_identical(self):
+        for document in CORPUS:
+            old_engine = MultiQueryEvaluator()
+            with pytest.warns(DeprecationWarning):
+                for index, query in enumerate(QUERIES):
+                    old_engine.register(query, name=f"q{index}")
+            old = old_engine.evaluate(document)
+            old_engine.close()
+
+            new_engine = MultiQueryEvaluator()
+            for index, query in enumerate(QUERIES):
+                new_engine.subscribe(query, name=f"q{index}")
+            new = new_engine.evaluate(document)
+            new_engine.close()
+
+            assert new.keys() == old.keys()
+            for name in new:
+                assert _keys(new[name]) == _keys(old[name]), (document, name)
+
+    def test_register_callback_still_receives_solutions(self):
+        """Legacy callbacks keep their Solution argument (not Match)."""
+        engine = MultiQueryEvaluator()
+        received = []
+        with pytest.warns(DeprecationWarning):
+            engine.register("//a//b", callback=received.append)
+        engine.evaluate("<a><b>x</b></a>")
+        engine.close()
+        assert len(received) == 1
+        assert isinstance(received[0], repro.Solution)
+
+
+class TestServiceClientShim:
+    def test_constructor_warns_and_works(self):
+        async def scenario():
+            server = ServiceServer(parser="pure")
+            await server.start(port=0)
+            host, port = server.address
+            with pytest.warns(DeprecationWarning, match="ServiceClient is deprecated"):
+                client = await repro.ServiceClient.connect(host, port)
+            try:
+                name = await client.subscribe("//a//b", name="q")
+                assert name == "q"
+                await client.feed("<a><b>x</b></a>")
+                push = await client.next_push(timeout=5)
+                assert push["type"] == "solution" and push["name"] == "q"
+            finally:
+                await client.close()
+                await server.close()
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=30))
+
+    def test_service_connection_stays_silent(self):
+        from repro.service.client import ServiceConnection
+
+        async def scenario():
+            server = ServiceServer(parser="pure")
+            await server.start(port=0)
+            host, port = server.address
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", DeprecationWarning)
+                client = await ServiceConnection.connect(host, port)
+            await client.close()
+            await server.close()
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=30))

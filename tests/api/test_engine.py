@@ -1,0 +1,214 @@
+"""Engine facade behaviour: config, subscriptions, sessions, snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Engine,
+    EngineConfig,
+    EngineError,
+    Match,
+    Query,
+    Session,
+    StreamSession,
+    XMLSyntaxError,
+)
+
+
+class TestEngineConfig:
+    def test_defaults(self):
+        config = EngineConfig()
+        assert config.parser == "native"
+        assert config.collect_statistics is True
+        assert config.resumable is True
+
+    def test_rejects_unknown_parser(self):
+        with pytest.raises(ValueError):
+            EngineConfig(parser="sax2")
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            EngineConfig(chunk_size=0)
+
+    def test_parsers_match_backend_registry(self):
+        from repro.xmlstream.sax import PARSER_BACKENDS
+
+        assert EngineConfig.PARSERS == PARSER_BACKENDS
+
+    def test_engine_accepts_field_overrides(self):
+        engine = Engine(parser="expat", collect_statistics=False)
+        assert engine.config == EngineConfig(parser="expat", collect_statistics=False)
+
+    def test_engine_rejects_unknown_overrides(self):
+        with pytest.raises(TypeError):
+            Engine(backend="expat")
+
+    def test_config_is_frozen(self):
+        with pytest.raises(Exception):
+            EngineConfig().parser = "expat"
+
+
+class TestSubscriptions:
+    def test_subscribe_accepts_str_query_and_tree(self, simple_doc):
+        from repro import compile_query
+
+        with Engine() as engine:
+            engine.subscribe("//book", name="s")
+            engine.subscribe(Query("//book"), name="q")
+            engine.subscribe(compile_query("//book"), name="t")
+            results = engine.evaluate(simple_doc)
+        assert len(results) == 3
+        assert len(set(tuple(_keys(r)) for r in results.values())) == 1
+
+    def test_callbacks_receive_matches(self, simple_doc):
+        received = []
+        with Engine() as engine:
+            engine.subscribe("//book/@id", callback=received.append, name="ids")
+            engine.evaluate(simple_doc)
+        assert [type(m) for m in received] == [Match, Match]
+        assert all(m.name == "ids" for m in received)
+        assert sorted(m.solution.value for m in received) == ["b1", "b2"]
+
+    def test_callback_exceptions_are_isolated(self, simple_doc):
+        def boom(match):
+            raise RuntimeError("nope")
+
+        with Engine() as engine:
+            subscription = engine.subscribe("//book", callback=boom)
+            results = engine.evaluate(simple_doc)[subscription.name]
+            assert subscription.callback_errors == 2
+        assert len(results) == 2
+
+    def test_unsubscribe_by_handle_or_name(self):
+        with Engine() as engine:
+            first = engine.subscribe("//a", name="one")
+            engine.subscribe("//b", name="two")
+            engine.unsubscribe(first)
+            engine.unsubscribe("two")
+            assert len(engine) == 0
+
+    def test_pause_resume(self, simple_doc):
+        received = []
+        with Engine() as engine:
+            subscription = engine.subscribe(
+                "//book", callback=received.append, name="books"
+            )
+            engine.pause("books")
+            engine.evaluate(simple_doc)
+            assert received == []
+            assert subscription.delivered == 0
+
+    def test_stream_yields_matches(self, simple_doc):
+        with Engine() as engine:
+            engine.subscribe("//book/@id", name="ids")
+            matches = list(engine.stream(simple_doc))
+        assert all(isinstance(match, Match) for match in matches)
+        # Tuple compatibility: unpacking and equality with plain pairs.
+        for name, solution in matches:
+            assert name == "ids"
+        assert matches == [(m.name, m.solution) for m in matches]
+
+
+class TestSessions:
+    def test_open_returns_stream_session(self):
+        assert Session is StreamSession
+        with Engine() as engine:
+            engine.subscribe("//a")
+            session = engine.open()
+            assert isinstance(session, StreamSession)
+            session.feed_text("<a/>")
+            session.finish()
+
+    def test_open_uses_config_parser(self):
+        with Engine(parser="expat") as engine:
+            engine.subscribe("//a")
+            assert engine.open().parser == "expat"
+        with Engine() as engine:
+            engine.subscribe("//a")
+            assert engine.open(parser="expat").parser == "expat"
+
+    def test_session_returns_matches(self):
+        with Engine() as engine:
+            engine.subscribe("//a//b", name="q")
+            session = engine.open()
+            pairs = session.feed_text("<a><b>x</b>")
+            pairs += session.feed_text("</a>")
+            pairs += session.finish()
+        assert len(pairs) == 1
+        assert isinstance(pairs[0], Match)
+        assert pairs[0].name == "q"
+
+    def test_parse_error_leaves_engine_reusable(self):
+        with Engine() as engine:
+            engine.subscribe("//a", name="q")
+            session = engine.open()
+            with pytest.raises(XMLSyntaxError):
+                session.feed_text("<a><b></a>")
+                session.finish()
+            results = engine.evaluate("<a/>")
+            assert len(results["q"]) == 1
+
+
+class TestSnapshots:
+    def test_snapshot_restore_round_trip(self):
+        with Engine() as engine:
+            engine.subscribe("//a//b", name="q")
+            session = engine.open()
+            session.feed_text("<a><b>x</b>")
+            snapshot = session.snapshot()
+
+        restored_engine = Engine()
+        restored_session = restored_engine.restore(snapshot)
+        assert restored_session is not None
+        pairs = restored_session.feed_text("</a>")
+        pairs += restored_session.finish()
+        assert [match.name for match in pairs] == ["q"]
+        restored_engine.close()
+
+    def test_engine_only_snapshot_restores_to_none(self):
+        with Engine() as engine:
+            engine.subscribe("//a", name="q")
+            snapshot = engine.snapshot()
+        fresh = Engine()
+        assert fresh.restore(snapshot) is None
+        assert [s.name for s in fresh.subscriptions] == ["q"]
+        fresh.close()
+
+    def test_restore_rejects_garbage(self):
+        from repro import CheckpointError
+
+        with pytest.raises(CheckpointError):
+            Engine().restore({"format": "nope"})
+
+
+class TestLifecycle:
+    def test_evaluate_without_subscriptions_raises(self):
+        with pytest.raises(EngineError):
+            Engine().evaluate("<a/>")
+
+    def test_reset_allows_next_document(self, simple_doc):
+        with Engine() as engine:
+            engine.subscribe("//book", name="q")
+            first = engine.evaluate(simple_doc)["q"]
+            engine.reset()
+            second = engine.evaluate(simple_doc)["q"]
+        assert _keys(first) == _keys(second)
+
+    def test_repr_mentions_shape(self):
+        engine = Engine(parser="expat")
+        engine.subscribe("//a")
+        assert "expat" in repr(engine)
+        assert "subscriptions=1" in repr(engine)
+        engine.close()
+
+    def test_core_escape_hatch(self):
+        from repro.core.multi import MultiQueryEvaluator
+
+        engine = Engine()
+        assert isinstance(engine.core, MultiQueryEvaluator)
+        engine.close()
+
+
+def _keys(result_set):
+    return sorted(solution.key() for solution in result_set)

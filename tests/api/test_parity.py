@@ -1,0 +1,188 @@
+"""Parity gate: the new facade paths are byte-identical to the legacy paths.
+
+The acceptance bar for the API redesign: for every document in the backend
+conformance corpus and every query in a fixed query set, the new
+``Engine`` / ``Engine.open()`` session / ``RemoteEngine`` surfaces must
+produce result sets identical to the legacy ``TwigMEvaluator`` /
+``MultiQueryEvaluator`` / ``ServiceClient`` paths, on both the pure and
+expat backends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import warnings
+
+import pytest
+
+from repro import Engine, EngineConfig, Match, Query
+from repro.core.engine import TwigMEvaluator
+from repro.core.multi import MultiQueryEvaluator
+from repro.service.server import ServiceServer
+
+#: The backend-conformance corpus (kept in sync with
+#: tests/xmlstream/test_backend_conformance.py) plus query shapes covering
+#: elements, attributes, text, predicates and wildcards.
+CORPUS = [
+    "<a/>",
+    "<a><b>text</b><c x='1'/></a>",
+    "<root>pre<child attr='v'>inner</child>post</root>",
+    "<a>&lt;escaped&gt; &amp; more</a>",
+    "<a>\n  <b>\n    <c>deep</c>\n  </b>\n</a>",
+    '<?xml version="1.0"?><doc><!-- comment --><item id="1">x</item></doc>',
+    "<m><m><m><leaf/></m></m></m>",
+    "<a>one<!-- note -->two</a>",
+    "<a><![CDATA[1 < 2 && x]]>tail</a>",
+    "<a><?pi data here?><b/></a>",
+    "<a x='1' y=\"2\" z='&amp;'>v</a>",
+]
+
+QUERIES = [
+    "//a",
+    "//a//b",
+    "//a[b]",
+    "//*",
+    "//a/@x",
+    "//child/@attr",
+    "//a/text()",
+    "//m//leaf",
+    "//item[@id='1']",
+    "//a[b]/c",
+]
+
+BACKENDS = ("pure", "expat")
+
+
+def _keys(result_set):
+    return sorted(solution.key() for solution in result_set)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestEngineParity:
+    def test_engine_evaluate_matches_single_query_evaluator(self, backend):
+        for document in CORPUS:
+            for query in QUERIES:
+                legacy = TwigMEvaluator(query).evaluate(document, parser=backend)
+                with Engine(EngineConfig(parser=backend)) as engine:
+                    subscription = engine.subscribe(Query(query))
+                    new = engine.evaluate(document)[subscription.name]
+                assert _keys(new) == _keys(legacy), (document, query)
+
+    def test_engine_evaluate_matches_multi_query_evaluator(self, backend):
+        for document in CORPUS:
+            legacy_engine = MultiQueryEvaluator()
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                for index, query in enumerate(QUERIES):
+                    legacy_engine.register(query, name=f"q{index}")
+            legacy = legacy_engine.evaluate(document, parser=backend)
+            legacy_engine.close()
+
+            with Engine(EngineConfig(parser=backend)) as engine:
+                for index, query in enumerate(QUERIES):
+                    engine.subscribe(Query(query), name=f"q{index}")
+                new = engine.evaluate(document)
+            assert new.keys() == legacy.keys()
+            for name in new:
+                assert _keys(new[name]) == _keys(legacy[name]), (document, name)
+
+    def test_open_session_matches_legacy_session_every_split(self, backend):
+        """Engine.open() pairs == legacy engine.session() pairs, 1-byte feeds."""
+        for document in CORPUS:
+            legacy_engine = MultiQueryEvaluator()
+            for index, query in enumerate(QUERIES):
+                legacy_engine.subscribe(query, name=f"q{index}")
+            legacy_session = legacy_engine.session(parser=backend)
+            data = document.encode("utf-8")
+            legacy_pairs = []
+            for offset in range(0, len(data), 7):
+                legacy_pairs.extend(legacy_session.feed_bytes(data[offset : offset + 7]))
+            legacy_pairs.extend(legacy_session.finish())
+            legacy_engine.close()
+
+            with Engine(EngineConfig(parser=backend)) as engine:
+                for index, query in enumerate(QUERIES):
+                    engine.subscribe(Query(query), name=f"q{index}")
+                session = engine.open()
+                pairs = []
+                for offset in range(0, len(data), 7):
+                    pairs.extend(session.feed_bytes(data[offset : offset + 7]))
+                pairs.extend(session.finish())
+            assert pairs == legacy_pairs, document
+            assert all(isinstance(pair, Match) for pair in pairs)
+
+
+class TestRemoteParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_remote_engine_matches_local_engine(self, backend):
+        """RemoteEngine deliveries == local Engine deliveries, per document."""
+        from repro.api.remote import connect
+
+        async def scenario():
+            server = ServiceServer(parser=backend)
+            await server.start(port=0)
+            host, port = server.address
+            remote = await connect(host, port)
+            received = []
+            try:
+                for index, query in enumerate(QUERIES):
+                    await remote.subscribe(Query(query), name=f"q{index}")
+                for document in CORPUS:
+                    await remote.publish(document, chunk_size=5)
+                    async for match in remote.matches(stop_at_eof=True):
+                        received.append(match)
+            finally:
+                await remote.close()
+                await server.close()
+            return received
+
+        remote_matches = asyncio.run(asyncio.wait_for(scenario(), timeout=60))
+
+        local_matches = []
+        with Engine(EngineConfig(parser=backend)) as engine:
+            for index, query in enumerate(QUERIES):
+                engine.subscribe(Query(query), name=f"q{index}")
+            for document in CORPUS:
+                session = engine.open()
+                for start in range(0, len(document), 5):
+                    local_matches.extend(session.feed_text(document[start : start + 5]))
+                local_matches.extend(session.finish())
+                engine.reset()
+
+        assert [(m.name, m.solution.key()) for m in remote_matches] == [
+            (m.name, m.solution.key()) for m in local_matches
+        ]
+
+    def test_remote_engine_matches_legacy_service_client(self):
+        """The facade and the raw deprecated client see identical frames."""
+        from repro.api.remote import connect
+        from repro.service.client import ServiceClient
+
+        document = "<a><b>text</b><c x='1'/></a>"
+
+        async def scenario():
+            server = ServiceServer(parser="pure")
+            await server.start(port=0)
+            host, port = server.address
+            remote = await connect(host, port)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                legacy = await ServiceClient.connect(host, port)
+            try:
+                await remote.subscribe("//a//b", name="facade")
+                await legacy.subscribe("//a//b", name="legacy")
+                await remote.publish(document)
+                new = [match async for match in remote.matches(stop_at_eof=True)]
+                old = []
+                async for name, solution, _frame in legacy.solutions(stop_at_eof=True):
+                    old.append((name, solution))
+            finally:
+                await remote.close()
+                await legacy.close()
+                await server.close()
+            return new, old
+
+        new, old = asyncio.run(asyncio.wait_for(scenario(), timeout=30))
+        assert [m.solution for m in new] == [solution for _name, solution in old]
+        assert [m.name for m in new] == ["facade"]
+        assert [name for name, _ in old] == ["legacy"]

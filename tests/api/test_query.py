@@ -1,0 +1,108 @@
+"""Query value-object semantics: compile once, hash/compare by fingerprint."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Engine,
+    Query,
+    UnsupportedFeatureError,
+    XPathSyntaxError,
+    compile_query,
+    evaluate,
+)
+from repro.xpath.fingerprint import query_fingerprint
+
+
+class TestConstruction:
+    def test_from_string(self):
+        query = Query("//a[b]//c")
+        assert query.source == "//a[b]//c"
+        assert query.fingerprint == query_fingerprint("//a[b]//c")
+        assert str(query) == "//a[b]//c"
+        assert repr(query) == "Query('//a[b]//c')"
+
+    def test_from_query_tree(self):
+        tree = compile_query("//a[b]")
+        query = Query(tree)
+        assert query.tree is tree
+        assert query.source == "//a[b]"
+
+    def test_from_query_copies_without_recompiling(self):
+        first = Query("//a[b]")
+        second = Query(first)
+        assert second == first
+        assert second.tree is first.tree
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            Query(42)
+
+    def test_syntax_errors_surface_at_construction(self):
+        with pytest.raises(XPathSyntaxError):
+            Query("//a[")
+        with pytest.raises(UnsupportedFeatureError):
+            Query("//a[count(b)=2]")
+
+
+class TestValueSemantics:
+    def test_spelling_variants_are_equal(self):
+        assert Query("//a[b]") == Query("//a[ b ]")
+        assert hash(Query("//a[b]")) == hash(Query("//a[ b ]"))
+
+    def test_attribute_expansion_variants_are_equal(self):
+        assert Query("//@id") == Query("//*/@id")
+
+    def test_string_vs_numeric_value_tests_differ(self):
+        assert Query("//a[b='1']") != Query("//a[b=1]")
+
+    def test_different_queries_differ(self):
+        assert Query("//a[b]") != Query("//a[c]")
+
+    def test_usable_as_dict_key(self):
+        cache = {Query("//a[b]"): "x"}
+        assert cache[Query("//a[ b ]")] == "x"
+
+    def test_not_equal_to_strings(self):
+        assert (Query("//a") == "//a") is False
+
+    def test_immutable_surface(self):
+        query = Query("//a")
+        with pytest.raises(AttributeError):
+            query.source = "//b"  # type: ignore[misc]
+
+
+class TestAcceptedEverywhere:
+    def test_evaluate_helper_accepts_query(self, simple_doc):
+        by_string = evaluate("//book[author]/@id", simple_doc)
+        by_query = evaluate(Query("//book[author]/@id"), simple_doc)
+        assert sorted(s.key() for s in by_query) == sorted(
+            s.key() for s in by_string
+        )
+
+    def test_engine_subscribe_accepts_query(self, simple_doc):
+        with Engine() as engine:
+            subscription = engine.subscribe(Query("//book/@id"))
+            assert subscription.source == "//book/@id"
+            results = engine.evaluate(simple_doc)[subscription.name]
+        assert len(results) == 2
+
+    def test_source_round_trips_checkpoints(self):
+        """Registering a Query snapshots exactly like registering its text."""
+        from repro.core.checkpoint import dumps_snapshot
+
+        with Engine() as by_query:
+            by_query.subscribe(Query("//a[ b ]"), name="q")
+            query_bytes = dumps_snapshot(by_query.snapshot())
+        with Engine() as by_string:
+            by_string.subscribe("//a[ b ]", name="q")
+            string_bytes = dumps_snapshot(by_string.snapshot())
+        assert query_bytes == string_bytes
+
+    def test_shared_machines_across_spellings(self):
+        with Engine() as engine:
+            engine.subscribe(Query("//a[b]"))
+            engine.subscribe(Query("//a[ b ]"))
+            assert engine.machine_count == 1
+            assert len(engine) == 2

@@ -1,0 +1,227 @@
+"""RemoteEngine behaviour: the local verb set over the wire protocol."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import Match, Query
+from repro.api.remote import RemoteEngine, RemoteSession, RemoteSubscription, connect
+from repro.service.server import ServiceServer
+
+TIMEOUT = 30
+
+
+def run(coroutine):
+    return asyncio.run(asyncio.wait_for(coroutine, timeout=TIMEOUT))
+
+
+async def _start(parser: str = "native") -> ServiceServer:
+    server = ServiceServer(parser=parser)
+    await server.start(port=0)
+    return server
+
+
+class TestConnect:
+    def test_connect_returns_remote_engine(self):
+        async def scenario():
+            server = await _start()
+            host, port = server.address
+            engine = await connect(host, port)
+            try:
+                assert isinstance(engine, RemoteEngine)
+                await engine.ping()
+            finally:
+                await engine.close()
+                await server.close()
+
+        run(scenario())
+
+    def test_async_context_manager(self):
+        async def scenario():
+            server = await _start()
+            host, port = server.address
+            async with await connect(host, port) as engine:
+                await engine.ping()
+            await server.close()
+
+        run(scenario())
+
+
+class TestSubscribe:
+    def test_subscribe_returns_handle(self):
+        async def scenario():
+            server = await _start()
+            host, port = server.address
+            async with await connect(host, port) as engine:
+                subscription = await engine.subscribe(Query("//a[ b ]"), name="q")
+                assert isinstance(subscription, RemoteSubscription)
+                assert subscription.name == "q"
+                assert subscription.query == "//a[ b ]"
+                assert engine.subscriptions == {"q": subscription}
+                await subscription.unsubscribe()
+                assert engine.subscriptions == {}
+            await server.close()
+
+        run(scenario())
+
+    def test_matches_iteration(self):
+        async def scenario():
+            server = await _start()
+            host, port = server.address
+            async with await connect(host, port) as engine:
+                subscription = await engine.subscribe("//a//b", name="q")
+                await engine.publish("<a><b>x</b><b>y</b></a>")
+                matches = [m async for m in engine.matches(stop_at_eof=True)]
+                assert all(isinstance(m, Match) for m in matches)
+                assert [m.name for m in matches] == ["q", "q"]
+                assert subscription.delivered == 2
+            await server.close()
+
+        run(scenario())
+
+    def test_callback_subscribe_refused_while_matches_iterating(self):
+        """The push lane has one consumer: a live matches() iterator blocks
+        callback-style subscribe instead of silently stealing deliveries."""
+
+        async def scenario():
+            server = await _start()
+            host, port = server.address
+            async with await connect(host, port) as engine:
+                await engine.subscribe("//a//b", name="q")
+                iterator = engine.matches()
+                getter = asyncio.ensure_future(anext(iterator))
+                await asyncio.sleep(0)  # let the iterator take the lane
+                with pytest.raises(RuntimeError, match="push lane"):
+                    await engine.subscribe("//a//c", callback=lambda m: None)
+                getter.cancel()
+                try:
+                    await getter
+                except asyncio.CancelledError:
+                    pass
+                await iterator.aclose()
+                # Once the iterator is closed the lane is free again.
+                await engine.subscribe("//a//c", callback=lambda m: None)
+            await server.close()
+
+        run(scenario())
+
+    def test_unsubscribing_last_callback_frees_the_push_lane(self):
+        async def scenario():
+            server = await _start()
+            host, port = server.address
+            async with await connect(host, port) as engine:
+                subscription = await engine.subscribe(
+                    "//a//b", callback=lambda m: None, name="cb"
+                )
+                await subscription.unsubscribe()
+                # The dispatcher is gone: matches() works again and receives
+                # deliveries for the remaining pull-style subscription.
+                await engine.subscribe("//a//c", name="pull")
+                await engine.publish("<a><c>x</c></a>")
+                matches = [m async for m in engine.matches(stop_at_eof=True)]
+                assert [m.name for m in matches] == ["pull"]
+            await server.close()
+
+        run(scenario())
+
+    def test_callback_delivery(self):
+        async def scenario():
+            server = await _start()
+            host, port = server.address
+            received: list = []
+            done = asyncio.Event()
+
+            def on_match(match: Match) -> None:
+                received.append(match)
+                if len(received) == 2:
+                    done.set()
+
+            async with await connect(host, port) as engine:
+                await engine.subscribe("//a//b", callback=on_match, name="q")
+                await engine.publish("<a><b>x</b><b>y</b></a>")
+                await asyncio.wait_for(done.wait(), timeout=5)
+                assert [m.name for m in received] == ["q", "q"]
+                with pytest.raises(RuntimeError):
+                    async for _ in engine.matches():
+                        pass
+            await server.close()
+
+        run(scenario())
+
+
+class TestPublish:
+    def test_open_session(self):
+        async def scenario():
+            server = await _start()
+            host, port = server.address
+            async with await connect(host, port) as engine:
+                session = engine.open()
+                assert isinstance(session, RemoteSession)
+                await session.feed_text("<a><b>x")
+                await session.feed_text("</b></a>")
+                reply = await session.finish()
+                assert session.finished
+                assert reply["elements"] == 2
+                # Same contract as the local StreamSession: feeding past
+                # finish() fails loudly instead of opening a new document.
+                from repro import EngineError
+
+                with pytest.raises(EngineError):
+                    await session.feed_text("<zombie/>")
+                with pytest.raises(EngineError):
+                    await session.finish()
+            await server.close()
+
+        run(scenario())
+
+    def test_publish_chunked_and_iterable(self):
+        async def scenario():
+            server = await _start()
+            host, port = server.address
+            async with await connect(host, port) as engine:
+                first = await engine.publish("<a><b>x</b></a>", chunk_size=3)
+                second = await engine.publish(iter(["<a><b>", "y</b></a>"]))
+                assert first["elements"] == second["elements"] == 2
+                assert second["document"] == first["document"] + 1
+            await server.close()
+
+        run(scenario())
+
+    def test_feed_error_surfaces_on_push_lane(self):
+        async def scenario():
+            server = await _start()
+            host, port = server.address
+            async with await connect(host, port) as engine:
+                session = engine.open()
+                await session.feed_text("<a><b></a>")
+                await engine.ping()
+                errors = [
+                    frame
+                    for frame in engine.pending_pushes()
+                    if frame.get("type") == "error"
+                ]
+                assert errors, "parse error should reach the push lane"
+            await server.close()
+
+        run(scenario())
+
+
+class TestManagement:
+    def test_stats_and_checkpoint(self, tmp_path):
+        async def scenario():
+            checkpoint = str(tmp_path / "ck.json")
+            server = ServiceServer(parser="native", checkpoint_path=checkpoint)
+            await server.start(port=0)
+            host, port = server.address
+            async with await connect(host, port) as engine:
+                await engine.subscribe("//a", name="q")
+                stats = await engine.stats()
+                assert stats["subscriptions"] == 1
+                meta = await engine.checkpoint()
+                assert meta["path"] == checkpoint
+                assert meta["subscriptions"] == 1
+            await server.close()
+
+        run(scenario())

@@ -1,0 +1,67 @@
+"""The committed API-surface snapshot and the README snippets stay honest.
+
+Mirrors the CI ``api-surface`` job so the gate also runs under plain
+``pytest``: ``tools/check_api_surface.py`` must report no drift against the
+committed ``api_surface.txt``, and every runnable python block in README.md
+must execute cleanly against the live package.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+SRC_DIR = os.path.join(ROOT, "src")
+
+
+def run_tool(script: str, *args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, os.path.join(ROOT, "tools", script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+        cwd=ROOT,
+    )
+
+
+class TestApiSurfaceSnapshot:
+    def test_committed_snapshot_matches_live_package(self):
+        result = run_tool("check_api_surface.py")
+        assert result.returncode == 0, (
+            "public API surface drifted from api_surface.txt — regenerate "
+            "with `PYTHONPATH=src python tools/check_api_surface.py --write` "
+            f"if intentional.\n{result.stderr}"
+        )
+
+    def test_snapshot_mentions_the_facade(self):
+        with open(os.path.join(ROOT, "api_surface.txt"), encoding="utf-8") as handle:
+            surface = handle.read()
+        for needle in (
+            "class repro.Engine",
+            "class repro.Query",
+            "class repro.Match",
+            "repro.connect(",
+            "[repro.api]",
+        ):
+            assert needle in surface, needle
+
+
+class TestReadmeSnippets:
+    def test_every_runnable_snippet_executes(self):
+        result = run_tool("run_readme_snippets.py")
+        assert result.returncode == 0, result.stderr
+        assert "0 skipped" in result.stdout or "skipped" in result.stdout
+
+    def test_readme_documents_migration_and_stability(self):
+        with open(os.path.join(ROOT, "README.md"), encoding="utf-8") as handle:
+            readme = handle.read()
+        assert "## Migrating from the pre-1.1 API" in readme
+        assert "## API stability policy" in readme
+        assert "DeprecationWarning" in readme

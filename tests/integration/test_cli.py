@@ -254,3 +254,63 @@ class TestParser:
     def test_build_parser_has_subcommands(self):
         parser = build_parser()
         assert parser.prog == "vitex"
+
+
+#: Every verb that parses XML (or forwards a backend selection) must accept
+#: the one shared ``--parser`` flag.
+PARSING_VERBS = ("run", "watch", "serve", "resume", "publish", "bench")
+
+
+def _subparsers():
+    parser = build_parser()
+    for action in parser._actions:  # noqa: SLF001 - argparse introspection
+        if hasattr(action, "choices") and isinstance(action.choices, dict):
+            return action.choices
+    raise AssertionError("no subparsers found")
+
+
+class TestSharedParserFlag:
+    def test_every_parsing_verb_accepts_the_flag(self):
+        subparsers = _subparsers()
+        for verb in PARSING_VERBS:
+            actions = [
+                action
+                for action in subparsers[verb]._actions
+                if "--parser" in getattr(action, "option_strings", ())
+            ]
+            assert len(actions) == 1, f"vitex {verb} must accept --parser exactly once"
+
+    def test_choices_stay_in_sync_with_engine_config(self):
+        """The CLI spelling can never drift from the library's backends."""
+        from repro.api import EngineConfig
+
+        subparsers = _subparsers()
+        for verb in PARSING_VERBS:
+            action = next(
+                action
+                for action in subparsers[verb]._actions
+                if "--parser" in getattr(action, "option_strings", ())
+            )
+            assert tuple(action.choices) == EngineConfig.PARSERS, verb
+
+    def test_uniform_spelling_parses_on_every_verb(self):
+        parser = build_parser()
+        argv_by_verb = {
+            "run": ["run", "//a", "f.xml"],
+            "watch": ["watch", "q.txt", "f.xml"],
+            "serve": ["serve"],
+            "resume": ["resume", "ck.json"],
+            "publish": ["publish", "f.xml"],
+            "bench": ["bench", "pipeline"],
+        }
+        for verb, argv in argv_by_verb.items():
+            for backend in ("pure", "native", "expat"):
+                args = parser.parse_args(argv + ["--parser", backend])
+                assert args.parser == backend, (verb, backend)
+            args = parser.parse_args(argv)
+            assert args.parser is None, f"{verb} default must defer to the verb"
+
+    def test_run_expat_backend_works_end_to_end(self, figure1_file, capsys):
+        exit_code = main(["run", FIGURE_1_QUERY, figure1_file, "--parser", "expat"])
+        assert exit_code == 0
+        assert "1 solution(s)" in capsys.readouterr().out

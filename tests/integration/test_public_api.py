@@ -2,14 +2,16 @@
 
 from __future__ import annotations
 
+import warnings
+
 import pytest
 
 import repro
+import repro.api
 from repro import (
     ResultSet,
     Solution,
     SolutionKind,
-    TwigMEvaluator,
     UnsupportedFeatureError,
     ViteXError,
     XPathSyntaxError,
@@ -17,6 +19,60 @@ from repro import (
     evaluate,
     parse_xpath,
     stream_evaluate,
+)
+
+with warnings.catch_warnings():
+    # The legacy class only warns on *construction*, but keep the import
+    # explicit about its status.
+    from repro import TwigMEvaluator
+
+#: Every name the README documents as public.  This list is the contract:
+#: a name disappearing from ``repro.__all__`` (or becoming unimportable)
+#: fails this suite before it can break a downstream user.
+REQUIRED_EXPORTS = frozenset(
+    {
+        # unified facade
+        "Engine",
+        "EngineConfig",
+        "Match",
+        "Query",
+        "RemoteEngine",
+        "RemoteSession",
+        "RemoteSubscription",
+        "Session",
+        "connect",
+        # evaluation helpers and result model
+        "NodeRef",
+        "ResultSet",
+        "Solution",
+        "SolutionKind",
+        "Subscription",
+        "compile_query",
+        "evaluate",
+        "evaluate_many",
+        "parse_xpath",
+        "stream_evaluate",
+        # legacy entry points (deprecated but still public)
+        "MultiQueryEvaluator",
+        "ServiceClient",
+        "StreamSession",
+        "TwigMEvaluator",
+        # service + checkpoint surface
+        "ServiceError",
+        "dumps_snapshot",
+        "loads_snapshot",
+        # error hierarchy
+        "CheckpointError",
+        "DatasetError",
+        "EngineError",
+        "UnsupportedFeatureError",
+        "ViteXError",
+        "XMLSyntaxError",
+        "XPathError",
+        "XPathSyntaxError",
+        # metadata
+        "__version__",
+    }
 )
 
 
@@ -27,6 +83,38 @@ class TestPackageSurface:
     def test_all_names_importable(self):
         for name in repro.__all__:
             assert hasattr(repro, name), name
+
+    def test_all_is_complete(self):
+        """Every documented public name is exported — none silently missing."""
+        missing = REQUIRED_EXPORTS - set(repro.__all__)
+        assert not missing, f"public names missing from repro.__all__: {sorted(missing)}"
+
+    def test_all_has_no_stowaways(self):
+        """Conversely: nothing undocumented sneaks into ``__all__``."""
+        extra = set(repro.__all__) - REQUIRED_EXPORTS
+        assert not extra, f"undocumented names in repro.__all__: {sorted(extra)}"
+
+    def test_all_is_sorted_and_unique(self):
+        assert repro.__all__ == sorted(set(repro.__all__))
+
+    def test_api_package_all_importable(self):
+        for name in repro.api.__all__:
+            assert hasattr(repro.api, name), name
+
+    def test_facade_names_resolve_to_api_package(self):
+        for name in ("Engine", "EngineConfig", "Match", "Query", "connect"):
+            assert getattr(repro, name) is getattr(repro.api, name)
+
+    def test_historic_export_gap_is_closed(self):
+        """The names PR 2–4 introduced but never re-exported at top level."""
+        from repro import (  # noqa: F401
+            CheckpointError,
+            MultiQueryEvaluator,
+            ServiceClient,
+            StreamSession,
+            dumps_snapshot,
+            loads_snapshot,
+        )
 
     def test_readme_quickstart_flow(self, simple_doc):
         results = evaluate("//book[author]/@id", simple_doc)

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Snapshot and diff the public API surface (names + signatures).
+
+The committed ``api_surface.txt`` is the reviewed public contract: every
+name in ``repro.__all__`` and ``repro.api.__all__`` with its signature (for
+classes, every public method and property).  CI regenerates the surface and
+fails on any drift, so an accidental rename, a dropped export or a changed
+default never ships silently — changing the API means changing the snapshot
+in the same diff, where a reviewer sees it.
+
+Usage::
+
+    python tools/check_api_surface.py            # diff against api_surface.txt
+    python tools/check_api_surface.py --write    # regenerate the snapshot
+
+Run from the repository root with ``PYTHONPATH=src`` (or the package
+installed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import inspect
+import os
+import sys
+from typing import Iterator, List
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SURFACE_PATH = os.path.join(ROOT, "api_surface.txt")
+
+HEADER = (
+    "# Public API surface of the vitex reproduction (names + signatures).\n"
+    "# Regenerate with: PYTHONPATH=src python tools/check_api_surface.py --write\n"
+    "# CI diffs this file against the live package; drift fails the build.\n"
+)
+
+
+def _signature(obj: object) -> str:
+    try:
+        return str(inspect.signature(obj))  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return "(...)"
+
+
+def _class_lines(prefix: str, cls: type) -> Iterator[str]:
+    bases = ", ".join(
+        base.__name__ for base in cls.__bases__ if base is not object
+    )
+    suffix = f"({bases})" if bases else ""
+    yield f"class {prefix}{suffix}"
+    if issubclass(cls, BaseException):
+        return  # the hierarchy line says it all
+    # dir() rather than vars(): inherited public methods (e.g. a deprecated
+    # shim subclass that only overrides __init__) are part of the public
+    # surface and must be covered by the drift gate too.
+    for name in sorted(set(dir(cls))):
+        if name.startswith("_") and name != "__init__":
+            continue
+        member = inspect.getattr_static(cls, name)
+        if isinstance(member, property):
+            yield f"  {prefix}.{name} [property]"
+        elif isinstance(member, staticmethod):
+            yield f"  {prefix}.{name}{_signature(member.__func__)} [staticmethod]"
+        elif isinstance(member, classmethod):
+            yield f"  {prefix}.{name}{_signature(member.__func__)} [classmethod]"
+        elif inspect.isfunction(member):
+            yield f"  {prefix}.{name}{_signature(member)}"
+        elif name != "__init__" and not callable(member):
+            # NamedTuple fields / dataclass defaults / class constants.
+            yield f"  {prefix}.{name} [attribute]"
+
+
+def _module_lines(module_name: str) -> Iterator[str]:
+    module = __import__(module_name, fromlist=["__all__"])
+    yield f"[{module_name}]"
+    for name in sorted(module.__all__):
+        obj = getattr(module, name)
+        prefix = f"{module_name}.{name}"
+        if inspect.isclass(obj):
+            yield from _class_lines(prefix, obj)
+        elif callable(obj):
+            yield f"{prefix}{_signature(obj)}"
+        else:
+            yield f"{prefix}: {type(obj).__name__}"
+    yield ""
+
+
+def generate_surface() -> str:
+    lines: List[str] = [HEADER]
+    for module_name in ("repro", "repro.api"):
+        lines.extend(_module_lines(module_name))
+    return "\n".join(lines).rstrip("\n") + "\n"
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--write", action="store_true", help="regenerate api_surface.txt"
+    )
+    args = parser.parse_args(argv)
+
+    surface = generate_surface()
+    if args.write:
+        with open(SURFACE_PATH, "w", encoding="utf-8") as handle:
+            handle.write(surface)
+        print(f"wrote {SURFACE_PATH} ({len(surface.splitlines())} lines)")
+        return 0
+
+    try:
+        with open(SURFACE_PATH, "r", encoding="utf-8") as handle:
+            committed = handle.read()
+    except OSError as exc:
+        print(f"error: cannot read {SURFACE_PATH}: {exc}", file=sys.stderr)
+        return 1
+    if committed == surface:
+        print(f"OK: public API surface matches {os.path.basename(SURFACE_PATH)}")
+        return 0
+    print(
+        "FAIL: public API surface drifted from api_surface.txt.\n"
+        "If the change is intentional, regenerate the snapshot with\n"
+        "  PYTHONPATH=src python tools/check_api_surface.py --write\n"
+        "and commit it alongside the code change.\n",
+        file=sys.stderr,
+    )
+    for line in difflib.unified_diff(
+        committed.splitlines(),
+        surface.splitlines(),
+        fromfile="api_surface.txt (committed)",
+        tofile="api_surface.txt (live package)",
+        lineterm="",
+    ):
+        print(line, file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Execute the README's ``python`` code blocks — docs that cannot rot.
+
+Every fenced ```` ```python ```` block in README.md is extracted and executed
+in its own namespace inside a temporary working directory.  A block can opt
+out by being immediately preceded by the marker comment::
+
+    <!-- snippet: no-run -->
+
+(used for illustrative fragments that need external infrastructure).  Any
+raising block fails the run with the block's line number, so the quickstart
+in the README is re-proven against the live package on every CI run.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+from typing import List, Tuple
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+README = os.path.join(ROOT, "README.md")
+
+NO_RUN_MARKER = "<!-- snippet: no-run -->"
+
+
+def extract_snippets(text: str) -> List[Tuple[int, str, bool]]:
+    """Return ``(start line, code, runnable)`` for each python block."""
+    snippets: List[Tuple[int, str, bool]] = []
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        line = lines[index].strip()
+        if line == "```python":
+            # Look back over blank lines for the opt-out marker.
+            back = index - 1
+            while back >= 0 and not lines[back].strip():
+                back -= 1
+            runnable = back < 0 or lines[back].strip() != NO_RUN_MARKER
+            start = index + 1
+            body: List[str] = []
+            index += 1
+            while index < len(lines) and lines[index].strip() != "```":
+                body.append(lines[index])
+                index += 1
+            snippets.append((start + 1, "\n".join(body), runnable))
+        index += 1
+    return snippets
+
+
+def run_snippet(line: int, code: str) -> None:
+    namespace = {"__name__": f"__readme_snippet_L{line}__"}
+    exec(compile(code, f"README.md:L{line}", "exec"), namespace)
+
+
+def main() -> int:
+    with open(README, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    snippets = extract_snippets(text)
+    if not snippets:
+        print("error: no python snippets found in README.md", file=sys.stderr)
+        return 1
+    runnable = [(line, code) for line, code, ok in snippets if ok]
+    skipped = len(snippets) - len(runnable)
+    failures = 0
+    cwd = os.getcwd()
+    with tempfile.TemporaryDirectory(prefix="readme-snippets-") as workdir:
+        os.chdir(workdir)
+        try:
+            for line, code in runnable:
+                try:
+                    run_snippet(line, code)
+                except Exception as exc:  # noqa: BLE001 - report and continue
+                    failures += 1
+                    print(
+                        f"FAIL README.md:L{line}: {type(exc).__name__}: {exc}",
+                        file=sys.stderr,
+                    )
+                else:
+                    print(f"ok README.md:L{line}")
+        finally:
+            os.chdir(cwd)
+    print(
+        f"{len(runnable) - failures}/{len(runnable)} snippet(s) passed, "
+        f"{skipped} skipped (no-run)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
