@@ -1,0 +1,55 @@
+"""M3 benchmarks: multi-worker sharded service scaling.
+
+M2 measures the single-process service; M3 measures the same workload with
+subscription matching fanned out across worker *processes* —
+:class:`repro.service.sharding.ShardedServiceServer` broadcasting the
+document to every worker over pipes and routing each subscription's
+solutions back through the front.  Every worker count runs the identical
+document and subscriber set, so the ``speedup`` column is a clean
+same-machine ratio of walls (``workers=1`` is the plain single-process
+server, doubling as the protocol-parity anchor).
+
+On a single-core host expect speedup ≤ 1 — N workers serialize N× the
+parse work; the scaling headroom only shows with real cores.  The committed
+baseline (``vitex bench service --workers 1,2,4 --json
+BENCH_service_sharded.json``) therefore gates on "no worse than the
+single-core ratio", which multi-core runners clear with margin.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_service_sharded_scaling
+
+from conftest import SCALE
+
+
+@pytest.mark.benchmark(group="service-sharded")
+@pytest.mark.parametrize("workers", [1, 2])
+def test_sharded_service_roundtrip(benchmark, workers):
+    def run():
+        rows = run_service_sharded_scaling(
+            workers=(workers,), records=int(1500 * SCALE)
+        )
+        return rows[-1]  # the requested count (rows[0] is the workers=1 anchor)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert row["workers"] == workers
+    assert row["dropped"] == 0
+    benchmark.extra_info.update(row)
+
+
+def test_sharded_sweep_accounts_for_every_solution():
+    """Acceptance: 1 and 2 workers deliver the identical solution count.
+
+    ``run_service_sharded_scaling`` already raises when delivered + dropped
+    misses the string-count ground truth for *any* worker count; this test
+    pins the sweep shape — a workers=1 baseline row, speedup defined
+    relative to it, zero drops throughout.
+    """
+    rows = run_service_sharded_scaling(workers=(1, 2), records=int(1500 * SCALE))
+    assert [row["workers"] for row in rows] == [1, 2]
+    assert rows[0]["speedup"] == 1.0
+    assert all(row["dropped"] == 0 for row in rows)
+    assert rows[0]["solutions"] == rows[1]["solutions"]

@@ -63,6 +63,17 @@ METRIC_SPECS: Dict[str, Dict[str, Tuple[str, ...]]] = {
         "relative": (),
         "absolute": ("solutions_per_s", "elements_per_s"),
     },
+    # service-sharded is gated on the same-run `speedup` ratio (workers=N
+    # wall vs the workers=1 wall measured in the same process on the same
+    # machine) plus calibrated absolute throughput.  A multi-core runner
+    # beating a single-core baseline's speedup never fails the gate — only
+    # falling below it does.
+    "service-sharded": {
+        "key": ("workers",),
+        "guard": ("doc_mb", "chunks", "subscribers"),
+        "relative": ("speedup",),
+        "absolute": ("elements_per_s",),
+    },
 }
 
 

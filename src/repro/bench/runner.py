@@ -444,6 +444,7 @@ def run_service_scaling(
     chunk_size: int = 4096,
     parser: str = "native",
     seed: int = 7,
+    batch_frames: bool = True,
 ) -> List[Dict[str, object]]:
     """M2: end-to-end solution latency/throughput over the asyncio service.
 
@@ -475,7 +476,7 @@ def run_service_scaling(
 
     async def _run_one(count: int) -> Dict[str, object]:
         loop = asyncio.get_running_loop()
-        server = ServiceServer(parser=parser)
+        server = ServiceServer(parser=parser, batch_frames=batch_frames)
         await server.start(port=0)
         host, port = server.address
         subscribers: List[ServiceConnection] = []
@@ -551,6 +552,132 @@ def _expected_disjoint_solutions(document: str, count: int, label_count: int) ->
     for index in range(count):
         total += document.count(f"<s{index}>")
     return total
+
+
+# ---------------------------------------------------------------------------
+# M3: sharded service scaling across worker processes
+# ---------------------------------------------------------------------------
+
+
+def run_service_sharded_scaling(
+    workers: Sequence[int] = (1, 2, 4),
+    subscribers: int = 12,
+    records: int = 6000,
+    chunk_size: int = 4096,
+    parser: str = "native",
+    seed: int = 7,
+) -> List[Dict[str, object]]:
+    """M3: the M2 workload against 1, 2, ... worker processes.
+
+    Every worker count runs the *identical* workload — ``subscribers``
+    disjoint-label standing queries, the M1 document fed in ``chunk_size``
+    chunks, delivery checked against the string-count ground truth — so the
+    ``speedup`` column is a clean same-machine ratio of walls.  ``workers=1``
+    uses the plain single-process :class:`ServiceServer` (it is both the
+    baseline and the protocol-parity anchor); higher counts spawn
+    :class:`~repro.service.sharding.ShardedServiceServer` with real child
+    processes, so the measured speedup includes every pipe/broadcast cost.
+
+    Speedup is relative to the ``workers=1`` row of the same run (the row is
+    added implicitly when missing).  On a single-core machine expect ~1x or
+    slightly below at 2 workers — the sweep measures honestly; the scaling
+    headroom only shows on multi-core hosts.
+    """
+    import asyncio
+
+    from ..service.client import ServiceConnection
+    from ..service.server import ServiceServer
+    from ..service.sharding import ShardedServiceServer
+
+    counts = sorted({max(1, int(value)) for value in workers} | {1})
+    label_count = max(subscribers, 1)
+    document = build_multiquery_document(
+        label_count=label_count, records=records, seed=seed
+    )
+    doc_mb = len(document.encode("utf-8")) / (1024 * 1024)
+    chunks = [
+        document[start:start + chunk_size]
+        for start in range(0, len(document), chunk_size)
+    ]
+    queries = multiquery_mix("disjoint", label_count, label_count=label_count)
+    expected = _expected_disjoint_solutions(document, subscribers, label_count)
+
+    async def _run_one(worker_count: int) -> Dict[str, object]:
+        loop = asyncio.get_running_loop()
+        if worker_count <= 1:
+            server = ServiceServer(parser=parser)
+        else:
+            server = ShardedServiceServer(workers=worker_count, parser=parser)
+        await server.start(port=0)
+        host, port = server.address
+        clients: List[ServiceConnection] = []
+        latencies: List[float] = []
+
+        async def _subscriber(client: ServiceConnection) -> int:
+            got = 0
+            async for _name, _solution, frame in client.solutions(stop_at_eof=True):
+                latencies.append(loop.time() - frame["ts"])
+                got += 1
+            return got
+
+        try:
+            for index in range(subscribers):
+                client = await ServiceConnection.connect(host, port)
+                await client.subscribe(queries[index], name=f"q{index}")
+                clients.append(client)
+            publisher = await ServiceConnection.connect(host, port)
+            consumers = [
+                asyncio.ensure_future(_subscriber(client)) for client in clients
+            ]
+            started = time.perf_counter()
+            for chunk in chunks:
+                await publisher.feed(chunk)
+            summary = await publisher.finish()
+            received = sum(await asyncio.gather(*consumers))
+            wall = time.perf_counter() - started
+            stats = await publisher.stats()
+            await publisher.close()
+        finally:
+            for client in clients:
+                await client.close()
+            await server.close()
+        dropped = sum(
+            detail["dropped"] for detail in stats["subscription_detail"].values()
+        )
+        if received + dropped != expected:
+            raise BenchmarkError(
+                f"sharded service with {worker_count} worker(s) delivered "
+                f"{received} (+{dropped} dropped) solutions; expected {expected}"
+            )
+        latencies.sort()
+        mean_ms = (sum(latencies) / len(latencies) * 1000) if latencies else 0.0
+        p95_ms = (latencies[int(len(latencies) * 0.95)] * 1000) if latencies else 0.0
+        per_worker = "/".join(
+            str(entry["events_per_sec"]) for entry in stats.get("workers", ())
+        )
+        return {
+            "workers": worker_count,
+            "subscribers": subscribers,
+            "doc_mb": round(doc_mb, 3),
+            "chunks": len(chunks),
+            "elements": summary["elements"],
+            "solutions": received,
+            "dropped": dropped,
+            "wall_s": round(wall, 4),
+            "solutions_per_s": round(received / wall, 1) if wall > 0 else 0.0,
+            "elements_per_s": round(summary["elements"] / wall, 1) if wall > 0 else 0.0,
+            "mean_latency_ms": round(mean_ms, 3),
+            "p95_latency_ms": round(p95_ms, 3),
+            "per_worker_events_per_s": per_worker,
+        }
+
+    rows: List[Dict[str, object]] = []
+    for count in counts:
+        rows.append(asyncio.run(_run_one(count)))
+    baseline_wall = float(rows[0]["wall_s"]) or 1e-9
+    for row in rows:
+        row["speedup"] = round(baseline_wall / max(float(row["wall_s"]), 1e-9), 2)
+    return rows
 
 
 # ---------------------------------------------------------------------------

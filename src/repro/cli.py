@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import inspect
 import json
 import re
 import signal
@@ -41,6 +42,7 @@ from .bench import (
     run_query_size_scaling,
     run_query_variety,
     run_service_scaling,
+    run_service_sharded_scaling,
 )
 from .core.engine import TwigMEvaluator as _SingleQueryEvaluator
 from .core.builder import build_machine
@@ -176,6 +178,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="auto-write the checkpoint file every SECONDS (chunk-aligned)",
     )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard subscriptions across N worker processes (default 1: "
+        "single-process server, byte-identical protocol)",
+    )
 
     resume_parser = subparsers.add_parser(
         "resume",
@@ -220,6 +230,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         default=None,
         help="auto-write the checkpoint file every SECONDS (chunk-aligned)",
+    )
+    resume_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the restored subscriptions across N worker processes "
+        "(mid-document checkpoints need N = the count that wrote them)",
     )
 
     checkpoint_parser = subparsers.add_parser(
@@ -325,6 +343,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="(compare only) fresh BENCH_*.json report files to check",
     )
     bench_parser.add_argument("--quick", action="store_true", help="use reduced problem sizes")
+    bench_parser.add_argument(
+        "--workers",
+        metavar="N[,N...]",
+        default=None,
+        help="(service only) run the sharded sweep over these worker counts "
+        "instead of the subscriber sweep; a workers=1 baseline row is always "
+        "included (e.g. --workers 2 or --workers 1,2,4)",
+    )
     bench_parser.add_argument(
         "--json",
         metavar="PATH",
@@ -496,6 +522,10 @@ def _command_resume(args: argparse.Namespace) -> int:
 def _serve_main(args: argparse.Namespace, restore_path: Optional[str]) -> int:
     from .service.server import DEFAULT_OUTBOX_LIMIT, ServiceServer
 
+    workers = getattr(args, "workers", 1)
+    if workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 1
     outbox_limit = (
         DEFAULT_OUTBOX_LIMIT if args.outbox_limit is None else args.outbox_limit
     )
@@ -516,18 +546,30 @@ def _serve_main(args: argparse.Namespace, restore_path: Optional[str]) -> int:
         checkpoint_path = restore_path
 
     async def _run() -> int:
-        server = ServiceServer(
+        server_kwargs = dict(
             parser=_effective_parser(args),
             outbox_limit=outbox_limit,
             checkpoint_path=checkpoint_path,
             checkpoint_interval=args.checkpoint_interval,
         )
+        if workers > 1:
+            from .service.sharding import ShardedServiceServer
+
+            server = ShardedServiceServer(workers=workers, **server_kwargs)
+        else:
+            # ``--workers 1`` is the plain single-process server: byte-
+            # identical protocol, no worker pipes in the path.
+            server = ServiceServer(**server_kwargs)
 
         def _print_solution(name: str, solution) -> None:
             print(f"[{name}] {solution.describe()}", flush=True)
 
         if restore_path is not None:
             summary = server.restore_from_file(restore_path)
+            if inspect.isawaitable(summary):
+                # The sharded server restores asynchronously (it round-trips
+                # per-worker snapshots over the pipes).
+                summary = await summary
             state = "mid-document" if summary["mid_document"] else "between documents"
             print(
                 f"resumed {restore_path}: {summary['subscriptions']} "
@@ -549,14 +591,26 @@ def _serve_main(args: argparse.Namespace, restore_path: Optional[str]) -> int:
         host, port = server.address
         print(f"vitex service listening on {host}:{port}", flush=True)
         stop = asyncio.Event()
+        graceful = False
+
+        def _request_stop(drain: bool) -> None:
+            # SIGTERM asks for a graceful drain (stop accepting, flush every
+            # outbox, broadcast eof); SIGINT keeps the immediate shutdown.
+            nonlocal graceful
+            graceful = graceful or drain
+            stop.set()
+
         loop = asyncio.get_running_loop()
-        for signum in (signal.SIGINT, signal.SIGTERM):
-            try:
-                loop.add_signal_handler(signum, stop.set)
-            except NotImplementedError:  # pragma: no cover - non-unix loops
-                pass
+        try:
+            loop.add_signal_handler(signal.SIGINT, _request_stop, False)
+            loop.add_signal_handler(signal.SIGTERM, _request_stop, True)
+        except NotImplementedError:  # pragma: no cover - non-unix loops
+            pass
         serve_task = asyncio.ensure_future(server.serve_forever())
         await stop.wait()
+        if graceful:
+            print("draining: flushing outboxes before shutdown", flush=True)
+            await server.drain()
         stats = server.stats()
         serve_task.cancel()
         try:
@@ -776,6 +830,10 @@ def _command_bench(args: argparse.Namespace) -> int:
     if args.reports:
         print("error: REPORT arguments are only valid with 'compare'", file=sys.stderr)
         return 2
+    if args.workers is not None and args.experiment != "service":
+        print("error: --workers is only valid with 'service'", file=sys.stderr)
+        return 2
+    experiment_name = args.experiment
     # The shared --parser flag selects the backend for single-backend
     # experiments; backend-comparison experiments (pipeline) always sweep
     # every backend, and the rest are parse-free.  Passing nothing keeps
@@ -807,6 +865,23 @@ def _command_bench(args: argparse.Namespace) -> int:
             **backend_kwargs,
         )
         title = "M1: multi-query subscription scaling (indexed dispatch)"
+    elif args.experiment == "service" and args.workers is not None:
+        try:
+            worker_counts = tuple(
+                int(part) for part in args.workers.split(",") if part.strip()
+            )
+        except ValueError:
+            print(f"error: bad --workers value {args.workers!r}", file=sys.stderr)
+            return 2
+        if not worker_counts or min(worker_counts) < 1:
+            print("error: --workers needs counts >= 1", file=sys.stderr)
+            return 2
+        # The sharded sweep workload is already quick-sized (every worker
+        # count runs the identical document, so rows stay comparable between
+        # --quick CI runs and the committed full-sweep baseline).
+        rows = run_service_sharded_scaling(workers=worker_counts, **backend_kwargs)
+        title = "M3: sharded service scaling across worker processes"
+        experiment_name = "service-sharded"
     elif args.experiment == "service":
         # Quick counts are a subset of the full sweep so `bench compare`
         # can match quick CI rows against the committed full baseline.
@@ -827,7 +902,7 @@ def _command_bench(args: argparse.Namespace) -> int:
         from .bench.compare import machine_calibration
 
         payload = {
-            "experiment": args.experiment,
+            "experiment": experiment_name,
             "title": title,
             "rows": rows,
             # Machine-speed probe: lets `bench compare` rescale absolute

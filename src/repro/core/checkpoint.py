@@ -329,6 +329,25 @@ def validate_snapshot(snapshot: Dict[str, Any]) -> Dict[str, Any]:
     return snapshot
 
 
+def snapshot_subscription_sources(snapshot: Dict[str, Any]) -> Dict[str, str]:
+    """Map subscription name → query source from a core snapshot.
+
+    Used by the sharded service when redistributing a checkpoint across a
+    different worker count: between documents a subscription is fully
+    described by its source text (idle machines are start states), so the
+    routing layer only needs this table to re-subscribe each query on its
+    new worker.
+    """
+    engine_payload = snapshot.get("engine") or {}
+    try:
+        return {
+            entry["name"]: entry["source"]
+            for entry in engine_payload.get("subscriptions", [])
+        }
+    except (TypeError, KeyError) as exc:
+        raise CheckpointError(f"malformed snapshot subscription table: {exc}") from exc
+
+
 def dumps_snapshot(snapshot: Dict[str, Any]) -> bytes:
     """Serialize a snapshot to canonical bytes (deterministic per state)."""
     return json.dumps(
@@ -364,6 +383,7 @@ __all__ = [
     "make_snapshot",
     "restore_engine_into",
     "restore_evaluator",
+    "snapshot_subscription_sources",
     "statistics_from_state",
     "statistics_state",
     "validate_snapshot",

@@ -39,7 +39,7 @@ from typing import Any, AsyncIterator, Deque, Dict, Optional, Tuple
 
 from ..core.results import Solution
 from ..errors import ViteXError
-from .protocol import MAX_FRAME_BYTES, decode_frame, encode_frame, solution_from_payload
+from .protocol import MAX_FRAME_BYTES, decode_frames, encode_frame, solution_from_payload
 from .server import DEFAULT_PORT
 
 #: Reply frame types, matched FIFO to in-flight commands.
@@ -246,21 +246,24 @@ class ServiceConnection:
                     break
                 if not line.strip():
                     continue
-                frame = decode_frame(line)
-                kind = frame.get("type")
-                if kind in _REPLY_TYPES:
-                    if self._pending:
-                        self._pending.popleft().set_result(frame)
-                elif (
-                    kind == "error"
-                    and frame.get("cmd") in _REQUEST_CMDS
-                    and self._pending
-                ):
-                    self._pending.popleft().set_exception(
-                        ServiceError(frame.get("message", "service error"))
-                    )
-                else:
-                    self._pushes.put_nowait(frame)
+                # Batch-aware: a line may carry one frame or a JSON array of
+                # frames (the server's writer coalesces a whole outbox drain);
+                # either way the contained frames dispatch in order.
+                for frame in decode_frames(line):
+                    kind = frame.get("type")
+                    if kind in _REPLY_TYPES:
+                        if self._pending:
+                            self._pending.popleft().set_result(frame)
+                    elif (
+                        kind == "error"
+                        and frame.get("cmd") in _REQUEST_CMDS
+                        and self._pending
+                    ):
+                        self._pending.popleft().set_exception(
+                            ServiceError(frame.get("message", "service error"))
+                        )
+                    else:
+                        self._pushes.put_nowait(frame)
         except asyncio.CancelledError:
             raise
         except Exception:

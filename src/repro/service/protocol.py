@@ -42,12 +42,41 @@ Solutions travel as flat JSON objects (:func:`solution_to_payload`) and are
 reconstructed client-side into real :class:`~repro.core.results.Solution`
 objects (:func:`solution_from_payload`), so client code sees the same API
 as library code.
+
+Batched server → client frames
+------------------------------
+
+Under load the server's writer drains a connection's whole outbox per
+flush; instead of N separate lines it may send one **batch frame** — a
+JSON *array* line holding the queued frames in order
+(:func:`encode_batch`).  Clients decode incoming lines with
+:func:`decode_frames`, which yields the contained frames in order for both
+shapes, so batching is invisible above the framing layer (FIFO reply
+matching and per-subscription delivery order are unchanged).  Batch frames
+only travel server → client: a client → server line starting with ``[``
+is still a raw XML feed line.
+
+Front ↔ worker framing (sharded service)
+----------------------------------------
+
+The multi-worker service (:mod:`repro.service.sharding`) reuses this
+module's line framing on the pipes between the front process and its
+worker processes.  Control frames are ordinary JSON lines; the hot
+worker → front *solution* path uses a length-free fast framing so the
+front can route a solution to its client connection without JSON-decoding
+it::
+
+    !<subscription name> \\x1f <pre-encoded client solution frame>\\n
+
+(:data:`SOLUTION_PREFIX` / :data:`SOLUTION_SEP`; see
+:func:`encode_worker_solution` / :func:`split_worker_solution`).  The
+payload after the separator is the exact bytes the client will receive.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.results import Solution
 from ..core.results import solution_from_payload as _solution_from_payload
@@ -58,6 +87,20 @@ from ..errors import ViteXError
 #: of a missing newline).  Sized so a 32 Ki-character feed chunk fits even
 #: at the worst-case ~6-bytes-per-character JSON escaping.
 MAX_FRAME_BYTES = 256 * 1024
+
+#: Soft bound on one *batch* frame: the writer stops adding frames to a
+#: batch once the combined size passes this, keeping every batch line
+#: safely under the client reader's ``MAX_FRAME_BYTES`` limit.
+MAX_BATCH_BYTES = MAX_FRAME_BYTES - 4096
+
+#: First byte of a worker → front fast-path solution line.
+SOLUTION_PREFIX = b"!"
+
+#: Separator between the subscription name and the pre-encoded client
+#: frame in a worker → front solution line (U+001F, unit separator — never
+#: part of a subscription name, which the engine restricts to printable
+#: user-supplied or ``qN`` auto names travelling through JSON).
+SOLUTION_SEP = b"\x1f"
 
 
 class ProtocolError(ViteXError):
@@ -100,6 +143,73 @@ def decode_frame(line: Union[str, bytes]) -> Dict[str, Any]:
     return message
 
 
+def encode_batch(frames: Sequence[bytes]) -> bytes:
+    """Combine pre-encoded frames into one JSON array line.
+
+    Each input must be the output of :func:`encode_frame` (one JSON object,
+    newline-terminated, no interior newlines); the result is a single
+    ``[...]\\n`` line whose elements are the frames in order.  The caller is
+    responsible for keeping the combined size under
+    :data:`MAX_BATCH_BYTES` — this function only assembles bytes.
+    """
+    return b"[" + b",".join(frame.rstrip(b"\r\n") for frame in frames) + b"]\n"
+
+
+def decode_frames(line: Union[str, bytes]) -> List[Dict[str, Any]]:
+    """Parse one received line into its frames, batch-aware.
+
+    A JSON array line yields its member frames in order; any other line
+    yields exactly ``[decode_frame(line)]``.  Used on the *client* side,
+    where batch frames may arrive; the server side keeps
+    :func:`decode_frame`'s raw-XML shorthand (a feed line may legitimately
+    start with ``[``).
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"frame is not valid UTF-8: {exc}") from exc
+    stripped = line.rstrip("\r\n")
+    if not stripped.startswith("["):
+        return [decode_frame(stripped)]
+    try:
+        messages = json.loads(stripped)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"malformed JSON batch frame: {exc}") from exc
+    if not isinstance(messages, list) or not all(
+        isinstance(message, dict) for message in messages
+    ):
+        raise ProtocolError("batch frame must be a JSON array of objects")
+    return messages
+
+
+def encode_worker_solution(name: str, frame: bytes) -> bytes:
+    """Build a worker → front fast-path solution line.
+
+    ``frame`` is the pre-encoded client solution frame
+    (:func:`encode_frame` output); the front forwards it verbatim to the
+    owning connection after routing on ``name``.
+    """
+    return SOLUTION_PREFIX + name.encode("utf-8") + SOLUTION_SEP + frame
+
+
+def split_worker_solution(line: bytes) -> Tuple[str, bytes]:
+    """Split a fast-path solution line into ``(name, client frame bytes)``.
+
+    The caller has already checked the :data:`SOLUTION_PREFIX`; raises
+    :class:`ProtocolError` when the separator is missing.
+    """
+    try:
+        sep = line.index(SOLUTION_SEP)
+    except ValueError as exc:
+        raise ProtocolError("worker solution line is missing its separator") from exc
+    try:
+        name = line[1:sep].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"worker solution name is not valid UTF-8: {exc}") from exc
+    return name, line[sep + 1 :]
+
+
 def solution_to_payload(solution: Solution) -> Dict[str, Any]:
     """Flatten a :class:`Solution` into its JSON wire payload.
 
@@ -126,11 +236,18 @@ def error_frame(message: str, cmd: Optional[str] = None) -> Dict[str, Any]:
 
 
 __all__ = [
+    "MAX_BATCH_BYTES",
     "MAX_FRAME_BYTES",
     "ProtocolError",
+    "SOLUTION_PREFIX",
+    "SOLUTION_SEP",
     "decode_frame",
+    "decode_frames",
+    "encode_batch",
     "encode_frame",
+    "encode_worker_solution",
     "error_frame",
     "solution_from_payload",
     "solution_to_payload",
+    "split_worker_solution",
 ]

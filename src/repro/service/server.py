@@ -37,6 +37,7 @@ bounded slice of CPU.  Sharding across processes is the roadmap's next step.
 from __future__ import annotations
 
 import asyncio
+import inspect
 import json
 import os
 import time
@@ -49,9 +50,11 @@ from ..core.results import Solution
 from ..core.session import StreamSession
 from ..errors import CheckpointError, ViteXError
 from .protocol import (
+    MAX_BATCH_BYTES,
     MAX_FRAME_BYTES,
     ProtocolError,
     decode_frame,
+    encode_batch,
     encode_frame,
     error_frame,
     solution_to_payload,
@@ -70,6 +73,13 @@ CHECKPOINT_FORMAT = "vitex-checkpoint"
 
 #: Version of the service checkpoint layout.
 CHECKPOINT_VERSION = 1
+
+#: Version of the *sharded* checkpoint layout: a list of per-worker core
+#: snapshots (``shards``) plus a routing table in the server metadata.
+#: Written by :class:`repro.service.sharding.ShardedServiceServer`; both
+#: server classes can restore either version (a mid-document sharded
+#: checkpoint needs as many shards as workers, see :meth:`restore_state`).
+CHECKPOINT_VERSION_SHARDED = 2
 
 #: Default on-disk checkpoint location (relative to the server's cwd).
 DEFAULT_CHECKPOINT_PATH = "vitex-checkpoint.json"
@@ -166,6 +176,7 @@ class ServiceServer:
         outbox_limit: int = DEFAULT_OUTBOX_LIMIT,
         checkpoint_path: Optional[str] = None,
         checkpoint_interval: Optional[float] = None,
+        batch_frames: bool = True,
     ) -> None:
         if outbox_limit <= 0:
             raise ValueError("outbox_limit must be positive")
@@ -173,6 +184,12 @@ class ServiceServer:
             raise ValueError("checkpoint_interval must be positive")
         self.parser = parser
         self._outbox_limit = outbox_limit
+        #: When True (the default) the writer coalesces a multi-frame drain
+        #: into one JSON array line (:func:`~repro.service.protocol.
+        #: encode_batch`) — one syscall and one client wake-up per flush
+        #: instead of per frame.  False keeps the one-line-per-frame wire
+        #: shape (used by the before/after benchmark note).
+        self._batch_frames = batch_frames
         self._engine = MultiQueryEvaluator(collect_statistics=False)
         self._session: Optional[StreamSession] = None
         self._connections: set = set()
@@ -257,6 +274,34 @@ class ServiceServer:
         self._session = None
         self._engine.close()
 
+    async def drain(self, timeout: float = 10.0) -> None:
+        """Graceful shutdown prelude (``vitex serve`` on SIGTERM).
+
+        Stops accepting new connections, ends the current document — an
+        abort carrying ``"server draining"`` if one is mid-parse, a clean
+        ``eof`` broadcast otherwise, both marked ``"draining": true`` so
+        clients can distinguish shutdown from document lifecycle — then
+        waits (bounded) for every connection's outbox to flush.  The caller
+        still runs :meth:`close` afterwards.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._session is not None:
+            self._abort_document("server draining", draining=True)
+        else:
+            self._broadcast_eof(self._documents, aborted=False, draining=True)
+        await self._flush_outboxes(timeout)
+
+    async def _flush_outboxes(self, timeout: float) -> None:
+        """Wait until every connection outbox has been written (bounded)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if all(not connection.outbox for connection in self._connections):
+                return
+            await asyncio.sleep(0.02)
+
     @property
     def engine(self) -> MultiQueryEvaluator:
         """The shared engine (read-mostly; the server owns its lifecycle)."""
@@ -286,11 +331,18 @@ class ServiceServer:
     # ------------------------------------------------------------ stats
 
     def stats(self) -> Dict[str, Any]:
-        """The ``/stats`` payload: engine shape, rates, delivery counters."""
+        """The ``/stats`` payload: engine shape, rates, delivery counters.
+
+        The flat keys are the stable public schema; the ``workers`` list
+        adds a per-worker breakdown (one inline entry here; one entry per
+        worker process on the sharded server) with the same metric names,
+        so dashboards can consume either shape.
+        """
         elements = self._elements_total
         if self._session is not None:
             elements += self._session.element_count
         busy = self._busy_seconds
+        events_per_sec = round(elements / busy, 1) if busy > 0 else 0.0
         payload: Dict[str, Any] = {
             "type": "stats",
             "parser": self.parser,
@@ -301,10 +353,25 @@ class ServiceServer:
             "aborted_documents": self._aborted_documents,
             "document_open": self._session is not None,
             "elements": elements,
-            "events_per_sec": round(elements / busy, 1) if busy > 0 else 0.0,
+            "events_per_sec": events_per_sec,
             "solutions": self._solutions_total,
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "checkpoints_written": self._checkpoints_written,
+            "workers": [
+                {
+                    "worker": 0,
+                    "mode": "inline",
+                    "pid": os.getpid(),
+                    "alive": True,
+                    "subscriptions": len(self._subscriptions),
+                    "machine_count": self._engine.machine_count,
+                    "elements": elements,
+                    "events_per_sec": events_per_sec,
+                    "queue_depth": sum(
+                        len(connection.outbox) for connection in self._connections
+                    ),
+                }
+            ],
             "subscription_detail": {
                 name: {
                     "query": handle.query,
@@ -384,9 +451,13 @@ class ServiceServer:
             "path": target,
             "bytes": len(data),
             "document": self._documents,
-            "mid_document": self._session is not None,
+            "mid_document": self._document_in_progress(),
             "subscriptions": len(self._subscriptions),
         }
+
+    def _document_in_progress(self) -> bool:
+        """Whether a document is currently open (overridden by sharding)."""
+        return self._session is not None
 
     def _client_checkpoint_path(self, path: str) -> str:
         """Confine a *client-supplied* path to the checkpoint directory.
@@ -426,13 +497,15 @@ class ServiceServer:
                 f"not a {CHECKPOINT_FORMAT} payload "
                 f"(format={payload.get('format')!r})"
             )
-        if payload.get("version") != CHECKPOINT_VERSION:
-            raise CheckpointError(
-                f"unsupported checkpoint version {payload.get('version')!r}"
-            )
+        version = payload.get("version")
+        if version not in (CHECKPOINT_VERSION, CHECKPOINT_VERSION_SHARDED):
+            raise CheckpointError(f"unsupported checkpoint version {version!r}")
         meta = payload.get("server") or {}
         engine = MultiQueryEvaluator(collect_statistics=False)
-        session = engine.restore_session(payload["snapshot"])
+        if version == CHECKPOINT_VERSION:
+            session = engine.restore_session(payload["snapshot"])
+        else:
+            session = self._restore_sharded_into(engine, payload, meta)
         old_engine = self._engine
         self._engine = engine
         self._session = session
@@ -451,6 +524,46 @@ class ServiceServer:
             handle.callback_errors = info.get("callback_errors", 0)
             handle.detached = not info.get("local", False)
             self._subscriptions[name] = handle
+
+    def _restore_sharded_into(
+        self,
+        engine: MultiQueryEvaluator,
+        payload: Dict[str, Any],
+        meta: Dict[str, Any],
+    ) -> Optional[StreamSession]:
+        """Load a version-2 (sharded) checkpoint into one engine.
+
+        A single shard is just a core snapshot.  Multiple shards can only be
+        merged between documents (every shard idle): idle machines are all
+        in their start state, so re-subscribing each routed query rebuilds
+        the exact same machine set, deduplicated by the engine.  A
+        mid-document multi-shard checkpoint carries per-shard parse state
+        and must be resumed with a matching worker count instead.
+        """
+        shards = payload.get("shards")
+        if not isinstance(shards, list) or not shards:
+            raise CheckpointError("sharded checkpoint has no shards")
+        if len(shards) == 1:
+            return engine.restore_session(shards[0])
+        if any(
+            isinstance(shard, dict) and shard.get("session") is not None
+            for shard in shards
+        ):
+            raise CheckpointError(
+                f"mid-document sharded checkpoint has {len(shards)} shards; "
+                "resume it with --workers matching the original worker count"
+            )
+        for name, info in (meta.get("subscriptions") or {}).items():
+            query = info.get("query")
+            if not isinstance(query, str) or not query:
+                raise CheckpointError(
+                    f"sharded checkpoint is missing the query for "
+                    f"subscription {name!r}"
+                )
+            subscription = engine.subscribe(query, name=name)
+            if info.get("paused"):
+                subscription.pause()
+        return None
 
     def restore_from_file(self, path: str) -> Dict[str, Any]:
         """Read and restore a checkpoint file; returns summary metadata."""
@@ -517,6 +630,14 @@ class ServiceServer:
         finally:
             shared_compiled_cache.release(compiled)
 
+    async def _capture_checkpoint(self) -> Dict[str, Any]:
+        """Capture the checkpoint payload for the periodic writer.
+
+        A coroutine so the sharded server can override it with worker
+        snapshot gathering; here it is just :meth:`checkpoint_state`.
+        """
+        return self.checkpoint_state()
+
     async def _auto_checkpoint_loop(self) -> None:
         """Periodically write the checkpoint file (armed by ``start()``).
 
@@ -536,7 +657,7 @@ class ServiceServer:
                 await asyncio.sleep(interval)
                 try:
                     target = self.checkpoint_path
-                    payload = self.checkpoint_state()
+                    payload = await self._capture_checkpoint()
                     data = await asyncio.to_thread(_encode_checkpoint, payload)
                     await asyncio.to_thread(_write_atomically, target, data)
                     self._record_checkpoint(target, data)
@@ -571,7 +692,7 @@ class ServiceServer:
                 if not line:
                     break
                 if line.strip():
-                    self._dispatch(connection, line)
+                    await self._dispatch(connection, line)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         except asyncio.CancelledError:
@@ -582,7 +703,17 @@ class ServiceServer:
             await self._drop_connection(connection)
 
     async def _writer_loop(self, connection: _Connection) -> None:
-        """Drain the outbox; the only place that awaits socket writes."""
+        """Drain the outbox; the only place that awaits socket writes.
+
+        A drain that finds more than one queued frame ships them as a
+        single JSON array line (unless ``batch_frames=False``): under
+        solution fan-out load this collapses hundreds of per-frame writes
+        into one syscall per flush, and the client's batch-aware
+        :func:`~repro.service.protocol.decode_frames` unpacks them in
+        order, so FIFO replies and per-subscription delivery order are
+        untouched.  Batches are capped (count and bytes) to stay under the
+        client reader's frame bound.
+        """
         writer = connection.writer
         outbox = connection.outbox
         try:
@@ -591,9 +722,18 @@ class ServiceServer:
                 connection.wake.clear()
                 while outbox:
                     batch: List[bytes] = []
+                    size = 0
                     while outbox and len(batch) < 128:
-                        batch.append(outbox.popleft()[1])
-                    writer.write(b"".join(batch))
+                        frame = outbox[0][1]
+                        if batch and size + len(frame) > MAX_BATCH_BYTES:
+                            break
+                        outbox.popleft()
+                        batch.append(frame)
+                        size += len(frame)
+                    if self._batch_frames and len(batch) > 1:
+                        writer.write(encode_batch(batch))
+                    else:
+                        writer.write(b"".join(batch))
                     await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
             pass
@@ -654,7 +794,13 @@ class ServiceServer:
 
     # ------------------------------------------------------ frame dispatch
 
-    def _dispatch(self, connection: _Connection, line: bytes) -> None:
+    async def _dispatch(self, connection: _Connection, line: bytes) -> None:
+        """Decode one line and run its command handler.
+
+        Handlers may be plain functions (this class) or coroutines (the
+        sharded front awaits worker round-trips); either way errors are
+        answered on the connection instead of killing its handler task.
+        """
         try:
             frame = decode_frame(line)
         except ProtocolError as exc:
@@ -670,7 +816,11 @@ class ServiceServer:
             )
             return
         try:
-            handler(self, connection, frame)
+            result = handler(self, connection, frame)
+            if inspect.isawaitable(result):
+                await result
+        except asyncio.CancelledError:
+            raise
         except ViteXError as exc:
             self._enqueue(
                 connection, None, encode_frame(error_frame(str(exc), cmd=cmd))
@@ -876,7 +1026,9 @@ class ServiceServer:
             )
             self._enqueue(handle.connection, name, frame)
 
-    def _broadcast_eof(self, document: int, aborted: bool, error: str = "") -> None:
+    def _broadcast_eof(
+        self, document: int, aborted: bool, error: str = "", draining: bool = False
+    ) -> None:
         for connection in self._connections:
             if not connection.names:
                 continue
@@ -889,9 +1041,11 @@ class ServiceServer:
             }
             if error:
                 frame["error"] = error
+            if draining:
+                frame["draining"] = True
             self._enqueue(connection, None, encode_frame(frame))
 
-    def _abort_document(self, message: str) -> None:
+    def _abort_document(self, message: str, draining: bool = False) -> None:
         """A chunk failed to parse: the session already reset the machines;
         tear the session entry down completely (its elements still count
         toward the lifetime totals), count the abort, and tell subscribers
@@ -903,12 +1057,13 @@ class ServiceServer:
         self._documents = document + 1
         self._aborted_documents += 1
         self._session = None
-        self._broadcast_eof(document, aborted=True, error=message)
+        self._broadcast_eof(document, aborted=True, error=message, draining=draining)
 
 
 __all__ = [
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_VERSION",
+    "CHECKPOINT_VERSION_SHARDED",
     "DEFAULT_CHECKPOINT_PATH",
     "DEFAULT_OUTBOX_LIMIT",
     "DEFAULT_PORT",

@@ -1,0 +1,963 @@
+"""Multi-worker sharded service: the front process and its worker pool.
+
+Architecture::
+
+    client A ──subscribe──▶ ┌───────────────────────────┐    pipes
+    client B ──subscribe──▶ │  ShardedServiceServer     │◀────────▶ worker 0
+                            │   routing: name → worker  │◀────────▶ worker 1
+    publisher ──feed/──────▶│   outboxes / backpressure │◀────────▶ worker 2
+               finish       └───────────────────────────┘  (engines live here)
+
+The front speaks the unchanged client protocol; each worker
+(:mod:`repro.service.worker`) is a separate process running its own
+:class:`~repro.core.multi.MultiQueryEvaluator`, so parsing and matching use
+as many cores as there are workers.
+
+**Sharding policy — by subscription, fingerprint-affine.**  Each
+``subscribe`` is routed to one worker.  Structurally identical queries
+(equal canonical fingerprints) are pinned to the same worker, preserving
+the engine's machine dedup across processes; a new fingerprint goes to the
+worker with the fewest distinct fingerprints (≈ fewest machines).  The
+front owns the subscription *namespace* (auto-naming, duplicate detection)
+because per-worker engines cannot see each other's names.
+
+**Feeds broadcast to every worker.**  Each worker parses the whole
+document, so all workers share one document-global element pre-order and a
+mid-stream ``subscribe`` can land on any worker with correct remainder
+semantics.  Scaling comes from splitting the *matching and serialization*
+work — which dominates at high subscription counts — not the parse.
+
+**Document epochs.**  Every ``feed``/``finish`` carries the front's
+document epoch.  A parse failure in a worker emits an ``aborted`` push;
+the front aborts the document exactly once (later pushes for the same
+epoch are stale) and workers silently drop in-flight ``feed`` frames of a
+poisoned epoch.  One deliberate divergence from the single-process server:
+chunks already in flight when a document aborts are *dropped* rather than
+re-interpreted as the start of a new document.
+
+**Crash containment.**  A worker exiting unexpectedly detaches exactly the
+subscriptions routed to it: each owner gets an ``error`` push naming the
+subscription, and the remaining workers keep delivering.
+
+**Checkpoints** are version-2 payloads: one core snapshot per worker plus
+the routing table (query, fingerprint, worker, counters per subscription).
+Between documents a checkpoint restores onto *any* worker count — idle
+machines are start states, so the front simply re-routes every query —
+while a mid-document checkpoint carries per-shard parse state and must be
+restored onto a matching worker count.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from ..core.builder import shared_compiled_cache
+from ..core.checkpoint import snapshot_subscription_sources
+from ..errors import CheckpointError, EngineError, ViteXError
+from .protocol import (
+    ProtocolError,
+    SOLUTION_PREFIX,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    solution_from_payload,
+    split_worker_solution,
+)
+from .server import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    CHECKPOINT_VERSION_SHARDED,
+    DEFAULT_PORT,
+    ServiceServer,
+    _SubscriptionHandle,
+    _encode_checkpoint,
+    _write_atomically,
+)
+
+#: StreamReader limit for worker stdout: snapshot frames embed the engine
+#: state (and, mid-document, the expat raw-byte spool), so they dwarf the
+#: client protocol's frame bound.
+WORKER_PIPE_LIMIT = 64 * 1024 * 1024
+
+
+class WorkerError(ViteXError):
+    """A worker process died or refused a front request."""
+
+
+class _WorkerHandle:
+    """One worker process: pipes, FIFO reply matching, reader task."""
+
+    __slots__ = (
+        "index",
+        "parser",
+        "process",
+        "alive",
+        "closing",
+        "_server",
+        "_pending",
+        "_reader_task",
+    )
+
+    def __init__(self, index: int, parser: str, server: "ShardedServiceServer") -> None:
+        self.index = index
+        self.parser = parser
+        self.process: Optional[asyncio.subprocess.Process] = None
+        self.alive = False
+        #: Set before an orderly shutdown so the reader's EOF is not
+        #: mistaken for a crash.
+        self.closing = False
+        self._server = server
+        self._pending: Deque[asyncio.Future] = deque()
+        self._reader_task: Optional[asyncio.Task] = None
+
+    async def spawn(self) -> None:
+        env = dict(os.environ)
+        src_dir = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        self.process = await asyncio.create_subprocess_exec(
+            sys.executable,
+            "-m",
+            "repro.service.worker",
+            "--parser",
+            self.parser,
+            stdin=asyncio.subprocess.PIPE,
+            stdout=asyncio.subprocess.PIPE,
+            env=env,
+            limit=WORKER_PIPE_LIMIT,
+        )
+        self.alive = True
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._pending)
+
+    # --------------------------------------------------------------- writes
+
+    def write(self, wire: bytes) -> None:
+        """Queue raw bytes on the worker's stdin (no reply expected)."""
+        if not self.alive or self.process is None:
+            return
+        try:
+            self.process.stdin.write(wire)
+        except (ConnectionError, RuntimeError):
+            pass
+
+    async def drain_stdin(self) -> None:
+        if not self.alive or self.process is None:
+            return
+        try:
+            await self.process.stdin.drain()
+        except (ConnectionError, RuntimeError):
+            pass
+
+    def request(self, frame: Dict[str, Any]) -> asyncio.Future:
+        """Write a command frame and return the future for its FIFO reply.
+
+        The write happens synchronously (ordering on the worker's stdin is
+        fixed at call time — this is what keeps ``subscribe`` and broadcast
+        ``feed`` frames correctly interleaved under the pipeline lock); the
+        returned future resolves when the reader task matches the reply.
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        if not self.alive or self.process is None:
+            future.set_exception(WorkerError(f"worker {self.index} is not running"))
+            return future
+        try:
+            self.process.stdin.write(encode_frame(frame))
+        except (ConnectionError, RuntimeError) as exc:
+            future.set_exception(WorkerError(f"worker {self.index}: {exc}"))
+            return future
+        self._pending.append(future)
+        return future
+
+    async def call(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Round-trip one command; raises :class:`WorkerError` on death."""
+        future = self.request(frame)
+        await self.drain_stdin()
+        return await future
+
+    # --------------------------------------------------------------- reader
+
+    async def _read_loop(self) -> None:
+        assert self.process is not None
+        reader = self.process.stdout
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                if line.startswith(SOLUTION_PREFIX):
+                    # Hot path: route on the name, forward the pre-encoded
+                    # client frame bytes without decoding them.
+                    try:
+                        name, frame_bytes = split_worker_solution(line)
+                    except ProtocolError:  # pragma: no cover - worker bug
+                        continue
+                    self._server._on_worker_solution(name, frame_bytes)
+                    continue
+                try:
+                    frame = decode_frame(line)
+                except ProtocolError:  # pragma: no cover - worker bug
+                    continue
+                if frame.get("type") == "aborted":
+                    self._server._on_worker_abort(self, frame)
+                    continue
+                if self._pending:
+                    self._pending.popleft().set_result(frame)
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            pass
+        finally:
+            was_alive = self.alive
+            self.alive = False
+            self._fail_pending(WorkerError(f"worker {self.index} exited"))
+            if was_alive and not self.closing and not self._server._closed:
+                self._server._on_worker_crash(self)
+
+    def _fail_pending(self, exc: Exception) -> None:
+        while self._pending:
+            future = self._pending.popleft()
+            if not future.done():
+                future.set_exception(exc)
+                # Mark retrieved: fire-and-forget requests (unsubscribe)
+                # never await their future.
+                future.exception()
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def close(self) -> None:
+        """Orderly worker shutdown: EOF on stdin, bounded wait, then kill."""
+        self.closing = True
+        process = self.process
+        if process is not None and process.returncode is None:
+            try:
+                process.stdin.close()
+            except (ConnectionError, RuntimeError):
+                pass
+            try:
+                await asyncio.wait_for(process.wait(), timeout=5.0)
+            except asyncio.TimeoutError:  # pragma: no cover - wedged worker
+                process.kill()
+                await process.wait()
+        self.alive = False
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+
+
+class ShardedServiceServer(ServiceServer):
+    """The front process of the sharded service.
+
+    Speaks the unchanged client protocol (same frames, same replies, same
+    backpressure accounting); delegates all parsing and matching to worker
+    processes.  ``workers=1`` is the degenerate case used by parity tests —
+    identical protocol behaviour to :class:`ServiceServer` with the engine
+    one pipe away.
+    """
+
+    def __init__(self, workers: int = 2, **kwargs: Any) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        super().__init__(**kwargs)
+        self._worker_count = workers
+        self._workers: List[_WorkerHandle] = []
+        self._worker_stats: List[Dict[str, Any]] = []
+        #: Serializes writes that must hit every worker in the same order
+        #: (feed/finish broadcasts, subscribes, snapshot gathers).
+        self._pipeline_lock = asyncio.Lock()
+        # Routing state.  ``_shard_load`` counts distinct fingerprints per
+        # worker (≈ machines, thanks to engine dedup); ``_affinity`` maps a
+        # fingerprint to its pinned worker and refcount.
+        self._routes: Dict[str, int] = {}
+        self._fingerprints: Dict[str, str] = {}
+        self._affinity: Dict[str, List[int]] = {}
+        self._shard_load: List[int] = []
+        self._auto_name_counter = 0
+        # Document state: the front owns the document lifecycle; workers
+        # are slaved to its epoch counter.
+        self._doc_epoch = 0
+        self._doc_open = False
+        self._feeder = None
+        #: Local subscriptions registered before the workers exist; routed
+        #: when :meth:`start` spawns them.
+        self._pending_local: List[str] = []
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def _ensure_workers(self) -> None:
+        if self._workers:
+            return
+        for index in range(self._worker_count):
+            handle = _WorkerHandle(index, self.parser, self)
+            await handle.spawn()
+            self._workers.append(handle)
+            self._worker_stats.append(
+                {
+                    "worker": index,
+                    "mode": "process",
+                    "pid": handle.pid,
+                    "alive": True,
+                    "subscriptions": 0,
+                    "machine_count": 0,
+                    "elements": 0,
+                    "events_per_sec": 0.0,
+                    "queue_depth": 0,
+                }
+            )
+        self._shard_load = [0] * self._worker_count
+
+    async def start(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT) -> None:
+        await self._ensure_workers()
+        await self._flush_pending_local()
+        await super().start(host, port)
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        for worker in self._workers:
+            worker.closing = True
+        await super().close()
+        await asyncio.gather(
+            *(worker.close() for worker in self._workers), return_exceptions=True
+        )
+
+    async def drain(self, timeout: float = 10.0) -> None:
+        """Graceful shutdown: like the base server, plus worker drain."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._doc_open:
+            document = self._documents
+            self._documents += 1
+            self._aborted_documents += 1
+            self._close_epoch()
+            self._broadcast_eof(
+                document, aborted=True, error="server draining", draining=True
+            )
+        else:
+            self._broadcast_eof(self._documents, aborted=False, draining=True)
+        await self._flush_outboxes(timeout)
+        for worker in self._workers:
+            if worker.alive:
+                worker.closing = True
+                worker.request({"cmd": "drain"})
+
+    def _document_in_progress(self) -> bool:
+        return self._doc_open
+
+    def _alive_workers(self) -> List[_WorkerHandle]:
+        return [worker for worker in self._workers if worker.alive]
+
+    def _close_epoch(self) -> None:
+        self._doc_open = False
+        self._doc_epoch += 1
+        self._feeder = None
+
+    # ------------------------------------------------------------ routing
+
+    def _assign_name(self, name: Optional[str]) -> str:
+        if name is None:
+            while True:
+                name = f"q{self._auto_name_counter}"
+                self._auto_name_counter += 1
+                if name not in self._subscriptions:
+                    return name
+        if any(ord(char) < 32 or ord(char) == 127 for char in name):
+            # Names travel in the worker fast-path framing; control
+            # characters (newline, unit separator) would corrupt it.
+            raise ProtocolError(
+                "subscription names may not contain control characters"
+            )
+        if name in self._subscriptions:
+            raise EngineError(f"a subscription named {name!r} already exists")
+        return name
+
+    def _fingerprint(self, query: str) -> str:
+        """Validate + fingerprint a query through the shared compiled cache
+        (raising exactly the errors the engine's own ``subscribe`` would)."""
+        compiled = shared_compiled_cache.acquire(query)
+        try:
+            return compiled.fingerprint
+        finally:
+            shared_compiled_cache.release(compiled)
+
+    def _pick_worker(self, fingerprint: str) -> int:
+        pinned = self._affinity.get(fingerprint)
+        if pinned is not None and self._workers[pinned[0]].alive:
+            return pinned[0]
+        candidates = [
+            (self._shard_load[worker.index], worker.index)
+            for worker in self._workers
+            if worker.alive
+        ]
+        if not candidates:
+            raise ViteXError("no alive workers")
+        return min(candidates)[1]
+
+    def _acquire_affinity(self, fingerprint: str, index: int) -> None:
+        pinned = self._affinity.get(fingerprint)
+        if pinned is not None and pinned[0] == index:
+            pinned[1] += 1
+            return
+        self._affinity[fingerprint] = [index, 1]
+        self._shard_load[index] += 1
+
+    def _release_affinity(self, fingerprint: str) -> None:
+        pinned = self._affinity.get(fingerprint)
+        if pinned is None:
+            return
+        pinned[1] -= 1
+        if pinned[1] <= 0:
+            del self._affinity[fingerprint]
+            if 0 <= pinned[0] < len(self._shard_load):
+                self._shard_load[pinned[0]] -= 1
+
+    def _install_route(self, name: str, fingerprint: str, index: int) -> None:
+        self._routes[name] = index
+        self._fingerprints[name] = fingerprint
+        self._acquire_affinity(fingerprint, index)
+
+    def _remove_subscription(self, name: str) -> None:
+        handle = self._subscriptions.pop(name, None)
+        if handle is None:
+            return
+        if handle.connection is not None and name in handle.connection.names:
+            handle.connection.names.remove(name)
+        index = self._routes.pop(name, None)
+        fingerprint = self._fingerprints.pop(name, None)
+        if fingerprint is not None:
+            self._release_affinity(fingerprint)
+        if name in self._pending_local:
+            self._pending_local.remove(name)
+        if index is None or self._closed:
+            return
+        worker = self._workers[index] if index < len(self._workers) else None
+        if worker is not None and worker.alive:
+            # Fire-and-forget: the FIFO reply resolves a future nobody
+            # awaits, keeping reply matching aligned.
+            worker.request({"cmd": "unsubscribe", "name": name})
+
+    # ------------------------------------------------- local subscriptions
+
+    def add_local_subscription(self, query, name=None, callback=None) -> str:
+        # Keyed on the listener, not the worker pool: a restore spawns the
+        # workers early, but new local queries (``vitex resume --watch``)
+        # are still fine until ``start()`` flushes the pending list.
+        if self._server is not None:
+            raise RuntimeError(
+                "add_local_subscription must be called before start() on a "
+                "sharded server"
+            )
+        fingerprint = self._fingerprint(query)
+        name = self._assign_name(name)
+        handle = _SubscriptionHandle(name, query, None, callback)
+        self._subscriptions[name] = handle
+        self._fingerprints[name] = fingerprint
+        self._pending_local.append(name)
+        return name
+
+    async def _flush_pending_local(self) -> None:
+        for name in list(self._pending_local):
+            handle = self._subscriptions[name]
+            fingerprint = self._fingerprints[name]
+            index = self._pick_worker(fingerprint)
+            self._routes[name] = index
+            self._acquire_affinity(fingerprint, index)
+            reply = await self._workers[index].call(
+                {"cmd": "subscribe", "query": handle.query, "name": name}
+            )
+            if reply.get("type") == "error":
+                raise ViteXError(reply.get("message", "worker subscribe failed"))
+        self._pending_local.clear()
+
+    def _query_equivalent(self, name, handle, query) -> bool:
+        if query == handle.query:
+            return True
+        fingerprint = self._fingerprints.get(name)
+        if fingerprint is None:
+            return False
+        return self._fingerprint(query) == fingerprint
+
+    # ------------------------------------------------------ frame handlers
+
+    async def _cmd_subscribe(self, connection, frame) -> None:
+        query = frame.get("query")
+        if not isinstance(query, str) or not query:
+            raise ProtocolError("subscribe needs a 'query' string")
+        name = frame.get("name")
+        if isinstance(name, str):
+            handle = self._subscriptions.get(name)
+            if handle is not None and handle.detached:
+                self._reattach_subscription(connection, handle, query)
+                return
+        fingerprint = self._fingerprint(query)
+        name = self._assign_name(name)
+        index = self._pick_worker(fingerprint)
+        handle = _SubscriptionHandle(name, query, connection)
+        # Reserve the name and route before the await: a concurrent
+        # subscribe must see the name as taken.
+        self._subscriptions[name] = handle
+        connection.names.append(name)
+        self._install_route(name, fingerprint, index)
+        try:
+            async with self._pipeline_lock:
+                future = self._workers[index].request(
+                    {"cmd": "subscribe", "query": query, "name": name}
+                )
+            reply = await future
+            if reply.get("type") == "error":
+                raise ViteXError(reply.get("message", "worker subscribe failed"))
+        except BaseException:
+            self._remove_subscription(name)
+            raise
+        self._enqueue(
+            connection,
+            None,
+            encode_frame(
+                {
+                    "type": "subscribed",
+                    "name": name,
+                    "query": reply.get("query", query),
+                    "mid_stream": self._doc_open,
+                }
+            ),
+        )
+
+    def _reattach_subscription(self, connection, handle, query) -> None:
+        # Same semantics as the base server, but mid_stream reflects the
+        # front's document state (the front has no local session).
+        if not self._query_equivalent(handle.name, handle, query):
+            raise ProtocolError(
+                f"subscription {handle.name!r} was restored for query "
+                f"{handle.query!r}; cannot re-attach a different query"
+            )
+        handle.connection = connection
+        handle.detached = False
+        connection.names.append(handle.name)
+        self._enqueue(
+            connection,
+            None,
+            encode_frame(
+                {
+                    "type": "subscribed",
+                    "name": handle.name,
+                    "query": handle.query,
+                    "mid_stream": self._doc_open,
+                    "reattached": True,
+                    "delivered": handle.delivered,
+                }
+            ),
+        )
+
+    async def _cmd_feed(self, connection, frame) -> None:
+        data = frame.get("data")
+        if not isinstance(data, str):
+            raise ProtocolError("feed needs a 'data' string")
+        workers = self._alive_workers()
+        if not workers:
+            raise ViteXError("no alive workers")
+        started = time.perf_counter()
+        async with self._pipeline_lock:
+            self._doc_open = True
+            self._feeder = connection
+            wire = encode_frame({"cmd": "feed", "data": data, "doc": self._doc_epoch})
+            for worker in workers:
+                worker.write(wire)
+            await asyncio.gather(
+                *(worker.drain_stdin() for worker in workers),
+                return_exceptions=True,
+            )
+        self._busy_seconds += time.perf_counter() - started
+
+    async def _cmd_finish(self, connection, frame) -> None:
+        if not self._doc_open:
+            raise ProtocolError("no document in progress")
+        epoch = self._doc_epoch
+        started = time.perf_counter()
+        async with self._pipeline_lock:
+            futures = [
+                worker.request({"cmd": "finish", "doc": epoch})
+                for worker in self._alive_workers()
+            ]
+        replies = await asyncio.gather(*futures, return_exceptions=True)
+        self._busy_seconds += time.perf_counter() - started
+        good = [reply for reply in replies if isinstance(reply, dict)]
+        if not good:
+            raise ViteXError("all workers failed during finish")
+        aborted = [reply for reply in good if reply.get("aborted")]
+        if aborted or not self._doc_open or self._doc_epoch != epoch:
+            # The abort push (processed by the reader before these replies)
+            # already broadcast the eof; answer the finisher the way the
+            # single-process server would.
+            message = next(
+                (reply["message"] for reply in aborted if reply.get("message")), None
+            )
+            if message:
+                raise ViteXError(message)
+            raise ProtocolError("no document in progress")
+        elements = max(reply.get("elements", 0) for reply in good)
+        document = self._documents
+        self._documents += 1
+        self._elements_total += elements
+        self._close_epoch()
+        self._enqueue(
+            connection,
+            None,
+            encode_frame(
+                {"type": "finished", "document": document, "elements": elements}
+            ),
+        )
+        self._broadcast_eof(document, aborted=False)
+
+    async def _cmd_stats(self, connection, frame) -> None:
+        await self._refresh_worker_stats()
+        self._enqueue(connection, None, encode_frame(self.stats()))
+
+    async def _cmd_checkpoint(self, connection, frame) -> None:
+        path = frame.get("path")
+        if path is not None:
+            if not isinstance(path, str) or not path:
+                raise ProtocolError("checkpoint 'path' must be a non-empty string")
+            path = self._client_checkpoint_path(path)
+        meta = await self.save_checkpoint_async(path)
+        meta["type"] = "checkpointed"
+        self._enqueue(connection, None, encode_frame(meta))
+
+    async def _cmd_restore(self, connection, frame) -> None:
+        path = frame.get("path")
+        if not isinstance(path, str) or not path:
+            raise ProtocolError("restore needs a 'path' string")
+        meta = await self.restore_from_file(self._client_checkpoint_path(path))
+        meta["type"] = "restored"
+        self._enqueue(connection, None, encode_frame(meta))
+
+    # The dispatch table must point at the overridden coroutines (the base
+    # class dict captured the base functions).
+    _COMMANDS = dict(ServiceServer._COMMANDS)
+    _COMMANDS.update(
+        {
+            "subscribe": _cmd_subscribe,
+            "feed": _cmd_feed,
+            "finish": _cmd_finish,
+            "stats": _cmd_stats,
+            "checkpoint": _cmd_checkpoint,
+            "restore": _cmd_restore,
+        }
+    )
+
+    # ------------------------------------------------------ worker events
+
+    def _on_worker_solution(self, name: str, frame_bytes: bytes) -> None:
+        """Route one pre-encoded solution frame to its owner (hot path)."""
+        handle = self._subscriptions.get(name)
+        if handle is None:
+            return  # unsubscribed while the solution was in flight
+        handle.delivered += 1
+        self._solutions_total += 1
+        if handle.connection is None:
+            if handle.callback is not None and not handle.detached:
+                try:
+                    frame = decode_frame(frame_bytes)
+                    handle.callback(name, solution_from_payload(frame["solution"]))
+                except Exception:
+                    handle.callback_errors += 1
+            return
+        handle.connection.delivered += 1
+        self._enqueue(handle.connection, name, frame_bytes)
+
+    def _on_worker_abort(self, worker: _WorkerHandle, frame: Dict[str, Any]) -> None:
+        """First worker to fail a document epoch aborts it front-wide."""
+        if not self._doc_open or frame.get("doc") != self._doc_epoch:
+            return  # stale: another worker already aborted this epoch
+        message = frame.get("message", "document aborted")
+        feeder = self._feeder
+        document = self._documents
+        self._documents += 1
+        self._aborted_documents += 1
+        self._elements_total += frame.get("elements", 0)
+        self._close_epoch()
+        self._broadcast_eof(document, aborted=True, error=message)
+        if (
+            frame.get("origin") == "feed"
+            and feeder is not None
+            and feeder in self._connections
+        ):
+            self._enqueue(feeder, None, encode_frame(error_frame(message, cmd="feed")))
+
+    def _on_worker_crash(self, worker: _WorkerHandle) -> None:
+        """Contain a dead worker: detach exactly its subscriptions."""
+        affected = [
+            name for name, index in self._routes.items() if index == worker.index
+        ]
+        for name in affected:
+            handle = self._subscriptions.get(name)
+            message = (
+                f"worker {worker.index} died; subscription {name!r} was detached"
+            )
+            if handle is not None and handle.connection is not None:
+                self._enqueue(
+                    handle.connection,
+                    None,
+                    encode_frame({"type": "error", "message": message, "name": name}),
+                )
+            self._remove_subscription(name)
+        if self._worker_stats and worker.index < len(self._worker_stats):
+            self._worker_stats[worker.index]["alive"] = False
+
+    # ------------------------------------------------------------ stats
+
+    def stats(self) -> Dict[str, Any]:
+        payload = super().stats()
+        cached = []
+        for worker, entry in zip(self._workers, self._worker_stats):
+            entry = dict(entry)
+            entry["alive"] = worker.alive
+            entry["queue_depth"] = worker.queue_depth
+            cached.append(entry)
+        if cached:
+            payload["workers"] = cached
+            payload["machine_count"] = sum(e["machine_count"] for e in cached)
+            payload["elements"] = max(
+                self._elements_total, max(e["elements"] for e in cached)
+            )
+            busy = self._busy_seconds
+            payload["events_per_sec"] = (
+                round(payload["elements"] / busy, 1) if busy > 0 else 0.0
+            )
+        payload["document_open"] = self._doc_open
+        payload["worker_count"] = len(self._workers)
+        return payload
+
+    async def _refresh_worker_stats(self) -> None:
+        for worker, entry in zip(self._workers, self._worker_stats):
+            entry["alive"] = worker.alive
+            entry["queue_depth"] = worker.queue_depth
+            if not worker.alive:
+                continue
+            try:
+                reply = await worker.call({"cmd": "stats"})
+            except WorkerError:
+                continue
+            if reply.get("type") != "stats":
+                continue
+            for key in ("subscriptions", "machine_count", "elements", "events_per_sec"):
+                if key in reply:
+                    entry[key] = reply[key]
+
+    # ------------------------------------------------------------ checkpoint
+
+    async def _capture_checkpoint(self) -> Dict[str, Any]:
+        """Gather one consistent snapshot per worker (version-2 payload).
+
+        Holding the pipeline lock keeps feed broadcasts out of the gap
+        between the per-worker snapshot requests, so every shard is taken
+        at the same chunk boundary.
+        """
+        workers = self._alive_workers()
+        if len(workers) != len(self._workers):
+            raise CheckpointError("cannot checkpoint while a worker is down")
+        async with self._pipeline_lock:
+            futures = [worker.request({"cmd": "snapshot"}) for worker in workers]
+        replies = await asyncio.gather(*futures)
+        shards = []
+        for reply in replies:
+            if reply.get("type") != "snapshot":
+                raise CheckpointError(
+                    reply.get("message", "worker snapshot failed")
+                )
+            shards.append(reply["snapshot"])
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION_SHARDED,
+            "server": {
+                "parser": self.parser,
+                "workers": len(self._workers),
+                "documents": self._documents,
+                "aborted_documents": self._aborted_documents,
+                "elements_total": self._elements_total,
+                "solutions_total": self._solutions_total,
+                "subscriptions": {
+                    name: {
+                        "query": handle.query,
+                        "fingerprint": self._fingerprints.get(name),
+                        "worker": self._routes.get(name),
+                        "delivered": handle.delivered,
+                        "dropped": handle.dropped,
+                        "callback_errors": handle.callback_errors,
+                        "local": handle.connection is None and not handle.detached,
+                    }
+                    for name, handle in self._subscriptions.items()
+                },
+            },
+            "shards": shards,
+        }
+
+    async def save_checkpoint_async(self, path: Optional[str] = None) -> Dict[str, Any]:
+        target = path or self.checkpoint_path
+        payload = await self._capture_checkpoint()
+        data = await asyncio.to_thread(_encode_checkpoint, payload)
+        await asyncio.to_thread(_write_atomically, target, data)
+        return self._record_checkpoint(target, data)
+
+    def save_checkpoint(self, path: Optional[str] = None) -> Dict[str, Any]:
+        raise CheckpointError(
+            "the sharded server checkpoints asynchronously; "
+            "use save_checkpoint_async()"
+        )
+
+    def checkpoint_state(self) -> Dict[str, Any]:
+        raise CheckpointError(
+            "the sharded server checkpoints asynchronously; "
+            "use _capture_checkpoint()"
+        )
+
+    async def restore_from_file(self, path: str) -> Dict[str, Any]:  # type: ignore[override]
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"malformed checkpoint {path!r}: {exc}") from exc
+        await self.restore_state(payload)
+        return {
+            "path": path,
+            "document": self._documents,
+            "mid_document": self._doc_open,
+            "subscriptions": len(self._subscriptions),
+            "elements": self._elements_total,
+        }
+
+    async def restore_state(self, payload: Dict[str, Any]) -> None:  # type: ignore[override]
+        """Restore a version-1 or version-2 checkpoint across the workers.
+
+        Between documents (every shard idle) any worker count works: the
+        front re-routes each subscription and the workers rebuild their
+        machines from the query sources.  Mid-document, shard *i* carries
+        worker *i*'s parse state, so the worker count must match.
+        """
+        if self._doc_open:
+            raise CheckpointError("cannot restore while a document is in progress")
+        if self._subscriptions:
+            raise CheckpointError("cannot restore over existing subscriptions")
+        if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"not a {CHECKPOINT_FORMAT} payload "
+                f"(format={payload.get('format')!r})"
+            )
+        version = payload.get("version")
+        if version not in (CHECKPOINT_VERSION, CHECKPOINT_VERSION_SHARDED):
+            raise CheckpointError(f"unsupported checkpoint version {version!r}")
+        meta = payload.get("server") or {}
+        if version == CHECKPOINT_VERSION:
+            shards = [payload["snapshot"]]
+            sources = snapshot_subscription_sources(payload["snapshot"])
+            counters = meta.get("subscriptions", {})
+            sub_meta: Dict[str, Dict[str, Any]] = {
+                name: {"query": source, **counters.get(name, {})}
+                for name, source in sources.items()
+            }
+        else:
+            shards = payload.get("shards")
+            if not isinstance(shards, list) or not shards:
+                raise CheckpointError("sharded checkpoint has no shards")
+            sub_meta = meta.get("subscriptions", {})
+        self.parser = meta.get("parser", self.parser)
+        await self._ensure_workers()
+        mid_document = any(
+            isinstance(shard, dict) and shard.get("session") is not None
+            for shard in shards
+        )
+        if mid_document:
+            await self._restore_mid_document(shards, sub_meta)
+        else:
+            await self._restore_redistributed(sub_meta)
+        for name, info in sub_meta.items():
+            handle = self._subscriptions.get(name)
+            if handle is None:  # pragma: no cover - restore paths build all
+                continue
+            handle.delivered = info.get("delivered", 0)
+            handle.dropped = info.get("dropped", 0)
+            handle.callback_errors = info.get("callback_errors", 0)
+            handle.detached = not info.get("local", False)
+        self._documents = meta.get("documents", 0)
+        self._aborted_documents = meta.get("aborted_documents", 0)
+        self._elements_total = meta.get("elements_total", 0)
+        self._solutions_total = meta.get("solutions_total", 0)
+
+    async def _restore_mid_document(
+        self, shards: List[Dict[str, Any]], sub_meta: Dict[str, Dict[str, Any]]
+    ) -> None:
+        if len(shards) != len(self._workers):
+            raise CheckpointError(
+                f"mid-document checkpoint has {len(shards)} shard(s); "
+                f"restore it with --workers {len(shards)}"
+            )
+        any_open = False
+        for worker, shard in zip(self._workers, shards):
+            reply = await worker.call({"cmd": "restore", "snapshot": shard})
+            if reply.get("type") != "restored":
+                raise CheckpointError(reply.get("message", "worker restore failed"))
+            any_open = any_open or bool(reply.get("mid_document"))
+            for name in reply.get("subscriptions", []):
+                info = sub_meta.get(name, {})
+                query = info.get("query", "")
+                fingerprint = info.get("fingerprint") or (
+                    self._fingerprint(query) if query else ""
+                )
+                handle = _SubscriptionHandle(name, query, None)
+                self._subscriptions[name] = handle
+                if fingerprint:
+                    self._install_route(name, fingerprint, worker.index)
+                else:  # pragma: no cover - meta always carries the query
+                    self._routes[name] = worker.index
+        self._doc_open = any_open
+
+    async def _restore_redistributed(
+        self, sub_meta: Dict[str, Dict[str, Any]]
+    ) -> None:
+        for name, info in sub_meta.items():
+            query = info.get("query")
+            if not isinstance(query, str) or not query:
+                raise CheckpointError(
+                    f"checkpoint is missing the query for subscription {name!r}"
+                )
+            fingerprint = info.get("fingerprint") or self._fingerprint(query)
+            index = self._pick_worker(fingerprint)
+            handle = _SubscriptionHandle(name, query, None)
+            self._subscriptions[name] = handle
+            self._install_route(name, fingerprint, index)
+            reply = await self._workers[index].call(
+                {"cmd": "subscribe", "query": query, "name": name}
+            )
+            if reply.get("type") == "error":
+                raise CheckpointError(
+                    f"re-subscribing {name!r} failed: {reply.get('message')}"
+                )
+
+
+__all__ = ["ShardedServiceServer", "WorkerError", "WORKER_PIPE_LIMIT"]

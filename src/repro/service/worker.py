@@ -1,0 +1,296 @@
+"""Shard worker process: one engine, driven over stdin/stdout pipes.
+
+``python -m repro.service.worker --parser <name>`` is spawned by
+:class:`repro.service.sharding.ShardedServiceServer` — never by users.  The
+front process writes one JSON frame per line to the worker's stdin and
+reads frames back from its stdout:
+
+* Every command except ``feed`` gets **exactly one reply frame**, in
+  command order — the front matches replies FIFO, like the client protocol.
+* ``feed`` is fire-and-forget.  Solutions it produces are written as
+  fast-path lines (:func:`~repro.service.protocol.encode_worker_solution`):
+  the *pre-encoded client frame* prefixed with the subscription name, so
+  the front routes on the name without JSON-decoding the payload.
+* A parse failure emits an ``aborted`` push (``doc``, ``message``,
+  ``elements``, ``origin``) and poisons that document epoch: later ``feed``
+  frames carrying the same ``doc`` are dropped silently (they were already
+  in flight when the abort happened).
+
+The loop is deliberately synchronous — a worker does nothing but parse,
+match and write, so an event loop would only add overhead.  Backpressure is
+the pipe itself: the front always drains worker stdout, and client-facing
+overload is handled by the front's bounded outboxes.
+
+Worker commands (beyond the client-protocol subset)::
+
+    {"cmd": "snapshot"}                  -> {"type": "snapshot", ...}
+    {"cmd": "restore", "snapshot": ...}  -> {"type": "restored", ...}
+    {"cmd": "drain"}                     -> {"type": "drained"} + exit 0
+
+Stdin EOF also exits cleanly: if the front dies, its workers follow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Any, BinaryIO, Dict, List, Optional, Tuple
+
+from ..core.multi import MultiQueryEvaluator
+from ..core.results import Solution
+from ..core.session import StreamSession
+from .protocol import (
+    decode_frame,
+    encode_frame,
+    encode_worker_solution,
+    solution_to_payload,
+)
+
+
+class ShardWorker:
+    """The worker-side loop: engine state plus the pipe protocol."""
+
+    def __init__(self, parser: str = "native") -> None:
+        self.parser = parser
+        self._engine = MultiQueryEvaluator(collect_statistics=False)
+        self._session: Optional[StreamSession] = None
+        #: Document epoch poisoned by a parse failure; feeds carrying it
+        #: are in-flight stragglers and are dropped without a sound.
+        self._failed_doc: Optional[int] = None
+        self._documents = 0
+        self._elements_total = 0
+        self._solutions_total = 0
+        self._busy_seconds = 0.0
+        self._out: Optional[BinaryIO] = None
+
+    # ------------------------------------------------------------ main loop
+
+    def run(self, stdin: BinaryIO, stdout: BinaryIO) -> int:
+        """Serve frames until ``drain`` or stdin EOF; returns the exit code."""
+        self._out = stdout
+        try:
+            while True:
+                line = stdin.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                if not self._handle_line(line):
+                    break
+        finally:
+            self._engine.close()
+        return 0
+
+    def _handle_line(self, line: bytes) -> bool:
+        """Process one frame; returns False when the worker should exit."""
+        assert self._out is not None
+        try:
+            frame = decode_frame(line)
+        except Exception as exc:
+            self._write({"type": "error", "message": f"bad worker frame: {exc}"})
+            self._out.flush()
+            return True
+        cmd = frame.get("cmd")
+        keep_going = True
+        if cmd == "feed":
+            self._feed(frame)
+        else:
+            try:
+                if cmd == "subscribe":
+                    reply = self._cmd_subscribe(frame)
+                elif cmd == "unsubscribe":
+                    reply = self._cmd_unsubscribe(frame)
+                elif cmd == "finish":
+                    reply = self._cmd_finish(frame)
+                elif cmd == "stats":
+                    reply = self.stats()
+                elif cmd == "ping":
+                    reply = {"type": "pong"}
+                elif cmd == "snapshot":
+                    reply = self._cmd_snapshot(frame)
+                elif cmd == "restore":
+                    reply = self._cmd_restore(frame)
+                elif cmd == "drain":
+                    reply = {"type": "drained"}
+                    keep_going = False
+                else:
+                    reply = {"type": "error", "message": f"unknown worker command {cmd!r}"}
+            except Exception as exc:
+                reply = {"type": "error", "message": str(exc)}
+            self._write(reply)
+        self._out.flush()
+        return keep_going
+
+    def _write(self, frame: Dict[str, Any]) -> None:
+        assert self._out is not None
+        self._out.write(encode_frame(frame))
+
+    # ------------------------------------------------------------ commands
+
+    def _cmd_subscribe(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        # The front owns naming (a shared namespace across workers), so
+        # ``name`` is always present here.
+        subscription = self._engine.subscribe(frame["query"], name=frame["name"])
+        return {
+            "type": "subscribed",
+            "name": subscription.name,
+            "query": subscription.query,
+            "mid_stream": self._session is not None,
+        }
+
+    def _cmd_unsubscribe(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        name = frame["name"]
+        self._engine.unregister(name)
+        return {"type": "unsubscribed", "name": name}
+
+    def _feed(self, frame: Dict[str, Any]) -> None:
+        doc = frame.get("doc", 0)
+        if doc == self._failed_doc:
+            return
+        if self._session is None:
+            self._session = self._engine.session(parser=self.parser)
+        started = time.perf_counter()
+        try:
+            pairs = self._session.feed_text(frame.get("data", ""))
+        except Exception as exc:
+            self._busy_seconds += time.perf_counter() - started
+            self._abort(doc, str(exc), origin="feed")
+            return
+        self._busy_seconds += time.perf_counter() - started
+        if pairs:
+            self._emit(pairs)
+
+    def _cmd_finish(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        doc = frame.get("doc", 0)
+        if doc == self._failed_doc or self._session is None:
+            # Epoch already died (the front raced a finish against an
+            # in-flight abort); no message — the front answers the client
+            # with its own "no document in progress".
+            return {"type": "finished", "aborted": True, "elements": 0}
+        session = self._session
+        started = time.perf_counter()
+        try:
+            pairs = session.finish()
+        except Exception as exc:
+            self._busy_seconds += time.perf_counter() - started
+            elements = self._abort(doc, str(exc), origin="finish")
+            return {
+                "type": "finished",
+                "aborted": True,
+                "elements": elements,
+                "message": str(exc),
+            }
+        self._busy_seconds += time.perf_counter() - started
+        if pairs:
+            self._emit(pairs)
+        elements = session.element_count
+        self._elements_total += elements
+        self._documents += 1
+        self._session = None
+        self._engine.reset()
+        return {"type": "finished", "elements": elements}
+
+    def _abort(self, doc: int, message: str, origin: str) -> int:
+        """Tear the document down and push ``aborted``; returns elements."""
+        elements = self._session.element_count if self._session is not None else 0
+        self._elements_total += elements
+        self._session = None
+        self._failed_doc = doc
+        self._write(
+            {
+                "type": "aborted",
+                "doc": doc,
+                "message": message,
+                "elements": elements,
+                "origin": origin,
+            }
+        )
+        return elements
+
+    def _cmd_snapshot(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        if self._session is not None:
+            snapshot = self._session.snapshot()
+        else:
+            snapshot = self._engine.snapshot()
+        return {
+            "type": "snapshot",
+            "snapshot": snapshot,
+            "elements_total": self._elements_total,
+        }
+
+    def _cmd_restore(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        if self._session is not None or self._engine.machine_count:
+            raise RuntimeError("cannot restore into a non-empty worker")
+        engine = MultiQueryEvaluator(collect_statistics=False)
+        session = engine.restore_session(frame["snapshot"])
+        old = self._engine
+        self._engine = engine
+        self._session = session
+        old.close()
+        return {
+            "type": "restored",
+            "subscriptions": sorted(engine._subscriptions),
+            "mid_document": session is not None,
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        elements = self._elements_total
+        if self._session is not None:
+            elements += self._session.element_count
+        busy = self._busy_seconds
+        return {
+            "type": "stats",
+            "pid": os.getpid(),
+            "parser": self.parser,
+            "machine_count": self._engine.machine_count,
+            "subscriptions": len(self._engine._subscriptions),
+            "documents": self._documents,
+            "document_open": self._session is not None,
+            "elements": elements,
+            "events_per_sec": round(elements / busy, 1) if busy > 0 else 0.0,
+            "solutions": self._solutions_total,
+        }
+
+    # ------------------------------------------------------------ solutions
+
+    def _emit(self, pairs: List[Tuple[str, Solution]]) -> None:
+        """Write delivered pairs as fast-path lines, one shared timestamp.
+
+        The timestamp mirrors the single-process server: one clock read per
+        routed batch.  ``time.monotonic`` is ``CLOCK_MONOTONIC``, the same
+        clock asyncio's loop time uses, so front- and worker-stamped
+        solutions are comparable.
+        """
+        assert self._out is not None
+        ts = time.monotonic()
+        self._solutions_total += len(pairs)
+        for name, solution in pairs:
+            frame = encode_frame(
+                {
+                    "type": "solution",
+                    "name": name,
+                    "ts": ts,
+                    "solution": solution_to_payload(solution),
+                }
+            )
+            self._out.write(encode_worker_solution(name, frame))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.service.worker",
+        description="ViteX shard worker (spawned by the sharded service).",
+    )
+    parser.add_argument("--parser", default="native", help="XML parser backend")
+    args = parser.parse_args(argv)
+    worker = ShardWorker(parser=args.parser)
+    return worker.run(sys.stdin.buffer, sys.stdout.buffer)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())
+
+
+__all__ = ["ShardWorker", "main"]

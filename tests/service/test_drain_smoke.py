@@ -1,0 +1,87 @@
+"""Graceful-drain smoke: SIGTERM on ``vitex serve`` flushes and exits 0.
+
+Real child processes: the server (plain and sharded) is started through the
+CLI, a subscriber attaches and receives solutions, then the server gets
+SIGTERM.  The contract: the listener stops accepting, every connected
+subscriber's outbox is flushed, an ``eof`` frame with ``draining: true`` is
+broadcast, and the process exits with status 0.  SIGINT keeps the immediate
+shutdown path (no draining eof) — only SIGTERM drains.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import subprocess
+
+import pytest
+
+from repro.service.client import ServiceConnection
+
+from test_resume_smoke import _await_address, _spawn, _terminate
+
+PUSH_TIMEOUT = 10.0
+
+DOC = "<feed><r><s1><v1>hi</v1></s1></r></feed>"
+
+
+class TestSigtermDrain:
+    @pytest.mark.parametrize("workers", ["1", "2"])
+    def test_sigterm_broadcasts_draining_eof_and_exits_zero(self, workers):
+        server = _spawn(["serve", "--port", "0", "--workers", workers])
+        try:
+            host, port = _await_address(server)
+
+            async def scenario():
+                subscriber = await ServiceConnection.connect(host, port)
+                try:
+                    await subscriber.subscribe("//s1/v1", name="standing")
+                    await subscriber.feed(DOC)
+                    summary = await subscriber.finish()
+                    assert summary["elements"] == 4
+                    push = await subscriber.next_push(timeout=PUSH_TIMEOUT)
+                    assert push["type"] == "solution"
+                    eof = await subscriber.next_push(timeout=PUSH_TIMEOUT)
+                    assert eof["type"] == "eof" and eof["aborted"] is False
+
+                    server.send_signal(signal.SIGTERM)
+                    draining = await subscriber.next_push(timeout=PUSH_TIMEOUT)
+                    assert draining["type"] == "eof"
+                    assert draining["draining"] is True
+                    assert draining["aborted"] is False
+                    assert draining["delivered"] == 1
+                finally:
+                    await subscriber.close()
+
+            asyncio.run(scenario())
+            assert server.wait(timeout=15) == 0
+            output = server.stdout.read()
+            assert "draining" in output
+        finally:
+            _terminate(server)
+
+    def test_sigterm_aborts_open_document_with_draining_eof(self):
+        """A document left open at SIGTERM is aborted (the client sees
+        ``aborted: true`` + ``draining: true``), and the exit is still 0."""
+        server = _spawn(["serve", "--port", "0", "--workers", "2"])
+        try:
+            host, port = _await_address(server)
+
+            async def scenario():
+                subscriber = await ServiceConnection.connect(host, port)
+                try:
+                    await subscriber.subscribe("//s1/v1", name="standing")
+                    await subscriber.feed("<feed><r><s1>")  # never finished
+                    await subscriber.ping()
+                    server.send_signal(signal.SIGTERM)
+                    eof = await subscriber.next_push(timeout=PUSH_TIMEOUT)
+                    assert eof["type"] == "eof"
+                    assert eof["draining"] is True
+                    assert eof["aborted"] is True
+                finally:
+                    await subscriber.close()
+
+            asyncio.run(scenario())
+            assert server.wait(timeout=15) == 0
+        finally:
+            _terminate(server)

@@ -8,10 +8,14 @@ from repro.core.results import NodeRef, Solution, SolutionKind
 from repro.service.protocol import (
     ProtocolError,
     decode_frame,
+    decode_frames,
+    encode_batch,
     encode_frame,
+    encode_worker_solution,
     error_frame,
     solution_from_payload,
     solution_to_payload,
+    split_worker_solution,
 )
 
 
@@ -108,3 +112,56 @@ class TestSolutionPayloads:
             solution_from_payload({"kind": "no-such-kind", "order": 1})
         with pytest.raises(ProtocolError):
             solution_from_payload({"order": 1})
+
+
+class TestBatchFrames:
+    """Server→client batching: one line carrying a JSON array of frames."""
+
+    def test_batch_roundtrip(self):
+        frames = [
+            encode_frame({"type": "solution", "name": "q0", "solution": {"x": 1}}),
+            encode_frame({"type": "solution", "name": "q1", "solution": {"x": 2}}),
+            encode_frame({"type": "eof", "document": 0}),
+        ]
+        line = encode_batch(frames)
+        assert line.endswith(b"\n") and line.count(b"\n") == 1
+        decoded = decode_frames(line)
+        assert decoded == [decode_frame(frame) for frame in frames]
+
+    def test_single_frame_line_still_decodes(self):
+        line = encode_frame({"type": "pong"})
+        assert decode_frames(line) == [{"type": "pong"}]
+
+    def test_client_raw_xml_shorthand_is_preserved(self):
+        # A client line starting with "[" must stay the raw-XML feed
+        # shorthand — batch framing is strictly server→client, so the
+        # array decode only applies to lines that parse as JSON arrays.
+        assert decode_frames(b"<a>hi</a>\n") == [{"cmd": "feed", "data": "<a>hi</a>"}]
+
+    def test_batch_of_one_is_an_array(self):
+        frames = [encode_frame({"type": "pong"})]
+        decoded = decode_frames(encode_batch(frames))
+        assert decoded == [{"type": "pong"}]
+
+
+class TestWorkerSolutionFraming:
+    """Worker→front fast path: name-prefixed pre-encoded client frames."""
+
+    def test_roundtrip(self):
+        frame = encode_frame(
+            {"type": "solution", "name": "ticker", "solution": {"tag": "v1"}}
+        )
+        wire = encode_worker_solution("ticker", frame)
+        name, payload = split_worker_solution(wire)
+        assert name == "ticker"
+        assert payload == frame  # pre-encoded bytes forwarded untouched
+
+    def test_unicode_names_survive(self):
+        frame = encode_frame({"type": "solution", "name": "quoté", "solution": {}})
+        name, payload = split_worker_solution(encode_worker_solution("quoté", frame))
+        assert name == "quoté"
+        assert decode_frame(payload)["name"] == "quoté"
+
+    def test_missing_separator_rejected(self):
+        with pytest.raises(ProtocolError):
+            split_worker_solution(b"!no-separator-here\n")

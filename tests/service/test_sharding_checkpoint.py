@@ -1,0 +1,231 @@
+"""Sharded checkpoints: version-2 payloads across worker-count changes.
+
+The contract from the sharding design:
+
+* **between documents** every shard is idle, so a checkpoint written by N
+  workers restores onto *any* worker count (including the plain
+  single-process server) — subscriptions re-route by name + fingerprint
+  and their delivery counters survive;
+* **mid-document** shard *i* carries worker *i*'s live parse state, so the
+  checkpoint must be restored with the same worker count — a mismatch is
+  refused with an actionable message;
+* a version-1 (single-process) checkpoint restores onto a sharded server,
+  and a between-documents version-2 checkpoint restores onto a plain one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.service.client import ServiceConnection
+from repro.service.server import ServiceServer
+from repro.service.sharding import ShardedServiceServer
+
+TIMEOUT = 10.0
+
+DOC = (
+    "<feed>"
+    "<r><s1><v1>one</v1></s1></r>"
+    "<r><s2><v2>two</v2></s2></r>"
+    "</feed>"
+)
+
+#: Mid-document split inside the third <v1> text node (same shape as the
+#: resume smoke test): completing it with pre-order 9 proves the restored
+#: workers kept the document-global element counter.
+DOC_PREFIX = (
+    "<feed>"
+    "<r><s1><v1>one</v1></s1></r>"
+    "<r><s1><v1>two</v1></s1></r>"
+    "<r><s1><v1>th"
+)
+DOC_SUFFIX = "ree</v1></s1></r></feed>"
+
+
+def run(coroutine):
+    return asyncio.run(asyncio.wait_for(coroutine, timeout=120))
+
+
+async def _seed_sharded(path, workers=2):
+    """Run a 2-subscription document on a sharded server and checkpoint it.
+
+    Returns the delivered counts the restore must preserve.
+    """
+    server = ShardedServiceServer(workers=workers, parser="native")
+    await server.start(port=0)
+    host, port = server.address
+    client = await ServiceConnection.connect(host, port)
+    try:
+        await client.subscribe("//s1/v1", name="alpha")
+        await client.subscribe("//s2/v2", name="beta")
+        await client.feed(DOC)
+        await client.finish()
+        for _ in range(2):  # one solution each
+            push = await client.next_push(timeout=TIMEOUT)
+            assert push["type"] == "solution"
+        eof = await client.next_push(timeout=TIMEOUT)
+        assert eof["type"] == "eof"
+        await server.save_checkpoint_async(path)
+    finally:
+        await client.close()
+        await server.close()
+
+
+async def _verify_restored(server, expect_elements=7):
+    """Re-attach both subscriptions by name and run one more document."""
+    await server.start(port=0)
+    host, port = server.address
+    client = await ServiceConnection.connect(host, port)
+    try:
+        detail = server.stats()["subscription_detail"]
+        assert detail["alpha"]["delivered"] == 1
+        assert detail["beta"]["delivered"] == 1
+        await client.subscribe("//s1/v1", name="alpha")
+        await client.subscribe("//s2/v2", name="beta")
+        await client.feed(DOC)
+        summary = await client.finish()
+        assert summary["elements"] == expect_elements
+        names = set()
+        for _ in range(2):
+            push = await client.next_push(timeout=TIMEOUT)
+            assert push["type"] == "solution"
+            names.add(push["name"])
+        assert names == {"alpha", "beta"}
+    finally:
+        await client.close()
+        await server.close()
+
+
+class TestBetweenDocuments:
+    @pytest.mark.parametrize("target_workers", [1, 3])
+    def test_two_worker_checkpoint_restores_onto_other_counts(
+        self, tmp_path, target_workers
+    ):
+        path = str(tmp_path / "sharded.json")
+
+        async def scenario():
+            await _seed_sharded(path, workers=2)
+            restored = ShardedServiceServer(workers=target_workers, parser="native")
+            summary = await restored.restore_from_file(path)
+            assert summary["subscriptions"] == 2
+            assert summary["mid_document"] is False
+            await _verify_restored(restored)
+
+        run(scenario())
+
+    def test_plain_server_accepts_idle_sharded_checkpoint(self, tmp_path):
+        path = str(tmp_path / "sharded.json")
+
+        async def scenario():
+            await _seed_sharded(path, workers=2)
+            restored = ServiceServer(parser="native")
+            summary = restored.restore_from_file(path)
+            assert summary["subscriptions"] == 2
+            assert summary["mid_document"] is False
+            await _verify_restored(restored)
+
+        run(scenario())
+
+    def test_plain_checkpoint_restores_onto_sharded_server(self, tmp_path):
+        path = str(tmp_path / "plain.json")
+
+        async def scenario():
+            server = ServiceServer(parser="native")
+            await server.start(port=0)
+            host, port = server.address
+            client = await ServiceConnection.connect(host, port)
+            try:
+                await client.subscribe("//s1/v1", name="alpha")
+                await client.subscribe("//s2/v2", name="beta")
+                await client.feed(DOC)
+                await client.finish()
+                for _ in range(2):
+                    await client.next_push(timeout=TIMEOUT)
+                await client.next_push(timeout=TIMEOUT)  # eof
+                server.save_checkpoint(path)
+            finally:
+                await client.close()
+                await server.close()
+
+            restored = ShardedServiceServer(workers=2, parser="native")
+            summary = await restored.restore_from_file(path)
+            assert summary["subscriptions"] == 2
+            await _verify_restored(restored)
+
+        run(scenario())
+
+
+class TestMidDocument:
+    def test_restore_with_matching_worker_count_completes_the_document(
+        self, tmp_path
+    ):
+        path = str(tmp_path / "mid.json")
+
+        async def scenario():
+            server = ShardedServiceServer(workers=2, parser="native")
+            await server.start(port=0)
+            host, port = server.address
+            client = await ServiceConnection.connect(host, port)
+            try:
+                await client.subscribe("//s1/v1", name="standing")
+                await client.feed(DOC_PREFIX)
+                for _ in range(2):  # the two complete records
+                    push = await client.next_push(timeout=TIMEOUT)
+                    assert push["type"] == "solution"
+                meta = await server.save_checkpoint_async(path)
+                assert meta["mid_document"] is True
+            finally:
+                await client.close()
+                await server.close()
+
+            restored = ShardedServiceServer(workers=2, parser="native")
+            summary = await restored.restore_from_file(path)
+            assert summary["mid_document"] is True
+            await restored.start(port=0)
+            host, port = restored.address
+            client = await ServiceConnection.connect(host, port)
+            try:
+                await client.subscribe("//s1/v1", name="standing")
+                await client.feed(DOC_SUFFIX)
+                summary = await client.finish()
+                assert summary["elements"] == 10
+                push = await client.next_push(timeout=TIMEOUT)
+                assert push["type"] == "solution"
+                # Document-global pre-order survived the restore.
+                assert push["solution"]["order"] == 9
+                assert push["solution"]["tag"] == "v1"
+            finally:
+                await client.close()
+                await restored.close()
+
+        run(scenario())
+
+    def test_restore_with_mismatched_worker_count_is_refused(self, tmp_path):
+        path = str(tmp_path / "mid.json")
+
+        async def scenario():
+            server = ShardedServiceServer(workers=2, parser="native")
+            await server.start(port=0)
+            host, port = server.address
+            client = await ServiceConnection.connect(host, port)
+            try:
+                await client.subscribe("//s1/v1", name="standing")
+                await client.feed(DOC_PREFIX)
+                for _ in range(2):  # barrier: the feed reached the workers
+                    push = await client.next_push(timeout=TIMEOUT)
+                    assert push["type"] == "solution"
+                meta = await server.save_checkpoint_async(path)
+                assert meta["mid_document"] is True
+            finally:
+                await client.close()
+                await server.close()
+
+            restored = ShardedServiceServer(workers=3, parser="native")
+            with pytest.raises(CheckpointError, match="--workers 2"):
+                await restored.restore_from_file(path)
+            await restored.close()
+
+        run(scenario())

@@ -1,0 +1,88 @@
+"""Crash containment: a dying worker detaches only its own subscriptions.
+
+The scenario the sharded design promises to survive: one worker process is
+killed mid-document.  The owners of subscriptions routed to the dead worker
+get an ``error`` push naming the subscription; every other subscription
+keeps delivering, the document still finishes, and the server stays up for
+the next document.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+
+from repro.service.client import ServiceConnection
+from repro.service.sharding import ShardedServiceServer
+
+TIMEOUT = 10.0
+
+
+def run(coroutine):
+    return asyncio.run(asyncio.wait_for(coroutine, timeout=60))
+
+
+DOC_HEAD = "<feed><r><s1><v1>one</v1></s1>"
+DOC_TAIL = "<s2><v2>two</v2></s2></r></feed>"
+
+
+class TestWorkerCrashContainment:
+    def test_kill_one_worker_mid_document(self):
+        async def scenario():
+            server = ShardedServiceServer(workers=2, parser="native")
+            await server.start(port=0)
+            host, port = server.address
+            survivor = await ServiceConnection.connect(host, port)
+            victim = await ServiceConnection.connect(host, port)
+            publisher = await ServiceConnection.connect(host, port)
+            try:
+                # Two distinct queries spread least-loaded: one per worker.
+                name_a = await survivor.subscribe("//s1/v1", name="keep")
+                name_b = await victim.subscribe("//s2/v2", name="lost")
+                assert (name_a, name_b) == ("keep", "lost")
+                stats = await publisher.stats()
+                assert sorted(w["subscriptions"] for w in stats["workers"]) == [1, 1]
+
+                await publisher.feed(DOC_HEAD)
+                first = await survivor.next_push(timeout=TIMEOUT)
+                assert first["type"] == "solution" and first["name"] == "keep"
+
+                # Kill the worker holding 'lost' (found via the routed pid).
+                victim_index = server._routes["lost"]
+                pid = stats["workers"][victim_index]["pid"]
+                os.kill(pid, signal.SIGKILL)
+
+                error = await victim.next_push(timeout=TIMEOUT)
+                assert error["type"] == "error"
+                assert error["name"] == "lost"
+                assert f"worker {victim_index} died" in error["message"]
+
+                # The survivor keeps delivering and the document finishes.
+                await publisher.feed(DOC_TAIL)
+                summary = await publisher.finish()
+                assert summary["elements"] == 6
+                eof = await survivor.next_push(timeout=TIMEOUT)
+                assert eof["type"] == "eof" and eof["aborted"] is False
+                assert eof["delivered"] == 1
+
+                # Containment: the dead worker's subscription is gone, the
+                # survivor's stays routed, and the next document still works.
+                stats = await publisher.stats()
+                assert stats["subscriptions"] == 1
+                alive = [w["alive"] for w in stats["workers"]]
+                assert sorted(alive) == [False, True]
+
+                await publisher.feed(DOC_HEAD + DOC_TAIL)
+                await publisher.finish()
+                push = await survivor.next_push(timeout=TIMEOUT)
+                assert push["type"] == "solution" and push["name"] == "keep"
+                eof = await survivor.next_push(timeout=TIMEOUT)
+                assert eof["type"] == "eof"
+            finally:
+                await survivor.close()
+                await victim.close()
+                await publisher.close()
+                await server.close()
+
+        run(scenario())
