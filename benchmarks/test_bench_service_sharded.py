@@ -2,18 +2,22 @@
 
 M2 measures the single-process service; M3 measures the same workload with
 subscription matching fanned out across worker *processes* —
-:class:`repro.service.sharding.ShardedServiceServer` broadcasting the
-document to every worker over pipes and routing each subscription's
-solutions back through the front.  Every worker count runs the identical
-document and subscriber set, so the ``speedup`` column is a clean
-same-machine ratio of walls (``workers=1`` is the plain single-process
-server, doubling as the protocol-parity anchor).
+:class:`repro.service.sharding.ShardedServiceServer` feeding every worker
+over pipes and routing each subscription's solutions back through the
+front.  Every worker count runs the identical document and subscriber set,
+so the ``speedup`` column is a clean same-machine ratio of walls
+(``workers=1`` is the plain single-process server, doubling as the
+protocol-parity anchor), and each sharded count runs once per shard mode:
+``events`` (the front parses once and broadcasts binary event frames,
+worker protocol v2) and ``broadcast`` (raw-XML fan-out, every worker
+re-parses).
 
-On a single-core host expect speedup ≤ 1 — N workers serialize N× the
-parse work; the scaling headroom only shows with real cores.  The committed
-baseline (``vitex bench service --workers 1,2,4 --json
-BENCH_service_sharded.json``) therefore gates on "no worse than the
-single-core ratio", which multi-core runners clear with margin.
+On a single-core host expect speedup ≤ 1 in broadcast mode — N workers
+serialize N× the parse work; events mode pays the parse once regardless of
+N, which the ``total_cpu_s`` column makes visible even when walls tie.
+The committed baseline (``vitex bench service --workers 1,2,4 --json
+BENCH_service_sharded.json``) gates on "no worse than the single-core
+ratio", which multi-core runners clear with margin.
 """
 
 from __future__ import annotations
@@ -26,30 +30,72 @@ from conftest import SCALE
 
 
 @pytest.mark.benchmark(group="service-sharded")
-@pytest.mark.parametrize("workers", [1, 2])
-def test_sharded_service_roundtrip(benchmark, workers):
+@pytest.mark.parametrize("workers,mode", [(1, "single"), (2, "events"), (2, "broadcast")])
+def test_sharded_service_roundtrip(benchmark, workers, mode):
     def run():
         rows = run_service_sharded_scaling(
-            workers=(workers,), records=int(1500 * SCALE)
+            workers=(workers,),
+            records=int(1500 * SCALE),
+            shard_modes=(mode,) if mode != "single" else ("events",),
         )
-        return rows[-1]  # the requested count (rows[0] is the workers=1 anchor)
+        # rows[0] is always the workers=1 anchor; the requested
+        # (workers, mode) row is the one we benchmark.
+        return next(
+            row
+            for row in rows
+            if row["workers"] == workers and (workers == 1 or row["mode"] == mode)
+        )
 
     row = benchmark.pedantic(run, rounds=1, iterations=1)
     assert row["workers"] == workers
     assert row["dropped"] == 0
+    assert row["total_cpu_s"] > 0
     benchmark.extra_info.update(row)
 
 
 def test_sharded_sweep_accounts_for_every_solution():
-    """Acceptance: 1 and 2 workers deliver the identical solution count.
+    """Acceptance: every (workers, mode) combination delivers the identical
+    solution count.
 
     ``run_service_sharded_scaling`` already raises when delivered + dropped
     misses the string-count ground truth for *any* worker count; this test
-    pins the sweep shape — a workers=1 baseline row, speedup defined
-    relative to it, zero drops throughout.
+    pins the sweep shape — a workers=1 baseline row, one row per shard mode
+    at workers=2, speedup defined relative to the baseline, zero drops and
+    CPU accounting throughout.
     """
     rows = run_service_sharded_scaling(workers=(1, 2), records=int(1500 * SCALE))
-    assert [row["workers"] for row in rows] == [1, 2]
+    assert [(row["workers"], row["mode"]) for row in rows] == [
+        (1, "single"),
+        (2, "events"),
+        (2, "broadcast"),
+    ]
     assert rows[0]["speedup"] == 1.0
     assert all(row["dropped"] == 0 for row in rows)
-    assert rows[0]["solutions"] == rows[1]["solutions"]
+    assert len({row["solutions"] for row in rows}) == 1
+    assert all(row["total_cpu_s"] > 0 for row in rows)
+
+
+def test_events_mode_spends_less_worker_cpu_than_broadcast():
+    """The tentpole claim: at workers=2, parse-once events mode burns
+    measurably less total CPU per delivered solution than raw-XML
+    broadcast on the same workload (the broadcast pool parses the document
+    twice, the events pool zero times).
+
+    The document must be large enough that per-document parse work clears
+    the fixed pool cost (interpreter spawn is ~0.2 CPU-s per worker) and
+    the 10 ms ``os.times()`` tick; 12000 records (the committed-sweep
+    size) separates the modes by 6-9% in isolation.  Under a loaded host
+    contention inflates individual runs, so we keep the per-mode *minimum*
+    over up to three sweeps — noise only ever adds CPU — and stop at the
+    first sweep that shows the gap.
+    """
+    best: dict = {}
+    for _ in range(3):
+        rows = run_service_sharded_scaling(workers=(2,), records=int(12000 * SCALE))
+        for row in rows:
+            if row["workers"] == 2:
+                cpu = row["cpu_ms_per_solution"]
+                best[row["mode"]] = min(best.get(row["mode"], cpu), cpu)
+        if best["events"] < best["broadcast"]:
+            break
+    assert best["events"] < best["broadcast"]

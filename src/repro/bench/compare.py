@@ -67,9 +67,12 @@ METRIC_SPECS: Dict[str, Dict[str, Tuple[str, ...]]] = {
     # wall vs the workers=1 wall measured in the same process on the same
     # machine) plus calibrated absolute throughput.  A multi-core runner
     # beating a single-core baseline's speedup never fails the gate — only
-    # falling below it does.
+    # falling below it does.  Rows are keyed per shard mode: the events
+    # (parse-once, protocol v2) and broadcast (raw-XML fan-out) pipelines
+    # are gated independently so a regression in either cannot hide behind
+    # the other.
     "service-sharded": {
-        "key": ("workers",),
+        "key": ("workers", "mode"),
         "guard": ("doc_mb", "chunks", "subscribers"),
         "relative": ("speedup",),
         "absolute": ("elements_per_s",),

@@ -562,10 +562,15 @@ def _expected_disjoint_solutions(document: str, count: int, label_count: int) ->
 def run_service_sharded_scaling(
     workers: Sequence[int] = (1, 2, 4),
     subscribers: int = 12,
-    records: int = 6000,
+    # Sized so per-document parse work clears the pool's fixed CPU cost
+    # (interpreter spawn ~0.2 s/worker) and the 10 ms os.times() tick by
+    # several ticks: the events-vs-broadcast CPU gap is the sweep's
+    # headline signal and must not drown in scheduler noise.
+    records: int = 12000,
     chunk_size: int = 4096,
     parser: str = "native",
     seed: int = 7,
+    shard_modes: Sequence[str] = ("events", "broadcast"),
 ) -> List[Dict[str, object]]:
     """M3: the M2 workload against 1, 2, ... worker processes.
 
@@ -574,9 +579,20 @@ def run_service_sharded_scaling(
     chunks, delivery checked against the string-count ground truth — so the
     ``speedup`` column is a clean same-machine ratio of walls.  ``workers=1``
     uses the plain single-process :class:`ServiceServer` (it is both the
-    baseline and the protocol-parity anchor); higher counts spawn
-    :class:`~repro.service.sharding.ShardedServiceServer` with real child
-    processes, so the measured speedup includes every pipe/broadcast cost.
+    baseline and the protocol-parity anchor, ``mode="single"``); higher
+    counts spawn :class:`~repro.service.sharding.ShardedServiceServer` with
+    real child processes once per entry of ``shard_modes`` — ``events``
+    (parse-once binary event frames, protocol v2) and ``broadcast``
+    (raw-XML fan-out, every worker re-parses) — so the measured speedup
+    includes every pipe/broadcast cost.
+
+    Besides wall time each row reports ``total_cpu_s``: the
+    ``os.times()`` delta across the run summed over this process *and* its
+    reaped worker children.  That is the honest cost axis of the parse-once
+    work — broadcast mode burns roughly one extra document-parse of CPU per
+    additional worker, events mode does not, which shows up as a lower
+    ``cpu_ms_per_solution`` at the same worker count even when walls tie on
+    a saturated machine.
 
     Speedup is relative to the ``workers=1`` row of the same run (the row is
     added implicitly when missing).  On a single-core machine expect ~1x or
@@ -584,12 +600,16 @@ def run_service_sharded_scaling(
     headroom only shows on multi-core hosts.
     """
     import asyncio
+    import os
 
     from ..service.client import ServiceConnection
     from ..service.server import ServiceServer
     from ..service.sharding import ShardedServiceServer
 
     counts = sorted({max(1, int(value)) for value in workers} | {1})
+    for mode in shard_modes:
+        if mode not in ("events", "broadcast"):
+            raise BenchmarkError(f"unknown shard mode {mode!r}")
     label_count = max(subscribers, 1)
     document = build_multiquery_document(
         label_count=label_count, records=records, seed=seed
@@ -602,12 +622,14 @@ def run_service_sharded_scaling(
     queries = multiquery_mix("disjoint", label_count, label_count=label_count)
     expected = _expected_disjoint_solutions(document, subscribers, label_count)
 
-    async def _run_one(worker_count: int) -> Dict[str, object]:
+    async def _run_one(worker_count: int, mode: str) -> Dict[str, object]:
         loop = asyncio.get_running_loop()
         if worker_count <= 1:
             server = ServiceServer(parser=parser)
         else:
-            server = ShardedServiceServer(workers=worker_count, parser=parser)
+            server = ShardedServiceServer(
+                workers=worker_count, shard_mode=mode, parser=parser
+            )
         await server.start(port=0)
         host, port = server.address
         clients: List[ServiceConnection] = []
@@ -657,6 +679,7 @@ def run_service_sharded_scaling(
         )
         return {
             "workers": worker_count,
+            "mode": "single" if worker_count <= 1 else mode,
             "subscribers": subscribers,
             "doc_mb": round(doc_mb, 3),
             "chunks": len(chunks),
@@ -673,7 +696,18 @@ def run_service_sharded_scaling(
 
     rows: List[Dict[str, object]] = []
     for count in counts:
-        rows.append(asyncio.run(_run_one(count)))
+        modes = ("single",) if count <= 1 else tuple(shard_modes)
+        for mode in modes:
+            before = os.times()
+            row = asyncio.run(_run_one(count, mode))
+            after = os.times()
+            # user + system of this process plus its reaped worker children
+            # (server.close() waits on every worker before _run_one returns).
+            total_cpu = sum(after[i] - before[i] for i in range(4))
+            row["total_cpu_s"] = round(total_cpu, 3)
+            solutions = int(row["solutions"]) or 1
+            row["cpu_ms_per_solution"] = round(total_cpu * 1000 / solutions, 3)
+            rows.append(row)
     baseline_wall = float(rows[0]["wall_s"]) or 1e-9
     for row in rows:
         row["speedup"] = round(baseline_wall / max(float(row["wall_s"]), 1e-9), 2)

@@ -23,6 +23,7 @@ import argparse
 import asyncio
 import inspect
 import json
+import os
 import re
 import signal
 import sys
@@ -180,11 +181,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--workers",
-        type=int,
-        default=1,
+        default="1",
         metavar="N",
-        help="shard subscriptions across N worker processes (default 1: "
-        "single-process server, byte-identical protocol)",
+        help="shard subscriptions across N worker processes, or 'auto' for "
+        "one per CPU core (default 1: single-process server, byte-identical "
+        "protocol)",
+    )
+    serve_parser.add_argument(
+        "--shard-mode",
+        choices=("auto", "events", "broadcast"),
+        default="auto",
+        help="how the front feeds its workers: 'events' parses each document "
+        "once and ships binary event frames (worker protocol v2), "
+        "'broadcast' ships raw XML for every worker to re-parse (v1), "
+        "'auto' negotiates events when the whole pool supports it (default)",
     )
 
     resume_parser = subparsers.add_parser(
@@ -233,11 +243,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resume_parser.add_argument(
         "--workers",
-        type=int,
-        default=1,
+        default="1",
         metavar="N",
-        help="shard the restored subscriptions across N worker processes "
-        "(mid-document checkpoints need N = the count that wrote them)",
+        help="shard the restored subscriptions across N worker processes, or "
+        "'auto' for one per CPU core (mid-document checkpoints need N = the "
+        "count that wrote them)",
+    )
+    resume_parser.add_argument(
+        "--shard-mode",
+        choices=("auto", "events", "broadcast"),
+        default="auto",
+        help="worker feed strategy (see 'vitex serve --help'); checkpoints "
+        "taken mid-document in events mode must be resumed with 'auto' or "
+        "'events'",
     )
 
     checkpoint_parser = subparsers.add_parser(
@@ -522,10 +540,30 @@ def _command_resume(args: argparse.Namespace) -> int:
 def _serve_main(args: argparse.Namespace, restore_path: Optional[str]) -> int:
     from .service.server import DEFAULT_OUTBOX_LIMIT, ServiceServer
 
-    workers = getattr(args, "workers", 1)
+    workers_arg = getattr(args, "workers", 1)
+    shard_mode = getattr(args, "shard_mode", "auto")
+    if isinstance(workers_arg, str) and workers_arg.strip().lower() == "auto":
+        workers = os.cpu_count() or 1
+    else:
+        try:
+            workers = int(workers_arg)
+        except (TypeError, ValueError):
+            print(
+                f"error: --workers must be an integer or 'auto', "
+                f"got {workers_arg!r}",
+                file=sys.stderr,
+            )
+            return 1
     if workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 1
+    cores = os.cpu_count()
+    if cores is not None and workers > cores:
+        print(
+            f"warning: --workers {workers} exceeds the {cores} available "
+            f"CPU core(s); worker processes will contend for cores",
+            file=sys.stderr,
+        )
     outbox_limit = (
         DEFAULT_OUTBOX_LIMIT if args.outbox_limit is None else args.outbox_limit
     )
@@ -552,10 +590,14 @@ def _serve_main(args: argparse.Namespace, restore_path: Optional[str]) -> int:
             checkpoint_path=checkpoint_path,
             checkpoint_interval=args.checkpoint_interval,
         )
-        if workers > 1:
+        if workers > 1 or shard_mode == "events":
             from .service.sharding import ShardedServiceServer
 
-            server = ShardedServiceServer(workers=workers, **server_kwargs)
+            # An explicit --shard-mode events forces the sharded front even
+            # at --workers 1 (parse-once over one worker pipe).
+            server = ShardedServiceServer(
+                workers=workers, shard_mode=shard_mode, **server_kwargs
+            )
         else:
             # ``--workers 1`` is the plain single-process server: byte-
             # identical protocol, no worker pipes in the path.

@@ -47,7 +47,7 @@ from ..xmlstream.tokenizer import (
 )
 from .machine import TwigMachine
 from .results import NodeRef, ResultCollector, Solution, SolutionKind
-from .stack import StackEntry
+from .stack import acquire_entry
 from .statistics import EngineStatistics
 from .transitions import (
     _resolve_attributes,
@@ -309,11 +309,11 @@ def _fused_pure_scan(
                             continue
                     if node_ref is None:
                         node_ref = NodeRef(order, name, level, line)
-                    entry = StackEntry(
-                        level=level,
-                        element=node_ref,
-                        string_parts=[] if machine_node.needs_string_value else None,
-                        direct_parts=[] if machine_node.needs_direct_text else None,
+                    entry = acquire_entry(
+                        level,
+                        node_ref,
+                        [] if machine_node.needs_string_value else None,
+                        [] if machine_node.needs_direct_text else None,
                     )
                     attribute_work = (
                         machine_node.attribute_predicates

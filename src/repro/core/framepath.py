@@ -1,0 +1,385 @@
+"""Fused event-frame driver: wire bytes to TwigM transitions directly.
+
+The generic protocol-v2 worker path materialises one NamedTuple per
+decoded record (:meth:`EventFrameDecoder.decode`) and dispatches each
+through :meth:`MultiQueryEvaluator.push`.  Both halves are loops over the
+same 48k-records-per-document stream, and together the tuple
+construction, the per-event ``push`` call and the per-event ``emitted``
+list cost more than the parse they replaced — which would defeat the
+point of parse-once sharding.
+
+:func:`fused_frame_feed` fuses the two loops: it walks the binary frame
+with the same inlined varint/string reads as the decoder and calls the
+scalar transition functions straight off the wire fields, exactly like
+:class:`~repro.core.fastpath.FusedExpatMultiDriver` does from expat
+callbacks.  The dominant record kinds (start, end, characters) never
+become objects at all; rare kinds (document boundaries, comments, PIs)
+are materialised and routed through :meth:`MultiQueryEvaluator.push`
+so their every-machine fan-out semantics stay in one place.
+
+Exactness contract: for any frame, ``fused_frame_feed(engine, decoder,
+frame)`` must leave the engine, the decoder and the delivered pairs in
+the same state as ``[engine.push(e) for e in decoder.decode(frame)]``
+— including the global element pre-order, per-runtime ``_element_order``
+/ ``_started`` scalars, statistics counters and error classes.  The
+events-vs-broadcast parity suite (``tests/service/test_events_mode.py``)
+is the tripwire.  Subscription evaluators never enable fragment capture
+(:meth:`MultiQueryEvaluator.register` does not expose it), so the
+``capture_fragments`` branches of :meth:`TwigMEvaluator.feed` have no
+fused counterpart.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..xmlstream.eventcodec import (
+    _FRAME_MAGIC,
+    _T_CHARACTERS,
+    _T_COMMENT,
+    _T_END_DOCUMENT,
+    _T_END_ELEMENT,
+    _T_PROCESSING_INSTRUCTION,
+    _T_START_DOCUMENT,
+    _T_START_ELEMENT,
+    EventCodecError,
+    EventFrameDecoder,
+    _read_varint,
+)
+from ..xmlstream.events import (
+    Comment,
+    EndDocument,
+    ProcessingInstruction,
+    StartDocument,
+)
+from .results import Match
+from .transitions import (
+    process_characters,
+    process_end_element,
+    process_start_element,
+)
+
+__all__ = ["fused_frame_feed"]
+
+
+def fused_frame_feed(
+    engine, decoder: EventFrameDecoder, frame: bytes
+) -> List[Match]:
+    """Feed one binary event frame through ``engine``'s dispatch index.
+
+    ``decoder`` carries the per-document codec state (interned name table,
+    last position) across frames; this function reads and advances it in
+    place.  Returns the :class:`Match` pairs the frame completed, grouped
+    exactly as :meth:`MultiQueryEvaluator.push` would group them.
+
+    Raises :class:`EventCodecError` on any malformed frame; transitions
+    applied before the error stick (the caller aborts the session, same
+    as a generic feed that raises mid-run).
+    """
+    if not frame or frame[0] != _FRAME_MAGIC:
+        raise EventCodecError("not an event frame (bad magic byte)")
+    count, offset = _read_varint(frame, 1)
+    names = decoder._names
+    last = decoder._last_position
+    length = len(frame)
+    index = engine._index
+    dispatch = index.dispatch
+    # Registration only changes between frames (the worker loop is
+    # single-threaded), so one refresh per frame matches per-event calls.
+    text_runtimes = index.text_runtimes()
+    pairs: List[Match] = []
+    try:
+        for _ in range(count):
+            code = frame[offset]
+            offset += 1
+            negative = False
+            back = 0
+            if code == 0x7F:
+                negative = True
+                back, offset = _read_varint(frame, offset)
+                code = frame[offset]
+                offset += 1
+            byte = frame[offset]
+            if byte < 0x80:
+                delta = byte
+                offset += 1
+            else:
+                delta, offset = _read_varint(frame, offset)
+            position = last - back if negative else last + delta
+            last = position
+            if code == _T_START_ELEMENT:
+                byte = frame[offset]
+                if byte < 0x80:
+                    name_index = byte
+                    offset += 1
+                else:
+                    name_index, offset = _read_varint(frame, offset)
+                if name_index:
+                    if name_index > len(names):
+                        raise EventCodecError(
+                            f"corrupt frame: name reference {name_index} "
+                            f"past table of {len(names)} entries"
+                        )
+                    name = names[name_index - 1]
+                else:
+                    byte = frame[offset]
+                    if byte < 0x80:
+                        text_len = byte
+                        offset += 1
+                    else:
+                        text_len, offset = _read_varint(frame, offset)
+                    end = offset + text_len
+                    if end > length:
+                        raise EventCodecError(
+                            "truncated frame: string runs past the end"
+                        )
+                    name = frame[offset:end].decode("utf-8")
+                    offset = end
+                    names.append(name)
+                byte = frame[offset]
+                if byte < 0x80:
+                    level = byte
+                    offset += 1
+                else:
+                    level, offset = _read_varint(frame, offset)
+                byte = frame[offset]
+                if byte < 0x80:
+                    attr_count = byte
+                    offset += 1
+                else:
+                    attr_count, offset = _read_varint(frame, offset)
+                attributes = []
+                for _ in range(attr_count):
+                    byte = frame[offset]
+                    if byte < 0x80:
+                        name_index = byte
+                        offset += 1
+                    else:
+                        name_index, offset = _read_varint(frame, offset)
+                    if name_index:
+                        if name_index > len(names):
+                            raise EventCodecError(
+                                f"corrupt frame: name reference {name_index} "
+                                f"past table of {len(names)} entries"
+                            )
+                        attr_name = names[name_index - 1]
+                    else:
+                        byte = frame[offset]
+                        if byte < 0x80:
+                            text_len = byte
+                            offset += 1
+                        else:
+                            text_len, offset = _read_varint(frame, offset)
+                        end = offset + text_len
+                        if end > length:
+                            raise EventCodecError(
+                                "truncated frame: string runs past the end"
+                            )
+                        attr_name = frame[offset:end].decode("utf-8")
+                        offset = end
+                        names.append(attr_name)
+                    byte = frame[offset]
+                    if byte < 0x80:
+                        text_len = byte
+                        offset += 1
+                    else:
+                        text_len, offset = _read_varint(frame, offset)
+                    end = offset + text_len
+                    if end > length:
+                        raise EventCodecError(
+                            "truncated frame: string runs past the end"
+                        )
+                    attributes.append(
+                        (attr_name, frame[offset:end].decode("utf-8"))
+                    )
+                    offset = end
+                byte = frame[offset]
+                if byte < 0x80:
+                    raw_line = byte
+                    offset += 1
+                else:
+                    raw_line, offset = _read_varint(frame, offset)
+                # ---- inline MultiQueryEvaluator.push StartElement ----
+                engine._started = True
+                order = engine._element_order
+                engine._element_order = order + 1
+                runtimes = dispatch(name)
+                if runtimes:
+                    attribute_pairs = tuple(attributes)
+                    line = None if raw_line == 0 else raw_line - 1
+                    for runtime in runtimes:
+                        statistics = runtime.statistics
+                        if statistics is not None:
+                            statistics.events += 1
+                        evaluator = runtime.evaluator
+                        evaluator._started = True
+                        evaluator._element_order = order + 1
+                        process_start_element(
+                            runtime.machine,
+                            name,
+                            level,
+                            attribute_pairs,
+                            line,
+                            order,
+                            statistics,
+                        )
+            elif code == _T_END_ELEMENT:
+                byte = frame[offset]
+                if byte < 0x80:
+                    name_index = byte
+                    offset += 1
+                else:
+                    name_index, offset = _read_varint(frame, offset)
+                if name_index:
+                    if name_index > len(names):
+                        raise EventCodecError(
+                            f"corrupt frame: name reference {name_index} "
+                            f"past table of {len(names)} entries"
+                        )
+                    name = names[name_index - 1]
+                else:
+                    byte = frame[offset]
+                    if byte < 0x80:
+                        text_len = byte
+                        offset += 1
+                    else:
+                        text_len, offset = _read_varint(frame, offset)
+                    end = offset + text_len
+                    if end > length:
+                        raise EventCodecError(
+                            "truncated frame: string runs past the end"
+                        )
+                    name = frame[offset:end].decode("utf-8")
+                    offset = end
+                    names.append(name)
+                byte = frame[offset]
+                if byte < 0x80:
+                    level = byte
+                    offset += 1
+                else:
+                    level, offset = _read_varint(frame, offset)
+                byte = frame[offset]
+                if byte < 0x80:
+                    offset += 1
+                else:
+                    _, offset = _read_varint(frame, offset)  # line: unused
+                # ---- inline MultiQueryEvaluator.push EndElement ----
+                engine._started = True
+                for runtime in dispatch(name):
+                    statistics = runtime.statistics
+                    if statistics is not None:
+                        statistics.events += 1
+                    solutions = process_end_element(
+                        runtime.machine,
+                        name,
+                        level,
+                        statistics,
+                        runtime.collector,
+                        eager_emission=runtime.eager,
+                    )
+                    if solutions:
+                        runtime.deliver(solutions, pairs)
+            elif code == _T_CHARACTERS:
+                byte = frame[offset]
+                if byte < 0x80:
+                    text_len = byte
+                    offset += 1
+                else:
+                    text_len, offset = _read_varint(frame, offset)
+                end = offset + text_len
+                if end > length:
+                    raise EventCodecError(
+                        "truncated frame: string runs past the end"
+                    )
+                text = frame[offset:end].decode("utf-8")
+                offset = end
+                byte = frame[offset]
+                if byte < 0x80:
+                    level = byte
+                    offset += 1
+                else:
+                    level, offset = _read_varint(frame, offset)
+                # ---- inline MultiQueryEvaluator.push Characters ----
+                for runtime in text_runtimes:
+                    statistics = runtime.statistics
+                    if statistics is not None:
+                        statistics.events += 1
+                    process_characters(runtime.machine, text, level, statistics)
+            elif code == _T_COMMENT:
+                byte = frame[offset]
+                if byte < 0x80:
+                    text_len = byte
+                    offset += 1
+                else:
+                    text_len, offset = _read_varint(frame, offset)
+                end = offset + text_len
+                if end > length:
+                    raise EventCodecError(
+                        "truncated frame: string runs past the end"
+                    )
+                text = frame[offset:end].decode("utf-8")
+                offset = end
+                byte = frame[offset]
+                if byte < 0x80:
+                    level = byte
+                    offset += 1
+                else:
+                    level, offset = _read_varint(frame, offset)
+                pairs.extend(engine.push(Comment(position, text, level)))
+            elif code == _T_PROCESSING_INSTRUCTION:
+                byte = frame[offset]
+                if byte < 0x80:
+                    text_len = byte
+                    offset += 1
+                else:
+                    text_len, offset = _read_varint(frame, offset)
+                end = offset + text_len
+                if end > length:
+                    raise EventCodecError(
+                        "truncated frame: string runs past the end"
+                    )
+                target = frame[offset:end].decode("utf-8")
+                offset = end
+                byte = frame[offset]
+                if byte < 0x80:
+                    text_len = byte
+                    offset += 1
+                else:
+                    text_len, offset = _read_varint(frame, offset)
+                end = offset + text_len
+                if end > length:
+                    raise EventCodecError(
+                        "truncated frame: string runs past the end"
+                    )
+                data = frame[offset:end].decode("utf-8")
+                offset = end
+                byte = frame[offset]
+                if byte < 0x80:
+                    level = byte
+                    offset += 1
+                else:
+                    level, offset = _read_varint(frame, offset)
+                pairs.extend(
+                    engine.push(
+                        ProcessingInstruction(position, target, data, level)
+                    )
+                )
+            elif code == _T_START_DOCUMENT:
+                pairs.extend(engine.push(StartDocument(position)))
+            elif code == _T_END_DOCUMENT:
+                pairs.extend(engine.push(EndDocument(position)))
+            else:
+                raise EventCodecError(f"corrupt frame: unknown type code {code}")
+    except IndexError:
+        raise EventCodecError(
+            "truncated frame: event record runs past the end"
+        ) from None
+    except UnicodeDecodeError as exc:
+        raise EventCodecError(f"corrupt frame: invalid UTF-8 ({exc})") from exc
+    if offset != length:
+        raise EventCodecError(
+            f"corrupt frame: {length - offset} trailing bytes after "
+            f"the last record"
+        )
+    decoder._last_position = last
+    return pairs

@@ -69,7 +69,21 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # deferred at runtime: session.py imports this module
+    from .session import EventStreamSession
 
 from ..errors import EngineError
 from ..xmlstream.events import (
@@ -379,6 +393,21 @@ class MultiQueryEvaluator:
 
         return StreamSession(self, parser=parser, encoding=encoding, resumable=resumable)
 
+    def event_session(self) -> "EventStreamSession":
+        """Open a push-mode session over *pre-parsed events*.
+
+        The parse-once counterpart of :meth:`session`: callers that already
+        hold decoded :class:`~repro.xmlstream.events` objects (a sharded
+        worker receiving protocol-v2 binary event frames, a replayed event
+        log) push them with ``feed_events`` and receive the completed
+        ``(name, solution)`` pairs — no tokenizer or expat instance exists
+        in this process.  See
+        :class:`~repro.core.session.EventStreamSession`.
+        """
+        from .session import EventStreamSession  # deferred: session imports us
+
+        return EventStreamSession(self)
+
     # ------------------------------------------------------------ checkpoint
 
     def snapshot(self) -> Dict:
@@ -413,7 +442,7 @@ class MultiQueryEvaluator:
         """
         from ..errors import CheckpointError
         from .checkpoint import restore_engine_into, validate_snapshot
-        from .session import StreamSession
+        from .session import EVENTS_PARSER, EventStreamSession, StreamSession
 
         validate_snapshot(snapshot)
         try:
@@ -428,6 +457,8 @@ class MultiQueryEvaluator:
         if session_state is None:
             return None
         try:
+            if session_state.get("parser") == EVENTS_PARSER:
+                return EventStreamSession._from_snapshot(self, session_state)
             return StreamSession._from_snapshot(self, session_state)
         except Exception as exc:
             # Leave the engine as it was before restore_session: empty.

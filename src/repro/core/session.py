@@ -50,11 +50,13 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Union
 
 from ..errors import CheckpointError, EngineError
+from ..xmlstream.eventcodec import EventFrameDecoder
 from ..xmlstream.reader import IncrementalByteDecoder
 from ..xmlstream.sax import PARSER_BACKENDS
 from ..xmlstream.tokenizer import StreamTokenizer
 from .checkpoint import decode_spool, encode_spool, engine_state, make_snapshot
 from .fastpath import FusedExpatMultiDriver
+from .framepath import fused_frame_feed
 from .results import Match
 
 
@@ -305,13 +307,188 @@ class StreamSession:
         self._aborted_elements = self.element_count
         self._failed = True
         self._finished = True
-        engine = self._engine
-        for runtime in engine._index.runtimes:
-            runtime.evaluator.reset()
-            runtime.sync()
-        engine._element_order = 0
-        engine._started = False
-        engine._finished = False
+        _reset_engine_after_abort(self._engine)
 
 
-__all__ = ["StreamSession"]
+def _reset_engine_after_abort(engine) -> None:
+    """Tear live machine state back down after an aborted document."""
+    for runtime in engine._index.runtimes:
+        runtime.evaluator.reset()
+        runtime.sync()
+    engine._element_order = 0
+    engine._started = False
+    engine._finished = False
+
+
+#: Parser label recorded in snapshots taken from an event session; distinct
+#: from every entry in ``PARSER_BACKENDS`` so restore can dispatch on it.
+EVENTS_PARSER = "events"
+
+
+class EventStreamSession:
+    """One push-mode document over *pre-parsed events* (no parser at all).
+
+    This is the worker-side half of parse-once sharding (worker-pipe
+    protocol v2): the front process tokenizes the document exactly once,
+    ships binary event frames, and each worker decodes them and pushes the
+    events straight into :meth:`MultiQueryEvaluator.push` — the dispatch
+    index runs with no tokenizer, no decoder and no expat instance.
+
+    The session mirrors :class:`StreamSession` semantics exactly —
+    document-global pre-order (the engine injects ``_element_order`` per
+    start tag), abort-on-error machine reset, eof validation via the
+    stream ends the producer emits — so a worker matching
+    from events is push-identical to one parsing raw XML.  It is also the
+    reason v2 checkpoint shards shrink: there is no parser carry-over to
+    spool, so ``snapshot()`` embeds engine state only, and a restored
+    session is simply a fresh shell over the restored engine (the front
+    re-synchronises the frame codec at the same stream boundary).
+
+    Create via :meth:`MultiQueryEvaluator.event_session`.
+    """
+
+    parser = EVENTS_PARSER
+
+    def __init__(self, engine) -> None:
+        self._engine = engine
+        self._finished = False
+        self._failed = False
+        self._aborted_elements = 0
+        # Lazy per-document frame-codec state for feed_frame(); stays None
+        # for producers that decode frames themselves and use feed_events.
+        self._decoder = None
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def engine(self):
+        """The :class:`MultiQueryEvaluator` this session drives."""
+        return self._engine
+
+    @property
+    def finished(self) -> bool:
+        """True once :meth:`finish` completed (or the session failed)."""
+        return self._finished
+
+    @property
+    def failed(self) -> bool:
+        """True when a feed raised (or the producer aborted) and the
+        session was torn down."""
+        return self._failed
+
+    @property
+    def element_count(self) -> int:
+        """Start elements pushed so far (the global element pre-order)."""
+        if self._failed:
+            return self._aborted_elements
+        return self._engine._element_order
+
+    def feed_events(self, events) -> List[Match]:
+        """Push a run of decoded events; return the pairs they completed."""
+        self._check_open()
+        push = self._engine.push
+        pairs: List[Match] = []
+        try:
+            for event in events:
+                emitted = push(event)
+                if emitted:
+                    pairs.extend(emitted)
+        except Exception:
+            self.abort()
+            raise
+        return pairs
+
+    def feed_frame(self, frame: bytes) -> List[Match]:
+        """Push one *binary event frame* (the protocol-v2 wire unit).
+
+        Equivalent to ``feed_events(decoder.decode(frame))`` with the
+        session owning the decoder, but fused: the frame's records drive
+        the TwigM transitions straight off the wire bytes with no event
+        objects in between (:func:`~repro.core.framepath.fused_frame_feed`).
+        Frames must arrive in production order from one
+        :class:`~repro.xmlstream.eventcodec.EventFrameEncoder`; the
+        session's codec state resets with the session, which is why a
+        restored session pairs with a fresh front-side encoder.
+        """
+        self._check_open()
+        decoder = self._decoder
+        if decoder is None:
+            decoder = self._decoder = EventFrameDecoder()
+        try:
+            return fused_frame_feed(self._engine, decoder, frame)
+        except Exception:
+            self.abort()
+            raise
+
+    def finish(self) -> List[Match]:
+        """Declare end of the event stream.
+
+        The producer's trailing events (including ``EndDocument``, which
+        validates machine-stack emptiness) arrive through
+        :meth:`feed_events` before this call, so there are never trailing
+        pairs here — the method exists to flip the engine into its
+        finished state with the same contract as
+        :meth:`StreamSession.finish`.
+        """
+        self._check_open()
+        self._finished = True
+        self._engine._finished = True
+        return []
+
+    def abort(self) -> None:
+        """Tear the session down after a producer-side failure.
+
+        In events mode parse errors happen in the *front* process; the
+        worker is told to abort and must reset every machine exactly like a
+        local parse error would (:meth:`StreamSession._abort`).
+        """
+        if self._failed:
+            return
+        self._aborted_elements = self.element_count
+        self._failed = True
+        self._finished = True
+        _reset_engine_after_abort(self._engine)
+
+    # ------------------------------------------------------------ snapshot
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Engine state + the ``events`` parser marker; no parse carry-over.
+
+        Compare :meth:`StreamSession.snapshot`: the raw-XML sessions must
+        ship tokenizer tails or a spooled chunk prefix; an event session has
+        neither, which is why v2 checkpoint shards are smaller in events
+        mode.  Restore with ``MultiQueryEvaluator().restore_session(snap)``,
+        which returns a fresh :class:`EventStreamSession` over the restored
+        engine.
+        """
+        if self._failed:
+            raise CheckpointError("cannot snapshot an aborted session")
+        if self._finished:
+            raise CheckpointError(
+                "cannot snapshot a finished session; snapshot the engine instead"
+            )
+        return make_snapshot(engine_state(self._engine), {"parser": self.parser})
+
+    @classmethod
+    def _from_snapshot(cls, engine, state: Dict[str, Any]) -> "EventStreamSession":
+        """Rebuild from snapshot state (engine already restored).
+
+        There is no carry-over to rebuild; the producer restarts its frame
+        codec at the same stream boundary, so a fresh shell is exact.
+        """
+        if state.get("parser") != EVENTS_PARSER:
+            raise CheckpointError(
+                f"not an event-session snapshot: parser={state.get('parser')!r}"
+            )
+        return cls(engine)
+
+    # ------------------------------------------------------------ internals
+
+    def _check_open(self) -> None:
+        if self._failed:
+            raise EngineError("session aborted by an earlier stream error")
+        if self._finished:
+            raise EngineError("session already finished")
+
+
+__all__ = ["EVENTS_PARSER", "EventStreamSession", "StreamSession"]

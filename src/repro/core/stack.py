@@ -118,6 +118,70 @@ class StackEntry:
         return entry
 
 
+#: Upper bound on the recycled-entry free list.  Entries beyond the cap are
+#: simply dropped to the garbage collector; the cap only has to cover the
+#: working set of one document's open path across all machine nodes, and
+#: document depth times machine count rarely approaches it.
+_POOL_MAX = 1024
+
+#: Free list of recycled :class:`StackEntry` objects.  Start/end element
+#: transitions allocate one entry per matching machine node, which makes
+#: ``StackEntry.__init__`` (plus its two container default-factories) a
+#: measurable slice of the per-event cost on match-heavy documents; the
+#: pool replaces allocation with six attribute stores on the hot path.
+_entry_pool: List["StackEntry"] = []
+
+
+def acquire_entry(
+    level: int,
+    element: "NodeRef",
+    string_parts: Optional[List[str]],
+    direct_parts: Optional[List[str]],
+) -> "StackEntry":
+    """Pooled :class:`StackEntry` constructor (hot path).
+
+    A recycled entry comes back with ``satisfied`` and ``candidates``
+    already empty (cleared by :func:`release_entry`), so only the varying
+    fields need stores.
+    """
+    pool = _entry_pool
+    if pool:
+        entry = pool.pop()
+        entry.level = level
+        entry.element = element
+        entry.string_parts = string_parts
+        entry.direct_parts = direct_parts
+        return entry
+    return StackEntry(
+        level=level,
+        element=element,
+        string_parts=string_parts,
+        direct_parts=direct_parts,
+    )
+
+
+def release_entry(entry: "StackEntry") -> None:
+    """Return a popped entry to the pool.
+
+    Only safe for entries that nothing references anymore: the end-element
+    transition pops an entry, propagates its *candidates* (the Solution
+    objects are shared, the containers are not) and then drops it — the
+    one site with that guarantee.  Entries discarded wholesale by an
+    engine reset are left to the garbage collector instead.
+    """
+    pool = _entry_pool
+    if len(pool) >= _POOL_MAX:
+        return
+    if entry.satisfied:
+        entry.satisfied.clear()
+    if entry.candidates:
+        entry.candidates.clear()
+    entry.element = None  # type: ignore[assignment]
+    entry.string_parts = None
+    entry.direct_parts = None
+    pool.append(entry)
+
+
 class MachineStack:
     """The stack owned by one machine node.
 

@@ -36,7 +36,7 @@ from ..errors import StreamStateError
 from ..xpath.ast import Axis, QueryNode, evaluate_formula
 from .machine import MachineNode, TwigMachine
 from .results import NodeRef, ResultCollector, Solution, SolutionKind
-from .stack import StackEntry
+from .stack import StackEntry, acquire_entry, release_entry
 from .statistics import EngineStatistics
 
 _DESCENDANT = Axis.DESCENDANT
@@ -94,11 +94,11 @@ def process_start_element(
                 continue
         if node_ref is None:
             node_ref = NodeRef(order=order, tag=name, level=level, line=line)
-        entry = StackEntry(
-            level=level,
-            element=node_ref,
-            string_parts=[] if machine_node.needs_string_value else None,
-            direct_parts=[] if machine_node.needs_direct_text else None,
+        entry = acquire_entry(
+            level,
+            node_ref,
+            [] if machine_node.needs_string_value else None,
+            [] if machine_node.needs_direct_text else None,
         )
         attribute_work = (
             machine_node.attribute_predicates
@@ -268,6 +268,7 @@ def process_end_element(
             # The match fails its predicates: the entire set of pattern
             # matches that flow through it is pruned here, without ever
             # having been enumerated.
+            release_entry(entry)
             continue
 
         if machine_node.is_output or machine_node.text_output is not None:
@@ -286,6 +287,7 @@ def process_end_element(
                     if statistics is not None:
                         statistics.solutions_distinct += 1
                     new_solutions.append(solution)
+            release_entry(entry)
             continue
 
         # Inlined MachineStack.entries_for_axis.
@@ -308,6 +310,9 @@ def process_end_element(
                 if statistics is not None:
                     statistics.candidates_propagated += added
                     statistics.live_candidates += added
+        # The popped entry's candidates were shared by reference above;
+        # the entry itself is now unreachable and can be recycled.
+        release_entry(entry)
     if popped and statistics is not None:
         # Inlined observe_state: pops can only shrink the live counters, but
         # candidate propagation above can grow live_candidates.

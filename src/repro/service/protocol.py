@@ -71,6 +71,30 @@ it::
 (:data:`SOLUTION_PREFIX` / :data:`SOLUTION_SEP`; see
 :func:`encode_worker_solution` / :func:`split_worker_solution`).  The
 payload after the separator is the exact bytes the client will receive.
+
+Worker-pipe protocol versions
+-----------------------------
+
+The front ↔ worker pipe speaks one of two negotiated protocols:
+
+* **v1 (broadcast)** — every ``feed`` broadcasts the raw XML chunk as a
+  JSON line and each worker parses the whole document itself.
+* **v2 (events)** — the front parses the document exactly once and ships
+  the decoded event stream as **binary event frames**
+  (:mod:`repro.xmlstream.eventcodec`).  On the pipe a binary payload is a
+  header line followed by exactly ``length`` raw bytes::
+
+      #<doc epoch> <length>\\n<length bytes of event-frame payload>
+
+  (:data:`EVENTS_PREFIX`; :func:`encode_event_header` /
+  :func:`parse_event_header`).  Control frames stay JSON lines in both
+  versions; only the document payload changes shape.
+
+Negotiation is one round trip at spawn: the front sends
+``{"cmd": "hello"}`` and the worker replies ``{"type": "hello",
+"protocols": [1, 2], ...}``.  A worker that answers with an error (or
+omits v2 from ``protocols``) is driven with v1 broadcast — the front
+never sends a binary payload to a worker that did not advertise v2.
 """
 
 from __future__ import annotations
@@ -95,6 +119,21 @@ MAX_BATCH_BYTES = MAX_FRAME_BYTES - 4096
 
 #: First byte of a worker → front fast-path solution line.
 SOLUTION_PREFIX = b"!"
+
+#: Worker-pipe protocol v1: raw-XML broadcast, every worker parses.
+PROTOCOL_V1 = 1
+
+#: Worker-pipe protocol v2: parse-once binary event frames.
+PROTOCOL_V2 = 2
+
+#: Every protocol version this code base can speak on the worker pipe,
+#: oldest first; a worker advertises these in its ``hello`` reply.
+WORKER_PROTOCOLS = (PROTOCOL_V1, PROTOCOL_V2)
+
+#: First byte of a front → worker binary event-payload header line.
+#: Never ambiguous: JSON control frames start with ``{`` and raw feed
+#: shorthand lines are full XML documents.
+EVENTS_PREFIX = b"#"
 
 #: Separator between the subscription name and the pre-encoded client
 #: frame in a worker → front solution line (U+001F, unit separator — never
@@ -210,6 +249,31 @@ def split_worker_solution(line: bytes) -> Tuple[str, bytes]:
     return name, line[sep + 1 :]
 
 
+def encode_event_header(doc: int, payload_length: int) -> bytes:
+    """Build the header line announcing a binary event payload (v2).
+
+    Exactly ``payload_length`` raw bytes follow the newline; the receiver
+    reads them without line framing.  ``doc`` is the front's document
+    epoch, letting a worker drop in-flight payloads for an aborted epoch.
+    """
+    return b"#%d %d\n" % (doc, payload_length)
+
+
+def parse_event_header(line: bytes) -> Tuple[int, int]:
+    """Parse a v2 payload header line into ``(doc, payload_length)``.
+
+    The caller has already checked the :data:`EVENTS_PREFIX`.
+    """
+    try:
+        doc_text, length_text = line[1:].split()
+        doc, length = int(doc_text), int(length_text)
+    except ValueError as exc:
+        raise ProtocolError(f"malformed event payload header {line!r}") from exc
+    if doc < 0 or length < 0:
+        raise ProtocolError(f"malformed event payload header {line!r}")
+    return doc, length
+
+
 def solution_to_payload(solution: Solution) -> Dict[str, Any]:
     """Flatten a :class:`Solution` into its JSON wire payload.
 
@@ -236,17 +300,23 @@ def error_frame(message: str, cmd: Optional[str] = None) -> Dict[str, Any]:
 
 
 __all__ = [
+    "EVENTS_PREFIX",
     "MAX_BATCH_BYTES",
     "MAX_FRAME_BYTES",
+    "PROTOCOL_V1",
+    "PROTOCOL_V2",
     "ProtocolError",
     "SOLUTION_PREFIX",
     "SOLUTION_SEP",
+    "WORKER_PROTOCOLS",
     "decode_frame",
     "decode_frames",
     "encode_batch",
+    "encode_event_header",
     "encode_frame",
     "encode_worker_solution",
     "error_frame",
+    "parse_event_header",
     "solution_from_payload",
     "solution_to_payload",
     "split_worker_solution",

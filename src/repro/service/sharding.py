@@ -21,11 +21,23 @@ worker with the fewest distinct fingerprints (≈ fewest machines).  The
 front owns the subscription *namespace* (auto-naming, duplicate detection)
 because per-worker engines cannot see each other's names.
 
-**Feeds broadcast to every worker.**  Each worker parses the whole
+**Feeds broadcast to every worker.**  Each worker consumes the whole
 document, so all workers share one document-global element pre-order and a
 mid-stream ``subscribe`` can land on any worker with correct remainder
 semantics.  Scaling comes from splitting the *matching and serialization*
 work — which dominates at high subscription counts — not the parse.
+
+**Shard modes — parse-once events vs raw-XML broadcast.**  In ``events``
+mode (worker-pipe protocol v2) the front parses each document exactly
+once and broadcasts the decoded event stream as binary frames
+(:mod:`repro.xmlstream.eventcodec`); workers feed the frames straight
+into :class:`~repro.core.session.EventStreamSession`, so total parse CPU
+stays constant as workers are added.  In ``broadcast`` mode (protocol
+v1) the front fans out raw XML text and every worker re-parses it.  The
+mode is negotiated at spawn: each worker answers ``hello`` with the
+protocols it speaks, ``auto`` picks events iff *all* workers offer v2,
+and ``--shard-mode events`` refuses to start otherwise.  Client-visible
+behaviour (pushes, errors, eof frames) is identical in both modes.
 
 **Document epochs.**  Every ``feed``/``finish`` carries the front's
 document epoch.  A parse failure in a worker emits an ``aborted`` push;
@@ -58,12 +70,21 @@ from collections import deque
 from typing import Any, Deque, Dict, List, Optional
 
 from ..core.builder import shared_compiled_cache
-from ..core.checkpoint import snapshot_subscription_sources
+from ..core.checkpoint import (
+    decode_spool,
+    encode_spool,
+    snapshot_subscription_sources,
+)
 from ..errors import CheckpointError, EngineError, ViteXError
+from ..xmlstream.eventcodec import EVENTS_PER_FRAME, EventFrameEncoder
+from ..xmlstream.events import Event, StartElement
 from .protocol import (
+    PROTOCOL_V1,
+    PROTOCOL_V2,
     ProtocolError,
     SOLUTION_PREFIX,
     decode_frame,
+    encode_event_header,
     encode_frame,
     error_frame,
     solution_from_payload,
@@ -266,6 +287,84 @@ class _WorkerHandle:
             self._reader_task = None
 
 
+class _FrontParser:
+    """The parse-once front parser for events shard mode.
+
+    Tokenizes the document exactly once — natively or through expat,
+    matching the server's ``parser`` — and hands the decoded events to the
+    frame encoder.  Keeps the raw chunk spool so a mid-document checkpoint
+    can rebuild parser state by replaying it through a fresh parser (the
+    worker shards themselves are spool-free: an events session snapshot
+    carries no parse state).  ``elements`` counts start tags and is the
+    authoritative document-global element total.
+    """
+
+    __slots__ = ("parser", "elements", "_tokenizer", "_expat", "_spool")
+
+    def __init__(self, parser: str) -> None:
+        self.parser = parser
+        self.elements = 0
+        self._spool: List[str] = []
+        if parser == "expat":
+            from ..xmlstream.expat_backend import ExpatEventSource
+
+            self._expat: Optional[Any] = ExpatEventSource()
+            self._tokenizer = None
+        else:
+            from ..xmlstream.tokenizer import StreamTokenizer
+
+            self._tokenizer = StreamTokenizer()
+            self._expat = None
+
+    def feed(self, chunk: str) -> List[Event]:
+        self._spool.append(chunk)
+        events: List[Event] = []
+        try:
+            if self._tokenizer is not None:
+                for event in self._tokenizer.feed(chunk):
+                    events.append(event)
+            else:
+                events = self._expat.feed(chunk)
+        finally:
+            # Count even on a mid-chunk parse error: the abort accounting
+            # reports how far the document got, like a worker's would.
+            self.elements += sum(
+                1 for event in events if type(event) is StartElement
+            )
+        return events
+
+    def close(self) -> List[Event]:
+        if self._tokenizer is not None:
+            events = list(self._tokenizer.close())
+        else:
+            events = self._expat.close()
+        self.elements += sum(1 for event in events if type(event) is StartElement)
+        return events
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        return {
+            "parser": self.parser,
+            "spool": encode_spool(list(self._spool)),
+            "elements": self.elements,
+        }
+
+    @classmethod
+    def restore(cls, state: Dict[str, Any], parser: str) -> "_FrontParser":
+        """Replay the checkpointed spool once through a fresh parser.
+
+        The replayed events are discarded — the worker shards already hold
+        the matching engine state — but the parser ends up at exactly the
+        checkpointed chunk boundary, ready for the next ``feed``.
+        """
+        front = cls(state.get("parser") or parser)
+        for chunk in decode_spool(state.get("spool") or []):
+            if isinstance(chunk, bytes):
+                chunk = chunk.decode("utf-8")
+            front.feed(chunk)
+        front.elements = state.get("elements", front.elements)
+        return front
+
+
 class ShardedServiceServer(ServiceServer):
     """The front process of the sharded service.
 
@@ -276,11 +375,18 @@ class ShardedServiceServer(ServiceServer):
     one pipe away.
     """
 
-    def __init__(self, workers: int = 2, **kwargs: Any) -> None:
+    def __init__(
+        self, workers: int = 2, shard_mode: str = "auto", **kwargs: Any
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if shard_mode not in ("auto", "events", "broadcast"):
+            raise ValueError("shard_mode must be 'auto', 'events' or 'broadcast'")
         super().__init__(**kwargs)
         self._worker_count = workers
+        #: Requested mode; the *negotiated* mode lives in ``_events_mode``.
+        self.shard_mode = shard_mode
+        self._events_mode = False
         self._workers: List[_WorkerHandle] = []
         self._worker_stats: List[Dict[str, Any]] = []
         #: Serializes writes that must hit every worker in the same order
@@ -299,6 +405,13 @@ class ShardedServiceServer(ServiceServer):
         self._doc_epoch = 0
         self._doc_open = False
         self._feeder = None
+        #: Mode of the *current* document: pinned at its first feed (or at
+        #: a mid-document restore, where it follows the shard session type)
+        #: so a restored raw-XML document keeps streaming over protocol v1
+        #: even when the pool negotiated events mode.
+        self._doc_events: Optional[bool] = None
+        self._front: Optional[_FrontParser] = None
+        self._front_encoder: Optional[EventFrameEncoder] = None
         #: Local subscriptions registered before the workers exist; routed
         #: when :meth:`start` spawns them.
         self._pending_local: List[str] = []
@@ -323,9 +436,48 @@ class ShardedServiceServer(ServiceServer):
                     "elements": 0,
                     "events_per_sec": 0.0,
                     "queue_depth": 0,
+                    "cpu_seconds": 0.0,
+                    "protocol": PROTOCOL_V1,
                 }
             )
         self._shard_load = [0] * self._worker_count
+        await self._negotiate_protocols()
+
+    async def _negotiate_protocols(self) -> None:
+        """Resolve the shard mode against what the workers actually speak.
+
+        Every worker answers ``hello`` with its protocol list; a worker
+        that errors (an older binary) counts as v1-only.  ``auto`` settles
+        on events iff the whole pool offers v2 — a single capped worker
+        silently falls the pool back to raw-XML broadcast, which is always
+        safe because client-visible behaviour is identical.
+        """
+        if self.shard_mode == "broadcast":
+            self._events_mode = False
+            return
+        pool_v2 = True
+        for worker in self._workers:
+            try:
+                reply = await worker.call({"cmd": "hello"})
+            except WorkerError:
+                pool_v2 = False
+                continue
+            protocols = (
+                reply.get("protocols") if reply.get("type") == "hello" else None
+            )
+            supported = isinstance(protocols, list) and PROTOCOL_V2 in protocols
+            if worker.index < len(self._worker_stats):
+                self._worker_stats[worker.index]["protocol"] = (
+                    PROTOCOL_V2 if supported else PROTOCOL_V1
+                )
+            pool_v2 = pool_v2 and supported
+        if self.shard_mode == "events" and not pool_v2:
+            raise ViteXError(
+                "--shard-mode events needs every worker to speak protocol v2; "
+                "at least one only offered v1 (use --shard-mode auto to allow "
+                "falling back to raw-XML broadcast)"
+            )
+        self._events_mode = pool_v2
 
     async def start(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT) -> None:
         await self._ensure_workers()
@@ -374,6 +526,9 @@ class ShardedServiceServer(ServiceServer):
         self._doc_open = False
         self._doc_epoch += 1
         self._feeder = None
+        self._doc_events = None
+        self._front = None
+        self._front_encoder = None
 
     # ------------------------------------------------------------ routing
 
@@ -575,6 +730,11 @@ class ShardedServiceServer(ServiceServer):
         data = frame.get("data")
         if not isinstance(data, str):
             raise ProtocolError("feed needs a 'data' string")
+        if self._doc_events is None:
+            self._doc_events = self._events_mode
+        if self._doc_events:
+            await self._feed_events(connection, data)
+            return
         workers = self._alive_workers()
         if not workers:
             raise ViteXError("no alive workers")
@@ -591,7 +751,128 @@ class ShardedServiceServer(ServiceServer):
             )
         self._busy_seconds += time.perf_counter() - started
 
+    # ------------------------------------------------- events-mode pipeline
+
+    def _encode_event_wire(self, events: List[Event]) -> bytes:
+        """Frame a run of events for broadcast (header + binary payload).
+
+        Long runs split at ``EVENTS_PER_FRAME`` so no single payload grows
+        unboundedly; an empty run still emits one empty frame, so every
+        worker opens its shard session on the document's first feed.
+        """
+        encoder = self._front_encoder
+        assert encoder is not None
+        epoch = self._doc_epoch
+        if not events:
+            payload = encoder.encode(())
+            return encode_event_header(epoch, len(payload)) + payload
+        parts: List[bytes] = []
+        for index in range(0, len(events), EVENTS_PER_FRAME):
+            payload = encoder.encode(events[index : index + EVENTS_PER_FRAME])
+            parts.append(encode_event_header(epoch, len(payload)) + payload)
+        return b"".join(parts)
+
+    def _abort_front_document(self, message: str) -> None:
+        """A front-side parse failure aborts the document front-wide.
+
+        Mirrors :meth:`_on_worker_abort`'s accounting — in events mode the
+        parse error happens *here*, so no ``aborted`` push will ever come
+        back from a worker; instead the front tells every worker to tear
+        its shard down quietly.  The feeder's error frame comes from
+        re-raising the parse error through ``_dispatch``.  Runs under the
+        pipeline lock.
+        """
+        wire = encode_frame({"cmd": "abort", "doc": self._doc_epoch})
+        for worker in self._alive_workers():
+            worker.write(wire)
+        elements = self._front.elements if self._front is not None else 0
+        document = self._documents
+        self._documents += 1
+        self._aborted_documents += 1
+        self._elements_total += elements
+        self._close_epoch()
+        self._broadcast_eof(document, aborted=True, error=message)
+
+    async def _feed_events(self, connection, data: str) -> None:
+        """Parse one chunk once, broadcast the encoded events to the pool."""
+        workers = self._alive_workers()
+        if not workers:
+            raise ViteXError("no alive workers")
+        started = time.perf_counter()
+        async with self._pipeline_lock:
+            self._doc_open = True
+            self._feeder = connection
+            if self._front is None:
+                self._front = _FrontParser(self.parser)
+                self._front_encoder = EventFrameEncoder()
+            try:
+                events = self._front.feed(data)
+            except ViteXError as exc:
+                self._busy_seconds += time.perf_counter() - started
+                self._abort_front_document(str(exc))
+                raise
+            wire = self._encode_event_wire(events)
+            for worker in workers:
+                worker.write(wire)
+            await asyncio.gather(
+                *(worker.drain_stdin() for worker in workers),
+                return_exceptions=True,
+            )
+        self._busy_seconds += time.perf_counter() - started
+
+    async def _finish_events(self, connection, frame) -> None:
+        if not self._doc_open or self._front is None:
+            raise ProtocolError("no document in progress")
+        epoch = self._doc_epoch
+        started = time.perf_counter()
+        async with self._pipeline_lock:
+            workers = self._alive_workers()
+            if not workers:
+                raise ViteXError("no alive workers")
+            try:
+                tail = self._front.close()
+            except ViteXError as exc:
+                self._busy_seconds += time.perf_counter() - started
+                self._abort_front_document(str(exc))
+                raise
+            elements = self._front.elements
+            wire = self._encode_event_wire(tail)
+            futures = []
+            for worker in workers:
+                worker.write(wire)
+                futures.append(worker.request({"cmd": "finish", "doc": epoch}))
+        replies = await asyncio.gather(*futures, return_exceptions=True)
+        self._busy_seconds += time.perf_counter() - started
+        good = [reply for reply in replies if isinstance(reply, dict)]
+        if not good:
+            raise ViteXError("all workers failed during finish")
+        aborted = [reply for reply in good if reply.get("aborted")]
+        if aborted or not self._doc_open or self._doc_epoch != epoch:
+            message = next(
+                (reply["message"] for reply in aborted if reply.get("message")), None
+            )
+            if message:
+                raise ViteXError(message)
+            raise ProtocolError("no document in progress")
+        document = self._documents
+        self._documents += 1
+        # The front's count is authoritative: it parsed the one and only
+        # copy of the document (workers would report the same number).
+        self._elements_total += elements
+        self._close_epoch()
+        self._enqueue(
+            connection,
+            None,
+            encode_frame(
+                {"type": "finished", "document": document, "elements": elements}
+            ),
+        )
+        self._broadcast_eof(document, aborted=False)
+
     async def _cmd_finish(self, connection, frame) -> None:
+        if self._doc_events:
+            await self._finish_events(connection, frame)
+            return
         if not self._doc_open:
             raise ProtocolError("no document in progress")
         epoch = self._doc_epoch
@@ -748,6 +1029,11 @@ class ShardedServiceServer(ServiceServer):
             )
         payload["document_open"] = self._doc_open
         payload["worker_count"] = len(self._workers)
+        payload["shard_mode"] = "events" if self._events_mode else "broadcast"
+        if cached:
+            payload["worker_cpu_seconds"] = round(
+                sum(e.get("cpu_seconds", 0.0) for e in cached), 4
+            )
         return payload
 
     async def _refresh_worker_stats(self) -> None:
@@ -762,7 +1048,13 @@ class ShardedServiceServer(ServiceServer):
                 continue
             if reply.get("type") != "stats":
                 continue
-            for key in ("subscriptions", "machine_count", "elements", "events_per_sec"):
+            for key in (
+                "subscriptions",
+                "machine_count",
+                "elements",
+                "events_per_sec",
+                "cpu_seconds",
+            ):
                 if key in reply:
                     entry[key] = reply[key]
 
@@ -779,6 +1071,11 @@ class ShardedServiceServer(ServiceServer):
         if len(workers) != len(self._workers):
             raise CheckpointError("cannot checkpoint while a worker is down")
         async with self._pipeline_lock:
+            # Captured under the lock so the front parser state and every
+            # worker snapshot sit at the same chunk boundary.
+            front_state = (
+                self._front.snapshot_state() if self._front is not None else None
+            )
             futures = [worker.request({"cmd": "snapshot"}) for worker in workers]
         replies = await asyncio.gather(*futures)
         shards = []
@@ -788,12 +1085,13 @@ class ShardedServiceServer(ServiceServer):
                     reply.get("message", "worker snapshot failed")
                 )
             shards.append(reply["snapshot"])
-        return {
+        payload: Dict[str, Any] = {
             "format": CHECKPOINT_FORMAT,
             "version": CHECKPOINT_VERSION_SHARDED,
             "server": {
                 "parser": self.parser,
                 "workers": len(self._workers),
+                "shard_mode": "events" if self._events_mode else "broadcast",
                 "documents": self._documents,
                 "aborted_documents": self._aborted_documents,
                 "elements_total": self._elements_total,
@@ -813,6 +1111,9 @@ class ShardedServiceServer(ServiceServer):
             },
             "shards": shards,
         }
+        if front_state is not None:
+            payload["front"] = front_state
+        return payload
 
     async def save_checkpoint_async(self, path: Optional[str] = None) -> Dict[str, Any]:
         target = path or self.checkpoint_path
@@ -893,7 +1194,42 @@ class ShardedServiceServer(ServiceServer):
             for shard in shards
         )
         if mid_document:
+            events_doc = any(
+                isinstance(shard, dict)
+                and isinstance(shard.get("session"), dict)
+                and shard["session"].get("parser") == "events"
+                for shard in shards
+            )
+            front_state = payload.get("front")
+            if events_doc:
+                # Validate before touching the workers so a refused restore
+                # leaves them untouched.
+                if not self._events_mode:
+                    raise CheckpointError(
+                        "this checkpoint was taken mid-document in events "
+                        "shard mode; restore it with --shard-mode auto or "
+                        "events (every worker must speak protocol v2)"
+                    )
+                if not isinstance(front_state, dict):
+                    raise CheckpointError(
+                        "events-mode checkpoint is missing the front parser "
+                        "state"
+                    )
             await self._restore_mid_document(shards, sub_meta)
+            if self._doc_open and events_doc:
+                try:
+                    self._front = _FrontParser.restore(front_state, self.parser)
+                except ViteXError as exc:
+                    raise CheckpointError(
+                        f"cannot replay the front parser spool: {exc}"
+                    ) from exc
+                # Fresh codec state on both ends of every pipe: the worker
+                # restore installed fresh decoders, so the interning tables
+                # restart together at this chunk boundary.
+                self._front_encoder = EventFrameEncoder()
+                self._doc_events = True
+            elif self._doc_open:
+                self._doc_events = False
         else:
             await self._restore_redistributed(sub_meta)
         for name, info in sub_meta.items():

@@ -23,9 +23,20 @@ overload is handled by the front's bounded outboxes.
 
 Worker commands (beyond the client-protocol subset)::
 
+    {"cmd": "hello"}                     -> {"type": "hello", "protocols": [1, 2], ...}
+    {"cmd": "abort", "doc": N}           -> (no reply; front-initiated teardown)
     {"cmd": "snapshot"}                  -> {"type": "snapshot", ...}
     {"cmd": "restore", "snapshot": ...}  -> {"type": "restored", ...}
     {"cmd": "drain"}                     -> {"type": "drained"} + exit 0
+
+Protocol v2 (parse-once events mode) adds the binary payload path: a
+``#<doc> <length>`` header line followed by ``length`` raw bytes of
+event-frame payload (:mod:`repro.xmlstream.eventcodec`).  The worker
+decodes the frame and pushes the events through an
+:class:`~repro.core.session.EventStreamSession` — no parser runs in this
+process.  ``abort`` exists because in events mode parse errors happen in
+the *front*: the worker is told to tear the document down instead of
+detecting the failure itself.
 
 Stdin EOF also exits cleanly: if the front dies, its workers follow.
 """
@@ -36,26 +47,36 @@ import argparse
 import os
 import sys
 import time
-from typing import Any, BinaryIO, Dict, List, Optional, Tuple
+from typing import Any, BinaryIO, Dict, List, Optional, Tuple, Union
 
 from ..core.multi import MultiQueryEvaluator
 from ..core.results import Solution
-from ..core.session import StreamSession
+from ..core.session import EventStreamSession, StreamSession
 from .protocol import (
+    EVENTS_PREFIX,
+    PROTOCOL_V2,
+    WORKER_PROTOCOLS,
     decode_frame,
     encode_frame,
     encode_worker_solution,
+    parse_event_header,
     solution_to_payload,
 )
+
+#: Environment override capping the highest protocol version a worker
+#: advertises — the test hook proving the front's v1 fallback against a
+#: worker that pretends not to know v2.
+MAX_PROTOCOL_ENV = "VITEX_WORKER_MAX_PROTOCOL"
 
 
 class ShardWorker:
     """The worker-side loop: engine state plus the pipe protocol."""
 
-    def __init__(self, parser: str = "native") -> None:
+    def __init__(self, parser: str = "native", max_protocol: int = PROTOCOL_V2) -> None:
         self.parser = parser
+        self.protocols = [v for v in WORKER_PROTOCOLS if v <= max_protocol]
         self._engine = MultiQueryEvaluator(collect_statistics=False)
-        self._session: Optional[StreamSession] = None
+        self._session: Optional[Union[StreamSession, EventStreamSession]] = None
         #: Document epoch poisoned by a parse failure; feeds carrying it
         #: are in-flight stragglers and are dropped without a sound.
         self._failed_doc: Optional[int] = None
@@ -75,6 +96,22 @@ class ShardWorker:
                 line = stdin.readline()
                 if not line:
                     break
+                if line.startswith(EVENTS_PREFIX):
+                    # v2 binary event payload: header line + raw bytes.
+                    try:
+                        doc, length = parse_event_header(line)
+                    except Exception as exc:
+                        self._write(
+                            {"type": "error", "message": f"bad worker frame: {exc}"}
+                        )
+                        stdout.flush()
+                        continue
+                    payload = stdin.read(length)
+                    if payload is None or len(payload) < length:
+                        break  # front died mid-payload; follow it down
+                    self._feed_events(doc, payload)
+                    stdout.flush()
+                    continue
                 if not line.strip():
                     continue
                 if not self._handle_line(line):
@@ -96,6 +133,10 @@ class ShardWorker:
         keep_going = True
         if cmd == "feed":
             self._feed(frame)
+        elif cmd == "abort":
+            # Fire-and-forget like feed: the front already accounted for
+            # the abort (it initiated it); a reply would desync the FIFO.
+            self._cmd_abort(frame)
         else:
             try:
                 if cmd == "subscribe":
@@ -108,6 +149,13 @@ class ShardWorker:
                     reply = self.stats()
                 elif cmd == "ping":
                     reply = {"type": "pong"}
+                elif cmd == "hello":
+                    reply = {
+                        "type": "hello",
+                        "pid": os.getpid(),
+                        "parser": self.parser,
+                        "protocols": self.protocols,
+                    }
                 elif cmd == "snapshot":
                     reply = self._cmd_snapshot(frame)
                 elif cmd == "restore":
@@ -162,6 +210,51 @@ class ShardWorker:
         if pairs:
             self._emit(pairs)
 
+    def _feed_events(self, doc: int, payload: bytes) -> None:
+        """Protocol v2 feed: push one binary frame through the session.
+
+        Fire-and-forget like a v1 ``feed``; decode or dispatch failures
+        surface as an ``aborted`` push exactly like a local parse error
+        (they indicate a corrupt pipe or an engine bug, both fatal to the
+        document but contained to it).  The session owns the frame codec
+        and drives the fused decode-into-transitions path, so no event
+        objects are materialised for the dominant record kinds.
+        """
+        if doc == self._failed_doc:
+            return  # in-flight payload for an epoch the abort already killed
+        if self._session is None:
+            self._session = self._engine.event_session()
+        started = time.perf_counter()
+        try:
+            pairs = self._session.feed_frame(payload)  # type: ignore[union-attr]
+        except Exception as exc:
+            self._busy_seconds += time.perf_counter() - started
+            self._abort(doc, str(exc), origin="feed")
+            return
+        self._busy_seconds += time.perf_counter() - started
+        if pairs:
+            self._emit(pairs)
+
+    def _cmd_abort(self, frame: Dict[str, Any]) -> None:
+        """Front-initiated document teardown (events mode parse failure).
+
+        Quiet by design: no ``aborted`` push travels back — the front
+        already did its abort accounting before sending this command; the
+        worker only has to reach the same clean state a local abort would.
+        """
+        doc = frame.get("doc", 0)
+        session = self._session
+        if session is not None:
+            elements = session.element_count
+            if not session.failed:
+                if isinstance(session, EventStreamSession):
+                    session.abort()
+                else:
+                    session._abort()
+            self._elements_total += elements
+            self._session = None
+        self._failed_doc = doc
+
     def _cmd_finish(self, frame: Dict[str, Any]) -> Dict[str, Any]:
         doc = frame.get("doc", 0)
         if doc == self._failed_doc or self._session is None:
@@ -194,7 +287,16 @@ class ShardWorker:
 
     def _abort(self, doc: int, message: str, origin: str) -> int:
         """Tear the document down and push ``aborted``; returns elements."""
-        elements = self._session.element_count if self._session is not None else 0
+        session = self._session
+        elements = session.element_count if session is not None else 0
+        if session is not None and not session.failed:
+            # Raw-XML sessions abort themselves inside feed/finish; an
+            # events-mode *decode* failure happens outside the session, so
+            # reset the engine here before the next document.
+            if isinstance(session, EventStreamSession):
+                session.abort()
+            else:
+                session._abort()
         self._elements_total += elements
         self._session = None
         self._failed_doc = doc
@@ -228,6 +330,9 @@ class ShardWorker:
         old = self._engine
         self._engine = engine
         self._session = session
+        # An events-mode restore continues mid-document with a fresh codec
+        # pair: the restored session starts a fresh decoder and the front
+        # resets its encoder at the same stream boundary.
         old.close()
         return {
             "type": "restored",
@@ -240,6 +345,7 @@ class ShardWorker:
         if self._session is not None:
             elements += self._session.element_count
         busy = self._busy_seconds
+        times = os.times()
         return {
             "type": "stats",
             "pid": os.getpid(),
@@ -251,6 +357,9 @@ class ShardWorker:
             "elements": elements,
             "events_per_sec": round(elements / busy, 1) if busy > 0 else 0.0,
             "solutions": self._solutions_total,
+            # This process's total CPU (user+system): the honest cost of
+            # re-parsing under v1 broadcast vs decoding under v2 events.
+            "cpu_seconds": round(times.user + times.system, 4),
         }
 
     # ------------------------------------------------------------ solutions
@@ -284,8 +393,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="ViteX shard worker (spawned by the sharded service).",
     )
     parser.add_argument("--parser", default="native", help="XML parser backend")
+    parser.add_argument(
+        "--max-protocol",
+        type=int,
+        default=int(os.environ.get(MAX_PROTOCOL_ENV, str(PROTOCOL_V2))),
+        help="highest worker-pipe protocol version to advertise",
+    )
     args = parser.parse_args(argv)
-    worker = ShardWorker(parser=args.parser)
+    worker = ShardWorker(parser=args.parser, max_protocol=args.max_protocol)
     return worker.run(sys.stdin.buffer, sys.stdout.buffer)
 
 

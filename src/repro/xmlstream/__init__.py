@@ -22,6 +22,12 @@ from .events import (
     StartElement,
 )
 from .dom import Document, Element, TreeBuilder, build_tree, parse_document
+from .eventcodec import (
+    EVENTS_PER_FRAME,
+    EventCodecError,
+    EventFrameDecoder,
+    EventFrameEncoder,
+)
 from .expat_backend import ExpatEventSource
 from .reader import DEFAULT_CHUNK_SIZE, StreamReader, read_document
 from .sax import PARSER_BACKENDS, event_batches, iter_events
@@ -53,9 +59,13 @@ __all__ = [
     "DepthTracker",
     "Document",
     "Element",
+    "EVENTS_PER_FRAME",
     "EndDocument",
     "EndElement",
     "Event",
+    "EventCodecError",
+    "EventFrameDecoder",
+    "EventFrameEncoder",
     "EventRecorder",
     "EventStatistics",
     "ExpatEventSource",

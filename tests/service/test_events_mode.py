@@ -1,0 +1,414 @@
+"""Parse-once events shard mode: parity, negotiation, aborts, checkpoints.
+
+The acceptance bar of the protocol-v2 work: over the PR5 conformance
+corpus, an events-mode front (workers parse nothing; the front tokenizes
+once and broadcasts binary event frames) must push **the identical
+frames** as the raw-XML broadcast mode — frame-identical at ``workers=1``,
+per-subscription identical at ``workers=2`` — for both the pure and the
+expat parser.  Everything runs real worker subprocesses; nothing is
+mocked.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro.errors import CheckpointError, ViteXError
+from repro.service.client import ServiceConnection
+from repro.service.protocol import PROTOCOL_V1, PROTOCOL_V2
+from repro.service.sharding import ShardedServiceServer
+from repro.service.worker import MAX_PROTOCOL_ENV
+
+
+def _load_parity_harness():
+    path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "api",
+        "test_parity.py",
+    )
+    spec = importlib.util.spec_from_file_location("_parity_harness", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+_parity = _load_parity_harness()
+BACKENDS = _parity.BACKENDS
+CORPUS = _parity.CORPUS
+QUERIES = _parity.QUERIES
+
+TIMEOUT = 10.0
+
+
+def run(coroutine):
+    return asyncio.run(asyncio.wait_for(coroutine, timeout=120))
+
+
+async def _collect_pushes(server, documents):
+    """Drive one subscriber (all QUERIES) + publisher; return stripped pushes."""
+    host, port = server.address
+    subscriber = await ServiceConnection.connect(host, port)
+    publisher = await ServiceConnection.connect(host, port)
+    pushes = []
+    try:
+        for index, query in enumerate(QUERIES):
+            await subscriber.subscribe(query, name=f"q{index}")
+        for document in documents:
+            half = len(document) // 2
+            await publisher.feed(document[:half])
+            await publisher.feed(document[half:])
+            await publisher.finish()
+            while True:
+                frame = await subscriber.next_push(timeout=TIMEOUT)
+                frame.pop("ts", None)
+                pushes.append(frame)
+                if frame["type"] == "eof":
+                    break
+    finally:
+        await subscriber.close()
+        await publisher.close()
+        await server.close()
+    return pushes
+
+
+def _by_subscription(pushes):
+    grouped = {}
+    for frame in pushes:
+        key = frame.get("name") if frame["type"] == "solution" else "__eof__"
+        grouped.setdefault(key, []).append(frame)
+    return grouped
+
+
+async def _start_sharded(backend, workers, shard_mode):
+    server = ShardedServiceServer(
+        workers=workers, shard_mode=shard_mode, parser=backend
+    )
+    await server.start(port=0)
+    return server
+
+
+class TestEventsBroadcastParity:
+    """events mode must be push-identical to raw-XML broadcast."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_one_worker_frame_identical(self, backend):
+        async def scenario():
+            broadcast = await _start_sharded(backend, 1, "broadcast")
+            expected = await _collect_pushes(broadcast, CORPUS)
+
+            events = await _start_sharded(backend, 1, "events")
+            actual = await _collect_pushes(events, CORPUS)
+            assert actual == expected
+
+        run(scenario())
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_two_workers_per_subscription_identical(self, backend):
+        async def scenario():
+            broadcast = await _start_sharded(backend, 2, "broadcast")
+            expected = _by_subscription(await _collect_pushes(broadcast, CORPUS))
+
+            events = await _start_sharded(backend, 2, "events")
+            actual = _by_subscription(await _collect_pushes(events, CORPUS))
+            assert actual == expected
+
+        run(scenario())
+
+
+class TestNegotiation:
+    def test_auto_settles_on_events_with_a_capable_pool(self):
+        async def scenario():
+            server = await _start_sharded("pure", 2, "auto")
+            host, port = server.address
+            client = await ServiceConnection.connect(host, port)
+            try:
+                stats = await client.stats()
+                assert stats["shard_mode"] == "events"
+                assert all(
+                    entry["protocol"] == PROTOCOL_V2 for entry in stats["workers"]
+                )
+            finally:
+                await client.close()
+                await server.close()
+
+        run(scenario())
+
+    def test_auto_falls_back_to_broadcast_on_a_v1_pool(self, monkeypatch):
+        """A worker that only offers protocol v1 (an older binary) silently
+        drops the whole pool back to raw-XML broadcast — and documents
+        still flow."""
+        monkeypatch.setenv(MAX_PROTOCOL_ENV, "1")
+
+        async def scenario():
+            server = await _start_sharded("pure", 2, "auto")
+            host, port = server.address
+            client = await ServiceConnection.connect(host, port)
+            try:
+                stats = await client.stats()
+                assert stats["shard_mode"] == "broadcast"
+                assert all(
+                    entry["protocol"] == PROTOCOL_V1 for entry in stats["workers"]
+                )
+                await client.subscribe("//item", name="q")
+                await client.feed("<r><item>x</item></r>")
+                reply = await client.finish()
+                assert reply["elements"] == 2
+                push = await client.next_push(timeout=TIMEOUT)
+                assert push["type"] == "solution"
+            finally:
+                await client.close()
+                await server.close()
+
+        run(scenario())
+
+    def test_explicit_events_mode_refuses_a_v1_pool(self, monkeypatch):
+        monkeypatch.setenv(MAX_PROTOCOL_ENV, "1")
+
+        async def scenario():
+            server = ShardedServiceServer(workers=2, shard_mode="events")
+            try:
+                with pytest.raises(ViteXError, match="protocol v2"):
+                    await server.start(port=0)
+            finally:
+                await server.close()
+
+        run(scenario())
+
+    def test_invalid_shard_mode_is_rejected(self):
+        with pytest.raises(ValueError, match="shard_mode"):
+            ShardedServiceServer(workers=2, shard_mode="telepathy")
+
+
+class TestAbortParity:
+    """Parse errors happen at the front in events mode, in the workers in
+    broadcast mode; the client must not be able to tell the difference."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_malformed_chunk_yields_identical_error_and_eof(self, backend):
+        async def scenario():
+            outcomes = []
+            for mode in ("broadcast", "events"):
+                server = await _start_sharded(backend, 2, mode)
+                host, port = server.address
+                subscriber = await ServiceConnection.connect(host, port)
+                publisher = await ServiceConnection.connect(host, port)
+                try:
+                    await subscriber.subscribe("//item", name="q")
+                    await publisher.feed("<root><item>ok</item>")
+                    await publisher.feed("</mismatched>")
+                    error = await publisher.next_push(timeout=TIMEOUT)
+                    error.pop("ts", None)
+                    eof = await subscriber.next_push(timeout=TIMEOUT)
+                    while eof["type"] != "eof":
+                        eof = await subscriber.next_push(timeout=TIMEOUT)
+                    eof.pop("ts", None)
+                    eof.pop("delivered", None)
+                    outcomes.append((error, eof))
+                finally:
+                    await subscriber.close()
+                    await publisher.close()
+                    await server.close()
+            broadcast_outcome, events_outcome = outcomes
+            assert events_outcome == broadcast_outcome
+            error, eof = events_outcome
+            assert error["type"] == "error" and error["cmd"] == "feed"
+            assert eof["aborted"] is True and eof["error"]
+
+        run(scenario())
+
+    def test_document_recovers_after_an_events_mode_abort(self):
+        async def scenario():
+            server = await _start_sharded("pure", 2, "events")
+            host, port = server.address
+            subscriber = await ServiceConnection.connect(host, port)
+            publisher = await ServiceConnection.connect(host, port)
+            try:
+                await subscriber.subscribe("//item", name="q")
+                await publisher.feed("<broken></nope>")
+                error = await publisher.next_push(timeout=TIMEOUT)
+                assert error["type"] == "error"
+                eof = await subscriber.next_push(timeout=TIMEOUT)
+                assert eof["type"] == "eof" and eof["aborted"] is True
+                # The next document starts a fresh epoch and matches cleanly.
+                await publisher.feed("<r><item>back</item></r>")
+                reply = await publisher.finish()
+                assert reply["elements"] == 2
+                push = await subscriber.next_push(timeout=TIMEOUT)
+                assert push["type"] == "solution"
+            finally:
+                await subscriber.close()
+                await publisher.close()
+                await server.close()
+
+        run(scenario())
+
+
+DOC_ITEMS = 20
+CHECKPOINT_DOC = (
+    "<root>"
+    + "".join(f"<item><v>{i}</v></item>" for i in range(DOC_ITEMS))
+    + "</root>"
+)
+
+
+class TestEventsCheckpoint:
+    def test_mid_document_checkpoint_is_spool_free_and_resumes(self, tmp_path):
+        """An events-mode shard snapshot carries no parser spool (the front
+        keeps the one spool); a restore replays it and the document
+        finishes with every remaining solution delivered."""
+        path = str(tmp_path / "events.ckpt.json")
+
+        async def scenario():
+            server = await _start_sharded("pure", 2, "events")
+            host, port = server.address
+            subscriber = await ServiceConnection.connect(host, port)
+            publisher = await ServiceConnection.connect(host, port)
+            half = len(CHECKPOINT_DOC) // 2
+            await subscriber.subscribe("//item", name="q")
+            await publisher.feed(CHECKPOINT_DOC[:half])
+            await publisher.ping()  # feed is fire-and-forget; sync first
+            meta = await server.save_checkpoint_async(path)
+            assert meta["mid_document"] is True
+            early = 0
+            while True:
+                try:
+                    frame = await subscriber.next_push(timeout=0.5)
+                except asyncio.TimeoutError:
+                    break
+                early += frame["type"] == "solution"
+            await subscriber.close()
+            await publisher.close()
+            await server.close()
+
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            assert payload["server"]["shard_mode"] == "events"
+            assert isinstance(payload.get("front"), dict)
+            for shard in payload["shards"]:
+                # The shrink the tentpole promises: events shards carry no
+                # parser state at all, just the engine.
+                assert shard["session"] == {"parser": "events"}
+
+            restored = ShardedServiceServer(workers=2, parser="pure")
+            summary = await restored.restore_from_file(path)
+            assert summary["mid_document"] is True
+            await restored.start(port=0)
+            host, port = restored.address
+            subscriber = await ServiceConnection.connect(host, port)
+            publisher = await ServiceConnection.connect(host, port)
+            try:
+                await subscriber.subscribe("//item", name="q")
+                await publisher.feed(CHECKPOINT_DOC[half:])
+                reply = await publisher.finish()
+                assert reply["elements"] == 2 * DOC_ITEMS + 1
+                late = 0
+                while True:
+                    frame = await subscriber.next_push(timeout=TIMEOUT)
+                    if frame["type"] == "eof":
+                        break
+                    late += frame["type"] == "solution"
+                assert early + late == DOC_ITEMS
+            finally:
+                await subscriber.close()
+                await publisher.close()
+                await restored.close()
+
+        run(scenario())
+
+    def test_events_checkpoint_refuses_a_broadcast_only_restore(self, tmp_path):
+        path = str(tmp_path / "events.ckpt.json")
+
+        async def scenario():
+            server = await _start_sharded("pure", 2, "events")
+            host, port = server.address
+            publisher = await ServiceConnection.connect(host, port)
+            await publisher.feed(CHECKPOINT_DOC[: len(CHECKPOINT_DOC) // 2])
+            await publisher.ping()
+            await server.save_checkpoint_async(path)
+            await publisher.close()
+            await server.close()
+
+            restored = ShardedServiceServer(
+                workers=2, shard_mode="broadcast", parser="pure"
+            )
+            try:
+                await restored._ensure_workers()
+                with pytest.raises(CheckpointError, match="events"):
+                    await restored.restore_from_file(path)
+            finally:
+                await restored.close()
+
+        run(scenario())
+
+    def test_broadcast_checkpoint_resumes_under_an_events_pool(self, tmp_path):
+        """A raw-XML mid-document checkpoint keeps streaming over protocol
+        v1 for the rest of that document, even when the restoring pool
+        negotiated events mode; the next document switches to events."""
+        path = str(tmp_path / "broadcast.ckpt.json")
+
+        async def scenario():
+            server = await _start_sharded("pure", 2, "broadcast")
+            host, port = server.address
+            subscriber = await ServiceConnection.connect(host, port)
+            publisher = await ServiceConnection.connect(host, port)
+            half = len(CHECKPOINT_DOC) // 2
+            await subscriber.subscribe("//item", name="q")
+            await publisher.feed(CHECKPOINT_DOC[:half])
+            await publisher.ping()
+            await server.save_checkpoint_async(path)
+            await subscriber.close()
+            await publisher.close()
+            await server.close()
+
+            restored = ShardedServiceServer(workers=2, parser="pure")
+            await restored.restore_from_file(path)
+            await restored.start(port=0)
+            host, port = restored.address
+            subscriber = await ServiceConnection.connect(host, port)
+            publisher = await ServiceConnection.connect(host, port)
+            try:
+                stats = await publisher.stats()
+                assert stats["shard_mode"] == "events"  # negotiated capability
+                await subscriber.subscribe("//item", name="q")
+                await publisher.feed(CHECKPOINT_DOC[half:])
+                reply = await publisher.finish()
+                assert reply["elements"] == 2 * DOC_ITEMS + 1
+                # The next document runs parse-once.
+                await publisher.feed("<r><item>next</item></r>")
+                reply = await publisher.finish()
+                assert reply["elements"] == 2
+            finally:
+                await subscriber.close()
+                await publisher.close()
+                await restored.close()
+
+        run(scenario())
+
+
+class TestStatsSurface:
+    def test_stats_report_mode_protocol_and_worker_cpu(self):
+        async def scenario():
+            server = await _start_sharded("pure", 2, "auto")
+            host, port = server.address
+            client = await ServiceConnection.connect(host, port)
+            try:
+                await client.subscribe("//item", name="q")
+                await client.feed("<r><item>x</item></r>")
+                await client.finish()
+                stats = await client.stats()
+                assert stats["shard_mode"] == "events"
+                assert isinstance(stats["worker_cpu_seconds"], float)
+                for entry in stats["workers"]:
+                    assert entry["protocol"] == PROTOCOL_V2
+                    assert entry["cpu_seconds"] >= 0.0
+                assert stats["elements"] == 2
+            finally:
+                await client.close()
+                await server.close()
+
+        run(scenario())
