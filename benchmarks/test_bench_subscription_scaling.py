@@ -1,0 +1,86 @@
+"""M4 benchmarks: subscription-index scaling (prefix trie + containment).
+
+The million-subscription axis of the motivating scenario: dispatch cost must
+depend on the *interested* machines per tag, not the registered query count,
+and a refinement family must collapse onto one anchor machine.  The timed
+sweep lives in ``vitex bench subscriptions --json BENCH_subscriptions.json``;
+these benchmarks keep a collect-time guard (``--benchmark-disable`` in CI)
+plus the structural assertions that back the committed baseline table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_subscription_scaling
+from repro.bench.workloads import build_subscription_stream_document
+from repro.core.multi import MultiQueryEvaluator
+from repro.xpath.generator import refinement_family_queries
+
+from conftest import SCALE
+
+FAMILIES = 50
+
+
+@pytest.fixture(scope="module")
+def stream_document() -> str:
+    return build_subscription_stream_document(
+        hit_records=10,
+        miss_records=int(400 * SCALE),
+        families=FAMILIES,
+        label_space=800,
+        seed=9,
+    )
+
+
+def _register(count: int, sharing: bool) -> MultiQueryEvaluator:
+    evaluator = MultiQueryEvaluator(
+        collect_statistics=False, containment_sharing=sharing
+    )
+    evaluator.subscribe_many(
+        refinement_family_queries(count, families=FAMILIES)
+    )
+    return evaluator
+
+
+@pytest.mark.benchmark(group="subscription-scaling")
+@pytest.mark.parametrize("sharing", [False, True], ids=["fingerprint", "containment"])
+def test_dispatch_under_standing_subscriptions(benchmark, stream_document, sharing):
+    evaluator = _register(2000, sharing)
+
+    def run():
+        evaluator.reset()
+        return sum(1 for _ in evaluator.stream(stream_document, parser="pure"))
+
+    delivered = benchmark(run)
+    benchmark.extra_info["machines"] = evaluator.stats().machines
+    benchmark.extra_info["delivered"] = delivered
+
+
+def test_containment_sharing_collapses_machines(stream_document):
+    """Acceptance: fewer machines and identical delivery vs fingerprint dedup."""
+    baseline = _register(2000, False)
+    shared = _register(2000, True)
+    assert shared.stats().machines < baseline.stats().machines
+    assert shared.stats().machines == FAMILIES  # one anchor per family
+    results_baseline = baseline.evaluate(stream_document, parser="pure")
+    results_shared = shared.evaluate(stream_document, parser="pure")
+    assert {name: r.keys() for name, r in results_shared.items()} == {
+        name: r.keys() for name, r in results_baseline.items()
+    }
+
+
+def test_quick_sweep_rows_are_parity_checked():
+    """The M4 runner's own cross-mode delivery-parity check must hold."""
+    rows = run_subscription_scaling(
+        counts=(2000,),
+        families=FAMILIES,
+        hit_records=10,
+        miss_records=200,
+        label_space=800,
+        measure_memory=False,
+    )
+    by_mode = {row["mode"]: row for row in rows}
+    assert by_mode["containment"]["machines"] < by_mode["fingerprint"]["machines"]
+    assert by_mode["containment"]["solutions"] == by_mode["fingerprint"]["solutions"]
+    assert by_mode["containment"]["peak_fanout"] <= by_mode["fingerprint"]["peak_fanout"]

@@ -25,13 +25,14 @@ The legacy entry points remain importable and functional behind thin
 from ..core.results import Match
 from ..core.session import StreamSession as Session
 from .config import EngineConfig
-from .engine import Engine
+from .engine import Engine, EngineStats
 from .query import Query
 from .remote import RemoteEngine, RemoteSession, RemoteSubscription, connect
 
 __all__ = [
     "Engine",
     "EngineConfig",
+    "EngineStats",
     "Match",
     "Query",
     "RemoteEngine",

@@ -32,12 +32,22 @@ EngineStatistics` counters are not maintained (a measurable saving on the
         meaningful for the expat backend, which must spool the raw chunk
         prefix to be able to rebuild its parser on restore; pass False to
         opt out of that memory cost.
+    containment_sharing:
+        Opt-in machine sharing across *containment* families: linear
+        predicate-free path queries selecting the same output label run on
+        one shared anchor machine plus per-subscriber residual checks
+        (:mod:`repro.xpath.containment`), collapsing a refinement family of
+        N machines to 1.  Per-subscription result sets, solution sets and
+        ``delivered`` counts are identical; matches are delivered earlier
+        (at the output element's end tag), so the exact interleaving of the
+        match stream across subscriptions can differ from the default.
     """
 
     parser: str = "native"
     collect_statistics: bool = True
     chunk_size: int = DEFAULT_CHUNK_SIZE
     resumable: bool = True
+    containment_sharing: bool = False
 
     #: The valid ``parser`` spellings, shared with the CLI ``--parser`` flag.
     PARSERS: ClassVar[Tuple[str, ...]] = PARSER_BACKENDS

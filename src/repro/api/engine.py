@@ -18,9 +18,20 @@ callbacks all speak :class:`~repro.core.results.Match`.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Union
+import warnings
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
-from ..core.multi import MultiQueryEvaluator, Subscription
+from ..core.multi import EngineStats, MultiQueryEvaluator, Subscription
 from ..core.results import Match, ResultSet, Solution
 from ..core.session import StreamSession
 from ..xmlstream.events import Event
@@ -55,7 +66,8 @@ class Engine:
             base = dataclasses.replace(base, **overrides)
         self._config = base
         self._engine = MultiQueryEvaluator(
-            collect_statistics=base.collect_statistics
+            collect_statistics=base.collect_statistics,
+            containment_sharing=base.containment_sharing,
         )
 
     # ------------------------------------------------------------ properties
@@ -81,8 +93,30 @@ class Engine:
 
     @property
     def machine_count(self) -> int:
-        """Number of distinct TwigM machines (≤ number of subscriptions)."""
+        """Number of distinct TwigM machines (≤ number of subscriptions).
+
+        .. deprecated:: 1.4
+           Use :meth:`stats` — ``engine.stats().machines`` — which also
+           reports the sharing breakdown, trie size and dispatch fanout.
+        """
+        warnings.warn(
+            "Engine.machine_count is deprecated; use Engine.stats().machines "
+            "(EngineStats also carries the sharing breakdown)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self._engine.machine_count
+
+    def stats(self) -> EngineStats:
+        """Typed snapshot of the engine's sharing structure.
+
+        Returns an :class:`~repro.core.multi.EngineStats` (frozen): how many
+        subscriptions are registered, how many machines actually run, how
+        the difference splits between fingerprint dedup and containment
+        sharing, and the dispatch-index shape (trie nodes, peak per-tag
+        fanout).
+        """
+        return self._engine.stats()
 
     def __len__(self) -> int:
         return len(self._engine)
@@ -108,6 +142,29 @@ class Engine:
         if callback is not None:
             subscription.callback = _adapt_callback(subscription.name, callback)
         return subscription
+
+    def subscribe_many(
+        self,
+        pairs: Iterable[Union[QuerySource, Tuple[QuerySource, Optional[str]]]],
+        callback: Optional[MatchCallback] = None,
+    ) -> List[Subscription]:
+        """Register a batch of queries in one pass; all-or-nothing.
+
+        Each item is a query (source string / :class:`Query` / twig) or a
+        ``(query, name)`` pair.  ``callback``, when given, receives
+        :class:`~repro.core.results.Match` objects for every subscription
+        in the batch.  Compilation, sharing analysis and trie interning are
+        amortized across the batch; if any item fails, every subscription
+        this call already made is rolled back before the error propagates.
+        Over a remote connection, :meth:`RemoteEngine.subscribe_many
+        <repro.api.remote.RemoteEngine.subscribe_many>` ships the whole
+        batch in one wire frame.
+        """
+        subscriptions = self._engine.subscribe_many(pairs)
+        if callback is not None:
+            for subscription in subscriptions:
+                subscription.callback = _adapt_callback(subscription.name, callback)
+        return subscriptions
 
     def unsubscribe(self, subscription: Union[str, Subscription]) -> Subscription:
         """Drop a subscription (by handle or name); allowed mid-stream."""
@@ -246,4 +303,4 @@ def _adapt_callback(name: str, callback: MatchCallback) -> Callable[[Solution], 
     return deliver
 
 
-__all__ = ["Engine", "MatchCallback", "QuerySource"]
+__all__ = ["Engine", "EngineStats", "MatchCallback", "QuerySource"]

@@ -24,17 +24,46 @@ The wire protocol is unchanged; :class:`RemoteEngine` wraps the existing
 from __future__ import annotations
 
 import asyncio
-from typing import Any, AsyncIterator, Dict, Iterable, Optional, Union
+import json
+from typing import Any, AsyncIterator, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..core.results import Match
 from ..errors import EngineError
 from ..service.client import ServiceConnection
+from ..service.protocol import MAX_BATCH_BYTES
 from ..service.server import DEFAULT_PORT
 from .engine import MatchCallback, QuerySource
 
 #: Default characters per ``feed`` frame for :meth:`RemoteEngine.publish`
 #: (worst-case JSON escaping keeps every frame under the protocol bound).
 DEFAULT_PUBLISH_CHUNK = 32 * 1024
+
+
+def _batch_chunks(
+    items: List[Tuple[str, Optional[str]]]
+) -> Iterable[List[Tuple[str, Optional[str]]]]:
+    """Split batch items so each ``subscribe_batch`` frame stays bounded.
+
+    Sizes each item by its actual JSON encoding, so a million short
+    queries chunk into as few frames as the protocol bound allows while a
+    handful of pathological ones still never overflow a frame.
+    """
+    chunk: List[Tuple[str, Optional[str]]] = []
+    size = 64  # frame envelope: {"cmd":"subscribe_batch","items":[...]}
+    for item in items:
+        query, name = item
+        entry: Dict[str, Any] = {"query": query}
+        if name is not None:
+            entry["name"] = name
+        cost = len(json.dumps(entry, ensure_ascii=False).encode("utf-8")) + 1
+        if chunk and size + cost > MAX_BATCH_BYTES:
+            yield chunk
+            chunk = []
+            size = 64
+        chunk.append(item)
+        size += cost
+    if chunk:
+        yield chunk
 
 
 class RemoteSubscription:
@@ -158,6 +187,57 @@ class RemoteEngine:
             self._callbacks[assigned] = callback
             self._ensure_dispatcher()
         return subscription
+
+    async def subscribe_many(
+        self,
+        pairs: Iterable[Union[QuerySource, Tuple[QuerySource, Optional[str]]]],
+        callback: Optional[MatchCallback] = None,
+    ) -> List[RemoteSubscription]:
+        """Register a batch of queries in one wire round trip; all-or-nothing.
+
+        The remote counterpart of :meth:`Engine.subscribe_many
+        <repro.api.engine.Engine.subscribe_many>`: each item is a query or
+        a ``(query, name)`` pair, and the whole batch travels as one
+        ``subscribe_batch`` frame (chunked only when the encoded frame
+        would exceed the protocol bound).  The server applies each frame
+        all-or-nothing; if a later chunk fails, the subscriptions from
+        earlier chunks are unsubscribed before the error propagates, so
+        the caller still sees all-or-nothing.
+        """
+        if callback is not None and self._iterating:
+            raise RuntimeError(
+                "cannot subscribe with a callback while a matches() iterator "
+                "is live: both consume the connection's push lane (close the "
+                "iterator first)"
+            )
+        items: List[Tuple[str, Optional[str]]] = []
+        for item in pairs:
+            if isinstance(item, tuple):
+                query, name = item
+            else:
+                query, name = item, None
+            source = query if isinstance(query, str) else query.source
+            items.append((source, name))
+        subscriptions: List[RemoteSubscription] = []
+        try:
+            for chunk in _batch_chunks(items):
+                names = await self._client.subscribe_batch(chunk)
+                for (source, _), assigned in zip(chunk, names):
+                    subscription = RemoteSubscription(self, assigned, source)
+                    self._subscriptions[assigned] = subscription
+                    subscriptions.append(subscription)
+        except BaseException:
+            for subscription in reversed(subscriptions):
+                try:
+                    await self.unsubscribe(subscription.name)
+                except Exception:
+                    pass  # rollback is best-effort on a failing connection
+            raise
+        if callback is not None:
+            for subscription in subscriptions:
+                self._callbacks[subscription.name] = callback
+            self._ensure_dispatcher()
+        return subscriptions
 
     async def unsubscribe(
         self, subscription: Union[str, RemoteSubscription]

@@ -715,6 +715,121 @@ def run_service_sharded_scaling(
 
 
 # ---------------------------------------------------------------------------
+# M4: million-subscription index scaling (trie dispatch + containment sharing)
+# ---------------------------------------------------------------------------
+
+
+def run_subscription_scaling(
+    counts: Sequence[int] = (10_000, 100_000, 1_000_000),
+    families: int = 200,
+    hit_records: int = 10,
+    miss_records: int = 2000,
+    label_space: int = 4000,
+    parser: str = "pure",
+    seed: int = 9,
+    measure_memory: bool = True,
+) -> List[Dict[str, object]]:
+    """M4: the subscription index at 10k/100k/1M standing queries.
+
+    For each count the refinement-family workload
+    (:func:`~repro.xpath.generator.refinement_family_queries`: ``families``
+    containment families × 5 linear refinement shapes) is registered twice —
+    ``mode="fingerprint"`` (dedup only, the v1.3.0 sharing baseline) and
+    ``mode="containment"`` (``containment_sharing=True``) — and each pass
+    reports:
+
+    * **registration rate** — one :meth:`~repro.core.multi.\
+MultiQueryEvaluator.subscribe_many` batch, wall-clocked;
+    * **bytes/subscription** — a second, ``tracemalloc``-traced registration
+      pass (traced separately so tracing never taints the timing);
+    * **per-event dispatch cost** — streaming the miss-heavy M4 document
+      (:func:`~repro.bench.workloads.build_subscription_stream_document`)
+      through the standing index.  Misses dominate by construction, so the
+      column measures the index lookup itself: the fingerprint baseline
+      dispatches every ``<r>`` to all machines whose label profile contains
+      ``r``, the containment anchors skip the record scaffolding entirely.
+
+    Both modes must deliver the same number of solution pairs (checked);
+    ``machines``/``trie_nodes``/``peak_fanout`` come from
+    :meth:`~repro.core.multi.MultiQueryEvaluator.stats`.
+    """
+    import tracemalloc
+
+    from ..xpath.generator import refinement_family_queries
+    from .workloads import build_subscription_stream_document
+
+    document = build_subscription_stream_document(
+        hit_records=hit_records,
+        miss_records=miss_records,
+        families=families,
+        label_space=label_space,
+        seed=seed,
+    )
+    records = hit_records + miss_records
+    elements = 3 * records + 1  # r/s/v per record plus the feed wrapper
+    rows: List[Dict[str, object]] = []
+    for count in counts:
+        queries = refinement_family_queries(count, families)
+        delivered_by_mode: Dict[str, int] = {}
+        for mode, sharing in (("fingerprint", False), ("containment", True)):
+            evaluator = MultiQueryEvaluator(
+                collect_statistics=False, containment_sharing=sharing
+            )
+            start = time.perf_counter()
+            evaluator.subscribe_many(queries)
+            register_seconds = time.perf_counter() - start
+
+            delivered = 0
+            start = time.perf_counter()
+            for _ in evaluator.stream(document, parser=parser):
+                delivered += 1
+            dispatch_seconds = time.perf_counter() - start
+            delivered_by_mode[mode] = delivered
+            # After the stream so peak_fanout reflects materialized dispatch.
+            stats = evaluator.stats()
+            evaluator.close()
+
+            row: Dict[str, object] = {
+                "mode": mode,
+                "subscriptions": count,
+                "families": stats.families,
+                "machines": stats.machines,
+                "trie_nodes": stats.trie_nodes,
+                "peak_fanout": stats.peak_dispatch_fanout,
+                "records": records,
+                "register_s": round(register_seconds, 4),
+                "registrations_per_s": round(
+                    count / max(register_seconds, 1e-9), 1
+                ),
+                "dispatch_s": round(dispatch_seconds, 4),
+                "events_per_s": round(elements / max(dispatch_seconds, 1e-9), 1),
+                "dispatch_us_per_event": round(
+                    dispatch_seconds * 1e6 / elements, 3
+                ),
+                "solutions": delivered,
+            }
+            if measure_memory:
+                tracemalloc.start()
+                traced = MultiQueryEvaluator(
+                    collect_statistics=False, containment_sharing=sharing
+                )
+                base_bytes = tracemalloc.get_traced_memory()[0]
+                traced.subscribe_many(queries)
+                used = tracemalloc.get_traced_memory()[0] - base_bytes
+                tracemalloc.stop()
+                traced.close()
+                row["bytes_per_subscription"] = round(used / count, 1)
+            rows.append(row)
+        if delivered_by_mode["fingerprint"] != delivered_by_mode["containment"]:
+            raise BenchmarkError(
+                f"containment sharing changed delivery at {count} "
+                f"subscriptions: fingerprint={delivered_by_mode['fingerprint']} "
+                f"containment={delivered_by_mode['containment']}"
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Generic sweep helper
 # ---------------------------------------------------------------------------
 

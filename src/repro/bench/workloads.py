@@ -245,6 +245,47 @@ def multiquery_mix(kind: str, count: int, label_count: int = 200) -> List[str]:
 
 
 # ---------------------------------------------------------------------------
+# Million-subscription workload (M4: subscription-index scaling)
+# ---------------------------------------------------------------------------
+
+
+def build_subscription_stream_document(
+    hit_records: int = 10,
+    miss_records: int = 2000,
+    families: int = 200,
+    label_space: int = 4000,
+    seed: int = 9,
+) -> str:
+    """Deterministic event stream for the M4 subscription-scaling experiment.
+
+    The same record shape as the M1 document —
+    ``<r><s{i}><v{i}>x</v{i}></s{i}></r>`` under one ``<feed>`` — but the
+    label indices are split into *hits* (``i < families``: the record's
+    labels belong to a registered containment family) and *misses*
+    (``families <= i < label_space``: labels no registered query mentions).
+    Misses dominate by construction: they isolate the per-event cost of the
+    dispatch index itself, where the fingerprint-dedup baseline still pays
+    for every machine whose label profile contains the shared ``r``
+    wrapper, while the prefix-trie anchors (``//v{f}``) ignore the record
+    scaffolding entirely.  The few hit records keep a delivery-parity
+    signal (both modes must deliver identical pair counts).
+    """
+    rng = random.Random(seed)
+    randrange = rng.randrange
+    records: List[Tuple[int, int]] = []
+    for _ in range(hit_records):
+        records.append((randrange(families), randrange(5)))
+    for _ in range(miss_records):
+        records.append((families + randrange(max(1, label_space - families)), randrange(5)))
+    rng.shuffle(records)
+    parts: List[str] = ["<feed>"]
+    for i, value in records:
+        parts.append(f"<r><s{i}><v{i}>x{value}</v{i}></s{i}></r>")
+    parts.append("</feed>")
+    return "".join(parts)
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 

@@ -44,6 +44,7 @@ from .bench import (
     run_query_variety,
     run_service_scaling,
     run_service_sharded_scaling,
+    run_subscription_scaling,
 )
 from .core.engine import TwigMEvaluator as _SingleQueryEvaluator
 from .core.builder import build_machine
@@ -350,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
             "incremental-latency",
             "pipeline",
             "multiquery",
+            "subscriptions",
             "service",
             "compare",
         ),
@@ -907,6 +909,17 @@ def _command_bench(args: argparse.Namespace) -> int:
             **backend_kwargs,
         )
         title = "M1: multi-query subscription scaling (indexed dispatch)"
+    elif args.experiment == "subscriptions":
+        # Quick counts are a subset of the full sweep (same document, same
+        # families) so `bench compare` can match quick CI rows against the
+        # committed full baseline; the traced memory pass is skipped under
+        # --quick to keep the CI job short.
+        rows = run_subscription_scaling(
+            counts=(10_000,) if quick else (10_000, 100_000, 1_000_000),
+            measure_memory=not quick,
+            **backend_kwargs,
+        )
+        title = "M4: million-subscription index scaling (trie + containment)"
     elif args.experiment == "service" and args.workers is not None:
         try:
             worker_counts = tuple(

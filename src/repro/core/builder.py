@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Union
 
 from ..errors import UnsupportedFeatureError
 from ..xpath.ast import FormulaTrue, NodeKind, QueryNode, QueryTree
+from ..xpath.containment import ResidualPlan, residual_plan
 from ..xpath.fingerprint import query_fingerprint
 from ..xpath.normalize import compile_query
 from .machine import MachineNode, TwigMachine, node_needs_string_value
@@ -155,6 +156,45 @@ class CompiledQueryCache:
 
 #: Process-wide compiled-query cache used by the multi-query engine.
 shared_compiled_cache = CompiledQueryCache()
+
+
+class SharingPlanner:
+    """Decides how each registration shares machines, memoized by shape.
+
+    The planner sits between the compiled-query cache and the dispatch
+    index: for every registered shape it answers "can this query ride a
+    containment-shared anchor machine?" exactly once
+    (:func:`~repro.xpath.containment.residual_plan` walks the twig; at a
+    million registrations that walk must not repeat per subscriber).  A
+    ``None`` plan means the query keeps its private or fingerprint-shared
+    machine — the conservative fallback for every shape outside the
+    provably-rewritable fragment.
+
+    The memo is keyed by canonical fingerprint, so its size is bounded by
+    the number of *distinct* query shapes ever planned, mirroring the
+    compiled-query cache.
+    """
+
+    def __init__(self) -> None:
+        self._memo: Dict[str, Optional[ResidualPlan]] = {}
+
+    def plan(self, compiled: CompiledQuery) -> Optional[ResidualPlan]:
+        """The containment-sharing plan for ``compiled``, or ``None``."""
+        fingerprint = compiled.fingerprint
+        try:
+            return self._memo[fingerprint]
+        except KeyError:
+            plan = residual_plan(compiled.tree)
+            self._memo[fingerprint] = plan
+            return plan
+
+    def clear(self) -> None:
+        """Forget every memoized plan (tests / cache hygiene)."""
+        self._memo.clear()
+
+
+#: Process-wide sharing planner used by the multi-query engine.
+shared_planner = SharingPlanner()
 
 
 def _is_unconditional(query_node: QueryNode) -> bool:

@@ -37,9 +37,9 @@ import json
 from typing import Any, Dict, List, Optional, Union
 
 from ..errors import CheckpointError
-from .builder import shared_compiled_cache
+from .builder import shared_compiled_cache, shared_planner
 from .engine import TwigMEvaluator
-from .queryindex import QueryRuntime
+from .queryindex import FamilyRuntime, QueryRuntime, trie_path
 from .results import ResultCollector, solution_from_payload, solution_to_payload
 from .statistics import EngineStatistics
 
@@ -200,31 +200,50 @@ def engine_state(engine) -> Dict[str, Any]:
     runtimes = engine._index.runtimes
     runtime_index = {id(runtime): position for position, runtime in enumerate(runtimes)}
     shared_ids = {id(runtime) for runtime in engine._by_fingerprint.values()}
+    runtime_payloads = []
+    for runtime in runtimes:
+        payload: Dict[str, Any] = {
+            "source": runtime.compiled.tree.source,
+            "shared": id(runtime) in shared_ids,
+            "evaluator": evaluator_state(runtime.evaluator),
+        }
+        if runtime.is_family:
+            # A containment-shared family: the evaluator above is the anchor
+            # machine; member shapes travel as (source, collector) pairs and
+            # their residual steps are re-derived from the source on restore.
+            payload["family"] = True
+            payload["groups"] = [
+                {
+                    "source": group.source,
+                    "collector": collector_state(group.collector),
+                }
+                for group in runtime.group_list
+            ]
+        runtime_payloads.append(payload)
+    subscription_payloads = []
+    for subscription in engine._subscriptions.values():
+        payload = {
+            "name": subscription.name,
+            "source": subscription.source,
+            "runtime": runtime_index[id(subscription.runtime)],
+            "delivered": subscription.delivered,
+            "paused": subscription.paused,
+            "callback_errors": subscription.callback_errors,
+        }
+        if subscription.group is not None:
+            payload["group"] = subscription.runtime.group_list.index(
+                subscription.group
+            )
+        subscription_payloads.append(payload)
     return {
         "collect_statistics": engine._collect_statistics,
         "auto_name_counter": engine._auto_name_counter,
         "element_order": engine._element_order,
         "started": engine._started,
         "finished": engine._finished,
-        "runtimes": [
-            {
-                "source": runtime.compiled.tree.source,
-                "shared": id(runtime) in shared_ids,
-                "evaluator": evaluator_state(runtime.evaluator),
-            }
-            for runtime in runtimes
-        ],
-        "subscriptions": [
-            {
-                "name": subscription.name,
-                "source": subscription.source,
-                "runtime": runtime_index[id(subscription.runtime)],
-                "delivered": subscription.delivered,
-                "paused": subscription.paused,
-                "callback_errors": subscription.callback_errors,
-            }
-            for subscription in engine._subscriptions.values()
-        ],
+        "context": list(engine._index.context),
+        "runtimes": runtime_payloads,
+        "subscriptions": subscription_payloads,
     }
 
 
@@ -250,6 +269,7 @@ def restore_engine_into(engine, state: Dict[str, Any]) -> None:
     element_order = state["element_order"]
     started = state["started"]
     finished = state["finished"]
+    context = state.get("context", [])
     engine._collect_statistics = state["collect_statistics"]
     runtimes: List[QueryRuntime] = []
     try:
@@ -263,6 +283,33 @@ def restore_engine_into(engine, state: Dict[str, Any]) -> None:
             except Exception:
                 shared_compiled_cache.release(compiled)
                 raise
+            if item.get("family"):
+                anchor_label = compiled.tree.root.label
+                family = FamilyRuntime(
+                    compiled, evaluator, anchor_label, engine._index.context
+                )
+                engine._index.add(family)
+                engine._families[anchor_label] = family
+                # Visible to the teardown path before the first group is
+                # restored, so a mid-family failure still unwinds it.
+                runtimes.append(family)
+                for group_item in item.get("groups", ()):
+                    group_compiled = shared_compiled_cache.acquire(
+                        group_item["source"]
+                    )
+                    plan = shared_planner.plan(group_compiled)
+                    if plan is None or plan.anchor_label != anchor_label:
+                        shared_compiled_cache.release(group_compiled)
+                        raise CheckpointError(
+                            f"snapshot group {group_item['source']!r} does "
+                            f"not belong to the {anchor_label!r} family"
+                        )
+                    group = family.add_group(
+                        group_compiled, plan.steps, trie_path(group_compiled.tree)
+                    )
+                    engine._index.add_path(group.trie)
+                    group.collector = collector_from_state(group_item["collector"])
+                continue
             runtime = QueryRuntime(compiled, evaluator)
             engine._index.add(runtime)
             if item["shared"]:
@@ -270,20 +317,31 @@ def restore_engine_into(engine, state: Dict[str, Any]) -> None:
             runtimes.append(runtime)
         for item in state["subscriptions"]:
             runtime = runtimes[item["runtime"]]
+            group_position = item.get("group")
             subscription = Subscription(
                 name=item["name"],
                 source=item["source"],
                 runtime=runtime,
+                group=None if group_position is None else runtime.group_list[group_position],
                 delivered=item.get("delivered", 0),
                 paused=item.get("paused", False),
                 callback_errors=item.get("callback_errors", 0),
             )
-            runtime.subscribers.append(subscription)
+            if subscription.group is not None:
+                subscription.group.subscribers.append(subscription)
+            else:
+                runtime.subscribers.append(subscription)
             engine._subscriptions[item["name"]] = subscription
     except Exception:
         engine._subscriptions.clear()
         engine._by_fingerprint.clear()
+        engine._families.clear()
         for runtime in runtimes:
+            if runtime.is_family:
+                for group in list(runtime.group_list):
+                    runtime.remove_group(group)
+                    engine._index.remove_path(group.trie)
+                    shared_compiled_cache.release(group.compiled)
             engine._index.remove(runtime)
             shared_compiled_cache.release(runtime.compiled)
         raise
@@ -291,6 +349,7 @@ def restore_engine_into(engine, state: Dict[str, Any]) -> None:
     engine._element_order = element_order
     engine._started = started
     engine._finished = finished
+    engine._index.context[:] = context
 
 
 # ---------------------------------------------------------------------------

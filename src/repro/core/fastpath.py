@@ -610,7 +610,12 @@ def _fused_pure_multi_scan(index, doc: str, deliveries: list) -> Optional[int]:
     need_text = bool(text_runtimes)
     track_lines = "\n" in doc
 
-    open_elements: List[str] = []
+    # The scan's open-element stack *is* the index's live ancestor chain:
+    # family runtimes resolve residual paths against it at emission time, so
+    # it must reflect the chain of the element being closed — hence the pops
+    # below happen after the end-element dispatch, not before.
+    open_elements = index.context
+    del open_elements[:]
     order = 0
     index_pos = 0
     line = 1
@@ -675,16 +680,18 @@ def _fused_pure_multi_scan(index, doc: str, deliveries: list) -> Optional[int]:
                 pending_text = False
                 flush_text()
             level = len(open_elements)
-            open_elements.pop()
-            if not open_elements:
-                root_closed = True
             for runtime in dispatch(name):
                 solutions = process_end_element(
                     runtime.machine, name, level, runtime.statistics,
                     runtime.collector, eager_emission=runtime.eager,
                 )
                 if solutions:
+                    if runtime.is_family:
+                        runtime.resolve(solutions)
                     deliveries.append((runtime, solutions))
+            open_elements.pop()
+            if not open_elements:
+                root_closed = True
             index_pos = end
             continue
         elif second not in ("!", "?", ""):
@@ -718,16 +725,18 @@ def _fused_pure_multi_scan(index, doc: str, deliveries: list) -> Optional[int]:
                     )
             order += 1
             if empty:
-                open_elements.pop()
-                if not open_elements:
-                    root_closed = True
                 for runtime in runtimes:
                     solutions = process_end_element(
                         runtime.machine, name, level, runtime.statistics,
                         runtime.collector, eager_emission=runtime.eager,
                     )
                     if solutions:
+                        if runtime.is_family:
+                            runtime.resolve(solutions)
                         deliveries.append((runtime, solutions))
+                open_elements.pop()
+                if not open_elements:
+                    root_closed = True
             index_pos = end
             continue
         # -------- uncommon constructs: comments, CDATA, PI, DOCTYPE --------
@@ -845,6 +854,10 @@ class FusedExpatMultiDriver:
             parser.ProcessingInstructionHandler = self._misc
         self._parser = parser
         self._dispatch = index.dispatch
+        #: The index's live ancestor chain (family residual checks read it
+        #: at emission time).  On a mid-stream restore the chain comes back
+        #: with the engine state, matching the primed parser position.
+        self._context = index.context
         self._level = 0
         self._order = 0
         self._pending_text = False
@@ -984,6 +997,9 @@ class FusedExpatMultiDriver:
             self._flush_pending()
         level = self._level + 1
         self._level = level
+        context = self._context
+        del context[level - 1 :]
+        context.append(name)
         order = self._order
         self._order = order + 1
         runtimes = self._dispatch(name)
@@ -1010,6 +1026,9 @@ class FusedExpatMultiDriver:
             )
             if solutions:
                 runtime.deliver(solutions, emitted)
+        # Truncate *after* dispatch: family runtimes resolve residual paths
+        # against the chain of the element being closed.
+        del self._context[level - 1 :]
 
     def _characters(self, data: str) -> None:
         level = self._level

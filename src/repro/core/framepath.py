@@ -84,6 +84,7 @@ def fused_frame_feed(
     length = len(frame)
     index = engine._index
     dispatch = index.dispatch
+    context = index.context
     # Registration only changes between frames (the worker loop is
     # single-threaded), so one refresh per frame matches per-event calls.
     text_runtimes = index.text_runtimes()
@@ -201,6 +202,8 @@ def fused_frame_feed(
                     raw_line, offset = _read_varint(frame, offset)
                 # ---- inline MultiQueryEvaluator.push StartElement ----
                 engine._started = True
+                del context[level - 1 :]
+                context.append(name)
                 order = engine._element_order
                 engine._element_order = order + 1
                 runtimes = dispatch(name)
@@ -279,6 +282,9 @@ def fused_frame_feed(
                     )
                     if solutions:
                         runtime.deliver(solutions, pairs)
+                # Truncate *after* dispatch: family runtimes resolve
+                # residual paths against the closing element's chain.
+                del context[level - 1 :]
             elif code == _T_CHARACTERS:
                 byte = frame[offset]
                 if byte < 0x80:

@@ -4,7 +4,7 @@ E1 shows that SAX parsing dominates end-to-end cost, so a system serving many
 standing subscriptions (the stock-ticker scenario from the paper's
 motivation) should not parse the stream once per query — and, past a few
 dozen subscriptions, should not even *dispatch* every event to every query.
-:class:`MultiQueryEvaluator` therefore layers three sharing mechanisms:
+:class:`MultiQueryEvaluator` therefore layers four sharing mechanisms:
 
 1. **Shared compilation** — queries are keyed by their canonical fingerprint
    (:mod:`repro.xpath.fingerprint`) through the ref-counted
@@ -13,11 +13,27 @@ dozen subscriptions, should not even *dispatch* every event to every query.
 2. **Shared machines** — subscriptions whose queries have equal fingerprints
    share one TwigM machine (:class:`~repro.core.queryindex.QueryRuntime`);
    solutions fan out to every subscriber.
-3. **Label dispatch** — a :class:`~repro.core.queryindex.QueryIndex` maps
-   each element tag to the machines whose label sets can match it, so a
-   start/end event touches only interested machines and per-event cost is
-   O(matching machines), not O(registered queries).  Character data reaches
-   only text-collecting machines.
+3. **Containment sharing** — linear predicate-free path queries selecting
+   the same output label (``//a//c``, ``/r/a//c``, … refinement families)
+   collapse onto one anchor machine for ``//c`` plus a per-shape residual
+   ancestor-path check at emission time
+   (:class:`~repro.core.queryindex.FamilyRuntime`, planned by
+   :class:`~repro.core.builder.SharingPlanner` over
+   :mod:`repro.xpath.containment`).  Queries outside the provably-safe
+   fragment — predicates, value tests, attribute/text output — keep
+   fingerprint-shared machines.  Containment sharing is *opt-in*
+   (``containment_sharing=True``): per-subscription delivered solution
+   sets, ``delivered`` counters and :meth:`results` are identical either
+   way, but delivery *timing* moves earlier (the anchor emits at the
+   output element's own end tag, a private non-eager machine at the
+   outermost step's), so the exact interleaving of the ``(name,
+   solution)`` stream across subscriptions can differ — the default
+   preserves the historical stream byte for byte.
+4. **Trie dispatch** — a :class:`~repro.core.queryindex.QueryIndex` interns
+   every registration path into a prefix trie and memoizes the interest set
+   per element tag, so a start/end event touches only interested machines
+   and per-event cost is O(matching machines), not O(registered queries).
+   Character data reaches only text-collecting machines.
 
 ``evaluate()`` additionally engages fused multi-query fast paths
 (:mod:`repro.core.fastpath`) that drive the dispatch index straight from the
@@ -96,10 +112,16 @@ from ..xmlstream.events import (
 from ..xmlstream.reader import DEFAULT_CHUNK_SIZE, StreamReader, TextSource
 from ..xmlstream.sax import event_batches, iter_events
 from ..xpath.ast import QueryTree
-from .builder import shared_compiled_cache
+from .builder import shared_compiled_cache, shared_planner
 from .engine import TwigMEvaluator
 from .fastpath import FusedExpatMultiDriver, fused_pure_multi_evaluate
-from .queryindex import QueryIndex, QueryRuntime
+from .queryindex import (
+    FamilyRuntime,
+    QueryIndex,
+    QueryRuntime,
+    ResidualGroup,
+    trie_path,
+)
 from .results import Match, ResultSet, Solution
 
 #: What the engine accepts wherever a query is expected: a source string, a
@@ -109,9 +131,14 @@ from .results import Match, ResultSet, Solution
 QueryLike = Union[str, QueryTree, Any]
 
 
-@dataclass
+@dataclass(slots=True)
 class Subscription:
-    """One registered query inside a :class:`MultiQueryEvaluator`."""
+    """One registered query inside a :class:`MultiQueryEvaluator`.
+
+    ``slots=True`` matters at the million-subscription scale: the handle is
+    the only unavoidably per-subscription record (machines, groups and trie
+    nodes are all shared), so it must not carry a per-instance ``__dict__``.
+    """
 
     name: str
     #: The query text exactly as registered (shared machines may serve
@@ -119,6 +146,10 @@ class Subscription:
     source: str
     #: The shared runtime (machine + evaluator) serving this subscription.
     runtime: QueryRuntime = field(repr=False)
+    #: The residual group serving this subscription when it rides a
+    #: containment-shared family machine; ``None`` on fingerprint/private
+    #: machines.
+    group: Optional[ResidualGroup] = field(default=None, repr=False)
     #: Number of solutions delivered so far (frozen while paused).
     delivered: int = 0
     #: Optional callback invoked with every solution as it is found.
@@ -150,14 +181,46 @@ class Subscription:
         self.paused = False
 
 
+@dataclass(frozen=True, slots=True)
+class EngineStats:
+    """Typed snapshot of the subscription engine's sharing structure.
+
+    Returned by :meth:`MultiQueryEvaluator.stats` and surfaced unchanged by
+    ``Engine.stats()`` — the structured replacement for poking the bare
+    ``machine_count`` int.
+    """
+
+    #: Registered subscriptions.
+    subscriptions: int
+    #: Distinct running TwigM machines (anchor machines included).
+    machines: int
+    #: Subscriptions sharing a fingerprint-dedup machine with at least one
+    #: other subscription.
+    fingerprint_shared: int
+    #: Subscriptions served by a containment-shared family machine.
+    containment_shared: int
+    #: Containment-shared family (anchor) machines.
+    families: int
+    #: Interned prefix-trie nodes across all registration paths.
+    trie_nodes: int
+    #: Largest per-tag interest set materialised so far.
+    peak_dispatch_fanout: int
+
+
 class MultiQueryEvaluator:
     """Evaluate many XPath queries over one single pass of an XML stream."""
 
-    def __init__(self, collect_statistics: bool = True) -> None:
+    def __init__(
+        self,
+        collect_statistics: bool = True,
+        containment_sharing: bool = False,
+    ) -> None:
         self._subscriptions: Dict[str, Subscription] = {}
         self._index = QueryIndex()
         self._by_fingerprint: Dict[str, QueryRuntime] = {}
+        self._families: Dict[str, FamilyRuntime] = {}
         self._collect_statistics = collect_statistics
+        self._containment_sharing = containment_sharing
         self._auto_name_counter = 0
         #: Global element pre-order counter.  Machines under label dispatch
         #: see only a subset of start tags, so the engine owns the document
@@ -223,8 +286,14 @@ class MultiQueryEvaluator:
         # warm shared machine would inherit its full history, contradicting
         # the remainder-only mid-stream semantics.  Mid-stream registrations
         # therefore always get a private machine (compilation is still
-        # shared through the cache).
+        # shared through the cache).  The same joined-at-start requirement
+        # gates containment sharing: a family anchor machine is warm by
+        # definition once the stream has started.
         share = not self._started
+        if share and self._containment_sharing:
+            plan = shared_planner.plan(compiled)
+            if plan is not None:
+                return self._subscribe_family(plan, compiled, source, name, callback)
         runtime = self._by_fingerprint.get(compiled.fingerprint) if share else None
         if runtime is None:
             try:
@@ -245,6 +314,84 @@ class MultiQueryEvaluator:
         self._subscriptions[name] = subscription
         return subscription
 
+    def _subscribe_family(
+        self,
+        plan,
+        compiled,
+        source: str,
+        name: str,
+        callback: Optional[Callable[[Solution], None]],
+    ) -> Subscription:
+        """Attach a subscription to its containment-shared family.
+
+        The family's anchor machine (``//c``) is created on first use;
+        subsequent members of the same family — and all members of the same
+        *shape* — only add a pooled residual-group record, so registering
+        the millionth refinement costs no new machine.
+        """
+        family = self._families.get(plan.anchor_label)
+        if family is None:
+            anchor = shared_compiled_cache.acquire(plan.anchor_source)
+            try:
+                evaluator = TwigMEvaluator(
+                    anchor.tree, collect_statistics=self._collect_statistics
+                )
+                family = FamilyRuntime(
+                    anchor, evaluator, plan.anchor_label, self._index.context
+                )
+            except Exception:
+                shared_compiled_cache.release(anchor)
+                shared_compiled_cache.release(compiled)
+                raise
+            self._families[plan.anchor_label] = family
+            self._index.add(family)
+        group = family.groups.get(compiled.fingerprint)
+        if group is None:
+            group = family.add_group(compiled, plan.steps, trie_path(compiled.tree))
+            self._index.add_path(group.trie)
+        subscription = Subscription(
+            name=name,
+            source=source,
+            runtime=family,
+            group=group,
+            callback=callback,
+        )
+        group.subscribers.append(subscription)
+        self._subscriptions[name] = subscription
+        return subscription
+
+    def subscribe_many(
+        self,
+        pairs: Iterable[Union[QueryLike, Tuple[QueryLike, Optional[str]]]],
+        callback: Optional[Callable[[Solution], None]] = None,
+    ) -> List[Subscription]:
+        """Register many queries in one pass; all-or-nothing.
+
+        Each item is a query (string / twig / compiled ``Query``) or a
+        ``(query, name)`` pair; ``callback`` applies to every registered
+        subscription.  Compilation, planning and trie interning are shared
+        across the batch through the process-wide caches, so a batch of
+        structurally related queries pays the per-shape analysis once.  If
+        any item fails (duplicate name, syntax error, post-stream
+        registration), every subscription this call already made is rolled
+        back before the error propagates.
+        """
+        registered: List[Subscription] = []
+        try:
+            for item in pairs:
+                if isinstance(item, tuple):
+                    query, item_name = item
+                else:
+                    query, item_name = item, None
+                registered.append(
+                    self.subscribe(query, callback=callback, name=item_name)
+                )
+        except BaseException:
+            for subscription in reversed(registered):
+                self.unregister(subscription.name)
+            raise
+        return registered
+
     def unregister(self, name: str) -> Subscription:
         """Remove a subscription (allowed mid-stream); returns its handle.
 
@@ -256,6 +403,22 @@ class MultiQueryEvaluator:
         if subscription is None:
             raise EngineError(f"no subscription named {name!r}")
         runtime = subscription.runtime
+        group = subscription.group
+        if group is not None:
+            # Containment-shared: the anchor machine may still be feeding
+            # sibling shapes.  Tear down the group only when its last
+            # subscriber leaves, and the family machine only when its last
+            # group leaves.
+            group.subscribers.remove(subscription)
+            if not group.subscribers:
+                runtime.remove_group(group)
+                self._index.remove_path(group.trie)
+                if not runtime.group_list:
+                    self._index.remove(runtime)
+                    del self._families[runtime.anchor_label]
+                    shared_compiled_cache.release(runtime.compiled)
+            shared_compiled_cache.release(group.compiled)
+            return subscription
         runtime.subscribers.remove(subscription)
         if not runtime.subscribers:
             self._index.remove(runtime)
@@ -306,6 +469,29 @@ class MultiQueryEvaluator:
         """Number of distinct TwigM machines (≤ number of subscriptions)."""
         return len(self._index)
 
+    def stats(self) -> EngineStats:
+        """Typed snapshot of the engine's sharing structure."""
+        fingerprint_shared = 0
+        containment_shared = 0
+        families = 0
+        for runtime in self._index.runtimes:
+            if runtime.is_family:
+                families += 1
+                containment_shared += sum(
+                    len(group.subscribers) for group in runtime.group_list
+                )
+            elif len(runtime.subscribers) > 1:
+                fingerprint_shared += len(runtime.subscribers)
+        return EngineStats(
+            subscriptions=len(self._subscriptions),
+            machines=len(self._index),
+            fingerprint_shared=fingerprint_shared,
+            containment_shared=containment_shared,
+            families=families,
+            trie_nodes=self._index.trie_node_count,
+            peak_dispatch_fanout=self._index.peak_fanout,
+        )
+
     @property
     def index(self) -> QueryIndex:
         """The label-dispatch index (diagnostics; treat as read-only)."""
@@ -343,6 +529,12 @@ class MultiQueryEvaluator:
         cls = event.__class__
         if cls is StartElement or isinstance(event, StartElement):
             self._started = True
+            # Maintain the live ancestor tag chain for family residual
+            # checks.  The level-based truncation self-heals across resets
+            # and replays: the document element (level 1) clears the chain.
+            context = self._index.context
+            del context[event.level - 1 :]
+            context.append(event.name)
             # Inject the *global* pre-order index: a dispatched machine's own
             # counter would only count the start tags it was shown, breaking
             # the canonical NodeRef identity shared with single-query runs.
@@ -359,6 +551,10 @@ class MultiQueryEvaluator:
                 solutions = runtime.evaluator.feed(event)
                 if solutions:
                     runtime.deliver(solutions, emitted)
+            # Pop *after* dispatch: family runtimes resolve residual paths
+            # against the chain of the element being closed.
+            context = self._index.context
+            del context[event.level - 1 :]
             return emitted
         if cls is Characters or isinstance(event, Characters):
             for runtime in self._index.text_runtimes():
@@ -524,9 +720,7 @@ class MultiQueryEvaluator:
                 # error): reset the partial state and replay through the
                 # event pipeline.  Deliveries were buffered, so no callback
                 # fires twice.
-                for runtime in self._index.runtimes:
-                    runtime.evaluator.reset()
-                    runtime.sync()
+                self._reset_machines()
             elif parser == "expat":
                 driver = FusedExpatMultiDriver(self._index)
                 reader = StreamReader(source, chunk_size=chunk_size)
@@ -537,9 +731,7 @@ class MultiQueryEvaluator:
                     # mix this failed run's partial state (or collected
                     # solutions) into its answers.  Callbacks that already
                     # fired stay fired — delivery is incremental by design.
-                    for runtime in self._index.runtimes:
-                        runtime.evaluator.reset()
-                        runtime.sync()
+                    self._reset_machines()
                     raise
                 self._mark_finished(driver.element_count)
                 return self.results()
@@ -549,6 +741,12 @@ class MultiQueryEvaluator:
                 feed(event)
         self._finished = True
         return self.results()
+
+    def _reset_machines(self) -> None:
+        """Reset every machine (family collectors included) and the chain."""
+        for runtime in self._index.runtimes:
+            runtime.reset()
+        del self._index.context[:]
 
     def _mark_finished(self, element_count: int) -> None:
         """Record stream completion on every runtime after a fused run."""
@@ -565,6 +763,17 @@ class MultiQueryEvaluator:
         """Result sets accumulated so far, keyed by subscription name."""
         results: Dict[str, ResultSet] = {}
         for name, subscription in self._subscriptions.items():
+            group = subscription.group
+            if group is not None:
+                # Containment-shared: the group's collector holds exactly
+                # the anchor solutions whose ancestor chain satisfied this
+                # shape's residual path — same document-ordered bytes a
+                # private machine would have produced.
+                results[name] = ResultSet(
+                    query=subscription.source,
+                    solutions=group.collector.in_document_order(),
+                )
+                continue
             base = subscription.runtime.evaluator.finish()
             if base.query != subscription.source:
                 base = ResultSet(query=subscription.source, solutions=list(base.solutions))
@@ -581,9 +790,7 @@ class MultiQueryEvaluator:
 
     def reset(self) -> None:
         """Reset every registered machine so another stream can be processed."""
-        for runtime in self._index.runtimes:
-            runtime.evaluator.reset()
-            runtime.sync()
+        self._reset_machines()
         for subscription in self._subscriptions.values():
             subscription.delivered = 0
             subscription.callback_errors = 0

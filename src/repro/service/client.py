@@ -35,7 +35,7 @@ from __future__ import annotations
 import asyncio
 import warnings
 from collections import deque
-from typing import Any, AsyncIterator, Deque, Dict, Optional, Tuple
+from typing import Any, AsyncIterator, Deque, Dict, Optional, Sequence, Tuple
 
 from ..core.results import Solution
 from ..errors import ViteXError
@@ -46,6 +46,7 @@ from .server import DEFAULT_PORT
 _REPLY_TYPES = frozenset(
     {
         "subscribed",
+        "subscribed_batch",
         "unsubscribed",
         "finished",
         "stats",
@@ -59,7 +60,16 @@ _REPLY_TYPES = frozenset(
 #: resolves the oldest pending request; errors for fire-and-forget commands
 #: (``feed``) and unsolicited errors go to the push lane instead.
 _REQUEST_CMDS = frozenset(
-    {"subscribe", "unsubscribe", "finish", "stats", "ping", "checkpoint", "restore"}
+    {
+        "subscribe",
+        "subscribe_batch",
+        "unsubscribe",
+        "finish",
+        "stats",
+        "ping",
+        "checkpoint",
+        "restore",
+    }
 )
 
 
@@ -101,6 +111,32 @@ class ServiceConnection:
             frame["name"] = name
         reply = await self._request(frame)
         return reply["name"]
+
+    async def subscribe_batch(
+        self, items: Sequence[Tuple[str, Optional[str]]]
+    ) -> list:
+        """Register many standing queries in one ``subscribe_batch`` frame.
+
+        ``items`` is a sequence of ``(query, name)`` pairs (``name`` may be
+        None for an auto-assigned name; a query may be a compiled
+        :class:`repro.api.Query`).  Returns the assigned names in item
+        order.  The server applies the batch all-or-nothing: on any
+        failure no subscription from it survives and this raises
+        :class:`ServiceError`.  The caller keeps the encoded frame under
+        :data:`~repro.service.protocol.MAX_FRAME_BYTES`;
+        :meth:`repro.api.remote.RemoteEngine.subscribe_many` chunks large
+        batches automatically.
+        """
+        payload = []
+        for query, name in items:
+            if not isinstance(query, str):  # compiled repro.api.Query
+                query = query.source
+            entry: Dict[str, Any] = {"query": query}
+            if name is not None:
+                entry["name"] = name
+            payload.append(entry)
+        reply = await self._request({"cmd": "subscribe_batch", "items": payload})
+        return [entry["name"] for entry in reply["subscriptions"]]
 
     async def unsubscribe(self, name: str) -> None:
         """Drop a subscription owned by this connection."""

@@ -12,6 +12,7 @@ Client → server commands (``cmd``):
 ``cmd``        fields                                 reply (``type``)
 =============  =====================================  =======================
 ``subscribe``  ``query``, optional ``name``           ``subscribed``
+``subscribe_batch``  ``items`` (list of objects)      ``subscribed_batch``
 ``unsubscribe``  ``name``                             ``unsubscribed``
 ``feed``       ``data`` (XML text chunk)              — (errors only)
 ``finish``     —                                      ``finished``
@@ -20,6 +21,20 @@ Client → server commands (``cmd``):
 ``checkpoint``  optional ``path``                     ``checkpointed``
 ``restore``    ``path``                               ``restored``
 =============  =====================================  =======================
+
+``subscribe_batch`` registers many standing queries in one round trip:
+each item is ``{"query": ..., "name": optional}`` and the reply carries
+``subscriptions`` (a ``{"name", "query"}`` object per item, in order) plus
+``mid_stream``.  The batch is all-or-nothing — if any item fails to
+compile or collides on a name, no subscription from the batch survives and
+the reply is a single ``error`` frame.  Re-attaching to a
+checkpoint-restored subscription stays on the singular ``subscribe`` verb.
+The sender keeps the encoded frame under :data:`MAX_FRAME_BYTES`
+(:meth:`RemoteEngine.subscribe_many
+<repro.api.remote.RemoteEngine.subscribe_many>` chunks large batches
+automatically).  Servers that predate this verb answer it with an
+``unknown command`` error, which FIFO-resolves the request like any other
+command error.
 
 ``checkpoint`` writes the server's full live state (engine, machine stacks,
 half-parsed document) to a disk file and replies with ``path``/``bytes``;

@@ -897,6 +897,60 @@ class ServiceServer:
             ),
         )
 
+    @staticmethod
+    def _batch_items(frame: Dict[str, Any]) -> List[Tuple[str, Optional[str]]]:
+        """Validate a ``subscribe_batch`` frame into ``(query, name)`` pairs."""
+        items = frame.get("items")
+        if not isinstance(items, list) or not items:
+            raise ProtocolError("subscribe_batch needs a non-empty 'items' list")
+        pairs: List[Tuple[str, Optional[str]]] = []
+        for item in items:
+            if not isinstance(item, dict):
+                raise ProtocolError("subscribe_batch items must be objects")
+            query = item.get("query")
+            if not isinstance(query, str) or not query:
+                raise ProtocolError("subscribe_batch items need a 'query' string")
+            name = item.get("name")
+            if name is not None and not isinstance(name, str):
+                raise ProtocolError("subscribe_batch item 'name' must be a string")
+            pairs.append((query, name))
+        return pairs
+
+    def _cmd_subscribe_batch(
+        self, connection: _Connection, frame: Dict[str, Any]
+    ) -> None:
+        """Register a batch of queries all-or-nothing (one reply frame).
+
+        The engine's :meth:`~repro.core.multi.MultiQueryEvaluator.\
+subscribe_many` provides the rollback: if any item fails, every
+        subscription it already made is unregistered before the error
+        reaches :meth:`_dispatch`, which answers with a single ``error``
+        frame.  Re-attaching a detached (checkpoint-restored) subscription
+        is not batchable — the engine still holds its machine, so reusing
+        its name fails the whole batch; re-attach with ``subscribe``.
+        """
+        subscriptions = self._engine.subscribe_many(self._batch_items(frame))
+        for subscription in subscriptions:
+            handle = _SubscriptionHandle(
+                subscription.name, subscription.query, connection
+            )
+            self._subscriptions[subscription.name] = handle
+            connection.names.append(subscription.name)
+        self._enqueue(
+            connection,
+            None,
+            encode_frame(
+                {
+                    "type": "subscribed_batch",
+                    "subscriptions": [
+                        {"name": subscription.name, "query": subscription.query}
+                        for subscription in subscriptions
+                    ],
+                    "mid_stream": self._session is not None,
+                }
+            ),
+        )
+
     def _cmd_unsubscribe(self, connection: _Connection, frame: Dict[str, Any]) -> None:
         name = frame.get("name")
         handle = self._subscriptions.get(name) if isinstance(name, str) else None
@@ -984,6 +1038,7 @@ class ServiceServer:
 
     _COMMANDS: Dict[str, Callable] = {
         "subscribe": _cmd_subscribe,
+        "subscribe_batch": _cmd_subscribe_batch,
         "unsubscribe": _cmd_unsubscribe,
         "feed": _cmd_feed,
         "finish": _cmd_finish,

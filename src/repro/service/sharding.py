@@ -67,7 +67,7 @@ import os
 import sys
 import time
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from ..core.builder import shared_compiled_cache
 from ..core.checkpoint import (
@@ -700,6 +700,70 @@ class ShardedServiceServer(ServiceServer):
             ),
         )
 
+    async def _cmd_subscribe_batch(self, connection, frame) -> None:
+        """All-or-nothing batch subscribe across the worker pool.
+
+        Phase 1 validates every item and reserves names/routes before any
+        await, so concurrent subscribes see the whole batch as taken.
+        Phase 2 queues every worker request in one locked pass (FIFO reply
+        alignment, same as the singular path) and awaits the replies.  Any
+        failure unwinds every reservation — workers that already accepted
+        their item get a fire-and-forget ``unsubscribe`` from
+        :meth:`_remove_subscription`.
+        """
+        pairs = self._batch_items(frame)
+        registered: List[Tuple[str, str, int]] = []
+        try:
+            for query, name in pairs:
+                if isinstance(name, str):
+                    handle = self._subscriptions.get(name)
+                    if handle is not None and handle.detached:
+                        raise ProtocolError(
+                            f"subscription {name!r} is detached; re-attach "
+                            "it with a plain subscribe, not subscribe_batch"
+                        )
+                fingerprint = self._fingerprint(query)
+                assigned = self._assign_name(name)
+                index = self._pick_worker(fingerprint)
+                self._subscriptions[assigned] = _SubscriptionHandle(
+                    assigned, query, connection
+                )
+                connection.names.append(assigned)
+                self._install_route(assigned, fingerprint, index)
+                registered.append((assigned, query, index))
+            futures = []
+            async with self._pipeline_lock:
+                for assigned, query, index in registered:
+                    futures.append(
+                        self._workers[index].request(
+                            {"cmd": "subscribe", "query": query, "name": assigned}
+                        )
+                    )
+            for future in futures:
+                reply = await future
+                if reply.get("type") == "error":
+                    raise ViteXError(
+                        reply.get("message", "worker subscribe failed")
+                    )
+        except BaseException:
+            for assigned, _query, _index in reversed(registered):
+                self._remove_subscription(assigned)
+            raise
+        self._enqueue(
+            connection,
+            None,
+            encode_frame(
+                {
+                    "type": "subscribed_batch",
+                    "subscriptions": [
+                        {"name": assigned, "query": query}
+                        for assigned, query, _index in registered
+                    ],
+                    "mid_stream": self._doc_open,
+                }
+            ),
+        )
+
     def _reattach_subscription(self, connection, handle, query) -> None:
         # Same semantics as the base server, but mid_stream reflects the
         # front's document state (the front has no local session).
@@ -940,6 +1004,7 @@ class ShardedServiceServer(ServiceServer):
     _COMMANDS.update(
         {
             "subscribe": _cmd_subscribe,
+            "subscribe_batch": _cmd_subscribe_batch,
             "feed": _cmd_feed,
             "finish": _cmd_finish,
             "stats": _cmd_stats,

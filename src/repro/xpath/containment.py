@@ -1,0 +1,276 @@
+"""Conservative containment analysis over normalized query twigs.
+
+The multi-query engine's fingerprint dedup (PR 2) only collapses
+*structurally identical* queries.  This module provides the analysis behind
+the next sharing level, **containment sharing**: a family of linear path
+queries that all select the same output label — ``//a//c``, ``/r/a//c``,
+``//c`` refinement families — can be served by one shared *anchor* machine
+for ``//<output label>`` plus a cheap per-subscriber *residual* check of the
+remaining path constraint against the ancestor tag chain of each emitted
+element.
+
+Everything here is deliberately conservative.  :func:`residual_plan` returns
+a plan only for queries where the rewrite is *provably* answer-preserving:
+
+* the main path is linear (no predicate subtrees anywhere),
+* every step is an element test on the ``child`` or ``descendant`` axis
+  (wildcards allowed),
+* no step carries a value test,
+* the output node is the final main-path element node,
+* the path has at least two steps (single-step queries *are* their own
+  anchor; fingerprint dedup already collapses those).
+
+Any query outside this fragment — predicates, attribute or ``text()``
+output, value tests — falls back to a private machine, so unknown cases can
+never produce wrong answers.  The residual check itself
+(:func:`path_matches`) is an exact anchored path-automaton match, not an
+approximation: for eligible queries, an element matches the query iff its
+ancestor tag chain (root → element, inclusive) satisfies the step sequence.
+
+:func:`query_contains` exposes the same machinery as a conservative
+pairwise containment test (``True`` means provably contained; ``False``
+means "not provably contained", not "disjoint").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .ast import Axis, FormulaTrue, NodeKind, QueryTree
+from .normalize import compile_query
+
+#: One residual step: ``(label, is_descendant)``.  ``label`` may be ``"*"``.
+ResidualStep = Tuple[str, bool]
+
+#: Anchor label used for wildcard-output families (``//*`` anchor machine).
+WILDCARD_LABEL = "*"
+
+__all__ = [
+    "ResidualPlan",
+    "main_path_steps",
+    "path_matches",
+    "query_contains",
+    "residual_plan",
+]
+
+
+class ResidualPlan:
+    """The containment-sharing rewrite of one eligible query.
+
+    ``anchor_source`` is the single-step anchor query (``//c`` or ``//*``)
+    whose machine the family shares; ``steps`` is the full original step
+    sequence checked against each emitted element's ancestor tag chain.
+    """
+
+    __slots__ = ("steps", "anchor_label", "anchor_source")
+
+    def __init__(self, steps: Tuple[ResidualStep, ...], anchor_label: str) -> None:
+        self.steps = steps
+        self.anchor_label = anchor_label
+        self.anchor_source = f"//{anchor_label}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rendered = "".join(
+            ("//" if descendant else "/") + label for label, descendant in self.steps
+        )
+        return f"<ResidualPlan {rendered!r} anchor={self.anchor_source!r}>"
+
+
+def main_path_steps(tree: QueryTree) -> Optional[Tuple[ResidualStep, ...]]:
+    """The main path of ``tree`` as ``(label, is_descendant)`` steps.
+
+    Returns ``None`` when the query is outside the shareable fragment: any
+    predicate subtree, value test, non-element step, or an axis other than
+    ``child``/``descendant`` anywhere on the main path.  The first step's
+    flag is relative to the virtual document root (``/a`` means "``a`` is
+    the document element"; ``//a`` means "``a`` at any depth").
+    """
+    steps: List[ResidualStep] = []
+    node = tree.root
+    while node is not None:
+        if node.kind is not NodeKind.ELEMENT:
+            return None
+        if node.axis not in (Axis.CHILD, Axis.DESCENDANT):
+            return None
+        if node.predicate_children:
+            return None
+        if not isinstance(node.formula, FormulaTrue):
+            return None
+        if node.value_test is not None:
+            return None
+        steps.append((node.label, node.axis is Axis.DESCENDANT))
+        node = node.main_child
+    if not steps:
+        return None
+    return tuple(steps)
+
+
+def residual_plan(query: Union[str, QueryTree]) -> Optional[ResidualPlan]:
+    """Return the containment-sharing plan for ``query``, or ``None``.
+
+    ``None`` means the query must keep a private (or fingerprint-shared)
+    machine.  Single-step eligible queries also return ``None``: their
+    anchor would be the query itself, and fingerprint dedup already shares
+    those exactly.
+    """
+    tree = compile_query(query) if isinstance(query, str) else query
+    if not tree.output_node.is_output or tree.output_node.kind is not NodeKind.ELEMENT:
+        return None
+    if tree.output_node.main_child is not None:
+        return None
+    steps = main_path_steps(tree)
+    if steps is None or len(steps) < 2:
+        return None
+    return ResidualPlan(steps, steps[-1][0])
+
+
+def path_matches(steps: Sequence[ResidualStep], chain: Sequence[str]) -> bool:
+    """Exact anchored match of a step sequence against an ancestor chain.
+
+    ``chain`` is the tag sequence from the document element down to (and
+    including) the candidate output element; the last step must land exactly
+    on the last chain entry.  The match is the standard reachable-positions
+    scan of a linear path automaton: O(steps x chain) worst case, with the
+    usual descendant-axis shortcut (a descendant step only needs the
+    *earliest* reachable start position).
+    """
+    length = len(chain)
+    if length == 0:
+        return False
+    reachable = [True] + [False] * length
+    for label, descendant in steps:
+        wildcard = label == WILDCARD_LABEL
+        if descendant:
+            # Earliest reachable position dominates: from it, the step can
+            # land on any deeper matching tag.
+            earliest = -1
+            for position in range(length + 1):
+                if reachable[position]:
+                    earliest = position
+                    break
+            reachable = [False] * (length + 1)
+            if earliest < 0:
+                return False
+            for target in range(earliest + 1, length + 1):
+                if wildcard or chain[target - 1] == label:
+                    reachable[target] = True
+        else:
+            advanced = [False] * (length + 1)
+            for position in range(length):
+                if reachable[position] and (
+                    wildcard or chain[position] == label
+                ):
+                    advanced[position + 1] = True
+            reachable = advanced
+    return reachable[length]
+
+
+def query_contains(
+    general: Union[str, QueryTree], specific: Union[str, QueryTree]
+) -> bool:
+    """Conservative test: does ``general`` contain every ``specific`` answer?
+
+    ``True`` is a proof (on every document, every element selected by
+    ``specific`` is also selected by ``general``); ``False`` only means the
+    proof did not go through.  The test covers the fragment the sharing
+    planner uses: ``general`` must be a predicate-free linear path; the
+    *main path* of ``specific`` is compared after stripping its predicates
+    (predicates only ever narrow the answer, so stripping is sound on the
+    specific side), and both must select their final main-path element.
+    """
+    general_tree = compile_query(general) if isinstance(general, str) else general
+    specific_tree = compile_query(specific) if isinstance(specific, str) else specific
+    general_steps = main_path_steps(general_tree)
+    if general_steps is None:
+        return False
+    for tree in (general_tree, specific_tree):
+        output = tree.output_node
+        if not output.is_output or output.kind is not NodeKind.ELEMENT:
+            return False
+        if output.main_child is not None:
+            return False
+    specific_steps = _stripped_main_path(specific_tree)
+    if specific_steps is None:
+        return False
+    return _steps_subsume(general_steps, specific_steps)
+
+
+def _stripped_main_path(tree: QueryTree) -> Optional[Tuple[ResidualStep, ...]]:
+    """Main-path steps of ``tree`` ignoring predicates and value tests."""
+    steps: List[ResidualStep] = []
+    node = tree.root
+    while node is not None:
+        if node.kind is not NodeKind.ELEMENT:
+            return None
+        if node.axis not in (Axis.CHILD, Axis.DESCENDANT):
+            return None
+        steps.append((node.label, node.axis is Axis.DESCENDANT))
+        node = node.main_child
+    return tuple(steps) if steps else None
+
+
+def _steps_subsume(
+    general: Tuple[ResidualStep, ...], specific: Tuple[ResidualStep, ...]
+) -> bool:
+    """Homomorphism check: can ``general`` be embedded into ``specific``?
+
+    Maps general steps onto specific steps in order, wildcards matching any
+    label, a child-axis general step requiring adjacency, the first general
+    step anchored the same way at the root, and the last steps aligned (both
+    select the output).  A homomorphism proves containment for linear paths;
+    its absence proves nothing — which is exactly the conservative contract.
+    """
+    placements = _initial_placements(general[0], specific)
+    for label, descendant in general[1:]:
+        wildcard = label == WILDCARD_LABEL
+        next_placements = set()
+        for position in placements:
+            if descendant:
+                # A ``//`` edge needs the target strictly below the source,
+                # which any forward mapping guarantees (every specific edge
+                # descends at least one level).
+                for target in range(position + 1, len(specific)):
+                    if wildcard or specific[target][0] == label:
+                        next_placements.add(target)
+            else:
+                # A ``/`` edge needs a guaranteed parent-child link: only
+                # the adjacent specific step, and only when that specific
+                # edge is itself the child axis.
+                target = position + 1
+                if (
+                    target < len(specific)
+                    and not specific[target][1]
+                    and (wildcard or specific[target][0] == label)
+                ):
+                    next_placements.add(target)
+        placements = next_placements
+        if not placements:
+            return False
+    return (len(specific) - 1) in placements
+
+
+def _initial_placements(
+    first: ResidualStep, specific: Tuple[ResidualStep, ...]
+) -> set:
+    """Positions in ``specific`` the first general step can map onto."""
+    label, descendant = first
+    wildcard = label == WILDCARD_LABEL
+    placements = set()
+    if descendant:
+        # ``//label`` matches at any depth, but only along an all-descendant
+        # reachable frontier is every specific answer guaranteed below it:
+        # the specific path must reach position p from the root regardless
+        # of document shape, which holds for any position (the specific
+        # path's own steps pin the chain).  Mapping onto any position is
+        # sound because the mapped specific step's element *is* on every
+        # specific answer's chain.
+        for target in range(len(specific)):
+            if wildcard or specific[target][0] == label:
+                placements.add(target)
+    else:
+        # ``/label``: the general root step must be the document element,
+        # which only the specific root step is guaranteed to be — and only
+        # when the specific path also starts with a child step.
+        if not specific[0][1] and (wildcard or specific[0][0] == label):
+            placements.add(0)
+    return placements

@@ -158,3 +158,38 @@ def chain_query_with_predicates(
         suffix = f"[{predicate}]" if predicate else ""
         parts.append(f"//{tag}{suffix}")
     return "".join(parts)
+
+
+#: The refinement shapes of one containment family, most-general first.
+#: Every shape is a linear, predicate-free path selecting ``v{f}`` — the
+#: family's output label — so all five are refinements of the anchor
+#: ``//v{f}`` and eligible for containment sharing
+#: (:mod:`repro.xpath.containment`).
+FAMILY_VARIANTS: Sequence[str] = (
+    "//s{f}/v{f}",
+    "//r//v{f}",
+    "//r/s{f}/v{f}",
+    "//feed//s{f}/v{f}",
+    "/feed/r/s{f}/v{f}",
+)
+
+
+def refinement_family_queries(count: int, families: int) -> List[str]:
+    """Build ``count`` queries spread over ``families`` containment families.
+
+    Query *i* belongs to family ``i % families`` and takes the refinement
+    shape ``(i // families) % len(FAMILY_VARIANTS)``, so the queries cycle
+    every family once per shape before repeating: ``families × 5`` distinct
+    fingerprints regardless of ``count``.  A fingerprint-dedup engine runs
+    one machine per fingerprint; containment sharing collapses each family
+    to its single ``//v{f}`` anchor machine.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if families < 1:
+        raise ValueError("families must be >= 1")
+    variants = len(FAMILY_VARIANTS)
+    return [
+        FAMILY_VARIANTS[(i // families) % variants].format(f=i % families)
+        for i in range(count)
+    ]

@@ -110,6 +110,48 @@ class TestSubscriptions:
         assert matches == [(m.name, m.solution) for m in matches]
 
 
+class TestBatchSubscriptions:
+    def test_subscribe_many_returns_handles_in_order(self, simple_doc):
+        with Engine() as engine:
+            subscriptions = engine.subscribe_many(
+                [("//book", "books"), "//journal", (Query("//title"), "titles")]
+            )
+            assert [s.name for s in subscriptions] == ["books", "q0", "titles"]
+            results = engine.evaluate(simple_doc)
+        assert len(results["books"]) == 2
+        assert len(results["titles"]) == 3
+
+    def test_subscribe_many_callback_receives_matches(self, simple_doc):
+        received = []
+        with Engine() as engine:
+            engine.subscribe_many(
+                [("//book/@id", "ids"), ("//journal/@id", "jids")],
+                callback=received.append,
+            )
+            engine.evaluate(simple_doc)
+        assert all(isinstance(match, Match) for match in received)
+        assert sorted((m.name, m.solution.value) for m in received) == [
+            ("ids", "b1"),
+            ("ids", "b2"),
+            ("jids", "j1"),
+        ]
+
+    def test_subscribe_many_is_all_or_nothing(self):
+        with Engine() as engine:
+            engine.subscribe("//a", name="taken")
+            with pytest.raises(EngineError):
+                engine.subscribe_many([("//b", "fresh"), ("//c", "taken")])
+            assert [s.name for s in engine.subscriptions] == ["taken"]
+
+    def test_batch_shares_machines_under_containment(self):
+        with Engine(containment_sharing=True) as engine:
+            engine.subscribe_many(["//a//c", "//a/c", "//b/c", "/r//c"])
+            stats = engine.stats()
+            assert stats.subscriptions == 4
+            assert stats.machines == 1
+            assert stats.families == 1
+
+
 class TestSessions:
     def test_open_returns_stream_session(self):
         assert Session is StreamSession

@@ -104,5 +104,5 @@ class TestAcceptedEverywhere:
         with Engine() as engine:
             engine.subscribe(Query("//a[b]"))
             engine.subscribe(Query("//a[ b ]"))
-            assert engine.machine_count == 1
+            assert engine.stats().machines == 1
             assert len(engine) == 2

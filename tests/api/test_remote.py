@@ -151,6 +151,73 @@ class TestSubscribe:
         run(scenario())
 
 
+class TestSubscribeBatch:
+    def test_subscribe_many_returns_handles(self):
+        async def scenario():
+            server = await _start()
+            host, port = server.address
+            async with await connect(host, port) as engine:
+                subscriptions = await engine.subscribe_many(
+                    [("//a//b", "b"), "//a//c", (Query("//a/@id"), "ids")]
+                )
+                assert [s.name for s in subscriptions] == ["b", "q0", "ids"]
+                assert all(
+                    isinstance(s, RemoteSubscription) for s in subscriptions
+                )
+                assert set(engine.subscriptions) == {"b", "q0", "ids"}
+                await engine.publish('<a id="1"><b>x</b><c>y</c></a>')
+                matches = [m async for m in engine.matches(stop_at_eof=True)]
+                assert sorted(m.name for m in matches) == sorted(
+                    ["b", "q0", "ids"]
+                )
+            await server.close()
+
+        run(scenario())
+
+    def test_batch_is_all_or_nothing(self):
+        async def scenario():
+            server = await _start()
+            host, port = server.address
+            async with await connect(host, port) as engine:
+                await engine.subscribe("//a", name="taken")
+                with pytest.raises(Exception) as excinfo:
+                    await engine.subscribe_many(
+                        [("//b", "fresh"), ("//c", "taken")]
+                    )
+                assert "taken" in str(excinfo.value)
+                # The server rolled the whole batch back: only the original
+                # subscription remains, and the names are free again.
+                assert set(engine.subscriptions) == {"taken"}
+                await engine.subscribe_many([("//b", "fresh")])
+                assert set(engine.subscriptions) == {"taken", "fresh"}
+            await server.close()
+
+        run(scenario())
+
+    def test_batch_callback_delivery(self):
+        async def scenario():
+            server = await _start()
+            host, port = server.address
+            received: list = []
+            done = asyncio.Event()
+
+            def on_match(match: Match) -> None:
+                received.append(match)
+                if len(received) == 2:
+                    done.set()
+
+            async with await connect(host, port) as engine:
+                await engine.subscribe_many(
+                    ["//a//b", "//a//c"], callback=on_match
+                )
+                await engine.publish("<a><b>x</b><c>y</c></a>")
+                await asyncio.wait_for(done.wait(), timeout=5)
+                assert sorted(m.name for m in received) == ["q0", "q1"]
+            await server.close()
+
+        run(scenario())
+
+
 class TestPublish:
     def test_open_session(self):
         async def scenario():

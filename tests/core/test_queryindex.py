@@ -1,10 +1,16 @@
-"""Unit tests for the label-dispatch query index."""
+"""Unit tests for the prefix-trie dispatch index."""
 
 from __future__ import annotations
 
 from repro.core.builder import CompiledQueryCache, build_machine
 from repro.core.engine import TwigMEvaluator
-from repro.core.queryindex import QueryIndex, QueryRuntime, machine_label_profile
+from repro.core.queryindex import (
+    QueryIndex,
+    QueryRuntime,
+    machine_label_profile,
+    trie_path,
+)
+from repro.xpath.normalize import compile_query
 
 
 def _runtime(query: str, cache: CompiledQueryCache) -> QueryRuntime:
@@ -89,3 +95,90 @@ class TestDispatch:
         assert classes["a"] == 2
         assert classes["b"] == 1
         assert "2 machine(s)" in index.describe()
+
+    def test_dispatch_is_memoized_until_registration_changes(self):
+        cache = CompiledQueryCache()
+        index = QueryIndex()
+        first = _runtime("//a", cache)
+        index.add(first)
+        warm = index.dispatch("a")
+        assert index.dispatch("a") is warm  # one dict probe after warm-up
+        second = _runtime("//a/b", cache)
+        index.add(second)
+        assert index.dispatch("a") == [first, second]
+
+    def test_peak_fanout_tracks_largest_interest_set(self):
+        cache = CompiledQueryCache()
+        index = QueryIndex()
+        for i in range(4):
+            index.add(_runtime(f"//x/q{i}", cache))
+        index.add(_runtime("//y", cache))
+        assert index.peak_fanout == 0  # nothing materialised yet
+        index.dispatch("y")
+        assert index.peak_fanout == 1
+        index.dispatch("x")
+        assert index.peak_fanout == 4
+
+
+class TestTriePath:
+    def test_element_axes(self):
+        assert trie_path(compile_query("//a/b//c")) == (
+            ("//", "a"),
+            ("/", "b"),
+            ("//", "c"),
+        )
+
+    def test_attribute_and_text_terminals_distinguish_paths(self):
+        base = trie_path(compile_query("//a"))
+        attr = trie_path(compile_query("//a/@id"))
+        text = trie_path(compile_query("//a/text()"))
+        assert attr == base + (("@", "id"),)
+        assert text == base + (("text()", ""),)
+
+    def test_predicates_do_not_participate(self):
+        assert trie_path(compile_query("//a[b]//c")) == trie_path(
+            compile_query("//a//c")
+        )
+
+
+class TestTrieInterning:
+    def test_shared_prefixes_intern_once(self):
+        cache = CompiledQueryCache()
+        index = QueryIndex()
+        index.add(_runtime("//a/b", cache))
+        assert index.trie_node_count == 2
+        # Shares the ``//a`` node; only ``/c`` is new.
+        index.add(_runtime("//a/c", cache))
+        assert index.trie_node_count == 3
+
+    def test_refcounted_removal_prunes_unused_suffixes(self):
+        cache = CompiledQueryCache()
+        index = QueryIndex()
+        shared_a = _runtime("//a/b", cache)
+        shared_b = _runtime("//a/b", cache)
+        longer = _runtime("//a/b//c", cache)
+        for runtime in (shared_a, shared_b, longer):
+            index.add(runtime)
+        assert index.trie_node_count == 3
+        # One of two identical paths leaves: every node still referenced.
+        index.remove(shared_a)
+        assert index.trie_node_count == 3
+        # The longer path leaves: only its private suffix is pruned.
+        index.remove(longer)
+        assert index.trie_node_count == 2
+        # Last registration leaves: the trie empties completely.
+        index.remove(shared_b)
+        assert index.trie_node_count == 0
+
+    def test_interior_node_with_refs_survives_suffix_removal(self):
+        cache = CompiledQueryCache()
+        index = QueryIndex()
+        short = _runtime("//a/b", cache)
+        long = _runtime("//a/b//c", cache)
+        index.add(short)
+        index.add(long)
+        index.remove(long)
+        # ``//a/b`` still ends a registration, so its nodes survive.
+        assert index.trie_node_count == 2
+        index.remove(short)
+        assert index.trie_node_count == 0

@@ -234,6 +234,86 @@ class TestRoutingPolicy:
         run(scenario())
 
 
+class TestSubscribeBatch:
+    def test_batch_spreads_across_workers(self):
+        async def scenario():
+            server = ShardedServiceServer(workers=2, parser="native")
+            await server.start(port=0)
+            host, port = server.address
+            client = await ServiceConnection.connect(host, port)
+            try:
+                names = await client.subscribe_batch(
+                    [
+                        ("//s1/v1", "a"),
+                        ("//s2/v2", None),
+                        ("//s3/v3", "c"),
+                        ("//s4/v4", None),
+                    ]
+                )
+                assert names[0] == "a"
+                assert names[2] == "c"
+                assert len(set(names)) == 4
+                stats = await client.stats()
+                assert stats["subscriptions"] == 4
+                per_worker = sorted(w["subscriptions"] for w in stats["workers"])
+                assert per_worker == [2, 2]
+            finally:
+                await client.close()
+                await server.close()
+
+        run(scenario())
+
+    def test_batch_is_all_or_nothing(self):
+        async def scenario():
+            server = ShardedServiceServer(workers=2, parser="native")
+            await server.start(port=0)
+            host, port = server.address
+            client = await ServiceConnection.connect(host, port)
+            try:
+                await client.subscribe("//s1/v1", name="taken")
+                with pytest.raises(ServiceError) as excinfo:
+                    await client.subscribe_batch(
+                        [("//s2/v2", "fresh"), ("//s3/v3", "taken")]
+                    )
+                assert "taken" in str(excinfo.value)
+                stats = await client.stats()
+                # Rollback released the reserved route: only the original
+                # subscription remains and 'fresh' is free to use again.
+                assert stats["subscriptions"] == 1
+                await client.subscribe("//s2/v2", name="fresh")
+            finally:
+                await client.close()
+                await server.close()
+
+        run(scenario())
+
+    def test_batch_delivers_like_singular_subscribes(self):
+        async def scenario():
+            server = ShardedServiceServer(workers=2, parser="native")
+            await server.start(port=0)
+            host, port = server.address
+            subscriber = await ServiceConnection.connect(host, port)
+            publisher = await ServiceConnection.connect(host, port)
+            try:
+                await subscriber.subscribe_batch(
+                    [("//f/s1", "one"), ("//f/s2", "two")]
+                )
+                await publisher.feed("<f><s1>x</s1><s2>y</s2></f>")
+                await publisher.finish()
+                seen = set()
+                while len(seen) < 2:
+                    frame = await subscriber.next_push(timeout=10)
+                    if frame.get("type") == "solution":
+                        seen.add(frame["name"])
+                assert seen == {"one", "two"}
+            finally:
+                await subscriber.close()
+                await publisher.close()
+                await server.close()
+
+        run(scenario())
+
+
 #: Flat keys every /stats payload must carry — the stable public schema.
 STATS_FLAT_KEYS = {
     "type",
