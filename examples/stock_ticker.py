@@ -1,26 +1,34 @@
 #!/usr/bin/env python3
-"""Stock ticker monitoring: incremental results on an unbounded-style stream.
+"""Stock ticker monitoring: incremental results on a genuinely unbounded stream.
 
 The paper motivates streaming XPath with stock market data and personalised
-news: results must be delivered while the stream is still arriving.  This
-example simulates exactly that with the unified facade:
+news: results must be delivered while the stream is still arriving — and the
+stream never ends.  This example runs exactly that scenario on the
+infinite-stream subsystem:
 
-* a stock/news feed is generated chunk by chunk (never materialised),
+* stock/news feed *documents* are generated round after round (never
+  materialised as one blob),
 * several subscriptions are registered on one :class:`repro.Engine`,
-* the chunks are pushed through an :meth:`Engine.open` session — the same
-  push surface the network service uses — and each subscription prints its
-  alerts the moment the matching update has been fully received, long
-  before the feed ends.
+* the documents are pushed through :meth:`Engine.document_stream` — the
+  unbounded session with autodetected document boundaries — and each
+  subscription prints its alerts the moment the matching update has been
+  fully received, while per-document machine state resets keep memory flat
+  no matter how long the feed runs.
 
-Run it with ``python examples/stock_ticker.py [--updates 2000]``.
+Run a bounded simulation with ``python examples/stock_ticker.py
+[--updates 2000] [--rounds 3]``, or keep it running until Ctrl-C with
+``--forever`` — the exit banner then prints the sealed per-window stats
+(docs/s, matches/s, peak live entries, latency percentiles).
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import time
 
 from repro import Engine, Match, Query
+from repro.core.docstream import WindowStats
 from repro.datasets import NewsFeedConfig, NewsFeedGenerator
 
 
@@ -43,34 +51,74 @@ class Alerts:
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--updates", type=int, default=2000, help="number of feed updates")
+    parser.add_argument("--updates", type=int, default=2000, help="feed updates per document")
+    parser.add_argument("--rounds", type=int, default=3, help="documents to stream (ignored with --forever)")
+    parser.add_argument(
+        "--forever",
+        action="store_true",
+        help="stream documents until Ctrl-C, then print per-window stats",
+    )
     parser.add_argument("--seed", type=int, default=14)
     args = parser.parse_args()
 
-    generator = NewsFeedGenerator(NewsFeedConfig(updates=args.updates), seed=args.seed)
     queries = {
         "ACME quotes": Query("//update[quote/@symbol='ACME']"),
         "big movers": Query("//update/quote[price>450]/@symbol"),
         "market headlines": Query("//headline[@section='markets']/title/text()"),
     }
 
-    print(f"Streaming a feed of {args.updates} updates with {len(queries)} subscriptions...\n")
+    horizon = "until Ctrl-C" if args.forever else f"for {args.rounds} round(s)"
+    print(
+        f"Streaming feed documents of {args.updates} updates {horizon} "
+        f"with {len(queries)} subscriptions...\n"
+    )
 
     start = time.perf_counter()
     alerts = Alerts(start)
-    chunk_count = 0
+    windows: list[WindowStats] = []
+    interrupted = False
+    expected_acme = 0
     with Engine() as engine:
         for name, query in queries.items():
             engine.subscribe(query, callback=alerts, name=name)
-        session = engine.open()
-        for chunk in generator.chunks():
-            chunk_count += 1
-            session.feed_text(chunk)
-        session.finish()
+        # The unbounded session: document boundaries are autodetected at each
+        # root close, machine state resets between documents (flat memory),
+        # subscriptions and their counters survive across every document.
+        session = engine.document_stream(
+            window_documents=5, on_window=windows.append
+        )
+
+        def _sigint_handler(signum, frame):
+            raise KeyboardInterrupt
+
+        try:
+            previous_handler = signal.signal(signal.SIGINT, _sigint_handler)
+        except ValueError:  # not the main thread (e.g. under a test runner)
+            previous_handler = None
+        round_index = 0
+        try:
+            while args.forever or round_index < args.rounds:
+                generator = NewsFeedGenerator(
+                    NewsFeedConfig(updates=args.updates), seed=args.seed + round_index
+                )
+                expected_acme += generator.expected_symbol_updates("ACME")
+                for chunk in generator.chunks():
+                    session.feed_text(chunk)
+                round_index += 1
+        except KeyboardInterrupt:
+            interrupted = True
+        finally:
+            if previous_handler is not None:
+                signal.signal(signal.SIGINT, previous_handler)
+        final = session.close()
         elapsed = time.perf_counter() - start
 
         print()
-        print(f"Feed finished: {chunk_count} chunks in {elapsed:.2f} s\n")
+        state = "interrupted" if interrupted else "finished"
+        print(
+            f"Stream {state}: {final['documents']} document(s), "
+            f"{final['elements']} element(s) in {elapsed:.2f} s\n"
+        )
         print(f"{'subscription':<20} {'alerts':>8} {'first alert (s)':>16} {'of total time':>14}")
         print("-" * 62)
         for name in queries:
@@ -79,12 +127,31 @@ def main() -> None:
             first_text = f"{first:.4f}" if first is not None else "-"
             print(f"{name:<20} {alerts.counts.get(name, 0):>8} {first_text:>16} {fraction:>14}")
         print()
+        if windows:
+            print("Per-window stream stats (5 documents per window):")
+            print(
+                f"{'window':>6} {'docs/s':>8} {'matches/s':>10} "
+                f"{'peak live':>10} {'p95 ms':>8}"
+            )
+            for window in windows[-8:]:
+                print(
+                    f"{window.index:>6} {window.docs_per_s:>8.1f} "
+                    f"{window.matches_per_s:>10.1f} "
+                    f"{window.peak_live_entries:>10} "
+                    f"{window.latency_p95_ms:>8.1f}"
+                )
+            print()
         print("Each subscription received its first alert after a small fraction of the")
-        print("stream — the incremental-output requirement from the paper's motivation.")
+        print("stream, and memory stayed flat across documents — the unbounded-stream")
+        print("requirement from the paper's motivation.")
 
-        expected = generator.expected_symbol_updates("ACME")
-        actual = alerts.counts.get("ACME quotes", 0)
-        assert actual == expected, f"expected {expected} ACME alerts, got {actual}"
+        if not interrupted:
+            # Bounded runs are deterministic: the ACME subscription must have
+            # caught every ACME update across every streamed document.
+            actual = alerts.counts.get("ACME quotes", 0)
+            assert actual == expected_acme, (
+                f"expected {expected_acme} ACME alerts, got {actual}"
+            )
 
 
 if __name__ == "__main__":

@@ -49,6 +49,7 @@ from .api import (
 )
 from .api.compat import TwigMEvaluator
 from .core.checkpoint import dumps_snapshot, loads_snapshot
+from .core.docstream import DocumentStreamSession, WindowStats
 from .core.engine import evaluate, stream_evaluate
 from .core.multi import MultiQueryEvaluator, Subscription, evaluate_many
 from .core.results import NodeRef, ResultSet, Solution, SolutionKind
@@ -67,11 +68,12 @@ from .service.client import ServiceClient, ServiceError
 from .xpath.normalize import compile_query
 from .xpath.parser import parse_xpath
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CheckpointError",
     "DatasetError",
+    "DocumentStreamSession",
     "Engine",
     "EngineConfig",
     "EngineError",
@@ -93,6 +95,7 @@ __all__ = [
     "TwigMEvaluator",
     "UnsupportedFeatureError",
     "ViteXError",
+    "WindowStats",
     "XMLSyntaxError",
     "XPathError",
     "XPathSyntaxError",

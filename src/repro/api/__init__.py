@@ -22,6 +22,7 @@ The legacy entry points remain importable and functional behind thin
 :class:`DeprecationWarning` shims; see the README migration table.
 """
 
+from ..core.docstream import DocumentStreamSession, WindowStats
 from ..core.results import Match
 from ..core.session import StreamSession as Session
 from .config import EngineConfig
@@ -30,6 +31,7 @@ from .query import Query
 from .remote import RemoteEngine, RemoteSession, RemoteSubscription, connect
 
 __all__ = [
+    "DocumentStreamSession",
     "Engine",
     "EngineConfig",
     "EngineStats",
@@ -39,5 +41,6 @@ __all__ = [
     "RemoteSession",
     "RemoteSubscription",
     "Session",
+    "WindowStats",
     "connect",
 ]

@@ -31,6 +31,7 @@ from typing import (
     Union,
 )
 
+from ..core.docstream import DocumentStreamSession, WindowStats
 from ..core.multi import EngineStats, MultiQueryEvaluator, Subscription
 from ..core.results import Match, ResultSet, Solution
 from ..core.session import StreamSession
@@ -240,6 +241,53 @@ class Engine:
             resumable=(
                 resumable if resumable is not None else self._config.resumable
             ),
+        )
+
+    def document_stream(
+        self,
+        parser: Optional[str] = None,
+        framing: str = "auto",
+        encoding: Optional[str] = None,
+        retain_documents: Optional[int] = None,
+        retain_bytes: Optional[int] = None,
+        window_documents: int = 100,
+        on_window: Optional[Callable[[WindowStats], None]] = None,
+        on_error: str = "raise",
+        resumable: Optional[bool] = None,
+    ) -> DocumentStreamSession:
+        """Open an *unbounded* stream of documents (infinite-stream mode).
+
+        Unlike :meth:`open` — one bounded document ended by ``finish()`` —
+        the returned :class:`~repro.core.docstream.DocumentStreamSession`
+        accepts an endless feed of concatenated documents
+        (``framing="auto"``: boundaries autodetected at root-close) or
+        length-framed units (``framing="framed"``).  Between documents the
+        machines reset (memory stays flat over millions of elements) while
+        subscriptions and their delivery counters stay alive; every
+        ``window_documents`` completed documents a
+        :class:`~repro.core.docstream.WindowStats` is sealed.
+
+        With ``retain_documents`` / ``retain_bytes`` set, the session keeps
+        a rolling spool of recent documents as replayable event frames, and
+        ``session.subscribe(query, callback, replay_window=True)`` gives a
+        late subscriber the retained window *plus* seamless live delivery —
+        exactly once, no duplicate, no gap.  Callbacks registered through
+        the session receive :class:`~repro.core.results.Match` objects,
+        matching every other facade delivery surface.
+        """
+        return self._engine.document_stream(
+            parser=parser if parser is not None else self._config.parser,
+            framing=framing,
+            encoding=encoding,
+            retain_documents=retain_documents,
+            retain_bytes=retain_bytes,
+            window_documents=window_documents,
+            on_window=on_window,
+            on_error=on_error,
+            resumable=(
+                resumable if resumable is not None else self._config.resumable
+            ),
+            callback_adapter=_adapt_callback,
         )
 
     # ------------------------------------------------------------ state

@@ -164,6 +164,7 @@ class RemoteEngine:
         query: QuerySource,
         callback: Optional[MatchCallback] = None,
         name: Optional[str] = None,
+        replay_window: bool = False,
     ) -> RemoteSubscription:
         """Register a standing query on the server; returns its handle.
 
@@ -171,7 +172,11 @@ class RemoteEngine:
         :class:`~repro.api.query.Query`.  With ``callback``, a background
         dispatcher consumes the push lane and invokes it with each
         :class:`~repro.core.results.Match`; without, iterate
-        :meth:`matches` yourself.
+        :meth:`matches` yourself.  With ``replay_window=True`` (needs an
+        open stream session with retention, see :meth:`stream_open`) the
+        server first replays its retained document window to this
+        subscription; replayed solutions arrive on the push lane marked
+        ``"replayed": true`` and then live delivery continues seamlessly.
         """
         if callback is not None and self._iterating:
             raise RuntimeError(
@@ -180,7 +185,9 @@ class RemoteEngine:
                 "iterator first)"
             )
         source = query if isinstance(query, str) else query.source
-        assigned = await self._client.subscribe(source, name)
+        assigned = await self._client.subscribe(
+            source, name, replay_window=replay_window
+        )
         subscription = RemoteSubscription(self, assigned, source)
         self._subscriptions[assigned] = subscription
         if callback is not None:
@@ -324,6 +331,44 @@ class RemoteEngine:
     async def ping(self) -> None:
         """Round-trip a ``ping`` (orders the push lane after prior feeds)."""
         await self._client.ping()
+
+    async def stream_open(
+        self,
+        retain_documents: Optional[int] = None,
+        retain_bytes: Optional[int] = None,
+        window_documents: Optional[int] = None,
+        on_error: Optional[str] = None,
+        idle_timeout: Optional[float] = None,
+        heartbeat_interval: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Open an infinite-stream session on the server.
+
+        While open, :meth:`feed` frames carry concatenated documents whose
+        boundaries the server autodetects — ``finish`` is never sent; each
+        completed document broadcasts an ``eof`` push.
+        ``retain_documents``/``retain_bytes`` arm the rolling replay
+        retention window for ``subscribe(..., replay_window=True)``;
+        ``idle_timeout``/``heartbeat_interval`` arm the server-side
+        liveness monitor (both off by default).  Returns the
+        ``stream_opened`` reply.
+        """
+        return await self._client.stream_open(
+            retain_documents=retain_documents,
+            retain_bytes=retain_bytes,
+            window_documents=window_documents,
+            on_error=on_error,
+            idle_timeout=idle_timeout,
+            heartbeat_interval=heartbeat_interval,
+        )
+
+    async def stream_close(self) -> Dict[str, Any]:
+        """End the server's stream session; returns its final stats."""
+        return await self._client.stream_close()
+
+    async def feed(self, chunk: str) -> None:
+        """Send one raw ``feed`` frame (stream mode: no session lifecycle;
+        the server splits the text at document boundaries itself)."""
+        await self._client.feed(chunk)
 
     async def checkpoint(self, path: Optional[str] = None) -> Dict[str, Any]:
         """Ask the server to write a checkpoint file; returns its metadata."""

@@ -88,6 +88,17 @@ METRIC_SPECS: Dict[str, Dict[str, Tuple[str, ...]]] = {
         "relative": (),
         "absolute": ("registrations_per_s", "events_per_s"),
     },
+    # soak (M5) gates throughput per phase (warmup/steady); the flat-RSS
+    # assertion itself lives inside run_soak (a violation raises before a
+    # report is even written), so the compare gate only guards against the
+    # stream path getting slower.  Documents/elements/matches are
+    # deterministic workload structure.
+    "soak": {
+        "key": ("phase",),
+        "guard": ("documents", "elements", "matches"),
+        "relative": (),
+        "absolute": ("elements_per_s",),
+    },
 }
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..baselines.naive import NaiveStreamingEvaluator
 from ..core.engine import TwigMEvaluator
@@ -31,6 +31,7 @@ from .workloads import (
     PROTEIN_PAPER_QUERY,
     build_multiquery_document,
     build_random_tree_document,
+    build_ticker_document,
     iter_workloads,
     multiquery_mix,
 )
@@ -827,6 +828,195 @@ MultiQueryEvaluator.subscribe_many` batch, wall-clocked;
                 f"containment={delivered_by_mode['containment']}"
             )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# M5: infinite-stream soak (flat memory over an unbounded document stream)
+# ---------------------------------------------------------------------------
+
+
+def run_soak(
+    documents: int = 1200,
+    entries_per_document: int = 600,
+    window_documents: int = 100,
+    parser: str = "native",
+    retain_documents: int = 32,
+    warmup_windows: int = 2,
+    flatness_tolerance: float = 0.10,
+    flatness_slack_bytes: int = 1 << 20,
+    stability_floor: float = 0.25,
+    seed: int = 17,
+    enforce: bool = True,
+) -> List[Dict[str, object]]:
+    """M5: stream ``documents`` ticker documents through one unbounded
+    :class:`~repro.core.docstream.DocumentStreamSession` and prove the
+    memory story.
+
+    The session runs with a live retention spool (``retain_documents``) and
+    three standing alert queries; every ``window_documents`` completed
+    documents a :class:`~repro.core.docstream.WindowStats` seals and the
+    benchmark samples current traced allocations (``tracemalloc``) and the
+    process RSS high-water (``resource.getrusage``).  After the first
+    ``warmup_windows`` windows the memory curve must be flat: traced
+    current bytes may not exceed the warm-up baseline by more than
+    ``flatness_tolerance`` (with ``flatness_slack_bytes`` of absolute
+    slack against small-baseline noise) in any later window, the RSS
+    high-water may not
+    grow past it by more, and no steady window's element throughput may
+    fall below ``stability_floor`` of the steady median.  Violations raise
+    :class:`~repro.errors.BenchmarkError` (the CI gate) unless ``enforce``
+    is off.
+
+    Returns two rows — ``phase="warmup"`` and ``phase="steady"`` — for the
+    report table and the ``bench compare`` gate.
+    """
+    import tracemalloc
+
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-unix platforms
+        resource = None  # type: ignore[assignment]
+
+    total_windows = documents // window_documents
+    if total_windows <= warmup_windows:
+        raise BenchmarkError(
+            f"soak needs more than {warmup_windows} windows: "
+            f"{documents} documents / {window_documents} per window "
+            f"gives only {total_windows}"
+        )
+    # A handful of distinct documents, cycled: document generation stays out
+    # of the measured loop while the spool still sees varied content.  The
+    # alert cadence shrinks with small documents so every size delivers.
+    alert_every = min(50, max(2, entries_per_document // 2))
+    corpus = [
+        build_ticker_document(entries_per_document, alert_every=alert_every, seed=seed + i)
+        for i in range(8)
+    ]
+    windows: List[Dict[str, object]] = []
+    memory_samples: List[Tuple[int, Optional[int]]] = []
+
+    def _on_window(stats) -> None:
+        current, _peak = tracemalloc.get_traced_memory()
+        rss_kb = (
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            if resource is not None
+            else None
+        )
+        windows.append(stats.as_dict())
+        memory_samples.append((current, rss_kb))
+
+    engine = MultiQueryEvaluator()
+    for query in ("//alert[price]", "/ticker/alert//vol", "//alert/price"):
+        engine.subscribe(query)
+    session = engine.document_stream(
+        parser=parser,
+        retain_documents=retain_documents,
+        window_documents=window_documents,
+        on_window=_on_window,
+        on_error="raise",
+    )
+    matches = 0
+    tracemalloc.start()
+    try:
+        for index in range(documents):
+            document = corpus[index % len(corpus)]
+            # Split each document so the boundary scanner sees mid-document
+            # chunk edges, the shape an endless socket feed produces.
+            midpoint = len(document) // 2
+            matches += len(session.feed_text(document[:midpoint]))
+            matches += len(session.feed_text(document[midpoint:]))
+        final = session.stats()
+    finally:
+        session.close()
+        engine.close()
+        tracemalloc.stop()
+
+    if len(windows) < total_windows:  # pragma: no cover - sanity
+        raise BenchmarkError(
+            f"soak sealed {len(windows)} windows, expected {total_windows}"
+        )
+    warm = windows[:warmup_windows]
+    steady = windows[warmup_windows:]
+    traced_base, rss_base = memory_samples[warmup_windows - 1]
+    steady_samples = memory_samples[warmup_windows:]
+    traced_high = max(sample[0] for sample in steady_samples)
+    traced_growth = (traced_high - traced_base) / max(traced_base, 1)
+    rss_final = memory_samples[-1][1]
+    rss_growth = (
+        (rss_final - rss_base) / max(rss_base, 1)
+        if rss_base is not None and rss_final is not None
+        else 0.0
+    )
+    rates = [float(w["elements_per_s"]) for w in steady]
+    median_rate = sorted(rates)[len(rates) // 2]
+    slowest = min(rates)
+
+    if enforce:
+        # The percentage check alone would gate on noise when the warm
+        # baseline is tiny (a few hundred KiB of live session state), so a
+        # small absolute slack applies; a real per-document leak over the
+        # steady phase dwarfs both bounds.
+        traced_ok = (traced_high - traced_base) <= max(
+            flatness_tolerance * traced_base, flatness_slack_bytes
+        )
+        if not traced_ok:
+            raise BenchmarkError(
+                f"soak RSS not flat: traced allocations grew "
+                f"{traced_growth:.1%} past the warm-up baseline "
+                f"({traced_base} -> {traced_high} bytes; "
+                f"tolerance {flatness_tolerance:.0%})"
+            )
+        if rss_growth > flatness_tolerance:
+            raise BenchmarkError(
+                f"soak RSS not flat: process high-water grew "
+                f"{rss_growth:.1%} past the warm-up baseline "
+                f"({rss_base} -> {rss_final} KiB; "
+                f"tolerance {flatness_tolerance:.0%})"
+            )
+        if slowest < stability_floor * median_rate:
+            raise BenchmarkError(
+                f"soak throughput unstable: slowest steady window ran "
+                f"{slowest:.0f} elements/s vs median {median_rate:.0f} "
+                f"(floor {stability_floor:.0%})"
+            )
+
+    def _phase_row(
+        phase: str,
+        group: List[Dict[str, object]],
+        traced_bytes: int,
+        rss_kb: Optional[int],
+    ) -> Dict[str, object]:
+        docs = sum(int(w["documents"]) for w in group)
+        elements = sum(int(w["elements"]) for w in group)
+        wall = sum(float(w["duration_s"]) for w in group) or 1e-9
+        return {
+            "phase": phase,
+            "windows": len(group),
+            "documents": docs,
+            "elements": elements,
+            "matches": sum(int(w["matches"]) for w in group),
+            "docs_per_s": round(docs / wall, 1),
+            "elements_per_s": round(elements / wall, 1),
+            "peak_live_entries": max(int(w["peak_live_entries"]) for w in group),
+            "latency_p95_ms": round(
+                max(float(w["latency_p95_ms"]) for w in group), 3
+            ),
+            "traced_mb": round(traced_bytes / (1024 * 1024), 3),
+            "rss_hw_mb": (
+                round(rss_kb / 1024, 1) if rss_kb is not None else None
+            ),
+        }
+
+    warmup_row = _phase_row("warmup", warm, traced_base, rss_base)
+    steady_row = _phase_row("steady", steady, traced_high, rss_final)
+    steady_row["traced_growth_pct"] = round(traced_growth * 100, 2)
+    steady_row["rss_growth_pct"] = round(rss_growth * 100, 2)
+    steady_row["spool_bytes"] = int(final["spool"]["bytes"]) if final.get("spool") else 0
+    if int(warmup_row["matches"]) + int(steady_row["matches"]) != matches:
+        raise BenchmarkError(  # pragma: no cover - sanity
+            "soak window match totals disagree with delivered pairs"
+        )
+    return [warmup_row, steady_row]
 
 
 # ---------------------------------------------------------------------------

@@ -285,6 +285,35 @@ def build_subscription_stream_document(
     return "".join(parts)
 
 
+def build_ticker_document(
+    entries: int = 600,
+    alert_every: int = 50,
+    seed: int = 17,
+) -> str:
+    """One stock-ticker document for the M5 infinite-stream soak.
+
+    A ``<ticker>`` root holding ``entries`` quote records of three elements
+    each (``<quote s=..><price>..</price><vol>..</vol></quote>``), so the
+    element count per document is exactly ``1 + 3 * entries``.  Every
+    ``alert_every``-th record is an ``<alert>`` instead of a ``<quote>``:
+    the soak's standing queries target alerts, keeping delivery sparse so
+    the benchmark measures unbounded parsing/dispatch, not Match-object
+    construction for millions of solutions.
+    """
+    rng = random.Random(seed)
+    parts: List[str] = ["<ticker>"]
+    for i in range(entries):
+        tag = "alert" if alert_every and i % alert_every == alert_every - 1 else "quote"
+        price = f"{rng.randrange(1, 500)}.{rng.randrange(100):02d}"
+        volume = rng.randrange(100, 100_000)
+        parts.append(
+            f'<{tag} s="S{rng.randrange(1000):03d}">'
+            f"<price>{price}</price><vol>{volume}</vol></{tag}>"
+        )
+    parts.append("</ticker>")
+    return "".join(parts)
+
+
 # ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------

@@ -44,6 +44,7 @@ from .bench import (
     run_query_variety,
     run_service_scaling,
     run_service_sharded_scaling,
+    run_soak,
     run_subscription_scaling,
 )
 from .core.engine import TwigMEvaluator as _SingleQueryEvaluator
@@ -303,6 +304,53 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="leave the document open (more chunks will follow from elsewhere)",
     )
+    publish_parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="infinite-stream mode: open a stream session (document "
+        "boundaries autodetected server-side), tail FILE as it grows — or "
+        "stdin until EOF — and close the session on Ctrl-C, printing its "
+        "final stats",
+    )
+    publish_parser.add_argument(
+        "--retain-docs",
+        type=int,
+        metavar="K",
+        default=None,
+        help="(--follow) retain the last K documents server-side so late "
+        "subscribers can join with a replay window",
+    )
+    publish_parser.add_argument(
+        "--retain-bytes",
+        type=int,
+        metavar="B",
+        default=None,
+        help="(--follow) bound the server-side retention spool to B bytes",
+    )
+    publish_parser.add_argument(
+        "--on-error",
+        choices=("skip", "raise"),
+        default=None,
+        help="(--follow) parse-error policy: 'skip' abandons the bad "
+        "document and resumes at the next boundary (default), 'raise' "
+        "closes the stream session",
+    )
+    publish_parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="(--follow) ask the server to close the stream session after "
+        "this long without a feed",
+    )
+    publish_parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="(--follow) ask the server to push heartbeat frames at this "
+        "interval while the stream session is open",
+    )
 
     subscribe_parser = subparsers.add_parser(
         "subscribe",
@@ -317,6 +365,13 @@ def build_parser() -> argparse.ArgumentParser:
     subscribe_parser.add_argument("--port", type=int, default=None)
     subscribe_parser.add_argument(
         "--count", type=int, default=None, help="exit after this many solutions"
+    )
+    subscribe_parser.add_argument(
+        "--replay",
+        action="store_true",
+        help="replay the server's retained document window before live "
+        "delivery (needs an open stream session with retention, see "
+        "'vitex publish --follow --retain-docs')",
     )
 
     explain_parser = subparsers.add_parser("explain", help="show the query twig and TwigM machine")
@@ -353,6 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
             "multiquery",
             "subscriptions",
             "service",
+            "soak",
             "compare",
         ),
     )
@@ -715,6 +771,29 @@ def _command_publish(args: argparse.Namespace) -> int:
     if args.chunk_size <= 0:
         print("error: --chunk-size must be positive", file=sys.stderr)
         return 1
+    stream_only = (
+        args.retain_docs,
+        args.retain_bytes,
+        args.on_error,
+        args.idle_timeout,
+        args.heartbeat_interval,
+    )
+    if not args.follow and any(value is not None for value in stream_only):
+        print(
+            "error: --retain-docs/--retain-bytes/--on-error/--idle-timeout/"
+            "--heartbeat-interval configure the stream session and need --follow",
+            file=sys.stderr,
+        )
+        return 1
+    if args.follow and args.no_finish:
+        print(
+            "error: --no-finish is a bounded-document flag; --follow has no "
+            "finish (boundaries are autodetected)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.follow:
+        return _publish_follow(args)
 
     async def _run() -> int:
         try:
@@ -775,6 +854,114 @@ def _command_publish(args: argparse.Namespace) -> int:
     return asyncio.run(_run())
 
 
+def _publish_follow(args: argparse.Namespace) -> int:
+    """``vitex publish --follow``: an endless feed into a stream session.
+
+    Opens an infinite-stream session on the service, then tails FILE as it
+    grows (or reads stdin until the pipe closes), shipping every new chunk
+    as a raw ``feed`` frame — the server autodetects document boundaries.
+    Ctrl-C closes the session gracefully and prints its final stats.
+    """
+    from .api.remote import connect
+    from .service.client import ServiceError
+
+    async def _run() -> int:
+        try:
+            client = await connect(args.host, _service_port(args))
+        except OSError as exc:
+            print(
+                f"error: cannot reach service at {args.host}:{_service_port(args)}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        interrupted = False
+        sent = 0
+        chunks = 0
+        stop = asyncio.Event()
+        tailing = args.file != "-"
+        if tailing:
+            # Tailing a file idles in asyncio timers, where a bare SIGINT
+            # would surface as an unhandled KeyboardInterrupt out of
+            # asyncio.run; route it to the stop event instead.  Reading
+            # stdin blocks *inside* the coroutine, so there SIGINT must
+            # stay the default KeyboardInterrupt (a loop-level handler
+            # could never run while read() is blocked).
+            try:
+                asyncio.get_running_loop().add_signal_handler(
+                    signal.SIGINT, stop.set
+                )
+            except NotImplementedError:  # pragma: no cover - non-unix loops
+                pass
+        try:
+            try:
+                reply = await client.stream_open(
+                    retain_documents=args.retain_docs,
+                    retain_bytes=args.retain_bytes,
+                    on_error=args.on_error,
+                    idle_timeout=args.idle_timeout,
+                    heartbeat_interval=args.heartbeat_interval,
+                )
+            except ServiceError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            replay = "on" if reply.get("replay") else "off"
+            print(
+                f"stream session open (replay {replay}); "
+                "feeding until Ctrl-C" + (" or EOF" if not tailing else ""),
+                flush=True,
+            )
+            handle = sys.stdin if args.file == "-" else open(
+                args.file, "r", encoding="utf-8"
+            )
+            failure: Optional[str] = None
+            try:
+                while not stop.is_set():
+                    chunk = handle.read(args.chunk_size)
+                    if not chunk:
+                        if not tailing:
+                            break  # stdin pipe closed: the stream is over
+                        try:
+                            await asyncio.wait_for(stop.wait(), timeout=0.25)
+                        except asyncio.TimeoutError:
+                            pass
+                        continue
+                    await client.feed(chunk)
+                    sent += len(chunk)
+                    chunks += 1
+                    failure = _first_error_push(client)
+                    if failure is not None:
+                        print(f"error: {failure}", file=sys.stderr)
+                        break
+            except KeyboardInterrupt:
+                interrupted = True
+            finally:
+                if handle is not sys.stdin:
+                    handle.close()
+            interrupted = interrupted or stop.is_set()
+            try:
+                stats = (await client.stream_close()).get("stats", {})
+            except ServiceError as exc:
+                # A raise-mode parse error (or idle timeout) already closed
+                # the session server-side; the push lane had the story.
+                if failure is None:
+                    print(f"error: {exc}", file=sys.stderr)
+                return 1
+            print(
+                f"stream closed: published {sent} char(s) in {chunks} "
+                f"chunk(s); {stats.get('documents', 0)} document(s) "
+                f"({stats.get('documents_failed', 0)} failed), "
+                f"{stats.get('elements', 0)} element(s)"
+            )
+            return 130 if interrupted else (1 if failure is not None else 0)
+        finally:
+            await client.close()
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:
+        return 130
+
+
 def _first_error_push(client) -> Optional[str]:
     """The first buffered ``error`` push's message, if any."""
     for frame in client.pending_pushes():
@@ -798,7 +985,9 @@ def _command_subscribe(args: argparse.Namespace) -> int:
         delivered = {}
         try:
             for query in args.queries:
-                subscription = await client.subscribe(query)
+                subscription = await client.subscribe(
+                    query, replay_window=args.replay
+                )
                 delivered[subscription.name] = 0
                 print(f"subscribed [{subscription.name}] {query}", flush=True)
             remaining = args.count
@@ -937,6 +1126,18 @@ def _command_bench(args: argparse.Namespace) -> int:
         rows = run_service_sharded_scaling(workers=worker_counts, **backend_kwargs)
         title = "M3: sharded service scaling across worker processes"
         experiment_name = "service-sharded"
+    elif args.experiment == "soak":
+        # The quick soak is a scaled-down run (its own committed baseline
+        # BENCH_soak.quick.json, so quick CI rows never compare against the
+        # full 2M-element sweep); both sizes keep the warm-up longer than
+        # the retention spool so the flatness baseline is taken warm.
+        rows = run_soak(
+            documents=150 if quick else 1200,
+            entries_per_document=120 if quick else 600,
+            window_documents=25 if quick else 100,
+            **backend_kwargs,
+        )
+        title = "M5: infinite-stream soak (flat memory over unbounded documents)"
     elif args.experiment == "service":
         # Quick counts are a subset of the full sweep so `bench compare`
         # can match quick CI rows against the committed full baseline.

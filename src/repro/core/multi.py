@@ -589,6 +589,52 @@ class MultiQueryEvaluator:
 
         return StreamSession(self, parser=parser, encoding=encoding, resumable=resumable)
 
+    def document_stream(
+        self,
+        parser: str = "native",
+        framing: str = "auto",
+        encoding: Optional[str] = None,
+        retain_documents: Optional[int] = None,
+        retain_bytes: Optional[int] = None,
+        window_documents: int = 100,
+        on_window=None,
+        on_document=None,
+        on_error: str = "raise",
+        resumable: bool = True,
+        callback_adapter=None,
+    ):
+        """Open an *unbounded* multi-document stream session.
+
+        Where :meth:`session` parses one bounded document, the returned
+        :class:`~repro.core.docstream.DocumentStreamSession` accepts an
+        endless feed of concatenated (``framing="auto"``, boundaries
+        autodetected at root-close) or length-framed (``framing="framed"``)
+        documents: machine state resets between documents while
+        subscriptions and their ``delivered`` counters stay alive, memory
+        stays flat over millions of elements, and per-window delivery
+        stats accumulate.  With ``retain_documents``/``retain_bytes`` the
+        last *K* documents (or *B* bytes) are spooled as replayable event
+        frames so a late subscriber can join with
+        ``subscribe(..., replay_window=True)``.  See
+        :mod:`repro.core.docstream`.
+        """
+        from .docstream import DocumentStreamSession  # deferred: imports us
+
+        return DocumentStreamSession(
+            self,
+            parser=parser,
+            framing=framing,
+            encoding=encoding,
+            retain_documents=retain_documents,
+            retain_bytes=retain_bytes,
+            window_documents=window_documents,
+            on_window=on_window,
+            on_document=on_document,
+            on_error=on_error,
+            resumable=resumable,
+            callback_adapter=callback_adapter,
+        )
+
     def event_session(self) -> "EventStreamSession":
         """Open a push-mode session over *pre-parsed events*.
 
@@ -638,6 +684,7 @@ class MultiQueryEvaluator:
         """
         from ..errors import CheckpointError
         from .checkpoint import restore_engine_into, validate_snapshot
+        from .docstream import DOCSTREAM_PARSER
         from .session import EVENTS_PARSER, EventStreamSession, StreamSession
 
         validate_snapshot(snapshot)
@@ -655,6 +702,10 @@ class MultiQueryEvaluator:
         try:
             if session_state.get("parser") == EVENTS_PARSER:
                 return EventStreamSession._from_snapshot(self, session_state)
+            if session_state.get("parser") == DOCSTREAM_PARSER:
+                from .docstream import DocumentStreamSession
+
+                return DocumentStreamSession._from_snapshot(self, session_state)
             return StreamSession._from_snapshot(self, session_state)
         except Exception as exc:
             # Leave the engine as it was before restore_session: empty.

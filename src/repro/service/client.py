@@ -53,6 +53,8 @@ _REPLY_TYPES = frozenset(
         "pong",
         "checkpointed",
         "restored",
+        "stream_opened",
+        "stream_closed",
     }
 )
 
@@ -69,6 +71,8 @@ _REQUEST_CMDS = frozenset(
         "ping",
         "checkpoint",
         "restore",
+        "stream_open",
+        "stream_close",
     }
 )
 
@@ -98,17 +102,29 @@ class ServiceConnection:
 
     # ------------------------------------------------------------ commands
 
-    async def subscribe(self, query: str, name: Optional[str] = None) -> str:
+    async def subscribe(
+        self,
+        query: str,
+        name: Optional[str] = None,
+        replay_window: bool = False,
+    ) -> str:
         """Register a standing query; returns the (possibly auto-) name.
 
         ``query`` may also be a compiled :class:`repro.api.Query`; its
-        source text is what travels on the wire.
+        source text is what travels on the wire.  With
+        ``replay_window=True`` (needs an open stream session with
+        retention, see :meth:`stream_open`) the server replays its
+        retained document window to this subscription before live
+        delivery begins; the replayed ``solution`` pushes carry
+        ``"replayed": true`` and the ``subscribed`` reply counts them.
         """
         if not isinstance(query, str):  # compiled repro.api.Query
             query = query.source
         frame: Dict[str, Any] = {"cmd": "subscribe", "query": query}
         if name is not None:
             frame["name"] = name
+        if replay_window:
+            frame["replay_window"] = True
         reply = await self._request(frame)
         return reply["name"]
 
@@ -149,6 +165,28 @@ class ServiceConnection:
     async def finish(self) -> Dict[str, Any]:
         """End the current document; returns the ``finished`` reply."""
         return await self._request({"cmd": "finish"})
+
+    async def stream_open(self, **options: Any) -> Dict[str, Any]:
+        """Open an infinite-stream session on the server.
+
+        Keyword options travel verbatim in the ``stream_open`` frame:
+        ``retain_documents`` / ``retain_bytes`` (rolling replay retention),
+        ``window_documents`` (stats window), ``on_error`` (``"skip"``
+        default: a malformed document is skipped and the stream resumes at
+        the next boundary), ``idle_timeout`` and ``heartbeat_interval``
+        (seconds; both off by default).  While the stream is open, ``feed``
+        frames carry concatenated documents whose boundaries the server
+        autodetects; each completed document broadcasts an ``eof`` push.
+        """
+        frame: Dict[str, Any] = {"cmd": "stream_open"}
+        for key, value in options.items():
+            if value is not None:
+                frame[key] = value
+        return await self._request(frame)
+
+    async def stream_close(self) -> Dict[str, Any]:
+        """End the stream session; returns its final stats payload."""
+        return await self._request({"cmd": "stream_close"})
 
     async def stats(self) -> Dict[str, Any]:
         """Fetch the server's ``stats`` frame."""

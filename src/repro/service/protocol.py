@@ -20,7 +20,28 @@ Client → server commands (``cmd``):
 ``ping``       —                                      ``pong``
 ``checkpoint``  optional ``path``                     ``checkpointed``
 ``restore``    ``path``                               ``restored``
+``stream_open``  retention/monitor options (below)    ``stream_opened``
+``stream_close``  —                                   ``stream_closed``
 =============  =====================================  =======================
+
+``stream_open`` switches the server into **infinite-stream mode**: every
+subsequent ``feed`` carries concatenated documents whose boundaries the
+server autodetects (``finish`` is rejected; each completed document
+broadcasts an ``eof`` push, aborted for documents the parser rejected when
+``on_error`` is ``"skip"``, the default).  Options: ``retain_documents`` /
+``retain_bytes`` arm the rolling replay retention window,
+``window_documents`` sizes the per-window stats buckets, ``on_error`` is
+``"skip"`` or ``"raise"``, and ``idle_timeout`` / ``heartbeat_interval``
+(seconds, both off by default) arm the liveness monitor: the server pushes
+periodic ``heartbeat`` frames (``documents``/``elements``/``in_document``)
+and tears an idle stream session down with a ``stream_idle`` push (a push,
+not the ``stream_closed`` reply type, so FIFO reply matching is
+undisturbed).  With retention armed, ``subscribe`` accepts
+``"replay_window": true``: the ``subscribed`` reply carries ``replayed``
+(how many retained solutions follow) and the replayed ``solution`` pushes
+are marked ``"replayed": true`` before live delivery splices in exactly
+once.  ``stream_close`` ends the session; its reply carries the final
+``stats``.
 
 ``subscribe_batch`` registers many standing queries in one round trip:
 each item is ``{"query": ..., "name": optional}`` and the reply carries

@@ -45,6 +45,7 @@ from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from ..core.builder import shared_compiled_cache
+from ..core.docstream import DocumentBoundaryScanner, DocumentStreamSession
 from ..core.multi import MultiQueryEvaluator
 from ..core.results import Solution
 from ..core.session import StreamSession
@@ -80,6 +81,14 @@ CHECKPOINT_VERSION = 1
 #: server classes can restore either version (a mid-document sharded
 #: checkpoint needs as many shards as workers, see :meth:`restore_state`).
 CHECKPOINT_VERSION_SHARDED = 2
+
+#: Version of the *stream-mode* checkpoint layout: the ``snapshot`` is a
+#: :class:`~repro.core.docstream.DocumentStreamSession` snapshot (carrying
+#: the retention-spool frames alongside the engine state) and the server
+#: metadata gains a ``stream`` section with the session's configuration
+#: and idle/heartbeat counters.  Restorable on the single-process server
+#: only; the sharded front refuses it (its stream state spans processes).
+CHECKPOINT_VERSION_STREAM = 3
 
 #: Default on-disk checkpoint location (relative to the server's cwd).
 DEFAULT_CHECKPOINT_PATH = "vitex-checkpoint.json"
@@ -212,6 +221,21 @@ class ServiceServer:
         self._solutions_total = 0
         self._busy_seconds = 0.0
         self._started_at = time.monotonic()
+        # Infinite-stream mode (stream_open): an unbounded multi-document
+        # session with rolling retention, replacing the per-document
+        # feed/finish lifecycle until stream_close.
+        self._stream: Optional[DocumentStreamSession] = None
+        #: Server-side boundary splitter, kept in lockstep with the stream
+        #: session's own scanner so each document's eof broadcast lands
+        #: between that document's solutions and the next document's.
+        self._stream_splitter: Optional[DocumentBoundaryScanner] = None
+        self._stream_options: Dict[str, Any] = {}
+        self._stream_docs_acked = 0
+        self._stream_failed_acked = 0
+        self._stream_last_feed = 0.0
+        self._stream_monitor_task: Optional[asyncio.Task] = None
+        self._heartbeats_sent = 0
+        self._idle_stream_closures = 0
 
     # ------------------------------------------------------------ lifecycle
 
@@ -246,6 +270,11 @@ class ServiceServer:
         if self._closed:
             return
         self._closed = True
+        await self._stop_stream_monitor()
+        if self._stream is not None:
+            self._fold_stream_counters()
+            self._stream.close()
+            self._stream = None
         if self._checkpoint_task is not None:
             self._checkpoint_task.cancel()
             try:
@@ -288,7 +317,10 @@ class ServiceServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        if self._session is not None:
+        if self._stream is not None:
+            self._close_stream_session(reason="server draining")
+            self._broadcast_eof(self._documents, aborted=False, draining=True)
+        elif self._session is not None:
             self._abort_document("server draining", draining=True)
         else:
             self._broadcast_eof(self._documents, aborted=False, draining=True)
@@ -341,6 +373,8 @@ class ServiceServer:
         elements = self._elements_total
         if self._session is not None:
             elements += self._session.element_count
+        if self._stream is not None:
+            elements += self._stream.elements
         busy = self._busy_seconds
         events_per_sec = round(elements / busy, 1) if busy > 0 else 0.0
         payload: Dict[str, Any] = {
@@ -384,6 +418,12 @@ class ServiceServer:
                 for name, handle in self._subscriptions.items()
             },
         }
+        payload["stream_open"] = self._stream_mode()
+        payload["heartbeats_sent"] = self._heartbeats_sent
+        payload["idle_stream_closures"] = self._idle_stream_closures
+        stream_stats = self._stream_stats()
+        if stream_stats is not None:
+            payload["stream"] = stream_stats
         if self._last_checkpoint_at is not None:
             payload["last_checkpoint_age_s"] = round(
                 time.monotonic() - self._last_checkpoint_at, 3
@@ -392,6 +432,28 @@ class ServiceServer:
         if self._last_checkpoint_error is not None:
             payload["last_checkpoint_error"] = self._last_checkpoint_error
         return payload
+
+    def _stream_mode(self) -> bool:
+        """Whether an infinite-stream session is open (overridden sharded)."""
+        return self._stream is not None
+
+    def _stream_stats(self) -> Optional[Dict[str, Any]]:
+        """The ``stream`` section of /stats, or None outside stream mode."""
+        if self._stream is None:
+            return None
+        payload = self._stream.stats()
+        payload.update(self._stream_monitor_stats())
+        return payload
+
+    def _stream_monitor_stats(self) -> Dict[str, Any]:
+        """Idle/heartbeat configuration and counters for /stats."""
+        options = self._stream_options
+        return {
+            "idle_timeout": options.get("idle_timeout"),
+            "heartbeat_interval": options.get("heartbeat_interval"),
+            "heartbeats_sent": self._heartbeats_sent,
+            "idle_stream_closures": self._idle_stream_closures,
+        }
 
     # ------------------------------------------------------------ checkpoint
 
@@ -404,29 +466,51 @@ class ServiceServer:
         were server-local).  Taken between frames, so it is always aligned
         to a feed-chunk boundary.
         """
-        if self._session is not None:
+        if self._stream is not None:
+            snapshot = self._stream.snapshot()
+            version = CHECKPOINT_VERSION_STREAM
+        elif self._session is not None:
             snapshot = self._session.snapshot()
+            version = CHECKPOINT_VERSION
         else:
             snapshot = self._engine.snapshot()
+            version = CHECKPOINT_VERSION
+        server_meta: Dict[str, Any] = {
+            "parser": self.parser,
+            "documents": self._documents,
+            "aborted_documents": self._aborted_documents,
+            "elements_total": self._elements_total,
+            "solutions_total": self._solutions_total,
+            "subscriptions": {
+                name: {
+                    "delivered": handle.delivered,
+                    "dropped": handle.dropped,
+                    "callback_errors": handle.callback_errors,
+                    "local": handle.connection is None and not handle.detached,
+                }
+                for name, handle in self._subscriptions.items()
+            },
+        }
+        if version == CHECKPOINT_VERSION_STREAM:
+            server_meta["stream"] = {
+                **{
+                    key: self._stream_options.get(key)
+                    for key in (
+                        "retain_documents",
+                        "retain_bytes",
+                        "window_documents",
+                        "on_error",
+                        "idle_timeout",
+                        "heartbeat_interval",
+                    )
+                },
+                "heartbeats_sent": self._heartbeats_sent,
+                "idle_stream_closures": self._idle_stream_closures,
+            }
         return {
             "format": CHECKPOINT_FORMAT,
-            "version": CHECKPOINT_VERSION,
-            "server": {
-                "parser": self.parser,
-                "documents": self._documents,
-                "aborted_documents": self._aborted_documents,
-                "elements_total": self._elements_total,
-                "solutions_total": self._solutions_total,
-                "subscriptions": {
-                    name: {
-                        "delivered": handle.delivered,
-                        "dropped": handle.dropped,
-                        "callback_errors": handle.callback_errors,
-                        "local": handle.connection is None and not handle.detached,
-                    }
-                    for name, handle in self._subscriptions.items()
-                },
-            },
+            "version": version,
+            "server": server_meta,
             "snapshot": snapshot,
         }
 
@@ -457,6 +541,8 @@ class ServiceServer:
 
     def _document_in_progress(self) -> bool:
         """Whether a document is currently open (overridden by sharding)."""
+        if self._stream is not None:
+            return self._stream.in_document
         return self._session is not None
 
     def _client_checkpoint_path(self, path: str) -> str:
@@ -488,7 +574,7 @@ class ServiceServer:
         back *detached*: solutions are discarded until their owner
         re-subscribes under the same name with an equivalent query.
         """
-        if self._session is not None:
+        if self._session is not None or self._stream is not None:
             raise CheckpointError("cannot restore while a document is in progress")
         if self._subscriptions:
             raise CheckpointError("cannot restore over existing subscriptions")
@@ -498,17 +584,57 @@ class ServiceServer:
                 f"(format={payload.get('format')!r})"
             )
         version = payload.get("version")
-        if version not in (CHECKPOINT_VERSION, CHECKPOINT_VERSION_SHARDED):
+        if version not in (
+            CHECKPOINT_VERSION,
+            CHECKPOINT_VERSION_SHARDED,
+            CHECKPOINT_VERSION_STREAM,
+        ):
             raise CheckpointError(f"unsupported checkpoint version {version!r}")
         meta = payload.get("server") or {}
         engine = MultiQueryEvaluator(collect_statistics=False)
-        if version == CHECKPOINT_VERSION:
+        stream: Optional[DocumentStreamSession] = None
+        if version == CHECKPOINT_VERSION_STREAM:
+            restored = engine.restore_session(payload["snapshot"])
+            if not isinstance(restored, DocumentStreamSession):
+                raise CheckpointError(
+                    "version-3 checkpoint did not restore a stream session"
+                )
+            stream = restored
+            session = None
+        elif version == CHECKPOINT_VERSION:
             session = engine.restore_session(payload["snapshot"])
         else:
             session = self._restore_sharded_into(engine, payload, meta)
         old_engine = self._engine
         self._engine = engine
         self._session = session
+        self._stream = stream
+        if stream is not None:
+            # Clone the session's boundary scanner so the server-side
+            # splitter resumes mid-document in lockstep with it.
+            scanner = stream._scanner
+            self._stream_splitter = (
+                DocumentBoundaryScanner.restore_state(scanner.snapshot_state())
+                if scanner is not None
+                else DocumentBoundaryScanner()
+            )
+            stream_meta = meta.get("stream") or {}
+            self._stream_options = {
+                key: stream_meta.get(key)
+                for key in (
+                    "retain_documents",
+                    "retain_bytes",
+                    "window_documents",
+                    "on_error",
+                    "idle_timeout",
+                    "heartbeat_interval",
+                )
+            }
+            self._heartbeats_sent = stream_meta.get("heartbeats_sent", 0)
+            self._idle_stream_closures = stream_meta.get("idle_stream_closures", 0)
+            self._stream_docs_acked = stream.documents
+            self._stream_failed_acked = stream.documents_failed
+            self._stream_last_feed = time.monotonic()
         old_engine.close()
         self.parser = meta.get("parser", self.parser)
         self._documents = meta.get("documents", 0)
@@ -577,13 +703,18 @@ class ServiceServer:
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise CheckpointError(f"malformed checkpoint {path!r}: {exc}") from exc
         self.restore_state(payload)
+        elements = self._elements_total
+        if self._session is not None:
+            elements += self._session.element_count
+        if self._stream is not None:
+            elements += self._stream.elements
         return {
             "path": path,
             "document": self._documents,
-            "mid_document": self._session is not None,
+            "mid_document": self._document_in_progress(),
+            "stream_open": self._stream is not None,
             "subscriptions": len(self._subscriptions),
-            "elements": self._elements_total
-            + (self._session.element_count if self._session is not None else 0),
+            "elements": elements,
         }
 
     def rebind_local_callback(
@@ -841,6 +972,9 @@ class ServiceServer:
         query = frame.get("query")
         if not isinstance(query, str) or not query:
             raise ProtocolError("subscribe needs a 'query' string")
+        if frame.get("replay_window"):
+            self._subscribe_replay(connection, frame, query)
+            return
         name = frame.get("name")
         if isinstance(name, str):
             handle = self._subscriptions.get(name)
@@ -963,10 +1097,315 @@ subscribe_many` provides the rollback: if any item fails, every
             connection, None, encode_frame({"type": "unsubscribed", "name": name})
         )
 
+    def _subscribe_replay(
+        self, connection: _Connection, frame: Dict[str, Any], query: str
+    ) -> None:
+        """``subscribe`` with ``replay_window``: retained window + live.
+
+        The stream session replays its spool through a private machine and
+        grafts the subscription at the exact live position; the replayed
+        solutions are delivered to the subscriber right after the ack
+        (marked ``"replayed": true``), and live delivery continues through
+        the normal routing path — exactly once, no duplicate, no gap.
+        """
+        if self._stream is None:
+            raise ProtocolError(
+                "replay_window needs an open stream session (stream_open)"
+            )
+        name = frame.get("name")
+        if name is not None and not isinstance(name, str):
+            raise ProtocolError("subscribe 'name' must be a string")
+        subscription, replayed = self._stream.subscribe_replay(query, name=name)
+        handle = _SubscriptionHandle(subscription.name, subscription.query, connection)
+        handle.delivered = len(replayed)
+        self._subscriptions[subscription.name] = handle
+        connection.names.append(subscription.name)
+        self._enqueue(
+            connection,
+            None,
+            encode_frame(
+                {
+                    "type": "subscribed",
+                    "name": subscription.name,
+                    "query": subscription.query,
+                    "mid_stream": self._stream.in_document,
+                    "replayed": len(replayed),
+                }
+            ),
+        )
+        ts = asyncio.get_running_loop().time()
+        self._solutions_total += len(replayed)
+        connection.delivered += len(replayed)
+        for pair in replayed:
+            self._enqueue(
+                connection,
+                subscription.name,
+                encode_frame(
+                    {
+                        "type": "solution",
+                        "name": subscription.name,
+                        "ts": ts,
+                        "replayed": True,
+                        "solution": solution_to_payload(pair.solution),
+                    }
+                ),
+            )
+
+    # ---------------------------------------------------------- stream mode
+
+    @staticmethod
+    def _parse_stream_options(frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Validate a ``stream_open`` frame into the session options."""
+        options: Dict[str, Any] = {}
+        for key in ("retain_documents", "retain_bytes", "window_documents"):
+            value = frame.get(key)
+            if value is not None and (not isinstance(value, int) or value < 1):
+                raise ProtocolError(f"stream_open {key!r} must be a positive integer")
+            options[key] = value
+        if options["window_documents"] is None:
+            options["window_documents"] = 100
+        on_error = frame.get("on_error", "skip")
+        if on_error not in ("skip", "raise"):
+            raise ProtocolError("stream_open 'on_error' must be 'skip' or 'raise'")
+        options["on_error"] = on_error
+        for key in ("idle_timeout", "heartbeat_interval"):
+            value = frame.get(key)
+            if value is not None and (
+                not isinstance(value, (int, float)) or value <= 0
+            ):
+                raise ProtocolError(f"stream_open {key!r} must be a positive number")
+            options[key] = value
+        return options
+
+    def _cmd_stream_open(self, connection: _Connection, frame: Dict[str, Any]) -> None:
+        if self._stream_mode():
+            raise ProtocolError("a stream session is already open")
+        if self._document_in_progress():
+            raise ProtocolError(
+                "cannot open a stream session while a document is in progress"
+            )
+        options = self._parse_stream_options(frame)
+        self._open_stream_session(options)
+        self._stream_last_feed = time.monotonic()
+        self._arm_stream_monitor()
+        self._enqueue(
+            connection,
+            None,
+            encode_frame(
+                {
+                    "type": "stream_opened",
+                    "framing": "auto",
+                    "replay": bool(
+                        options.get("retain_documents") or options.get("retain_bytes")
+                    ),
+                    **{key: options.get(key) for key in sorted(options)},
+                }
+            ),
+        )
+
+    def _open_stream_session(self, options: Dict[str, Any]) -> None:
+        """Create the stream session (overridden by the sharded front)."""
+        self._stream = self._engine.document_stream(
+            parser=self.parser,
+            retain_documents=options.get("retain_documents"),
+            retain_bytes=options.get("retain_bytes"),
+            window_documents=options.get("window_documents") or 100,
+            on_error=options.get("on_error", "skip"),
+        )
+        self._stream_splitter = DocumentBoundaryScanner()
+        self._stream_options = options
+        self._stream_docs_acked = 0
+        self._stream_failed_acked = 0
+
+    def _cmd_stream_close(self, connection: _Connection, frame: Dict[str, Any]) -> None:
+        if not self._stream_mode():
+            raise ProtocolError("no stream session is open")
+        stats = self._close_stream_session(reason="closed")
+        self._enqueue(
+            connection,
+            None,
+            encode_frame({"type": "stream_closed", "stats": stats}),
+        )
+
+    def _close_stream_session(self, reason: str) -> Dict[str, Any]:
+        """Tear the stream session down; returns its final stats payload."""
+        stream = self._stream
+        assert stream is not None
+        self._fold_stream_counters()
+        stats = stream.close()
+        stats.update(self._stream_monitor_stats())
+        self._stream = None
+        self._stream_splitter = None
+        self._stream_options = {}
+        if self._stream_monitor_task is not None:
+            self._stream_monitor_task.cancel()
+            self._stream_monitor_task = None
+        return stats
+
+    def _fold_stream_counters(self) -> None:
+        """Fold the live stream session's totals into the lifetime counters."""
+        stream = self._stream
+        if stream is None:
+            return
+        self._elements_total += stream.elements
+        pending = max(0, stream.documents - self._stream_docs_acked)
+        failed = max(0, stream.documents_failed - self._stream_failed_acked)
+        # A failed document consumes a sequence number too, matching the
+        # bounded _abort_document accounting.
+        self._documents += pending + failed
+        self._aborted_documents += failed
+        self._stream_docs_acked = stream.documents
+        self._stream_failed_acked = stream.documents_failed
+
+    def _stream_feed(self, connection: _Connection, data: str) -> None:
+        """One ``feed`` frame in stream mode: boundaries are autodetected.
+
+        Every completed document broadcasts an ``eof`` frame exactly like
+        the bounded ``finish`` path (aborted for documents the parser
+        rejected when ``on_error="skip"``), so subscribers see the same
+        document lifecycle in both modes.
+        """
+        stream = self._stream
+        splitter = self._stream_splitter
+        assert stream is not None and splitter is not None
+        self._stream_last_feed = time.monotonic()
+        self._arm_stream_monitor()
+        started = time.perf_counter()
+        try:
+            # Feed the session one boundary-split segment at a time so each
+            # document's eof broadcast lands between its own solutions and
+            # the next document's.
+            for segment, _completed in splitter.feed(data):
+                pairs = stream.feed_text(segment)
+                if pairs:
+                    self._route(pairs)
+                self._broadcast_stream_deltas(stream)
+        except Exception as exc:
+            # on_error="raise": the stream session is dead; fold what it
+            # counted (the abandoned document included) and surface the
+            # abort like a bounded document's.
+            document = self._documents
+            self._close_stream_session(reason="parse error")
+            self._broadcast_eof(document, aborted=True, error=str(exc))
+            raise
+        finally:
+            self._busy_seconds += time.perf_counter() - started
+
+    def _broadcast_stream_deltas(self, stream: DocumentStreamSession) -> None:
+        """Broadcast one eof per document the session completed or skipped
+        since the last acknowledgement (each segment closes at most one)."""
+        completed = stream.documents - self._stream_docs_acked
+        failed = stream.documents_failed - self._stream_failed_acked
+        self._stream_docs_acked = stream.documents
+        self._stream_failed_acked = stream.documents_failed
+        for _ in range(completed):
+            document = self._documents
+            self._documents = document + 1
+            self._broadcast_eof(document, aborted=False)
+        for _ in range(failed):
+            document = self._documents
+            self._documents = document + 1
+            self._aborted_documents += 1
+            self._broadcast_eof(document, aborted=True, error="document skipped")
+
+    # ------------------------------------------------- idle/heartbeat watch
+
+    def _arm_stream_monitor(self) -> None:
+        """Start the idle/heartbeat watcher when either option is set."""
+        options = self._stream_options
+        if not options.get("idle_timeout") and not options.get("heartbeat_interval"):
+            return
+        if self._stream_monitor_task is None:
+            self._stream_monitor_task = asyncio.ensure_future(
+                self._stream_monitor_loop()
+            )
+
+    async def _stop_stream_monitor(self) -> None:
+        task = self._stream_monitor_task
+        if task is None:
+            return
+        self._stream_monitor_task = None
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+
+    async def _stream_monitor_loop(self) -> None:
+        """Send heartbeat frames and close idle stream sessions.
+
+        Both are off by default; ``stream_open`` arms them.  A heartbeat is
+        a push frame carrying the stream's document/element counters so
+        quiet subscribers can tell a silent stream from a dead connection;
+        an idle closure tears the stream session down after
+        ``idle_timeout`` seconds without a feed, notifying every
+        subscriber with a ``stream_idle`` push.
+        """
+        options = self._stream_options
+        idle_timeout = options.get("idle_timeout")
+        heartbeat = options.get("heartbeat_interval")
+        ticks = [value for value in (idle_timeout, heartbeat) if value]
+        tick = max(0.05, min(ticks) / 2.0) if ticks else 1.0
+        next_heartbeat = (
+            time.monotonic() + heartbeat if heartbeat else None
+        )
+        try:
+            while self._stream_mode():
+                await asyncio.sleep(tick)
+                if not self._stream_mode():
+                    break
+                now = time.monotonic()
+                if (
+                    idle_timeout
+                    and now - self._stream_last_feed >= idle_timeout
+                    and not self._document_in_progress()
+                ):
+                    self._idle_stream_closures += 1
+                    stats = self._close_stream_session(reason="idle_timeout")
+                    self._broadcast_stream_frame(
+                        {
+                            "type": "stream_idle",
+                            "idle_timeout": idle_timeout,
+                            "stats": stats,
+                        }
+                    )
+                    break
+                if next_heartbeat is not None and now >= next_heartbeat:
+                    next_heartbeat = now + heartbeat
+                    self._heartbeats_sent += 1
+                    self._broadcast_stream_frame(self._heartbeat_frame())
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if self._stream_monitor_task is asyncio.current_task():
+                self._stream_monitor_task = None
+
+    def _heartbeat_frame(self) -> Dict[str, Any]:
+        stream = self._stream
+        frame: Dict[str, Any] = {
+            "type": "heartbeat",
+            "documents": self._documents,
+            "elements": self._elements_total,
+        }
+        if stream is not None:
+            frame["elements"] = self._elements_total + stream.elements
+            frame["in_document"] = stream.in_document
+        return frame
+
+    def _broadcast_stream_frame(self, frame: Dict[str, Any]) -> None:
+        """Push a stream lifecycle frame to every subscriber connection."""
+        wire = encode_frame(frame)
+        for connection in self._connections:
+            if connection.names:
+                self._enqueue(connection, None, wire)
+
     def _cmd_feed(self, connection: _Connection, frame: Dict[str, Any]) -> None:
         data = frame.get("data")
         if not isinstance(data, str):
             raise ProtocolError("feed needs a 'data' string")
+        if self._stream is not None:
+            self._stream_feed(connection, data)
+            return
         if self._session is None:
             self._session = self._engine.session(parser=self.parser)
         started = time.perf_counter()
@@ -984,6 +1423,11 @@ subscribe_many` provides the rollback: if any item fails, every
             self._route(pairs)
 
     def _cmd_finish(self, connection: _Connection, frame: Dict[str, Any]) -> None:
+        if self._stream_mode():
+            raise ProtocolError(
+                "finish is not used in stream mode: document boundaries are "
+                "autodetected (stream_close ends the session)"
+            )
         session = self._session
         if session is None:
             raise ProtocolError("no document in progress")
@@ -1042,6 +1486,8 @@ subscribe_many` provides the rollback: if any item fails, every
         "unsubscribe": _cmd_unsubscribe,
         "feed": _cmd_feed,
         "finish": _cmd_finish,
+        "stream_open": _cmd_stream_open,
+        "stream_close": _cmd_stream_close,
         "stats": _cmd_stats,
         "ping": _cmd_ping,
         "checkpoint": _cmd_checkpoint,
@@ -1119,6 +1565,7 @@ __all__ = [
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_VERSION",
     "CHECKPOINT_VERSION_SHARDED",
+    "CHECKPOINT_VERSION_STREAM",
     "DEFAULT_CHECKPOINT_PATH",
     "DEFAULT_OUTBOX_LIMIT",
     "DEFAULT_PORT",

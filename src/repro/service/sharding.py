@@ -75,6 +75,8 @@ from ..core.checkpoint import (
     encode_spool,
     snapshot_subscription_sources,
 )
+from ..core.docstream import DocumentBoundaryScanner, DocumentStreamSession
+from ..core.multi import MultiQueryEvaluator
 from ..errors import CheckpointError, EngineError, ViteXError
 from ..xmlstream.eventcodec import EVENTS_PER_FRAME, EventFrameEncoder
 from ..xmlstream.events import Event, StartElement
@@ -88,12 +90,14 @@ from .protocol import (
     encode_frame,
     error_frame,
     solution_from_payload,
+    solution_to_payload,
     split_worker_solution,
 )
 from .server import (
     CHECKPOINT_FORMAT,
     CHECKPOINT_VERSION,
     CHECKPOINT_VERSION_SHARDED,
+    CHECKPOINT_VERSION_STREAM,
     DEFAULT_PORT,
     ServiceServer,
     _SubscriptionHandle,
@@ -415,6 +419,16 @@ class ShardedServiceServer(ServiceServer):
         #: Local subscriptions registered before the workers exist; routed
         #: when :meth:`start` spawns them.
         self._pending_local: List[str] = []
+        # Infinite-stream mode (stream_open).  The front splits the feed at
+        # document boundaries and drives the workers' feed/finish lifecycle
+        # itself; an optional front-local mirror session owns the retention
+        # spool and every replay_window subscription.
+        self._stream_scanner: Optional[DocumentBoundaryScanner] = None
+        self._stream_skip_doc = False
+        self._stream_base = (0, 0, 0)
+        self._front_engine: Optional[MultiQueryEvaluator] = None
+        self._front_stream: Optional[DocumentStreamSession] = None
+        self._front_replay: set = set()
 
     # ------------------------------------------------------------ lifecycle
 
@@ -489,6 +503,8 @@ class ShardedServiceServer(ServiceServer):
             return
         for worker in self._workers:
             worker.closing = True
+        if self._stream_scanner is not None:
+            self._close_stream_session(reason="server closing")
         await super().close()
         await asyncio.gather(
             *(worker.close() for worker in self._workers), return_exceptions=True
@@ -500,7 +516,10 @@ class ShardedServiceServer(ServiceServer):
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        if self._doc_open:
+        if self._stream_scanner is not None:
+            self._close_stream_session(reason="server draining")
+            self._broadcast_eof(self._documents, aborted=False, draining=True)
+        elif self._doc_open:
             document = self._documents
             self._documents += 1
             self._aborted_documents += 1
@@ -595,6 +614,13 @@ class ShardedServiceServer(ServiceServer):
         self._acquire_affinity(fingerprint, index)
 
     def _remove_subscription(self, name: str) -> None:
+        if name in self._front_replay:
+            self._front_replay.discard(name)
+            if self._front_engine is not None:
+                try:
+                    self._front_engine.unregister(name)
+                except EngineError:
+                    pass
         handle = self._subscriptions.pop(name, None)
         if handle is None:
             return
@@ -661,6 +687,9 @@ class ShardedServiceServer(ServiceServer):
         query = frame.get("query")
         if not isinstance(query, str) or not query:
             raise ProtocolError("subscribe needs a 'query' string")
+        if frame.get("replay_window"):
+            self._subscribe_replay(connection, frame, query)
+            return
         name = frame.get("name")
         if isinstance(name, str):
             handle = self._subscriptions.get(name)
@@ -794,11 +823,18 @@ class ShardedServiceServer(ServiceServer):
         data = frame.get("data")
         if not isinstance(data, str):
             raise ProtocolError("feed needs a 'data' string")
+        if self._stream_scanner is not None:
+            await self._stream_feed_sharded(connection, data)
+            return
         if self._doc_events is None:
             self._doc_events = self._events_mode
         if self._doc_events:
             await self._feed_events(connection, data)
             return
+        await self._feed_broadcast(connection, data)
+
+    async def _feed_broadcast(self, connection, data: str) -> None:
+        """Fan one raw-XML chunk out to every worker (protocol v1)."""
         workers = self._alive_workers()
         if not workers:
             raise ViteXError("no alive workers")
@@ -884,7 +920,7 @@ class ShardedServiceServer(ServiceServer):
             )
         self._busy_seconds += time.perf_counter() - started
 
-    async def _finish_events(self, connection, frame) -> None:
+    async def _finish_events(self, connection, frame, reply: bool = True) -> None:
         if not self._doc_open or self._front is None:
             raise ProtocolError("no document in progress")
         epoch = self._doc_epoch
@@ -924,18 +960,27 @@ class ShardedServiceServer(ServiceServer):
         # copy of the document (workers would report the same number).
         self._elements_total += elements
         self._close_epoch()
-        self._enqueue(
-            connection,
-            None,
-            encode_frame(
-                {"type": "finished", "document": document, "elements": elements}
-            ),
-        )
+        if reply:
+            self._enqueue(
+                connection,
+                None,
+                encode_frame(
+                    {"type": "finished", "document": document, "elements": elements}
+                ),
+            )
         self._broadcast_eof(document, aborted=False)
 
     async def _cmd_finish(self, connection, frame) -> None:
+        if self._stream_scanner is not None:
+            raise ProtocolError(
+                "finish is not used in stream mode: document boundaries are "
+                "autodetected (stream_close ends the session)"
+            )
+        await self._finish_document(connection, frame, reply=True)
+
+    async def _finish_document(self, connection, frame, reply: bool = True) -> None:
         if self._doc_events:
-            await self._finish_events(connection, frame)
+            await self._finish_events(connection, frame, reply=reply)
             return
         if not self._doc_open:
             raise ProtocolError("no document in progress")
@@ -962,19 +1007,257 @@ class ShardedServiceServer(ServiceServer):
             if message:
                 raise ViteXError(message)
             raise ProtocolError("no document in progress")
-        elements = max(reply.get("elements", 0) for reply in good)
+        elements = max(entry.get("elements", 0) for entry in good)
         document = self._documents
         self._documents += 1
         self._elements_total += elements
         self._close_epoch()
+        if reply:
+            self._enqueue(
+                connection,
+                None,
+                encode_frame(
+                    {"type": "finished", "document": document, "elements": elements}
+                ),
+            )
+        self._broadcast_eof(document, aborted=False)
+
+    # ---------------------------------------------------------- stream mode
+
+    def _stream_mode(self) -> bool:
+        return self._stream_scanner is not None
+
+    def _open_stream_session(self, options: Dict[str, Any]) -> None:
+        """Sharded stream session: a boundary scanner plus, when retention
+        is requested, a front-local mirror session that owns the spool.
+
+        The workers keep doing what they do in bounded mode — the front
+        feeds them one document at a time and runs the finish cycle itself
+        at every boundary the scanner reports.  ``replay_window``
+        subscriptions are served *entirely* by the mirror (replay and live)
+        because the exactly-once splice cannot span processes; when the
+        stream session closes they are migrated onto workers like ordinary
+        subscriptions.
+        """
+        self._stream_scanner = DocumentBoundaryScanner()
+        self._stream_skip_doc = False
+        self._stream_base = (
+            self._documents,
+            self._aborted_documents,
+            self._elements_total,
+        )
+        self._stream_options = options
+        if options.get("retain_documents") or options.get("retain_bytes"):
+            self._front_engine = MultiQueryEvaluator()
+            self._front_stream = self._front_engine.document_stream(
+                parser=self.parser,
+                retain_documents=options.get("retain_documents"),
+                retain_bytes=options.get("retain_bytes"),
+                window_documents=options.get("window_documents") or 100,
+                on_error="skip",
+            )
+
+    def _close_stream_session(self, reason: str) -> Dict[str, Any]:
+        scanner = self._stream_scanner
+        assert scanner is not None
+        if self._doc_open:
+            # Mid-document close: poison the open epoch on every worker and
+            # account the partial document as aborted, like a bounded abort.
+            wire = encode_frame({"cmd": "abort", "doc": self._doc_epoch})
+            for worker in self._alive_workers():
+                worker.write(wire)
+            document = self._documents
+            self._documents += 1
+            self._aborted_documents += 1
+            self._close_epoch()
+            self._broadcast_eof(document, aborted=True, error=f"stream {reason}")
+        base_docs, base_aborted, base_elements = self._stream_base
+        failed = self._aborted_documents - base_aborted
+        stats: Dict[str, Any] = {
+            "documents": self._documents - base_docs - failed,
+            "documents_failed": failed,
+            "elements": self._elements_total - base_elements,
+            "in_document": scanner.in_document,
+        }
+        stats.update(self._stream_monitor_stats())
+        self._stream_scanner = None
+        self._stream_skip_doc = False
+        self._migrate_replay_subscriptions()
+        if self._front_stream is not None:
+            front_stats = self._front_stream.stats()
+            if "spool" in front_stats:
+                stats["spool"] = front_stats["spool"]
+            self._front_stream.close()
+            self._front_stream = None
+        if self._front_engine is not None:
+            self._front_engine.close()
+            self._front_engine = None
+        self._stream_options = {}
+        if self._stream_monitor_task is not None:
+            self._stream_monitor_task.cancel()
+            self._stream_monitor_task = None
+        return stats
+
+    def _migrate_replay_subscriptions(self) -> None:
+        """Re-home replay subscriptions onto workers at stream close.
+
+        On the single-process server a replay subscription outlives the
+        stream session because it lives on the shared engine.  Here its
+        engine (the front mirror) dies with the session, so each one gets a
+        fresh worker route — live delivery continues in bounded mode with
+        no visible difference to the client.
+        """
+        for name in sorted(self._front_replay):
+            handle = self._subscriptions.get(name)
+            if handle is None:
+                continue
+            try:
+                fingerprint = self._fingerprint(handle.query)
+                index = self._pick_worker(fingerprint)
+            except ViteXError:
+                continue
+            self._install_route(name, fingerprint, index)
+            worker = self._workers[index]
+            if worker.alive:
+                # Fire-and-forget, like _remove_subscription's unsubscribe.
+                worker.request(
+                    {"cmd": "subscribe", "query": handle.query, "name": name}
+                )
+        self._front_replay.clear()
+
+    def _stream_stats(self) -> Optional[Dict[str, Any]]:
+        scanner = self._stream_scanner
+        if scanner is None:
+            return None
+        base_docs, base_aborted, base_elements = self._stream_base
+        failed = self._aborted_documents - base_aborted
+        payload: Dict[str, Any] = {
+            "documents": self._documents - base_docs - failed,
+            "documents_failed": failed,
+            "elements": self._elements_total - base_elements,
+            "in_document": self._doc_open or scanner.in_document,
+            "replay_subscriptions": len(self._front_replay),
+        }
+        if self._front_stream is not None and self._front_stream.spool is not None:
+            payload["spool"] = self._front_stream.spool.accounting()
+        payload.update(self._stream_monitor_stats())
+        return payload
+
+    def _heartbeat_frame(self) -> Dict[str, Any]:
+        frame = super()._heartbeat_frame()
+        scanner = self._stream_scanner
+        if scanner is not None:
+            frame["in_document"] = self._doc_open or scanner.in_document
+        return frame
+
+    def _subscribe_replay(self, connection, frame, query: str) -> None:
+        """``replay_window`` on the sharded front: mirror-served, no route."""
+        if self._front_stream is None:
+            raise ProtocolError(
+                "replay_window needs an open stream session with retention "
+                "(stream_open with retain_documents or retain_bytes)"
+            )
+        requested = frame.get("name")
+        if requested is not None and not isinstance(requested, str):
+            raise ProtocolError("subscribe 'name' must be a string")
+        # The front owns the namespace: collide against *all* server
+        # subscriptions, not just the mirror engine's.
+        name = self._assign_name(requested)
+        subscription, replayed = self._front_stream.subscribe_replay(
+            query, name=name
+        )
+        handle = _SubscriptionHandle(name, subscription.query, connection)
+        handle.delivered = len(replayed)
+        self._subscriptions[name] = handle
+        connection.names.append(name)
+        self._front_replay.add(name)
         self._enqueue(
             connection,
             None,
             encode_frame(
-                {"type": "finished", "document": document, "elements": elements}
+                {
+                    "type": "subscribed",
+                    "name": name,
+                    "query": subscription.query,
+                    "mid_stream": self._doc_open or self._front_stream.in_document,
+                    "replayed": len(replayed),
+                }
             ),
         )
-        self._broadcast_eof(document, aborted=False)
+        ts = asyncio.get_running_loop().time()
+        self._solutions_total += len(replayed)
+        connection.delivered += len(replayed)
+        for pair in replayed:
+            self._enqueue(
+                connection,
+                name,
+                encode_frame(
+                    {
+                        "type": "solution",
+                        "name": name,
+                        "ts": ts,
+                        "replayed": True,
+                        "solution": solution_to_payload(pair.solution),
+                    }
+                ),
+            )
+
+    async def _stream_feed_sharded(self, connection, data: str) -> None:
+        """One stream-mode feed: split at boundaries, drive the workers.
+
+        The scanner hands back ``(segment, completed)`` pieces; each
+        segment streams to the workers over the normal feed path (events
+        or broadcast, pinned per document as usual) and every completed
+        boundary runs the finish cycle — no client ``finished`` reply, one
+        ``eof`` broadcast per document, exactly like the bounded protocol.
+        A document some worker failed is skipped to the next boundary
+        (``on_error="skip"``) or tears the stream session down
+        (``on_error="raise"``).
+        """
+        scanner = self._stream_scanner
+        assert scanner is not None
+        self._stream_last_feed = time.monotonic()
+        self._arm_stream_monitor()
+        raise_mode = self._stream_options.get("on_error") == "raise"
+        for segment, completed in scanner.feed(data):
+            if self._stream_scanner is None:
+                return  # torn down mid-loop (worker abort in raise mode)
+            # The retention mirror consumes the same segments in lockstep
+            # (its own scanner and skip handling are independent); its
+            # pairs — the replay subscriptions' live deliveries — must
+            # route before the segment's eof can broadcast.
+            front = self._front_stream
+            if front is not None:
+                mirror_pairs = front.feed_text(segment)
+                if mirror_pairs:
+                    self._route(mirror_pairs)
+            if self._stream_skip_doc:
+                if completed:
+                    self._stream_skip_doc = False
+                continue
+            try:
+                if self._doc_events is None:
+                    self._doc_events = self._events_mode
+                if self._doc_events:
+                    await self._feed_events(connection, segment)
+                else:
+                    await self._feed_broadcast(connection, segment)
+                if self._stream_scanner is None:
+                    return
+                if completed and not self._stream_skip_doc:
+                    if self._doc_open:
+                        await self._finish_document(connection, {}, reply=False)
+                elif completed:
+                    self._stream_skip_doc = False
+            except ViteXError as exc:
+                # The document's abort accounting already ran — either
+                # synchronously (_abort_front_document in events mode) or
+                # via the worker abort push racing the finish replies.
+                if raise_mode:
+                    if self._stream_scanner is not None:
+                        self._close_stream_session(reason="parse error")
+                    raise
+                self._stream_skip_doc = not completed
 
     async def _cmd_stats(self, connection, frame) -> None:
         await self._refresh_worker_stats()
@@ -1037,6 +1320,8 @@ class ShardedServiceServer(ServiceServer):
         """First worker to fail a document epoch aborts it front-wide."""
         if not self._doc_open or frame.get("doc") != self._doc_epoch:
             return  # stale: another worker already aborted this epoch
+        streaming = self._stream_scanner is not None
+        skip_mode = streaming and self._stream_options.get("on_error") != "raise"
         message = frame.get("message", "document aborted")
         feeder = self._feeder
         document = self._documents
@@ -1046,11 +1331,19 @@ class ShardedServiceServer(ServiceServer):
         self._close_epoch()
         self._broadcast_eof(document, aborted=True, error=message)
         if (
-            frame.get("origin") == "feed"
+            not skip_mode
+            and frame.get("origin") == "feed"
             and feeder is not None
             and feeder in self._connections
         ):
             self._enqueue(feeder, None, encode_frame(error_frame(message, cmd="feed")))
+        if streaming:
+            if skip_mode:
+                # Swallow the rest of this document; the stream resumes at
+                # the next boundary the scanner reports.
+                self._stream_skip_doc = True
+            else:
+                self._close_stream_session(reason="parse error")
 
     def _on_worker_crash(self, worker: _WorkerHandle) -> None:
         """Contain a dead worker: detach exactly its subscriptions."""
@@ -1132,6 +1425,12 @@ class ShardedServiceServer(ServiceServer):
         between the per-worker snapshot requests, so every shard is taken
         at the same chunk boundary.
         """
+        if self._stream_scanner is not None:
+            raise CheckpointError(
+                "cannot checkpoint while a stream session is open on the "
+                "sharded front (its state spans processes); close it with "
+                "stream_close first"
+            )
         workers = self._alive_workers()
         if len(workers) != len(self._workers):
             raise CheckpointError("cannot checkpoint while a worker is down")
@@ -1236,6 +1535,11 @@ class ShardedServiceServer(ServiceServer):
                 f"(format={payload.get('format')!r})"
             )
         version = payload.get("version")
+        if version == CHECKPOINT_VERSION_STREAM:
+            raise CheckpointError(
+                "stream-mode checkpoints (version 3) restore on the "
+                "single-process server only"
+            )
         if version not in (CHECKPOINT_VERSION, CHECKPOINT_VERSION_SHARDED):
             raise CheckpointError(f"unsupported checkpoint version {version!r}")
         meta = payload.get("server") or {}

@@ -12,8 +12,10 @@ from repro.bench.runner import (
     run_protein_breakdown,
     run_query_size_scaling,
     run_query_variety,
+    run_soak,
     sweep,
 )
+from repro.errors import BenchmarkError
 
 
 class TestMultiQueryScaling:
@@ -119,6 +121,47 @@ class TestIncrementalLatency:
         assert row["solutions"] >= 1
         assert row["first_solution_s"] <= row["total_s"]
         assert row["latency_fraction"] < 0.6
+
+
+class TestSoak:
+    #: Tiny but valid soak: the warm-up (2 windows x 10 docs) outlasts the
+    #: retention spool (6 docs) so the flatness baseline is taken warm.
+    KWARGS = dict(
+        documents=60,
+        entries_per_document=40,
+        window_documents=10,
+        retain_documents=6,
+    )
+
+    def test_rows_and_flatness_assertions(self):
+        rows = run_soak(**self.KWARGS)
+        assert [row["phase"] for row in rows] == ["warmup", "steady"]
+        warmup, steady = rows
+        assert warmup["documents"] == 20 and steady["documents"] == 40
+        # 1 root + 3 elements per entry, exact per document by construction.
+        per_doc = 1 + 3 * 40
+        assert warmup["elements"] == 20 * per_doc
+        assert steady["elements"] == 40 * per_doc
+        for key in (
+            "elements_per_s", "docs_per_s", "peak_live_entries",
+            "latency_p95_ms", "traced_mb",
+        ):
+            assert key in warmup and key in steady
+        # The enforced claims are also reported.
+        assert steady["traced_growth_pct"] <= 10.0 or steady["traced_mb"] < 1.5
+        assert steady["spool_bytes"] > 0
+        # Alert queries deliver sparsely but deliver.
+        assert steady["matches"] > 0
+
+    def test_expat_backend(self):
+        rows = run_soak(parser="expat", **self.KWARGS)
+        # Workload structure is backend-independent (the compare guard).
+        assert rows[1]["elements"] == 40 * (1 + 3 * 40)
+        assert rows[1]["matches"] == run_soak(**self.KWARGS)[1]["matches"]
+
+    def test_too_few_windows_rejected(self):
+        with pytest.raises(BenchmarkError, match="windows"):
+            run_soak(documents=20, entries_per_document=10, window_documents=10)
 
 
 class TestSweepHelper:

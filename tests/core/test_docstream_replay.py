@@ -1,0 +1,148 @@
+"""Replay-splice parity: the acceptance property of the retention spool.
+
+ISSUE 10 acceptance: *for every splice offset*, a late subscriber with
+``replay_window=True`` sees exactly the one-shot result set — replayed
+deliveries from the spool plus live deliveries from the stream joined with
+no duplicate and no gap — on both the pure-python and expat backends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.checkpoint import dumps_snapshot, loads_snapshot
+from repro.core.multi import MultiQueryEvaluator
+from repro.errors import EngineError
+
+DOCS = [
+    '<a><b i="1">x</b><c><b i="2">y</b></c></a>',
+    "<doc/>",
+    '<r><b i="3">z</b><b i="4"><d/></b></r>',
+]
+STREAM = " ".join(DOCS)
+QUERY = "//b"
+PARSERS = ("native", "expat")
+
+
+def reference(docs=DOCS):
+    """What a from-the-start subscriber sees over the same documents."""
+    out = []
+    for doc in docs:
+        with MultiQueryEvaluator() as engine:
+            engine.subscribe(QUERY, name="q")
+            out.extend(repr(s) for s in engine.evaluate(doc)["q"].solutions)
+    return out
+
+
+@pytest.mark.parametrize("parser", PARSERS)
+def test_replay_splice_parity_at_every_offset(parser):
+    """Property: replayed + live == one-shot, at *every* splice offset."""
+    expected = reference()
+    for splice in range(1, len(STREAM) + 1):
+        engine = MultiQueryEvaluator()
+        session = engine.document_stream(parser=parser, retain_documents=16)
+        live = list(session.feed_text(STREAM[:splice]))
+        sub, replayed = session.subscribe_replay(QUERY, name="late")
+        live.extend(session.feed_text(STREAM[splice:]))
+        session.close()
+        got = [repr(m.solution) for m in replayed]
+        got.extend(repr(m.solution) for m in live if m.name == "late")
+        assert got == expected, (parser, splice)
+        assert sub.delivered == len(expected), (parser, splice)
+        engine.close()
+
+
+@pytest.mark.parametrize("parser", PARSERS)
+def test_replay_window_coexists_with_prior_subscriber(parser):
+    """The pre-existing subscription's deliveries are untouched by a graft."""
+    engine = MultiQueryEvaluator()
+    early = engine.subscribe(QUERY, name="early")
+    session = engine.document_stream(parser=parser, retain_documents=16)
+    pairs = list(session.feed_text(STREAM[: len(STREAM) // 2]))
+    _, replayed = session.subscribe_replay(QUERY, name="late")
+    pairs.extend(session.feed_text(STREAM[len(STREAM) // 2 :]))
+    session.close()
+    expected = reference()
+    assert [repr(m.solution) for m in pairs if m.name == "early"] == expected
+    assert early.delivered == len(expected)
+    late_total = len(replayed) + sum(1 for m in pairs if m.name == "late")
+    assert late_total == len(expected)
+    engine.close()
+
+
+def test_replay_requires_retention():
+    engine = MultiQueryEvaluator()
+    session = engine.document_stream()  # no spool configured
+    with pytest.raises(EngineError):
+        session.subscribe(QUERY, replay_window=True)
+    session.close()
+    engine.close()
+
+
+def test_replay_covers_only_retained_window():
+    """Eviction bounds coverage: replay starts at the oldest retained doc."""
+    engine = MultiQueryEvaluator()
+    session = engine.document_stream(retain_documents=2)
+    docs = [f'<a><b n="{i}"/></a>' for i in range(6)]
+    for doc in docs[:5]:
+        session.feed_text(doc)
+    _, replayed = session.subscribe_replay(QUERY, name="late")
+    live = session.feed_text(docs[5])
+    session.close()
+    got = [repr(m.solution) for m in replayed]
+    got.extend(repr(m.solution) for m in live if m.name == "late")
+    # docs 0..2 were evicted before the join; the subscriber's world starts
+    # at doc 3 (doc 3 itself is evicted later, once doc 5 seals)
+    assert got == reference(docs[3:])
+    assert session.spool.evicted_documents == 4
+    engine.close()
+
+
+def test_replay_subscription_can_be_unregistered():
+    engine = MultiQueryEvaluator()
+    session = engine.document_stream(retain_documents=4)
+    session.feed_text("<a><b>1</b></a>")
+    sub, replayed = session.subscribe_replay(QUERY, name="late")
+    assert len(replayed) == 1
+    engine.unregister(sub.name)
+    live = session.feed_text("<a><b>2</b></a>")
+    assert not [m for m in live if m.name == "late"]
+    session.close()
+    engine.close()
+
+
+@pytest.mark.parametrize("parser", PARSERS)
+def test_replay_after_snapshot_restore(parser):
+    """The spool survives checkpoint/restore; replay still splices cleanly."""
+    for splice in (7, len(STREAM) // 2, len(STREAM) - 3):
+        engine = MultiQueryEvaluator()
+        session = engine.document_stream(parser=parser, retain_documents=16)
+        session.feed_text(STREAM[:splice])
+        payload = dumps_snapshot(session.snapshot())
+        session.close()
+        engine.close()
+
+        restored_engine = MultiQueryEvaluator()
+        restored = restored_engine.restore_session(loads_snapshot(payload))
+        _, replayed = restored.subscribe_replay(QUERY, name="late")
+        live = list(restored.feed_text(STREAM[splice:]))
+        restored.close()
+        got = [repr(m.solution) for m in replayed]
+        got.extend(repr(m.solution) for m in live if m.name == "late")
+        assert got == reference(), (parser, splice)
+        restored_engine.close()
+
+
+def test_byte_bounded_spool_replay():
+    """A byte-capped spool evicts whole documents and replay tracks it."""
+    engine = MultiQueryEvaluator()
+    session = engine.document_stream(retain_bytes=256)
+    docs = [f'<a><b pad="{"x" * 40}" n="{i}"/></a>' for i in range(8)]
+    for doc in docs:
+        session.feed_text(doc)
+    kept = session.spool.documents
+    assert 0 < kept < len(docs)
+    _, replayed = session.subscribe_replay(QUERY, name="late")
+    session.close()
+    assert [repr(m.solution) for m in replayed] == reference(docs[-kept:])
+    engine.close()

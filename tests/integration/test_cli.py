@@ -239,6 +239,31 @@ class TestServiceCommands:
         )
         assert exit_code == 1
 
+    def test_publish_stream_flags_need_follow(self, tmp_path, capsys):
+        document = tmp_path / "doc.xml"
+        document.write_text("<a/>", encoding="utf-8")
+        exit_code = main(["publish", str(document), "--retain-docs", "8"])
+        assert exit_code == 1
+        assert "--follow" in capsys.readouterr().err
+
+    def test_publish_follow_rejects_no_finish(self, tmp_path, capsys):
+        document = tmp_path / "doc.xml"
+        document.write_text("<a/>", encoding="utf-8")
+        exit_code = main(["publish", str(document), "--follow", "--no-finish"])
+        assert exit_code == 1
+        assert "no-finish" in capsys.readouterr().err
+
+    def test_publish_follow_unreachable_service_reports_error(
+        self, tmp_path, capsys
+    ):
+        document = tmp_path / "doc.xml"
+        document.write_text("<a/>", encoding="utf-8")
+        exit_code = main(
+            ["publish", str(document), "--follow", "--host", "127.0.0.1", "--port", "1"]
+        )
+        assert exit_code == 1
+        assert "cannot reach service" in capsys.readouterr().err
+
 
 class TestParser:
     def test_no_command_prints_help(self, capsys):

@@ -52,6 +52,9 @@ REQUIRED_EXPORTS = frozenset(
         "evaluate_many",
         "parse_xpath",
         "stream_evaluate",
+        # infinite-stream surface
+        "DocumentStreamSession",
+        "WindowStats",
         # legacy entry points (deprecated but still public)
         "MultiQueryEvaluator",
         "ServiceClient",

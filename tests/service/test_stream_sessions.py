@@ -1,0 +1,428 @@
+"""Infinite-stream sessions over the wire: stream_open/feed/replay/close.
+
+In-process asyncio tests mirroring ``test_server.py`` conventions, against
+both the single-process server and the sharded front (which drives its
+workers' document lifecycle from the boundary scanner itself).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import CHECKPOINT_VERSION_STREAM, ServiceServer
+from repro.service.sharding import ShardedServiceServer
+
+TIMEOUT = 5.0
+
+DOCS = [
+    '<a><b i="1">x</b></a>',
+    "<doc/>",
+    '<r><c><b i="2">y</b></c></r>',
+]
+STREAM = "".join(DOCS)
+
+
+def run(coroutine):
+    return asyncio.run(asyncio.wait_for(coroutine, timeout=60))
+
+
+async def _drain_doc(subscriber, *, solutions):
+    """Collect ``solutions`` solution pushes then the document's eof."""
+    got = []
+    for _ in range(solutions):
+        push = await subscriber.next_push(timeout=TIMEOUT)
+        assert push["type"] == "solution", push
+        got.append(push)
+    eof = await subscriber.next_push(timeout=TIMEOUT)
+    assert eof["type"] == "eof", eof
+    return got, eof
+
+
+class TestStreamSessionPlain:
+    def test_multi_document_feed_broadcasts_eofs(self):
+        async def scenario():
+            server = ServiceServer(parser="native")
+            await server.start(port=0)
+            host, port = server.address
+            subscriber = await ServiceClient.connect(host, port)
+            publisher = await ServiceClient.connect(host, port)
+            try:
+                await subscriber.subscribe("//b", name="q")
+                opened = await publisher.stream_open()
+                assert opened["framing"] == "auto"
+                assert opened["replay"] is False
+                # Split mid-document: boundaries are the server's job now.
+                await publisher.feed(STREAM[:9])
+                await publisher.feed(STREAM[9:])
+                _, eof0 = await _drain_doc(subscriber, solutions=1)
+                assert eof0["document"] == 0 and eof0["aborted"] is False
+                _, eof1 = await _drain_doc(subscriber, solutions=0)
+                assert eof1["document"] == 1
+                _, eof2 = await _drain_doc(subscriber, solutions=1)
+                assert eof2["document"] == 2
+                stats = await subscriber.stats()
+                assert stats["stream_open"] is True
+                assert stats["stream"]["documents"] == 3
+                assert stats["documents"] == 3  # counted as eofs broadcast
+                closed = await publisher.stream_close()
+                assert closed["stats"]["documents"] == 3
+                stats = await subscriber.stats()
+                assert stats["stream_open"] is False
+                assert stats["documents"] == 3
+                # Bounded mode is back: classic feed/finish still works.
+                await publisher.feed(DOCS[0])
+                summary = await publisher.finish()
+                assert summary["document"] == 3
+                await _drain_doc(subscriber, solutions=1)
+            finally:
+                await subscriber.close()
+                await publisher.close()
+                await server.close()
+
+        run(scenario())
+
+    def test_finish_rejected_in_stream_mode(self):
+        async def scenario():
+            server = ServiceServer(parser="native")
+            await server.start(port=0)
+            host, port = server.address
+            publisher = await ServiceClient.connect(host, port)
+            try:
+                await publisher.stream_open()
+                with pytest.raises(ServiceError, match="stream mode"):
+                    await publisher.finish()
+                # A second stream_open is rejected while one is live.
+                with pytest.raises(ServiceError, match="already open"):
+                    await publisher.stream_open()
+            finally:
+                await publisher.close()
+                await server.close()
+
+        run(scenario())
+
+    def test_replay_window_over_the_wire(self):
+        async def scenario():
+            server = ServiceServer(parser="native")
+            await server.start(port=0)
+            host, port = server.address
+            publisher = await ServiceClient.connect(host, port)
+            late = await ServiceClient.connect(host, port)
+            try:
+                opened = await publisher.stream_open(retain_documents=8)
+                assert opened["replay"] is True
+                await publisher.feed(STREAM)
+                await publisher.ping()  # order the push lane
+                name = await late.subscribe("//b", name="late", replay_window=True)
+                assert name == "late"
+                replays = []
+                for _ in range(2):
+                    push = await late.next_push(timeout=TIMEOUT)
+                    assert push["type"] == "solution" and push["replayed"] is True
+                    replays.append(
+                        (push["solution"]["order"], push["solution"]["level"])
+                    )
+                assert replays == [(1, 2), (2, 3)]
+                # Live delivery splices in: exactly once, no replay marker.
+                await publisher.feed('<z><b i="3"/></z>')
+                live, eof = await _drain_doc(late, solutions=1)
+                assert live[0].get("replayed") is None
+                assert live[0]["solution"]["tag"] == "b"
+                assert live[0]["solution"]["order"] == 1
+            finally:
+                await publisher.close()
+                await late.close()
+                await server.close()
+
+        run(scenario())
+
+    def test_replay_window_needs_stream_and_retention(self):
+        async def scenario():
+            server = ServiceServer(parser="native")
+            await server.start(port=0)
+            host, port = server.address
+            client = await ServiceClient.connect(host, port)
+            try:
+                with pytest.raises(ServiceError, match="stream"):
+                    await client.subscribe("//b", replay_window=True)
+                await client.stream_open()  # no retention configured
+                with pytest.raises(ServiceError, match="retention|retain"):
+                    await client.subscribe("//b", replay_window=True)
+            finally:
+                await client.close()
+                await server.close()
+
+        run(scenario())
+
+    def test_on_error_skip_keeps_the_stream_alive(self):
+        async def scenario():
+            server = ServiceServer(parser="native")
+            await server.start(port=0)
+            host, port = server.address
+            subscriber = await ServiceClient.connect(host, port)
+            publisher = await ServiceClient.connect(host, port)
+            try:
+                await subscriber.subscribe("//b", name="q")
+                await publisher.stream_open()
+                bad = "<broken>&undefined;</broken>"
+                await publisher.feed(DOCS[0] + bad + DOCS[0])
+                _, eof0 = await _drain_doc(subscriber, solutions=1)
+                assert eof0["aborted"] is False
+                eof1 = await subscriber.next_push(timeout=TIMEOUT)
+                assert eof1["type"] == "eof" and eof1["aborted"] is True
+                _, eof2 = await _drain_doc(subscriber, solutions=1)
+                assert eof2["aborted"] is False
+                closed = await publisher.stream_close()
+                assert closed["stats"]["documents"] == 2
+                assert closed["stats"]["documents_failed"] == 1
+            finally:
+                await subscriber.close()
+                await publisher.close()
+                await server.close()
+
+        run(scenario())
+
+    def test_heartbeat_pushes(self):
+        async def scenario():
+            server = ServiceServer(parser="native")
+            await server.start(port=0)
+            host, port = server.address
+            subscriber = await ServiceClient.connect(host, port)
+            publisher = await ServiceClient.connect(host, port)
+            try:
+                await subscriber.subscribe("//b", name="q")
+                await publisher.stream_open(heartbeat_interval=0.05)
+                push = await subscriber.next_push(timeout=TIMEOUT)
+                assert push["type"] == "heartbeat"
+                assert push["documents"] == 0
+                stats = await subscriber.stats()
+                assert stats["heartbeats_sent"] >= 1
+                assert stats["stream"]["heartbeat_interval"] == 0.05
+            finally:
+                await subscriber.close()
+                await publisher.close()
+                await server.close()
+
+        run(scenario())
+
+    def test_idle_timeout_closes_the_stream(self):
+        async def scenario():
+            server = ServiceServer(parser="native")
+            await server.start(port=0)
+            host, port = server.address
+            subscriber = await ServiceClient.connect(host, port)
+            publisher = await ServiceClient.connect(host, port)
+            try:
+                await subscriber.subscribe("//b", name="q")
+                await publisher.stream_open(idle_timeout=0.15)
+                await publisher.feed(DOCS[0])
+                await _drain_doc(subscriber, solutions=1)
+                push = await subscriber.next_push(timeout=TIMEOUT)
+                assert push["type"] == "stream_idle"
+                assert push["idle_timeout"] == 0.15
+                assert push["stats"]["documents"] == 1
+                stats = await subscriber.stats()
+                assert stats["stream_open"] is False
+                assert stats["idle_stream_closures"] == 1
+                # The session is gone; the stream can be re-opened.
+                await publisher.stream_open()
+                await publisher.stream_close()
+            finally:
+                await subscriber.close()
+                await publisher.close()
+                await server.close()
+
+        run(scenario())
+
+    def test_checkpoint_v3_roundtrip(self, tmp_path):
+        path = str(tmp_path / "stream.ck.json")
+
+        async def scenario():
+            server = ServiceServer(parser="expat", checkpoint_path=path)
+            await server.start(port=0)
+            host, port = server.address
+            publisher = await ServiceClient.connect(host, port)
+            try:
+                await publisher.stream_open(retain_documents=8)
+                # One sealed document plus a half-fed one.
+                await publisher.feed(DOCS[0] + '<r><c><b i="2">y')
+                reply = await publisher.checkpoint()
+                assert reply["mid_document"] is True
+            finally:
+                await publisher.close()
+                await server.close()
+
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            assert payload["version"] == CHECKPOINT_VERSION_STREAM
+            assert payload["server"]["stream"]["retain_documents"] == 8
+
+            restored = ServiceServer(checkpoint_path=path)
+            summary = restored.restore_from_file(path)
+            assert summary["stream_open"] is True
+            assert summary["mid_document"] is True
+            await restored.start(port=0)
+            host, port = restored.address
+            publisher = await ServiceClient.connect(host, port)
+            late = await ServiceClient.connect(host, port)
+            try:
+                name = await late.subscribe("//b", name="late", replay_window=True)
+                assert name == "late"
+                replay = await late.next_push(timeout=TIMEOUT)
+                assert replay["replayed"] is True
+                assert (replay["solution"]["order"], replay["solution"]["level"]) == (1, 2)
+                # Finish the half-fed document; the graft delivers it live.
+                await publisher.feed("</b></c></r>")
+                live, eof = await _drain_doc(late, solutions=1)
+                assert (live[0]["solution"]["order"], live[0]["solution"]["level"]) == (2, 3)
+                assert eof["aborted"] is False
+                closed = await publisher.stream_close()
+                assert closed["stats"]["documents"] == 2
+            finally:
+                await publisher.close()
+                await late.close()
+                await restored.close()
+
+        run(scenario())
+
+    def test_sharded_front_refuses_stream_checkpoints(self, tmp_path):
+        path = str(tmp_path / "stream.ck.json")
+
+        async def scenario():
+            server = ServiceServer(parser="native", checkpoint_path=path)
+            await server.start(port=0)
+            host, port = server.address
+            publisher = await ServiceClient.connect(host, port)
+            try:
+                await publisher.stream_open()
+                await publisher.feed(DOCS[0])
+                await publisher.checkpoint()
+            finally:
+                await publisher.close()
+                await server.close()
+
+            sharded = ShardedServiceServer(
+                workers=1, parser="native", checkpoint_path=path
+            )
+            try:
+                with pytest.raises(Exception, match="single-process"):
+                    await sharded.restore_from_file(path)
+            finally:
+                await sharded.close()
+
+        run(scenario())
+
+
+class TestStreamSessionSharded:
+    @pytest.mark.parametrize("shard_mode", ["broadcast", "events"])
+    def test_multi_document_feed_parity(self, shard_mode):
+        async def scenario():
+            server = ShardedServiceServer(
+                workers=2, shard_mode=shard_mode, parser="native"
+            )
+            await server.start(port=0)
+            host, port = server.address
+            subscriber = await ServiceClient.connect(host, port)
+            publisher = await ServiceClient.connect(host, port)
+            try:
+                await subscriber.subscribe("//b", name="q")
+                await publisher.stream_open()
+                await publisher.feed(STREAM[:9])
+                await publisher.feed(STREAM[9:])
+                _, eof0 = await _drain_doc(subscriber, solutions=1)
+                assert eof0["document"] == 0 and eof0["aborted"] is False
+                _, eof1 = await _drain_doc(subscriber, solutions=0)
+                assert eof1["document"] == 1
+                _, eof2 = await _drain_doc(subscriber, solutions=1)
+                assert eof2["document"] == 2
+                stats = await subscriber.stats()
+                assert stats["stream_open"] is True
+                assert stats["stream"]["documents"] == 3
+                closed = await publisher.stream_close()
+                assert closed["stats"]["documents"] == 3
+                # Bounded mode still works after the stream session.
+                await publisher.feed(DOCS[0])
+                summary = await publisher.finish()
+                assert summary["document"] == 3
+                await _drain_doc(subscriber, solutions=1)
+            finally:
+                await subscriber.close()
+                await publisher.close()
+                await server.close()
+
+        run(scenario())
+
+    def test_skip_recovers_at_the_next_boundary(self):
+        async def scenario():
+            server = ShardedServiceServer(
+                workers=2, shard_mode="broadcast", parser="native"
+            )
+            await server.start(port=0)
+            host, port = server.address
+            subscriber = await ServiceClient.connect(host, port)
+            publisher = await ServiceClient.connect(host, port)
+            try:
+                await subscriber.subscribe("//b", name="q")
+                await publisher.stream_open()
+                bad = "<broken>&undefined;</broken>"
+                await publisher.feed(DOCS[0] + bad + DOCS[0])
+                _, eof0 = await _drain_doc(subscriber, solutions=1)
+                assert eof0["aborted"] is False
+                eof1 = await subscriber.next_push(timeout=TIMEOUT)
+                assert eof1["type"] == "eof" and eof1["aborted"] is True
+                _, eof2 = await _drain_doc(subscriber, solutions=1)
+                assert eof2["aborted"] is False
+                closed = await publisher.stream_close()
+                assert closed["stats"]["documents"] == 2
+                assert closed["stats"]["documents_failed"] == 1
+            finally:
+                await subscriber.close()
+                await publisher.close()
+                await server.close()
+
+        run(scenario())
+
+    def test_replay_window_on_the_sharded_front(self):
+        async def scenario():
+            server = ShardedServiceServer(workers=2, parser="native")
+            await server.start(port=0)
+            host, port = server.address
+            publisher = await ServiceClient.connect(host, port)
+            late = await ServiceClient.connect(host, port)
+            try:
+                opened = await publisher.stream_open(retain_documents=8)
+                assert opened["replay"] is True
+                await publisher.feed(STREAM)
+                await publisher.ping()
+                name = await late.subscribe("//b", name="late", replay_window=True)
+                assert name == "late"
+                replays = []
+                for _ in range(2):
+                    push = await late.next_push(timeout=TIMEOUT)
+                    assert push["type"] == "solution" and push["replayed"] is True
+                    replays.append(
+                        (push["solution"]["order"], push["solution"]["level"])
+                    )
+                assert replays == [(1, 2), (2, 3)]
+                await publisher.feed('<z><b i="3"/></z>')
+                live, _eof = await _drain_doc(late, solutions=1)
+                assert live[0]["solution"]["tag"] == "b"
+                # Checkpoints are refused while the stream session is open.
+                with pytest.raises(ServiceError, match="stream"):
+                    await publisher.checkpoint()
+                await publisher.stream_close()
+                # The replay subscription was migrated onto a worker: it
+                # keeps delivering in bounded mode.
+                await publisher.feed('<z><b i="4"/></z>')
+                await publisher.finish()
+                live, _eof = await _drain_doc(late, solutions=1)
+                assert live[0]["solution"]["tag"] == "b"
+            finally:
+                await publisher.close()
+                await late.close()
+                await server.close()
+
+        run(scenario())
